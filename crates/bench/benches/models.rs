@@ -1,0 +1,46 @@
+//! Microbenchmarks of the abstract-model fast path: per-message prediction
+//! cost and calibration-update cost. These bound the overhead reciprocal
+//! abstraction adds to the full-system simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ra_netmodel::{CalibratedModel, HopLatency, LatencyModel, LoadContext, QueueingLatency};
+use ra_sim::{LatencyTable, MessageClass, NetMessage, NodeId};
+
+fn bench_models(c: &mut Criterion) {
+    let msg = NetMessage::new(0, NodeId(0), NodeId(42), MessageClass::Response, 72);
+    let ctx = LoadContext {
+        utilization: 0.2,
+        hops: 9,
+        flits: 5,
+    };
+    let mut calibrated = CalibratedModel::new(14, 0.5);
+    let mut table = LatencyTable::new(14);
+    for hops in 0..=14usize {
+        for class in MessageClass::ALL {
+            for i in 0..32 {
+                table.record(class, hops, 10.0 + 3.0 * hops as f64 + i as f64);
+            }
+        }
+    }
+    calibrated.update(&table);
+
+    c.bench_function("predict/hop", |b| {
+        let m = HopLatency::default();
+        b.iter(|| m.latency(&msg, &ctx))
+    });
+    c.bench_function("predict/queueing", |b| {
+        let m = QueueingLatency::default();
+        b.iter(|| m.latency(&msg, &ctx))
+    });
+    c.bench_function("predict/calibrated", |b| b.iter(|| calibrated.latency(&msg, &ctx)));
+    c.bench_function("calibrate/update-full-table", |b| {
+        b.iter(|| {
+            let mut m = CalibratedModel::new(14, 0.5);
+            m.update(&table);
+            m.updates()
+        })
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

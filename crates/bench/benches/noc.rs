@@ -1,0 +1,38 @@
+//! Cycle-throughput of the cycle-level NoC across loads and sizes: the
+//! cost model behind the simulation-time figures (F5/T2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ra_noc::{InjectionProcess, NocConfig, NocNetwork, TrafficGen, TrafficPattern};
+use ra_sim::Cycle;
+
+fn bench_noc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc-cycles");
+    group.sample_size(10);
+    for rate in [0.01f64, 0.05, 0.15] {
+        group.bench_with_input(
+            BenchmarkId::new("8x8-300cyc", format!("rate{rate}")),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    let mut net = NocNetwork::new(NocConfig::new(8, 8)).unwrap();
+                    let mut gen = TrafficGen::new(
+                        8,
+                        8,
+                        TrafficPattern::Uniform,
+                        InjectionProcess::Bernoulli { rate },
+                        3,
+                    );
+                    for now in 0..300u64 {
+                        gen.inject_cycle(&mut net, Cycle(now));
+                        net.step();
+                    }
+                    net.stats().delivered
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

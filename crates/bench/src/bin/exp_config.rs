@@ -1,0 +1,14 @@
+//! T1 — Target system configuration table.
+//!
+//! Regenerates the paper's configuration table for the three standard
+//! target sizes.
+
+use ra_cosim::{Target, STANDARD_CORE_COUNTS};
+
+fn main() {
+    ra_bench::banner("T1", "Target system configuration");
+    for cores in STANDARD_CORE_COUNTS {
+        let target = Target::preset(cores).expect("standard preset");
+        println!("{}", target.config_table());
+    }
+}

@@ -1,0 +1,75 @@
+//! F3 (claim A1, headline) — Packet latency error: abstract vs reciprocal.
+//!
+//! For each workload, the average packet latency error of (a) the static
+//! contention-free abstract model and (b) reciprocal abstraction, both
+//! measured against lock-step cycle-level co-simulation as ground truth.
+//! The paper reports reciprocal abstraction cutting the error by 69% on
+//! average.
+
+use ra_bench::{banner, mean, Scale};
+use ra_cosim::{percent_error, run_app, ModeSpec, Target};
+use ra_workloads::AppProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("F3", "Packet latency error vs cycle-level truth, 64-core mesh");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "truth", "abstract", "reciprocal", "abs-err%", "recip-err%"
+    );
+    let target = Target::preset(64).expect("preset");
+    let quantum = 2_000;
+    let mut abs_errors = Vec::new();
+    let mut recip_errors = Vec::new();
+    for app in AppProfile::suite() {
+        let truth = run_app(
+            ModeSpec::Lockstep,
+            &target,
+            &app,
+            scale.instructions(),
+            scale.budget(),
+            42,
+        )
+        .expect("lockstep");
+        let abs = run_app(
+            ModeSpec::Hop,
+            &target,
+            &app,
+            scale.instructions(),
+            scale.budget(),
+            42,
+        )
+        .expect("hop");
+        let recip = run_app(
+            ModeSpec::Reciprocal { quantum, workers: 0 },
+            &target,
+            &app,
+            scale.instructions(),
+            scale.budget(),
+            42,
+        )
+        .expect("reciprocal");
+        let abs_err = percent_error(abs.avg_latency(), truth.avg_latency());
+        let recip_err = percent_error(recip.avg_latency(), truth.avg_latency());
+        abs_errors.push(abs_err);
+        recip_errors.push(recip_err);
+        println!(
+            "{:<14} {:>10.2} {:>12.2} {:>12.2} {:>11.1}% {:>11.1}%",
+            app.name,
+            truth.avg_latency(),
+            abs.avg_latency(),
+            recip.avg_latency(),
+            abs_err,
+            recip_err
+        );
+    }
+    let abs_mean = mean(&abs_errors);
+    let recip_mean = mean(&recip_errors);
+    let reduction = if abs_mean > 0.0 {
+        (1.0 - recip_mean / abs_mean) * 100.0
+    } else {
+        0.0
+    };
+    println!("\nmean error: abstract {abs_mean:.1}%  reciprocal {recip_mean:.1}%");
+    println!("error reduction from reciprocal abstraction: {reduction:.0}%  (paper: 69%)");
+}

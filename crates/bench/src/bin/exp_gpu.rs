@@ -1,0 +1,84 @@
+//! T2 (claim A3, headline) — Co-simulation time reduction from the
+//! data-parallel detailed-NoC engine ("GPU coprocessor").
+//!
+//! The paper: a GPU coprocessor cuts reciprocal-abstraction co-simulation
+//! time by 16% for a 256-core target and 65% for a 512-core target.
+//!
+//! Reproduction strategy (see DESIGN.md, substitution table):
+//!
+//! 1. **Measured decomposition.** A serial reciprocal run is instrumented
+//!    to split wall-clock into the detailed cycle-level NoC (the offloaded
+//!    component) vs everything else. This is real measurement.
+//! 2. **Coprocessor model.** The offloaded time is divided by the device
+//!    speedup `S(R) = R / (R / lanes + launch)` for `R` routers — the
+//!    standard bulk-synchronous device model (finite lane count plus a
+//!    fixed per-cycle kernel-launch overhead expressed in router-work
+//!    units). Small networks amortize the launch poorly; big ones win —
+//!    the same shape the paper measured on a real GPU.
+//! 3. **Host-parallel check.** When the host has more than one core, the
+//!    worker-pool engine is also run for a wall-clock-measured reduction.
+
+use ra_bench::{banner, secs, Scale};
+use ra_cosim::{run_app_reciprocal, Target};
+use ra_workloads::AppProfile;
+
+/// Device lanes of the modeled coprocessor.
+const LANES: f64 = 64.0;
+/// Per-cycle launch/sync overhead, in units of one router's cycle work.
+const LAUNCH: f64 = 16.0;
+
+/// Speedup of the modeled device over serial execution of `routers`
+/// routers' worth of per-cycle work.
+fn device_speedup(routers: f64) -> f64 {
+    routers / (routers / LANES + LAUNCH)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("T2", "Coprocessor co-simulation time reduction (ocean)");
+    let host_cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("host cores: {host_cores}; modeled device: {LANES} lanes, launch overhead {LAUNCH} router-units\n");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8} {:>10} {:>12} {:>8}",
+        "target", "total", "noc-part", "share%", "S(dev)", "modeled", "paper"
+    );
+    let app = AppProfile::ocean();
+    for (cores, paper) in [(256u32, "16%"), (512, "65%")] {
+        let target = Target::preset(cores).expect("preset");
+        let instr = (scale.instructions() / (cores as u64 / 64)).max(150);
+        let (serial, coupler) =
+            run_app_reciprocal(&target, &app, instr, scale.budget(), 42, 2_000, 0)
+                .expect("serial reciprocal");
+        let total = serial.wall.as_secs_f64();
+        let noc = coupler.detailed_wall.as_secs_f64();
+        let share = noc / total.max(1e-9) * 100.0;
+        let routers = target.cores() as f64;
+        let speedup = device_speedup(routers);
+        let modeled_total = (total - noc) + noc / speedup;
+        let reduction = (1.0 - modeled_total / total.max(1e-9)) * 100.0;
+        println!(
+            "{:<10} {:>10} {:>10} {:>7.0}% {:>10.1} {:>11.0}% {:>8}",
+            target.name,
+            secs(serial.wall),
+            secs(coupler.detailed_wall),
+            share,
+            speedup,
+            reduction,
+            paper
+        );
+        if host_cores > 1 {
+            let workers = host_cores.saturating_sub(1).clamp(1, 8);
+            let (parallel, _) =
+                run_app_reciprocal(&target, &app, instr, scale.budget(), 42, 2_000, workers)
+                    .expect("parallel reciprocal");
+            let measured =
+                (1.0 - parallel.wall.as_secs_f64() / total.max(1e-9)) * 100.0;
+            println!(
+                "{:<10}   measured host-parallel ({workers} workers): {measured:.0}% reduction",
+                ""
+            );
+        }
+    }
+    println!("\n(shape check: the modeled reduction must grow with target size,");
+    println!(" because the detailed NoC's share of co-simulation time grows)");
+}

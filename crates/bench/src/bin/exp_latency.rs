@@ -1,0 +1,29 @@
+//! F2 — Average packet latency per workload and abstraction level.
+//!
+//! Prints the latency the full system experiences under each network
+//! abstraction, per workload: the raw data behind the error figure F3.
+
+use ra_bench::{banner, Scale};
+use ra_cosim::{format_row, run_app, ModeSpec, Target};
+use ra_workloads::AppProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("F2", "Experienced packet latency per workload and mode, 64-core");
+    let target = Target::preset(64).expect("preset");
+    let modes = [
+        ModeSpec::Hop,
+        ModeSpec::Queueing,
+        ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
+        ModeSpec::Lockstep,
+    ];
+    for app in AppProfile::suite() {
+        for mode in modes {
+            match run_app(mode, &target, &app, scale.instructions(), scale.budget(), 42) {
+                Ok(r) => println!("{}", format_row(&r)),
+                Err(e) => println!("{:<14} {:<18} FAILED: {e}", app.name, mode.label()),
+            }
+        }
+        println!();
+    }
+}

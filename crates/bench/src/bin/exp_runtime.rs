@@ -1,0 +1,48 @@
+//! F4 — Full-system runtime error from the network abstraction.
+//!
+//! The end-to-end quantity an architect actually cares about: predicted
+//! target execution time under each abstraction, vs cycle-level truth.
+
+use ra_bench::{banner, mean, Scale};
+use ra_cosim::{percent_error, run_app, ModeSpec, Target};
+use ra_workloads::AppProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("F4", "Target execution-time error vs cycle-level truth, 64-core");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "workload", "truth-cyc", "abstract", "reciprocal", "abs-err%", "rec-err%"
+    );
+    let target = Target::preset(64).expect("preset");
+    let mut abs_errors = Vec::new();
+    let mut recip_errors = Vec::new();
+    for app in AppProfile::suite() {
+        let truth = run_app(ModeSpec::Lockstep, &target, &app, scale.instructions(), scale.budget(), 42)
+            .expect("lockstep");
+        let abs = run_app(ModeSpec::Hop, &target, &app, scale.instructions(), scale.budget(), 42)
+            .expect("hop");
+        let recip = run_app(
+            ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
+            &target,
+            &app,
+            scale.instructions(),
+            scale.budget(),
+            42,
+        )
+        .expect("reciprocal");
+        let ae = percent_error(abs.cycles as f64, truth.cycles as f64);
+        let re = percent_error(recip.cycles as f64, truth.cycles as f64);
+        abs_errors.push(ae);
+        recip_errors.push(re);
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>9.1}% {:>9.1}%",
+            app.name, truth.cycles, abs.cycles, recip.cycles, ae, re
+        );
+    }
+    println!(
+        "\nmean runtime error: abstract {:.1}%  reciprocal {:.1}%",
+        mean(&abs_errors),
+        mean(&recip_errors)
+    );
+}

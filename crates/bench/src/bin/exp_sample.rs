@@ -1,0 +1,55 @@
+//! X3 (extension) — Sampled co-simulation: accuracy vs speed.
+//!
+//! "Re-tuned periodically at longer time intervals": only every k-th
+//! calibration quantum is simulated in detail; skipped windows cost the
+//! detailed path nothing. This is the speed lever that makes reciprocal
+//! abstraction cheaper than lock-step co-simulation even on one host core,
+//! at a measurable accuracy cost.
+
+use ra_bench::{banner, secs, Scale};
+use ra_cosim::{percent_error, run_app, ModeSpec, Target};
+use ra_fullsys::FullSystem;
+use ra_cosim::{LatencyProbe, ReciprocalNetwork};
+use ra_workloads::{AppProfile, AppWorkload};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("X3", "Sampled reciprocal co-simulation: accuracy vs cost (ocean, 64-core)");
+    let target = Target::preset(64).expect("preset");
+    let app = AppProfile::ocean();
+    let truth = run_app(ModeSpec::Lockstep, &target, &app, scale.instructions(), scale.budget(), 42)
+        .expect("lockstep");
+    println!(
+        "truth: {:.2} avg latency, lockstep wall {}\n",
+        truth.avg_latency(),
+        secs(truth.wall)
+    );
+    println!(
+        "{:>9} {:>12} {:>9} {:>12} {:>14}",
+        "sample", "avg-lat", "err%", "wall", "detailed-cyc"
+    );
+    for sample_every in [1u32, 2, 4, 8, 16] {
+        let coupler = ReciprocalNetwork::new(target.noc.clone(), 2_000, 0)
+            .expect("coupler")
+            .with_sampling(sample_every);
+        let net = LatencyProbe::new(coupler);
+        let workload = AppWorkload::new(app.clone(), target.cores(), 42);
+        let mut sys = FullSystem::new(target.fullsys.clone(), net, workload).expect("system");
+        let start = std::time::Instant::now();
+        sys.run_until_instructions(scale.instructions(), scale.budget())
+            .expect("run");
+        let wall = start.elapsed();
+        let probe = sys.network();
+        let lat = probe.latency().mean();
+        let detailed = probe.inner().stats().detailed_cycles;
+        println!(
+            "{:>8}x {:>12.2} {:>8.1}% {:>12} {:>14}",
+            sample_every,
+            lat,
+            percent_error(lat, truth.avg_latency()),
+            secs(wall),
+            detailed
+        );
+    }
+    println!("\n(1x = simulate every window; higher = cheaper detailed path, stale-er model)");
+}

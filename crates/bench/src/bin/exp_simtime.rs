@@ -1,0 +1,49 @@
+//! F5 — Simulation wall-clock time across modes and target sizes.
+//!
+//! How expensive each abstraction level is to *run*, for 64/256/512-core
+//! targets. The reciprocal modes pay for the detailed NoC; the parallel
+//! engine claws that cost back as the network grows.
+
+use ra_bench::{banner, secs, Scale};
+use ra_cosim::{run_app, ModeSpec, Target, STANDARD_CORE_COUNTS};
+use ra_workloads::AppProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("F5", "Simulation wall-clock time by mode and target size (ocean)");
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().saturating_sub(1).clamp(1, 8))
+        .unwrap_or(4);
+    println!(
+        "{:<10} {:<18} {:>12} {:>12} {:>12}",
+        "target", "mode", "target-cyc", "wall", "cyc/sec"
+    );
+    let app = AppProfile::ocean();
+    // Shrink instruction counts with size so the table finishes promptly.
+    for cores in STANDARD_CORE_COUNTS {
+        let target = Target::preset(cores).expect("preset");
+        let instr = (scale.instructions() / (cores as u64 / 64)).max(150);
+        let modes = [
+            ModeSpec::Hop,
+            ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
+            ModeSpec::Reciprocal { quantum: 2_000, workers },
+        ];
+        for mode in modes {
+            match run_app(mode, &target, &app, instr, scale.budget(), 42) {
+                Ok(r) => {
+                    let rate = r.cycles as f64 / r.wall.as_secs_f64().max(1e-9);
+                    println!(
+                        "{:<10} {:<18} {:>12} {:>12} {:>12.0}",
+                        target.name,
+                        mode.label(),
+                        r.cycles,
+                        secs(r.wall),
+                        rate
+                    );
+                }
+                Err(e) => println!("{:<10} {:<18} FAILED: {e}", target.name, mode.label()),
+            }
+        }
+        println!();
+    }
+}

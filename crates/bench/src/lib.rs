@@ -1,0 +1,115 @@
+//! Shared reporting helpers for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the experiment index and EXPERIMENTS.md for the
+//! recorded results). The helpers here keep their output format uniform.
+
+use std::time::Duration;
+
+/// Geometric mean of strictly positive values (0 if empty).
+///
+/// # Example
+///
+/// ```
+/// assert!((ra_bench::geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// assert_eq!(ra_bench::geomean(&[]), 0.0);
+/// ```
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean (0 if empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Formats a duration as seconds with millisecond resolution.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Experiment scale knobs, read from the command line.
+///
+/// `--quick` shrinks every run for smoke-testing; `--full` enlarges them
+/// for closer-to-paper statistics. The default targets a couple of minutes
+/// per binary in release mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke test: seconds per binary.
+    Quick,
+    /// Default: a couple of minutes per binary.
+    Normal,
+    /// Large: closest to the paper's run lengths.
+    Full,
+}
+
+impl Scale {
+    /// Parses the process arguments.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else if args.iter().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Normal
+        }
+    }
+
+    /// Instructions per core for accuracy experiments.
+    pub fn instructions(self) -> u64 {
+        match self {
+            Scale::Quick => 300,
+            Scale::Normal => 1_500,
+            Scale::Full => 6_000,
+        }
+    }
+
+    /// Cycle budget guarding each run.
+    pub fn budget(self) -> u64 {
+        match self {
+            Scale::Quick => 2_000_000,
+            Scale::Normal => 20_000_000,
+            Scale::Full => 100_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[10.0]) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Quick.instructions() < Scale::Normal.instructions());
+        assert!(Scale::Normal.instructions() < Scale::Full.instructions());
+        assert!(Scale::Quick.budget() < Scale::Full.budget());
+    }
+}

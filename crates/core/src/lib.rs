@@ -1,0 +1,50 @@
+//! Reciprocal abstraction for computer architecture co-simulation.
+//!
+//! This crate is the paper's primary contribution: a framework that couples
+//! a coarse-grain full-system simulator (`ra-fullsys`) with a cycle-level
+//! NoC simulator (`ra-noc`) such that each side sees an *abstraction of the
+//! other*:
+//!
+//! * the detailed NoC receives the full system's **real message stream**
+//!   instead of synthetic traffic (fixing the in-vacuum evaluation problem);
+//! * the full system consults a **continuously re-calibrated latency
+//!   model** ([`ra_netmodel::CalibratedModel`]) instead of paying
+//!   cycle-level cost on every message.
+//!
+//! The coupling lives in [`ReciprocalNetwork`]. The crate also provides the
+//! mode ladder the evaluation compares ([`ModeSpec`]): static abstract
+//! models, reciprocal abstraction (serial or on the data-parallel engine),
+//! and lock-step detailed co-simulation as ground truth — plus the
+//! [`driver`] used by every experiment binary and the [`Target`]
+//! machine presets.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ra_cosim::{run_app, ModeSpec, Target};
+//! use ra_workloads::AppProfile;
+//!
+//! let target = Target::cmp(4, 4);
+//! let result = run_app(
+//!     ModeSpec::Reciprocal { quantum: 500, workers: 0 },
+//!     &target,
+//!     &AppProfile::water(),
+//!     200,      // instructions per core
+//!     500_000,  // cycle budget
+//!     1,        // seed
+//! )?;
+//! assert!(result.cycles > 0);
+//! # Ok::<(), ra_sim::SimError>(())
+//! ```
+
+pub mod driver;
+pub mod probe;
+pub mod record;
+pub mod reciprocal;
+pub mod target;
+
+pub use driver::{format_row, percent_error, run_app, run_app_reciprocal, ModeSpec, RunResult};
+pub use probe::LatencyProbe;
+pub use record::{replay_into, RecordedMessage, TrafficRecord};
+pub use reciprocal::{AdaptiveQuantum, CouplerStats, ReciprocalNetwork};
+pub use target::{Target, STANDARD_CORE_COUNTS};

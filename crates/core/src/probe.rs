@@ -1,0 +1,161 @@
+//! Latency probe: measures the message latency a full system experiences.
+
+use std::collections::HashMap;
+
+use ra_sim::{Cycle, Delivery, MessageClass, NetMessage, Network, Summary};
+
+/// Transparent [`Network`] wrapper recording the latency of every message
+/// as the wrapped network delivers it.
+///
+/// Every co-simulation mode is run behind a probe, so the "average packet
+/// latency" the accuracy figures compare is measured identically regardless
+/// of which abstraction produced it.
+///
+/// # Example
+///
+/// ```
+/// use ra_cosim::LatencyProbe;
+/// use ra_netmodel::{AbstractNetwork, FixedLatency, HopMetric};
+/// use ra_sim::{Cycle, MessageClass, MeshShape, NetMessage, Network, NodeId};
+///
+/// let inner = AbstractNetwork::new(
+///     FixedLatency::new(9),
+///     HopMetric::Mesh(MeshShape::new(4, 4)?),
+///     16,
+/// );
+/// let mut probe = LatencyProbe::new(inner);
+/// probe.inject(
+///     NetMessage::new(0, NodeId(0), NodeId(5), MessageClass::Request, 8),
+///     Cycle(0),
+/// );
+/// probe.tick(Cycle(50));
+/// probe.drain_delivered(Cycle(50));
+/// assert_eq!(probe.latency().count(), 1);
+/// assert!((probe.latency().mean() - 9.0).abs() < 1e-12);
+/// # Ok::<(), ra_sim::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyProbe<N> {
+    inner: N,
+    inject_times: HashMap<u64, u64>,
+    latency: Summary,
+    per_class: Vec<Summary>,
+}
+
+impl<N: Network> LatencyProbe<N> {
+    /// Wraps a network.
+    pub fn new(inner: N) -> Self {
+        LatencyProbe {
+            inner,
+            inject_times: HashMap::new(),
+            latency: Summary::new(),
+            per_class: vec![Summary::new(); MessageClass::COUNT],
+        }
+    }
+
+    /// The wrapped network.
+    pub fn inner(&self) -> &N {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped network.
+    pub fn inner_mut(&mut self) -> &mut N {
+        &mut self.inner
+    }
+
+    /// Consumes the probe, returning the wrapped network.
+    pub fn into_inner(self) -> N {
+        self.inner
+    }
+
+    /// Observed latency distribution over all delivered messages.
+    pub fn latency(&self) -> &Summary {
+        &self.latency
+    }
+
+    /// Observed latency per message class.
+    pub fn class_latency(&self, class: MessageClass) -> &Summary {
+        &self.per_class[class.vnet()]
+    }
+}
+
+impl<N: Network> Network for LatencyProbe<N> {
+    fn inject(&mut self, msg: NetMessage, now: Cycle) {
+        self.inject_times.insert(msg.id, now.0);
+        self.inner.inject(msg, now);
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        self.inner.tick(now);
+    }
+
+    fn drain_delivered(&mut self, now: Cycle) -> Vec<Delivery> {
+        let delivered = self.inner.drain_delivered(now);
+        for d in &delivered {
+            if let Some(injected) = self.inject_times.remove(&d.msg.id) {
+                let latency = d.at.0.saturating_sub(injected) as f64;
+                self.latency.record(latency);
+                self.per_class[d.msg.class.vnet()].record(latency);
+            }
+        }
+        delivered
+    }
+
+    fn in_flight(&self) -> usize {
+        self.inner.in_flight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_netmodel::{AbstractNetwork, HopLatency, HopMetric};
+    use ra_sim::{MeshShape, NodeId};
+
+    #[test]
+    fn probe_separates_classes() {
+        let inner = AbstractNetwork::new(
+            HopLatency::default(),
+            HopMetric::Mesh(MeshShape::new(4, 4).unwrap()),
+            16,
+        );
+        let mut probe = LatencyProbe::new(inner);
+        probe.inject(
+            NetMessage::new(0, NodeId(0), NodeId(1), MessageClass::Request, 8),
+            Cycle(0),
+        );
+        probe.inject(
+            NetMessage::new(1, NodeId(0), NodeId(15), MessageClass::Response, 72),
+            Cycle(0),
+        );
+        probe.tick(Cycle(100));
+        let out = probe.drain_delivered(Cycle(100));
+        assert_eq!(out.len(), 2);
+        assert_eq!(probe.class_latency(MessageClass::Request).count(), 1);
+        assert_eq!(probe.class_latency(MessageClass::Response).count(), 1);
+        assert!(
+            probe.class_latency(MessageClass::Response).mean()
+                > probe.class_latency(MessageClass::Request).mean()
+        );
+        assert_eq!(probe.class_latency(MessageClass::Coherence).count(), 0);
+    }
+
+    #[test]
+    fn probe_is_transparent() {
+        let inner = AbstractNetwork::new(
+            HopLatency::default(),
+            HopMetric::Mesh(MeshShape::new(4, 4).unwrap()),
+            16,
+        );
+        let mut probe = LatencyProbe::new(inner);
+        probe.inject(
+            NetMessage::new(7, NodeId(2), NodeId(3), MessageClass::Request, 8),
+            Cycle(5),
+        );
+        assert_eq!(probe.in_flight(), 1);
+        probe.tick(Cycle(50));
+        let out = probe.drain_delivered(Cycle(50));
+        assert_eq!(out[0].msg.id, 7);
+        assert_eq!(probe.in_flight(), 0);
+    }
+}

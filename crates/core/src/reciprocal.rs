@@ -1,0 +1,457 @@
+//! The reciprocal-abstraction coupler.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use ra_gpu::ParallelEngine;
+use ra_netmodel::{AbstractNetwork, CalibratedModel, HopMetric};
+use ra_noc::{NocConfig, NocNetwork, TopologyKind};
+use ra_sim::{Cycle, Delivery, LatencyTable, NetMessage, Network, Summary};
+
+/// Configuration of adaptive quantum control.
+///
+/// The coupler compares, at every calibration, the latency its fast-path
+/// model predicted against what the detailed NoC measured over the window
+/// (the *drift*). When drift exceeds `target_drift` cycles the quantum
+/// halves (the model is going stale too fast); when drift stays under half
+/// the target the quantum doubles (calibration is wastefully frequent).
+/// This is the paper's "re-tuned periodically" knob made self-adjusting —
+/// an extension evaluated by the F7 ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveQuantum {
+    /// Smallest quantum the controller may choose (cycles).
+    pub min: u64,
+    /// Largest quantum the controller may choose (cycles).
+    pub max: u64,
+    /// Acceptable |predicted − measured| mean latency gap, in cycles.
+    pub target_drift: f64,
+}
+
+impl Default for AdaptiveQuantum {
+    fn default() -> Self {
+        AdaptiveQuantum {
+            min: 200,
+            max: 50_000,
+            target_drift: 2.0,
+        }
+    }
+}
+
+/// Statistics of the reciprocal exchange itself.
+#[derive(Debug, Clone, Default)]
+pub struct CouplerStats {
+    /// Calibration updates performed.
+    pub calibrations: u64,
+    /// Messages measured by the detailed model.
+    pub measured: u64,
+    /// Per-quantum |model prediction − detailed measurement| of mean
+    /// latency, in cycles (how far the model drifts between updates).
+    pub drift: Summary,
+    /// Wall-clock time spent stepping the detailed cycle-level NoC — the
+    /// component a coprocessor offloads (experiment T2's decomposition).
+    pub detailed_wall: Duration,
+    /// Cycles the detailed NoC simulated.
+    pub detailed_cycles: u64,
+}
+
+/// Reciprocal-abstraction network: the paper's contribution.
+///
+/// From the full system's point of view this is just a [`Network`] — but
+/// internally **two** models run:
+///
+/// * the **fast path**: an [`AbstractNetwork`] around a [`CalibratedModel`]
+///   answers every latency question, so the full system never waits on
+///   flit-level simulation;
+/// * the **detailed path**: every injected message is also fed to the
+///   cycle-level [`NocNetwork`], which is advanced in *quanta* (optionally
+///   on the data-parallel [`ParallelEngine`], the paper's GPU coprocessor).
+///
+/// At each quantum boundary the detailed model's measured per-(class, hops)
+/// latencies re-fit the calibrated model — the detailed component hands an
+/// *abstraction of itself* back to the full system, while the full system
+/// hands the detailed component an abstraction of the cores (their real
+/// message stream). That mutual exchange is the "reciprocal" in reciprocal
+/// abstraction: neither side is evaluated in a vacuum.
+///
+/// # Example
+///
+/// ```
+/// use ra_cosim::ReciprocalNetwork;
+/// use ra_noc::NocConfig;
+/// use ra_sim::{Cycle, MessageClass, NetMessage, Network, NodeId};
+///
+/// let mut net = ReciprocalNetwork::new(NocConfig::new(4, 4), 500, 0)?;
+/// net.inject(
+///     NetMessage::new(0, NodeId(0), NodeId(15), MessageClass::Request, 8),
+///     Cycle(0),
+/// );
+/// net.tick(Cycle(1_000)); // crosses a quantum boundary -> calibration
+/// assert_eq!(net.stats().calibrations, 2);
+/// assert_eq!(net.drain_delivered(Cycle(1_000)).len(), 1);
+/// # Ok::<(), ra_sim::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct ReciprocalNetwork {
+    fast: AbstractNetwork<CalibratedModel>,
+    detailed: NocNetwork,
+    engine: Option<ParallelEngine>,
+    quantum: u64,
+    adaptive: Option<AdaptiveQuantum>,
+    /// Simulate every `sample_every`-th window in detail (1 = all).
+    sample_every: u32,
+    window_idx: u64,
+    next_calibration: u64,
+    inject_times: HashMap<u64, u64>,
+    measured: LatencyTable,
+    stats: CouplerStats,
+}
+
+impl ReciprocalNetwork {
+    /// Builds a coupler over a detailed NoC with the given calibration
+    /// `quantum` (cycles). `workers > 0` runs the detailed model on a
+    /// parallel engine with that many threads; `workers == 0` runs it
+    /// serially on the host thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the NoC configuration validation error.
+    pub fn new(cfg: NocConfig, quantum: u64, workers: usize) -> Result<Self, ra_sim::ConfigError> {
+        let detailed = NocNetwork::new(cfg.clone())?;
+        let shape = cfg.shape;
+        let metric = match cfg.topology {
+            TopologyKind::Mesh => HopMetric::Mesh(shape),
+            TopologyKind::Torus => HopMetric::Torus(shape),
+            TopologyKind::CMesh { concentration } => HopMetric::CMesh {
+                shape,
+                concentration,
+            },
+        };
+        let diameter = detailed.topology().diameter();
+        let model = CalibratedModel::new(diameter, 0.5);
+        let fast = AbstractNetwork::new(model, metric, cfg.flit_bytes);
+        Ok(ReciprocalNetwork {
+            fast,
+            detailed,
+            engine: (workers > 0).then(|| ParallelEngine::new(workers)),
+            quantum: quantum.max(1),
+            adaptive: None,
+            sample_every: 1,
+            window_idx: 0,
+            next_calibration: quantum.max(1),
+            inject_times: HashMap::new(),
+            measured: LatencyTable::new(diameter),
+            stats: CouplerStats::default(),
+        })
+    }
+
+    /// Enables *sampled* co-simulation: only every `sample_every`-th
+    /// quantum is simulated in detail (1 = every quantum, the default).
+    ///
+    /// This is the "re-tuned periodically at longer time intervals" speed
+    /// knob: skipped windows cost nothing on the detailed path (their
+    /// message stream is not replayed and the detailed clock fast-forwards),
+    /// at the price of calibrating from a sample of the traffic. Each
+    /// sampled window is drained to completion so its measurements are
+    /// whole; experiment X3 quantifies the accuracy/speed trade.
+    pub fn with_sampling(mut self, sample_every: u32) -> Self {
+        self.sample_every = sample_every.max(1);
+        self
+    }
+
+    /// Enables adaptive quantum control (see [`AdaptiveQuantum`]).
+    ///
+    /// The starting quantum is clamped into the controller's range.
+    pub fn with_adaptive_quantum(mut self, cfg: AdaptiveQuantum) -> Self {
+        self.quantum = self.quantum.clamp(cfg.min.max(1), cfg.max.max(1));
+        self.next_calibration = self.next_calibration.max(self.quantum);
+        self.adaptive = Some(cfg);
+        self
+    }
+
+    /// The calibration quantum in cycles (current value when adaptive).
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Exchange statistics.
+    pub fn stats(&self) -> &CouplerStats {
+        &self.stats
+    }
+
+    /// The calibrated model currently answering the full system.
+    pub fn model(&self) -> &CalibratedModel {
+        self.fast.model()
+    }
+
+    /// The detailed cycle-level network (for end-of-run statistics).
+    pub fn detailed(&self) -> &NocNetwork {
+        &self.detailed
+    }
+
+    /// True if the current window is simulated in detail.
+    fn window_sampled(&self) -> bool {
+        self.window_idx % u64::from(self.sample_every) == 0
+    }
+
+    /// Advances the detailed model to `target` and performs a calibration.
+    fn calibrate(&mut self, target: u64) {
+        // Run the detailed NoC through the window.
+        let started = Instant::now();
+        let from = self.detailed.next_cycle();
+        match self.engine.as_mut() {
+            Some(engine) => {
+                while self.detailed.next_cycle() <= target {
+                    engine.run_cycle(&mut self.detailed);
+                }
+            }
+            None => self.detailed.tick(Cycle(target)),
+        }
+        if self.sample_every > 1 {
+            // Sampled mode: drain the window's traffic so its measurements
+            // are complete and the detailed clock can skip the next gap.
+            let _ = self.detailed.run_until_drained(1_000_000);
+        }
+        self.stats.detailed_wall += started.elapsed();
+        self.stats.detailed_cycles += self.detailed.next_cycle().saturating_sub(from);
+        // Measure what it delivered.
+        let target = self.detailed.next_cycle().max(target);
+        let mut window_mean = Summary::new();
+        for d in self.detailed.drain_delivered(Cycle(target)) {
+            let Some(injected) = self.inject_times.remove(&d.msg.id) else {
+                continue;
+            };
+            let latency = (d.at.0 - injected) as f64;
+            let hops = self.detailed.topology().hops(d.msg.src, d.msg.dst);
+            self.measured.record(d.msg.class, hops, latency);
+            window_mean.record(latency);
+            self.stats.measured += 1;
+        }
+        if window_mean.count() > 0 {
+            let predicted = self.fast.predicted_latency().mean();
+            let drift = (window_mean.mean() - predicted).abs();
+            self.stats.drift.record(drift);
+            // Reciprocal exchange: the detailed model re-fits the abstract
+            // one the full system will use for the next quantum.
+            self.fast.model_mut().update(&self.measured);
+            self.measured.clear();
+            if let Some(ctl) = self.adaptive {
+                if drift > ctl.target_drift {
+                    self.quantum = (self.quantum / 2).max(ctl.min.max(1));
+                } else if drift < ctl.target_drift / 2.0 {
+                    self.quantum = (self.quantum * 2).min(ctl.max.max(1));
+                }
+            }
+        }
+        self.stats.calibrations += 1;
+    }
+}
+
+impl Network for ReciprocalNetwork {
+    fn inject(&mut self, msg: NetMessage, now: Cycle) {
+        self.fast.inject(msg, now);
+        // In sampled mode a drained window can overrun the boundary; a
+        // message landing inside that overrun would be measured with an
+        // inflated latency, so it is left out of the sample instead.
+        if self.window_sampled() && now.0 >= self.detailed.next_cycle() {
+            self.inject_times.insert(msg.id, now.0);
+            self.detailed.inject(msg, now);
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        self.fast.tick(now);
+        while now.0 >= self.next_calibration {
+            let boundary = self.next_calibration;
+            if self.window_sampled() {
+                self.calibrate(boundary);
+            }
+            self.window_idx += 1;
+            if self.window_sampled() {
+                // Entering a detailed window after skipped ones: jump the
+                // detailed clock over the un-simulated gap.
+                self.detailed.skip_to(boundary);
+            }
+            self.next_calibration = boundary + self.quantum;
+        }
+    }
+
+    fn drain_delivered(&mut self, now: Cycle) -> Vec<Delivery> {
+        // The full system sees the fast path's timing.
+        self.fast.drain_delivered(now)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.fast.in_flight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_sim::{MessageClass, NodeId};
+
+    fn msg(id: u64, src: u32, dst: u32) -> NetMessage {
+        NetMessage::new(id, NodeId(src), NodeId(dst), MessageClass::Request, 8)
+    }
+
+    #[test]
+    fn calibration_fires_every_quantum() {
+        let mut net = ReciprocalNetwork::new(NocConfig::new(4, 4), 100, 0).unwrap();
+        net.tick(Cycle(450));
+        assert_eq!(net.stats().calibrations, 4);
+        assert_eq!(net.quantum(), 100);
+    }
+
+    #[test]
+    fn model_learns_from_detailed_measurements() {
+        let mut net = ReciprocalNetwork::new(NocConfig::new(4, 4), 200, 0).unwrap();
+        let mut id = 0;
+        for now in 0..1_000u64 {
+            if now % 7 == 0 {
+                net.inject(msg(id, (id % 16) as u32, ((id * 5 + 3) % 16) as u32), Cycle(now));
+                id += 1;
+            }
+            net.tick(Cycle(now));
+        }
+        assert!(net.stats().calibrations >= 4);
+        assert!(net.stats().measured > 50);
+        assert!(net.model().updates() > 0);
+        // After calibration the model has real cells for observed distances.
+        assert!(net
+            .model()
+            .cell_estimate(MessageClass::Request, 1)
+            .is_some());
+    }
+
+    #[test]
+    fn fast_path_delivers_everything() {
+        let mut net = ReciprocalNetwork::new(NocConfig::new(4, 4), 50, 0).unwrap();
+        for i in 0..20u64 {
+            net.inject(msg(i, 0, 15), Cycle(i));
+        }
+        net.tick(Cycle(2_000));
+        let out = net.drain_delivered(Cycle(2_000));
+        assert_eq!(out.len(), 20);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn adaptive_quantum_stays_in_range_and_reacts() {
+        let ctl = AdaptiveQuantum {
+            min: 100,
+            max: 1_600,
+            target_drift: 0.5, // strict: any real drift shrinks the quantum
+        };
+        let mut net = ReciprocalNetwork::new(NocConfig::new(4, 4), 400, 0)
+            .unwrap()
+            .with_adaptive_quantum(ctl);
+        let initial = net.quantum();
+        let mut id = 0;
+        for now in 0..30_000u64 {
+            // Heavy bursty load: the static model drifts, the controller
+            // must react.
+            if now % 2 == 0 {
+                net.inject(msg(id, (id % 16) as u32, ((id * 7 + 5) % 16) as u32), Cycle(now));
+                id += 1;
+            }
+            net.tick(Cycle(now));
+        }
+        assert!(net.quantum() >= ctl.min && net.quantum() <= ctl.max);
+        assert!(
+            net.quantum() != initial || net.stats().drift.mean() < ctl.target_drift,
+            "controller never reacted: quantum {} drift {:.2}",
+            net.quantum(),
+            net.stats().drift.mean()
+        );
+        assert!(net.stats().calibrations > 10);
+    }
+
+    #[test]
+    fn adaptive_quantum_grows_when_model_is_accurate() {
+        let ctl = AdaptiveQuantum {
+            min: 100,
+            max: 3_200,
+            target_drift: 1e9, // everything counts as accurate
+        };
+        let mut net = ReciprocalNetwork::new(NocConfig::new(4, 4), 100, 0)
+            .unwrap()
+            .with_adaptive_quantum(ctl);
+        let mut id = 0;
+        for now in 0..20_000u64 {
+            if now % 10 == 0 {
+                net.inject(msg(id, (id % 16) as u32, ((id * 3 + 1) % 16) as u32), Cycle(now));
+                id += 1;
+            }
+            net.tick(Cycle(now));
+        }
+        assert_eq!(net.quantum(), 3_200, "quantum should max out");
+    }
+
+    #[test]
+    fn sampling_skips_detailed_windows() {
+        fn run(sample_every: u32) -> (u64, u64) {
+            let mut net = ReciprocalNetwork::new(NocConfig::new(4, 4), 500, 0)
+                .unwrap()
+                .with_sampling(sample_every);
+            let mut id = 0;
+            for now in 0..10_000u64 {
+                if now % 5 == 0 {
+                    net.inject(msg(id, (id % 16) as u32, ((id * 3 + 1) % 16) as u32), Cycle(now));
+                    id += 1;
+                }
+                net.tick(Cycle(now));
+            }
+            (net.stats().detailed_cycles, net.stats().measured)
+        }
+        let (full_cycles, full_measured) = run(1);
+        let (quarter_cycles, quarter_measured) = run(4);
+        assert!(
+            quarter_cycles < full_cycles / 2,
+            "sampling must cut detailed cycles ({quarter_cycles} vs {full_cycles})"
+        );
+        assert!(quarter_measured < full_measured);
+        assert!(quarter_measured > 0, "sampled windows still measure");
+    }
+
+    #[test]
+    fn sampled_coupler_still_calibrates_accurately() {
+        let mut net = ReciprocalNetwork::new(NocConfig::new(4, 4), 500, 0)
+            .unwrap()
+            .with_sampling(3);
+        let mut id = 0;
+        for now in 0..15_000u64 {
+            if now % 4 == 0 {
+                net.inject(msg(id, (id % 16) as u32, ((id * 7 + 3) % 16) as u32), Cycle(now));
+                id += 1;
+            }
+            net.tick(Cycle(now));
+        }
+        assert!(net.model().updates() >= 5);
+        assert!(
+            (0..=6).any(|h| net.model().cell_estimate(MessageClass::Request, h).is_some()),
+            "calibration must populate some Request cell"
+        );
+        // The fast path still delivers everything (grace period for the
+        // tail injections).
+        net.tick(Cycle(16_000));
+        let out = net.drain_delivered(Cycle(16_000));
+        assert_eq!(out.len(), id as usize);
+    }
+
+    #[test]
+    fn parallel_and_serial_couplers_agree() {
+        fn run(workers: usize) -> (u64, u64) {
+            let mut net = ReciprocalNetwork::new(NocConfig::new(4, 4), 100, workers).unwrap();
+            let mut id = 0;
+            for now in 0..2_000u64 {
+                if now % 5 == 0 {
+                    net.inject(msg(id, (id % 16) as u32, ((id * 3 + 1) % 16) as u32), Cycle(now));
+                    id += 1;
+                }
+                net.tick(Cycle(now));
+            }
+            (net.stats().measured, net.detailed().stats().delivered)
+        }
+        assert_eq!(run(0), run(2));
+    }
+}

@@ -1,0 +1,133 @@
+//! Target-machine presets (the paper's Table 1).
+
+use ra_fullsys::FullSysConfig;
+use ra_noc::{NocConfig, Routing, TopologyKind};
+use serde::{Deserialize, Serialize};
+
+/// A complete target-machine description: the full-system configuration and
+/// the matching NoC configuration.
+///
+/// # Example
+///
+/// ```
+/// use ra_cosim::Target;
+///
+/// let t = Target::preset(256).expect("preset exists");
+/// assert_eq!(t.cores(), 256);
+/// assert_eq!(t.noc.shape, t.fullsys.shape);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Target {
+    /// Human-readable name, e.g. `"256-core"`.
+    pub name: String,
+    /// Tiled-CMP configuration.
+    pub fullsys: FullSysConfig,
+    /// Cycle-level NoC configuration.
+    pub noc: NocConfig,
+}
+
+impl Target {
+    /// Builds a target for a `cols x rows` CMP with the evaluation's
+    /// default parameters (4 VCs x 4 flits, 16-byte links, XY mesh, MESI,
+    /// 4-8 memory controllers).
+    pub fn cmp(cols: u32, rows: u32) -> Target {
+        let mut fullsys = FullSysConfig::new(cols, rows);
+        fullsys.mem_controllers = if cols * rows >= 256 { 8 } else { 4 };
+        let noc = NocConfig::new(cols, rows)
+            .with_vcs_per_vnet(4)
+            .with_vc_depth(4)
+            .with_flit_bytes(16)
+            .with_link_latency(1)
+            .with_routing(Routing::Xy)
+            .with_topology(TopologyKind::Mesh);
+        Target {
+            name: format!("{}-core", cols * rows),
+            fullsys,
+            noc,
+        }
+    }
+
+    /// The standard evaluation sizes: 64, 256 and 512 cores.
+    ///
+    /// Returns `None` for sizes without a preset.
+    pub fn preset(cores: u32) -> Option<Target> {
+        match cores {
+            64 => Some(Target::cmp(8, 8)),
+            256 => Some(Target::cmp(16, 16)),
+            512 => Some(Target::cmp(32, 16)),
+            _ => None,
+        }
+    }
+
+    /// Number of cores/tiles in the target.
+    pub fn cores(&self) -> usize {
+        self.fullsys.tiles()
+    }
+
+    /// Renders the configuration table (experiment T1).
+    pub fn config_table(&self) -> String {
+        let f = &self.fullsys;
+        let n = &self.noc;
+        let mut s = String::new();
+        s.push_str(&format!("Target machine: {}\n", self.name));
+        s.push_str(&format!(
+            "  Tiles             : {} ({} mesh)\n",
+            f.tiles(),
+            f.shape
+        ));
+        s.push_str("  Core              : in-order, blocking loads, ");
+        s.push_str(&format!("{}-entry store buffer\n", f.store_buffer));
+        s.push_str(&format!(
+            "  L1 (private)      : {} sets x {} ways, {}B lines\n",
+            f.l1_sets, f.l1_ways, f.line_bytes
+        ));
+        s.push_str(&format!(
+            "  L2 (shared, dist.): 1 bank/tile, {}-cycle hit, dir-based MESI\n",
+            f.l2_hit_latency
+        ));
+        s.push_str(&format!(
+            "  Memory            : {} controllers, {}-cycle DRAM, 1/{} req/cycle\n",
+            f.mem_controllers, f.dram_latency, f.mc_service
+        ));
+        s.push_str(&format!(
+            "  NoC               : {:?} {:?}, {} VCs/vnet x {} flits, {}B flits, {}-cycle links\n",
+            n.topology, n.routing, n.vcs_per_vnet, n.vc_depth, n.flit_bytes, n.link_latency
+        ));
+        s.push_str("  Virtual networks  : 3 (request / response / coherence)\n");
+        s
+    }
+}
+
+/// Dimensions used by [`Target::preset`], exposed for sweep loops.
+pub const STANDARD_CORE_COUNTS: [u32; 3] = [64, 256, 512];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_exist_and_shapes_match() {
+        for cores in STANDARD_CORE_COUNTS {
+            let t = Target::preset(cores).unwrap();
+            assert_eq!(t.cores() as u32, cores);
+            assert_eq!(t.noc.shape, t.fullsys.shape);
+            t.fullsys.validate().unwrap();
+            t.noc.validate().unwrap();
+        }
+        assert!(Target::preset(100).is_none());
+    }
+
+    #[test]
+    fn big_targets_get_more_memory_controllers() {
+        assert_eq!(Target::preset(64).unwrap().fullsys.mem_controllers, 4);
+        assert_eq!(Target::preset(512).unwrap().fullsys.mem_controllers, 8);
+    }
+
+    #[test]
+    fn config_table_mentions_the_essentials() {
+        let table = Target::preset(64).unwrap().config_table();
+        for needle in ["64", "MESI", "VCs", "store buffer", "controllers"] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+    }
+}

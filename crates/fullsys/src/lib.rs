@@ -1,0 +1,45 @@
+//! Coarse-grain full-system simulator of a tiled cache-coherent CMP.
+//!
+//! `ra-fullsys` models the *system context* that isolated NoC evaluation
+//! throws away: a grid of tiles, each with an in-order core, a store
+//! buffer, a private L1, a slice of the shared distributed L2 with its
+//! directory, and (on edge tiles) memory controllers. A simplified
+//! MESI-style directory protocol with a blocking home generates the
+//! request/response/coherence message classes that load the network, and —
+//! crucially — the *timing feedback loop* is closed: network latency delays
+//! misses, delayed misses stall cores, stalled cores inject less traffic.
+//!
+//! The simulator is generic over [`ra_sim::Network`], so the identical
+//! system runs against an abstract latency model, the cycle-level NoC, or
+//! the reciprocal-abstraction coupler from `ra-cosim`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ra_fullsys::{FullSysConfig, FullSystem};
+//! use ra_fullsys::workload::{SyntheticParams, SyntheticWorkload};
+//! use ra_netmodel::{AbstractNetwork, HopLatency, HopMetric};
+//!
+//! let cfg = FullSysConfig::new(4, 4);
+//! let net = AbstractNetwork::new(HopLatency::default(), HopMetric::Mesh(cfg.shape), 16);
+//! let workload = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 7);
+//! let mut sys = FullSystem::new(cfg, net, workload)?;
+//! let cycles = sys.run_until_instructions(100, 100_000).expect("completes");
+//! assert!(cycles > 0);
+//! # Ok::<(), ra_sim::ConfigError>(())
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod protocol;
+pub mod stats;
+pub mod system;
+mod tile;
+pub mod workload;
+
+pub use config::FullSysConfig;
+pub use protocol::{ProtoKind, ProtoMsg};
+pub use stats::{AggregateTileStats, FullSysStats};
+pub use system::FullSystem;
+pub use tile::TileStats;
+pub use workload::{Op, ScriptedWorkload, SyntheticParams, SyntheticWorkload, Workload};

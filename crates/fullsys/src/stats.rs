@@ -1,0 +1,100 @@
+//! Aggregate full-system statistics.
+
+use ra_sim::{MessageClass, Summary};
+
+use crate::tile::TileStats;
+
+/// System-wide statistics of a full-system run.
+#[derive(Debug, Clone, Default)]
+pub struct FullSysStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Network messages injected, by class.
+    pub messages_by_class: [u64; MessageClass::COUNT],
+    /// Aggregated per-tile counters.
+    pub tiles: AggregateTileStats,
+}
+
+/// Sum/merge of every tile's counters.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateTileStats {
+    /// Total instructions retired.
+    pub instructions: u64,
+    /// Total loads.
+    pub loads: u64,
+    /// Total stores.
+    pub stores: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Miss (memory round-trip) latency across all cores.
+    pub miss_latency: Summary,
+    /// Stale forwards (timing-approximation diagnostic).
+    pub stale_forwards: u64,
+}
+
+impl AggregateTileStats {
+    /// Folds one tile's counters in.
+    pub(crate) fn absorb(&mut self, t: &TileStats) {
+        self.instructions += t.instructions;
+        self.loads += t.loads;
+        self.stores += t.stores;
+        self.l1_hits += t.l1_hits;
+        self.l1_misses += t.l1_misses;
+        self.l2_hits += t.l2_hits;
+        self.l2_misses += t.l2_misses;
+        self.miss_latency.merge(&t.miss_latency);
+        self.stale_forwards += t.stale_forwards;
+    }
+}
+
+impl FullSysStats {
+    /// Instructions per cycle across the whole machine.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.tiles.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 miss ratio over all memory operations.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        let accesses = self.tiles.l1_hits + self.tiles.l1_misses;
+        if accesses == 0 {
+            0.0
+        } else {
+            self.tiles.l1_misses as f64 / accesses as f64
+        }
+    }
+
+    /// Total network messages injected.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_by_class.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty_and_populated() {
+        let mut s = FullSysStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.l1_miss_ratio(), 0.0);
+        s.cycles = 100;
+        s.tiles.instructions = 250;
+        s.tiles.l1_hits = 30;
+        s.tiles.l1_misses = 10;
+        s.messages_by_class = [5, 4, 1];
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.l1_miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(s.total_messages(), 10);
+    }
+}

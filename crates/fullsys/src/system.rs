@@ -1,0 +1,349 @@
+//! The assembled full system, generic over the network implementation.
+
+use std::collections::HashMap;
+
+use ra_sim::{Cycle, NetMessage, Network, NodeId, SimError};
+
+use crate::config::FullSysConfig;
+use crate::protocol::ProtoMsg;
+use crate::stats::FullSysStats;
+use crate::tile::{OutMsg, Tile};
+use crate::workload::Workload;
+
+/// Cycles without any instruction progress before the watchdog gives up.
+const WATCHDOG_CYCLES: u64 = 500_000;
+
+/// The coarse-grain full-system simulator: a grid of tiles exchanging
+/// coherence-protocol messages over any [`Network`] implementation.
+///
+/// Being generic over `N` is the crux of the co-simulation methodology:
+/// the *same* full system runs against an abstract latency model, the
+/// cycle-level NoC, or the reciprocal-abstraction coupler, so accuracy
+/// differences are attributable purely to the network abstraction.
+///
+/// # Example
+///
+/// ```
+/// use ra_fullsys::{FullSysConfig, FullSystem};
+/// use ra_fullsys::workload::{SyntheticParams, SyntheticWorkload};
+/// use ra_netmodel::{AbstractNetwork, HopLatency, HopMetric};
+///
+/// let cfg = FullSysConfig::new(4, 4);
+/// let net = AbstractNetwork::new(
+///     HopLatency::default(),
+///     HopMetric::Mesh(cfg.shape),
+///     16,
+/// );
+/// let workload = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 1);
+/// let mut sys = FullSystem::new(cfg, net, workload)?;
+/// sys.run_cycles(2_000);
+/// assert!(sys.stats().tiles.instructions > 0);
+/// # Ok::<(), ra_sim::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct FullSystem<N, W> {
+    cfg: FullSysConfig,
+    tiles: Vec<Tile>,
+    net: N,
+    workload: W,
+    now: u64,
+    payloads: HashMap<u64, ProtoMsg>,
+    next_msg_id: u64,
+    out: Vec<OutMsg>,
+    stats: FullSysStats,
+}
+
+impl<N: Network, W: Workload> FullSystem<N, W> {
+    /// Builds a system over `net` running `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error if it is inconsistent.
+    pub fn new(cfg: FullSysConfig, net: N, workload: W) -> Result<Self, ra_sim::ConfigError> {
+        cfg.validate()?;
+        let tiles = (0..cfg.tiles() as u16).map(|id| Tile::new(id, &cfg)).collect();
+        Ok(FullSystem {
+            cfg,
+            tiles,
+            net,
+            workload,
+            now: 0,
+            payloads: HashMap::new(),
+            next_msg_id: 0,
+            out: Vec::new(),
+            stats: FullSysStats::default(),
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FullSysConfig {
+        &self.cfg
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &N {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network (calibration hooks).
+    pub fn network_mut(&mut self) -> &mut N {
+        &mut self.net
+    }
+
+    /// The workload driving the cores.
+    pub fn workload(&self) -> &W {
+        &self.workload
+    }
+
+    /// A snapshot of aggregate statistics (tile counters are folded in on
+    /// demand).
+    pub fn stats(&self) -> FullSysStats {
+        let mut stats = self.stats.clone();
+        stats.tiles = Default::default();
+        for tile in &self.tiles {
+            stats.tiles.absorb(&tile.stats);
+        }
+        stats
+    }
+
+    /// Total instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.tiles.iter().map(|t| t.stats.instructions).sum()
+    }
+
+    /// Per-core retired instruction counts.
+    pub fn instructions_per_core(&self) -> Vec<u64> {
+        self.tiles.iter().map(|t| t.stats.instructions).collect()
+    }
+
+    /// Protocol messages still in flight (network plus payload table).
+    pub fn messages_in_flight(&self) -> usize {
+        self.net.in_flight()
+    }
+
+    /// Executes one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        // Deliver messages the network completed.
+        for d in self.net.drain_delivered(Cycle(now)) {
+            let proto = self
+                .payloads
+                .remove(&d.msg.id)
+                .expect("delivery without payload");
+            let src = d.msg.src.0 as u16;
+            self.tiles[d.msg.dst.index()].deliver(proto, src, now);
+        }
+        // Advance every tile; collect outgoing messages.
+        let tiles = &mut self.tiles;
+        let workload = &mut self.workload;
+        let out = &mut self.out;
+        let net = &mut self.net;
+        let payloads = &mut self.payloads;
+        let stats = &mut self.stats;
+        let cfg = &self.cfg;
+        let next_msg_id = &mut self.next_msg_id;
+        for tile in tiles.iter_mut() {
+            tile.cycle(now, workload, out);
+            let src = NodeId(u32::from(tile.id()));
+            for (dst, proto) in out.drain(..) {
+                let class = proto.kind.class();
+                let size = if proto.kind.carries_data() {
+                    cfg.data_bytes
+                } else {
+                    cfg.ctrl_bytes
+                };
+                let id = *next_msg_id;
+                *next_msg_id += 1;
+                payloads.insert(id, proto);
+                stats.messages_by_class[class.vnet()] += 1;
+                net.inject(
+                    NetMessage::new(id, src, NodeId(u32::from(dst)), class, size),
+                    Cycle(now),
+                );
+            }
+        }
+        // Let the network simulate this cycle.
+        self.net.tick(Cycle(now));
+        self.stats.cycles += 1;
+        self.now += 1;
+    }
+
+    /// Runs exactly `cycles` cycles.
+    pub fn run_cycles(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until every core has retired at least `per_core` instructions.
+    ///
+    /// Returns the number of cycles elapsed (the *target execution time* —
+    /// the quantity figure F4 compares across network abstractions).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Timeout`] if `budget` cycles pass first;
+    /// * [`SimError::Invariant`] if no instruction retires for a prolonged
+    ///   period (protocol deadlock).
+    pub fn run_until_instructions(&mut self, per_core: u64, budget: u64) -> Result<u64, SimError> {
+        let start_cycle = self.now;
+        let mut last_progress = (self.now, self.instructions());
+        loop {
+            if self.tiles.iter().all(|t| t.stats.instructions >= per_core) {
+                return Ok(self.now - start_cycle);
+            }
+            if self.now - start_cycle > budget {
+                return Err(SimError::Timeout {
+                    budget,
+                    waiting_for: format!("{per_core} instructions per core"),
+                });
+            }
+            let instr = self.instructions();
+            if instr > last_progress.1 {
+                last_progress = (self.now, instr);
+            } else if self.now - last_progress.0 > WATCHDOG_CYCLES {
+                return Err(SimError::Invariant(format!(
+                    "no instruction progress for {WATCHDOG_CYCLES} cycles \
+                     ({} messages in flight)",
+                    self.net.in_flight()
+                )));
+            }
+            self.step();
+        }
+    }
+
+    /// Decomposes the system, returning the network (e.g. to read final
+    /// statistics from a cycle-level NoC).
+    pub fn into_network(self) -> N {
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Op, ScriptedWorkload, SyntheticParams, SyntheticWorkload};
+    use ra_netmodel::{AbstractNetwork, FixedLatency, HopLatency, HopMetric};
+    use ra_noc::{NocConfig, NocNetwork};
+
+    fn hop_net(cfg: &FullSysConfig) -> AbstractNetwork<HopLatency> {
+        AbstractNetwork::new(HopLatency::default(), HopMetric::Mesh(cfg.shape), 16)
+    }
+
+    #[test]
+    fn cores_make_progress_on_abstract_network() {
+        let cfg = FullSysConfig::new(4, 4);
+        let net = hop_net(&cfg);
+        let w = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 1);
+        let mut sys = FullSystem::new(cfg, net, w).unwrap();
+        let cycles = sys.run_until_instructions(200, 200_000).unwrap();
+        assert!(cycles > 0);
+        let stats = sys.stats();
+        assert!(stats.tiles.instructions >= 200 * 16);
+        assert!(stats.total_messages() > 0, "misses must generate traffic");
+        assert!(stats.tiles.miss_latency.count() > 0);
+    }
+
+    #[test]
+    fn cores_make_progress_on_cycle_level_noc() {
+        let cfg = FullSysConfig::new(4, 4);
+        let net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        let w = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 1);
+        let mut sys = FullSystem::new(cfg, net, w).unwrap();
+        let cycles = sys.run_until_instructions(100, 400_000).unwrap();
+        assert!(cycles > 0);
+        let noc = sys.into_network();
+        assert!(noc.stats().delivered > 0);
+        assert_eq!(
+            noc.stats().injected - noc.stats().delivered,
+            noc.in_flight() as u64
+        );
+    }
+
+    #[test]
+    fn network_latency_slows_execution() {
+        // The same workload on a slower network must take longer: the
+        // timing feedback loop the co-simulation methodology relies on.
+        fn runtime(latency: u64) -> u64 {
+            let cfg = FullSysConfig::new(4, 4);
+            let net = AbstractNetwork::new(
+                FixedLatency::new(latency),
+                HopMetric::Mesh(cfg.shape),
+                16,
+            );
+            let w = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 1);
+            let mut sys = FullSystem::new(cfg, net, w).unwrap();
+            sys.run_until_instructions(200, 1_000_000).unwrap()
+        }
+        let fast = runtime(5);
+        let slow = runtime(50);
+        assert!(
+            slow as f64 > fast as f64 * 1.2,
+            "network latency must throttle the cores (fast {fast}, slow {slow})"
+        );
+    }
+
+    #[test]
+    fn scripted_single_load_round_trip() {
+        let cfg = FullSysConfig::new(2, 2);
+        let net = hop_net(&cfg);
+        let mut scripts = vec![vec![]; 4];
+        scripts[1] = vec![Op::Load(0)];
+        let w = ScriptedWorkload::new(scripts);
+        let mut sys = FullSystem::new(cfg, net, w).unwrap();
+        sys.run_cycles(500);
+        let stats = sys.stats();
+        assert_eq!(stats.tiles.loads, 1);
+        assert_eq!(stats.tiles.l1_misses, 1);
+        // GetS + MemRead requests, MemData + DataS responses.
+        assert!(stats.messages_by_class[0] >= 2);
+        assert!(stats.messages_by_class[1] >= 2);
+    }
+
+    #[test]
+    fn sharing_generates_coherence_traffic() {
+        let cfg = FullSysConfig::new(2, 2);
+        let net = hop_net(&cfg);
+        // All four cores hammer the same line with stores.
+        let scripts = (0..4)
+            .map(|_| vec![Op::Store(0), Op::Compute(50), Op::Store(0), Op::Compute(50), Op::Store(0)])
+            .collect();
+        let w = ScriptedWorkload::new(scripts);
+        let mut sys = FullSystem::new(cfg, net, w).unwrap();
+        sys.run_cycles(3_000);
+        let stats = sys.stats();
+        assert!(
+            stats.messages_by_class[ra_sim::MessageClass::Coherence.vnet()] > 0,
+            "contended stores must produce invalidations/forwards"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn run() -> (u64, u64) {
+            let cfg = FullSysConfig::new(4, 4);
+            let net = hop_net(&cfg);
+            let w = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 9);
+            let mut sys = FullSystem::new(cfg, net, w).unwrap();
+            sys.run_cycles(5_000);
+            let s = sys.stats();
+            (s.tiles.instructions, s.total_messages())
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn watchdog_times_out_on_tiny_budget() {
+        let cfg = FullSysConfig::new(4, 4);
+        let net = hop_net(&cfg);
+        let w = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 1);
+        let mut sys = FullSystem::new(cfg, net, w).unwrap();
+        let err = sys.run_until_instructions(u64::MAX, 100).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }));
+    }
+}

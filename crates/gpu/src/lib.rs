@@ -1,0 +1,354 @@
+//! Data-parallel execution engine for the cycle-level NoC.
+//!
+//! The paper offloads its cycle-level network simulator to a GPU coprocessor:
+//! router state lives in device memory and every simulated cycle is a pair of
+//! bulk-synchronous data-parallel kernel launches. This crate reproduces that
+//! execution structure on host threads (see DESIGN.md for the substitution
+//! argument): a persistent worker pool executes the *compute* phase of all
+//! routers in parallel (reads of the shared wire state are immutable), hits a
+//! barrier, executes the *send* phase on disjoint per-router wire chunks,
+//! hits a second barrier, and hands control back to the (sequential)
+//! co-simulation loop — exactly a kernel-launch/sync cadence.
+//!
+//! Because the phase contract of [`ra_noc::Router`] guarantees that compute
+//! only writes router-local state and send only writes router-owned wires,
+//! the parallel schedule produces **bit-identical results** to the serial
+//! engine (tested here and in the workspace integration tests).
+//!
+//! # Example
+//!
+//! ```
+//! use ra_gpu::ParallelEngine;
+//! use ra_noc::{NocConfig, NocNetwork};
+//! use ra_sim::{Cycle, MessageClass, NetMessage, Network, NodeId};
+//!
+//! let mut net = NocNetwork::new(NocConfig::new(4, 4))?;
+//! let mut engine = ParallelEngine::new(2);
+//! net.inject(
+//!     NetMessage::new(0, NodeId(0), NodeId(15), MessageClass::Request, 8),
+//!     Cycle(0),
+//! );
+//! engine.run_cycles(&mut net, 100);
+//! assert_eq!(net.stats().delivered, 1);
+//! # Ok::<(), ra_sim::ConfigError>(())
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+
+use parking_lot::RwLock;
+use ra_noc::{Flit, NocNetwork, Router, TopologyMap, Wire, Wires};
+
+/// A snapshot of the raw pointers a cycle's phases operate on.
+///
+/// Written by the coordinating thread before the start barrier of each
+/// cycle; read by workers strictly between the start and end barriers, while
+/// the coordinator is blocked — that barrier discipline is what makes the
+/// aliasing sound.
+#[derive(Clone, Copy)]
+struct Job {
+    routers: *mut Router,
+    n_routers: usize,
+    topo: *const TopologyMap,
+    wires: *const Wires,
+    flit_wires: *mut Wire<Flit>,
+    credit_wires: *mut Wire<u8>,
+    ports: usize,
+    now: u64,
+}
+
+impl Job {
+    const fn empty() -> Self {
+        Job {
+            routers: std::ptr::null_mut(),
+            n_routers: 0,
+            topo: std::ptr::null(),
+            wires: std::ptr::null(),
+            flit_wires: std::ptr::null_mut(),
+            credit_wires: std::ptr::null_mut(),
+            ports: 0,
+            now: 0,
+        }
+    }
+}
+
+// SAFETY: the pointers are only dereferenced by workers between the start
+// and end barriers of a cycle, while the owning &mut NocNetwork is pinned on
+// the coordinating thread inside `run_cycle`, and each worker touches a
+// disjoint router/wire range (see `range_of`).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct SharedState {
+    start: Barrier,
+    mid: Barrier,
+    end: Barrier,
+    job: RwLock<Job>,
+    shutdown: AtomicBool,
+}
+
+/// The contiguous router range worker `w` of `n` owns.
+fn range_of(worker: usize, workers: usize, routers: usize) -> std::ops::Range<usize> {
+    let per = routers.div_ceil(workers.max(1));
+    let lo = (worker * per).min(routers);
+    let hi = ((worker + 1) * per).min(routers);
+    lo..hi
+}
+
+/// A persistent bulk-synchronous worker pool executing NoC cycles.
+///
+/// Construction spawns the pool; dropping the engine shuts it down. One
+/// engine can drive many networks over its lifetime (only one at a time).
+pub struct ParallelEngine {
+    shared: Arc<SharedState>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for ParallelEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelEngine")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl ParallelEngine {
+    /// Spawns a pool of `workers` threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(SharedState {
+            start: Barrier::new(workers + 1),
+            mid: Barrier::new(workers + 1),
+            end: Barrier::new(workers + 1),
+            job: RwLock::new(Job::empty()),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("noc-worker-{w}"))
+                    .spawn(move || worker_loop(w, workers, &shared))
+                    .expect("spawn NoC worker")
+            })
+            .collect();
+        ParallelEngine {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes exactly one cycle of `net` on the pool.
+    pub fn run_cycle(&mut self, net: &mut NocNetwork) {
+        {
+            let (now, topo, routers, wires) = net.parts();
+            let job = Job {
+                routers: routers.as_mut_ptr(),
+                n_routers: routers.len(),
+                topo,
+                wires,
+                flit_wires: wires.flits.as_mut_ptr(),
+                credit_wires: wires.credits.as_mut_ptr(),
+                ports: wires.ports() as usize,
+                now,
+            };
+            *self.shared.job.write() = job;
+            self.shared.start.wait();
+            // Workers run phase_compute, then phase_send, while we wait.
+            self.shared.mid.wait();
+            self.shared.end.wait();
+        }
+        net.finish_cycle();
+    }
+
+    /// Runs `cycles` consecutive cycles.
+    pub fn run_cycles(&mut self, net: &mut NocNetwork, cycles: u64) {
+        for _ in 0..cycles {
+            self.run_cycle(net);
+        }
+    }
+
+    /// Runs until the network drains (every in-flight message delivered).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ra_sim::SimError::Timeout`] if `budget` cycles elapse
+    /// first.
+    pub fn run_until_drained(
+        &mut self,
+        net: &mut NocNetwork,
+        budget: u64,
+    ) -> Result<(), ra_sim::SimError> {
+        use ra_sim::Network;
+        let start = net.next_cycle();
+        while net.in_flight() > 0 {
+            if net.next_cycle() - start > budget {
+                return Err(ra_sim::SimError::Timeout {
+                    budget,
+                    waiting_for: format!("{} in-flight messages", net.in_flight()),
+                });
+            }
+            self.run_cycle(net);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ParallelEngine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Release the workers from the start barrier so they can observe
+        // the shutdown flag and exit.
+        self.shared.start.wait();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(worker: usize, workers: usize, shared: &SharedState) {
+    loop {
+        shared.start.wait();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let job = *shared.job.read();
+        let range = range_of(worker, workers, job.n_routers);
+        // SAFETY: `range` is disjoint across workers; the coordinator holds
+        // the &mut NocNetwork and is parked on the barriers, so no other
+        // aliasing access exists. `topo` and `wires` are only read.
+        unsafe {
+            let topo = &*job.topo;
+            let wires = &*job.wires;
+            for r in range.clone() {
+                (*job.routers.add(r)).phase_compute(topo, wires, job.now);
+            }
+        }
+        shared.mid.wait();
+        // SAFETY: each router writes only its own `ports`-sized wire chunk;
+        // chunks are disjoint because router ranges are disjoint.
+        unsafe {
+            for r in range {
+                let router = &mut *job.routers.add(r);
+                let fw =
+                    std::slice::from_raw_parts_mut(job.flit_wires.add(r * job.ports), job.ports);
+                let cw =
+                    std::slice::from_raw_parts_mut(job.credit_wires.add(r * job.ports), job.ports);
+                router.phase_send(fw, cw, job.now);
+            }
+        }
+        shared.end.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_noc::{InjectionProcess, NocConfig, TrafficGen, TrafficPattern};
+    use ra_sim::{Cycle, Network};
+
+    #[test]
+    fn range_partition_covers_everything_disjointly() {
+        for workers in 1..6 {
+            for routers in [0usize, 1, 5, 16, 17, 64] {
+                let mut covered = vec![false; routers];
+                for w in 0..workers {
+                    for i in range_of(w, workers, routers) {
+                        assert!(!covered[i], "overlap at {i}");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "gap for {workers}/{routers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_delivers_traffic() {
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        let mut engine = ParallelEngine::new(3);
+        let mut gen = TrafficGen::new(
+            4,
+            4,
+            TrafficPattern::Uniform,
+            InjectionProcess::Bernoulli { rate: 0.05 },
+            1,
+        );
+        for now in 0..2_000u64 {
+            gen.inject_cycle(&mut net, Cycle(now));
+            engine.run_cycle(&mut net);
+        }
+        engine.run_until_drained(&mut net, 100_000).unwrap();
+        assert_eq!(net.stats().injected, gen.injected());
+        assert_eq!(net.stats().delivered, gen.injected());
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        fn run(parallel: Option<usize>) -> (u64, f64, f64) {
+            let mut net = NocNetwork::new(NocConfig::new(8, 8)).unwrap();
+            let mut gen = TrafficGen::new(
+                8,
+                8,
+                TrafficPattern::Transpose,
+                InjectionProcess::Bernoulli { rate: 0.08 },
+                3,
+            );
+            let mut engine = parallel.map(ParallelEngine::new);
+            for now in 0..3_000u64 {
+                gen.inject_cycle(&mut net, Cycle(now));
+                match engine.as_mut() {
+                    Some(e) => e.run_cycle(&mut net),
+                    None => net.tick(Cycle(now)),
+                }
+            }
+            let s = net.stats();
+            (s.delivered, s.latency.mean(), s.net_latency.mean())
+        }
+        let serial = run(None);
+        for workers in [1, 2, 4] {
+            assert_eq!(run(Some(workers)), serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn engine_survives_multiple_networks() {
+        let mut engine = ParallelEngine::new(2);
+        for seed in 0..3 {
+            let mut net = NocNetwork::new(NocConfig::new(4, 4).with_seed(seed)).unwrap();
+            let mut gen = TrafficGen::new(
+                4,
+                4,
+                TrafficPattern::Uniform,
+                InjectionProcess::Bernoulli { rate: 0.03 },
+                seed,
+            );
+            for now in 0..500u64 {
+                gen.inject_cycle(&mut net, Cycle(now));
+                engine.run_cycle(&mut net);
+            }
+            engine.run_until_drained(&mut net, 50_000).unwrap();
+            assert_eq!(net.stats().delivered, gen.injected());
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let engine = ParallelEngine::new(0);
+        assert_eq!(engine.workers(), 1);
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let engine = ParallelEngine::new(4);
+        drop(engine); // must not hang or panic
+    }
+}

@@ -1,0 +1,267 @@
+//! The reciprocal-abstraction calibrated model.
+
+use ra_sim::{LatencyTable, MessageClass, NetMessage};
+
+use crate::models::{HopLatency, LatencyModel, LoadContext};
+
+/// Abstract latency model whose parameters are re-fitted online from the
+/// cycle-level NoC's measurements.
+///
+/// This is the "abstraction" the detailed component hands back to the
+/// full-system simulator in reciprocal-abstraction co-simulation. Between
+/// calibration updates, predictions come from:
+///
+/// 1. a per-(class, hop-distance) table of exponentially smoothed measured
+///    latencies, when the cell has been observed;
+/// 2. otherwise, a per-class affine fit `a + b * hops` computed from the
+///    observed cells (weighted least squares by sample count);
+/// 3. otherwise (nothing measured yet for the class), a contention-free
+///    [`HopLatency`] prior.
+///
+/// Because the table is measured *under the actual full-system traffic*, it
+/// captures contention, burstiness, and hotspot effects that a static
+/// analytical model cannot — that is the entire accuracy argument of the
+/// paper.
+///
+/// # Example
+///
+/// ```
+/// use ra_netmodel::{CalibratedModel, LatencyModel, LoadContext};
+/// use ra_sim::{LatencyTable, MessageClass, NetMessage, NodeId};
+///
+/// let mut model = CalibratedModel::new(6, 0.5);
+/// let mut measured = LatencyTable::new(6);
+/// for _ in 0..100 {
+///     measured.record(MessageClass::Request, 3, 25.0);
+/// }
+/// model.update(&measured);
+/// let msg = NetMessage::new(0, NodeId(0), NodeId(3), MessageClass::Request, 8);
+/// let ctx = LoadContext { utilization: 0.0, hops: 3, flits: 1 };
+/// // The first observation of a cell seeds it with the measured mean.
+/// let predicted = model.latency(&msg, &ctx);
+/// assert_eq!(predicted, 25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalibratedModel {
+    max_hops: usize,
+    /// Smoothing factor in `(0, 1]`: weight of fresh measurements.
+    blend: f64,
+    /// Smoothed latency per `[class][hops]`, NaN when never observed.
+    cells: Vec<f64>,
+    /// Affine fit `(intercept, slope)` per class, refreshed on update.
+    fits: Vec<(f64, f64)>,
+    /// Classes with at least one observation.
+    seen: Vec<bool>,
+    prior: HopLatency,
+    updates: u64,
+}
+
+impl CalibratedModel {
+    /// Creates an uncalibrated model for distances `0..=max_hops`.
+    ///
+    /// `blend` is the weight given to fresh measurements on each update
+    /// (0.5 = average old and new; 1.0 = replace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blend` is not in `(0, 1]`.
+    pub fn new(max_hops: usize, blend: f64) -> Self {
+        assert!(blend > 0.0 && blend <= 1.0, "blend must be in (0, 1]");
+        CalibratedModel {
+            max_hops,
+            blend,
+            cells: vec![f64::NAN; MessageClass::COUNT * (max_hops + 1)],
+            fits: vec![(0.0, 0.0); MessageClass::COUNT],
+            seen: vec![false; MessageClass::COUNT],
+            prior: HopLatency::default(),
+            updates: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, class: MessageClass, hops: usize) -> usize {
+        class.vnet() * (self.max_hops + 1) + hops.min(self.max_hops)
+    }
+
+    /// Number of calibration updates applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Folds a quantum's worth of detailed-simulator measurements into the
+    /// model: smoothed per-cell, then per-class affine refit.
+    pub fn update(&mut self, measured: &LatencyTable) {
+        debug_assert_eq!(measured.max_hops(), self.max_hops, "table shape mismatch");
+        for class in MessageClass::ALL {
+            for hops in 0..=self.max_hops {
+                let cell = measured.cell(class, hops);
+                if cell.is_empty() {
+                    continue;
+                }
+                self.seen[class.vnet()] = true;
+                let idx = self.idx(class, hops);
+                let old = self.cells[idx];
+                self.cells[idx] = if old.is_nan() {
+                    cell.mean()
+                } else {
+                    old * (1.0 - self.blend) + cell.mean() * self.blend
+                };
+            }
+            self.refit(class);
+        }
+        self.updates += 1;
+    }
+
+    /// Weighted least-squares affine fit over this class's observed cells.
+    fn refit(&mut self, class: MessageClass) {
+        let base = class.vnet() * (self.max_hops + 1);
+        let points: Vec<(f64, f64)> = (0..=self.max_hops)
+            .filter_map(|h| {
+                let v = self.cells[base + h];
+                (!v.is_nan()).then_some((h as f64, v))
+            })
+            .collect();
+        if points.is_empty() {
+            return;
+        }
+        if points.len() == 1 {
+            // One point: keep the prior's slope, anchor the intercept.
+            let slope = (self.prior.router + self.prior.link) as f64;
+            self.fits[class.vnet()] = (points[0].1 - slope * points[0].0, slope);
+            return;
+        }
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < f64::EPSILON {
+            return;
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        self.fits[class.vnet()] = (intercept, slope);
+    }
+
+    /// The model's current estimate for `(class, hops)`, if observed.
+    pub fn cell_estimate(&self, class: MessageClass, hops: usize) -> Option<f64> {
+        let v = self.cells[self.idx(class, hops)];
+        (!v.is_nan()).then_some(v)
+    }
+}
+
+impl LatencyModel for CalibratedModel {
+    fn latency(&self, msg: &NetMessage, ctx: &LoadContext) -> u64 {
+        let idx = self.idx(msg.class, ctx.hops);
+        let cell = self.cells[idx];
+        if !cell.is_nan() {
+            return cell.round().max(1.0) as u64;
+        }
+        if self.seen[msg.class.vnet()] {
+            let (a, b) = self.fits[msg.class.vnet()];
+            let est = a + b * ctx.hops as f64;
+            let floor = self.prior.latency(msg, ctx) as f64;
+            return est.max(floor).round() as u64;
+        }
+        self.prior.latency(msg, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_sim::NodeId;
+
+    fn msg(class: MessageClass) -> NetMessage {
+        NetMessage::new(0, NodeId(0), NodeId(1), class, 8)
+    }
+
+    fn ctx(hops: usize) -> LoadContext {
+        LoadContext {
+            utilization: 0.0,
+            hops,
+            flits: 1,
+        }
+    }
+
+    #[test]
+    fn uncalibrated_model_uses_prior() {
+        let model = CalibratedModel::new(6, 0.5);
+        let prior = HopLatency::default();
+        assert_eq!(
+            model.latency(&msg(MessageClass::Request), &ctx(4)),
+            prior.latency(&msg(MessageClass::Request), &ctx(4))
+        );
+        assert_eq!(model.updates(), 0);
+    }
+
+    #[test]
+    fn observed_cells_dominate_predictions() {
+        let mut model = CalibratedModel::new(6, 1.0);
+        let mut t = LatencyTable::new(6);
+        t.record(MessageClass::Request, 3, 42.0);
+        model.update(&t);
+        assert_eq!(model.latency(&msg(MessageClass::Request), &ctx(3)), 42);
+        assert_eq!(model.cell_estimate(MessageClass::Request, 3), Some(42.0));
+    }
+
+    #[test]
+    fn blending_smooths_noise() {
+        let mut model = CalibratedModel::new(6, 0.5);
+        let mut t = LatencyTable::new(6);
+        t.record(MessageClass::Request, 2, 20.0);
+        model.update(&t);
+        let mut t2 = LatencyTable::new(6);
+        t2.record(MessageClass::Request, 2, 40.0);
+        model.update(&t2);
+        // 20 then blend 0.5 toward 40 -> 30.
+        assert_eq!(model.latency(&msg(MessageClass::Request), &ctx(2)), 30);
+        assert_eq!(model.updates(), 2);
+    }
+
+    #[test]
+    fn affine_fit_extrapolates_unseen_distances() {
+        let mut model = CalibratedModel::new(10, 1.0);
+        let mut t = LatencyTable::new(10);
+        // Observe latency = 10 + 5 * hops at distances 1..=4.
+        for h in 1..=4usize {
+            t.record(MessageClass::Response, h, 10.0 + 5.0 * h as f64);
+        }
+        model.update(&t);
+        let got = model.latency(&msg(MessageClass::Response), &ctx(8));
+        assert_eq!(got, 50, "extrapolation should follow the fitted line");
+    }
+
+    #[test]
+    fn extrapolation_never_undercuts_the_prior() {
+        let mut model = CalibratedModel::new(10, 1.0);
+        let mut t = LatencyTable::new(10);
+        // Pathological: single tiny measurement at distance 5.
+        t.record(MessageClass::Coherence, 5, 1.0);
+        model.update(&t);
+        let prior = HopLatency::default();
+        let got = model.latency(&msg(MessageClass::Coherence), &ctx(9));
+        assert!(got >= prior.latency(&msg(MessageClass::Coherence), &ctx(9)));
+    }
+
+    #[test]
+    fn classes_are_calibrated_independently() {
+        let mut model = CalibratedModel::new(6, 1.0);
+        let mut t = LatencyTable::new(6);
+        t.record(MessageClass::Request, 2, 100.0);
+        model.update(&t);
+        // Response class untouched: still the prior.
+        let prior = HopLatency::default();
+        assert_eq!(
+            model.latency(&msg(MessageClass::Response), &ctx(2)),
+            prior.latency(&msg(MessageClass::Response), &ctx(2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "blend must be in")]
+    fn zero_blend_is_rejected() {
+        CalibratedModel::new(4, 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Hop-distance metrics for abstract models.
+
+use ra_sim::{MeshShape, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// How an abstract model measures distance between endpoints.
+///
+/// Mirrors the distances of `ra-noc`'s topologies without depending on the
+/// cycle-level simulator (an integration test in the workspace root checks
+/// the two stay consistent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HopMetric {
+    /// Manhattan distance on a mesh of the given node shape.
+    Mesh(MeshShape),
+    /// Wrap-around distance on a torus.
+    Torus(MeshShape),
+    /// Concentrated mesh: distance between the routers serving each node.
+    CMesh {
+        /// Node grid shape.
+        shape: MeshShape,
+        /// Endpoints per router (divides the column count).
+        concentration: u32,
+    },
+}
+
+impl HopMetric {
+    /// Router-to-router hop count between two endpoints.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        match *self {
+            HopMetric::Mesh(shape) => shape.mesh_hops(src, dst),
+            HopMetric::Torus(shape) => shape.torus_hops(src, dst),
+            HopMetric::CMesh {
+                shape,
+                concentration,
+            } => {
+                let (sx, sy) = shape.coords(src);
+                let (dx, dy) = shape.coords(dst);
+                ((sx / concentration).abs_diff(dx / concentration) + sy.abs_diff(dy)) as usize
+            }
+        }
+    }
+
+    /// Largest hop distance in the network.
+    pub fn diameter(&self) -> usize {
+        match *self {
+            HopMetric::Mesh(shape) => shape.diameter(),
+            HopMetric::Torus(shape) => {
+                (shape.cols() as usize / 2) + (shape.rows() as usize / 2)
+            }
+            HopMetric::CMesh {
+                shape,
+                concentration,
+            } => (shape.cols() / concentration) as usize - 1 + shape.rows() as usize - 1,
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            HopMetric::Mesh(shape) | HopMetric::Torus(shape) => shape.nodes(),
+            HopMetric::CMesh { shape, .. } => shape.nodes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_metric_is_manhattan() {
+        let m = HopMetric::Mesh(MeshShape::new(4, 4).unwrap());
+        assert_eq!(m.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(m.diameter(), 6);
+        assert_eq!(m.nodes(), 16);
+    }
+
+    #[test]
+    fn torus_metric_wraps() {
+        let m = HopMetric::Torus(MeshShape::new(8, 8).unwrap());
+        assert_eq!(m.hops(NodeId(0), NodeId(7)), 1);
+        assert_eq!(m.diameter(), 8);
+    }
+
+    #[test]
+    fn cmesh_metric_shares_routers() {
+        let m = HopMetric::CMesh {
+            shape: MeshShape::new(8, 4).unwrap(),
+            concentration: 2,
+        };
+        assert_eq!(m.hops(NodeId(0), NodeId(1)), 0);
+        assert_eq!(m.hops(NodeId(0), NodeId(2)), 1);
+        assert_eq!(m.diameter(), 6);
+    }
+}

@@ -1,0 +1,49 @@
+//! Abstract network latency models.
+//!
+//! These are the *fast path* of reciprocal-abstraction co-simulation: instead
+//! of simulating flits through router pipelines, a model computes a delivery
+//! latency analytically and the message reappears after that many cycles.
+//! The crate provides the ladder of fidelity the evaluation compares:
+//!
+//! * [`FixedLatency`] — one constant for everything (the crudest baseline);
+//! * [`HopLatency`] — pipeline + serialization, contention-free (the
+//!   "abstract network model" of the paper's comparison);
+//! * [`QueueingLatency`] — hop model plus an M/D/1-style load term driven by
+//!   an online utilization estimate;
+//! * [`CalibratedModel`] — the *reciprocal* model: a per-(class, hop) table
+//!   continuously re-fitted from the cycle-level NoC's measurements, with an
+//!   affine per-class fallback for unobserved distances.
+//!
+//! Every model is wrapped in an [`AbstractNetwork`], which implements
+//! [`ra_sim::Network`] so it is interchangeable with the cycle-level
+//! simulator from the full system's point of view.
+//!
+//! # Example
+//!
+//! ```
+//! use ra_netmodel::{AbstractNetwork, HopLatency, HopMetric};
+//! use ra_sim::{Cycle, MessageClass, MeshShape, NetMessage, Network, NodeId};
+//!
+//! let shape = MeshShape::new(4, 4)?;
+//! let model = HopLatency::default();
+//! let mut net = AbstractNetwork::new(model, HopMetric::Mesh(shape), 16);
+//! net.inject(
+//!     NetMessage::new(0, NodeId(0), NodeId(15), MessageClass::Request, 8),
+//!     Cycle(0),
+//! );
+//! net.tick(Cycle(100));
+//! let out = net.drain_delivered(Cycle(100));
+//! assert_eq!(out.len(), 1);
+//! assert_eq!(out[0].at, Cycle(20)); // 2 + 3 cycles/hop * 6 hops
+//! # Ok::<(), ra_sim::ConfigError>(())
+//! ```
+
+pub mod calibrated;
+pub mod hop;
+pub mod models;
+pub mod network;
+
+pub use calibrated::CalibratedModel;
+pub use hop::HopMetric;
+pub use models::{FixedLatency, HopLatency, LatencyModel, LoadContext, QueueingLatency};
+pub use network::AbstractNetwork;

@@ -1,0 +1,255 @@
+//! NoC configuration.
+
+use ra_sim::{ConfigError, MeshShape};
+use serde::{Deserialize, Serialize};
+
+/// Network topology of the cycle-level NoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// 2-D mesh; XY routing is deadlock-free with a single VC class.
+    Mesh,
+    /// 2-D torus with wrap-around links; deadlock freedom via dateline VC
+    /// classes (requires an even number of VCs per virtual network).
+    Torus,
+    /// Concentrated mesh: `concentration` nodes share each router.
+    CMesh {
+        /// Endpoints attached to every router (e.g. 4 for a 2x2 block).
+        concentration: u32,
+    },
+}
+
+/// Routing algorithm for 2-D topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Routing {
+    /// Dimension-order: X first, then Y. Deadlock-free on a mesh.
+    #[default]
+    Xy,
+    /// Dimension-order: Y first, then X.
+    Yx,
+    /// O1TURN: each packet picks XY or YX uniformly at random, which
+    /// balances load across the two dimension orders. Requires the VC set of
+    /// each virtual network to be split between the two orders for deadlock
+    /// freedom; this implementation dedicates even VCs to XY and odd VCs to
+    /// YX.
+    O1Turn,
+}
+
+/// Complete configuration of the cycle-level NoC.
+///
+/// Construct with [`NocConfig::new`] and customize via the `with_*` methods,
+/// then validate/build a network with
+/// [`NocNetwork::new`](crate::NocNetwork::new).
+///
+/// # Example
+///
+/// ```
+/// use ra_noc::{NocConfig, Routing, TopologyKind};
+///
+/// let cfg = NocConfig::new(8, 8)
+///     .with_vcs_per_vnet(4)
+///     .with_vc_depth(4)
+///     .with_routing(Routing::Xy);
+/// assert_eq!(cfg.shape.nodes(), 64);
+/// cfg.validate().expect("valid configuration");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Node grid shape (for CMesh this is the *node* grid; the router grid
+    /// is derived by dividing columns by the concentration).
+    pub shape: MeshShape,
+    /// Topology kind.
+    pub topology: TopologyKind,
+    /// Routing algorithm.
+    pub routing: Routing,
+    /// Virtual channels per virtual network (message class).
+    pub vcs_per_vnet: u32,
+    /// Buffer depth of each VC, in flits.
+    pub vc_depth: u32,
+    /// Link width: bytes carried per flit.
+    pub flit_bytes: u32,
+    /// Link traversal latency in cycles (>= 1).
+    pub link_latency: u32,
+    /// Seed for allocator/routing randomness (O1TURN packet coin flips).
+    pub seed: u64,
+}
+
+impl NocConfig {
+    /// Creates a configuration for a `cols x rows` mesh with the defaults
+    /// used throughout the evaluation: 4 VCs x 4 flits per virtual network,
+    /// 16-byte flits, 1-cycle links, XY routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero (use [`MeshShape::new`] directly
+    /// for fallible construction).
+    pub fn new(cols: u32, rows: u32) -> Self {
+        NocConfig {
+            shape: MeshShape::new(cols, rows).expect("mesh dimensions must be positive"),
+            topology: TopologyKind::Mesh,
+            routing: Routing::Xy,
+            vcs_per_vnet: 4,
+            vc_depth: 4,
+            flit_bytes: 16,
+            link_latency: 1,
+            seed: 0,
+        }
+    }
+
+    /// Sets the topology.
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the routing algorithm.
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the number of VCs per virtual network.
+    pub fn with_vcs_per_vnet(mut self, vcs: u32) -> Self {
+        self.vcs_per_vnet = vcs;
+        self
+    }
+
+    /// Sets the per-VC buffer depth in flits.
+    pub fn with_vc_depth(mut self, depth: u32) -> Self {
+        self.vc_depth = depth;
+        self
+    }
+
+    /// Sets the flit width in bytes.
+    pub fn with_flit_bytes(mut self, bytes: u32) -> Self {
+        self.flit_bytes = bytes;
+        self
+    }
+
+    /// Sets the link latency in cycles.
+    pub fn with_link_latency(mut self, cycles: u32) -> Self {
+        self.link_latency = cycles;
+        self
+    }
+
+    /// Sets the randomness seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when:
+    ///
+    /// * any sizing parameter is zero;
+    /// * the topology is a torus and `vcs_per_vnet` is odd (the dateline
+    ///   scheme needs two VC classes);
+    /// * the routing is O1TURN and `vcs_per_vnet < 2` (each dimension order
+    ///   needs its own VCs);
+    /// * the topology is a CMesh whose concentration does not evenly divide
+    ///   the node grid columns and rows.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.vcs_per_vnet == 0 {
+            return Err(ConfigError::new("vcs_per_vnet must be positive"));
+        }
+        if self.vcs_per_vnet > 64 {
+            return Err(ConfigError::new("vcs_per_vnet must be <= 64"));
+        }
+        if self.vc_depth == 0 {
+            return Err(ConfigError::new("vc_depth must be positive"));
+        }
+        if self.flit_bytes == 0 {
+            return Err(ConfigError::new("flit_bytes must be positive"));
+        }
+        if self.link_latency == 0 {
+            return Err(ConfigError::new("link_latency must be at least 1 cycle"));
+        }
+        if matches!(self.topology, TopologyKind::Torus) && !self.vcs_per_vnet.is_multiple_of(2) {
+            return Err(ConfigError::new(
+                "torus dateline deadlock avoidance needs an even vcs_per_vnet",
+            ));
+        }
+        if matches!(self.routing, Routing::O1Turn) && self.vcs_per_vnet < 2 {
+            return Err(ConfigError::new("O1TURN needs at least 2 VCs per vnet"));
+        }
+        if matches!(self.routing, Routing::O1Turn)
+            && matches!(self.topology, TopologyKind::Torus)
+        {
+            return Err(ConfigError::new(
+                "O1TURN on a torus is unsupported (dateline and dimension-order \
+                 VC partitions conflict)",
+            ));
+        }
+        if let TopologyKind::CMesh { concentration } = self.topology {
+            if concentration == 0 {
+                return Err(ConfigError::new("concentration must be positive"));
+            }
+            if !self.shape.nodes().is_multiple_of(concentration as usize) {
+                return Err(ConfigError::new(format!(
+                    "concentration {concentration} must divide node count {}",
+                    self.shape.nodes()
+                )));
+            }
+            if !self.shape.cols().is_multiple_of(concentration) {
+                return Err(ConfigError::new(format!(
+                    "concentration {concentration} must divide mesh columns {}",
+                    self.shape.cols()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(NocConfig::new(4, 4).validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert!(NocConfig::new(4, 4).with_vcs_per_vnet(0).validate().is_err());
+        assert!(NocConfig::new(4, 4).with_vc_depth(0).validate().is_err());
+        assert!(NocConfig::new(4, 4).with_flit_bytes(0).validate().is_err());
+        assert!(NocConfig::new(4, 4).with_link_latency(0).validate().is_err());
+    }
+
+    #[test]
+    fn torus_requires_even_vcs() {
+        let cfg = NocConfig::new(4, 4)
+            .with_topology(TopologyKind::Torus)
+            .with_vcs_per_vnet(3);
+        assert!(cfg.validate().is_err());
+        assert!(cfg.with_vcs_per_vnet(4).validate().is_ok());
+    }
+
+    #[test]
+    fn o1turn_requires_two_vcs() {
+        let cfg = NocConfig::new(4, 4)
+            .with_routing(Routing::O1Turn)
+            .with_vcs_per_vnet(1);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn o1turn_on_torus_is_rejected() {
+        let cfg = NocConfig::new(4, 4)
+            .with_routing(Routing::O1Turn)
+            .with_topology(TopologyKind::Torus);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn cmesh_concentration_must_divide() {
+        let bad = NocConfig::new(6, 4).with_topology(TopologyKind::CMesh { concentration: 4 });
+        assert!(bad.validate().is_err());
+        let good = NocConfig::new(8, 4).with_topology(TopologyKind::CMesh { concentration: 4 });
+        assert!(good.validate().is_ok());
+    }
+}

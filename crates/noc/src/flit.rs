@@ -1,0 +1,104 @@
+//! Flits: the unit of link transfer inside the cycle-level NoC.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an in-flight packet in the network's packet table.
+pub type PacketId = u32;
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit: carries routing information.
+    Head,
+    /// Interior flit.
+    Body,
+    /// Last flit: releases VCs as it drains.
+    Tail,
+    /// Single-flit packet: head and tail at once.
+    HeadTail,
+}
+
+impl FlitKind {
+    /// True for `Head` and `HeadTail`.
+    #[inline]
+    pub const fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True for `Tail` and `HeadTail`.
+    #[inline]
+    pub const fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// One flit travelling through the network.
+///
+/// Flits carry everything a router needs to process them (destination, vnet,
+/// routing metadata), so routers never consult shared packet state — a
+/// prerequisite for the data-parallel execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Owning packet.
+    pub pkt: PacketId,
+    /// Destination router index.
+    pub dst_router: u16,
+    /// Local (ejection) port at the destination router.
+    pub dst_local: u8,
+    /// Virtual network (message class).
+    pub vnet: u8,
+    /// Kind within the packet.
+    pub kind: FlitKind,
+    /// VC this flit occupies on the link it is currently traversing
+    /// (assigned by the upstream router's VC allocator).
+    pub vc: u8,
+    /// Torus dateline class (0 before crossing, 1 after).
+    pub class_bit: u8,
+    /// O1TURN dimension-order choice (0 = XY, 1 = YX), fixed at injection.
+    pub route_hint: u8,
+}
+
+/// Number of flits a packet of `size_bytes` occupies, plus kind of each.
+///
+/// Returns an iterator-friendly count; the head flit exists even for empty
+/// payloads.
+pub fn flit_kinds(flits: u32) -> impl Iterator<Item = FlitKind> {
+    debug_assert!(flits >= 1);
+    (0..flits).map(move |i| match (i == 0, i + 1 == flits) {
+        (true, true) => FlitKind::HeadTail,
+        (true, false) => FlitKind::Head,
+        (false, true) => FlitKind::Tail,
+        (false, false) => FlitKind::Body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flit_packet_is_head_tail() {
+        let kinds: Vec<_> = flit_kinds(1).collect();
+        assert_eq!(kinds, vec![FlitKind::HeadTail]);
+        assert!(FlitKind::HeadTail.is_head());
+        assert!(FlitKind::HeadTail.is_tail());
+    }
+
+    #[test]
+    fn multi_flit_packet_structure() {
+        let kinds: Vec<_> = flit_kinds(4).collect();
+        assert_eq!(
+            kinds,
+            vec![FlitKind::Head, FlitKind::Body, FlitKind::Body, FlitKind::Tail]
+        );
+        assert!(kinds[0].is_head() && !kinds[0].is_tail());
+        assert!(kinds[3].is_tail() && !kinds[3].is_head());
+        assert!(!kinds[1].is_head() && !kinds[1].is_tail());
+    }
+
+    #[test]
+    fn flit_is_small() {
+        // The parallel engine streams millions of these; keep them compact.
+        assert!(std::mem::size_of::<Flit>() <= 16);
+    }
+}

@@ -1,0 +1,61 @@
+//! Cycle-level network-on-chip simulator.
+//!
+//! `ra-noc` implements a classic virtual-channel wormhole NoC at flit and
+//! cycle granularity:
+//!
+//! * **Routers** ([`Router`]) with the canonical pipeline — route
+//!   computation, VC allocation, switch allocation, switch traversal — and
+//!   credit-based flow control;
+//! * **Topologies** ([`TopologyMap`]): 2-D mesh, 2-D torus (dateline VC
+//!   classes for deadlock freedom), and concentrated mesh;
+//! * **Routing** ([`Routing`]): XY, YX, and O1TURN dimension-order variants;
+//! * **Virtual networks**: one per [`MessageClass`](ra_sim::MessageClass),
+//!   so coherence-protocol messages cannot deadlock each other;
+//! * **Synthetic traffic** ([`traffic`]) for isolated (in-vacuum)
+//!   evaluation — the methodology the paper shows to be misleading;
+//! * Full [`NocStats`]: latency breakdowns, per-(class, hops) tables,
+//!   throughput and histograms.
+//!
+//! The per-cycle update is split into a *compute* phase (reads shared wires
+//! immutably) and a *send* phase (writes only the router's own wires), which
+//! lets `ra-gpu` execute the identical model bulk-synchronously across a
+//! worker pool — the stand-in for the paper's GPU coprocessor — with
+//! bit-identical results to the serial engine.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ra_noc::{NocConfig, NocNetwork};
+//! use ra_sim::{Cycle, MessageClass, NetMessage, Network, NodeId};
+//!
+//! let mut net = NocNetwork::new(NocConfig::new(4, 4))?;
+//! net.inject(
+//!     NetMessage::new(0, NodeId(0), NodeId(12), MessageClass::Request, 8),
+//!     Cycle(0),
+//! );
+//! net.run_until_drained(1_000).expect("drains");
+//! assert_eq!(net.stats().delivered, 1);
+//! # Ok::<(), ra_sim::ConfigError>(())
+//! ```
+
+pub mod config;
+pub mod deflection;
+pub mod flit;
+pub mod network;
+pub mod power;
+pub mod router;
+pub mod stats;
+pub mod topology;
+pub mod traffic;
+pub mod wire;
+
+pub use config::{NocConfig, Routing, TopologyKind};
+pub use deflection::{DeflectionConfig, DeflectionNetwork};
+pub use flit::{Flit, FlitKind, PacketId};
+pub use network::NocNetwork;
+pub use power::{EnergyBreakdown, EnergyParams};
+pub use router::Router;
+pub use stats::NocStats;
+pub use topology::{RouteDecision, TopologyMap};
+pub use traffic::{InjectionProcess, TrafficGen, TrafficPattern};
+pub use wire::{Wire, Wires};

@@ -1,0 +1,577 @@
+//! The assembled cycle-level network.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ra_sim::{Cycle, Delivery, NetMessage, Network, SimError};
+
+use crate::config::NocConfig;
+use crate::flit::PacketId;
+use crate::router::{PendingPacket, Router};
+use crate::stats::NocStats;
+use crate::topology::TopologyMap;
+use crate::wire::Wires;
+
+/// Cycles of total inactivity (with traffic in flight) after which the
+/// watchdog declares a deadlock.
+const WATCHDOG_CYCLES: u64 = 50_000;
+
+#[derive(Debug, Clone)]
+struct PacketInfo {
+    msg: NetMessage,
+    inject: u64,
+    net_start: u64,
+}
+
+/// An injection whose cycle has not been simulated yet. Ordered by
+/// `(cycle, seq)` so releases are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct QueuedInjection {
+    cycle: u64,
+    seq: u64,
+    src_router: u32,
+    src_local: u32,
+    vnet: u8,
+    pending: PendingPacket,
+}
+
+/// The cycle-level network-on-chip simulator.
+///
+/// Implements [`Network`], so it plugs into the full-system simulator and
+/// the co-simulation framework interchangeably with the abstract models.
+///
+/// # Example
+///
+/// ```
+/// use ra_noc::{NocConfig, NocNetwork};
+/// use ra_sim::{Cycle, MessageClass, NetMessage, Network, NodeId};
+///
+/// let mut net = NocNetwork::new(NocConfig::new(4, 4))?;
+/// net.inject(
+///     NetMessage::new(0, NodeId(0), NodeId(15), MessageClass::Request, 8),
+///     Cycle(0),
+/// );
+/// net.tick(Cycle(100));
+/// let delivered = net.drain_delivered(Cycle(100));
+/// assert_eq!(delivered.len(), 1);
+/// assert!(delivered[0].at > Cycle(0));
+/// # Ok::<(), ra_sim::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NocNetwork {
+    cfg: NocConfig,
+    topo: TopologyMap,
+    routers: Vec<Router>,
+    wires: Wires,
+    packets: Vec<Option<PacketInfo>>,
+    free: Vec<u32>,
+    future: BinaryHeap<Reverse<QueuedInjection>>,
+    inject_seq: u64,
+    delivered_out: Vec<Delivery>,
+    in_flight_count: usize,
+    next_cycle: u64,
+    idle_cycles: u64,
+    stats: NocStats,
+}
+
+impl NocNetwork {
+    /// Builds a network from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error if the configuration is inconsistent
+    /// (see [`NocConfig::validate`]).
+    pub fn new(cfg: NocConfig) -> Result<Self, ra_sim::ConfigError> {
+        cfg.validate()?;
+        let topo = TopologyMap::new(&cfg);
+        let routers = (0..topo.routers() as u32)
+            .map(|id| Router::new(id, &cfg, &topo, cfg.seed))
+            .collect::<Vec<_>>();
+        let wires = Wires::new(topo.routers(), topo.ports(), cfg.link_latency);
+        let stats = NocStats::new(topo.diameter());
+        Ok(NocNetwork {
+            cfg,
+            topo,
+            routers,
+            wires,
+            packets: Vec::new(),
+            free: Vec::new(),
+            future: BinaryHeap::new(),
+            inject_seq: 0,
+            delivered_out: Vec::new(),
+            in_flight_count: 0,
+            next_cycle: 0,
+            idle_cycles: 0,
+            stats,
+        })
+    }
+
+    /// The network's configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// The static topology map.
+    pub fn topology(&self) -> &TopologyMap {
+        &self.topo
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// The next cycle [`step`](NocNetwork::step) will execute.
+    pub fn next_cycle(&self) -> u64 {
+        self.next_cycle
+    }
+
+    /// Splits the network into the pieces a cycle execution engine needs:
+    /// `(cycle to execute, topology, routers, wires)`.
+    ///
+    /// An engine must, for the returned cycle `now`:
+    ///
+    /// 1. call [`Router::phase_compute`] on every router (any order, or in
+    ///    parallel — compute reads wires immutably and writes only the
+    ///    router's own state);
+    /// 2. call [`Router::phase_send`] on every router with the router's own
+    ///    contiguous wire chunks (`ports()` wires per router);
+    /// 3. call [`finish_cycle`](NocNetwork::finish_cycle) exactly once.
+    pub fn parts(&mut self) -> (u64, &TopologyMap, &mut [Router], &mut Wires) {
+        self.release_due_injections();
+        (
+            self.next_cycle,
+            &self.topo,
+            &mut self.routers,
+            &mut self.wires,
+        )
+    }
+
+    /// Moves injections whose cycle has arrived into their source NI.
+    fn release_due_injections(&mut self) {
+        while let Some(Reverse(q)) = self.future.peek() {
+            if q.cycle > self.next_cycle {
+                break;
+            }
+            let Reverse(q) = self.future.pop().expect("peeked");
+            self.routers[q.src_router as usize].enqueue_packet(
+                q.src_local,
+                usize::from(q.vnet),
+                q.pending,
+            );
+        }
+    }
+
+    /// Completes the cycle started by [`parts`](NocNetwork::parts):
+    /// collects deliveries and statistics and advances the clock.
+    pub fn finish_cycle(&mut self) {
+        let now = self.next_cycle;
+        let mut any_active = false;
+        for router in &mut self.routers {
+            any_active |= router.stats.active;
+            for (pkt, at) in router.net_started.drain(..) {
+                let info = self.packets[pkt as usize]
+                    .as_mut()
+                    .expect("net_started for unknown packet");
+                info.net_start = at;
+            }
+            for (pkt, at) in router.delivered.drain(..) {
+                let info = self.packets[pkt as usize]
+                    .take()
+                    .expect("delivery of unknown packet");
+                self.free.push(pkt);
+                self.in_flight_count -= 1;
+                let hops = self.topo.hops(info.msg.src, info.msg.dst);
+                let total = at - info.inject;
+                let net = at - info.net_start;
+                self.stats.record_delivery(
+                    info.msg.class,
+                    hops,
+                    total,
+                    net,
+                    info.msg.flits(self.cfg.flit_bytes),
+                );
+                self.delivered_out.push(Delivery {
+                    msg: info.msg,
+                    at: Cycle(at),
+                });
+            }
+        }
+        if any_active || self.in_flight() == 0 {
+            self.idle_cycles = 0;
+        } else {
+            self.idle_cycles += 1;
+        }
+        self.stats.cycles += 1;
+        self.next_cycle = now + 1;
+    }
+
+    /// Executes one cycle with the built-in serial engine.
+    pub fn step(&mut self) {
+        self.release_due_injections();
+        let (now, topo, routers, wires) = (
+            self.next_cycle,
+            &self.topo,
+            &mut self.routers,
+            &mut self.wires,
+        );
+        for router in routers.iter_mut() {
+            router.phase_compute(topo, wires, now);
+        }
+        let ports = wires.ports() as usize;
+        for (router, (fw, cw)) in routers
+            .iter_mut()
+            .zip(wires.flits.chunks_mut(ports).zip(wires.credits.chunks_mut(ports)))
+        {
+            router.phase_send(fw, cw, now);
+        }
+        self.finish_cycle();
+    }
+
+    /// Fast-forwards the clock without simulating, for windows known to
+    /// carry no traffic (sampled co-simulation).
+    ///
+    /// Skipped cycles are not counted in [`NocStats::cycles`]: they were
+    /// never simulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network still holds traffic (in-flight messages,
+    /// buffered flits, or queued injections due before `cycle`): skipping
+    /// over live traffic would corrupt timing.
+    pub fn skip_to(&mut self, cycle: u64) {
+        if cycle <= self.next_cycle {
+            return;
+        }
+        assert_eq!(self.in_flight(), 0, "cannot skip over in-flight traffic");
+        assert_eq!(self.buffered_flits(), 0, "cannot skip over buffered flits");
+        if let Some(Reverse(q)) = self.future.peek() {
+            assert!(
+                q.cycle >= cycle,
+                "cannot skip past a queued injection at cycle {}",
+                q.cycle
+            );
+        }
+        // The last deliveries' return credits may still be in flight on the
+        // wires; run the (traffic-free) network for one link round so every
+        // credit is absorbed before the jump — dropping one would leak a VC
+        // buffer slot permanently.
+        for _ in 0..=self.cfg.link_latency as u64 {
+            if self.next_cycle >= cycle {
+                return;
+            }
+            self.step();
+        }
+        // Ring slots retain consumed values until overwritten; after a
+        // clock jump a stale slot could re-align with a future read, so
+        // wipe them (everything live has now been consumed).
+        self.wires.clear();
+        self.next_cycle = cycle;
+    }
+
+    /// Runs until every in-flight message has been delivered.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Timeout`] if `budget` cycles elapse first;
+    /// * [`SimError::Invariant`] if the watchdog sees prolonged total
+    ///   inactivity with traffic in flight (a deadlock).
+    pub fn run_until_drained(&mut self, budget: u64) -> Result<(), SimError> {
+        let start = self.next_cycle;
+        while self.in_flight() > 0 {
+            if self.next_cycle - start > budget {
+                return Err(SimError::Timeout {
+                    budget,
+                    waiting_for: format!("{} in-flight messages", self.in_flight()),
+                });
+            }
+            if self.idle_cycles > WATCHDOG_CYCLES {
+                return Err(SimError::Invariant(format!(
+                    "network deadlock: {} messages stuck for {} cycles",
+                    self.in_flight(),
+                    self.idle_cycles
+                )));
+            }
+            self.step();
+        }
+        Ok(())
+    }
+
+    /// The routers (read-only; used by the energy model and diagnostics).
+    pub fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// Average utilization of inter-router links: flits carried per link per
+    /// cycle, over the whole run.
+    pub fn avg_link_utilization(&self) -> f64 {
+        if self.stats.cycles == 0 {
+            return 0.0;
+        }
+        let mut links = 0u64;
+        let mut flits = 0u64;
+        for router in &self.routers {
+            for port in 0..self.topo.ports() {
+                if self.topo.link_dst(router.id(), port).is_some() {
+                    links += 1;
+                    flits += router.event_counts().flits_out[port as usize];
+                }
+            }
+        }
+        if links == 0 {
+            return 0.0;
+        }
+        flits as f64 / links as f64 / self.stats.cycles as f64
+    }
+
+    /// Total flits currently buffered inside routers (diagnostic).
+    pub fn buffered_flits(&self) -> usize {
+        self.routers.iter().map(Router::buffered_flits).sum()
+    }
+
+    fn alloc_packet(&mut self, info: PacketInfo) -> PacketId {
+        if let Some(id) = self.free.pop() {
+            self.packets[id as usize] = Some(info);
+            id
+        } else {
+            let id = self.packets.len() as PacketId;
+            self.packets.push(Some(info));
+            id
+        }
+    }
+}
+
+impl Network for NocNetwork {
+    fn inject(&mut self, msg: NetMessage, now: Cycle) {
+        debug_assert!(
+            now.0 >= self.next_cycle,
+            "inject into the past: now={} next={}",
+            now.0,
+            self.next_cycle
+        );
+        let (dst_router, dst_local) = self.topo.node_router(msg.dst);
+        let (src_router, src_local) = self.topo.node_router(msg.src);
+        let flits = msg.flits(self.cfg.flit_bytes);
+        let pkt = self.alloc_packet(PacketInfo {
+            msg,
+            inject: now.0,
+            net_start: now.0,
+        });
+        let pending = PendingPacket {
+            pkt,
+            dst_router: dst_router as u16,
+            dst_local: dst_local as u8,
+            flits,
+        };
+        if now.0 <= self.next_cycle {
+            self.routers[src_router as usize].enqueue_packet(src_local, msg.class.vnet(), pending);
+        } else {
+            // The network lags the injector (quantum-based co-simulation):
+            // hold the message until its cycle is simulated.
+            self.future.push(Reverse(QueuedInjection {
+                cycle: now.0,
+                seq: self.inject_seq,
+                src_router,
+                src_local,
+                vnet: msg.class.vnet() as u8,
+                pending,
+            }));
+            self.inject_seq += 1;
+        }
+        self.stats.injected += 1;
+        self.in_flight_count += 1;
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        while self.next_cycle <= now.0 {
+            self.step();
+        }
+    }
+
+    fn drain_delivered(&mut self, _now: Cycle) -> Vec<Delivery> {
+        std::mem::take(&mut self.delivered_out)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_flight_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_sim::{MessageClass, NodeId};
+
+    fn msg(id: u64, src: u32, dst: u32, class: MessageClass, bytes: u32) -> NetMessage {
+        NetMessage::new(id, NodeId(src), NodeId(dst), class, bytes)
+    }
+
+    #[test]
+    fn single_message_crosses_the_mesh() {
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        net.inject(msg(1, 0, 15, MessageClass::Request, 8), Cycle(0));
+        assert_eq!(net.in_flight(), 1);
+        net.run_until_drained(1_000).unwrap();
+        let out = net.drain_delivered(Cycle(net.next_cycle()));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].msg.id, 1);
+        // 6 hops; ~3 cycles of pipeline per router + 1 cycle per link.
+        let latency = out[0].at.0;
+        assert!(latency >= 6, "latency {latency} impossibly low");
+        assert!(latency <= 40, "latency {latency} suspiciously high");
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let mut short = NocNetwork::new(NocConfig::new(8, 8)).unwrap();
+        short.inject(msg(1, 0, 1, MessageClass::Request, 8), Cycle(0));
+        short.run_until_drained(1_000).unwrap();
+        let near = short.drain_delivered(Cycle(short.next_cycle()))[0].at.0;
+
+        let mut long = NocNetwork::new(NocConfig::new(8, 8)).unwrap();
+        long.inject(msg(1, 0, 63, MessageClass::Request, 8), Cycle(0));
+        long.run_until_drained(1_000).unwrap();
+        let far = long.drain_delivered(Cycle(long.next_cycle()))[0].at.0;
+        assert!(far > near, "far {far} <= near {near}");
+    }
+
+    #[test]
+    fn large_messages_take_longer_than_small() {
+        let mut small = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        small.inject(msg(1, 0, 15, MessageClass::Request, 8), Cycle(0));
+        small.run_until_drained(1_000).unwrap();
+        let s = small.drain_delivered(Cycle(small.next_cycle()))[0].at.0;
+
+        let mut big = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        big.inject(msg(1, 0, 15, MessageClass::Response, 72), Cycle(0));
+        big.run_until_drained(1_000).unwrap();
+        let b = big.drain_delivered(Cycle(big.next_cycle()))[0].at.0;
+        // 72 bytes = 5 flits: tail trails the head by 4 cycles.
+        assert_eq!(b, s + 4, "serialization latency mismatch (small {s}, big {b})");
+    }
+
+    #[test]
+    fn every_pair_delivers_on_all_topologies() {
+        use crate::config::{Routing, TopologyKind};
+        for cfg in [
+            NocConfig::new(4, 4),
+            NocConfig::new(4, 4).with_routing(Routing::Yx),
+            NocConfig::new(4, 4).with_routing(Routing::O1Turn),
+            NocConfig::new(4, 4).with_topology(TopologyKind::Torus),
+            NocConfig::new(8, 4).with_topology(TopologyKind::CMesh { concentration: 2 }),
+        ] {
+            let mut net = NocNetwork::new(cfg.clone()).unwrap();
+            let nodes = cfg.shape.nodes() as u32;
+            let mut id = 0;
+            for s in 0..nodes {
+                for d in 0..nodes {
+                    net.inject(msg(id, s, d, MessageClass::Request, 8), Cycle(0));
+                    id += 1;
+                }
+            }
+            net.run_until_drained(200_000)
+                .unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+            let out = net.drain_delivered(Cycle(net.next_cycle()));
+            assert_eq!(out.len(), id as usize, "lost messages for {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn deliveries_preserve_message_identity() {
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        for i in 0..10 {
+            net.inject(msg(100 + i, 0, 5, MessageClass::Coherence, 16), Cycle(0));
+        }
+        net.run_until_drained(10_000).unwrap();
+        let mut ids: Vec<_> = net
+            .drain_delivered(Cycle(net.next_cycle()))
+            .iter()
+            .map(|d| d.msg.id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_vc_messages_deliver_in_fifo_order() {
+        // Messages between the same pair on the same class must not overtake
+        // arbitrarily; at minimum all must arrive.
+        let mut net = NocNetwork::new(NocConfig::new(2, 2).with_vcs_per_vnet(1)).unwrap();
+        for i in 0..5 {
+            net.inject(msg(i, 0, 3, MessageClass::Request, 8), Cycle(0));
+        }
+        net.run_until_drained(10_000).unwrap();
+        let out = net.drain_delivered(Cycle(net.next_cycle()));
+        let ids: Vec<_> = out.iter().map(|d| d.msg.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4], "single-VC traffic must stay FIFO");
+    }
+
+    #[test]
+    fn stats_track_injected_and_delivered() {
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        for i in 0..20 {
+            net.inject(msg(i, (i % 16) as u32, ((i * 7) % 16) as u32, MessageClass::Request, 8), Cycle(0));
+        }
+        net.run_until_drained(10_000).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.injected, 20);
+        assert_eq!(stats.delivered, 20);
+        assert!(stats.avg_latency() > 0.0);
+        assert!(stats.avg_net_latency() <= stats.avg_latency());
+    }
+
+    #[test]
+    fn run_until_drained_times_out_on_tiny_budget() {
+        let mut net = NocNetwork::new(NocConfig::new(8, 8)).unwrap();
+        net.inject(msg(0, 0, 63, MessageClass::Request, 8), Cycle(0));
+        let err = net.run_until_drained(2).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }));
+    }
+
+    #[test]
+    fn tick_is_idempotent_for_past_cycles() {
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        net.tick(Cycle(10));
+        assert_eq!(net.next_cycle(), 11);
+        net.tick(Cycle(5)); // no-op: already past
+        assert_eq!(net.next_cycle(), 11);
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::*;
+    use crate::traffic::{InjectionProcess, TrafficGen, TrafficPattern};
+    use ra_sim::Cycle;
+
+    #[test]
+    fn link_utilization_tracks_offered_load() {
+        fn util(rate: f64) -> f64 {
+            let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+            let mut gen = TrafficGen::new(
+                4,
+                4,
+                TrafficPattern::Uniform,
+                InjectionProcess::Bernoulli { rate },
+                1,
+            );
+            gen.run(&mut net, 5_000);
+            net.avg_link_utilization()
+        }
+        assert_eq!(util(0.0), 0.0);
+        let low = util(0.02);
+        let high = util(0.08);
+        assert!(low > 0.0);
+        assert!(high > 2.0 * low, "utilization must scale with load");
+        assert!(high < 1.0, "cannot exceed one flit per link per cycle");
+    }
+
+    #[test]
+    fn idle_network_has_zero_utilization() {
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        net.tick(Cycle(100));
+        assert_eq!(net.avg_link_utilization(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Aggregate statistics of a cycle-level NoC run.
+
+use ra_sim::{Histogram, LatencyTable, MessageClass, Summary};
+
+/// Counters and distributions accumulated while a
+/// [`NocNetwork`](crate::NocNetwork) runs.
+///
+/// Latency is reported in two flavours:
+///
+/// * **total latency** — ejection cycle minus the cycle the message was
+///   offered to the network interface (includes source queuing);
+/// * **network latency** — ejection cycle minus the cycle the head flit
+///   actually entered the router pipeline.
+///
+/// The per-(class, hops) [`LatencyTable`] of network latencies is the
+/// measurement the reciprocal-abstraction calibration loop feeds on.
+#[derive(Debug, Clone)]
+pub struct NocStats {
+    /// Messages accepted via `inject`.
+    pub injected: u64,
+    /// Messages delivered to their destination NI.
+    pub delivered: u64,
+    /// Flits delivered (tail inclusive).
+    pub flits_delivered: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Total latency distribution.
+    pub latency: Summary,
+    /// Network-only latency distribution.
+    pub net_latency: Summary,
+    /// Source-queuing delay distribution.
+    pub queue_latency: Summary,
+    /// Total latency per message class.
+    pub class_latency: Vec<Summary>,
+    /// Network latency keyed by (class, hop distance) — the calibration
+    /// measurement.
+    pub table: LatencyTable,
+    /// Total latency histogram (4-cycle bins up to 1024 cycles).
+    pub hist: Histogram,
+}
+
+impl NocStats {
+    /// Creates empty statistics for a network of the given diameter.
+    pub fn new(diameter: usize) -> Self {
+        NocStats {
+            injected: 0,
+            delivered: 0,
+            flits_delivered: 0,
+            cycles: 0,
+            latency: Summary::new(),
+            net_latency: Summary::new(),
+            queue_latency: Summary::new(),
+            class_latency: vec![Summary::new(); MessageClass::COUNT],
+            table: LatencyTable::new(diameter),
+            hist: Histogram::new(4, 256),
+        }
+    }
+
+    /// Records one delivered message.
+    pub(crate) fn record_delivery(
+        &mut self,
+        class: MessageClass,
+        hops: usize,
+        total_latency: u64,
+        net_latency: u64,
+        flits: u32,
+    ) {
+        self.delivered += 1;
+        self.flits_delivered += u64::from(flits);
+        self.latency.record(total_latency as f64);
+        self.net_latency.record(net_latency as f64);
+        self.queue_latency
+            .record(total_latency.saturating_sub(net_latency) as f64);
+        self.class_latency[class.vnet()].record(total_latency as f64);
+        self.table.record(class, hops, net_latency as f64);
+        self.hist.record(total_latency);
+    }
+
+    /// Mean total packet latency in cycles (0 if nothing delivered).
+    pub fn avg_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Mean network-only latency in cycles.
+    pub fn avg_net_latency(&self) -> f64 {
+        self.net_latency.mean()
+    }
+
+    /// Accepted throughput in flits per cycle per node.
+    pub fn throughput(&self, nodes: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.flits_delivered as f64 / self.cycles as f64 / nodes as f64
+    }
+
+    /// Fraction of injected messages still in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.injected - self.delivered
+    }
+
+    /// Approximate latency percentile (e.g. `0.99`) from the histogram,
+    /// or `None` if nothing was delivered.
+    pub fn latency_percentile(&self, q: f64) -> Option<f64> {
+        self.hist.quantile(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_delivery_updates_all_views() {
+        let mut s = NocStats::new(6);
+        s.record_delivery(MessageClass::Request, 3, 20, 15, 1);
+        s.record_delivery(MessageClass::Response, 3, 40, 30, 5);
+        s.cycles = 100;
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.flits_delivered, 6);
+        assert!((s.avg_latency() - 30.0).abs() < 1e-12);
+        assert!((s.avg_net_latency() - 22.5).abs() < 1e-12);
+        assert!((s.queue_latency.mean() - 7.5).abs() < 1e-12);
+        assert_eq!(s.class_latency[MessageClass::Request.vnet()].count(), 1);
+        assert_eq!(s.table.cell(MessageClass::Response, 3).count(), 1);
+        assert!((s.throughput(4) - 6.0 / 100.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = NocStats::new(4);
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.throughput(16), 0.0);
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.latency_percentile(0.99), None);
+    }
+
+    #[test]
+    fn percentiles_order_correctly() {
+        let mut s = NocStats::new(4);
+        for latency in [10u64, 12, 14, 200] {
+            s.record_delivery(MessageClass::Request, 1, latency, latency, 1);
+        }
+        let p50 = s.latency_percentile(0.5).unwrap();
+        let p99 = s.latency_percentile(0.99).unwrap();
+        assert!(p50 < p99, "p50 {p50} must be below p99 {p99}");
+        assert!(p99 >= 190.0, "tail must be captured (p99 {p99})");
+    }
+}

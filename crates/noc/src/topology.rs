@@ -1,0 +1,470 @@
+//! Topology: router grid, port wiring, and routing functions.
+//!
+//! Ports of a router are numbered locals first, then the four mesh
+//! directions: with concentration `L`, ports `0..L` are endpoint (NI) ports
+//! and `L..L+4` are North, East, South, West. A directional port is both an
+//! input and an output; output port `p` of one router is wired to the input
+//! port of the opposite direction on the neighbouring router.
+
+use ra_sim::{MeshShape, NodeId};
+
+use crate::config::{NocConfig, Routing, TopologyKind};
+use crate::flit::Flit;
+
+/// Directional port offsets (added to the number of local ports).
+const NORTH: u32 = 0;
+const EAST: u32 = 1;
+const SOUTH: u32 = 2;
+const WEST: u32 = 3;
+
+/// A routing decision for a head flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Output port to take at the current router.
+    pub out_port: u32,
+    /// True if the chosen link wraps around a torus dimension (the flit
+    /// crosses the dateline and must switch VC class).
+    pub crosses_dateline: bool,
+    /// True if the decision begins travel in the second dimension of the
+    /// dimension order (the VC dateline class resets when entering a new
+    /// ring).
+    pub enters_second_dim: bool,
+}
+
+/// Static wiring of the network: who talks to whom over which port.
+///
+/// Precomputed once at network construction; routers consult it read-only
+/// every cycle, which keeps the per-cycle phases free of allocation and safe
+/// to run in parallel.
+#[derive(Debug, Clone)]
+pub struct TopologyMap {
+    kind: TopologyKind,
+    routing: Routing,
+    node_shape: MeshShape,
+    router_shape: MeshShape,
+    concentration: u32,
+    ports: u32,
+    /// `link_dst[r * ports + p]` = the `(router, in_port)` that output port
+    /// `p` of router `r` feeds, or `None` for local ports and mesh edges.
+    link_dst: Vec<Option<(u32, u32)>>,
+    /// Inverse map: which `(router, out_port)` feeds input port `p` of `r`.
+    link_src: Vec<Option<(u32, u32)>>,
+    /// Whether the link leaving `(r, p)` wraps around the torus.
+    wraps: Vec<bool>,
+}
+
+impl TopologyMap {
+    /// Builds the wiring for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; call
+    /// [`NocConfig::validate`] first.
+    pub fn new(cfg: &NocConfig) -> Self {
+        cfg.validate().expect("invalid NoC configuration");
+        let concentration = match cfg.topology {
+            TopologyKind::CMesh { concentration } => concentration,
+            _ => 1,
+        };
+        let node_shape = cfg.shape;
+        let router_shape = MeshShape::new(node_shape.cols() / concentration, node_shape.rows())
+            .expect("router grid shape");
+        let ports = concentration + 4;
+        let n = router_shape.nodes();
+        let mut map = TopologyMap {
+            kind: cfg.topology,
+            routing: cfg.routing,
+            node_shape,
+            router_shape,
+            concentration,
+            ports,
+            link_dst: vec![None; n * ports as usize],
+            link_src: vec![None; n * ports as usize],
+            wraps: vec![false; n * ports as usize],
+        };
+        map.wire();
+        map
+    }
+
+    fn wire(&mut self) {
+        let torus = matches!(self.kind, TopologyKind::Torus);
+        let (cols, rows) = (self.router_shape.cols(), self.router_shape.rows());
+        for r in 0..self.router_shape.nodes() as u32 {
+            let (x, y) = self.router_shape.coords(NodeId(r));
+            // (direction, neighbour coords if any, wraps)
+            let neighbours = [
+                (
+                    NORTH,
+                    if y + 1 < rows {
+                        Some((x, y + 1, false))
+                    } else if torus && rows > 1 {
+                        Some((x, 0, true))
+                    } else {
+                        None
+                    },
+                ),
+                (
+                    EAST,
+                    if x + 1 < cols {
+                        Some((x + 1, y, false))
+                    } else if torus && cols > 1 {
+                        Some((0, y, true))
+                    } else {
+                        None
+                    },
+                ),
+                (
+                    SOUTH,
+                    if y > 0 {
+                        Some((x, y - 1, false))
+                    } else if torus && rows > 1 {
+                        Some((x, rows - 1, true))
+                    } else {
+                        None
+                    },
+                ),
+                (
+                    WEST,
+                    if x > 0 {
+                        Some((x - 1, y, false))
+                    } else if torus && cols > 1 {
+                        Some((cols - 1, y, true))
+                    } else {
+                        None
+                    },
+                ),
+            ];
+            for (dir, nb) in neighbours {
+                if let Some((nx, ny, wrap)) = nb {
+                    let nr = self.router_shape.node_at(nx, ny).0;
+                    let out_port = self.concentration + dir;
+                    let in_port = self.concentration + opposite(dir);
+                    let idx = (r * self.ports + out_port) as usize;
+                    self.link_dst[idx] = Some((nr, in_port));
+                    self.wraps[idx] = wrap;
+                    self.link_src[(nr * self.ports + in_port) as usize] = Some((r, out_port));
+                }
+            }
+        }
+    }
+
+    /// Total number of routers.
+    #[inline]
+    pub fn routers(&self) -> usize {
+        self.router_shape.nodes()
+    }
+
+    /// Ports per router (locals + 4 directions).
+    #[inline]
+    pub fn ports(&self) -> u32 {
+        self.ports
+    }
+
+    /// Endpoints attached to each router.
+    #[inline]
+    pub fn concentration(&self) -> u32 {
+        self.concentration
+    }
+
+    /// The router grid shape.
+    #[inline]
+    pub fn router_shape(&self) -> MeshShape {
+        self.router_shape
+    }
+
+    /// The node (endpoint) grid shape.
+    #[inline]
+    pub fn node_shape(&self) -> MeshShape {
+        self.node_shape
+    }
+
+    /// Maps an endpoint to its `(router, local_port)`.
+    #[inline]
+    pub fn node_router(&self, node: NodeId) -> (u32, u32) {
+        let (x, y) = self.node_shape.coords(node);
+        let rx = x / self.concentration;
+        let local = x % self.concentration;
+        (self.router_shape.node_at(rx, y).0, local)
+    }
+
+    /// Destination `(router, in_port)` of output `(router, port)`, if wired.
+    #[inline]
+    pub fn link_dst(&self, router: u32, port: u32) -> Option<(u32, u32)> {
+        self.link_dst[(router * self.ports + port) as usize]
+    }
+
+    /// Source `(router, out_port)` feeding input `(router, port)`, if wired.
+    #[inline]
+    pub fn link_src(&self, router: u32, port: u32) -> Option<(u32, u32)> {
+        self.link_src[(router * self.ports + port) as usize]
+    }
+
+    /// Whether the link leaving `(router, port)` wraps around the torus.
+    #[inline]
+    pub fn link_wraps(&self, router: u32, port: u32) -> bool {
+        self.wraps[(router * self.ports + port) as usize]
+    }
+
+    /// Router-to-router hop distance between two endpoints (the number of
+    /// links a packet traverses, not counting injection/ejection).
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        let (sr, _) = self.node_router(src);
+        let (dr, _) = self.node_router(dst);
+        match self.kind {
+            TopologyKind::Torus => self.router_shape.torus_hops(NodeId(sr), NodeId(dr)),
+            _ => self.router_shape.mesh_hops(NodeId(sr), NodeId(dr)),
+        }
+    }
+
+    /// Largest hop distance in the network.
+    pub fn diameter(&self) -> usize {
+        match self.kind {
+            TopologyKind::Torus => {
+                (self.router_shape.cols() as usize / 2) + (self.router_shape.rows() as usize / 2)
+            }
+            _ => self.router_shape.diameter(),
+        }
+    }
+
+    /// Computes the next output port for a head flit at `router`.
+    ///
+    /// Dimension-order routing; on a torus the minimal direction is chosen
+    /// per dimension (ties broken towards the positive direction) and
+    /// dateline crossings are flagged so VC allocation can switch class.
+    pub fn route(&self, router: u32, flit: &Flit) -> RouteDecision {
+        let (dr, d_local) = (u32::from(flit.dst_router), u32::from(flit.dst_local));
+        if router == dr {
+            return RouteDecision {
+                out_port: d_local,
+                crosses_dateline: false,
+                enters_second_dim: false,
+            };
+        }
+        let (cx, cy) = self.router_shape.coords(NodeId(router));
+        let (dx, dy) = self.router_shape.coords(NodeId(dr));
+        let yx = match self.routing {
+            Routing::Xy => false,
+            Routing::Yx => true,
+            Routing::O1Turn => flit.route_hint == 1,
+        };
+        let (first_diff, second_diff) = if yx { (cy != dy, cx != dx) } else { (cx != dx, cy != dy) };
+        let go_second = !first_diff;
+        let move_in_x = if yx { go_second } else { !go_second };
+        debug_assert!(first_diff || second_diff, "route called at destination");
+        let dir = if move_in_x {
+            self.ring_direction(cx, dx, self.router_shape.cols(), EAST, WEST)
+        } else {
+            self.ring_direction(cy, dy, self.router_shape.rows(), NORTH, SOUTH)
+        };
+        let out_port = self.concentration + dir;
+        RouteDecision {
+            out_port,
+            crosses_dateline: self.link_wraps(router, out_port),
+            enters_second_dim: go_second,
+        }
+    }
+
+    /// Picks the direction to move along one dimension.
+    fn ring_direction(&self, cur: u32, dst: u32, extent: u32, pos: u32, neg: u32) -> u32 {
+        debug_assert_ne!(cur, dst);
+        match self.kind {
+            TopologyKind::Torus => {
+                let fwd = (dst + extent - cur) % extent; // hops going positive
+                let bwd = extent - fwd;
+                if fwd <= bwd {
+                    pos
+                } else {
+                    neg
+                }
+            }
+            _ => {
+                if dst > cur {
+                    pos
+                } else {
+                    neg
+                }
+            }
+        }
+    }
+}
+
+/// The opposite mesh direction.
+const fn opposite(dir: u32) -> u32 {
+    match dir {
+        NORTH => SOUTH,
+        SOUTH => NORTH,
+        EAST => WEST,
+        _ => EAST,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{Flit, FlitKind};
+
+    fn head_to(topo: &TopologyMap, dst: NodeId, hint: u8) -> Flit {
+        let (dst_router, dst_local) = topo.node_router(dst);
+        Flit {
+            pkt: 0,
+            dst_router: dst_router as u16,
+            dst_local: dst_local as u8,
+            vnet: 0,
+            kind: FlitKind::HeadTail,
+            vc: 0,
+            class_bit: 0,
+            route_hint: hint,
+        }
+    }
+
+    #[test]
+    fn mesh_wiring_is_symmetric() {
+        let cfg = NocConfig::new(4, 3);
+        let topo = TopologyMap::new(&cfg);
+        for r in 0..topo.routers() as u32 {
+            for p in 0..topo.ports() {
+                if let Some((nr, np)) = topo.link_dst(r, p) {
+                    assert_eq!(topo.link_src(nr, np), Some((r, p)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_edges_have_no_links() {
+        let cfg = NocConfig::new(3, 3);
+        let topo = TopologyMap::new(&cfg);
+        // Router 0 is the south-west corner: no SOUTH/WEST links.
+        assert!(topo.link_dst(0, 1 + SOUTH).is_none());
+        assert!(topo.link_dst(0, 1 + WEST).is_none());
+        assert!(topo.link_dst(0, 1 + NORTH).is_some());
+        assert!(topo.link_dst(0, 1 + EAST).is_some());
+    }
+
+    #[test]
+    fn torus_wiring_wraps() {
+        let cfg = NocConfig::new(4, 4).with_topology(TopologyKind::Torus);
+        let topo = TopologyMap::new(&cfg);
+        // Every router on a torus has all four links.
+        for r in 0..topo.routers() as u32 {
+            for dir in 0..4 {
+                assert!(topo.link_dst(r, 1 + dir).is_some());
+            }
+        }
+        // West from router 0 wraps to router 3.
+        let (nr, _) = topo.link_dst(0, 1 + WEST).unwrap();
+        assert_eq!(nr, 3);
+        assert!(topo.link_wraps(0, 1 + WEST));
+        assert!(!topo.link_wraps(0, 1 + EAST));
+    }
+
+    #[test]
+    fn xy_route_goes_x_first() {
+        let cfg = NocConfig::new(4, 4);
+        let topo = TopologyMap::new(&cfg);
+        // From router 0 (0,0) to node 15 at (3,3): X first -> EAST.
+        let flit = head_to(&topo, NodeId(15), 0);
+        let d = topo.route(0, &flit);
+        assert_eq!(d.out_port, 1 + EAST);
+        assert!(!d.enters_second_dim);
+        // From router 3 (3,0) same dst: X done -> NORTH, entering 2nd dim.
+        let d = topo.route(3, &flit);
+        assert_eq!(d.out_port, 1 + NORTH);
+        assert!(d.enters_second_dim);
+    }
+
+    #[test]
+    fn yx_route_goes_y_first() {
+        let cfg = NocConfig::new(4, 4).with_routing(Routing::Yx);
+        let topo = TopologyMap::new(&cfg);
+        let flit = head_to(&topo, NodeId(15), 0);
+        let d = topo.route(0, &flit);
+        assert_eq!(d.out_port, 1 + NORTH);
+    }
+
+    #[test]
+    fn o1turn_obeys_the_hint() {
+        let cfg = NocConfig::new(4, 4).with_routing(Routing::O1Turn);
+        let topo = TopologyMap::new(&cfg);
+        let xy = head_to(&topo, NodeId(15), 0);
+        let yx = head_to(&topo, NodeId(15), 1);
+        assert_eq!(topo.route(0, &xy).out_port, 1 + EAST);
+        assert_eq!(topo.route(0, &yx).out_port, 1 + NORTH);
+    }
+
+    #[test]
+    fn route_at_destination_router_ejects() {
+        let cfg = NocConfig::new(4, 4);
+        let topo = TopologyMap::new(&cfg);
+        let flit = head_to(&topo, NodeId(5), 0);
+        let d = topo.route(5, &flit);
+        assert_eq!(d.out_port, 0); // local port
+    }
+
+    #[test]
+    fn torus_route_takes_shortest_way_and_flags_dateline() {
+        let cfg = NocConfig::new(8, 8).with_topology(TopologyKind::Torus);
+        let topo = TopologyMap::new(&cfg);
+        // Router 0 to router 7 (same row): wrap WEST (1 hop) beats EAST (7).
+        let flit = head_to(&topo, NodeId(7), 0);
+        let d = topo.route(0, &flit);
+        assert_eq!(d.out_port, 1 + WEST);
+        assert!(d.crosses_dateline);
+    }
+
+    #[test]
+    fn torus_hops_use_wraparound() {
+        let cfg = NocConfig::new(8, 8).with_topology(TopologyKind::Torus);
+        let topo = TopologyMap::new(&cfg);
+        assert_eq!(topo.hops(NodeId(0), NodeId(7)), 1);
+        assert_eq!(topo.diameter(), 8);
+    }
+
+    #[test]
+    fn cmesh_maps_nodes_to_shared_routers() {
+        let cfg = NocConfig::new(8, 4).with_topology(TopologyKind::CMesh { concentration: 2 });
+        let topo = TopologyMap::new(&cfg);
+        assert_eq!(topo.routers(), 16);
+        assert_eq!(topo.ports(), 6);
+        assert_eq!(topo.node_router(NodeId(0)), (0, 0));
+        assert_eq!(topo.node_router(NodeId(1)), (0, 1));
+        assert_eq!(topo.node_router(NodeId(2)), (1, 0));
+        // Nodes sharing a router are zero hops apart.
+        assert_eq!(topo.hops(NodeId(0), NodeId(1)), 0);
+    }
+
+    #[test]
+    fn routes_always_reach_destination() {
+        // Walk every (src, dst) pair following route decisions; must arrive
+        // within diameter hops.
+        for cfg in [
+            NocConfig::new(4, 4),
+            NocConfig::new(4, 4).with_routing(Routing::Yx),
+            NocConfig::new(4, 4).with_topology(TopologyKind::Torus),
+            NocConfig::new(8, 2).with_topology(TopologyKind::CMesh { concentration: 2 }),
+        ] {
+            let topo = TopologyMap::new(&cfg);
+            for src in topo.node_shape().iter() {
+                for dst in topo.node_shape().iter() {
+                    let flit = head_to(&topo, dst, 0);
+                    let (mut r, _) = topo.node_router(src);
+                    let mut steps = 0;
+                    loop {
+                        let d = topo.route(r, &flit);
+                        if d.out_port < topo.concentration() {
+                            assert_eq!(d.out_port, flit.dst_local as u32);
+                            break;
+                        }
+                        let (nr, _) = topo
+                            .link_dst(r, d.out_port)
+                            .expect("route chose an unwired port");
+                        r = nr;
+                        steps += 1;
+                        assert!(steps <= topo.diameter(), "route loop {src}->{dst}");
+                    }
+                    assert_eq!(steps, topo.hops(src, dst), "hop count {src}->{dst}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Pipelined wires between routers.
+//!
+//! A [`Wire`] models a point-to-point link with a fixed latency as a ring of
+//! `latency + 1` slots indexed by cycle. The sender writes slot
+//! `now % (latency + 1)` each cycle; the receiver reads slot
+//! `(now - latency) % (latency + 1)`. For any latency >= 1 the two slots are
+//! distinct within a cycle, so the *compute* phase of a cycle may read all
+//! wires immutably while the *send* phase later writes each wire from exactly
+//! one router — the property the bulk-synchronous parallel engine relies on.
+
+use crate::flit::Flit;
+
+/// A fixed-latency single-value-per-cycle channel.
+#[derive(Debug, Clone)]
+pub struct Wire<T: Copy> {
+    latency: u64,
+    slots: Vec<Option<T>>,
+}
+
+impl<T: Copy> Wire<T> {
+    /// Creates a wire with the given latency in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency == 0`; zero-latency links would make the sender
+    /// and receiver touch the same slot in one cycle.
+    pub fn new(latency: u32) -> Self {
+        assert!(latency >= 1, "wire latency must be at least 1 cycle");
+        Wire {
+            latency: u64::from(latency),
+            slots: vec![None; latency as usize + 1],
+        }
+    }
+
+    /// Places `value` on the wire at cycle `now`; it becomes visible to
+    /// [`read`](Wire::read) at `now + latency`. Writing `None` models an
+    /// idle cycle and is required every cycle the wire is idle.
+    #[inline]
+    pub fn write(&mut self, now: u64, value: Option<T>) {
+        let idx = (now % (self.latency + 1)) as usize;
+        self.slots[idx] = value;
+    }
+
+    /// Returns the value written `latency` cycles ago, if any.
+    #[inline]
+    pub fn read(&self, now: u64) -> Option<T> {
+        if now < self.latency {
+            return None;
+        }
+        let idx = ((now - self.latency) % (self.latency + 1)) as usize;
+        self.slots[idx]
+    }
+
+    /// The wire's latency in cycles.
+    #[inline]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// True if no value is currently in flight.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Empties every slot. Only valid when all in-flight values have been
+    /// consumed: ring slots retain consumed values until overwritten, and a
+    /// clock jump (sampled co-simulation's `skip_to`) could otherwise
+    /// re-align a stale slot with a future read.
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
+    }
+}
+
+/// A credit notification travelling upstream: the VC index that freed a slot.
+pub type Credit = u8;
+
+/// All wires of the network, grouped so that the slice of wires written by
+/// router `r` is contiguous (`r * ports .. (r + 1) * ports`).
+#[derive(Debug, Clone)]
+pub struct Wires {
+    /// Flit wires, indexed by `(sender router * ports) + out_port`.
+    pub flits: Vec<Wire<Flit>>,
+    /// Credit wires, indexed by `(receiver router * ports) + in_port`; they
+    /// carry credits *upstream*, so the indexing router is the flit receiver.
+    pub credits: Vec<Wire<Credit>>,
+    ports: u32,
+}
+
+impl Wires {
+    /// Allocates wires for `routers` routers with `ports` ports each.
+    pub fn new(routers: usize, ports: u32, link_latency: u32) -> Self {
+        let n = routers * ports as usize;
+        Wires {
+            flits: vec![Wire::new(link_latency); n],
+            credits: vec![Wire::new(link_latency); n],
+            ports,
+        }
+    }
+
+    /// Index of the wire owned by `(router, port)`.
+    #[inline]
+    pub fn index(&self, router: u32, port: u32) -> usize {
+        (router * self.ports + port) as usize
+    }
+
+    /// Ports per router (chunk size for parallel mutation).
+    #[inline]
+    pub fn ports(&self) -> u32 {
+        self.ports
+    }
+
+    /// True if every wire is empty (used by drain checks).
+    pub fn all_idle(&self) -> bool {
+        self.flits.iter().all(Wire::is_empty) && self.credits.iter().all(Wire::is_empty)
+    }
+
+    /// Clears every wire slot (see [`Wire::clear`]).
+    pub fn clear(&mut self) {
+        for w in &mut self.flits {
+            w.clear();
+        }
+        for w in &mut self.credits {
+            w.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_delivers_after_latency() {
+        let mut w: Wire<u32> = Wire::new(2);
+        w.write(0, Some(7));
+        assert_eq!(w.read(0), None);
+        assert_eq!(w.read(1), None);
+        assert_eq!(w.read(2), Some(7));
+    }
+
+    #[test]
+    fn wire_sustains_one_value_per_cycle() {
+        let mut w: Wire<u32> = Wire::new(1);
+        for now in 0..100u64 {
+            w.write(now, Some(now as u32));
+            if now >= 1 {
+                assert_eq!(w.read(now), Some(now as u32 - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn idle_cycles_must_be_written() {
+        let mut w: Wire<u32> = Wire::new(1);
+        w.write(0, Some(1));
+        assert_eq!(w.read(1), Some(1));
+        w.write(1, None);
+        assert_eq!(w.read(2), None);
+        w.write(2, None);
+        assert_eq!(w.read(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be at least 1")]
+    fn zero_latency_wire_panics() {
+        let _: Wire<u32> = Wire::new(0);
+    }
+
+    #[test]
+    fn sender_and_receiver_slots_never_collide() {
+        for latency in 1..=4u64 {
+            let period = latency + 1;
+            for now in latency..200 {
+                let write_idx = now % period;
+                let read_idx = (now - latency) % period;
+                assert_ne!(write_idx, read_idx, "latency {latency} cycle {now}");
+            }
+        }
+    }
+
+    #[test]
+    fn wires_index_is_contiguous_per_router() {
+        let wires = Wires::new(4, 5, 1);
+        assert_eq!(wires.index(0, 0), 0);
+        assert_eq!(wires.index(0, 4), 4);
+        assert_eq!(wires.index(1, 0), 5);
+        assert_eq!(wires.index(3, 4), 19);
+        assert!(wires.all_idle());
+    }
+}

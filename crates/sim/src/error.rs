@@ -1,0 +1,114 @@
+//! Error types shared by the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Invalid configuration supplied to a simulator builder.
+///
+/// # Example
+///
+/// ```
+/// use ra_sim::MeshShape;
+///
+/// let err = MeshShape::new(0, 4).unwrap_err();
+/// assert!(err.to_string().contains("positive"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Failure during a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run exceeded its cycle budget without reaching its goal
+    /// (e.g. a drain that never completes points at a deadlock).
+    Timeout {
+        /// The budget that was exhausted.
+        budget: u64,
+        /// What the simulation was waiting for.
+        waiting_for: String,
+    },
+    /// Internal invariant violated; indicates a simulator bug.
+    Invariant(String),
+    /// Bad configuration detected after construction.
+    Config(ConfigError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout {
+                budget,
+                waiting_for,
+            } => write!(
+                f,
+                "simulation exceeded {budget} cycles waiting for {waiting_for}"
+            ),
+            SimError::Invariant(msg) => write!(f, "simulator invariant violated: {msg}"),
+            SimError::Config(err) => err.fmt(f),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(err: ConfigError) -> Self {
+        SimError::Config(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_chain() {
+        let cfg = ConfigError::new("bad");
+        let sim: SimError = cfg.clone().into();
+        assert_eq!(sim.to_string(), "invalid configuration: bad");
+        assert!(sim.source().is_some());
+
+        let timeout = SimError::Timeout {
+            budget: 100,
+            waiting_for: "drain".into(),
+        };
+        assert!(timeout.to_string().contains("100"));
+        assert!(timeout.source().is_none());
+
+        let inv = SimError::Invariant("credits".into());
+        assert!(inv.to_string().contains("credits"));
+    }
+
+    #[test]
+    fn error_types_are_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ConfigError>();
+        assert_bounds::<SimError>();
+    }
+}

@@ -1,0 +1,68 @@
+//! Simulation primitives shared across the reciprocal-abstraction workspace.
+//!
+//! This crate defines the vocabulary that every other crate in the workspace
+//! speaks:
+//!
+//! * [`Cycle`] — the simulated-time unit every component advances in;
+//! * [`NodeId`] — a network endpoint (one per CMP tile, plus memory
+//!   controllers);
+//! * [`NetMessage`] and [`MessageClass`] — the unit of traffic exchanged
+//!   between the full-system simulator and any network implementation;
+//! * [`Network`] — the *port* trait implemented both by the cycle-level NoC
+//!   (`ra-noc`) and by every abstract latency model (`ra-netmodel`), which is
+//!   what lets the co-simulation framework swap fidelity levels behind one
+//!   interface;
+//! * streaming [`stats`] used to report every figure in the evaluation;
+//! * a small deterministic [`rng`] so every simulator in the workspace is
+//!   reproducible from a seed without depending on platform entropy.
+//!
+//! # Example
+//!
+//! Drive any [`Network`] implementation with a handful of messages and read
+//! back delivery times:
+//!
+//! ```
+//! use ra_sim::{Cycle, MessageClass, NetMessage, Network, NodeId};
+//!
+//! /// A toy network that delivers everything after a fixed 5-cycle delay.
+//! struct Wire(Vec<(NetMessage, Cycle)>);
+//!
+//! impl Network for Wire {
+//!     fn inject(&mut self, msg: NetMessage, now: Cycle) {
+//!         self.0.push((msg, now + 5));
+//!     }
+//!     fn tick(&mut self, _now: Cycle) {}
+//!     fn drain_delivered(&mut self, now: Cycle) -> Vec<ra_sim::Delivery> {
+//!         let (ready, rest): (Vec<_>, Vec<_>) = self.0.drain(..).partition(|(_, at)| *at <= now);
+//!         self.0 = rest;
+//!         ready
+//!             .into_iter()
+//!             .map(|(msg, at)| ra_sim::Delivery { msg, at })
+//!             .collect()
+//!     }
+//! }
+//!
+//! let mut net = Wire(Vec::new());
+//! let msg = NetMessage::new(0, NodeId(0), NodeId(3), MessageClass::Request, 8);
+//! net.inject(msg, Cycle(10));
+//! net.tick(Cycle(15));
+//! let out = net.drain_delivered(Cycle(15));
+//! assert_eq!(out.len(), 1);
+//! assert_eq!(out[0].at, Cycle(15));
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod message;
+pub mod network;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use config::MeshShape;
+pub use error::{ConfigError, SimError};
+pub use message::{MessageClass, MessageId, NetMessage};
+pub use network::{Delivery, Network};
+pub use rng::Pcg32;
+pub use stats::{Histogram, LatencyTable, Summary};
+pub use time::{Cycle, NodeId};

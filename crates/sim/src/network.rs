@@ -1,0 +1,113 @@
+//! The network *port*: the co-simulation boundary between the full-system
+//! simulator and any network implementation.
+
+use crate::message::NetMessage;
+use crate::time::Cycle;
+
+/// A delivered message together with its delivery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The message that arrived.
+    pub msg: NetMessage,
+    /// The cycle at which the destination endpoint received it.
+    pub at: Cycle,
+}
+
+/// The interface every network implementation exposes to the full system.
+///
+/// Both fidelity levels implement this trait:
+///
+/// * the **cycle-level NoC** (`ra-noc`) simulates each flit through router
+///   pipelines and delivers messages when their tail flit is ejected;
+/// * **abstract models** (`ra-netmodel`) compute a latency analytically and
+///   deliver after that many cycles.
+///
+/// The reciprocal-abstraction framework (`ra-cosim`) exploits this symmetry:
+/// the full-system simulator is generic over `Network`, so switching between
+/// an isolated abstract model, lock-step detailed co-simulation, and the
+/// quantum-calibrated reciprocal mode is a matter of plugging in a different
+/// implementation — the full system code is identical in all modes, which is
+/// exactly the property the paper's methodology needs for an apples-to-apples
+/// accuracy comparison.
+///
+/// # Contract
+///
+/// * `inject` must be called with non-decreasing `now` values.
+/// * `tick(now)` advances internal state to cycle `now`; implementations that
+///   have no per-cycle state (pure latency models) may do nothing.
+/// * `drain_delivered(now)` returns every message whose delivery time is
+///   `<= now`, each exactly once, in a deterministic order.
+pub trait Network {
+    /// Offers a message to the network at cycle `now`.
+    ///
+    /// The network owns the message until it reappears from
+    /// [`drain_delivered`](Network::drain_delivered).
+    fn inject(&mut self, msg: NetMessage, now: Cycle);
+
+    /// Advances the network's internal state to cycle `now`.
+    fn tick(&mut self, now: Cycle);
+
+    /// Removes and returns all messages delivered by cycle `now`.
+    fn drain_delivered(&mut self, now: Cycle) -> Vec<Delivery>;
+
+    /// Number of messages accepted but not yet delivered.
+    ///
+    /// Used by drivers to drain a network at end of simulation. The default
+    /// is conservative for implementations that cannot count (none in this
+    /// workspace); all provided implementations override it.
+    fn in_flight(&self) -> usize {
+        0
+    }
+}
+
+impl<N: Network + ?Sized> Network for Box<N> {
+    fn inject(&mut self, msg: NetMessage, now: Cycle) {
+        (**self).inject(msg, now);
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        (**self).tick(now);
+    }
+
+    fn drain_delivered(&mut self, now: Cycle) -> Vec<Delivery> {
+        (**self).drain_delivered(now)
+    }
+
+    fn in_flight(&self) -> usize {
+        (**self).in_flight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageClass;
+    use crate::time::NodeId;
+
+    struct Instant(Vec<Delivery>);
+
+    impl Network for Instant {
+        fn inject(&mut self, msg: NetMessage, now: Cycle) {
+            self.0.push(Delivery { msg, at: now });
+        }
+        fn tick(&mut self, _now: Cycle) {}
+        fn drain_delivered(&mut self, _now: Cycle) -> Vec<Delivery> {
+            std::mem::take(&mut self.0)
+        }
+        fn in_flight(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    #[test]
+    fn boxed_network_forwards_calls() {
+        let mut net: Box<dyn Network> = Box::new(Instant(Vec::new()));
+        let msg = NetMessage::new(0, NodeId(0), NodeId(1), MessageClass::Request, 8);
+        net.inject(msg, Cycle(3));
+        assert_eq!(net.in_flight(), 1);
+        net.tick(Cycle(3));
+        let out = net.drain_delivered(Cycle(3));
+        assert_eq!(out, vec![Delivery { msg, at: Cycle(3) }]);
+        assert_eq!(net.in_flight(), 0);
+    }
+}

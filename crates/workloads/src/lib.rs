@@ -1,0 +1,33 @@
+//! Benchmark-like application profiles and trace record/replay.
+//!
+//! The paper evaluates with multithreaded benchmarks (SPLASH-2/PARSEC
+//! class). Running those binaries requires an ISA-level simulator, so this
+//! crate substitutes **named synthetic profiles** tuned to reproduce the
+//! *traffic-relevant* characteristics of each application class: average
+//! memory intensity, read/write mix, sharing degree, hotspotting, and
+//! phase-driven burstiness (see DESIGN.md for the substitution rationale).
+//! The profiles exist to span the space the evaluation needs — low vs. high
+//! network load, smooth vs. bursty injection, uniform vs. hotspot
+//! destination distributions — not to match any application instruction for
+//! instruction.
+//!
+//! The crate also provides op-level [`trace`] recording and replay so a
+//! workload can be captured once and re-run identically against different
+//! network abstractions.
+//!
+//! # Example
+//!
+//! ```
+//! use ra_workloads::{AppProfile, AppWorkload};
+//! use ra_fullsys::workload::Workload;
+//!
+//! let mut w = AppWorkload::new(AppProfile::ocean(), 16, 7);
+//! assert_eq!(w.name(), "ocean");
+//! let _op = w.next_op(0);
+//! ```
+
+pub mod profiles;
+pub mod trace;
+
+pub use profiles::{AppProfile, AppWorkload};
+pub use trace::{TraceRecorder, TraceReplay};

@@ -1,0 +1,267 @@
+//! Op-level trace recording and replay.
+//!
+//! Capturing a workload's operation stream once and replaying it bit-for-bit
+//! lets the evaluation run *the same program* against different network
+//! abstractions, isolating the network's contribution to timing (the replay
+//! is still timing-reactive: ops are consumed when the simulated core is
+//! ready, so a slower network stretches the same stream over more cycles).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ra_fullsys::workload::{Op, Workload};
+
+const TAG_COMPUTE: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_STORE: u8 = 2;
+const MAGIC: u32 = 0x5241_5452; // "RATR"
+
+/// Records the ops another workload produces, per core.
+///
+/// # Example
+///
+/// ```
+/// use ra_fullsys::workload::{SyntheticParams, SyntheticWorkload, Workload};
+/// use ra_workloads::{TraceRecorder, TraceReplay};
+///
+/// let inner = SyntheticWorkload::new(2, SyntheticParams::default(), 1);
+/// let mut rec = TraceRecorder::new(inner, 2);
+/// let first = rec.next_op(0);
+/// let bytes = rec.to_bytes();
+/// let mut replay = TraceReplay::from_bytes(&bytes).expect("valid trace");
+/// assert_eq!(replay.next_op(0), first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRecorder<W> {
+    inner: W,
+    log: Vec<Vec<Op>>,
+}
+
+impl<W: Workload> TraceRecorder<W> {
+    /// Wraps `inner`, recording for `cores` cores.
+    pub fn new(inner: W, cores: usize) -> Self {
+        TraceRecorder {
+            inner,
+            log: vec![Vec::new(); cores],
+        }
+    }
+
+    /// The recorded per-core op streams so far.
+    pub fn log(&self) -> &[Vec<Op>] {
+        &self.log
+    }
+
+    /// Consumes the recorder, returning the inner workload and the log.
+    pub fn into_parts(self) -> (W, Vec<Vec<Op>>) {
+        (self.inner, self.log)
+    }
+
+    /// Serializes the recorded trace.
+    pub fn to_bytes(&self) -> Bytes {
+        encode(&self.log)
+    }
+}
+
+impl<W: Workload> Workload for TraceRecorder<W> {
+    fn next_op(&mut self, core: usize) -> Op {
+        let op = self.inner.next_op(core);
+        self.log[core].push(op);
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Replays a recorded trace; cores that exhaust their stream spin on
+/// `Compute(1)`.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    streams: Vec<Vec<Op>>,
+    pos: Vec<usize>,
+}
+
+impl TraceReplay {
+    /// Builds a replay from per-core op streams.
+    pub fn new(streams: Vec<Vec<Op>>) -> Self {
+        let pos = vec![0; streams.len()];
+        TraceReplay { streams, pos }
+    }
+
+    /// Deserializes a trace produced by [`TraceRecorder::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the buffer is truncated or not a trace.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self, String> {
+        if buf.remaining() < 8 {
+            return Err("trace too short".into());
+        }
+        if buf.get_u32() != MAGIC {
+            return Err("bad trace magic".into());
+        }
+        let cores = buf.get_u32() as usize;
+        let mut streams = Vec::with_capacity(cores);
+        for c in 0..cores {
+            if buf.remaining() < 4 {
+                return Err(format!("truncated header for core {c}"));
+            }
+            let n = buf.get_u32() as usize;
+            let mut ops = Vec::with_capacity(n);
+            for i in 0..n {
+                if buf.remaining() < 1 {
+                    return Err(format!("truncated op {i} for core {c}"));
+                }
+                let tag = buf.get_u8();
+                let op = match tag {
+                    TAG_COMPUTE => {
+                        if buf.remaining() < 4 {
+                            return Err("truncated compute".into());
+                        }
+                        Op::Compute(buf.get_u32())
+                    }
+                    TAG_LOAD | TAG_STORE => {
+                        if buf.remaining() < 8 {
+                            return Err("truncated address".into());
+                        }
+                        let addr = buf.get_u64();
+                        if tag == TAG_LOAD {
+                            Op::Load(addr)
+                        } else {
+                            Op::Store(addr)
+                        }
+                    }
+                    other => return Err(format!("unknown op tag {other}")),
+                };
+                ops.push(op);
+            }
+            streams.push(ops);
+        }
+        Ok(TraceReplay::new(streams))
+    }
+
+    /// True once `core` has replayed every recorded op.
+    pub fn exhausted(&self, core: usize) -> bool {
+        self.pos[core] >= self.streams[core].len()
+    }
+
+    /// Total recorded ops across all cores.
+    pub fn len(&self) -> usize {
+        self.streams.iter().map(Vec::len).sum()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Workload for TraceReplay {
+    fn next_op(&mut self, core: usize) -> Op {
+        let stream = &self.streams[core];
+        if self.pos[core] < stream.len() {
+            let op = stream[self.pos[core]];
+            self.pos[core] += 1;
+            op
+        } else {
+            Op::Compute(1)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "trace-replay"
+    }
+}
+
+fn encode(log: &[Vec<Op>]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32(MAGIC);
+    buf.put_u32(log.len() as u32);
+    for ops in log {
+        buf.put_u32(ops.len() as u32);
+        for op in ops {
+            match *op {
+                Op::Compute(n) => {
+                    buf.put_u8(TAG_COMPUTE);
+                    buf.put_u32(n);
+                }
+                Op::Load(a) => {
+                    buf.put_u8(TAG_LOAD);
+                    buf.put_u64(a);
+                }
+                Op::Store(a) => {
+                    buf.put_u8(TAG_STORE);
+                    buf.put_u64(a);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_fullsys::workload::{SyntheticParams, SyntheticWorkload};
+
+    #[test]
+    fn record_then_replay_is_identical() {
+        let inner = SyntheticWorkload::new(3, SyntheticParams::default(), 21);
+        let mut rec = TraceRecorder::new(inner, 3);
+        let mut reference = Vec::new();
+        for core in 0..3 {
+            for _ in 0..50 {
+                reference.push((core, rec.next_op(core)));
+            }
+        }
+        let bytes = rec.to_bytes();
+        let mut replay = TraceReplay::from_bytes(&bytes).unwrap();
+        for (core, expect) in reference {
+            assert_eq!(replay.next_op(core), expect);
+        }
+        assert!(replay.exhausted(0));
+        assert_eq!(replay.next_op(0), Op::Compute(1));
+    }
+
+    #[test]
+    fn round_trip_preserves_counts() {
+        let inner = SyntheticWorkload::new(2, SyntheticParams::default(), 5);
+        let mut rec = TraceRecorder::new(inner, 2);
+        for _ in 0..10 {
+            rec.next_op(0);
+        }
+        rec.next_op(1);
+        let replay = TraceReplay::from_bytes(&rec.to_bytes()).unwrap();
+        assert_eq!(replay.len(), 11);
+        assert!(!replay.is_empty());
+    }
+
+    #[test]
+    fn corrupt_traces_are_rejected() {
+        assert!(TraceReplay::from_bytes(&[]).is_err());
+        assert!(TraceReplay::from_bytes(&[1, 2, 3]).is_err());
+        let mut bytes = BytesMut::new();
+        bytes.put_u32(MAGIC);
+        bytes.put_u32(1);
+        bytes.put_u32(1);
+        bytes.put_u8(9); // bogus tag
+        assert!(TraceReplay::from_bytes(&bytes).is_err());
+        // Truncated payload after a valid tag.
+        let mut bytes = BytesMut::new();
+        bytes.put_u32(MAGIC);
+        bytes.put_u32(1);
+        bytes.put_u32(1);
+        bytes.put_u8(TAG_LOAD);
+        bytes.put_u8(0);
+        assert!(TraceReplay::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn into_parts_returns_the_log() {
+        let inner = SyntheticWorkload::new(1, SyntheticParams::default(), 1);
+        let mut rec = TraceRecorder::new(inner, 1);
+        rec.next_op(0);
+        rec.next_op(0);
+        let (_, log) = rec.into_parts();
+        assert_eq!(log[0].len(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Quickstart: run one workload under the full mode ladder and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use reciprocal_abstraction::cosim::{format_row, percent_error, run_app, ModeSpec, Target};
+use reciprocal_abstraction::workloads::AppProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target = Target::preset(64).expect("64-core preset");
+    let app = AppProfile::radix();
+    println!("{}", target.config_table());
+    println!("running '{}' under four network abstractions...\n", app.name);
+
+    let instructions = 800;
+    let budget = 10_000_000;
+    let truth = run_app(ModeSpec::Lockstep, &target, &app, instructions, budget, 1)?;
+    let modes = [
+        ModeSpec::Fixed(15),
+        ModeSpec::Hop,
+        ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
+    ];
+    println!("{}", format_row(&truth));
+    for mode in modes {
+        let r = run_app(mode, &target, &app, instructions, budget, 1)?;
+        println!(
+            "{}   latency error vs truth: {:.1}%",
+            format_row(&r),
+            percent_error(r.avg_latency(), truth.avg_latency())
+        );
+    }
+    println!("\nreciprocal abstraction should sit closest to the lockstep truth");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Compare two detailed router architectures — buffered virtual-channel vs
+//! bufferless deflection — under the same full-system workload, including
+//! the energy view. The "design choices in the detailed component model"
+//! workflow from the paper, as a runnable example.
+//!
+//! ```text
+//! cargo run --release --example router_compare
+//! ```
+
+use reciprocal_abstraction::fullsys::{FullSysConfig, FullSystem};
+use reciprocal_abstraction::noc::{
+    DeflectionConfig, DeflectionNetwork, EnergyParams, NocConfig, NocNetwork,
+};
+use reciprocal_abstraction::workloads::{AppProfile, AppWorkload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = AppProfile::radix();
+    let instructions = 800;
+    println!("workload '{}', 64-core lockstep co-simulation\n", app.name);
+
+    // Buffered VC router.
+    let cfg = FullSysConfig::new(8, 8);
+    let net = NocNetwork::new(NocConfig::new(8, 8))?;
+    let w = AppWorkload::new(app.clone(), 64, 7);
+    let mut sys = FullSystem::new(cfg.clone(), net, w)?;
+    let vc_cycles = sys.run_until_instructions(instructions, 10_000_000)?;
+    let vc = sys.into_network();
+    let vc_energy = vc.energy(&EnergyParams::default());
+
+    // Bufferless deflection router.
+    let net = DeflectionNetwork::new(DeflectionConfig::new(8, 8))?;
+    let w = AppWorkload::new(app.clone(), 64, 7);
+    let mut sys = FullSystem::new(cfg, net, w)?;
+    let defl_cycles = sys.run_until_instructions(instructions, 10_000_000)?;
+    let defl = sys.into_network();
+
+    println!("{:<26} {:>14} {:>14}", "", "VC router", "deflection");
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "target runtime (cycles)", vc_cycles, defl_cycles
+    );
+    println!(
+        "{:<26} {:>14.2} {:>14.2}",
+        "avg packet latency",
+        vc.stats().avg_latency(),
+        defl.stats().avg_latency()
+    );
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "messages delivered",
+        vc.stats().delivered,
+        defl.stats().delivered
+    );
+    println!(
+        "{:<26} {:>14.1} {:>14}",
+        "dynamic energy (nJ)",
+        vc_energy.dynamic() / 1_000.0,
+        "n/a (no buffers)"
+    );
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "deflections",
+        "-",
+        defl.deflections()
+    );
+    println!("\nthe bufferless router's single-stage pipeline wins latency at this load;");
+    println!("its cost shows up as deflections (wasted link traversals) under contention");
+    Ok(())
+}

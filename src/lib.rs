@@ -1,0 +1,39 @@
+//! Reciprocal abstraction for computer architecture co-simulation.
+//!
+//! Umbrella crate re-exporting the workspace, matching the paper's system
+//! decomposition (ISPASS 2015, Moeng/Jones/Melhem — see README.md and
+//! DESIGN.md):
+//!
+//! * [`cosim`] — the contribution: the reciprocal-abstraction framework;
+//! * [`noc`] — cycle-level virtual-channel NoC simulator;
+//! * [`fullsys`] — coarse-grain tiled-CMP full-system simulator;
+//! * [`netmodel`] — abstract latency models, including the calibrated one;
+//! * [`gpu`] — data-parallel execution engine (GPU-coprocessor stand-in);
+//! * [`workloads`] — application profiles and trace record/replay;
+//! * [`sim`] — shared primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use reciprocal_abstraction::cosim::{run_app, ModeSpec, Target};
+//! use reciprocal_abstraction::workloads::AppProfile;
+//!
+//! let result = run_app(
+//!     ModeSpec::Reciprocal { quantum: 500, workers: 0 },
+//!     &Target::cmp(4, 4),
+//!     &AppProfile::water(),
+//!     100,
+//!     200_000,
+//!     1,
+//! )?;
+//! assert!(result.cycles > 0);
+//! # Ok::<(), reciprocal_abstraction::sim::SimError>(())
+//! ```
+
+pub use ra_cosim as cosim;
+pub use ra_fullsys as fullsys;
+pub use ra_gpu as gpu;
+pub use ra_netmodel as netmodel;
+pub use ra_noc as noc;
+pub use ra_sim as sim;
+pub use ra_workloads as workloads;
