@@ -47,7 +47,7 @@ fn bench_engines(c: &mut Criterion) {
                         let (mut net, mut gen) = load_network(c_, r_);
                         for now in 0..CYCLES {
                             gen.inject_cycle(&mut net, Cycle(now));
-                            engine.run_cycle(&mut net);
+                            engine.run_cycle(&mut net).expect("no worker faults");
                         }
                         net.stats().delivered
                     })

@@ -46,5 +46,5 @@ pub mod target;
 pub use driver::{format_row, percent_error, run_app, run_app_reciprocal, ModeSpec, RunResult};
 pub use probe::LatencyProbe;
 pub use record::{replay_into, RecordedMessage, TrafficRecord};
-pub use reciprocal::{AdaptiveQuantum, CouplerStats, ReciprocalNetwork};
+pub use reciprocal::{AdaptiveQuantum, CouplerStats, FallbackPolicy, ReciprocalNetwork};
 pub use target::{Target, STANDARD_CORE_COUNTS};

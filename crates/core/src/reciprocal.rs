@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use ra_gpu::ParallelEngine;
 use ra_netmodel::{AbstractNetwork, CalibratedModel, HopMetric};
 use ra_noc::{NocConfig, NocNetwork, TopologyKind};
-use ra_sim::{Cycle, Delivery, LatencyTable, NetMessage, Network, Summary};
+use ra_sim::{Cycle, Delivery, LatencyTable, NetMessage, Network, SimError, Summary};
 
 /// Configuration of adaptive quantum control.
 ///
@@ -37,6 +37,35 @@ impl Default for AdaptiveQuantum {
     }
 }
 
+/// When and how the coupler abandons a misbehaving detailed model.
+///
+/// A watchdog trip (hang, invariant violation, worker fault) tears down the
+/// detailed NoC and puts the coupler into *degraded* mode: the calibrated
+/// model keeps answering the full system alone. After
+/// `backoff_quanta × consecutive-trips` quanta the coupler rebuilds the
+/// detailed engine and tries again; `max_retries` consecutive failures — or
+/// `permanent_after` trips over the whole run — abandon it for good.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FallbackPolicy {
+    /// Consecutive failed retries tolerated before giving up.
+    pub max_retries: u32,
+    /// Quanta to wait, per consecutive trip, before retrying.
+    pub backoff_quanta: u32,
+    /// Total trips over the run after which the detailed model is
+    /// permanently abandoned.
+    pub permanent_after: u32,
+}
+
+impl Default for FallbackPolicy {
+    fn default() -> Self {
+        FallbackPolicy {
+            max_retries: 3,
+            backoff_quanta: 2,
+            permanent_after: 8,
+        }
+    }
+}
+
 /// Statistics of the reciprocal exchange itself.
 #[derive(Debug, Clone, Default)]
 pub struct CouplerStats {
@@ -52,6 +81,22 @@ pub struct CouplerStats {
     pub detailed_wall: Duration,
     /// Cycles the detailed NoC simulated.
     pub detailed_cycles: u64,
+    /// Quanta served by the calibrated model alone because the detailed
+    /// model was tripped, backing off, or abandoned. Non-zero marks a
+    /// degraded run.
+    pub quanta_degraded: u64,
+    /// Messages that finished on the calibrated model alone: in flight in
+    /// the detailed NoC when it was torn down, or injected while degraded.
+    pub messages_rerouted: u64,
+    /// Times the watchdog tore down the detailed model.
+    pub watchdog_trips: u64,
+    /// Degraded quanta the model has served since its last successful
+    /// calibration — how stale the answers the full system is getting are.
+    pub calibration_age: u64,
+    /// True once the detailed model was abandoned for the rest of the run.
+    pub detailed_abandoned: bool,
+    /// Human-readable cause of the most recent watchdog trip.
+    pub last_trip: Option<String>,
 }
 
 /// Reciprocal-abstraction network: the paper's contribution.
@@ -104,6 +149,16 @@ pub struct ReciprocalNetwork {
     inject_times: HashMap<u64, u64>,
     measured: LatencyTable,
     stats: CouplerStats,
+    policy: FallbackPolicy,
+    /// Consecutive watchdog trips without a successful calibration between.
+    consecutive_trips: u32,
+    /// Quanta left before the detailed model is retried after a trip.
+    backoff_remaining: u64,
+    /// Consecutive quanta with traffic in flight but zero flits delivered
+    /// (the watchdog's progress heartbeat).
+    stalled_quanta: u32,
+    /// The detailed model is out of service for the rest of the run.
+    abandoned: bool,
 }
 
 impl ReciprocalNetwork {
@@ -141,6 +196,11 @@ impl ReciprocalNetwork {
             inject_times: HashMap::new(),
             measured: LatencyTable::new(diameter),
             stats: CouplerStats::default(),
+            policy: FallbackPolicy::default(),
+            consecutive_trips: 0,
+            backoff_remaining: 0,
+            stalled_quanta: 0,
+            abandoned: false,
         })
     }
 
@@ -153,6 +213,7 @@ impl ReciprocalNetwork {
     /// at the price of calibrating from a sample of the traffic. Each
     /// sampled window is drained to completion so its measurements are
     /// whole; experiment X3 quantifies the accuracy/speed trade.
+    #[must_use]
     pub fn with_sampling(mut self, sample_every: u32) -> Self {
         self.sample_every = sample_every.max(1);
         self
@@ -161,10 +222,18 @@ impl ReciprocalNetwork {
     /// Enables adaptive quantum control (see [`AdaptiveQuantum`]).
     ///
     /// The starting quantum is clamped into the controller's range.
+    #[must_use]
     pub fn with_adaptive_quantum(mut self, cfg: AdaptiveQuantum) -> Self {
         self.quantum = self.quantum.clamp(cfg.min.max(1), cfg.max.max(1));
         self.next_calibration = self.next_calibration.max(self.quantum);
         self.adaptive = Some(cfg);
+        self
+    }
+
+    /// Overrides the default [`FallbackPolicy`] governing degradation.
+    #[must_use]
+    pub fn with_fallback_policy(mut self, policy: FallbackPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -188,31 +257,70 @@ impl ReciprocalNetwork {
         &self.detailed
     }
 
+    /// True while the detailed model is out of service (tripped and backing
+    /// off, or permanently abandoned) and the calibrated model is answering
+    /// the full system alone.
+    pub fn degraded(&self) -> bool {
+        self.abandoned || self.backoff_remaining > 0
+    }
+
     /// True if the current window is simulated in detail.
     fn window_sampled(&self) -> bool {
-        self.window_idx % u64::from(self.sample_every) == 0
+        self.window_idx.is_multiple_of(u64::from(self.sample_every))
     }
 
     /// Advances the detailed model to `target` and performs a calibration.
-    fn calibrate(&mut self, target: u64) {
+    ///
+    /// This is the supervised section: any error — a worker fault, a
+    /// violated router invariant, a failed conservation audit, or a
+    /// heartbeat showing the quantum made no progress — aborts the
+    /// calibration and is handed to [`trip`](Self::trip) by the caller.
+    fn calibrate(&mut self, target: u64) -> Result<(), SimError> {
         // Run the detailed NoC through the window.
         let started = Instant::now();
         let from = self.detailed.next_cycle();
-        match self.engine.as_mut() {
-            Some(engine) => {
-                while self.detailed.next_cycle() <= target {
-                    engine.run_cycle(&mut self.detailed);
-                }
-            }
-            None => self.detailed.tick(Cycle(target)),
-        }
-        if self.sample_every > 1 {
-            // Sampled mode: drain the window's traffic so its measurements
-            // are complete and the detailed clock can skip the next gap.
-            let _ = self.detailed.run_until_drained(1_000_000);
-        }
+        let flits_before = self.detailed.stats().flits_delivered;
+        let drops_before = self.detailed.stats().faults.flits_dropped();
+        let run = self.run_detailed_window(target);
         self.stats.detailed_wall += started.elapsed();
         self.stats.detailed_cycles += self.detailed.next_cycle().saturating_sub(from);
+        run?;
+        // Watchdog heartbeat: the detailed model has stopped delivering —
+        // a deadlock (total inactivity with traffic pending) or a fault
+        // black-holing messages (two full quanta with traffic in flight
+        // but not one flit delivered; one quantum alone could be a
+        // legitimate tail injection still crossing the network).
+        self.detailed.check_invariant()?;
+        self.detailed.audit()?;
+        // Flits lost to link faults mean packets that can never be
+        // delivered: the detailed model's measurements are no longer
+        // trustworthy and its in-flight count will never drain. (Detoured
+        // traffic does not drop flits and does not trip this.)
+        let drop_delta = self.detailed.stats().faults.flits_dropped() - drops_before;
+        if drop_delta > 0 {
+            return Err(SimError::Fault {
+                component: "detailed-noc".into(),
+                detail: format!("{drop_delta} flits lost to link faults in the quantum"),
+            });
+        }
+        let flit_delta = self.detailed.stats().flits_delivered - flits_before;
+        if self.detailed.in_flight() > 0 && flit_delta == 0 {
+            self.stalled_quanta += 1;
+        } else {
+            self.stalled_quanta = 0;
+        }
+        let deadlocked =
+            self.detailed.in_flight() > 0 && self.detailed.idle_cycles() >= self.quantum;
+        if self.stalled_quanta >= 2 || deadlocked {
+            self.stalled_quanta = 0;
+            return Err(SimError::Timeout {
+                budget: self.quantum,
+                waiting_for: format!(
+                    "{} in-flight messages made no progress for a full quantum",
+                    self.detailed.in_flight()
+                ),
+            });
+        }
         // Measure what it delivered.
         let target = self.detailed.next_cycle().max(target);
         let mut window_mean = Summary::new();
@@ -243,12 +351,75 @@ impl ReciprocalNetwork {
             }
         }
         self.stats.calibrations += 1;
+        self.consecutive_trips = 0;
+        self.stats.calibration_age = 0;
+        Ok(())
+    }
+
+    /// Steps the detailed NoC through one quantum (and, in sampled mode,
+    /// drains it), on whichever engine is configured.
+    fn run_detailed_window(&mut self, target: u64) -> Result<(), SimError> {
+        match self.engine.as_mut() {
+            Some(engine) => {
+                while self.detailed.next_cycle() <= target {
+                    engine.run_cycle(&mut self.detailed)?;
+                }
+            }
+            None => self.detailed.tick(Cycle(target)),
+        }
+        if self.sample_every > 1 {
+            // Sampled mode: drain the window's traffic so its measurements
+            // are complete and the detailed clock can skip the next gap.
+            self.detailed.run_until_drained(1_000_000)?;
+        }
+        Ok(())
+    }
+
+    /// Tears down the tripped detailed model and degrades to the
+    /// calibrated model, per the [`FallbackPolicy`].
+    ///
+    /// The fast path has been authoritative for delivery all along, so the
+    /// detailed NoC's in-flight messages are simply dropped from detailed
+    /// tracking (counted as rerouted) — nothing the full system sees is
+    /// lost. A fresh `NocNetwork` replaces the corrupt one; it rejoins the
+    /// clock at the next healthy quantum boundary via `skip_to`.
+    fn trip(&mut self, err: &SimError) {
+        self.stats.watchdog_trips += 1;
+        self.stats.last_trip = Some(err.to_string());
+        self.stats.quanta_degraded += 1;
+        self.stats.calibration_age += 1;
+        self.stats.messages_rerouted += self.detailed.in_flight() as u64;
+        self.consecutive_trips += 1;
+        self.inject_times.clear();
+        self.measured.clear();
+        match NocNetwork::new(self.detailed.config().clone()) {
+            Ok(fresh) => self.detailed = fresh,
+            // The config validated once already; if a rebuild somehow
+            // fails, give up on the detailed path entirely.
+            Err(_) => self.abandoned = true,
+        }
+        if self.consecutive_trips > self.policy.max_retries
+            || self.stats.watchdog_trips >= u64::from(self.policy.permanent_after)
+        {
+            self.abandoned = true;
+        }
+        self.stats.detailed_abandoned = self.abandoned;
+        if !self.abandoned {
+            self.backoff_remaining =
+                u64::from(self.policy.backoff_quanta) * u64::from(self.consecutive_trips);
+        }
     }
 }
 
 impl Network for ReciprocalNetwork {
     fn inject(&mut self, msg: NetMessage, now: Cycle) {
         self.fast.inject(msg, now);
+        if self.degraded() {
+            // The detailed path is out of service: the message rides the
+            // calibrated model alone.
+            self.stats.messages_rerouted += 1;
+            return;
+        }
         // In sampled mode a drained window can overrun the boundary; a
         // message landing inside that overrun would be measured with an
         // inflated latency, so it is left out of the sample instead.
@@ -262,14 +433,24 @@ impl Network for ReciprocalNetwork {
         self.fast.tick(now);
         while now.0 >= self.next_calibration {
             let boundary = self.next_calibration;
-            if self.window_sampled() {
-                self.calibrate(boundary);
+            if self.degraded() {
+                // Serve the quantum from the calibrated model alone; its
+                // answers age until the detailed model is readmitted.
+                self.stats.quanta_degraded += 1;
+                self.stats.calibration_age += 1;
+                self.backoff_remaining = self.backoff_remaining.saturating_sub(1);
+            } else if self.window_sampled() {
+                if let Err(err) = self.calibrate(boundary) {
+                    self.trip(&err);
+                }
             }
             self.window_idx += 1;
-            if self.window_sampled() {
-                // Entering a detailed window after skipped ones: jump the
-                // detailed clock over the un-simulated gap.
-                self.detailed.skip_to(boundary);
+            if !self.degraded() && self.window_sampled() {
+                // Entering a detailed window after skipped or degraded
+                // ones: jump the detailed clock over the un-simulated gap.
+                if let Err(err) = self.detailed.skip_to(boundary) {
+                    self.trip(&err);
+                }
             }
             self.next_calibration = boundary + self.quantum;
         }
@@ -436,6 +617,113 @@ mod tests {
         net.tick(Cycle(16_000));
         let out = net.drain_delivered(Cycle(16_000));
         assert_eq!(out.len(), id as usize);
+    }
+
+    #[test]
+    fn degraded_run_still_delivers_everything() {
+        use ra_noc::FaultPlan;
+        // Router 5 is isolated from cycle 0: every message addressed to it
+        // black-holes in the detailed NoC. The watchdog must trip, the
+        // coupler must degrade to the calibrated model, and the full
+        // system must still see every delivery.
+        let cfg = NocConfig::new(4, 4).with_faults(FaultPlan::new().isolate_router(5, 0));
+        let mut net = ReciprocalNetwork::new(cfg, 200, 0).unwrap();
+        let mut id = 0;
+        for now in 0..10_000u64 {
+            if now % 9 == 0 {
+                net.inject(msg(id, (id % 16) as u32, 5), Cycle(now));
+                id += 1;
+            }
+            net.tick(Cycle(now));
+        }
+        net.tick(Cycle(12_000));
+        let out = net.drain_delivered(Cycle(12_000));
+        assert_eq!(out.len(), id as usize, "fast path must deliver everything");
+        let stats = net.stats();
+        assert!(stats.watchdog_trips > 0, "watchdog never tripped: {stats:?}");
+        assert!(stats.quanta_degraded > 0);
+        assert!(stats.messages_rerouted > 0);
+        assert!(stats.last_trip.is_some());
+    }
+
+    #[test]
+    fn transient_stall_trips_then_recovers() {
+        use ra_noc::FaultPlan;
+        // A long scripted stall freezes router 5 across several quanta;
+        // after the window closes the detailed model must be readmitted
+        // and calibrate again.
+        let cfg = NocConfig::new(4, 4).with_faults(FaultPlan::new().stall_router(5, 0, 900));
+        let mut net = ReciprocalNetwork::new(cfg, 200, 0)
+            .unwrap()
+            .with_fallback_policy(FallbackPolicy {
+                max_retries: 10,
+                backoff_quanta: 1,
+                permanent_after: 50,
+            });
+        let mut id = 0;
+        for now in 0..20_000u64 {
+            if now % 6 == 0 {
+                // All traffic crosses the stalled router's column.
+                net.inject(msg(id, 1, 13), Cycle(now));
+                id += 1;
+            }
+            net.tick(Cycle(now));
+        }
+        let stats = net.stats();
+        assert!(stats.watchdog_trips > 0, "stall never tripped: {stats:?}");
+        assert!(!stats.detailed_abandoned, "transient fault must not abandon");
+        assert!(
+            stats.measured > 0,
+            "detailed model must measure again after recovery: {stats:?}"
+        );
+        assert_eq!(stats.calibration_age, 0, "recovered runs end freshly calibrated");
+    }
+
+    #[test]
+    fn repeated_trips_abandon_the_detailed_model() {
+        use ra_noc::FaultPlan;
+        let cfg = NocConfig::new(4, 4).with_faults(FaultPlan::new().isolate_router(5, 0));
+        let mut net = ReciprocalNetwork::new(cfg, 100, 0)
+            .unwrap()
+            .with_fallback_policy(FallbackPolicy {
+                max_retries: 1,
+                backoff_quanta: 1,
+                permanent_after: 3,
+            });
+        let mut id = 0;
+        for now in 0..30_000u64 {
+            if now % 11 == 0 {
+                net.inject(msg(id, (id % 16) as u32, 5), Cycle(now));
+                id += 1;
+            }
+            net.tick(Cycle(now));
+        }
+        let stats = net.stats();
+        assert!(stats.detailed_abandoned, "must abandon after repeated trips: {stats:?}");
+        assert!(stats.watchdog_trips <= 3, "trips must stop after abandonment");
+        assert!(net.degraded());
+        assert!(stats.calibration_age > 0);
+        // The run itself still completes on the fast path.
+        net.tick(Cycle(32_000));
+        assert_eq!(net.drain_delivered(Cycle(32_000)).len(), id as usize);
+    }
+
+    #[test]
+    fn fault_free_runs_never_degrade() {
+        let mut net = ReciprocalNetwork::new(NocConfig::new(4, 4), 200, 0).unwrap();
+        let mut id = 0;
+        for now in 0..5_000u64 {
+            if now % 7 == 0 {
+                net.inject(msg(id, (id % 16) as u32, ((id * 5 + 3) % 16) as u32), Cycle(now));
+                id += 1;
+            }
+            net.tick(Cycle(now));
+        }
+        let stats = net.stats();
+        assert_eq!(stats.watchdog_trips, 0);
+        assert_eq!(stats.quanta_degraded, 0);
+        assert_eq!(stats.messages_rerouted, 0);
+        assert!(!net.degraded());
     }
 
     #[test]

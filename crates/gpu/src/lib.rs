@@ -28,17 +28,19 @@
 //!     NetMessage::new(0, NodeId(0), NodeId(15), MessageClass::Request, 8),
 //!     Cycle(0),
 //! );
-//! engine.run_cycles(&mut net, 100);
+//! engine.run_cycles(&mut net, 100).expect("no worker faults");
 //! assert_eq!(net.stats().delivered, 1);
 //! # Ok::<(), ra_sim::ConfigError>(())
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;
 
 use parking_lot::RwLock;
 use ra_noc::{Flit, NocNetwork, Router, TopologyMap, Wire, Wires};
+use ra_sim::SimError;
 
 /// A snapshot of the raw pointers a cycle's phases operate on.
 ///
@@ -86,6 +88,11 @@ struct SharedState {
     end: Barrier,
     job: RwLock<Job>,
     shutdown: AtomicBool,
+    /// First panic caught inside a worker phase this cycle, as
+    /// `(worker index, panic payload)`. Workers always reach their
+    /// barriers even after a panic, so the coordinator can harvest the
+    /// fault instead of deadlocking on a dead thread.
+    fault: RwLock<Option<(usize, String)>>,
 }
 
 /// The contiguous router range worker `w` of `n` owns.
@@ -124,6 +131,7 @@ impl ParallelEngine {
             end: Barrier::new(workers + 1),
             job: RwLock::new(Job::empty()),
             shutdown: AtomicBool::new(false),
+            fault: RwLock::new(None),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -147,7 +155,15 @@ impl ParallelEngine {
     }
 
     /// Executes exactly one cycle of `net` on the pool.
-    pub fn run_cycle(&mut self, net: &mut NocNetwork) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Fault`] if a worker thread panicked while
+    /// executing a router phase. The pool itself survives (panics are
+    /// caught inside the workers, which still reach every barrier), so the
+    /// engine remains usable — but the network that was being stepped must
+    /// be considered corrupt and rebuilt by the caller.
+    pub fn run_cycle(&mut self, net: &mut NocNetwork) -> Result<(), SimError> {
         {
             let (now, topo, routers, wires) = net.parts();
             let job = Job {
@@ -166,39 +182,54 @@ impl ParallelEngine {
             self.shared.mid.wait();
             self.shared.end.wait();
         }
+        if let Some((worker, detail)) = self.shared.fault.write().take() {
+            return Err(SimError::Fault {
+                component: format!("noc-worker-{worker}"),
+                detail,
+            });
+        }
         net.finish_cycle();
+        Ok(())
     }
 
     /// Runs `cycles` consecutive cycles.
-    pub fn run_cycles(&mut self, net: &mut NocNetwork, cycles: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError::Fault`] from
+    /// [`run_cycle`](ParallelEngine::run_cycle).
+    pub fn run_cycles(&mut self, net: &mut NocNetwork, cycles: u64) -> Result<(), SimError> {
         for _ in 0..cycles {
-            self.run_cycle(net);
+            self.run_cycle(net)?;
         }
+        Ok(())
     }
 
     /// Runs until the network drains (every in-flight message delivered).
     ///
     /// # Errors
     ///
-    /// Returns [`ra_sim::SimError::Timeout`] if `budget` cycles elapse
-    /// first.
+    /// * [`SimError::Timeout`] if `budget` cycles elapse first;
+    /// * [`SimError::Fault`] if a worker panicked;
+    /// * [`SimError::Invariant`] if a router recorded a violated invariant.
     pub fn run_until_drained(
         &mut self,
         net: &mut NocNetwork,
         budget: u64,
-    ) -> Result<(), ra_sim::SimError> {
+    ) -> Result<(), SimError> {
         use ra_sim::Network;
         let start = net.next_cycle();
         while net.in_flight() > 0 {
+            net.check_invariant()?;
             if net.next_cycle() - start > budget {
-                return Err(ra_sim::SimError::Timeout {
+                return Err(SimError::Timeout {
                     budget,
                     waiting_for: format!("{} in-flight messages", net.in_flight()),
                 });
             }
-            self.run_cycle(net);
+            self.run_cycle(net)?;
         }
-        Ok(())
+        net.check_invariant()
     }
 }
 
@@ -214,6 +245,17 @@ impl Drop for ParallelEngine {
     }
 }
 
+/// Renders a caught panic payload into a displayable string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn worker_loop(worker: usize, workers: usize, shared: &SharedState) {
     loop {
         shared.start.wait();
@@ -222,27 +264,45 @@ fn worker_loop(worker: usize, workers: usize, shared: &SharedState) {
         }
         let job = *shared.job.read();
         let range = range_of(worker, workers, job.n_routers);
-        // SAFETY: `range` is disjoint across workers; the coordinator holds
-        // the &mut NocNetwork and is parked on the barriers, so no other
-        // aliasing access exists. `topo` and `wires` are only read.
-        unsafe {
-            let topo = &*job.topo;
-            let wires = &*job.wires;
-            for r in range.clone() {
-                (*job.routers.add(r)).phase_compute(topo, wires, job.now);
+        // Panics inside router phases (a model bug, or an injected test
+        // fault) must not kill the worker: a dead thread would deadlock the
+        // coordinator at the next barrier. Catch them, record the first one
+        // in the shared fault slot, and keep the barrier cadence intact.
+        let compute = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: `range` is disjoint across workers; the coordinator
+            // holds the &mut NocNetwork and is parked on the barriers, so no
+            // other aliasing access exists. `topo` and `wires` are only read.
+            unsafe {
+                let topo = &*job.topo;
+                let wires = &*job.wires;
+                for r in range.clone() {
+                    (*job.routers.add(r)).phase_compute(topo, wires, job.now);
+                }
             }
-        }
+        }));
         shared.mid.wait();
-        // SAFETY: each router writes only its own `ports`-sized wire chunk;
-        // chunks are disjoint because router ranges are disjoint.
-        unsafe {
-            for r in range {
-                let router = &mut *job.routers.add(r);
-                let fw =
-                    std::slice::from_raw_parts_mut(job.flit_wires.add(r * job.ports), job.ports);
-                let cw =
-                    std::slice::from_raw_parts_mut(job.credit_wires.add(r * job.ports), job.ports);
-                router.phase_send(fw, cw, job.now);
+        let send = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: each router writes only its own `ports`-sized wire
+            // chunk; chunks are disjoint because router ranges are disjoint.
+            unsafe {
+                for r in range.clone() {
+                    let router = &mut *job.routers.add(r);
+                    let fw = std::slice::from_raw_parts_mut(
+                        job.flit_wires.add(r * job.ports),
+                        job.ports,
+                    );
+                    let cw = std::slice::from_raw_parts_mut(
+                        job.credit_wires.add(r * job.ports),
+                        job.ports,
+                    );
+                    router.phase_send(fw, cw, job.now);
+                }
+            }
+        }));
+        if let Err(payload) = compute.and(send) {
+            let mut slot = shared.fault.write();
+            if slot.is_none() {
+                *slot = Some((worker, panic_message(payload.as_ref())));
             }
         }
         shared.end.wait();
@@ -284,7 +344,7 @@ mod tests {
         );
         for now in 0..2_000u64 {
             gen.inject_cycle(&mut net, Cycle(now));
-            engine.run_cycle(&mut net);
+            engine.run_cycle(&mut net).unwrap();
         }
         engine.run_until_drained(&mut net, 100_000).unwrap();
         assert_eq!(net.stats().injected, gen.injected());
@@ -306,7 +366,7 @@ mod tests {
             for now in 0..3_000u64 {
                 gen.inject_cycle(&mut net, Cycle(now));
                 match engine.as_mut() {
-                    Some(e) => e.run_cycle(&mut net),
+                    Some(e) => e.run_cycle(&mut net).unwrap(),
                     None => net.tick(Cycle(now)),
                 }
             }
@@ -333,7 +393,7 @@ mod tests {
             );
             for now in 0..500u64 {
                 gen.inject_cycle(&mut net, Cycle(now));
-                engine.run_cycle(&mut net);
+                engine.run_cycle(&mut net).unwrap();
             }
             engine.run_until_drained(&mut net, 50_000).unwrap();
             assert_eq!(net.stats().delivered, gen.injected());
@@ -350,5 +410,34 @@ mod tests {
     fn drop_joins_cleanly() {
         let engine = ParallelEngine::new(4);
         drop(engine); // must not hang or panic
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_fault_and_pool_survives() {
+        use ra_sim::{MessageClass, NetMessage, NodeId, SimError};
+        let mut engine = ParallelEngine::new(3);
+
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        net.inject(
+            NetMessage::new(0, NodeId(0), NodeId(15), MessageClass::Request, 8),
+            Cycle(0),
+        );
+        net.debug_router_mut(7).debug_force_panic();
+        let err = engine.run_cycle(&mut net).unwrap_err();
+        let SimError::Fault { component, detail } = &err else {
+            panic!("expected Fault, got {err:?}");
+        };
+        assert!(component.starts_with("noc-worker-"), "got {component}");
+        assert!(detail.contains("router 7"), "got {detail}");
+
+        // The pool must survive the panic: a fresh network runs to
+        // completion on the same engine.
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        net.inject(
+            NetMessage::new(0, NodeId(0), NodeId(15), MessageClass::Request, 8),
+            Cycle(0),
+        );
+        engine.run_until_drained(&mut net, 10_000).unwrap();
+        assert_eq!(net.stats().delivered, 1);
     }
 }

@@ -3,6 +3,8 @@
 use ra_sim::{ConfigError, MeshShape};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
+
 /// Network topology of the cycle-level NoC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TopologyKind {
@@ -71,6 +73,8 @@ pub struct NocConfig {
     pub link_latency: u32,
     /// Seed for allocator/routing randomness (O1TURN packet coin flips).
     pub seed: u64,
+    /// Scripted hardware faults (empty = fault-free).
+    pub faults: FaultPlan,
 }
 
 impl NocConfig {
@@ -92,49 +96,75 @@ impl NocConfig {
             flit_bytes: 16,
             link_latency: 1,
             seed: 0,
+            faults: FaultPlan::default(),
         }
     }
 
     /// Sets the topology.
+    #[must_use]
     pub fn with_topology(mut self, topology: TopologyKind) -> Self {
         self.topology = topology;
         self
     }
 
     /// Sets the routing algorithm.
+    #[must_use]
     pub fn with_routing(mut self, routing: Routing) -> Self {
         self.routing = routing;
         self
     }
 
     /// Sets the number of VCs per virtual network.
+    #[must_use]
     pub fn with_vcs_per_vnet(mut self, vcs: u32) -> Self {
         self.vcs_per_vnet = vcs;
         self
     }
 
     /// Sets the per-VC buffer depth in flits.
+    #[must_use]
     pub fn with_vc_depth(mut self, depth: u32) -> Self {
         self.vc_depth = depth;
         self
     }
 
     /// Sets the flit width in bytes.
+    #[must_use]
     pub fn with_flit_bytes(mut self, bytes: u32) -> Self {
         self.flit_bytes = bytes;
         self
     }
 
     /// Sets the link latency in cycles.
+    #[must_use]
     pub fn with_link_latency(mut self, cycles: u32) -> Self {
         self.link_latency = cycles;
         self
     }
 
     /// Sets the randomness seed.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Installs a fault-injection script (see [`FaultPlan`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Router count implied by the shape and topology (CMesh concentrates
+    /// `concentration` nodes onto one router).
+    pub fn routers(&self) -> u32 {
+        match self.topology {
+            TopologyKind::CMesh { concentration } if concentration > 0 => {
+                (self.shape.nodes() as u32) / concentration
+            }
+            _ => self.shape.nodes() as u32,
+        }
     }
 
     /// Checks the configuration for internal consistency.
@@ -199,6 +229,8 @@ impl NocConfig {
                 )));
             }
         }
+        self.faults.validate()?;
+        self.faults.validate_routers(self.routers())?;
         Ok(())
     }
 }
@@ -243,6 +275,23 @@ mod tests {
             .with_routing(Routing::O1Turn)
             .with_topology(TopologyKind::Torus);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_is_validated_with_the_config() {
+        let bad_dir = NocConfig::new(4, 4).with_faults(FaultPlan::new().kill_link(0, 9, 0));
+        assert!(bad_dir.validate().is_err());
+        let bad_router = NocConfig::new(4, 4).with_faults(FaultPlan::new().kill_link(99, 0, 0));
+        assert!(bad_router.validate().is_err());
+        let good = NocConfig::new(4, 4).with_faults(FaultPlan::new().kill_link(5, 0, 100));
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn router_count_accounts_for_concentration() {
+        assert_eq!(NocConfig::new(4, 4).routers(), 16);
+        let cmesh = NocConfig::new(8, 4).with_topology(TopologyKind::CMesh { concentration: 2 });
+        assert_eq!(cmesh.routers(), 16);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   so coherence-protocol messages cannot deadlock each other;
 //! * **Synthetic traffic** ([`traffic`]) for isolated (in-vacuum)
 //!   evaluation — the methodology the paper shows to be misleading;
+//! * **Fault injection** ([`fault`]): deterministic seeded scripts that
+//!   kill or degrade links and stall routers; routing detours around
+//!   permanent dead links and [`NocStats::faults`] counts what was
+//!   absorbed vs. lost;
 //! * Full [`NocStats`]: latency breakdowns, per-(class, hops) tables,
 //!   throughput and histograms.
 //!
@@ -40,6 +44,7 @@
 
 pub mod config;
 pub mod deflection;
+pub mod fault;
 pub mod flit;
 pub mod network;
 pub mod power;
@@ -51,11 +56,12 @@ pub mod wire;
 
 pub use config::{NocConfig, Routing, TopologyKind};
 pub use deflection::{DeflectionConfig, DeflectionNetwork};
+pub use fault::{FaultEvent, FaultPlan};
 pub use flit::{Flit, FlitKind, PacketId};
 pub use network::NocNetwork;
 pub use power::{EnergyBreakdown, EnergyParams};
 pub use router::Router;
-pub use stats::NocStats;
+pub use stats::{FaultStats, NocStats};
 pub use topology::{RouteDecision, TopologyMap};
 pub use traffic::{InjectionProcess, TrafficGen, TrafficPattern};
 pub use wire::{Wire, Wires};

@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use ra_sim::{Cycle, Delivery, NetMessage, Network, SimError};
+use ra_sim::{Cycle, Delivery, MessageClass, NetMessage, Network, SimError};
 
 use crate::config::NocConfig;
 use crate::flit::PacketId;
@@ -69,9 +69,15 @@ pub struct NocNetwork {
     inject_seq: u64,
     delivered_out: Vec<Delivery>,
     in_flight_count: usize,
+    /// In-flight messages per virtual network (message class).
+    in_flight_by_class: Vec<usize>,
     next_cycle: u64,
     idle_cycles: u64,
     stats: NocStats,
+    /// First invariant violation collected from any router, held until a
+    /// supervisor observes it via
+    /// [`check_invariant`](NocNetwork::check_invariant).
+    invariant: Option<SimError>,
 }
 
 impl NocNetwork {
@@ -100,9 +106,11 @@ impl NocNetwork {
             inject_seq: 0,
             delivered_out: Vec::new(),
             in_flight_count: 0,
+            in_flight_by_class: vec![0; MessageClass::COUNT],
             next_cycle: 0,
             idle_cycles: 0,
             stats,
+            invariant: None,
         })
     }
 
@@ -166,21 +174,43 @@ impl NocNetwork {
     /// collects deliveries and statistics and advances the clock.
     pub fn finish_cycle(&mut self) {
         let now = self.next_cycle;
+        let has_faults = !self.cfg.faults.is_empty();
         let mut any_active = false;
         for router in &mut self.routers {
             any_active |= router.stats.active;
+            if let Some(msg) = router.take_invariant() {
+                if self.invariant.is_none() {
+                    self.invariant = Some(SimError::Invariant(msg));
+                }
+            }
+            if has_faults {
+                let events = router.take_fault_events();
+                self.stats.faults.merge(&events);
+            }
             for (pkt, at) in router.net_started.drain(..) {
-                let info = self.packets[pkt as usize]
-                    .as_mut()
-                    .expect("net_started for unknown packet");
-                info.net_start = at;
+                match self.packets.get_mut(pkt as usize).and_then(Option::as_mut) {
+                    Some(info) => info.net_start = at,
+                    None => {
+                        if self.invariant.is_none() {
+                            self.invariant = Some(SimError::Invariant(format!(
+                                "net_started for unknown packet {pkt} at cycle {at}"
+                            )));
+                        }
+                    }
+                }
             }
             for (pkt, at) in router.delivered.drain(..) {
-                let info = self.packets[pkt as usize]
-                    .take()
-                    .expect("delivery of unknown packet");
+                let Some(info) = self.packets.get_mut(pkt as usize).and_then(Option::take) else {
+                    if self.invariant.is_none() {
+                        self.invariant = Some(SimError::Invariant(format!(
+                            "delivery of unknown packet {pkt} at cycle {at}"
+                        )));
+                    }
+                    continue;
+                };
                 self.free.push(pkt);
                 self.in_flight_count -= 1;
+                self.in_flight_by_class[info.msg.class.vnet()] -= 1;
                 let hops = self.topo.hops(info.msg.src, info.msg.dst);
                 let total = at - info.inject;
                 let net = at - info.net_start;
@@ -234,23 +264,34 @@ impl NocNetwork {
     /// Skipped cycles are not counted in [`NocStats::cycles`]: they were
     /// never simulated.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the network still holds traffic (in-flight messages,
-    /// buffered flits, or queued injections due before `cycle`): skipping
-    /// over live traffic would corrupt timing.
-    pub fn skip_to(&mut self, cycle: u64) {
+    /// Returns [`SimError::Invariant`] if the network still holds traffic
+    /// (in-flight messages, buffered flits, or queued injections due before
+    /// `cycle`): skipping over live traffic would corrupt timing.
+    pub fn skip_to(&mut self, cycle: u64) -> Result<(), SimError> {
         if cycle <= self.next_cycle {
-            return;
+            return Ok(());
         }
-        assert_eq!(self.in_flight(), 0, "cannot skip over in-flight traffic");
-        assert_eq!(self.buffered_flits(), 0, "cannot skip over buffered flits");
+        if self.in_flight() != 0 {
+            return Err(SimError::Invariant(format!(
+                "cannot skip over {} in-flight messages",
+                self.in_flight()
+            )));
+        }
+        if self.buffered_flits() != 0 {
+            return Err(SimError::Invariant(format!(
+                "cannot skip over {} buffered flits",
+                self.buffered_flits()
+            )));
+        }
         if let Some(Reverse(q)) = self.future.peek() {
-            assert!(
-                q.cycle >= cycle,
-                "cannot skip past a queued injection at cycle {}",
-                q.cycle
-            );
+            if q.cycle < cycle {
+                return Err(SimError::Invariant(format!(
+                    "cannot skip past a queued injection at cycle {}",
+                    q.cycle
+                )));
+            }
         }
         // The last deliveries' return credits may still be in flight on the
         // wires; run the (traffic-free) network for one link round so every
@@ -258,7 +299,7 @@ impl NocNetwork {
         // buffer slot permanently.
         for _ in 0..=self.cfg.link_latency as u64 {
             if self.next_cycle >= cycle {
-                return;
+                return Ok(());
             }
             self.step();
         }
@@ -267,6 +308,7 @@ impl NocNetwork {
         // wipe them (everything live has now been consumed).
         self.wires.clear();
         self.next_cycle = cycle;
+        Ok(())
     }
 
     /// Runs until every in-flight message has been delivered.
@@ -274,15 +316,17 @@ impl NocNetwork {
     /// # Errors
     ///
     /// * [`SimError::Timeout`] if `budget` cycles elapse first;
-    /// * [`SimError::Invariant`] if the watchdog sees prolonged total
-    ///   inactivity with traffic in flight (a deadlock).
+    /// * [`SimError::Invariant`] if a router recorded an invariant
+    ///   violation, or the watchdog sees prolonged total inactivity with
+    ///   traffic in flight (a deadlock).
     pub fn run_until_drained(&mut self, budget: u64) -> Result<(), SimError> {
         let start = self.next_cycle;
         while self.in_flight() > 0 {
+            self.check_invariant()?;
             if self.next_cycle - start > budget {
                 return Err(SimError::Timeout {
                     budget,
-                    waiting_for: format!("{} in-flight messages", self.in_flight()),
+                    waiting_for: self.drain_wait_description(),
                 });
             }
             if self.idle_cycles > WATCHDOG_CYCLES {
@@ -294,7 +338,98 @@ impl NocNetwork {
             }
             self.step();
         }
+        self.check_invariant()
+    }
+
+    /// What a [`run_until_drained`](NocNetwork::run_until_drained) timeout
+    /// was waiting on: in-flight totals, the per-class breakdown, and how
+    /// many flits sit buffered inside routers.
+    fn drain_wait_description(&self) -> String {
+        let mut by_class = String::new();
+        for class in MessageClass::ALL {
+            let n = self.in_flight_by_class[class.vnet()];
+            if n > 0 {
+                if !by_class.is_empty() {
+                    by_class.push_str(", ");
+                }
+                by_class.push_str(&format!("{class:?}: {n}"));
+            }
+        }
+        format!(
+            "{} in-flight messages ({by_class}); {} flits buffered in routers",
+            self.in_flight(),
+            self.buffered_flits()
+        )
+    }
+
+    /// Returns the first invariant violation any router has recorded, or
+    /// the first packet-accounting violation the network itself noticed.
+    ///
+    /// The error is *not* cleared: a corrupted network stays corrupted, and
+    /// every subsequent check reports the original cause.
+    ///
+    /// # Errors
+    ///
+    /// The stored [`SimError::Invariant`], if any.
+    pub fn check_invariant(&self) -> Result<(), SimError> {
+        match &self.invariant {
+            Some(err) => Err(err.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Audits conservation invariants across the whole network:
+    /// message accounting (`injected - delivered == in_flight`, per-class
+    /// counts summing to the total, live packet slots matching) and every
+    /// router's credit/buffer bounds.
+    ///
+    /// Cheap enough to run at every co-simulation quantum boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invariant`] naming the first violated conservation law.
+    pub fn audit(&self) -> Result<(), SimError> {
+        self.check_invariant()?;
+        let live = self.packets.iter().filter(|p| p.is_some()).count();
+        if live != self.in_flight_count {
+            return Err(SimError::Invariant(format!(
+                "packet table holds {live} live packets but in-flight count is {}",
+                self.in_flight_count
+            )));
+        }
+        let by_class: usize = self.in_flight_by_class.iter().sum();
+        if by_class != self.in_flight_count {
+            return Err(SimError::Invariant(format!(
+                "per-class in-flight counts sum to {by_class}, total is {}",
+                self.in_flight_count
+            )));
+        }
+        let balance = self.stats.injected - self.stats.delivered;
+        if balance != self.in_flight_count as u64 {
+            return Err(SimError::Invariant(format!(
+                "message accounting violated: injected {} - delivered {} != {} in flight",
+                self.stats.injected, self.stats.delivered, self.in_flight_count
+            )));
+        }
+        for router in &self.routers {
+            router
+                .audit()
+                .map_err(|msg| SimError::Invariant(format!("router {}: {msg}", router.id())))?;
+        }
         Ok(())
+    }
+
+    /// Consecutive cycles of total inactivity with traffic in flight —
+    /// the progress signal external watchdogs key on.
+    pub fn idle_cycles(&self) -> u64 {
+        self.idle_cycles
+    }
+
+    /// Mutable access to one router, for tests that need to corrupt or
+    /// sabotage state deliberately.
+    #[doc(hidden)]
+    pub fn debug_router_mut(&mut self, idx: usize) -> &mut Router {
+        &mut self.routers[idx]
     }
 
     /// The routers (read-only; used by the energy model and diagnostics).
@@ -380,6 +515,7 @@ impl Network for NocNetwork {
         }
         self.stats.injected += 1;
         self.in_flight_count += 1;
+        self.in_flight_by_class[msg.class.vnet()] += 1;
     }
 
     fn tick(&mut self, now: Cycle) {
@@ -537,6 +673,153 @@ mod tests {
         assert_eq!(net.next_cycle(), 11);
         net.tick(Cycle(5)); // no-op: already past
         assert_eq!(net.next_cycle(), 11);
+    }
+
+    #[test]
+    fn audit_passes_on_live_traffic() {
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        for i in 0..8 {
+            net.inject(msg(i, 0, 15, MessageClass::Request, 8), Cycle(0));
+        }
+        for _ in 0..10 {
+            net.step();
+            net.audit().unwrap();
+        }
+        net.run_until_drained(10_000).unwrap();
+        net.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_catches_corrupted_router_state() {
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        net.audit().unwrap();
+        net.debug_router_mut(3).debug_corrupt_credits();
+        let err = net.audit().unwrap_err();
+        assert!(matches!(err, SimError::Invariant(_)), "got {err:?}");
+        assert!(err.to_string().contains("router 3"), "got {err}");
+    }
+
+    #[test]
+    fn timeout_reports_class_and_buffer_breakdown() {
+        let mut net = NocNetwork::new(NocConfig::new(8, 8)).unwrap();
+        net.inject(msg(0, 0, 63, MessageClass::Request, 8), Cycle(0));
+        net.inject(msg(1, 5, 60, MessageClass::Response, 72), Cycle(0));
+        let err = net.run_until_drained(2).unwrap_err();
+        let SimError::Timeout { waiting_for, .. } = &err else {
+            panic!("expected timeout, got {err:?}");
+        };
+        assert!(waiting_for.contains("2 in-flight"), "got {waiting_for}");
+        assert!(waiting_for.contains("Request: 1"), "got {waiting_for}");
+        assert!(waiting_for.contains("Response: 1"), "got {waiting_for}");
+        assert!(waiting_for.contains("buffered"), "got {waiting_for}");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use ra_sim::{MessageClass, NodeId};
+
+    fn msg(id: u64, src: u32, dst: u32) -> NetMessage {
+        NetMessage::new(id, NodeId(src), NodeId(dst), MessageClass::Request, 8)
+    }
+
+    /// East link of router 5 dies before traffic starts: everything still
+    /// delivers (detours), and the reroute counter proves the detour table
+    /// was exercised.
+    #[test]
+    fn dead_link_is_detoured_and_counted() {
+        let cfg = NocConfig::new(4, 4)
+            .with_faults(FaultPlan::new().kill_link(5, crate::topology::EAST, 0));
+        let mut net = NocNetwork::new(cfg).unwrap();
+        let mut id = 0;
+        for s in 0..16 {
+            for d in 0..16 {
+                net.inject(msg(id, s, d), Cycle(0));
+                id += 1;
+            }
+        }
+        net.run_until_drained(100_000).unwrap();
+        assert_eq!(net.stats().delivered, id);
+        assert!(
+            net.stats().faults.reroutes > 0,
+            "dimension-order paths through the dead link must have been detoured"
+        );
+        assert_eq!(net.stats().faults.flits_dropped(), 0);
+        net.audit().unwrap();
+    }
+
+    /// A router isolated by killing all its links swallows traffic routed
+    /// to it; the run must fail cleanly (timeout or deadlock watchdog),
+    /// never panic.
+    #[test]
+    fn isolated_destination_fails_cleanly() {
+        let cfg = NocConfig::new(4, 4).with_faults(FaultPlan::new().isolate_router(5, 0));
+        let mut net = NocNetwork::new(cfg).unwrap();
+        net.inject(msg(0, 0, 5), Cycle(0));
+        let err = net.run_until_drained(5_000).unwrap_err();
+        assert!(
+            matches!(err, SimError::Timeout { .. } | SimError::Invariant(_)),
+            "got {err:?}"
+        );
+        // The flit was dropped at the dead link; accounting still balances.
+        assert_eq!(net.stats().delivered, 0);
+        assert!(net.stats().faults.flits_dropped_dead > 0);
+    }
+
+    /// Random fault plans over random traffic: the network must never
+    /// panic, and surviving runs must keep accounting balanced.
+    #[test]
+    fn random_fault_plans_never_panic() {
+        for seed in 0..12 {
+            let plan = FaultPlan::random(seed, 16, 4, 2_000);
+            let cfg = NocConfig::new(4, 4).with_faults(plan).with_seed(seed);
+            let mut net = NocNetwork::new(cfg).unwrap();
+            for i in 0..40 {
+                net.inject(
+                    msg(i, (i as u32 * 3) % 16, (i as u32 * 7 + 1) % 16),
+                    Cycle(i * 5),
+                );
+            }
+            // Faulted runs may legitimately time out (messages lost to dead
+            // links); what they may not do is panic or corrupt accounting.
+            let _ = net.run_until_drained(20_000);
+            let live = net.stats().injected - net.stats().delivered;
+            assert_eq!(live, net.in_flight() as u64, "accounting broke for seed {seed}");
+        }
+    }
+
+    /// A scripted stall freezes a router mid-run; traffic resumes and
+    /// drains after the window closes.
+    #[test]
+    fn stalled_router_recovers_after_window() {
+        let cfg = NocConfig::new(4, 4).with_faults(FaultPlan::new().stall_router(5, 10, 60));
+        let mut net = NocNetwork::new(cfg).unwrap();
+        for i in 0..10 {
+            net.inject(msg(i, 0, 15), Cycle(0));
+        }
+        net.run_until_drained(10_000).unwrap();
+        assert_eq!(net.stats().delivered, 10);
+        assert!(net.stats().faults.stall_cycles > 0);
+    }
+
+    /// A forced router panic inside the debug hook surfaces through the
+    /// poison path as an `Invariant` error from `run_until_drained`.
+    #[test]
+    fn corrupted_credits_surface_as_invariant_via_audit() {
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        net.inject(msg(0, 0, 15), Cycle(0));
+        net.debug_router_mut(0).debug_corrupt_credits();
+        // The corrupted output VC overflows on the next returned credit;
+        // either the router poisons itself (overflow detected) or the
+        // audit catches the standing violation.
+        let run = net.run_until_drained(10_000);
+        let audit = net.audit();
+        assert!(
+            run.is_err() || audit.is_err(),
+            "corruption must be detected: run {run:?}, audit {audit:?}"
+        );
     }
 }
 

@@ -21,7 +21,9 @@ use std::collections::VecDeque;
 use ra_sim::{MessageClass, Pcg32};
 
 use crate::config::{NocConfig, Routing, TopologyKind};
+use crate::fault::FaultState;
 use crate::flit::{Flit, FlitKind, PacketId};
+use crate::stats::FaultStats;
 use crate::topology::TopologyMap;
 use crate::wire::{Credit, Wire, Wires};
 
@@ -142,6 +144,18 @@ pub struct Router {
     pub(crate) net_started: Vec<(PacketId, u64)>,
     /// Per-cycle counters, drained by the network.
     pub(crate) stats: RouterStats,
+    /// Expanded fault script touching this router (None = fault-free).
+    fault: Option<FaultState>,
+    /// Fault events since the network last drained them.
+    fault_events: FaultStats,
+    /// First invariant violation observed, if any. Instead of panicking
+    /// mid-phase (which would poison the parallel engine's shared state),
+    /// the router records the violation and keeps limping along; the
+    /// network converts it into a structured
+    /// [`SimError::Invariant`](ra_sim::SimError) at the cycle boundary.
+    invariant: Option<String>,
+    /// Test hook: panic on the next `phase_compute`.
+    debug_panic: bool,
 }
 
 impl Router {
@@ -153,7 +167,7 @@ impl Router {
         let total_vcs = vnets * cfg.vcs_per_vnet;
         let n_vcs = (ports * total_vcs) as usize;
         let mut rng = Pcg32::new(seed, u64::from(id) * 2 + 1);
-        let _ = topo;
+        let fault = FaultState::for_router(&cfg.faults, id, topo, cfg.seed);
         let ni = (0..locals)
             .map(|l| {
                 LocalIface {
@@ -193,6 +207,10 @@ impl Router {
                 flits_out: vec![0; ports as usize],
                 ..RouterStats::default()
             },
+            fault,
+            fault_events: FaultStats::default(),
+            invariant: None,
+            debug_panic: false,
         }
     }
 
@@ -232,9 +250,104 @@ impl Router {
             .sum()
     }
 
+    /// Records the first invariant violation; later ones are dropped (the
+    /// first is almost always the root cause).
+    fn poison(&mut self, msg: String) {
+        if self.invariant.is_none() {
+            self.invariant = Some(msg);
+        }
+    }
+
+    /// Whether the channel at `port` is dead at `now`.
+    #[inline]
+    fn link_dead(&self, port: u32, now: u64) -> bool {
+        match &self.fault {
+            Some(f) => f.link_dead(port as usize, now),
+            None => false,
+        }
+    }
+
+    /// Takes the pending invariant violation, if any.
+    pub(crate) fn take_invariant(&mut self) -> Option<String> {
+        self.invariant.take()
+    }
+
+    /// Takes the fault events recorded since the last drain.
+    pub(crate) fn take_fault_events(&mut self) -> FaultStats {
+        std::mem::take(&mut self.fault_events)
+    }
+
+    /// Cross-checks this router's internal bookkeeping: credit counts stay
+    /// within buffer depth, buffers stay within depth, and every owned
+    /// output VC points at an active input VC.
+    pub(crate) fn audit(&self) -> Result<(), String> {
+        for port in 0..self.ports {
+            for vc in 0..self.total_vcs {
+                let idx = self.ivc_index(port, vc);
+                let ovc = &self.out_vcs[idx];
+                if ovc.credits > self.vc_depth {
+                    return Err(format!(
+                        "router {}: output vc ({port},{vc}) holds {} credits, depth {}",
+                        self.id, ovc.credits, self.vc_depth
+                    ));
+                }
+                if let Some(owner) = ovc.owner {
+                    match self.in_vcs.get(owner as usize) {
+                        Some(ivc) if ivc.state == VcState::Active => {}
+                        _ => {
+                            return Err(format!(
+                                "router {}: output vc ({port},{vc}) owned by \
+                                 non-active input vc {owner}",
+                                self.id
+                            ));
+                        }
+                    }
+                }
+                let ivc = &self.in_vcs[idx];
+                if ivc.buf.len() > self.vc_depth as usize {
+                    return Err(format!(
+                        "router {}: input vc ({port},{vc}) buffers {} flits, depth {}",
+                        self.id,
+                        ivc.buf.len(),
+                        self.vc_depth
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Test hook: the next `phase_compute` panics, simulating a crashing
+    /// component inside an engine worker.
+    #[doc(hidden)]
+    pub fn debug_force_panic(&mut self) {
+        self.debug_panic = true;
+    }
+
+    /// Test hook: corrupts credit bookkeeping so the next audit fails.
+    #[doc(hidden)]
+    pub fn debug_corrupt_credits(&mut self) {
+        let idx = self.ivc_index(self.locals, 0);
+        self.out_vcs[idx].credits = self.vc_depth + 3;
+    }
+
     /// Phase 1: consume wires, run SA/ST, VA, RC, and NI injection.
+    ///
+    /// A router frozen by a scripted [`RouterStall`](crate::FaultEvent)
+    /// does nothing this cycle: it neither reads its wires (in-flight
+    /// flits towards it expire unread and are lost upstream) nor stages
+    /// anything to send.
     pub fn phase_compute(&mut self, topo: &TopologyMap, wires: &Wires, now: u64) {
         self.stats.active = false;
+        if self.debug_panic {
+            panic!("injected test panic in router {}", self.id);
+        }
+        if let Some(f) = &self.fault {
+            if f.stalled(now) {
+                self.fault_events.stall_cycles += 1;
+                return;
+            }
+        }
         self.receive_credits(topo, wires, now);
         self.receive_flits(topo, wires, now);
         self.inject_from_ni(now);
@@ -256,25 +369,45 @@ impl Router {
         debug_assert_eq!(flit_wires.len(), self.ports as usize);
         debug_assert_eq!(credit_wires.len(), self.ports as usize);
         for p in 0..self.ports as usize {
-            flit_wires[p].write(now, self.out_staging[p].take());
-            credit_wires[p].write(now, self.credit_staging[p].take());
+            let mut flit = self.out_staging[p].take();
+            let mut credit = self.credit_staging[p].take();
+            // Link faults act at the channel: a dead link carries nothing
+            // (flits and credit returns are lost), a flaky link drops
+            // flits by a per-router deterministic coin flip.
+            if let Some(fault) = self.fault.as_mut() {
+                if fault.link_dead(p, now) {
+                    if flit.take().is_some() {
+                        self.fault_events.flits_dropped_dead += 1;
+                    }
+                    credit = None;
+                } else if flit.is_some() && fault.flaky_drop(p, now) {
+                    flit = None;
+                    self.fault_events.flits_dropped_flaky += 1;
+                }
+            }
+            flit_wires[p].write(now, flit);
+            credit_wires[p].write(now, credit);
         }
     }
 
     /// Pulls credits sent upstream by downstream routers.
     fn receive_credits(&mut self, topo: &TopologyMap, wires: &Wires, now: u64) {
         for port in self.locals..self.ports {
+            if self.link_dead(port, now) {
+                continue; // dead channels return no credits
+            }
             if let Some((dst_router, dst_in_port)) = topo.link_dst(self.id, port) {
                 let wire = &wires.credits[wires.index(dst_router, dst_in_port)];
                 if let Some(vc) = wire.read(now) {
                     let idx = self.ivc_index(port, u32::from(vc));
-                    let ovc = &mut self.out_vcs[idx];
-                    ovc.credits += 1;
-                    debug_assert!(
-                        ovc.credits <= self.vc_depth,
-                        "credit overflow on router {} port {port} vc {vc}",
-                        self.id
-                    );
+                    if self.out_vcs[idx].credits >= self.vc_depth {
+                        self.poison(format!(
+                            "credit overflow on router {} port {port} vc {vc}",
+                            self.id
+                        ));
+                        continue;
+                    }
+                    self.out_vcs[idx].credits += 1;
                 }
             }
         }
@@ -283,18 +416,29 @@ impl Router {
     /// Pulls flits sent by upstream routers into input buffers.
     fn receive_flits(&mut self, topo: &TopologyMap, wires: &Wires, now: u64) {
         for port in self.locals..self.ports {
+            if self.link_dead(port, now) {
+                // Flits in transit when the channel died expire unread.
+                if let Some((src_router, src_out_port)) = topo.link_src(self.id, port) {
+                    let wire = &wires.flits[wires.index(src_router, src_out_port)];
+                    if wire.read(now).is_some() {
+                        self.fault_events.flits_dropped_dead += 1;
+                    }
+                }
+                continue;
+            }
             if let Some((src_router, src_out_port)) = topo.link_src(self.id, port) {
                 let wire = &wires.flits[wires.index(src_router, src_out_port)];
                 if let Some(flit) = wire.read(now) {
                     let idx = self.ivc_index(port, u32::from(flit.vc));
                     let depth = self.vc_depth as usize;
-                    let ivc = &mut self.in_vcs[idx];
-                    debug_assert!(
-                        ivc.buf.len() < depth,
-                        "buffer overflow: credits out of sync on router {}",
-                        self.id
-                    );
-                    ivc.buf.push_back(flit);
+                    if self.in_vcs[idx].buf.len() >= depth {
+                        self.poison(format!(
+                            "buffer overflow: credits out of sync on router {} port {port} vc {}",
+                            self.id, flit.vc
+                        ));
+                        continue;
+                    }
+                    self.in_vcs[idx].buf.push_back(flit);
                     self.stats.buffer_writes += 1;
                     self.stats.active = true;
                 }
@@ -340,7 +484,13 @@ impl Router {
                         ivc.state == VcState::Idle && ivc.buf.is_empty()
                     });
                     if let Some(vc) = free {
-                        let pending = self.ni[li].queues[v].pop_front().expect("nonempty");
+                        let Some(pending) = self.ni[li].queues[v].pop_front() else {
+                            self.poison(format!(
+                                "NI queue emptied under us on router {} local {local} vnet {v}",
+                                self.id
+                            ));
+                            continue;
+                        };
                         let route_hint = if matches!(self.routing, Routing::O1Turn) {
                             (self.ni[li].rng.next_u32() & 1) as u8
                         } else {
@@ -430,14 +580,26 @@ impl Router {
             let Some(in_port) = granted_in[out_port as usize] else {
                 continue;
             };
-            let (vc, _) = candidate[in_port as usize].expect("granted implies nominated");
+            let Some((vc, _)) = candidate[in_port as usize] else {
+                self.poison(format!(
+                    "switch grant without a nomination on router {} in-port {in_port}",
+                    self.id
+                ));
+                continue;
+            };
             self.sa_vc_ptr[in_port as usize] = (vc + 1) % self.total_vcs;
             let in_idx = self.ivc_index(in_port, vc);
             let (out_vc, next_class) = {
                 let ivc = &self.in_vcs[in_idx];
                 (ivc.out_vc, ivc.next_class)
             };
-            let mut flit = self.in_vcs[in_idx].buf.pop_front().expect("nominated nonempty");
+            let Some(mut flit) = self.in_vcs[in_idx].buf.pop_front() else {
+                self.poison(format!(
+                    "switch traversal from an empty VC on router {} port {in_port} vc {vc}",
+                    self.id
+                ));
+                continue;
+            };
             self.stats.buffer_reads += 1;
             self.stats.sa_grants += 1;
             flit.vc = out_vc as u8;
@@ -453,9 +615,22 @@ impl Router {
                     self.delivered.push((flit.pkt, now));
                 }
             } else {
-                let ovc = &mut self.out_vcs[out_idx];
-                debug_assert!(ovc.credits > 0);
-                ovc.credits -= 1;
+                let no_credit = {
+                    let ovc = &mut self.out_vcs[out_idx];
+                    if ovc.credits == 0 {
+                        true
+                    } else {
+                        ovc.credits -= 1;
+                        false
+                    }
+                };
+                if no_credit {
+                    self.poison(format!(
+                        "switch traversal without a credit on router {} out-port {out_port} \
+                         vc {out_vc}",
+                        self.id
+                    ));
+                }
                 debug_assert!(self.out_staging[out_port as usize].is_none());
                 self.out_staging[out_port as usize] = Some(flit);
                 self.stats.link_flits += 1;
@@ -480,10 +655,17 @@ impl Router {
             if self.in_vcs[idx].state != VcState::Routed {
                 continue;
             }
+            let Some(&head) = self.in_vcs[idx].buf.front() else {
+                self.poison(format!(
+                    "routed VC lost its head flit on router {} (vc index {idx})",
+                    self.id
+                ));
+                self.in_vcs[idx].state = VcState::Idle;
+                continue;
+            };
+            debug_assert!(head.kind.is_head());
             let (out_port, vnet, next_class, route_hint) = {
                 let ivc = &self.in_vcs[idx];
-                let head = ivc.buf.front().expect("routed VC holds its head flit");
-                debug_assert!(head.kind.is_head());
                 (ivc.out_port, u32::from(head.vnet), ivc.next_class, head.route_hint)
             };
             if let Some(out_vc) = self.pick_output_vc(out_port, vnet, next_class, route_hint) {
@@ -538,12 +720,30 @@ impl Router {
                 let Some(&head) = self.in_vcs[idx].buf.front() else {
                     continue;
                 };
-                debug_assert!(
-                    head.kind.is_head(),
-                    "idle VC front must be a head flit (router {}, port {port}, vc {vc})",
-                    self.id
-                );
+                if !head.kind.is_head() {
+                    if self.fault.is_some() {
+                        // Orphaned body/tail flit whose head was lost on a
+                        // flaky link upstream: discard it. Its buffer-slot
+                        // credit is not returned — lossy channels degrade
+                        // permanently, same as the drop in `phase_send`.
+                        self.in_vcs[idx].buf.pop_front();
+                        self.fault_events.flits_dropped_flaky += 1;
+                    } else {
+                        self.poison(format!(
+                            "idle VC front is not a head flit on router {}, port {port}, vc {vc}",
+                            self.id
+                        ));
+                    }
+                    continue;
+                }
                 let decision = topo.route(self.id, &head);
+                if topo.has_detours()
+                    && decision.out_port != topo.route_base(self.id, &head).out_port
+                {
+                    // Steered off dimension order to dodge a dead link:
+                    // a fault survived by routing.
+                    self.fault_events.reroutes += 1;
+                }
                 let next_class = if decision.crosses_dateline {
                     1
                 } else if self.torus {
@@ -671,6 +871,47 @@ mod tests {
         }
         // Inject @0, RC @0, VA @1, ST @2.
         assert_eq!(delivered_at, Some(2));
+    }
+
+    #[test]
+    fn audit_passes_fresh_and_catches_corruption() {
+        let (mut r, _, _) = mini_router();
+        assert!(r.audit().is_ok());
+        assert!(r.take_invariant().is_none());
+        r.debug_corrupt_credits();
+        let err = r.audit().unwrap_err();
+        assert!(err.contains("credits"), "unexpected audit message: {err}");
+    }
+
+    #[test]
+    fn stalled_router_freezes_then_recovers() {
+        use crate::fault::FaultPlan;
+        let cfg = NocConfig::new(2, 2)
+            .with_vcs_per_vnet(2)
+            .with_vc_depth(2)
+            .with_faults(FaultPlan::new().stall_router(0, 0, 5));
+        let topo = TopologyMap::new(&cfg);
+        let mut r = Router::new(0, &cfg, &topo, 1);
+        let wires = Wires::new(topo.routers(), topo.ports(), cfg.link_latency);
+        r.enqueue_packet(
+            0,
+            0,
+            PendingPacket {
+                pkt: 0,
+                dst_router: 0,
+                dst_local: 0,
+                flits: 1,
+            },
+        );
+        for now in 0..5 {
+            r.phase_compute(&topo, &wires, now);
+        }
+        assert_eq!(r.buffered_flits(), 0, "stalled router injects nothing");
+        assert_eq!(r.take_fault_events().stall_cycles, 5);
+        for now in 5..15 {
+            r.phase_compute(&topo, &wires, now);
+        }
+        assert!(!r.delivered.is_empty(), "delivers once the stall lifts");
     }
 
     #[test]

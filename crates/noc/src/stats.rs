@@ -37,6 +37,52 @@ pub struct NocStats {
     pub table: LatencyTable,
     /// Total latency histogram (4-cycle bins up to 1024 cycles).
     pub hist: Histogram,
+    /// Fault-injection counters (all zero on a fault-free run).
+    pub faults: FaultStats,
+}
+
+/// What the fault-injection layer did to the network.
+///
+/// "Survived" means the network absorbed the fault without losing the
+/// packet (a detour around a dead link); "seen" events that are not
+/// survived (dropped flits, stalled cycles) generally leave messages
+/// undeliverable and are what trips the supervision watchdogs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Flits dropped by dead links (including in-transit at link death).
+    pub flits_dropped_dead: u64,
+    /// Flits dropped by flaky-link windows.
+    pub flits_dropped_flaky: u64,
+    /// Router-cycles spent frozen by scripted stalls.
+    pub stall_cycles: u64,
+    /// Head flits steered off their dimension-order path to avoid a dead
+    /// link (faults *survived* by routing).
+    pub reroutes: u64,
+}
+
+impl FaultStats {
+    /// Total fault events observed (drops + stalled cycles + reroutes).
+    pub fn seen(&self) -> u64 {
+        self.flits_dropped_dead + self.flits_dropped_flaky + self.stall_cycles + self.reroutes
+    }
+
+    /// Fault events the network absorbed without losing traffic.
+    pub fn survived(&self) -> u64 {
+        self.reroutes
+    }
+
+    /// Flits lost to any kind of link fault.
+    pub fn flits_dropped(&self) -> u64 {
+        self.flits_dropped_dead + self.flits_dropped_flaky
+    }
+
+    /// Folds another counter set into this one.
+    pub(crate) fn merge(&mut self, other: &FaultStats) {
+        self.flits_dropped_dead += other.flits_dropped_dead;
+        self.flits_dropped_flaky += other.flits_dropped_flaky;
+        self.stall_cycles += other.stall_cycles;
+        self.reroutes += other.reroutes;
+    }
 }
 
 impl NocStats {
@@ -53,6 +99,7 @@ impl NocStats {
             class_latency: vec![Summary::new(); MessageClass::COUNT],
             table: LatencyTable::new(diameter),
             hist: Histogram::new(4, 256),
+            faults: FaultStats::default(),
         }
     }
 
@@ -133,6 +180,23 @@ mod tests {
         assert_eq!(s.throughput(16), 0.0);
         assert_eq!(s.in_flight(), 0);
         assert_eq!(s.latency_percentile(0.99), None);
+    }
+
+    #[test]
+    fn fault_stats_aggregate() {
+        let mut a = FaultStats {
+            flits_dropped_dead: 2,
+            flits_dropped_flaky: 1,
+            stall_cycles: 10,
+            reroutes: 5,
+        };
+        a.merge(&FaultStats {
+            flits_dropped_dead: 1,
+            ..FaultStats::default()
+        });
+        assert_eq!(a.flits_dropped(), 4);
+        assert_eq!(a.survived(), 5);
+        assert_eq!(a.seen(), 19);
     }
 
     #[test]

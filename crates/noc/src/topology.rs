@@ -9,13 +9,14 @@
 use ra_sim::{MeshShape, NodeId};
 
 use crate::config::{NocConfig, Routing, TopologyKind};
+use crate::fault::FaultEvent;
 use crate::flit::Flit;
 
 /// Directional port offsets (added to the number of local ports).
-const NORTH: u32 = 0;
-const EAST: u32 = 1;
-const SOUTH: u32 = 2;
-const WEST: u32 = 3;
+pub(crate) const NORTH: u32 = 0;
+pub(crate) const EAST: u32 = 1;
+pub(crate) const SOUTH: u32 = 2;
+pub(crate) const WEST: u32 = 3;
 
 /// A routing decision for a head flit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +52,16 @@ pub struct TopologyMap {
     link_src: Vec<Option<(u32, u32)>>,
     /// Whether the link leaving `(r, p)` wraps around the torus.
     wraps: Vec<bool>,
+    /// Fault-aware next-hop table, present only when the configuration
+    /// scripts permanent link faults on a (concentrated) mesh:
+    /// `detour[dst * routers + cur]` is the output port at `cur` on a
+    /// shortest path to `dst` over the surviving links, or `u16::MAX` when
+    /// `dst` is unreachable (or `cur == dst`).
+    detour: Option<Vec<u16>>,
 }
+
+/// Sentinel in the detour table: no surviving path.
+const NO_DETOUR: u16 = u16::MAX;
 
 impl TopologyMap {
     /// Builds the wiring for a configuration.
@@ -81,9 +91,77 @@ impl TopologyMap {
             link_dst: vec![None; n * ports as usize],
             link_src: vec![None; n * ports as usize],
             wraps: vec![false; n * ports as usize],
+            detour: None,
         };
         map.wire();
+        // Permanent link faults on a mesh are routed around; the torus
+        // keeps dimension-order routing (its dateline VC scheme does not
+        // compose with arbitrary detours) and relies on the supervision
+        // layer to degrade instead.
+        if cfg.faults.has_link_down() && !matches!(cfg.topology, TopologyKind::Torus) {
+            map.build_detours(&cfg.faults);
+        }
         map
+    }
+
+    /// Precomputes shortest next hops over the links that survive every
+    /// scripted [`FaultEvent::LinkDown`]. The table is static: a link that
+    /// dies at *any* point in the run is avoided from cycle 0 (paths are a
+    /// little longer early on, but no packet is ever routed into a link
+    /// that is about to disappear under it mid-journey).
+    fn build_detours(&mut self, plan: &crate::fault::FaultPlan) {
+        use std::collections::VecDeque;
+        let n = self.routers();
+        let mut dead = vec![false; n * self.ports as usize];
+        for ev in plan.events() {
+            if let FaultEvent::LinkDown { router, dir, .. } = *ev {
+                if dir >= 4 {
+                    continue;
+                }
+                let out = self.concentration + dir;
+                if let Some((nr, in_port)) = self.link_dst(router, out) {
+                    // A channel dies on both sides.
+                    dead[(router * self.ports + out) as usize] = true;
+                    dead[(nr * self.ports + in_port) as usize] = true;
+                }
+            }
+        }
+        let mut table = vec![NO_DETOUR; n * n];
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for d in 0..n as u32 {
+            dist.fill(u32::MAX);
+            dist[d as usize] = 0;
+            queue.clear();
+            queue.push_back(d);
+            // BFS outward from the destination: when we first reach `v`
+            // through its output port `q`, that port starts a shortest
+            // surviving path v -> d.
+            while let Some(u) = queue.pop_front() {
+                for p in self.concentration..self.ports {
+                    if dead[(u * self.ports + p) as usize] {
+                        continue;
+                    }
+                    if let Some((v, q)) = self.link_src(u, p) {
+                        if dead[(v * self.ports + q) as usize] {
+                            continue;
+                        }
+                        if dist[v as usize] == u32::MAX {
+                            dist[v as usize] = dist[u as usize] + 1;
+                            table[d as usize * n + v as usize] = q as u16;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+            }
+        }
+        self.detour = Some(table);
+    }
+
+    /// Whether this topology routes around scripted permanent link faults.
+    #[inline]
+    pub fn has_detours(&self) -> bool {
+        self.detour.is_some()
     }
 
     fn wire(&mut self) {
@@ -231,7 +309,49 @@ impl TopologyMap {
     /// Dimension-order routing; on a torus the minimal direction is chosen
     /// per dimension (ties broken towards the positive direction) and
     /// dateline crossings are flagged so VC allocation can switch class.
+    ///
+    /// When the configuration scripts permanent link faults on a mesh, the
+    /// precomputed detour table overrides dimension order so packets route
+    /// around dead links; destinations cut off entirely fall back to
+    /// dimension order (the flit is dropped at the dead link and counted
+    /// in [`NocStats::faults`](crate::NocStats)).
     pub fn route(&self, router: u32, flit: &Flit) -> RouteDecision {
+        if let Some(d) = self.detour_route(router, flit) {
+            return d;
+        }
+        self.route_base(router, flit)
+    }
+
+    /// Looks up the fault-aware next hop, if a detour table exists and has
+    /// a surviving path.
+    fn detour_route(&self, router: u32, flit: &Flit) -> Option<RouteDecision> {
+        let table = self.detour.as_ref()?;
+        let dr = u32::from(flit.dst_router);
+        if router == dr {
+            return None; // ejection handled by the base route
+        }
+        let n = self.routers();
+        let port = table[dr as usize * n + router as usize];
+        if port == NO_DETOUR {
+            return None;
+        }
+        let out_port = u32::from(port);
+        let dir = out_port - self.concentration;
+        let moves_y = dir == NORTH || dir == SOUTH;
+        let yx = match self.routing {
+            Routing::Xy => false,
+            Routing::Yx => true,
+            Routing::O1Turn => flit.route_hint == 1,
+        };
+        Some(RouteDecision {
+            out_port,
+            crosses_dateline: self.link_wraps(router, out_port),
+            enters_second_dim: if yx { !moves_y } else { moves_y },
+        })
+    }
+
+    /// The baseline dimension-order decision, ignoring any fault detours.
+    pub fn route_base(&self, router: u32, flit: &Flit) -> RouteDecision {
         let (dr, d_local) = (u32::from(flit.dst_router), u32::from(flit.dst_local));
         if router == dr {
             return RouteDecision {
@@ -431,6 +551,68 @@ mod tests {
         assert_eq!(topo.node_router(NodeId(2)), (1, 0));
         // Nodes sharing a router are zero hops apart.
         assert_eq!(topo.hops(NodeId(0), NodeId(1)), 0);
+    }
+
+    #[test]
+    fn detours_route_around_a_dead_link() {
+        use crate::fault::FaultPlan;
+        // Kill the east link of router 0 on a 4x4 mesh; XY would send
+        // 0 -> 3 straight east through it.
+        let cfg = NocConfig::new(4, 4)
+            .with_faults(FaultPlan::new().kill_link(0, super::EAST, 0));
+        let topo = TopologyMap::new(&cfg);
+        assert!(topo.has_detours());
+        for dst in [NodeId(3), NodeId(15)] {
+            let flit = head_to(&topo, dst, 0);
+            let (mut r, _) = topo.node_router(NodeId(0));
+            let mut steps = 0;
+            loop {
+                let d = topo.route(r, &flit);
+                if d.out_port < topo.concentration() {
+                    break;
+                }
+                assert!(
+                    !(r == 0 && d.out_port == 1 + super::EAST),
+                    "routed into the dead link"
+                );
+                let (nr, _) = topo.link_dst(r, d.out_port).expect("wired port");
+                r = nr;
+                steps += 1;
+                assert!(steps <= 2 * topo.diameter(), "detour loop to {dst}");
+            }
+            // The detour may cost extra hops but must stay shortest over
+            // the surviving graph: one extra dogleg at most here.
+            assert!(steps <= topo.hops(NodeId(0), dst) + 2);
+        }
+    }
+
+    #[test]
+    fn unreachable_destination_falls_back_to_dimension_order() {
+        use crate::fault::FaultPlan;
+        // Isolate router 5 completely: no surviving path to it.
+        let cfg = NocConfig::new(4, 4).with_faults(FaultPlan::new().isolate_router(5, 0));
+        let topo = TopologyMap::new(&cfg);
+        let flit = head_to(&topo, NodeId(5), 0);
+        let base = topo.route_base(0, &flit);
+        assert_eq!(topo.route(0, &flit), base, "fallback must match XY");
+        // Other pairs still detour fine around the hole.
+        let flit = head_to(&topo, NodeId(10), 0);
+        let (mut r, _) = topo.node_router(NodeId(0));
+        let mut steps = 0;
+        while topo.route(r, &flit).out_port >= topo.concentration() {
+            let d = topo.route(r, &flit);
+            assert_ne!(r, 5, "path may not cross the isolated router");
+            let (nr, _) = topo.link_dst(r, d.out_port).expect("wired port");
+            r = nr;
+            steps += 1;
+            assert!(steps <= 2 * topo.diameter());
+        }
+    }
+
+    #[test]
+    fn fault_free_plans_build_no_detour_table() {
+        let topo = TopologyMap::new(&NocConfig::new(4, 4));
+        assert!(!topo.has_detours());
     }
 
     #[test]

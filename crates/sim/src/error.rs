@@ -48,6 +48,18 @@ pub enum SimError {
     },
     /// Internal invariant violated; indicates a simulator bug.
     Invariant(String),
+    /// A component failed at runtime (e.g. a worker thread panicked or a
+    /// fault-injected subsystem became unusable). Unlike [`Invariant`],
+    /// this describes the *component* that broke, so supervisors can
+    /// decide whether to degrade around it.
+    ///
+    /// [`Invariant`]: SimError::Invariant
+    Fault {
+        /// Which component failed (e.g. `"parallel engine worker 3"`).
+        component: String,
+        /// What happened.
+        detail: String,
+    },
     /// Bad configuration detected after construction.
     Config(ConfigError),
 }
@@ -63,6 +75,9 @@ impl fmt::Display for SimError {
                 "simulation exceeded {budget} cycles waiting for {waiting_for}"
             ),
             SimError::Invariant(msg) => write!(f, "simulator invariant violated: {msg}"),
+            SimError::Fault { component, detail } => {
+                write!(f, "component fault in {component}: {detail}")
+            }
             SimError::Config(err) => err.fmt(f),
         }
     }
@@ -103,6 +118,14 @@ mod tests {
 
         let inv = SimError::Invariant("credits".into());
         assert!(inv.to_string().contains("credits"));
+
+        let fault = SimError::Fault {
+            component: "worker 3".into(),
+            detail: "panicked".into(),
+        };
+        assert!(fault.to_string().contains("worker 3"));
+        assert!(fault.to_string().contains("panicked"));
+        assert!(fault.source().is_none());
     }
 
     #[test]

@@ -241,8 +241,8 @@ fn multiple_engines_coexist() {
         NetMessage::new(0, NodeId(15), NodeId(0), MessageClass::Response, 72),
         Cycle(0),
     );
-    a.run_cycles(&mut net_a, 100);
-    b.run_cycles(&mut net_b, 100);
+    a.run_cycles(&mut net_a, 100).unwrap();
+    b.run_cycles(&mut net_b, 100).unwrap();
     assert_eq!(net_a.stats().delivered, 1);
     assert_eq!(net_b.stats().delivered, 1);
 }

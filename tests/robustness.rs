@@ -2,9 +2,13 @@
 //! NoC (the most failure-prone coupling) must always complete coherently.
 
 use proptest::prelude::*;
+use reciprocal_abstraction::cosim::{
+    run_app, run_app_reciprocal, FallbackPolicy, ModeSpec, ReciprocalNetwork, Target,
+};
 use reciprocal_abstraction::fullsys::{FullSysConfig, FullSystem, Op, ScriptedWorkload};
-use reciprocal_abstraction::noc::{NocConfig, NocNetwork};
-use reciprocal_abstraction::sim::{Network, Pcg32};
+use reciprocal_abstraction::noc::{FaultPlan, NocConfig, NocNetwork};
+use reciprocal_abstraction::sim::{Cycle, Network, Pcg32, SimError};
+use reciprocal_abstraction::workloads::AppProfile;
 
 /// Builds a random per-core op script biased towards nasty sharing.
 fn random_scripts(seed: u64, cores: usize, ops: usize) -> Vec<Vec<Op>> {
@@ -83,4 +87,179 @@ proptest! {
         }
         prop_assert_eq!(run(seed), run(seed));
     }
+
+    /// Random scripted workloads over a reciprocal coupler whose detailed
+    /// NoC is running a random fault plan: the run must never panic, every
+    /// core must retire its script (the fast path is authoritative), and
+    /// the coupler's message accounting must balance.
+    #[test]
+    fn random_faults_never_panic_and_scripts_retire(
+        seed in 0u64..5_000,
+        fault_seed in 0u64..5_000,
+        events in 1usize..6,
+    ) {
+        let plan = FaultPlan::random(fault_seed, 16, events, 3_000);
+        let noc_cfg = NocConfig::new(4, 4).with_faults(plan);
+        let coupler = ReciprocalNetwork::new(noc_cfg, 300, 0).unwrap();
+        let scripts = random_scripts(seed, 16, 30);
+        let min_instr: u64 = scripts
+            .iter()
+            .map(|s| s.iter().map(|op| match op {
+                Op::Compute(n) => u64::from(*n),
+                _ => 1,
+            }).sum::<u64>())
+            .min()
+            .unwrap();
+        let w = ScriptedWorkload::new(scripts);
+        let mut sys = FullSystem::new(FullSysConfig::new(4, 4), coupler, w).unwrap();
+        // Whatever the fault plan does to the detailed model, the fast
+        // path keeps the full system live: the run must complete.
+        let cycles = sys.run_until_instructions(min_instr, 2_000_000).unwrap();
+        prop_assert!(cycles > 0);
+        let coupler = sys.into_network();
+        let stats = coupler.stats();
+        if stats.watchdog_trips > 0 {
+            prop_assert!(stats.quanta_degraded > 0,
+                "a tripped run must report degraded quanta: {stats:?}");
+            prop_assert!(stats.last_trip.is_some());
+        }
+        // The detailed NoC (whatever state it is in) still balances.
+        let noc = coupler.detailed();
+        prop_assert_eq!(
+            noc.stats().injected - noc.stats().delivered,
+            noc.in_flight() as u64,
+            "detailed message accounting out of balance"
+        );
+    }
+
+    /// Fault-free runs through the degradation-capable coupler never
+    /// degrade: supervision must be free when nothing goes wrong.
+    #[test]
+    fn fault_free_coupler_runs_stay_healthy(seed in 0u64..2_000) {
+        let coupler = ReciprocalNetwork::new(NocConfig::new(4, 4), 300, 0).unwrap();
+        let w = ScriptedWorkload::new(random_scripts(seed, 16, 25));
+        let mut sys = FullSystem::new(FullSysConfig::new(4, 4), coupler, w).unwrap();
+        sys.run_cycles(5_000);
+        let stats = sys.network().stats();
+        prop_assert_eq!(stats.watchdog_trips, 0);
+        prop_assert_eq!(stats.quanta_degraded, 0);
+        prop_assert_eq!(stats.messages_rerouted, 0);
+    }
+}
+
+/// Acceptance: a full-system run whose detailed NoC has a permanently
+/// isolated router completes without panic, reports a degraded run, and
+/// stays within 2x of the fault-free abstract baseline's latency.
+#[test]
+fn permanent_fault_degrades_gracefully_within_latency_bound() {
+    let app = AppProfile::water();
+    let healthy = Target::cmp(4, 4);
+    let baseline = run_app(ModeSpec::Hop, &healthy, &app, 300, 1_000_000, 1).unwrap();
+
+    let mut faulty = Target::cmp(4, 4);
+    faulty.noc = faulty.noc.with_faults(FaultPlan::new().isolate_router(5, 0));
+    let (result, coupler) =
+        run_app_reciprocal(&faulty, &app, 300, 1_000_000, 1, 200, 0).unwrap();
+
+    assert!(result.cycles > 0);
+    assert!(
+        coupler.watchdog_trips > 0,
+        "isolating a router must trip the watchdog: {coupler:?}"
+    );
+    assert!(coupler.quanta_degraded > 0, "{coupler:?}");
+    assert!(coupler.messages_rerouted > 0, "{coupler:?}");
+    let ratio = result.avg_latency() / baseline.avg_latency().max(1e-9);
+    assert!(
+        ratio < 2.0,
+        "degraded latency {:.2} must stay within 2x of abstract baseline {:.2}",
+        result.avg_latency(),
+        baseline.avg_latency()
+    );
+}
+
+/// Acceptance: a scripted router stall long enough to trip the watchdog
+/// still lets the run complete via fallback, and the detailed model is
+/// readmitted once the stall clears.
+#[test]
+fn stalled_router_run_completes_via_fallback() {
+    let mut target = Target::cmp(4, 4);
+    target.noc = target
+        .noc
+        .with_faults(FaultPlan::new().stall_router(5, 0, 1_500));
+    let (result, coupler) =
+        run_app_reciprocal(&target, &app_heavy(), 300, 2_000_000, 2, 200, 0).unwrap();
+    assert!(result.cycles > 0);
+    assert!(
+        coupler.watchdog_trips > 0 || coupler.calibrations > 0,
+        "run must either trip on the stall or calibrate around it: {coupler:?}"
+    );
+    assert!(
+        !coupler.detailed_abandoned,
+        "a transient stall must not permanently abandon the detailed model: {coupler:?}"
+    );
+}
+
+fn app_heavy() -> AppProfile {
+    AppProfile::ocean()
+}
+
+/// Acceptance: a deliberately corrupted router surfaces as
+/// `SimError::Invariant` from the network — never a process abort.
+#[test]
+fn forced_invariant_violation_is_an_error_not_an_abort() {
+    use reciprocal_abstraction::sim::{MessageClass, NetMessage, NodeId};
+    let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+    for i in 0..10 {
+        net.inject(
+            NetMessage::new(i, NodeId(0), NodeId(15), MessageClass::Request, 8),
+            Cycle(0),
+        );
+    }
+    net.debug_router_mut(0).debug_corrupt_credits();
+    let run = net.run_until_drained(10_000);
+    let audit = net.audit();
+    let err = run.err().or(audit.err()).expect("corruption must surface");
+    assert!(
+        matches!(err, SimError::Invariant(_)),
+        "must be an invariant error, got {err:?}"
+    );
+}
+
+/// Acceptance: a watchdog trip mid-run leaves the coupler usable — the
+/// degraded coupler keeps serving the full system and retires everything.
+#[test]
+fn degraded_coupler_retires_every_script() {
+    let noc_cfg = NocConfig::new(4, 4).with_faults(FaultPlan::new().isolate_router(9, 100));
+    let coupler = ReciprocalNetwork::new(noc_cfg, 250, 0)
+        .unwrap()
+        .with_fallback_policy(FallbackPolicy {
+            max_retries: 1,
+            backoff_quanta: 1,
+            permanent_after: 2,
+        });
+    let scripts = random_scripts(77, 16, 40);
+    let total_ops: usize = scripts.iter().map(Vec::len).sum();
+    assert!(total_ops > 0);
+    let min_instr: u64 = scripts
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|op| match op {
+                    Op::Compute(n) => u64::from(*n),
+                    _ => 1,
+                })
+                .sum::<u64>()
+        })
+        .min()
+        .unwrap();
+    let w = ScriptedWorkload::new(scripts);
+    let mut sys = FullSystem::new(FullSysConfig::new(4, 4), coupler, w).unwrap();
+    let cycles = sys.run_until_instructions(min_instr, 2_000_000).unwrap();
+    assert!(cycles > 0);
+    let stats = sys.network().stats();
+    assert!(
+        stats.watchdog_trips > 0 && stats.detailed_abandoned,
+        "strict policy over a black-holing fault must abandon: {stats:?}"
+    );
+    assert!(stats.quanta_degraded > 0);
 }

@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the `ra-bench` benches use — `Criterion`,
+//! `benchmark_group`, `bench_with_input`, `bench_function`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — as a
+//! small wall-clock harness: each benchmark runs a fixed number of timed
+//! iterations and prints mean time per iteration. No statistics, plots, or
+//! comparison to baselines.
+//!
+//! Delete `vendor/` and the `[patch.crates-io]` section in the workspace
+//! `Cargo.toml` to switch back to the real crate when a registry is
+//! reachable.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (after one warm-up call).
+const DEFAULT_ITERS: u32 = 10;
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: function name plus a parameter label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from a displayed parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Runs a routine a fixed number of times and records the mean.
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, printing nothing; the caller prints the result.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let per_iter = start.elapsed() / self.iters;
+        println!("    {:>12?}/iter over {} iters", per_iter, self.iters);
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: Option<u32>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group {}", name.into());
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("  bench {name}");
+        let mut b = Bencher {
+            iters: self.sample_size.unwrap_or(DEFAULT_ITERS),
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<u32>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u32);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        println!("  bench {label}");
+        let mut b = Bencher {
+            iters: self
+                .sample_size
+                .or(self.parent.sample_size)
+                .unwrap_or(DEFAULT_ITERS),
+        };
+        f(&mut b);
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.label.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.into().label.clone(), |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

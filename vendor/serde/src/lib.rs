@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize`; nothing
+//! serializes at runtime (there is no serializer backend in the dependency
+//! tree). This stub keeps the trait names and derive syntax compiling without
+//! network access: the traits are markers with blanket impls, and the derive
+//! macros (re-exported from the stub `serde_derive`) expand to nothing.
+//!
+//! Delete `vendor/` and the `[patch.crates-io]` section in the workspace
+//! `Cargo.toml` to switch back to the real crates when a registry is
+//! reachable.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` far enough for common bounds.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` far enough for common bounds.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

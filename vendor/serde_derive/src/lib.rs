@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on stats and config types
+//! but never actually serializes anything (no `serde_json`-style backend is a
+//! dependency). The real crate is unavailable in the offline build
+//! environment, so this stub accepts the same derive syntax — including
+//! `#[serde(...)]` helper attributes — and expands to nothing; the companion
+//! `serde` stub provides blanket trait impls so bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
