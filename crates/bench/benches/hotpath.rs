@@ -1,0 +1,101 @@
+//! Router hot-path microbenchmarks for the zero-allocation / clock-gating
+//! work: what one simulated cycle costs (a) on a loaded mesh, (b) on a
+//! sparsely loaded mesh with gating on vs. off, and (c) on a fully idle
+//! mesh, where gating should make the cycle almost free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ra_noc::{InjectionProcess, NocConfig, NocNetwork, TrafficGen, TrafficPattern};
+use ra_sim::Cycle;
+
+/// A 16x16 mesh warmed up with `rate` uniform traffic for 200 cycles.
+fn warmed(rate: f64, gating: bool) -> (NocNetwork, TrafficGen) {
+    let cfg = NocConfig::new(16, 16).with_clock_gating(gating);
+    let mut net = NocNetwork::new(cfg).unwrap();
+    let mut gen = TrafficGen::new(
+        16,
+        16,
+        TrafficPattern::Uniform,
+        InjectionProcess::Bernoulli { rate },
+        5,
+    );
+    for now in 0..200u64 {
+        gen.inject_cycle(&mut net, Cycle(now));
+        net.step();
+    }
+    (net, gen)
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router-hotpath");
+    group.sample_size(10);
+    // Steady-state stepping under load: the zero-allocation scratch reuse
+    // target. Gating is irrelevant here (most routers are busy).
+    for rate in [0.02f64, 0.10] {
+        group.bench_with_input(
+            BenchmarkId::new("16x16-loaded-100cyc", format!("rate{rate}")),
+            &rate,
+            |b, &rate| {
+                let (net, gen) = warmed(rate, true);
+                b.iter(|| {
+                    let mut net = net.clone();
+                    let mut gen = gen.clone();
+                    let t0 = net.next_cycle();
+                    for now in t0..t0 + 100 {
+                        gen.inject_cycle(&mut net, Cycle(now));
+                        net.step();
+                    }
+                    net.stats().delivered
+                })
+            },
+        );
+    }
+    // Sparse traffic: one corner of the mesh busy, the rest quiescent —
+    // the active-router set should make gating pay here.
+    for gating in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("16x16-sparse-100cyc", format!("gating-{gating}")),
+            &gating,
+            |b, &gating| {
+                let cfg = NocConfig::new(16, 16).with_clock_gating(gating);
+                let base = NocNetwork::new(cfg).unwrap();
+                b.iter(|| {
+                    let mut net = base.clone();
+                    use ra_sim::{MessageClass, NetMessage, Network, NodeId};
+                    for now in 0..100u64 {
+                        if now % 4 == 0 {
+                            net.inject(
+                                NetMessage::new(now, NodeId(0), NodeId(17), MessageClass::Request, 16),
+                                Cycle(now),
+                            );
+                        }
+                        net.step();
+                    }
+                    net.stats().delivered
+                })
+            },
+        );
+    }
+    // Fully idle mesh, stepped cycle by cycle: with gating every step is a
+    // liveness sweep with zero router work.
+    for gating in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("16x16-idle-100cyc", format!("gating-{gating}")),
+            &gating,
+            |b, &gating| {
+                let cfg = NocConfig::new(16, 16).with_clock_gating(gating);
+                let base = NocNetwork::new(cfg).unwrap();
+                b.iter(|| {
+                    let mut net = base.clone();
+                    for _ in 0..100 {
+                        net.step();
+                    }
+                    net.next_cycle()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

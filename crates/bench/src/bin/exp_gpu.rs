@@ -17,8 +17,11 @@
 //!    the same shape the paper measured on a real GPU.
 //! 3. **Host-parallel check.** When the host has more than one core, the
 //!    worker-pool engine is also run for a wall-clock-measured reduction.
+//!
+//! `--json` emits the rows as a JSON array (the CI bench-smoke artifact);
+//! `--cores 256,512` restricts the sweep.
 
-use ra_bench::{banner, secs, Scale};
+use ra_bench::{banner, json_array, json_object, secs, BenchArgs, JsonField};
 use ra_cosim::{run_app_reciprocal, Target};
 use ra_workloads::AppProfile;
 
@@ -34,16 +37,23 @@ fn device_speedup(routers: f64) -> f64 {
 }
 
 fn main() {
-    let scale = Scale::from_args();
-    banner("T2", "Coprocessor co-simulation time reduction (ocean)");
+    let args = BenchArgs::from_args();
+    let scale = args.scale;
     let host_cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    println!("host cores: {host_cores}; modeled device: {LANES} lanes, launch overhead {LAUNCH} router-units\n");
-    println!(
-        "{:<10} {:>10} {:>10} {:>8} {:>10} {:>12} {:>8}",
-        "target", "total", "noc-part", "share%", "S(dev)", "modeled", "paper"
-    );
+    if !args.json {
+        banner("T2", "Coprocessor co-simulation time reduction (ocean)");
+        println!("host cores: {host_cores}; modeled device: {LANES} lanes, launch overhead {LAUNCH} router-units\n");
+        println!(
+            "{:<10} {:>10} {:>10} {:>8} {:>10} {:>12} {:>8}",
+            "target", "total", "noc-part", "share%", "S(dev)", "modeled", "paper"
+        );
+    }
     let app = AppProfile::ocean();
+    let mut rows = Vec::new();
     for (cores, paper) in [(256u32, "16%"), (512, "65%")] {
+        if !args.wants_cores(cores) {
+            continue;
+        }
         let target = Target::preset(cores).expect("preset");
         let instr = (scale.instructions() / (cores as u64 / 64)).max(150);
         let (serial, coupler) =
@@ -56,16 +66,31 @@ fn main() {
         let speedup = device_speedup(routers);
         let modeled_total = (total - noc) + noc / speedup;
         let reduction = (1.0 - modeled_total / total.max(1e-9)) * 100.0;
-        println!(
-            "{:<10} {:>10} {:>10} {:>7.0}% {:>10.1} {:>11.0}% {:>8}",
-            target.name,
-            secs(serial.wall),
-            secs(coupler.detailed_wall),
-            share,
-            speedup,
-            reduction,
-            paper
-        );
+        if !args.json {
+            println!(
+                "{:<10} {:>10} {:>10} {:>7.0}% {:>10.1} {:>11.0}% {:>8}",
+                target.name,
+                secs(serial.wall),
+                secs(coupler.detailed_wall),
+                share,
+                speedup,
+                reduction,
+                paper
+            );
+        }
+        let mut fields = vec![
+            ("target", JsonField::Str(target.name.clone())),
+            ("cores", JsonField::Int(u64::from(cores))),
+            ("total_s", JsonField::Num(total)),
+            ("noc_s", JsonField::Num(noc)),
+            ("noc_share_pct", JsonField::Num(share)),
+            ("device_speedup", JsonField::Num(speedup)),
+            ("modeled_reduction_pct", JsonField::Num(reduction)),
+            ("paper_reduction", JsonField::Str(paper.to_string())),
+            ("messages", JsonField::Int(serial.messages)),
+            ("cycles", JsonField::Int(serial.cycles)),
+            ("avg_latency", JsonField::Num(serial.avg_latency())),
+        ];
         if host_cores > 1 {
             let workers = host_cores.saturating_sub(1).clamp(1, 8);
             let (parallel, _) =
@@ -73,12 +98,22 @@ fn main() {
                     .expect("parallel reciprocal");
             let measured =
                 (1.0 - parallel.wall.as_secs_f64() / total.max(1e-9)) * 100.0;
-            println!(
-                "{:<10}   measured host-parallel ({workers} workers): {measured:.0}% reduction",
-                ""
-            );
+            if !args.json {
+                println!(
+                    "{:<10}   measured host-parallel ({workers} workers): {measured:.0}% reduction",
+                    ""
+                );
+            }
+            fields.push(("workers", JsonField::Int(workers as u64)));
+            fields.push(("parallel_s", JsonField::Num(parallel.wall.as_secs_f64())));
+            fields.push(("measured_reduction_pct", JsonField::Num(measured)));
         }
+        rows.push(json_object(&fields));
     }
-    println!("\n(shape check: the modeled reduction must grow with target size,");
-    println!(" because the detailed NoC's share of co-simulation time grows)");
+    if args.json {
+        println!("{}", json_array(&rows));
+    } else {
+        println!("\n(shape check: the modeled reduction must grow with target size,");
+        println!(" because the detailed NoC's share of co-simulation time grows)");
+    }
 }

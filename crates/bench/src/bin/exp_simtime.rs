@@ -3,24 +3,34 @@
 //! How expensive each abstraction level is to *run*, for 64/256/512-core
 //! targets. The reciprocal modes pay for the detailed NoC; the parallel
 //! engine claws that cost back as the network grows.
+//!
+//! `--json` emits the rows as a JSON array (for CI artifact diffing);
+//! `--cores 64,256` restricts the sweep.
 
-use ra_bench::{banner, secs, Scale};
+use ra_bench::{banner, json_array, json_object, secs, BenchArgs, JsonField};
 use ra_cosim::{run_app, ModeSpec, Target, STANDARD_CORE_COUNTS};
 use ra_workloads::AppProfile;
 
 fn main() {
-    let scale = Scale::from_args();
-    banner("F5", "Simulation wall-clock time by mode and target size (ocean)");
+    let args = BenchArgs::from_args();
+    let scale = args.scale;
     let workers = std::thread::available_parallelism()
         .map(|p| p.get().saturating_sub(1).clamp(1, 8))
         .unwrap_or(4);
-    println!(
-        "{:<10} {:<18} {:>12} {:>12} {:>12}",
-        "target", "mode", "target-cyc", "wall", "cyc/sec"
-    );
+    if !args.json {
+        banner("F5", "Simulation wall-clock time by mode and target size (ocean)");
+        println!(
+            "{:<10} {:<18} {:>12} {:>12} {:>12}",
+            "target", "mode", "target-cyc", "wall", "cyc/sec"
+        );
+    }
     let app = AppProfile::ocean();
+    let mut rows = Vec::new();
     // Shrink instruction counts with size so the table finishes promptly.
     for cores in STANDARD_CORE_COUNTS {
+        if !args.wants_cores(cores) {
+            continue;
+        }
         let target = Target::preset(cores).expect("preset");
         let instr = (scale.instructions() / (cores as u64 / 64)).max(150);
         let modes = [
@@ -32,18 +42,46 @@ fn main() {
             match run_app(mode, &target, &app, instr, scale.budget(), 42) {
                 Ok(r) => {
                     let rate = r.cycles as f64 / r.wall.as_secs_f64().max(1e-9);
-                    println!(
-                        "{:<10} {:<18} {:>12} {:>12} {:>12.0}",
-                        target.name,
-                        mode.label(),
-                        r.cycles,
-                        secs(r.wall),
-                        rate
-                    );
+                    if args.json {
+                        rows.push(json_object(&[
+                            ("target", JsonField::Str(target.name.clone())),
+                            ("cores", JsonField::Int(u64::from(cores))),
+                            ("mode", JsonField::Str(mode.label())),
+                            ("cycles", JsonField::Int(r.cycles)),
+                            ("wall_s", JsonField::Num(r.wall.as_secs_f64())),
+                            ("cycles_per_sec", JsonField::Num(rate)),
+                            ("messages", JsonField::Int(r.messages)),
+                            ("avg_latency", JsonField::Num(r.avg_latency())),
+                        ]));
+                    } else {
+                        println!(
+                            "{:<10} {:<18} {:>12} {:>12} {:>12.0}",
+                            target.name,
+                            mode.label(),
+                            r.cycles,
+                            secs(r.wall),
+                            rate
+                        );
+                    }
                 }
-                Err(e) => println!("{:<10} {:<18} FAILED: {e}", target.name, mode.label()),
+                Err(e) => {
+                    if args.json {
+                        rows.push(json_object(&[
+                            ("target", JsonField::Str(target.name.clone())),
+                            ("mode", JsonField::Str(mode.label())),
+                            ("error", JsonField::Str(e.to_string())),
+                        ]));
+                    } else {
+                        println!("{:<10} {:<18} FAILED: {e}", target.name, mode.label());
+                    }
+                }
             }
         }
-        println!();
+        if !args.json {
+            println!();
+        }
+    }
+    if args.json {
+        println!("{}", json_array(&rows));
     }
 }

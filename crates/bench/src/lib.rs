@@ -48,11 +48,12 @@ pub fn secs(d: Duration) -> String {
 /// `--quick` shrinks every run for smoke-testing; `--full` enlarges them
 /// for closer-to-paper statistics. The default targets a couple of minutes
 /// per binary in release mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {
     /// Smoke test: seconds per binary.
     Quick,
     /// Default: a couple of minutes per binary.
+    #[default]
     Normal,
     /// Large: closest to the paper's run lengths.
     Full,
@@ -90,6 +91,130 @@ impl Scale {
     }
 }
 
+/// Full command-line options of the experiment binaries.
+///
+/// Beyond the [`Scale`] flags, `--json` switches the binary to
+/// machine-readable output (one JSON document on stdout, for CI artifact
+/// collection), and `--cores 256,512` restricts the target sweep to the
+/// listed core counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BenchArgs {
+    /// Run scale (`--quick` / `--full`).
+    pub scale: Scale,
+    /// Emit a JSON document instead of the human-readable table.
+    pub json: bool,
+    /// Restrict the sweep to these core counts (`--cores 256,512`).
+    pub cores: Option<Vec<u32>>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments.
+    pub fn from_args() -> BenchArgs {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> BenchArgs {
+        let mut out = BenchArgs::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => out.scale = Scale::Quick,
+                "--full" => out.scale = Scale::Full,
+                "--json" => out.json = true,
+                "--cores" => {
+                    if let Some(list) = args.next() {
+                        let cores: Vec<u32> =
+                            list.split(',').filter_map(|c| c.trim().parse().ok()).collect();
+                        if !cores.is_empty() {
+                            out.cores = Some(cores);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Whether `cores` survives the `--cores` filter.
+    pub fn wants_cores(&self, cores: u32) -> bool {
+        match &self.cores {
+            Some(list) => list.contains(&cores),
+            None => true,
+        }
+    }
+}
+
+/// One field of a hand-rolled JSON object (the vendored `serde` stub cannot
+/// serialize, so the benchmark binaries format their machine-readable
+/// output through this).
+#[derive(Debug, Clone)]
+pub enum JsonField {
+    /// A JSON string (escaped on output).
+    Str(String),
+    /// A finite float, emitted with full precision.
+    Num(f64),
+    /// An unsigned integer.
+    Int(u64),
+}
+
+/// Formats one JSON object from field name/value pairs.
+///
+/// # Example
+///
+/// ```
+/// use ra_bench::{json_object, JsonField};
+/// let row = json_object(&[
+///     ("name", JsonField::Str("mesh".into())),
+///     ("cycles", JsonField::Int(100)),
+/// ]);
+/// assert_eq!(row, r#"{"name":"mesh","cycles":100}"#);
+/// ```
+pub fn json_object(fields: &[(&str, JsonField)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape_json(key));
+        out.push_str("\":");
+        match value {
+            JsonField::Str(s) => {
+                out.push('"');
+                out.push_str(&escape_json(s));
+                out.push('"');
+            }
+            JsonField::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            JsonField::Num(_) => out.push_str("null"),
+            JsonField::Int(n) => out.push_str(&format!("{n}")),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Joins pre-formatted JSON values into an array document.
+pub fn json_array(rows: &[String]) -> String {
+    format!("[{}]", rows.join(","))
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +236,36 @@ mod tests {
         assert!(Scale::Quick.instructions() < Scale::Normal.instructions());
         assert!(Scale::Normal.instructions() < Scale::Full.instructions());
         assert!(Scale::Quick.budget() < Scale::Full.budget());
+    }
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn bench_args_parse_flags() {
+        assert_eq!(parse(&[]), BenchArgs::default());
+        let a = parse(&["--quick", "--json", "--cores", "256,512"]);
+        assert_eq!(a.scale, Scale::Quick);
+        assert!(a.json);
+        assert_eq!(a.cores, Some(vec![256, 512]));
+        assert!(a.wants_cores(256));
+        assert!(!a.wants_cores(64));
+        assert!(parse(&[]).wants_cores(64), "no filter admits everything");
+        let junk = parse(&["--cores", "banana"]);
+        assert_eq!(junk.cores, None, "unparseable filter is ignored");
+    }
+
+    #[test]
+    fn json_escapes_and_formats() {
+        let row = json_object(&[
+            ("s", JsonField::Str("a\"b\\c\nd".into())),
+            ("x", JsonField::Num(1.5)),
+            ("nan", JsonField::Num(f64::NAN)),
+            ("n", JsonField::Int(7)),
+        ]);
+        assert_eq!(row, "{\"s\":\"a\\\"b\\\\c\\nd\",\"x\":1.5,\"nan\":null,\"n\":7}");
+        assert_eq!(json_array(&[]), "[]");
+        assert_eq!(json_array(&["1".into(), "2".into()]), "[1,2]");
     }
 }

@@ -361,8 +361,12 @@ impl ReciprocalNetwork {
     fn run_detailed_window(&mut self, target: u64) -> Result<(), SimError> {
         match self.engine.as_mut() {
             Some(engine) => {
-                while self.detailed.next_cycle() <= target {
-                    engine.run_cycle(&mut self.detailed)?;
+                // One batched call for the whole window: the engine chunks
+                // it into multi-cycle jobs (amortizing barrier crossings)
+                // and fast-forwards fully drained idle stretches.
+                if self.detailed.next_cycle() <= target {
+                    let cycles = target + 1 - self.detailed.next_cycle();
+                    engine.run_cycles(&mut self.detailed, cycles)?;
                 }
             }
             None => self.detailed.tick(Cycle(target)),

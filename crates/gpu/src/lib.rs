@@ -5,15 +5,37 @@
 //! bulk-synchronous data-parallel kernel launches. This crate reproduces that
 //! execution structure on host threads (see DESIGN.md for the substitution
 //! argument): a persistent worker pool executes the *compute* phase of all
-//! routers in parallel (reads of the shared wire state are immutable), hits a
-//! barrier, executes the *send* phase on disjoint per-router wire chunks,
-//! hits a second barrier, and hands control back to the (sequential)
-//! co-simulation loop — exactly a kernel-launch/sync cadence.
+//! live routers in parallel (reads of the shared wire state are immutable),
+//! hits a barrier, executes the *send* phase on disjoint per-router wire
+//! chunks, and proceeds straight into the next cycle of the batch — exactly a
+//! multi-cycle kernel-launch/sync cadence.
 //!
 //! Because the phase contract of [`ra_noc::Router`] guarantees that compute
 //! only writes router-local state and send only writes router-owned wires,
 //! the parallel schedule produces **bit-identical results** to the serial
 //! engine (tested here and in the workspace integration tests).
+//!
+//! # Batched cycles and fused barriers
+//!
+//! Driving one cycle costs three full-pool rendezvous (start, compute→send,
+//! end). The engine therefore executes up to [`MAX_BATCH_CYCLES`] cycles per
+//! job: the coordinator crosses only the start and end barriers of a batch,
+//! and between cycles the workers synchronize among themselves on cheaper
+//! worker-only barriers — the end-of-cycle and start-of-next-cycle
+//! rendezvous fuse into one. Injections coming due inside a batch are handed
+//! out up front ([`ra_noc::ReleasedInjection`]) and applied by the owning
+//! worker at the right cycle, and delivery events are cycle-stamped and
+//! merged afterwards in exactly the serial order
+//! ([`NocNetwork::finish_batch`]).
+//!
+//! # Clock gating and load balancing
+//!
+//! Workers consume the same liveness predicate as the serial engine
+//! ([`EngineParts::router_live`]) rather than blindly sweeping their range,
+//! so a mostly-idle mesh costs a liveness check per router instead of a full
+//! pipeline step. Because live routers may cluster (one busy corner of the
+//! mesh), the coordinator re-partitions the contiguous router ranges at
+//! every batch boundary, weighting live routers heavier than idle ones.
 //!
 //! # Example
 //!
@@ -34,18 +56,25 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;
 
 use parking_lot::RwLock;
-use ra_noc::{Flit, NocNetwork, Router, TopologyMap, Wire, Wires};
+use ra_noc::{
+    EngineParts, Flit, NocNetwork, ReleasedInjection, Router, TopologyMap, Wire, Wires,
+    MAX_BATCH_CYCLES,
+};
 use ra_sim::SimError;
 
-/// A snapshot of the raw pointers a cycle's phases operate on.
+/// Relative cost of stepping a live router vs. liveness-checking an idle
+/// one, used to balance worker ranges when activity is skewed.
+const LIVE_WEIGHT: u64 = 16;
+
+/// A snapshot of the raw pointers a batch's phases operate on.
 ///
 /// Written by the coordinating thread before the start barrier of each
-/// cycle; read by workers strictly between the start and end barriers, while
+/// batch; read by workers strictly between the start and end barriers, while
 /// the coordinator is blocked — that barrier discipline is what makes the
 /// aliasing sound.
 #[derive(Clone, Copy)]
@@ -57,7 +86,22 @@ struct Job {
     flit_wires: *mut Wire<Flit>,
     credit_wires: *mut Wire<u8>,
     ports: usize,
-    now: u64,
+    /// First cycle of the batch.
+    t0: u64,
+    /// Cycles in the batch (1..=[`MAX_BATCH_CYCLES`]).
+    cycles: u64,
+    gating: bool,
+    link_latency: u64,
+    /// Per-router exclusive wake bounds (atomics: workers race benignly).
+    wake: *const AtomicU64,
+    wake_flit_dst: *const u32,
+    wake_credit_dst: *const u32,
+    /// `workers + 1` cumulative range bounds (worker `w` owns
+    /// `bounds[w]..bounds[w+1]`).
+    bounds: *const u32,
+    /// Injections coming due inside the batch, sorted by `(cycle, order)`.
+    releases: *const ReleasedInjection,
+    n_releases: usize,
 }
 
 impl Job {
@@ -70,37 +114,103 @@ impl Job {
             flit_wires: std::ptr::null_mut(),
             credit_wires: std::ptr::null_mut(),
             ports: 0,
-            now: 0,
+            t0: 0,
+            cycles: 0,
+            gating: false,
+            link_latency: 1,
+            wake: std::ptr::null(),
+            wake_flit_dst: std::ptr::null(),
+            wake_credit_dst: std::ptr::null(),
+            bounds: std::ptr::null(),
+            releases: std::ptr::null(),
+            n_releases: 0,
         }
     }
 }
 
 // SAFETY: the pointers are only dereferenced by workers between the start
-// and end barriers of a cycle, while the owning &mut NocNetwork is pinned on
-// the coordinating thread inside `run_cycle`, and each worker touches a
-// disjoint router/wire range (see `range_of`).
+// and end barriers of a batch, while the owning &mut NocNetwork (and the
+// engine's bounds/releases buffers) are pinned on the coordinating thread
+// inside `run_batch`. Each worker mutates a disjoint router/wire range; the
+// shared wake array is only touched through atomics; topo, wires (in
+// compute), bounds, and releases are read-only.
 unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 struct SharedState {
+    /// Batch start rendezvous: all workers + the coordinator.
     start: Barrier,
-    mid: Barrier,
+    /// Batch end rendezvous: all workers + the coordinator.
     end: Barrier,
+    /// Compute→send rendezvous within a cycle: workers only.
+    mid: Barrier,
+    /// Send→next-compute rendezvous between batch cycles: workers only.
+    /// This is the fusion: the coordinator never joins it, so consecutive
+    /// cycles of a batch cost two worker-only barriers instead of a full
+    /// end + start pair.
+    boundary: Barrier,
     job: RwLock<Job>,
+    /// Bit `c` set = some router moved a flit in the batch's `c`-th cycle
+    /// (ORed in by workers, consumed by `finish_batch`).
+    active_bits: AtomicU64,
     shutdown: AtomicBool,
-    /// First panic caught inside a worker phase this cycle, as
+    /// First panic caught inside a worker phase this batch, as
     /// `(worker index, panic payload)`. Workers always reach their
     /// barriers even after a panic, so the coordinator can harvest the
     /// fault instead of deadlocking on a dead thread.
     fault: RwLock<Option<(usize, String)>>,
 }
 
-/// The contiguous router range worker `w` of `n` owns.
+/// The contiguous router range worker `w` of `n` owns under a uniform
+/// split. Routers are spread one-per-worker first, so `workers > routers`
+/// gives the surplus workers provably empty ranges (never out-of-bounds
+/// ones).
 fn range_of(worker: usize, workers: usize, routers: usize) -> std::ops::Range<usize> {
-    let per = routers.div_ceil(workers.max(1));
-    let lo = (worker * per).min(routers);
-    let hi = ((worker + 1) * per).min(routers);
+    let workers = workers.max(1);
+    let base = routers / workers;
+    let extra = routers % workers;
+    let lo = worker * base + worker.min(extra);
+    let hi = lo + base + usize::from(worker < extra);
     lo..hi
+}
+
+/// Fills `bounds` with `workers + 1` cumulative cut points partitioning
+/// `0..n_routers` so every worker carries roughly equal *weight*: a live
+/// router (one that will actually be stepped this batch) counts
+/// [`LIVE_WEIGHT`] times an idle one. With gating off every router is
+/// stepped anyway, so the uniform [`range_of`] split is used as-is.
+fn compute_bounds(parts: &EngineParts<'_>, workers: usize, bounds: &mut Vec<u32>) {
+    let n = parts.routers.len();
+    bounds.clear();
+    bounds.push(0);
+    if !parts.gating {
+        for w in 0..workers {
+            bounds.push(range_of(w, workers, n).end as u32);
+        }
+        return;
+    }
+    let t0 = parts.now;
+    let weight = |r: usize| -> u64 {
+        let live =
+            EngineParts::router_live(true, &parts.routers[r], &parts.wake[r], t0);
+        1 + u64::from(live) * (LIVE_WEIGHT - 1)
+    };
+    let total: u64 = (0..n).map(weight).sum::<u64>().max(1);
+    let mut cum = 0u64;
+    let mut k = 1u64;
+    for r in 0..n {
+        cum += weight(r);
+        // Cut whenever the cumulative weight crosses the next 1/workers
+        // fraction of the total; repeated crossings yield empty ranges.
+        while k < workers as u64 && cum * workers as u64 >= k * total {
+            bounds.push((r + 1) as u32);
+            k += 1;
+        }
+    }
+    while bounds.len() < workers + 1 {
+        bounds.push(n as u32);
+    }
+    bounds[workers] = n as u32;
 }
 
 /// A persistent bulk-synchronous worker pool executing NoC cycles.
@@ -111,6 +221,10 @@ pub struct ParallelEngine {
     shared: Arc<SharedState>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
+    /// Range bounds of the current batch (pinned while workers run).
+    bounds: Vec<u32>,
+    /// Releases of the current batch (pinned while workers run).
+    releases: Vec<ReleasedInjection>,
 }
 
 impl std::fmt::Debug for ParallelEngine {
@@ -127,9 +241,11 @@ impl ParallelEngine {
         let workers = workers.max(1);
         let shared = Arc::new(SharedState {
             start: Barrier::new(workers + 1),
-            mid: Barrier::new(workers + 1),
             end: Barrier::new(workers + 1),
+            mid: Barrier::new(workers),
+            boundary: Barrier::new(workers),
             job: RwLock::new(Job::empty()),
+            active_bits: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             fault: RwLock::new(None),
         });
@@ -138,7 +254,7 @@ impl ParallelEngine {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("noc-worker-{w}"))
-                    .spawn(move || worker_loop(w, workers, &shared))
+                    .spawn(move || worker_loop(w, &shared))
                     .expect("spawn NoC worker")
             })
             .collect();
@@ -146,6 +262,8 @@ impl ParallelEngine {
             shared,
             handles,
             workers,
+            bounds: Vec::new(),
+            releases: Vec::new(),
         }
     }
 
@@ -164,48 +282,74 @@ impl ParallelEngine {
     /// engine remains usable — but the network that was being stepped must
     /// be considered corrupt and rebuilt by the caller.
     pub fn run_cycle(&mut self, net: &mut NocNetwork) -> Result<(), SimError> {
+        self.run_batch(net, 1)
+    }
+
+    /// Executes `cycles` consecutive cycles (1..=[`MAX_BATCH_CYCLES`]) as
+    /// one batched job.
+    fn run_batch(&mut self, net: &mut NocNetwork, cycles: u64) -> Result<(), SimError> {
+        debug_assert!((1..=MAX_BATCH_CYCLES).contains(&cycles));
         {
-            let (now, topo, routers, wires) = net.parts();
+            let parts = net.begin_batch(cycles, &mut self.releases);
+            compute_bounds(&parts, self.workers, &mut self.bounds);
             let job = Job {
-                routers: routers.as_mut_ptr(),
-                n_routers: routers.len(),
-                topo,
-                wires,
-                flit_wires: wires.flits.as_mut_ptr(),
-                credit_wires: wires.credits.as_mut_ptr(),
-                ports: wires.ports() as usize,
-                now,
+                routers: parts.routers.as_mut_ptr(),
+                n_routers: parts.routers.len(),
+                topo: parts.topo,
+                wires: parts.wires,
+                flit_wires: parts.wires.flits.as_mut_ptr(),
+                credit_wires: parts.wires.credits.as_mut_ptr(),
+                ports: parts.wires.ports() as usize,
+                t0: parts.now,
+                cycles,
+                gating: parts.gating,
+                link_latency: parts.link_latency,
+                wake: parts.wake.as_ptr(),
+                wake_flit_dst: parts.wake_flit_dst.as_ptr(),
+                wake_credit_dst: parts.wake_credit_dst.as_ptr(),
+                bounds: self.bounds.as_ptr(),
+                releases: self.releases.as_ptr(),
+                n_releases: self.releases.len(),
             };
+            self.shared.active_bits.store(0, Ordering::SeqCst);
             *self.shared.job.write() = job;
             self.shared.start.wait();
-            // Workers run phase_compute, then phase_send, while we wait.
-            self.shared.mid.wait();
+            // Workers run all `cycles` cycles back to back while we wait.
             self.shared.end.wait();
         }
+        let active_bits = self.shared.active_bits.load(Ordering::SeqCst);
         if let Some((worker, detail)) = self.shared.fault.write().take() {
             return Err(SimError::Fault {
                 component: format!("noc-worker-{worker}"),
                 detail,
             });
         }
-        net.finish_cycle();
+        net.finish_batch(cycles, active_bits);
         Ok(())
     }
 
-    /// Runs `cycles` consecutive cycles.
+    /// Runs exactly `cycles` consecutive cycles, batching up to
+    /// [`MAX_BATCH_CYCLES`] at a time and fast-forwarding provably idle
+    /// stretches without touching the pool at all.
     ///
     /// # Errors
     ///
-    /// Propagates the first [`SimError::Fault`] from
-    /// [`run_cycle`](ParallelEngine::run_cycle).
+    /// Propagates the first [`SimError::Fault`] from a batch.
     pub fn run_cycles(&mut self, net: &mut NocNetwork, cycles: u64) -> Result<(), SimError> {
-        for _ in 0..cycles {
-            self.run_cycle(net)?;
+        let target = net.next_cycle() + cycles;
+        while net.next_cycle() < target {
+            if net.fast_forward_idle(target) == 0 {
+                let batch = (target - net.next_cycle()).min(MAX_BATCH_CYCLES);
+                self.run_batch(net, batch)?;
+            }
         }
         Ok(())
     }
 
     /// Runs until the network drains (every in-flight message delivered).
+    ///
+    /// Cycles are executed in batches, so up to [`MAX_BATCH_CYCLES`] − 1
+    /// trailing idle cycles may be simulated past the last delivery.
     ///
     /// # Errors
     ///
@@ -227,7 +371,7 @@ impl ParallelEngine {
                     waiting_for: format!("{} in-flight messages", net.in_flight()),
                 });
             }
-            self.run_cycle(net)?;
+            self.run_batch(net, MAX_BATCH_CYCLES)?;
         }
         net.check_invariant()
     }
@@ -256,53 +400,139 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn worker_loop(worker: usize, workers: usize, shared: &SharedState) {
+/// Compute phase of one batch cycle over `lo..hi`: apply the injections
+/// coming due, step every live router, and OR the cycle's activity bit.
+///
+/// # Safety
+///
+/// Must run between the batch's start and end barriers, with `lo..hi`
+/// disjoint from every other worker's range (see the `Job` safety comment).
+unsafe fn compute_cycle(
+    job: &Job,
+    shared: &SharedState,
+    lo: usize,
+    hi: usize,
+    c: u64,
+    rel_idx: &mut usize,
+) {
+    while *rel_idx < job.n_releases {
+        let rel = &*job.releases.add(*rel_idx);
+        if rel.cycle > c {
+            break;
+        }
+        let r = rel.router as usize;
+        if r >= lo && r < hi {
+            (*job.routers.add(r)).apply_release(rel);
+        }
+        *rel_idx += 1;
+    }
+    let topo = &*job.topo;
+    let wires = &*job.wires;
+    let wake = std::slice::from_raw_parts(job.wake, job.n_routers);
+    let mut any = false;
+    for (r, wake_r) in wake.iter().enumerate().take(hi).skip(lo) {
+        let router = &mut *job.routers.add(r);
+        if EngineParts::router_live(job.gating, router, wake_r, c) {
+            router.phase_compute(topo, wires, c);
+            any |= router.was_active();
+        }
+    }
+    if any {
+        shared
+            .active_bits
+            .fetch_or(1 << (c - job.t0), Ordering::Relaxed);
+    }
+}
+
+/// Send phase of one batch cycle over `lo..hi`: publish staged output on
+/// the routers' own wire chunks and propagate wake bounds.
+///
+/// # Safety
+///
+/// Same contract as [`compute_cycle`]; additionally each router writes only
+/// its own `ports`-sized wire chunk, disjoint because ranges are disjoint.
+unsafe fn send_cycle(job: &Job, lo: usize, hi: usize, c: u64) {
+    let wake = std::slice::from_raw_parts(job.wake, job.n_routers);
+    let wake_flit_dst =
+        std::slice::from_raw_parts(job.wake_flit_dst, job.n_routers * job.ports);
+    let wake_credit_dst =
+        std::slice::from_raw_parts(job.wake_credit_dst, job.n_routers * job.ports);
+    let until = c + job.link_latency + 1; // exclusive wake bound
+    for r in lo..hi {
+        let router = &mut *job.routers.add(r);
+        // Staging is produced by this cycle's compute, so a router with
+        // nothing staged was either skipped or idle: no wire writes, no
+        // wakes.
+        if !router.has_staged() {
+            continue;
+        }
+        let fw = std::slice::from_raw_parts_mut(job.flit_wires.add(r * job.ports), job.ports);
+        let cw = std::slice::from_raw_parts_mut(job.credit_wires.add(r * job.ports), job.ports);
+        router.phase_send(fw, cw, c);
+        EngineParts::propagate_wakes(
+            wake,
+            wake_flit_dst,
+            wake_credit_dst,
+            router,
+            r,
+            job.ports,
+            until,
+        );
+    }
+}
+
+fn worker_loop(worker: usize, shared: &SharedState) {
     loop {
         shared.start.wait();
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         let job = *shared.job.read();
-        let range = range_of(worker, workers, job.n_routers);
+        // SAFETY: `bounds` holds workers + 1 entries and is pinned by the
+        // coordinator for the whole batch.
+        let (lo, hi) = unsafe {
+            (
+                *job.bounds.add(worker) as usize,
+                *job.bounds.add(worker + 1) as usize,
+            )
+        };
+        let mut rel_idx = 0usize;
         // Panics inside router phases (a model bug, or an injected test
         // fault) must not kill the worker: a dead thread would deadlock the
-        // coordinator at the next barrier. Catch them, record the first one
-        // in the shared fault slot, and keep the barrier cadence intact.
-        let compute = catch_unwind(AssertUnwindSafe(|| {
-            // SAFETY: `range` is disjoint across workers; the coordinator
-            // holds the &mut NocNetwork and is parked on the barriers, so no
-            // other aliasing access exists. `topo` and `wires` are only read.
-            unsafe {
-                let topo = &*job.topo;
-                let wires = &*job.wires;
-                for r in range.clone() {
-                    (*job.routers.add(r)).phase_compute(topo, wires, job.now);
+        // pool at the next barrier. Catch the panic, record the first one
+        // in the shared fault slot, skip the remaining cycle bodies, and
+        // keep the full barrier cadence intact.
+        let mut dead = false;
+        for c in job.t0..job.t0 + job.cycles {
+            if !dead {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    // SAFETY: between start and end barriers, disjoint range.
+                    unsafe { compute_cycle(&job, shared, lo, hi, c, &mut rel_idx) }
+                }));
+                if let Err(payload) = result {
+                    let mut slot = shared.fault.write();
+                    if slot.is_none() {
+                        *slot = Some((worker, panic_message(payload.as_ref())));
+                    }
+                    dead = true;
                 }
             }
-        }));
-        shared.mid.wait();
-        let send = catch_unwind(AssertUnwindSafe(|| {
-            // SAFETY: each router writes only its own `ports`-sized wire
-            // chunk; chunks are disjoint because router ranges are disjoint.
-            unsafe {
-                for r in range.clone() {
-                    let router = &mut *job.routers.add(r);
-                    let fw = std::slice::from_raw_parts_mut(
-                        job.flit_wires.add(r * job.ports),
-                        job.ports,
-                    );
-                    let cw = std::slice::from_raw_parts_mut(
-                        job.credit_wires.add(r * job.ports),
-                        job.ports,
-                    );
-                    router.phase_send(fw, cw, job.now);
+            shared.mid.wait();
+            if !dead {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    // SAFETY: between start and end barriers, disjoint range.
+                    unsafe { send_cycle(&job, lo, hi, c) }
+                }));
+                if let Err(payload) = result {
+                    let mut slot = shared.fault.write();
+                    if slot.is_none() {
+                        *slot = Some((worker, panic_message(payload.as_ref())));
+                    }
+                    dead = true;
                 }
             }
-        }));
-        if let Err(payload) = compute.and(send) {
-            let mut slot = shared.fault.write();
-            if slot.is_none() {
-                *slot = Some((worker, panic_message(payload.as_ref())));
+            if c + 1 < job.t0 + job.cycles {
+                shared.boundary.wait();
             }
         }
         shared.end.wait();
@@ -329,6 +559,62 @@ mod tests {
                 assert!(covered.iter().all(|&c| c), "gap for {workers}/{routers}");
             }
         }
+    }
+
+    #[test]
+    fn surplus_workers_get_empty_ranges() {
+        // workers ∈ {1, n, > n}: every case must partition exactly, and
+        // surplus workers must see provably empty (not out-of-bounds)
+        // ranges.
+        let n = 5usize;
+        let r = range_of(0, 1, n);
+        assert_eq!(r, 0..n, "single worker owns everything");
+        for w in 0..n {
+            assert_eq!(range_of(w, n, n), w..w + 1, "one router per worker");
+        }
+        let workers = n + 3;
+        let mut covered = 0;
+        for w in 0..workers {
+            let r = range_of(w, workers, n);
+            assert!(r.end <= n, "range {r:?} exceeds {n} routers");
+            if w < n {
+                assert_eq!(r.len(), 1, "worker {w} must own one router");
+            } else {
+                assert!(r.is_empty(), "surplus worker {w} got {r:?}");
+            }
+            covered += r.len();
+        }
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn balanced_bounds_partition_and_favor_live_routers() {
+        use ra_sim::{MessageClass, NetMessage, NodeId};
+        let mut net = NocNetwork::new(NocConfig::new(8, 8)).unwrap();
+        // Load one corner of the mesh only.
+        for i in 0..6 {
+            net.inject(
+                NetMessage::new(i, NodeId(0), NodeId(9), MessageClass::Request, 64),
+                Cycle(0),
+            );
+        }
+        let workers = 4;
+        let mut bounds = Vec::new();
+        let mut releases = Vec::new();
+        let parts = net.begin_batch(1, &mut releases);
+        compute_bounds(&parts, workers, &mut bounds);
+        let n = parts.routers.len() as u32;
+        assert_eq!(bounds.len(), workers + 1);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(bounds[workers], n);
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "{bounds:?}");
+        // The busy corner lives in the low router ids, so the first worker
+        // must own a smaller slice than a uniform split would give it.
+        assert!(
+            bounds[1] < n / workers as u32,
+            "first range not shrunk: {bounds:?}"
+        );
+        net.finish_batch(1, 0);
     }
 
     #[test]
@@ -376,6 +662,39 @@ mod tests {
         let serial = run(None);
         for workers in [1, 2, 4] {
             assert_eq!(run(Some(workers)), serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn batched_cycles_match_per_cycle_runs() {
+        fn run(batched: bool, workers: usize) -> ra_noc::NocStats {
+            let mut net = NocNetwork::new(NocConfig::new(8, 8).with_seed(11)).unwrap();
+            let mut gen = TrafficGen::new(
+                8,
+                8,
+                TrafficPattern::Uniform,
+                InjectionProcess::Bernoulli { rate: 0.04 },
+                9,
+            );
+            let mut engine = ParallelEngine::new(workers);
+            // Inject for a stretch, go idle, then run a long tail so
+            // batches cover busy, draining, and idle windows alike.
+            for now in 0..500u64 {
+                gen.inject_cycle(&mut net, Cycle(now));
+                engine.run_cycle(&mut net).unwrap();
+            }
+            if batched {
+                engine.run_cycles(&mut net, 2_500).unwrap();
+            } else {
+                for _ in 0..2_500 {
+                    engine.run_cycle(&mut net).unwrap();
+                }
+            }
+            net.stats().clone()
+        }
+        let reference = run(false, 2);
+        for workers in [1, 2, 4] {
+            assert_eq!(run(true, workers), reference, "workers = {workers}");
         }
     }
 
@@ -432,6 +751,31 @@ mod tests {
 
         // The pool must survive the panic: a fresh network runs to
         // completion on the same engine.
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        net.inject(
+            NetMessage::new(0, NodeId(0), NodeId(15), MessageClass::Request, 8),
+            Cycle(0),
+        );
+        engine.run_until_drained(&mut net, 10_000).unwrap();
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn worker_panic_mid_batch_keeps_pool_alive() {
+        use ra_sim::{MessageClass, NetMessage, NodeId, SimError};
+        let mut engine = ParallelEngine::new(4);
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        net.inject(
+            NetMessage::new(0, NodeId(0), NodeId(15), MessageClass::Request, 8),
+            Cycle(0),
+        );
+        net.debug_router_mut(3).debug_force_panic();
+        // A full 64-cycle batch: the panic hits in cycle 0, the worker must
+        // keep the barrier cadence for the remaining 63 cycles.
+        let err = engine.run_cycles(&mut net, 64).unwrap_err();
+        assert!(matches!(err, SimError::Fault { .. }), "got {err:?}");
+        drop(net);
+
         let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
         net.inject(
             NetMessage::new(0, NodeId(0), NodeId(15), MessageClass::Request, 8),

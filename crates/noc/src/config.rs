@@ -75,6 +75,13 @@ pub struct NocConfig {
     pub seed: u64,
     /// Scripted hardware faults (empty = fault-free).
     pub faults: FaultPlan,
+    /// Clock-gate quiescent routers: the engines skip routers with no work
+    /// in flight. A pure schedule optimization — simulated results are
+    /// bit-identical with gating on or off (the determinism tests enforce
+    /// it) — so it defaults to on; turning it off forces the engines to
+    /// sweep every router every cycle, which is only useful as the
+    /// reference schedule in tests and benchmarks.
+    pub clock_gating: bool,
 }
 
 impl NocConfig {
@@ -97,6 +104,7 @@ impl NocConfig {
             link_latency: 1,
             seed: 0,
             faults: FaultPlan::default(),
+            clock_gating: true,
         }
     }
 
@@ -153,6 +161,13 @@ impl NocConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables or disables idle-router clock gating (on by default).
+    #[must_use]
+    pub fn with_clock_gating(mut self, enabled: bool) -> Self {
+        self.clock_gating = enabled;
         self
     }
 

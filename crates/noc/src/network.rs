@@ -1,7 +1,31 @@
 //! The assembled cycle-level network.
+//!
+//! # Clock gating
+//!
+//! Most routers of a large mesh are idle most cycles at the loads real
+//! workloads offer, so the network maintains an **active set**: a router is
+//! stepped only if it holds work of its own (buffered flits, NI backlog,
+//! staged output — see [`Router::has_work`]), is touched by a fault script,
+//! or a neighbour put something on its wires recently (the **wake set**,
+//! one cycle bound per router, updated from the sent-port masks after every
+//! send phase). Skipping a quiescent router is invisible to simulated
+//! results: wires are cycle-stamped (no `None` scrubbing needed) and the
+//! router fast-forwards its VC-allocation round-robin pointer on wake-up.
+//! The determinism tests hold the engines to bit-identical [`NocStats`]
+//! with gating on or off, serial or parallel.
+//!
+//! # Batched execution
+//!
+//! The parallel engine amortizes its synchronization by executing up to
+//! [`MAX_BATCH_CYCLES`] cycles per job: [`NocNetwork::begin_batch`] hands
+//! out the work (pre-popping the injections that come due inside the
+//! window), the engine runs the cycles back-to-back, and
+//! [`NocNetwork::finish_batch`] merges the cycle-stamped delivery events in
+//! exactly the order the one-cycle path would have produced them.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use ra_sim::{Cycle, Delivery, MessageClass, NetMessage, Network, SimError};
 
@@ -15,6 +39,13 @@ use crate::wire::Wires;
 /// Cycles of total inactivity (with traffic in flight) after which the
 /// watchdog declares a deadlock.
 const WATCHDOG_CYCLES: u64 = 50_000;
+
+/// Upper bound on the cycles a single engine batch may cover (the per-batch
+/// activity bitmap is one 64-bit word).
+pub const MAX_BATCH_CYCLES: u64 = 64;
+
+/// Sentinel in the wake-target maps: this port's wire wakes nobody.
+pub const NO_WAKE_TARGET: u32 = u32::MAX;
 
 #[derive(Debug, Clone)]
 struct PacketInfo {
@@ -33,6 +64,112 @@ struct QueuedInjection {
     src_local: u32,
     vnet: u8,
     pending: PendingPacket,
+}
+
+/// A queued injection released to an engine batch: it must be enqueued at
+/// its source router's NI at the start of [`cycle`](ReleasedInjection::cycle)
+/// (see [`Router::apply_release`]). Produced by
+/// [`NocNetwork::begin_batch`] in deterministic `(cycle, injection)` order.
+#[derive(Debug, Clone, Copy)]
+pub struct ReleasedInjection {
+    /// The cycle the injection becomes visible to its source NI.
+    pub cycle: u64,
+    /// The source router that must apply it.
+    pub router: u32,
+    local: u32,
+    vnet: u8,
+    pending: PendingPacket,
+}
+
+impl Router {
+    /// Enqueues a batched injection release at this router's NI. Must be
+    /// called at the start of the release's cycle, before the compute phase
+    /// (the packet takes part in NI arbitration that very cycle, exactly as
+    /// the unbatched release path would have it).
+    pub fn apply_release(&mut self, rel: &ReleasedInjection) {
+        self.enqueue_packet(rel.local, usize::from(rel.vnet), rel.pending);
+    }
+}
+
+/// Everything a cycle execution engine needs from the network for one cycle
+/// (or one batch of cycles), borrowed at once so the engine can hand the
+/// mutable pieces to its workers.
+pub struct EngineParts<'a> {
+    /// First (or only) cycle to execute.
+    pub now: u64,
+    /// Static topology.
+    pub topo: &'a TopologyMap,
+    /// All routers.
+    pub routers: &'a mut [Router],
+    /// All wires; router `r` owns the contiguous chunk
+    /// `r * ports .. (r + 1) * ports` of both wire arrays.
+    pub wires: &'a mut Wires,
+    /// Routers that must be stepped at `now`, ascending. Empty for batched
+    /// jobs ([`begin_batch`](NocNetwork::begin_batch)), where the engine
+    /// evaluates liveness per cycle via [`EngineParts::router_live`].
+    pub active: &'a [u32],
+    /// Per-router wake bound, **exclusive**: router `r` must be stepped at
+    /// every cycle `c` with `c < wake[r]`. Updated via `fetch_max` so
+    /// concurrent engine workers may race benignly.
+    pub wake: &'a [AtomicU64],
+    /// For each `(router, port)` flat index: the router woken when a flit
+    /// is sent there ([`NO_WAKE_TARGET`] = none).
+    pub wake_flit_dst: &'a [u32],
+    /// For each `(router, port)` flat index: the router woken when a credit
+    /// is sent there ([`NO_WAKE_TARGET`] = none).
+    pub wake_credit_dst: &'a [u32],
+    /// Link latency in cycles (wake bounds extend this far past a send).
+    pub link_latency: u64,
+    /// Whether clock gating is enabled; if not, every router is stepped
+    /// every cycle.
+    pub gating: bool,
+}
+
+impl EngineParts<'_> {
+    /// Whether router `r` must be stepped at cycle `now` (gating predicate;
+    /// identical for the serial and parallel engines, which is what keeps
+    /// their schedules — and therefore their results — aligned).
+    #[inline]
+    pub fn router_live(gating: bool, router: &Router, wake: &AtomicU64, now: u64) -> bool {
+        !gating
+            || router.has_work()
+            || router.is_fault_scripted()
+            || wake.load(Ordering::Relaxed) > now
+    }
+
+    /// Propagates wake bounds to the neighbours reached by the ports router
+    /// `r` just wrote in its send phase (call after
+    /// [`Router::phase_send`]).
+    #[inline]
+    pub fn propagate_wakes(
+        wake: &[AtomicU64],
+        wake_flit_dst: &[u32],
+        wake_credit_dst: &[u32],
+        router: &Router,
+        r: usize,
+        ports: usize,
+        until_exclusive: u64,
+    ) {
+        let base = r * ports;
+        let mut fm = router.sent_flit_mask();
+        while fm != 0 {
+            let p = fm.trailing_zeros() as usize;
+            fm &= fm - 1;
+            let dst = wake_flit_dst[base + p];
+            if dst != NO_WAKE_TARGET {
+                wake[dst as usize].fetch_max(until_exclusive, Ordering::Relaxed);
+            }
+        }
+        let mut cm = router.sent_credit_mask();
+        while cm != 0 {
+            let p = cm.trailing_zeros() as usize;
+            cm &= cm - 1;
+            let dst = wake_credit_dst[base + p];
+            if dst != NO_WAKE_TARGET {
+                wake[dst as usize].fetch_max(until_exclusive, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// The cycle-level network-on-chip simulator.
@@ -57,7 +194,7 @@ struct QueuedInjection {
 /// assert!(delivered[0].at > Cycle(0));
 /// # Ok::<(), ra_sim::ConfigError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NocNetwork {
     cfg: NocConfig,
     topo: TopologyMap,
@@ -78,6 +215,50 @@ pub struct NocNetwork {
     /// supervisor observes it via
     /// [`check_invariant`](NocNetwork::check_invariant).
     invariant: Option<SimError>,
+    /// Per-router exclusive wake bounds (see [`EngineParts::wake`]).
+    wake: Vec<AtomicU64>,
+    /// Flit wake targets, flat `(router, port)` (see [`EngineParts`]).
+    wake_flit_dst: Vec<u32>,
+    /// Credit wake targets, flat `(router, port)`.
+    wake_credit_dst: Vec<u32>,
+    /// Scratch: the active set of the cycle being executed.
+    active_scratch: Vec<u32>,
+    /// Scratch: `(packet, cycle)` net-start events drained from routers.
+    started_scratch: Vec<(PacketId, u64)>,
+    /// Scratch: `(packet, cycle)` delivery events drained from routers.
+    delivered_scratch: Vec<(PacketId, u64)>,
+}
+
+impl Clone for NocNetwork {
+    fn clone(&self) -> Self {
+        NocNetwork {
+            cfg: self.cfg.clone(),
+            topo: self.topo.clone(),
+            routers: self.routers.clone(),
+            wires: self.wires.clone(),
+            packets: self.packets.clone(),
+            free: self.free.clone(),
+            future: self.future.clone(),
+            inject_seq: self.inject_seq,
+            delivered_out: self.delivered_out.clone(),
+            in_flight_count: self.in_flight_count,
+            in_flight_by_class: self.in_flight_by_class.clone(),
+            next_cycle: self.next_cycle,
+            idle_cycles: self.idle_cycles,
+            stats: self.stats.clone(),
+            invariant: self.invariant.clone(),
+            wake: self
+                .wake
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+            wake_flit_dst: self.wake_flit_dst.clone(),
+            wake_credit_dst: self.wake_credit_dst.clone(),
+            active_scratch: self.active_scratch.clone(),
+            started_scratch: self.started_scratch.clone(),
+            delivered_scratch: self.delivered_scratch.clone(),
+        }
+    }
 }
 
 impl NocNetwork {
@@ -95,6 +276,21 @@ impl NocNetwork {
             .collect::<Vec<_>>();
         let wires = Wires::new(topo.routers(), topo.ports(), cfg.link_latency);
         let stats = NocStats::new(topo.diameter());
+        let n = topo.routers();
+        let ports = topo.ports();
+        let mut wake_flit_dst = vec![NO_WAKE_TARGET; n * ports as usize];
+        let mut wake_credit_dst = vec![NO_WAKE_TARGET; n * ports as usize];
+        for r in 0..n as u32 {
+            for p in 0..ports {
+                let i = (r * ports + p) as usize;
+                if let Some((dst, _)) = topo.link_dst(r, p) {
+                    wake_flit_dst[i] = dst;
+                }
+                if let Some((src, _)) = topo.link_src(r, p) {
+                    wake_credit_dst[i] = src;
+                }
+            }
+        }
         Ok(NocNetwork {
             cfg,
             topo,
@@ -111,6 +307,12 @@ impl NocNetwork {
             idle_cycles: 0,
             stats,
             invariant: None,
+            wake: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            wake_flit_dst,
+            wake_credit_dst,
+            active_scratch: Vec::with_capacity(n),
+            started_scratch: Vec::new(),
+            delivered_scratch: Vec::new(),
         })
     }
 
@@ -134,25 +336,98 @@ impl NocNetwork {
         self.next_cycle
     }
 
-    /// Splits the network into the pieces a cycle execution engine needs:
-    /// `(cycle to execute, topology, routers, wires)`.
+    /// Rebuilds the active set for the cycle about to execute.
+    fn refresh_active(&mut self) {
+        self.active_scratch.clear();
+        if !self.cfg.clock_gating {
+            self.active_scratch.extend(0..self.routers.len() as u32);
+            return;
+        }
+        let now = self.next_cycle;
+        for (i, router) in self.routers.iter().enumerate() {
+            if EngineParts::router_live(true, router, &self.wake[i], now) {
+                self.active_scratch.push(i as u32);
+            }
+        }
+    }
+
+    /// Splits the network into the pieces a cycle execution engine needs
+    /// for **one** cycle (the returned [`EngineParts::now`]).
     ///
-    /// An engine must, for the returned cycle `now`:
+    /// An engine must, for that cycle:
     ///
-    /// 1. call [`Router::phase_compute`] on every router (any order, or in
-    ///    parallel — compute reads wires immutably and writes only the
-    ///    router's own state);
-    /// 2. call [`Router::phase_send`] on every router with the router's own
-    ///    contiguous wire chunks (`ports()` wires per router);
+    /// 1. call [`Router::phase_compute`] on every router in
+    ///    [`EngineParts::active`] (any order, or in parallel — compute reads
+    ///    wires immutably and writes only the router's own state);
+    /// 2. call [`Router::phase_send`] on the same routers with each
+    ///    router's own contiguous wire chunks, propagating wake bounds via
+    ///    [`EngineParts::propagate_wakes`];
     /// 3. call [`finish_cycle`](NocNetwork::finish_cycle) exactly once.
-    pub fn parts(&mut self) -> (u64, &TopologyMap, &mut [Router], &mut Wires) {
+    pub fn parts(&mut self) -> EngineParts<'_> {
         self.release_due_injections();
-        (
-            self.next_cycle,
-            &self.topo,
-            &mut self.routers,
-            &mut self.wires,
-        )
+        self.refresh_active();
+        EngineParts {
+            now: self.next_cycle,
+            topo: &self.topo,
+            routers: &mut self.routers,
+            wires: &mut self.wires,
+            active: &self.active_scratch,
+            wake: &self.wake,
+            wake_flit_dst: &self.wake_flit_dst,
+            wake_credit_dst: &self.wake_credit_dst,
+            link_latency: u64::from(self.cfg.link_latency),
+            gating: self.cfg.clock_gating,
+        }
+    }
+
+    /// Starts a batched engine window of exactly `cycles` cycles (at most
+    /// [`MAX_BATCH_CYCLES`]), beginning at the current cycle.
+    ///
+    /// Injections coming due inside the window are popped into `releases`
+    /// in deterministic `(cycle, injection-order)` order; the engine must
+    /// apply each with [`Router::apply_release`] at the start of its cycle.
+    /// The engine evaluates router liveness per cycle itself (the returned
+    /// [`EngineParts::active`] is empty), runs all cycles, and then calls
+    /// [`finish_batch`](NocNetwork::finish_batch) exactly once.
+    pub fn begin_batch(
+        &mut self,
+        cycles: u64,
+        releases: &mut Vec<ReleasedInjection>,
+    ) -> EngineParts<'_> {
+        assert!(
+            (1..=MAX_BATCH_CYCLES).contains(&cycles),
+            "batch of {cycles} cycles outside 1..={MAX_BATCH_CYCLES}"
+        );
+        let t0 = self.next_cycle;
+        releases.clear();
+        while let Some(Reverse(q)) = self.future.peek() {
+            if q.cycle >= t0 + cycles {
+                break;
+            }
+            let Reverse(q) = self.future.pop().expect("peeked");
+            releases.push(ReleasedInjection {
+                // A release may already be overdue (injected at the current
+                // cycle); it then applies at the first cycle of the window,
+                // exactly as `release_due_injections` would have done.
+                cycle: q.cycle.max(t0),
+                router: q.src_router,
+                local: q.src_local,
+                vnet: q.vnet,
+                pending: q.pending,
+            });
+        }
+        EngineParts {
+            now: t0,
+            topo: &self.topo,
+            routers: &mut self.routers,
+            wires: &mut self.wires,
+            active: &[],
+            wake: &self.wake,
+            wake_flit_dst: &self.wake_flit_dst,
+            wake_credit_dst: &self.wake_credit_dst,
+            link_latency: u64::from(self.cfg.link_latency),
+            gating: self.cfg.clock_gating,
+        }
     }
 
     /// Moves injections whose cycle has arrived into their source NI.
@@ -170,14 +445,26 @@ impl NocNetwork {
         }
     }
 
-    /// Completes the cycle started by [`parts`](NocNetwork::parts):
-    /// collects deliveries and statistics and advances the clock.
-    pub fn finish_cycle(&mut self) {
-        let now = self.next_cycle;
+    /// Drains invariants, fault events, and stamped delivery events from
+    /// routers into the network scratch buffers. Scans only the active set
+    /// when `active_only` (single-cycle path — skipped routers cannot have
+    /// produced events), every router otherwise (batch path).
+    fn collect_router_events(&mut self, active_only: bool) {
+        self.started_scratch.clear();
+        self.delivered_scratch.clear();
         let has_faults = !self.cfg.faults.is_empty();
-        let mut any_active = false;
-        for router in &mut self.routers {
-            any_active |= router.stats.active;
+        let count = if active_only {
+            self.active_scratch.len()
+        } else {
+            self.routers.len()
+        };
+        for i in 0..count {
+            let r = if active_only {
+                self.active_scratch[i] as usize
+            } else {
+                i
+            };
+            let router = &mut self.routers[r];
             if let Some(msg) = router.take_invariant() {
                 if self.invariant.is_none() {
                     self.invariant = Some(SimError::Invariant(msg));
@@ -187,75 +474,160 @@ impl NocNetwork {
                 let events = router.take_fault_events();
                 self.stats.faults.merge(&events);
             }
-            for (pkt, at) in router.net_started.drain(..) {
-                match self.packets.get_mut(pkt as usize).and_then(Option::as_mut) {
-                    Some(info) => info.net_start = at,
-                    None => {
-                        if self.invariant.is_none() {
-                            self.invariant = Some(SimError::Invariant(format!(
-                                "net_started for unknown packet {pkt} at cycle {at}"
-                            )));
-                        }
-                    }
+            self.started_scratch.append(&mut router.net_started);
+            self.delivered_scratch.append(&mut router.delivered);
+        }
+    }
+
+    /// Applies the collected events for the window `[next_cycle,
+    /// next_cycle + cycles)` and advances the clock. Bit `c` of
+    /// `active_bits` says whether any router moved a flit in the window's
+    /// `c`-th cycle (the deadlock watchdog input).
+    ///
+    /// Events are processed cycle-major, and within a cycle in router-id
+    /// order — `collect_router_events` scans routers in id order and each
+    /// router's events are already cycle-sorted, so a *stable* sort by
+    /// cycle reproduces exactly the order the one-cycle-at-a-time path
+    /// feeds deliveries into the statistics (floating-point accumulation
+    /// order included; this is what keeps batched runs bit-identical).
+    fn apply_window(&mut self, cycles: u64, active_bits: u64) {
+        let t0 = self.next_cycle;
+        if cycles > 1 {
+            self.started_scratch.sort_by_key(|&(_, at)| at);
+            self.delivered_scratch.sort_by_key(|&(_, at)| at);
+        }
+        for i in 0..self.started_scratch.len() {
+            let (pkt, at) = self.started_scratch[i];
+            self.process_net_started(pkt, at);
+        }
+        let mut di = 0;
+        for c in t0..t0 + cycles {
+            while di < self.delivered_scratch.len() && self.delivered_scratch[di].1 == c {
+                let (pkt, at) = self.delivered_scratch[di];
+                self.process_delivery(pkt, at);
+                di += 1;
+            }
+            let active = (active_bits >> (c - t0)) & 1 == 1;
+            if active || self.in_flight_count == 0 {
+                self.idle_cycles = 0;
+            } else {
+                self.idle_cycles += 1;
+            }
+            self.stats.cycles += 1;
+        }
+        debug_assert_eq!(
+            di,
+            self.delivered_scratch.len(),
+            "delivery stamped outside its window"
+        );
+        self.next_cycle = t0 + cycles;
+    }
+
+    fn process_net_started(&mut self, pkt: PacketId, at: u64) {
+        match self.packets.get_mut(pkt as usize).and_then(Option::as_mut) {
+            Some(info) => info.net_start = at,
+            None => {
+                if self.invariant.is_none() {
+                    self.invariant = Some(SimError::Invariant(format!(
+                        "net_started for unknown packet {pkt} at cycle {at}"
+                    )));
                 }
             }
-            for (pkt, at) in router.delivered.drain(..) {
-                let Some(info) = self.packets.get_mut(pkt as usize).and_then(Option::take) else {
-                    if self.invariant.is_none() {
-                        self.invariant = Some(SimError::Invariant(format!(
-                            "delivery of unknown packet {pkt} at cycle {at}"
-                        )));
-                    }
-                    continue;
-                };
-                self.free.push(pkt);
-                self.in_flight_count -= 1;
-                self.in_flight_by_class[info.msg.class.vnet()] -= 1;
-                let hops = self.topo.hops(info.msg.src, info.msg.dst);
-                let total = at - info.inject;
-                let net = at - info.net_start;
-                self.stats.record_delivery(
-                    info.msg.class,
-                    hops,
-                    total,
-                    net,
-                    info.msg.flits(self.cfg.flit_bytes),
-                );
-                self.delivered_out.push(Delivery {
-                    msg: info.msg,
-                    at: Cycle(at),
-                });
+        }
+    }
+
+    fn process_delivery(&mut self, pkt: PacketId, at: u64) {
+        let Some(info) = self.packets.get_mut(pkt as usize).and_then(Option::take) else {
+            if self.invariant.is_none() {
+                self.invariant = Some(SimError::Invariant(format!(
+                    "delivery of unknown packet {pkt} at cycle {at}"
+                )));
             }
+            return;
+        };
+        self.free.push(pkt);
+        self.in_flight_count -= 1;
+        self.in_flight_by_class[info.msg.class.vnet()] -= 1;
+        let hops = self.topo.hops(info.msg.src, info.msg.dst);
+        let total = at - info.inject;
+        let net = at - info.net_start;
+        self.stats.record_delivery(
+            info.msg.class,
+            hops,
+            total,
+            net,
+            info.msg.flits(self.cfg.flit_bytes),
+        );
+        self.delivered_out.push(Delivery {
+            msg: info.msg,
+            at: Cycle(at),
+        });
+    }
+
+    /// Completes the cycle started by [`parts`](NocNetwork::parts):
+    /// collects deliveries and statistics and advances the clock.
+    pub fn finish_cycle(&mut self) {
+        let mut any_active = false;
+        for i in 0..self.active_scratch.len() {
+            any_active |= self.routers[self.active_scratch[i] as usize].stats.active;
         }
-        if any_active || self.in_flight() == 0 {
-            self.idle_cycles = 0;
-        } else {
-            self.idle_cycles += 1;
-        }
-        self.stats.cycles += 1;
-        self.next_cycle = now + 1;
+        self.collect_router_events(true);
+        self.apply_window(1, u64::from(any_active));
+    }
+
+    /// Completes the batch started by
+    /// [`begin_batch`](NocNetwork::begin_batch) for the same number of
+    /// `cycles`. Bit `c` of `active_bits` must be set iff any router's
+    /// compute phase moved a flit in the batch's `c`-th cycle.
+    pub fn finish_batch(&mut self, cycles: u64, active_bits: u64) {
+        self.collect_router_events(false);
+        self.apply_window(cycles, active_bits);
     }
 
     /// Executes one cycle with the built-in serial engine.
     pub fn step(&mut self) {
-        self.release_due_injections();
-        let (now, topo, routers, wires) = (
-            self.next_cycle,
-            &self.topo,
-            &mut self.routers,
-            &mut self.wires,
-        );
-        for router in routers.iter_mut() {
-            router.phase_compute(topo, wires, now);
-        }
-        let ports = wires.ports() as usize;
-        for (router, (fw, cw)) in routers
-            .iter_mut()
-            .zip(wires.flits.chunks_mut(ports).zip(wires.credits.chunks_mut(ports)))
-        {
-            router.phase_send(fw, cw, now);
-        }
+        let parts = self.parts();
+        serial_cycle(parts);
         self.finish_cycle();
+    }
+
+    /// Advances through cycles `[next_cycle, target)` that provably step
+    /// zero routers, in O(routers) total instead of O(routers x cycles).
+    /// Returns the cycles consumed (0 if anything is, or could become,
+    /// live — the caller then falls back to [`step`](NocNetwork::step)).
+    ///
+    /// Unlike [`skip_to`](NocNetwork::skip_to), the fast-forwarded window
+    /// **is** simulated time: the cycles count into [`NocStats::cycles`]
+    /// exactly as if every router had been stepped and found idle, so the
+    /// resulting statistics are bit-identical to not fast-forwarding.
+    pub fn fast_forward_idle(&mut self, target: u64) -> u64 {
+        if !self.cfg.clock_gating || target <= self.next_cycle || self.in_flight_count != 0 {
+            return 0;
+        }
+        // Stop at the next queued injection: it needs real stepping.
+        let limit = match self.future.peek() {
+            Some(Reverse(q)) => q.cycle.min(target),
+            None => target,
+        };
+        if limit <= self.next_cycle {
+            return 0;
+        }
+        let now = self.next_cycle;
+        for (i, router) in self.routers.iter().enumerate() {
+            if router.has_work()
+                || router.is_fault_scripted()
+                || self.wake[i].load(Ordering::Relaxed) > now
+            {
+                return 0;
+            }
+        }
+        let skipped = limit - now;
+        // Every skipped cycle would have stepped nothing, delivered
+        // nothing, and (with nothing in flight) reset the idle counter.
+        self.stats.cycles += skipped;
+        self.idle_cycles = 0;
+        self.next_cycle = limit;
+        skipped
     }
 
     /// Fast-forwards the clock without simulating, for windows known to
@@ -303,11 +675,16 @@ impl NocNetwork {
             }
             self.step();
         }
-        // Ring slots retain consumed values until overwritten; after a
-        // clock jump a stale slot could re-align with a future read, so
-        // wipe them (everything live has now been consumed).
+        // Wire slots are cycle-stamped, so stale values cannot re-align
+        // after the jump, but clear them anyway to keep the skipped window
+        // observably dead (and resync each router's gating clock: the
+        // jumped-over cycles were never simulated, so the VA round-robin
+        // catch-up must not count them).
         self.wires.clear();
         self.next_cycle = cycle;
+        for router in &mut self.routers {
+            router.resync_clock(cycle);
+        }
         Ok(())
     }
 
@@ -437,6 +814,13 @@ impl NocNetwork {
         &self.routers
     }
 
+    /// Total `phase_compute` invocations across all routers — the work the
+    /// clock gating saves is directly visible here (diagnostic; the gating
+    /// regression tests assert on it).
+    pub fn compute_invocations(&self) -> u64 {
+        self.routers.iter().map(Router::compute_invocations).sum()
+    }
+
     /// Average utilization of inter-router links: flits carried per link per
     /// cycle, over the whole run.
     pub fn avg_link_utilization(&self) -> f64 {
@@ -464,6 +848,14 @@ impl NocNetwork {
         self.routers.iter().map(Router::buffered_flits).sum()
     }
 
+    /// Like [`Network::drain_delivered`] but appends into a caller-owned
+    /// buffer, so a driver polling every cycle recycles one allocation
+    /// instead of producing a fresh `Vec` per poll (the zero-allocation
+    /// steady-state test runs on this).
+    pub fn drain_delivered_into(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.delivered_out);
+    }
+
     fn alloc_packet(&mut self, info: PacketInfo) -> PacketId {
         if let Some(id) = self.free.pop() {
             self.packets[id as usize] = Some(info);
@@ -473,6 +865,48 @@ impl NocNetwork {
             self.packets.push(Some(info));
             id
         }
+    }
+}
+
+/// One cycle of the serial engine over borrowed [`EngineParts`]: compute
+/// phase over the active set, send phase over the same routers, wake
+/// propagation from the sent-port masks.
+fn serial_cycle(parts: EngineParts<'_>) {
+    let EngineParts {
+        now,
+        topo,
+        routers,
+        wires,
+        active,
+        wake,
+        wake_flit_dst,
+        wake_credit_dst,
+        link_latency,
+        ..
+    } = parts;
+    for &r in active {
+        routers[r as usize].phase_compute(topo, wires, now);
+    }
+    let ports = wires.ports() as usize;
+    let until = now + link_latency + 1; // exclusive wake bound
+    for &r in active {
+        let ri = r as usize;
+        let router = &mut routers[ri];
+        let base = ri * ports;
+        router.phase_send(
+            &mut wires.flits[base..base + ports],
+            &mut wires.credits[base..base + ports],
+            now,
+        );
+        EngineParts::propagate_wakes(
+            wake,
+            wake_flit_dst,
+            wake_credit_dst,
+            router,
+            ri,
+            ports,
+            until,
+        );
     }
 }
 
@@ -520,7 +954,9 @@ impl Network for NocNetwork {
 
     fn tick(&mut self, now: Cycle) {
         while self.next_cycle <= now.0 {
-            self.step();
+            if self.fast_forward_idle(now.0 + 1) == 0 {
+                self.step();
+            }
         }
     }
 
@@ -712,6 +1148,203 @@ mod tests {
         assert!(waiting_for.contains("Request: 1"), "got {waiting_for}");
         assert!(waiting_for.contains("Response: 1"), "got {waiting_for}");
         assert!(waiting_for.contains("buffered"), "got {waiting_for}");
+    }
+}
+
+#[cfg(test)]
+mod gating_tests {
+    use super::*;
+    use crate::traffic::{InjectionProcess, TrafficGen, TrafficPattern};
+    use ra_sim::{MessageClass, NodeId};
+
+    fn msg(id: u64, src: u32, dst: u32) -> NetMessage {
+        NetMessage::new(id, NodeId(src), NodeId(dst), MessageClass::Request, 8)
+    }
+
+    /// The headline gating regression: a fully idle network advances N
+    /// cycles with **zero** router compute invocations.
+    #[test]
+    fn idle_network_advances_with_zero_router_steps() {
+        let mut net = NocNetwork::new(NocConfig::new(8, 8)).unwrap();
+        net.tick(Cycle(9_999));
+        assert_eq!(net.next_cycle(), 10_000);
+        assert_eq!(net.stats().cycles, 10_000, "idle cycles are simulated time");
+        assert_eq!(net.compute_invocations(), 0, "no router may have stepped");
+    }
+
+    /// With gating off, the same idle window steps every router every
+    /// cycle — the reference schedule gating is measured against.
+    #[test]
+    fn ungated_idle_network_steps_every_router() {
+        let mut net =
+            NocNetwork::new(NocConfig::new(2, 2).with_clock_gating(false)).unwrap();
+        net.tick(Cycle(99));
+        assert_eq!(net.compute_invocations(), 100 * 4);
+    }
+
+    /// Gating on and off must produce bit-identical statistics on real
+    /// traffic, including idle gaps that exercise the wake/catch-up paths.
+    #[test]
+    fn gated_and_ungated_stats_are_bit_identical() {
+        fn run(gating: bool) -> NocStats {
+            let mut net = NocNetwork::new(
+                NocConfig::new(8, 8).with_seed(42).with_clock_gating(gating),
+            )
+            .unwrap();
+            let mut gen = TrafficGen::new(
+                8,
+                8,
+                TrafficPattern::Uniform,
+                InjectionProcess::Bernoulli { rate: 0.01 },
+                7,
+            );
+            for now in 0..2_000u64 {
+                gen.inject_cycle(&mut net, Cycle(now));
+                net.tick(Cycle(now));
+            }
+            // A long idle tail, then a burst that wakes the mesh again.
+            net.tick(Cycle(4_000));
+            for i in 0..16 {
+                net.inject(msg(900 + i, (i as u32) % 64, (63 - i as u32) % 64), Cycle(4_001));
+            }
+            net.run_until_drained(100_000).unwrap();
+            net.stats().clone()
+        }
+        let gated = run(true);
+        let ungated = run(false);
+        assert_eq!(gated, ungated, "gating changed simulated results");
+    }
+
+    /// Gating must leave scripted faults fully visible: stall counters burn
+    /// every cycle on an otherwise idle network.
+    #[test]
+    fn fault_scripted_routers_are_never_gated() {
+        use crate::fault::FaultPlan;
+        let cfg = NocConfig::new(4, 4)
+            .with_faults(FaultPlan::new().stall_router(5, 0, 500));
+        let mut net = NocNetwork::new(cfg).unwrap();
+        net.tick(Cycle(499));
+        assert_eq!(net.stats().faults.stall_cycles, 500);
+    }
+
+    /// A message injected after a long gated-idle stretch sees exactly the
+    /// same latency as on a never-idle network (VA pointer catch-up).
+    #[test]
+    fn post_idle_latency_matches_cold_start() {
+        let mut cold = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        cold.inject(msg(0, 0, 15), Cycle(0));
+        cold.run_until_drained(1_000).unwrap();
+        let cold_latency =
+            cold.drain_delivered(Cycle(cold.next_cycle()))[0].at.0;
+
+        let mut idle = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        idle.tick(Cycle(9_999));
+        idle.inject(msg(0, 0, 15), Cycle(10_000));
+        idle.run_until_drained(1_000).unwrap();
+        let idle_latency =
+            idle.drain_delivered(Cycle(idle.next_cycle()))[0].at.0 - 10_000;
+        assert_eq!(idle_latency, cold_latency);
+    }
+
+    /// `skip_to` (unsimulated jump) must not confuse the gating clock:
+    /// traffic after the jump behaves as if the network were fresh.
+    #[test]
+    fn skip_to_resyncs_gating_clocks() {
+        let mut net = NocNetwork::new(NocConfig::new(4, 4)).unwrap();
+        net.skip_to(5_000).unwrap();
+        net.inject(msg(0, 0, 15), Cycle(5_000));
+        net.run_until_drained(1_000).unwrap();
+        assert_eq!(net.stats().delivered, 1);
+        net.audit().unwrap();
+    }
+
+    /// The batched engine protocol on the serial engine's own cycle loop:
+    /// begin_batch / finish_batch over quiet and busy windows gives the
+    /// same result as per-cycle stepping.
+    #[test]
+    fn batch_protocol_matches_per_cycle_stepping() {
+        fn run_batched(batch: u64) -> NocStats {
+            let mut net = NocNetwork::new(NocConfig::new(4, 4).with_seed(3)).unwrap();
+            for i in 0..12 {
+                // Spread injections so some land mid-batch.
+                net.inject(msg(i, (i as u32 * 5) % 16, (i as u32 * 11 + 2) % 16), Cycle(i * 7));
+            }
+            let mut releases = Vec::new();
+            while net.in_flight() > 0 || net.next_cycle() < 200 {
+                let parts = net.begin_batch(batch, &mut releases);
+                let mut active_bits = 0u64;
+                let mut rel_idx = 0;
+                let t0 = parts.now;
+                let ports = parts.wires.ports() as usize;
+                for c in t0..t0 + batch {
+                    while rel_idx < releases.len() && releases[rel_idx].cycle == c {
+                        let rel = &releases[rel_idx];
+                        parts.routers[rel.router as usize].apply_release(rel);
+                        rel_idx += 1;
+                    }
+                    let mut any = false;
+                    for r in 0..parts.routers.len() {
+                        let live = EngineParts::router_live(
+                            parts.gating,
+                            &parts.routers[r],
+                            &parts.wake[r],
+                            c,
+                        );
+                        if live {
+                            parts.routers[r].phase_compute(parts.topo, parts.wires, c);
+                            any |= parts.routers[r].was_active();
+                        }
+                    }
+                    if any {
+                        active_bits |= 1 << (c - t0);
+                    }
+                    for r in 0..parts.routers.len() {
+                        if parts.routers[r].has_staged() {
+                            let base = r * ports;
+                            parts.routers[r].phase_send(
+                                &mut parts.wires.flits[base..base + ports],
+                                &mut parts.wires.credits[base..base + ports],
+                                c,
+                            );
+                            EngineParts::propagate_wakes(
+                                parts.wake,
+                                parts.wake_flit_dst,
+                                parts.wake_credit_dst,
+                                &parts.routers[r],
+                                r,
+                                ports,
+                                c + parts.link_latency + 1,
+                            );
+                        }
+                    }
+                }
+                net.finish_batch(batch, active_bits);
+                if net.next_cycle() > 100_000 {
+                    panic!("batched run diverged");
+                }
+            }
+            net.stats().clone()
+        }
+        fn run_serial() -> NocStats {
+            let mut net = NocNetwork::new(NocConfig::new(4, 4).with_seed(3)).unwrap();
+            for i in 0..12 {
+                net.inject(msg(i, (i as u32 * 5) % 16, (i as u32 * 11 + 2) % 16), Cycle(i * 7));
+            }
+            while net.in_flight() > 0 || net.next_cycle() < 200 {
+                net.step();
+            }
+            net.stats().clone()
+        }
+        let serial = run_serial();
+        for batch in [1, 7, 64] {
+            let batched = run_batched(batch);
+            // Cycle counts may overshoot by up to batch-1 cycles (the last
+            // batch rounds up); compare everything that drains identically.
+            assert_eq!(batched.injected, serial.injected, "batch {batch}");
+            assert_eq!(batched.delivered, serial.delivered, "batch {batch}");
+            assert_eq!(batched.latency, serial.latency, "batch {batch}");
+            assert_eq!(batched.net_latency, serial.net_latency, "batch {batch}");
+        }
     }
 }
 

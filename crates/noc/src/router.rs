@@ -15,6 +15,26 @@
 //! Compute only *reads* other routers' wires and only *writes* its own
 //! state; send only writes the router's own wires. The bulk-synchronous
 //! parallel engine in `ra-gpu` exploits exactly this contract.
+//!
+//! # Hot-path layout
+//!
+//! Per-VC state is stored struct-of-arrays (`vc_state`, `vc_out_port`, …)
+//! so the allocator scans touch dense, homogeneous arrays instead of
+//! chasing through per-VC structs, and all per-cycle temporaries of the
+//! switch allocator live in scratch vectors owned by the router — the
+//! steady-state step path performs **zero heap allocations** (enforced by
+//! the counting-allocator test in `tests/no_alloc.rs`).
+//!
+//! # Clock gating
+//!
+//! A quiescent router (no buffered flits, no NI backlog, no staged output)
+//! computes nothing and sends nothing, so the engines skip it entirely
+//! (see [`NocNetwork`](crate::NocNetwork)). Skipping must be invisible to
+//! simulated results: the only per-cycle state an idle router would still
+//! mutate is the VC-allocation round-robin pointer, so
+//! [`phase_compute`](Router::phase_compute) fast-forwards that pointer by
+//! the number of skipped cycles on wake-up, making gated and ungated
+//! schedules bit-identical.
 
 use std::collections::VecDeque;
 
@@ -27,6 +47,10 @@ use crate::stats::FaultStats;
 use crate::topology::TopologyMap;
 use crate::wire::{Credit, Wire, Wires};
 
+/// Sentinel for "no input port / no VC" in the allocator scratch tables and
+/// the output-VC owner table.
+const NONE_IDX: u32 = u32::MAX;
+
 /// State of an input virtual channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum VcState {
@@ -36,38 +60,6 @@ enum VcState {
     Routed,
     /// Output VC allocated; flits may traverse the switch.
     Active,
-}
-
-/// One input virtual channel.
-#[derive(Debug, Clone)]
-struct InputVc {
-    buf: VecDeque<Flit>,
-    state: VcState,
-    out_port: u32,
-    out_vc: u32,
-    /// Dateline class the packet will use on the next link.
-    next_class: u8,
-}
-
-impl InputVc {
-    fn new(depth: u32) -> Self {
-        InputVc {
-            buf: VecDeque::with_capacity(depth as usize),
-            state: VcState::Idle,
-            out_port: 0,
-            out_vc: 0,
-            next_class: 0,
-        }
-    }
-}
-
-/// Credit/ownership record of an output virtual channel (the downstream
-/// router's input buffer, seen from this side of the link).
-#[derive(Debug, Clone)]
-struct OutputVc {
-    credits: u32,
-    /// Flattened index of the input VC that currently owns this output VC.
-    owner: Option<u32>,
 }
 
 /// A packet waiting in a node interface source queue.
@@ -130,14 +122,48 @@ pub struct Router {
     vc_depth: u32,
     routing: Routing,
     torus: bool,
-    in_vcs: Vec<InputVc>,
-    out_vcs: Vec<OutputVc>,
+    // --- per-VC state, struct-of-arrays, indexed `port * total_vcs + vc` ---
+    /// Input VC buffers. Capacity is reserved to `vc_depth` up front and
+    /// occupancy never exceeds it, so pushes never reallocate.
+    vc_buf: Vec<VecDeque<Flit>>,
+    vc_state: Vec<VcState>,
+    vc_out_port: Vec<u32>,
+    vc_out_vc: Vec<u32>,
+    /// Dateline class the packet will use on the next link.
+    vc_next_class: Vec<u8>,
+    /// Credit count of each output VC (the downstream input buffer).
+    ovc_credits: Vec<u32>,
+    /// Flattened input-VC index owning each output VC ([`NONE_IDX`] = free).
+    ovc_owner: Vec<u32>,
+    // --- per-port state ---
     out_staging: Vec<Option<Flit>>,
     credit_staging: Vec<Option<Credit>>,
     ni: Vec<LocalIface>,
     va_ptr: u32,
     sa_vc_ptr: Vec<u32>,
     sa_port_ptr: Vec<u32>,
+    // --- allocator scratch, reused every cycle (never reallocated) ---
+    /// Per input port: the nominated `(vc, out_port)`, `vc == NONE_IDX`
+    /// meaning no nomination.
+    sa_candidate: Vec<(u32, u32)>,
+    /// Per output port: the granted input port (`NONE_IDX` = none).
+    sa_granted: Vec<u32>,
+    // --- activity bookkeeping (clock gating) ---
+    /// Flits currently buffered in input VCs.
+    buffered: u32,
+    /// NI backlog: queued packets plus in-progress injections.
+    ni_work: u32,
+    /// Staged flits + credits awaiting `phase_send`.
+    staged: u32,
+    /// The next cycle this router expects `phase_compute` for; used to
+    /// fast-forward the VA round-robin pointer over gated-off cycles.
+    clock: u64,
+    /// Total `phase_compute` invocations (gating regression tests).
+    compute_calls: u64,
+    /// Ports on which the last `phase_send` put a flit on the wire.
+    sent_flit_mask: u32,
+    /// Ports on which the last `phase_send` put a credit on the wire.
+    sent_credit_mask: u32,
     /// Packets ejected this cycle: `(packet, cycle)`.
     pub(crate) delivered: Vec<(PacketId, u64)>,
     /// Packets whose head flit entered the network this cycle.
@@ -188,19 +214,30 @@ impl Router {
             vc_depth: cfg.vc_depth,
             routing: cfg.routing,
             torus: matches!(cfg.topology, TopologyKind::Torus),
-            in_vcs: (0..n_vcs).map(|_| InputVc::new(cfg.vc_depth)).collect(),
-            out_vcs: (0..n_vcs)
-                .map(|_| OutputVc {
-                    credits: cfg.vc_depth,
-                    owner: None,
-                })
+            vc_buf: (0..n_vcs)
+                .map(|_| VecDeque::with_capacity(cfg.vc_depth as usize))
                 .collect(),
+            vc_state: vec![VcState::Idle; n_vcs],
+            vc_out_port: vec![0; n_vcs],
+            vc_out_vc: vec![0; n_vcs],
+            vc_next_class: vec![0; n_vcs],
+            ovc_credits: vec![cfg.vc_depth; n_vcs],
+            ovc_owner: vec![NONE_IDX; n_vcs],
             out_staging: vec![None; ports as usize],
             credit_staging: vec![None; ports as usize],
             ni,
             va_ptr: 0,
             sa_vc_ptr: vec![0; ports as usize],
             sa_port_ptr: vec![0; ports as usize],
+            sa_candidate: vec![(NONE_IDX, 0); ports as usize],
+            sa_granted: vec![NONE_IDX; ports as usize],
+            buffered: 0,
+            ni_work: 0,
+            staged: 0,
+            clock: 0,
+            compute_calls: 0,
+            sent_flit_mask: 0,
+            sent_credit_mask: 0,
             delivered: Vec::new(),
             net_started: Vec::new(),
             stats: RouterStats {
@@ -232,22 +269,78 @@ impl Router {
     /// Queues a packet at the node interface of `local` port.
     pub(crate) fn enqueue_packet(&mut self, local: u32, vnet: usize, pending: PendingPacket) {
         self.ni[local as usize].queues[vnet].push_back(pending);
+        self.ni_work += 1;
     }
 
     /// Total flits buffered in this router's input VCs.
     pub fn buffered_flits(&self) -> usize {
-        self.in_vcs.iter().map(|vc| vc.buf.len()).sum()
+        self.buffered as usize
     }
 
     /// Packets waiting or streaming at this router's node interfaces.
     pub fn ni_backlog(&self) -> usize {
-        self.ni
-            .iter()
-            .map(|ni| {
-                ni.queues.iter().map(VecDeque::len).sum::<usize>()
-                    + ni.cur.iter().flatten().count()
-            })
-            .sum()
+        self.ni_work as usize
+    }
+
+    /// True if this router has anything to do on its own: buffered flits,
+    /// NI backlog, or staged wire output. A router with no work can only be
+    /// re-activated by an in-flight wire value, which the network tracks
+    /// through its wake set.
+    #[inline]
+    pub fn has_work(&self) -> bool {
+        // An armed debug panic counts as work so the fault-injection tests
+        // still fire under clock gating.
+        self.buffered | self.ni_work | self.staged != 0 || self.debug_panic
+    }
+
+    /// True if a fault script touches this router. Fault-scripted routers
+    /// are never clock-gated: scripted stalls must burn (and count) every
+    /// cycle exactly as an ungated run would.
+    #[inline]
+    pub fn is_fault_scripted(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Total `phase_compute` invocations over the router's lifetime.
+    pub fn compute_invocations(&self) -> u64 {
+        self.compute_calls
+    }
+
+    /// Ports on which the last [`phase_send`](Router::phase_send) placed a
+    /// flit on the wire (bit `p` = port `p`).
+    #[inline]
+    pub fn sent_flit_mask(&self) -> u32 {
+        self.sent_flit_mask
+    }
+
+    /// Ports on which the last [`phase_send`](Router::phase_send) placed a
+    /// credit on the wire.
+    #[inline]
+    pub fn sent_credit_mask(&self) -> u32 {
+        self.sent_credit_mask
+    }
+
+    /// Whether the last [`phase_compute`](Router::phase_compute) moved any
+    /// flit (the network's progress/watchdog signal).
+    #[inline]
+    pub fn was_active(&self) -> bool {
+        self.stats.active
+    }
+
+    /// Whether any flit or credit is staged for the send phase. Staging is
+    /// created in `phase_compute` and consumed by `phase_send` of the same
+    /// cycle, so engines may skip the send phase of routers with nothing
+    /// staged.
+    #[inline]
+    pub fn has_staged(&self) -> bool {
+        self.staged != 0
+    }
+
+    /// Re-aligns the gating clock after the *network* clock jumped without
+    /// simulating (`skip_to`): jumped-over cycles were never simulated by
+    /// any engine, so they must not be fast-forwarded over either.
+    pub(crate) fn resync_clock(&mut self, cycle: u64) {
+        self.clock = cycle;
     }
 
     /// Records the first invariant violation; later ones are dropped (the
@@ -278,22 +371,23 @@ impl Router {
     }
 
     /// Cross-checks this router's internal bookkeeping: credit counts stay
-    /// within buffer depth, buffers stay within depth, and every owned
-    /// output VC points at an active input VC.
+    /// within buffer depth, buffers stay within depth, every owned output
+    /// VC points at an active input VC, and the clock-gating work counters
+    /// agree with the state they summarize.
     pub(crate) fn audit(&self) -> Result<(), String> {
         for port in 0..self.ports {
             for vc in 0..self.total_vcs {
                 let idx = self.ivc_index(port, vc);
-                let ovc = &self.out_vcs[idx];
-                if ovc.credits > self.vc_depth {
+                if self.ovc_credits[idx] > self.vc_depth {
                     return Err(format!(
                         "router {}: output vc ({port},{vc}) holds {} credits, depth {}",
-                        self.id, ovc.credits, self.vc_depth
+                        self.id, self.ovc_credits[idx], self.vc_depth
                     ));
                 }
-                if let Some(owner) = ovc.owner {
-                    match self.in_vcs.get(owner as usize) {
-                        Some(ivc) if ivc.state == VcState::Active => {}
+                let owner = self.ovc_owner[idx];
+                if owner != NONE_IDX {
+                    match self.vc_state.get(owner as usize) {
+                        Some(VcState::Active) => {}
                         _ => {
                             return Err(format!(
                                 "router {}: output vc ({port},{vc}) owned by \
@@ -303,16 +397,44 @@ impl Router {
                         }
                     }
                 }
-                let ivc = &self.in_vcs[idx];
-                if ivc.buf.len() > self.vc_depth as usize {
+                if self.vc_buf[idx].len() > self.vc_depth as usize {
                     return Err(format!(
                         "router {}: input vc ({port},{vc}) buffers {} flits, depth {}",
                         self.id,
-                        ivc.buf.len(),
+                        self.vc_buf[idx].len(),
                         self.vc_depth
                     ));
                 }
             }
+        }
+        let buffered: usize = self.vc_buf.iter().map(VecDeque::len).sum();
+        if buffered != self.buffered as usize {
+            return Err(format!(
+                "router {}: buffered-flit counter {} disagrees with buffers ({buffered})",
+                self.id, self.buffered
+            ));
+        }
+        let ni_work: usize = self
+            .ni
+            .iter()
+            .map(|ni| {
+                ni.queues.iter().map(VecDeque::len).sum::<usize>()
+                    + ni.cur.iter().flatten().count()
+            })
+            .sum();
+        if ni_work != self.ni_work as usize {
+            return Err(format!(
+                "router {}: NI work counter {} disagrees with backlog ({ni_work})",
+                self.id, self.ni_work
+            ));
+        }
+        let staged = self.out_staging.iter().flatten().count()
+            + self.credit_staging.iter().flatten().count();
+        if staged != self.staged as usize {
+            return Err(format!(
+                "router {}: staging counter {} disagrees with staged output ({staged})",
+                self.id, self.staged
+            ));
         }
         Ok(())
     }
@@ -328,7 +450,7 @@ impl Router {
     #[doc(hidden)]
     pub fn debug_corrupt_credits(&mut self) {
         let idx = self.ivc_index(self.locals, 0);
-        self.out_vcs[idx].credits = self.vc_depth + 3;
+        self.ovc_credits[idx] = self.vc_depth + 3;
     }
 
     /// Phase 1: consume wires, run SA/ST, VA, RC, and NI injection.
@@ -338,6 +460,17 @@ impl Router {
     /// flits towards it expire unread and are lost upstream) nor stages
     /// anything to send.
     pub fn phase_compute(&mut self, topo: &TopologyMap, wires: &Wires, now: u64) {
+        // Fast-forward the VA round-robin pointer over clock-gated cycles:
+        // it is the only per-cycle state an idle router would still have
+        // advanced, so catching it up here makes gated schedules
+        // bit-identical to ungated ones.
+        if now > self.clock {
+            let skipped = now - self.clock;
+            let n = u64::from(self.ports * self.total_vcs);
+            self.va_ptr = ((u64::from(self.va_ptr) + skipped) % n) as u32;
+        }
+        self.clock = now + 1;
+        self.compute_calls += 1;
         self.stats.active = false;
         if self.debug_panic {
             panic!("injected test panic in router {}", self.id);
@@ -359,7 +492,10 @@ impl Router {
     /// Phase 2: publish staged flits and credits on this router's wires.
     ///
     /// `flit_wires` and `credit_wires` are the contiguous slices owned by
-    /// this router (`ports` entries each).
+    /// this router (`ports` entries each). Idle ports skip the wire write
+    /// entirely (wire slots are cycle-stamped, so no `None` scrubbing is
+    /// needed), and the ports actually written are recorded in the sent
+    /// masks for the engines' wake propagation.
     pub fn phase_send(
         &mut self,
         flit_wires: &mut [Wire<Flit>],
@@ -368,9 +504,15 @@ impl Router {
     ) {
         debug_assert_eq!(flit_wires.len(), self.ports as usize);
         debug_assert_eq!(credit_wires.len(), self.ports as usize);
+        self.sent_flit_mask = 0;
+        self.sent_credit_mask = 0;
+        if self.staged == 0 {
+            return;
+        }
         for p in 0..self.ports as usize {
             let mut flit = self.out_staging[p].take();
             let mut credit = self.credit_staging[p].take();
+            self.staged -= flit.is_some() as u32 + credit.is_some() as u32;
             // Link faults act at the channel: a dead link carries nothing
             // (flits and credit returns are lost), a flaky link drops
             // flits by a per-router deterministic coin flip.
@@ -385,8 +527,14 @@ impl Router {
                     self.fault_events.flits_dropped_flaky += 1;
                 }
             }
-            flit_wires[p].write(now, flit);
-            credit_wires[p].write(now, credit);
+            if flit.is_some() {
+                flit_wires[p].write(now, flit);
+                self.sent_flit_mask |= 1 << p;
+            }
+            if credit.is_some() {
+                credit_wires[p].write(now, credit);
+                self.sent_credit_mask |= 1 << p;
+            }
         }
     }
 
@@ -400,14 +548,14 @@ impl Router {
                 let wire = &wires.credits[wires.index(dst_router, dst_in_port)];
                 if let Some(vc) = wire.read(now) {
                     let idx = self.ivc_index(port, u32::from(vc));
-                    if self.out_vcs[idx].credits >= self.vc_depth {
+                    if self.ovc_credits[idx] >= self.vc_depth {
                         self.poison(format!(
                             "credit overflow on router {} port {port} vc {vc}",
                             self.id
                         ));
                         continue;
                     }
-                    self.out_vcs[idx].credits += 1;
+                    self.ovc_credits[idx] += 1;
                 }
             }
         }
@@ -431,14 +579,15 @@ impl Router {
                 if let Some(flit) = wire.read(now) {
                     let idx = self.ivc_index(port, u32::from(flit.vc));
                     let depth = self.vc_depth as usize;
-                    if self.in_vcs[idx].buf.len() >= depth {
+                    if self.vc_buf[idx].len() >= depth {
                         self.poison(format!(
                             "buffer overflow: credits out of sync on router {} port {port} vc {}",
                             self.id, flit.vc
                         ));
                         continue;
                     }
-                    self.in_vcs[idx].buf.push_back(flit);
+                    self.vc_buf[idx].push_back(flit);
+                    self.buffered += 1;
                     self.stats.buffer_writes += 1;
                     self.stats.active = true;
                 }
@@ -455,33 +604,37 @@ impl Router {
             let li = local as usize;
             let vnets = self.vnets;
             let start = self.ni[li].vnet_rr;
-            let mut injected = false;
             for k in 0..vnets {
                 let v = ((start + k) % vnets) as usize;
                 if let Some(mut inj) = self.ni[li].cur[v] {
                     let idx = self.ivc_index(local, inj.vc);
-                    if self.in_vcs[idx].buf.len() < self.vc_depth as usize {
+                    if self.vc_buf[idx].len() < self.vc_depth as usize {
                         let mut flit = inj.template;
                         flit.kind = kind_at(inj.sent, inj.total);
                         flit.vc = inj.vc as u8;
-                        self.in_vcs[idx].buf.push_back(flit);
+                        self.vc_buf[idx].push_back(flit);
+                        self.buffered += 1;
                         self.stats.buffer_writes += 1;
                         inj.sent += 1;
-                        self.ni[li].cur[v] = if inj.sent == inj.total { None } else { Some(inj) };
+                        if inj.sent == inj.total {
+                            self.ni[li].cur[v] = None;
+                            self.ni_work -= 1;
+                        } else {
+                            self.ni[li].cur[v] = Some(inj);
+                        }
                         if flit.kind.is_head() {
                             self.net_started.push((flit.pkt, now));
                         }
                         self.stats.active = true;
                         self.ni[li].vnet_rr = (start + k + 1) % vnets;
-                        injected = true;
                         break;
                     }
                 } else if !self.ni[li].queues[v].is_empty() {
                     // Find a free local input VC in this vnet's band.
                     let base = v as u32 * self.vcs_per_vnet;
                     let free = (base..base + self.vcs_per_vnet).find(|&vc| {
-                        let ivc = &self.in_vcs[self.ivc_index(local, vc)];
-                        ivc.state == VcState::Idle && ivc.buf.is_empty()
+                        let idx = self.ivc_index(local, vc);
+                        self.vc_state[idx] == VcState::Idle && self.vc_buf[idx].is_empty()
                     });
                     if let Some(vc) = free {
                         let Some(pending) = self.ni[li].queues[v].pop_front() else {
@@ -515,91 +668,98 @@ impl Router {
                         let idx = self.ivc_index(local, vc);
                         let mut flit = template;
                         flit.kind = kind_at(0, inj.total);
-                        self.in_vcs[idx].buf.push_back(flit);
+                        self.vc_buf[idx].push_back(flit);
+                        self.buffered += 1;
                         self.stats.buffer_writes += 1;
                         inj.sent = 1;
-                        self.ni[li].cur[v] = if inj.sent == inj.total { None } else { Some(inj) };
+                        // The queue slot (counted in `ni_work`) becomes an
+                        // active injection (also counted) unless the packet
+                        // was a single flit and is already fully streamed.
+                        if inj.sent == inj.total {
+                            self.ni[li].cur[v] = None;
+                            self.ni_work -= 1;
+                        } else {
+                            self.ni[li].cur[v] = Some(inj);
+                        }
                         self.net_started.push((flit.pkt, now));
                         self.stats.active = true;
                         self.ni[li].vnet_rr = (start + k + 1) % vnets;
-                        injected = true;
                         break;
                     }
                 }
             }
-            let _ = injected;
         }
     }
 
     /// Switch allocation + switch traversal: one grant per input port, one
     /// per output port, round-robin priorities, traversal in the same cycle.
+    ///
+    /// All temporaries live in the router-owned scratch tables
+    /// (`sa_candidate`, `sa_granted`) — this is the per-cycle hot path and
+    /// it must not allocate.
     fn switch_allocate_and_traverse(&mut self, now: u64) {
         // Stage 1: each input port nominates one ready VC.
-        let ports = self.ports as usize;
-        let mut candidate: Vec<Option<(u32, u32)>> = vec![None; ports]; // (vc, out_port)
+        self.sa_candidate.fill((NONE_IDX, 0));
         for port in 0..self.ports {
             let start = self.sa_vc_ptr[port as usize];
             for k in 0..self.total_vcs {
                 let vc = (start + k) % self.total_vcs;
                 let idx = self.ivc_index(port, vc);
-                let ivc = &self.in_vcs[idx];
-                if ivc.state != VcState::Active || ivc.buf.is_empty() {
+                if self.vc_state[idx] != VcState::Active || self.vc_buf[idx].is_empty() {
                     continue;
                 }
-                let out_port = ivc.out_port;
+                let out_port = self.vc_out_port[idx];
                 let is_local_out = out_port < self.locals;
-                if !is_local_out {
-                    let ovc = &self.out_vcs[self.ivc_index(out_port, ivc.out_vc)];
-                    if ovc.credits == 0 {
-                        continue;
-                    }
+                if !is_local_out
+                    && self.ovc_credits[self.ivc_index(out_port, self.vc_out_vc[idx])] == 0
+                {
+                    continue;
                 }
-                candidate[port as usize] = Some((vc, out_port));
+                self.sa_candidate[port as usize] = (vc, out_port);
                 break;
             }
         }
         // Stage 2: each output port grants one nominating input port.
-        let mut granted_in: Vec<Option<u32>> = vec![None; ports]; // out_port -> in_port
+        self.sa_granted.fill(NONE_IDX);
         for out_port in 0..self.ports {
             let start = self.sa_port_ptr[out_port as usize];
             for k in 0..self.ports {
                 let p = (start + k) % self.ports;
-                if let Some((_, req_out)) = candidate[p as usize] {
-                    if req_out == out_port && granted_in[out_port as usize].is_none() {
-                        // An input port can win at most one output because it
-                        // nominated a single (vc, out) pair.
-                        granted_in[out_port as usize] = Some(p);
-                        self.sa_port_ptr[out_port as usize] = (p + 1) % self.ports;
-                        break;
-                    }
+                let (vc, req_out) = self.sa_candidate[p as usize];
+                if vc != NONE_IDX && req_out == out_port {
+                    // An input port can win at most one output because it
+                    // nominated a single (vc, out) pair.
+                    self.sa_granted[out_port as usize] = p;
+                    self.sa_port_ptr[out_port as usize] = (p + 1) % self.ports;
+                    break;
                 }
             }
         }
         // Traversal.
         for out_port in 0..self.ports {
-            let Some(in_port) = granted_in[out_port as usize] else {
+            let in_port = self.sa_granted[out_port as usize];
+            if in_port == NONE_IDX {
                 continue;
-            };
-            let Some((vc, _)) = candidate[in_port as usize] else {
+            }
+            let (vc, _) = self.sa_candidate[in_port as usize];
+            if vc == NONE_IDX {
                 self.poison(format!(
                     "switch grant without a nomination on router {} in-port {in_port}",
                     self.id
                 ));
                 continue;
-            };
+            }
             self.sa_vc_ptr[in_port as usize] = (vc + 1) % self.total_vcs;
             let in_idx = self.ivc_index(in_port, vc);
-            let (out_vc, next_class) = {
-                let ivc = &self.in_vcs[in_idx];
-                (ivc.out_vc, ivc.next_class)
-            };
-            let Some(mut flit) = self.in_vcs[in_idx].buf.pop_front() else {
+            let (out_vc, next_class) = (self.vc_out_vc[in_idx], self.vc_next_class[in_idx]);
+            let Some(mut flit) = self.vc_buf[in_idx].pop_front() else {
                 self.poison(format!(
                     "switch traversal from an empty VC on router {} port {in_port} vc {vc}",
                     self.id
                 ));
                 continue;
             };
+            self.buffered -= 1;
             self.stats.buffer_reads += 1;
             self.stats.sa_grants += 1;
             flit.vc = out_vc as u8;
@@ -607,32 +767,26 @@ impl Router {
             let is_local_out = out_port < self.locals;
             let out_idx = self.ivc_index(out_port, out_vc);
             if flit.kind.is_tail() {
-                self.in_vcs[in_idx].state = VcState::Idle;
-                self.out_vcs[out_idx].owner = None;
+                self.vc_state[in_idx] = VcState::Idle;
+                self.ovc_owner[out_idx] = NONE_IDX;
             }
             if is_local_out {
                 if flit.kind.is_tail() {
                     self.delivered.push((flit.pkt, now));
                 }
             } else {
-                let no_credit = {
-                    let ovc = &mut self.out_vcs[out_idx];
-                    if ovc.credits == 0 {
-                        true
-                    } else {
-                        ovc.credits -= 1;
-                        false
-                    }
-                };
-                if no_credit {
+                if self.ovc_credits[out_idx] == 0 {
                     self.poison(format!(
                         "switch traversal without a credit on router {} out-port {out_port} \
                          vc {out_vc}",
                         self.id
                     ));
+                } else {
+                    self.ovc_credits[out_idx] -= 1;
                 }
                 debug_assert!(self.out_staging[out_port as usize].is_none());
                 self.out_staging[out_port as usize] = Some(flit);
+                self.staged += 1;
                 self.stats.link_flits += 1;
             }
             self.stats.flits_out[out_port as usize] += 1;
@@ -642,6 +796,7 @@ impl Router {
             if in_port >= self.locals {
                 debug_assert!(self.credit_staging[in_port as usize].is_none());
                 self.credit_staging[in_port as usize] = Some(vc as u8);
+                self.staged += 1;
             }
         }
     }
@@ -652,28 +807,29 @@ impl Router {
         let start = self.va_ptr as usize;
         for k in 0..n {
             let idx = (start + k) % n;
-            if self.in_vcs[idx].state != VcState::Routed {
+            if self.vc_state[idx] != VcState::Routed {
                 continue;
             }
-            let Some(&head) = self.in_vcs[idx].buf.front() else {
+            let Some(&head) = self.vc_buf[idx].front() else {
                 self.poison(format!(
                     "routed VC lost its head flit on router {} (vc index {idx})",
                     self.id
                 ));
-                self.in_vcs[idx].state = VcState::Idle;
+                self.vc_state[idx] = VcState::Idle;
                 continue;
             };
             debug_assert!(head.kind.is_head());
-            let (out_port, vnet, next_class, route_hint) = {
-                let ivc = &self.in_vcs[idx];
-                (ivc.out_port, u32::from(head.vnet), ivc.next_class, head.route_hint)
-            };
+            let (out_port, vnet, next_class, route_hint) = (
+                self.vc_out_port[idx],
+                u32::from(head.vnet),
+                self.vc_next_class[idx],
+                head.route_hint,
+            );
             if let Some(out_vc) = self.pick_output_vc(out_port, vnet, next_class, route_hint) {
                 let out_idx = self.ivc_index(out_port, out_vc);
-                self.out_vcs[out_idx].owner = Some(idx as u32);
-                let ivc = &mut self.in_vcs[idx];
-                ivc.out_vc = out_vc;
-                ivc.state = VcState::Active;
+                self.ovc_owner[out_idx] = idx as u32;
+                self.vc_out_vc[idx] = out_vc;
+                self.vc_state[idx] = VcState::Active;
                 self.stats.vc_allocs += 1;
             }
         }
@@ -705,7 +861,7 @@ impl Router {
                     return false;
                 }
             }
-            self.out_vcs[self.ivc_index(out_port, vc)].owner.is_none()
+            self.ovc_owner[self.ivc_index(out_port, vc)] == NONE_IDX
         })
     }
 
@@ -714,10 +870,10 @@ impl Router {
         for port in 0..self.ports {
             for vc in 0..self.total_vcs {
                 let idx = self.ivc_index(port, vc);
-                if self.in_vcs[idx].state != VcState::Idle {
+                if self.vc_state[idx] != VcState::Idle {
                     continue;
                 }
-                let Some(&head) = self.in_vcs[idx].buf.front() else {
+                let Some(&head) = self.vc_buf[idx].front() else {
                     continue;
                 };
                 if !head.kind.is_head() {
@@ -726,7 +882,8 @@ impl Router {
                         // flaky link upstream: discard it. Its buffer-slot
                         // credit is not returned — lossy channels degrade
                         // permanently, same as the drop in `phase_send`.
-                        self.in_vcs[idx].buf.pop_front();
+                        self.vc_buf[idx].pop_front();
+                        self.buffered -= 1;
                         self.fault_events.flits_dropped_flaky += 1;
                     } else {
                         self.poison(format!(
@@ -761,10 +918,9 @@ impl Router {
                 } else {
                     0
                 };
-                let ivc = &mut self.in_vcs[idx];
-                ivc.out_port = decision.out_port;
-                ivc.next_class = next_class;
-                ivc.state = VcState::Routed;
+                self.vc_out_port[idx] = decision.out_port;
+                self.vc_next_class[idx] = next_class;
+                self.vc_state[idx] = VcState::Routed;
             }
         }
     }
@@ -818,6 +974,8 @@ mod tests {
         assert_eq!(r.buffered_flits(), 0);
         assert_eq!(r.ni_backlog(), 0);
         assert_eq!(r.id(), 0);
+        assert!(!r.has_work());
+        assert_eq!(r.compute_invocations(), 0);
     }
 
     #[test]
@@ -835,6 +993,7 @@ mod tests {
             },
         );
         assert_eq!(r.ni_backlog(), 1);
+        assert!(r.has_work(), "queued packet counts as work");
         r.phase_compute(&topo, &wires, 0);
         assert_eq!(r.buffered_flits(), 1);
         r.phase_compute(&topo, &wires, 1);
@@ -842,6 +1001,7 @@ mod tests {
         // so the buffer holds at most 2 flits and at least 1.
         assert!(r.buffered_flits() >= 1);
         assert!(r.net_started.len() == 1, "head logged once");
+        assert_eq!(r.compute_invocations(), 2);
     }
 
     #[test]
@@ -871,6 +1031,59 @@ mod tests {
         }
         // Inject @0, RC @0, VA @1, ST @2.
         assert_eq!(delivered_at, Some(2));
+    }
+
+    #[test]
+    fn work_counters_return_to_zero_after_delivery() {
+        let (mut r, topo, cfg) = mini_router();
+        let wires = Wires::new(topo.routers(), topo.ports(), cfg.link_latency);
+        r.enqueue_packet(
+            0,
+            0,
+            PendingPacket {
+                pkt: 7,
+                dst_router: 0,
+                dst_local: 0,
+                flits: 2,
+            },
+        );
+        for now in 0..10 {
+            r.phase_compute(&topo, &wires, now);
+        }
+        assert!(!r.delivered.is_empty());
+        assert!(!r.has_work(), "delivered router must be gate-able");
+        r.audit().unwrap();
+    }
+
+    #[test]
+    fn gated_wakeup_matches_ungated_va_rotation() {
+        // Two identical routers; one is "gated off" for idle cycles, the
+        // other stepped every cycle. After the same traffic they must be in
+        // the same allocator state — the delivery times of a later packet
+        // prove it indirectly.
+        let (mut gated, topo, cfg) = mini_router();
+        let (mut free, _, _) = mini_router();
+        let wires = Wires::new(topo.routers(), topo.ports(), cfg.link_latency);
+        let pkt = PendingPacket {
+            pkt: 1,
+            dst_router: 0,
+            dst_local: 0,
+            flits: 2,
+        };
+        // Ungated: step every cycle 0..20, inject at 12.
+        for now in 0..12 {
+            free.phase_compute(&topo, &wires, now);
+        }
+        free.enqueue_packet(0, 0, pkt);
+        for now in 12..24 {
+            free.phase_compute(&topo, &wires, now);
+        }
+        // Gated: skip the idle prefix entirely.
+        gated.enqueue_packet(0, 0, pkt);
+        for now in 12..24 {
+            gated.phase_compute(&topo, &wires, now);
+        }
+        assert_eq!(free.delivered, gated.delivered, "gating must not shift timing");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use ra_sim::{Histogram, LatencyTable, MessageClass, Summary};
 ///
 /// The per-(class, hops) [`LatencyTable`] of network latencies is the
 /// measurement the reciprocal-abstraction calibration loop feeds on.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NocStats {
     /// Messages accepted via `inject`.
     pub injected: u64,

@@ -2,19 +2,36 @@
 //!
 //! A [`Wire`] models a point-to-point link with a fixed latency as a ring of
 //! `latency + 1` slots indexed by cycle. The sender writes slot
-//! `now % (latency + 1)` each cycle; the receiver reads slot
+//! `now % (latency + 1)`; the receiver reads slot
 //! `(now - latency) % (latency + 1)`. For any latency >= 1 the two slots are
 //! distinct within a cycle, so the *compute* phase of a cycle may read all
 //! wires immutably while the *send* phase later writes each wire from exactly
 //! one router — the property the bulk-synchronous parallel engine relies on.
+//!
+//! Every slot carries the cycle it was written at, and a read only returns a
+//! value whose stamp matches `now - latency` exactly. Idle cycles therefore
+//! need **no** write at all: a stale slot can never re-align with a future
+//! read. That is what lets the clock-gated engines skip a quiescent router's
+//! send phase entirely instead of scrubbing its wires with `None` writes
+//! every cycle.
 
 use crate::flit::Flit;
+
+/// Stamp marking a slot that has never carried a value.
+const NEVER: u64 = u64::MAX;
+
+/// One ring slot: the cycle the value was placed on the wire, plus the value.
+#[derive(Debug, Clone, Copy)]
+struct Slot<T: Copy> {
+    stamp: u64,
+    value: Option<T>,
+}
 
 /// A fixed-latency single-value-per-cycle channel.
 #[derive(Debug, Clone)]
 pub struct Wire<T: Copy> {
     latency: u64,
-    slots: Vec<Option<T>>,
+    slots: Vec<Slot<T>>,
 }
 
 impl<T: Copy> Wire<T> {
@@ -28,17 +45,24 @@ impl<T: Copy> Wire<T> {
         assert!(latency >= 1, "wire latency must be at least 1 cycle");
         Wire {
             latency: u64::from(latency),
-            slots: vec![None; latency as usize + 1],
+            slots: vec![
+                Slot {
+                    stamp: NEVER,
+                    value: None,
+                };
+                latency as usize + 1
+            ],
         }
     }
 
     /// Places `value` on the wire at cycle `now`; it becomes visible to
-    /// [`read`](Wire::read) at `now + latency`. Writing `None` models an
-    /// idle cycle and is required every cycle the wire is idle.
+    /// [`read`](Wire::read) at `now + latency`. Writing `None` is allowed
+    /// but unnecessary: slots are cycle-stamped, so an idle cycle may simply
+    /// skip the write.
     #[inline]
     pub fn write(&mut self, now: u64, value: Option<T>) {
         let idx = (now % (self.latency + 1)) as usize;
-        self.slots[idx] = value;
+        self.slots[idx] = Slot { stamp: now, value };
     }
 
     /// Returns the value written `latency` cycles ago, if any.
@@ -47,8 +71,13 @@ impl<T: Copy> Wire<T> {
         if now < self.latency {
             return None;
         }
-        let idx = ((now - self.latency) % (self.latency + 1)) as usize;
-        self.slots[idx]
+        let sent = now - self.latency;
+        let slot = &self.slots[(sent % (self.latency + 1)) as usize];
+        if slot.stamp == sent {
+            slot.value
+        } else {
+            None
+        }
     }
 
     /// The wire's latency in cycles.
@@ -57,17 +86,21 @@ impl<T: Copy> Wire<T> {
         self.latency
     }
 
-    /// True if no value is currently in flight.
-    pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(Option::is_none)
+    /// True if no value written at or after `now - latency` is still
+    /// observable: nothing is in flight from cycle `now` onwards.
+    pub fn is_idle_at(&self, now: u64) -> bool {
+        let horizon = now.saturating_sub(self.latency);
+        self.slots
+            .iter()
+            .all(|s| s.stamp == NEVER || s.value.is_none() || s.stamp < horizon)
     }
 
-    /// Empties every slot. Only valid when all in-flight values have been
-    /// consumed: ring slots retain consumed values until overwritten, and a
-    /// clock jump (sampled co-simulation's `skip_to`) could otherwise
-    /// re-align a stale slot with a future read.
+    /// Empties every slot (resets stamps, so nothing can ever be read back).
     pub fn clear(&mut self) {
-        self.slots.fill(None);
+        self.slots.fill(Slot {
+            stamp: NEVER,
+            value: None,
+        });
     }
 }
 
@@ -109,9 +142,10 @@ impl Wires {
         self.ports
     }
 
-    /// True if every wire is empty (used by drain checks).
-    pub fn all_idle(&self) -> bool {
-        self.flits.iter().all(Wire::is_empty) && self.credits.iter().all(Wire::is_empty)
+    /// True if nothing is in flight on any wire from `now` onwards.
+    pub fn all_idle_at(&self, now: u64) -> bool {
+        self.flits.iter().all(|w| w.is_idle_at(now))
+            && self.credits.iter().all(|w| w.is_idle_at(now))
     }
 
     /// Clears every wire slot (see [`Wire::clear`]).
@@ -150,7 +184,20 @@ mod tests {
     }
 
     #[test]
-    fn idle_cycles_must_be_written() {
+    fn skipped_idle_writes_never_ghost() {
+        // The gating guarantee: after a value is consumed, re-reading the
+        // ring at any later aligned cycle returns None even though the slot
+        // was never overwritten.
+        let mut w: Wire<u32> = Wire::new(1);
+        w.write(0, Some(1));
+        assert_eq!(w.read(1), Some(1));
+        for now in 2..20 {
+            assert_eq!(w.read(now), None, "ghost value at cycle {now}");
+        }
+    }
+
+    #[test]
+    fn explicit_none_writes_still_read_none() {
         let mut w: Wire<u32> = Wire::new(1);
         w.write(0, Some(1));
         assert_eq!(w.read(1), Some(1));
@@ -179,12 +226,24 @@ mod tests {
     }
 
     #[test]
+    fn idle_at_tracks_in_flight_values() {
+        let mut w: Wire<u32> = Wire::new(2);
+        assert!(w.is_idle_at(0));
+        w.write(5, Some(9));
+        assert!(!w.is_idle_at(5), "value in flight");
+        assert!(!w.is_idle_at(7), "arrives exactly at 7");
+        assert!(w.is_idle_at(8), "consumed and past");
+        w.clear();
+        assert!(w.is_idle_at(0));
+    }
+
+    #[test]
     fn wires_index_is_contiguous_per_router() {
         let wires = Wires::new(4, 5, 1);
         assert_eq!(wires.index(0, 0), 0);
         assert_eq!(wires.index(0, 4), 4);
         assert_eq!(wires.index(1, 0), 5);
         assert_eq!(wires.index(3, 4), 19);
-        assert!(wires.all_idle());
+        assert!(wires.all_idle_at(0));
     }
 }

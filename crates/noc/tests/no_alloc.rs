@@ -1,0 +1,97 @@
+//! Steady-state zero-allocation proof for the router hot path.
+//!
+//! A counting global allocator tallies every heap allocation in the
+//! process. The network is driven with a deterministic periodic traffic
+//! pattern until every internal buffer has reached its high-water mark
+//! (packet table, free list, event scratches, per-VC buffers, delivery
+//! drain buffer), then the identical pattern continues and the test
+//! asserts that **zero** further allocations happen: `Router::phase_compute`
+//! / `phase_send` and the per-cycle network bookkeeping run entirely out of
+//! reused scratch storage.
+//!
+//! Everything lives in one `#[test]` because the allocation counter is
+//! process-global: a second test running concurrently on another harness
+//! thread would contaminate the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ra_noc::{NocConfig, NocNetwork};
+use ra_sim::{Cycle, Delivery, MessageClass, NetMessage, Network, NodeId};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator; the counter
+// is a side effect only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Drives `cycles` cycles of a fixed periodic pattern: every 5th cycle
+/// injects the same three source→destination messages (2 flits each),
+/// steps the network, and drains deliveries into a recycled buffer.
+fn drive(net: &mut NocNetwork, out: &mut Vec<Delivery>, next_id: &mut u64, cycles: u64) {
+    for _ in 0..cycles {
+        let now = net.next_cycle();
+        if now.is_multiple_of(5) {
+            for (src, dst) in [(0u32, 15u32), (3, 12), (5, 10)] {
+                net.inject(
+                    NetMessage::new(*next_id, NodeId(src), NodeId(dst), MessageClass::Request, 32),
+                    Cycle(now),
+                );
+                *next_id += 1;
+            }
+        }
+        net.step();
+        net.drain_delivered_into(out);
+        out.clear();
+    }
+}
+
+fn measure(gating: bool) -> u64 {
+    let cfg = NocConfig::new(4, 4).with_clock_gating(gating);
+    let mut net = NocNetwork::new(cfg).unwrap();
+    let mut out = Vec::new();
+    let mut next_id = 0u64;
+    // Warm-up: long enough for every buffer to hit its high-water mark.
+    drive(&mut net, &mut out, &mut next_id, 1_000);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    // Steady state: the identical pattern, so no new high-water marks.
+    drive(&mut net, &mut out, &mut next_id, 1_000);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    // The traffic must actually have flowed (the hot path was exercised).
+    assert!(net.stats().delivered > 1_000, "pattern did not deliver");
+    net.audit().unwrap();
+    after - before
+}
+
+#[test]
+fn steady_state_stepping_allocates_nothing() {
+    // Gating off: every router steps every cycle — the full scratch-reuse
+    // surface. Gating on: the active-set path (liveness sweep + wake
+    // bookkeeping) must be allocation-free too.
+    for gating in [false, true] {
+        let allocs = measure(gating);
+        assert_eq!(
+            allocs, 0,
+            "steady-state cycle allocated {allocs} times (gating: {gating})"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Bit-equality of the NoC engines across every execution schedule.
+//!
+//! The serial engine with clock gating disabled is the reference schedule:
+//! every router stepped every cycle, one cycle at a time. Everything else —
+//! clock gating on or off, 1..8 parallel workers, batched multi-cycle jobs,
+//! idle fast-forwarding — is supposed to be a pure *schedule* change, and
+//! these tests hold them all to bit-identical [`NocStats`] (full structural
+//! equality: counters, f64 latency accumulators, tables, histograms).
+
+use proptest::prelude::*;
+use reciprocal_abstraction::gpu::ParallelEngine;
+use reciprocal_abstraction::noc::{
+    InjectionProcess, NocConfig, NocNetwork, NocStats, TopologyKind, TrafficGen, TrafficPattern,
+};
+use reciprocal_abstraction::sim::{Cycle, Network};
+
+/// Node-grid shape shared by all cases: 8x4 works for the mesh, the torus,
+/// and a concentration-2 CMesh alike.
+const COLS: u32 = 8;
+const ROWS: u32 = 4;
+/// Cycles with traffic being offered.
+const ACTIVE: u64 = 300;
+/// Total cycles simulated (the tail past `ACTIVE` exercises draining, the
+/// gated-idle window, and wake-up on nothing-left-to-do).
+const TOTAL: u64 = 1_200;
+
+/// Runs the fixed injection schedule on the given engine and returns the
+/// final statistics. `workers == None` is the serial engine.
+fn run(cfg: NocConfig, seed: u64, workers: Option<usize>) -> NocStats {
+    let mut net = NocNetwork::new(cfg).unwrap();
+    let mut gen = TrafficGen::new(
+        COLS,
+        ROWS,
+        TrafficPattern::Uniform,
+        InjectionProcess::Bernoulli { rate: 0.03 },
+        seed,
+    );
+    let mut engine = workers.map(ParallelEngine::new);
+    for now in 0..ACTIVE {
+        gen.inject_cycle(&mut net, Cycle(now));
+        match engine.as_mut() {
+            Some(e) => e.run_cycle(&mut net).unwrap(),
+            None => net.tick(Cycle(now)),
+        }
+    }
+    match engine.as_mut() {
+        // The batched path: multi-cycle jobs, mid-batch releases, idle
+        // fast-forward.
+        Some(e) => e.run_cycles(&mut net, TOTAL - ACTIVE).unwrap(),
+        None => net.tick(Cycle(TOTAL - 1)),
+    }
+    assert_eq!(net.next_cycle(), TOTAL);
+    net.stats().clone()
+}
+
+fn config(topology: TopologyKind, seed: u64, gating: bool) -> NocConfig {
+    NocConfig::new(COLS, ROWS)
+        .with_topology(topology)
+        .with_seed(seed)
+        .with_clock_gating(gating)
+}
+
+const TOPOLOGIES: [TopologyKind; 3] = [
+    TopologyKind::Mesh,
+    TopologyKind::Torus,
+    TopologyKind::CMesh { concentration: 2 },
+];
+
+/// The pinned matrix the acceptance criteria name: every topology, three
+/// seeds each, workers in {1, 2, 4, 8}, gating on and off — all against
+/// the ungated serial reference.
+#[test]
+fn engine_matrix_is_bit_identical_to_serial_reference() {
+    for topology in TOPOLOGIES {
+        for seed in [1u64, 7, 23] {
+            let reference = run(config(topology, seed, false), seed, None);
+            assert!(reference.delivered > 0, "sterile case: {topology:?}/{seed}");
+            // Serial + gating must match before parallelism enters.
+            let gated = run(config(topology, seed, true), seed, None);
+            assert_eq!(reference, gated, "serial gated: {topology:?}/{seed}");
+            for workers in [1usize, 2, 4, 8] {
+                for gating in [false, true] {
+                    let candidate = run(config(topology, seed, gating), seed, Some(workers));
+                    assert_eq!(
+                        reference, candidate,
+                        "{topology:?} seed {seed} workers {workers} gating {gating}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized sweep over the same space, with free seeds and worker
+    /// counts: any (topology, workers, gating) point must reproduce the
+    /// ungated serial reference bit for bit.
+    #[test]
+    fn any_schedule_matches_serial_reference(
+        topology in prop_oneof![
+            Just(TopologyKind::Mesh),
+            Just(TopologyKind::Torus),
+            Just(TopologyKind::CMesh { concentration: 2 }),
+        ],
+        workers in prop_oneof![Just(1usize), Just(2usize), Just(4usize), Just(8usize)],
+        gating in any::<bool>(),
+        seed in 0u64..10_000,
+    ) {
+        let reference = run(config(topology, seed, false), seed, None);
+        let candidate = run(config(topology, seed, gating), seed, Some(workers));
+        prop_assert_eq!(reference, candidate);
+    }
+}
