@@ -7,7 +7,7 @@
 //! average.
 
 use ra_bench::{banner, mean, Scale};
-use ra_cosim::{percent_error, run_app, ModeSpec, Target};
+use ra_cosim::{percent_error, ModeSpec, RunSpec, Target};
 use ra_workloads::AppProfile;
 
 fn main() {
@@ -22,33 +22,17 @@ fn main() {
     let mut abs_errors = Vec::new();
     let mut recip_errors = Vec::new();
     for app in AppProfile::suite() {
-        let truth = run_app(
-            ModeSpec::Lockstep,
-            &target,
-            &app,
-            scale.instructions(),
-            scale.budget(),
-            42,
-        )
-        .expect("lockstep");
-        let abs = run_app(
-            ModeSpec::Hop,
-            &target,
-            &app,
-            scale.instructions(),
-            scale.budget(),
-            42,
-        )
-        .expect("hop");
-        let recip = run_app(
-            ModeSpec::Reciprocal { quantum, workers: 0 },
-            &target,
-            &app,
-            scale.instructions(),
-            scale.budget(),
-            42,
-        )
-        .expect("reciprocal");
+        let run = |mode: ModeSpec| {
+            RunSpec::new(&target, &app)
+                .mode(mode)
+                .instructions(scale.instructions())
+                .budget(scale.budget())
+                .seed(42)
+                .run()
+        };
+        let truth = run(ModeSpec::Lockstep).expect("lockstep");
+        let abs = run(ModeSpec::Hop).expect("hop");
+        let recip = run(ModeSpec::Reciprocal { quantum, workers: 0 }).expect("reciprocal");
         let abs_err = percent_error(abs.avg_latency(), truth.avg_latency());
         let recip_err = percent_error(recip.avg_latency(), truth.avg_latency());
         abs_errors.push(abs_err);

@@ -7,7 +7,7 @@
 //! reciprocal abstraction and reports target runtime and latency.
 
 use ra_bench::{banner, Scale};
-use ra_cosim::{run_app, ModeSpec, Target};
+use ra_cosim::{ModeSpec, RunSpec, Target};
 use ra_workloads::AppProfile;
 
 fn main() {
@@ -22,14 +22,13 @@ fn main() {
         for depth in [2u32, 4, 8] {
             let mut target = Target::preset(64).expect("preset");
             target.noc = target.noc.with_vcs_per_vnet(vcs).with_vc_depth(depth);
-            match run_app(
-                ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
-                &target,
-                &app,
-                scale.instructions(),
-                scale.budget(),
-                42,
-            ) {
+            match RunSpec::new(&target, &app)
+                .mode(ModeSpec::Reciprocal { quantum: 2_000, workers: 0 })
+                .instructions(scale.instructions())
+                .budget(scale.budget())
+                .seed(42)
+                .run()
+            {
                 Ok(r) => println!(
                     "{:>4} {:>6} {:>12} {:>12.2} {:>8.2}",
                     vcs, depth, r.cycles, r.avg_latency(), r.ipc

@@ -19,10 +19,17 @@
 //!    worker-pool engine is also run for a wall-clock-measured reduction.
 //!
 //! `--json` emits the rows as a JSON array (the CI bench-smoke artifact);
-//! `--cores 256,512` restricts the sweep.
+//! `--cores 256,512` restricts the sweep; `--trace-out t.jsonl` streams
+//! every observability event (quantum reports, NoC windows, engine
+//! batches, profiling spans) as JSONL; `--metrics` prints the T2 time
+//! breakdown per row.
 
-use ra_bench::{banner, json_array, json_object, secs, BenchArgs, JsonField};
-use ra_cosim::{run_app_reciprocal, Target};
+use ra_bench::{
+    banner, breakdown_of, format_breakdown, json_array, json_object, secs, trips_json, BenchArgs,
+    JsonField,
+};
+use ra_cosim::{ModeSpec, RunSpec, Target};
+use ra_obs::ObsSink;
 use ra_workloads::AppProfile;
 
 /// Device lanes of the modeled coprocessor.
@@ -39,6 +46,10 @@ fn device_speedup(routers: f64) -> f64 {
 fn main() {
     let args = BenchArgs::from_args();
     let scale = args.scale;
+    let sink = args
+        .trace_sink()
+        .expect("open --trace-out")
+        .unwrap_or_else(ObsSink::disabled);
     let host_cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     if !args.json {
         banner("T2", "Coprocessor co-simulation time reduction (ocean)");
@@ -56,9 +67,15 @@ fn main() {
         }
         let target = Target::preset(cores).expect("preset");
         let instr = (scale.instructions() / (cores as u64 / 64)).max(150);
-        let (serial, coupler) =
-            run_app_reciprocal(&target, &app, instr, scale.budget(), 42, 2_000, 0)
-                .expect("serial reciprocal");
+        let serial = RunSpec::new(&target, &app)
+            .mode(ModeSpec::Reciprocal { quantum: 2_000, workers: 0 })
+            .instructions(instr)
+            .budget(scale.budget())
+            .seed(42)
+            .recorder(sink.clone())
+            .run()
+            .expect("serial reciprocal");
+        let coupler = serial.coupler.clone().expect("reciprocal run");
         let total = serial.wall.as_secs_f64();
         let noc = coupler.detailed_wall.as_secs_f64();
         let share = noc / total.max(1e-9) * 100.0;
@@ -77,12 +94,16 @@ fn main() {
                 reduction,
                 paper
             );
+            if args.metrics {
+                println!("{:<10}   {}", "", format_breakdown(&breakdown_of(&serial)));
+            }
         }
         let mut fields = vec![
             ("target", JsonField::Str(target.name.clone())),
             ("cores", JsonField::Int(u64::from(cores))),
             ("total_s", JsonField::Num(total)),
             ("noc_s", JsonField::Num(noc)),
+            ("calibrate_s", JsonField::Num(coupler.calibrate_wall.as_secs_f64())),
             ("noc_share_pct", JsonField::Num(share)),
             ("device_speedup", JsonField::Num(speedup)),
             ("modeled_reduction_pct", JsonField::Num(reduction)),
@@ -90,12 +111,21 @@ fn main() {
             ("messages", JsonField::Int(serial.messages)),
             ("cycles", JsonField::Int(serial.cycles)),
             ("avg_latency", JsonField::Num(serial.avg_latency())),
+            ("calibrations", JsonField::Int(coupler.calibrations)),
+            ("drift_mean", JsonField::Num(coupler.drift.mean())),
+            ("watchdog_trips", JsonField::Int(coupler.watchdog_trips)),
+            ("trips", JsonField::Raw(trips_json(&coupler.trips))),
         ];
         if host_cores > 1 {
             let workers = host_cores.saturating_sub(1).clamp(1, 8);
-            let (parallel, _) =
-                run_app_reciprocal(&target, &app, instr, scale.budget(), 42, 2_000, workers)
-                    .expect("parallel reciprocal");
+            let parallel = RunSpec::new(&target, &app)
+                .mode(ModeSpec::Reciprocal { quantum: 2_000, workers })
+                .instructions(instr)
+                .budget(scale.budget())
+                .seed(42)
+                .recorder(sink.clone())
+                .run()
+                .expect("parallel reciprocal");
             let measured =
                 (1.0 - parallel.wall.as_secs_f64() / total.max(1e-9)) * 100.0;
             if !args.json {
@@ -110,6 +140,7 @@ fn main() {
         }
         rows.push(json_object(&fields));
     }
+    let _ = sink.flush();
     if args.json {
         println!("{}", json_array(&rows));
     } else {

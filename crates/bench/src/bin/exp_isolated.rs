@@ -7,7 +7,7 @@
 //! The gap between the two is the error an isolated study commits.
 
 use ra_bench::{banner, mean, Scale};
-use ra_cosim::{percent_error, run_app, ModeSpec, Target};
+use ra_cosim::{percent_error, ModeSpec, RunSpec, Target};
 use ra_noc::{InjectionProcess, NocNetwork, TrafficGen, TrafficPattern};
 use ra_workloads::AppProfile;
 
@@ -25,15 +25,13 @@ fn main() {
     let mut errors = Vec::new();
     for app in AppProfile::suite() {
         // In-context: the cycle-level NoC under the real message stream.
-        let truth = run_app(
-            ModeSpec::Lockstep,
-            &target,
-            &app,
-            scale.instructions(),
-            scale.budget(),
-            42,
-        )
-        .expect("lockstep run");
+        let truth = RunSpec::new(&target, &app)
+            .mode(ModeSpec::Lockstep)
+            .instructions(scale.instructions())
+            .budget(scale.budget())
+            .seed(42)
+            .run()
+            .expect("lockstep run");
         let real_latency = truth.avg_latency();
         let nodes = target.cores() as f64;
         let rate = truth.messages as f64 / nodes / truth.cycles as f64;

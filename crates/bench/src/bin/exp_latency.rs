@@ -4,7 +4,7 @@
 //! abstraction, per workload: the raw data behind the error figure F3.
 
 use ra_bench::{banner, Scale};
-use ra_cosim::{format_row, run_app, ModeSpec, Target};
+use ra_cosim::{format_row, ModeSpec, RunSpec, Target};
 use ra_workloads::AppProfile;
 
 fn main() {
@@ -19,7 +19,13 @@ fn main() {
     ];
     for app in AppProfile::suite() {
         for mode in modes {
-            match run_app(mode, &target, &app, scale.instructions(), scale.budget(), 42) {
+            let run = RunSpec::new(&target, &app)
+                .mode(mode)
+                .instructions(scale.instructions())
+                .budget(scale.budget())
+                .seed(42)
+                .run();
+            match run {
                 Ok(r) => println!("{}", format_row(&r)),
                 Err(e) => println!("{:<14} {:<18} FAILED: {e}", app.name, mode.label()),
             }

@@ -5,7 +5,7 @@
 //! quantum used in the headline experiments.
 
 use ra_bench::{banner, secs, Scale};
-use ra_cosim::{percent_error, run_app, ModeSpec, Target};
+use ra_cosim::{percent_error, ModeSpec, RunSpec, Target};
 use ra_workloads::AppProfile;
 
 fn main() {
@@ -13,23 +13,22 @@ fn main() {
     banner("F7", "Latency error and cost vs calibration quantum (radix, 64-core)");
     let target = Target::preset(64).expect("preset");
     let app = AppProfile::radix();
-    let truth = run_app(ModeSpec::Lockstep, &target, &app, scale.instructions(), scale.budget(), 42)
-        .expect("lockstep");
+    let run = |mode: ModeSpec| {
+        RunSpec::new(&target, &app)
+            .mode(mode)
+            .instructions(scale.instructions())
+            .budget(scale.budget())
+            .seed(42)
+            .run()
+    };
+    let truth = run(ModeSpec::Lockstep).expect("lockstep");
     println!("truth: {:.2} cycles avg latency, {} cycles runtime\n", truth.avg_latency(), truth.cycles);
     println!(
         "{:>9} {:>12} {:>10} {:>12} {:>12}",
         "quantum", "avg-lat", "err%", "calibration", "wall"
     );
     for quantum in [100u64, 300, 1_000, 3_000, 10_000, 30_000, 100_000] {
-        let r = run_app(
-            ModeSpec::Reciprocal { quantum, workers: 0 },
-            &target,
-            &app,
-            scale.instructions(),
-            scale.budget(),
-            42,
-        )
-        .expect("reciprocal");
+        let r = run(ModeSpec::Reciprocal { quantum, workers: 0 }).expect("reciprocal");
         println!(
             "{:>9} {:>12.2} {:>9.1}% {:>12} {:>12}",
             quantum,

@@ -4,7 +4,7 @@
 //! target execution time under each abstraction, vs cycle-level truth.
 
 use ra_bench::{banner, mean, Scale};
-use ra_cosim::{percent_error, run_app, ModeSpec, Target};
+use ra_cosim::{percent_error, ModeSpec, RunSpec, Target};
 use ra_workloads::AppProfile;
 
 fn main() {
@@ -18,19 +18,18 @@ fn main() {
     let mut abs_errors = Vec::new();
     let mut recip_errors = Vec::new();
     for app in AppProfile::suite() {
-        let truth = run_app(ModeSpec::Lockstep, &target, &app, scale.instructions(), scale.budget(), 42)
-            .expect("lockstep");
-        let abs = run_app(ModeSpec::Hop, &target, &app, scale.instructions(), scale.budget(), 42)
-            .expect("hop");
-        let recip = run_app(
-            ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
-            &target,
-            &app,
-            scale.instructions(),
-            scale.budget(),
-            42,
-        )
-        .expect("reciprocal");
+        let run = |mode: ModeSpec| {
+            RunSpec::new(&target, &app)
+                .mode(mode)
+                .instructions(scale.instructions())
+                .budget(scale.budget())
+                .seed(42)
+                .run()
+        };
+        let truth = run(ModeSpec::Lockstep).expect("lockstep");
+        let abs = run(ModeSpec::Hop).expect("hop");
+        let recip =
+            run(ModeSpec::Reciprocal { quantum: 2_000, workers: 0 }).expect("reciprocal");
         let ae = percent_error(abs.cycles as f64, truth.cycles as f64);
         let re = percent_error(recip.cycles as f64, truth.cycles as f64);
         abs_errors.push(ae);

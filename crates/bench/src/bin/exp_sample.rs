@@ -7,7 +7,7 @@
 //! at a measurable accuracy cost.
 
 use ra_bench::{banner, secs, Scale};
-use ra_cosim::{percent_error, run_app, ModeSpec, Target};
+use ra_cosim::{percent_error, ModeSpec, RunSpec, Target};
 use ra_fullsys::FullSystem;
 use ra_cosim::{LatencyProbe, ReciprocalNetwork};
 use ra_workloads::{AppProfile, AppWorkload};
@@ -17,7 +17,12 @@ fn main() {
     banner("X3", "Sampled reciprocal co-simulation: accuracy vs cost (ocean, 64-core)");
     let target = Target::preset(64).expect("preset");
     let app = AppProfile::ocean();
-    let truth = run_app(ModeSpec::Lockstep, &target, &app, scale.instructions(), scale.budget(), 42)
+    let truth = RunSpec::new(&target, &app)
+        .mode(ModeSpec::Lockstep)
+        .instructions(scale.instructions())
+        .budget(scale.budget())
+        .seed(42)
+        .run()
         .expect("lockstep");
     println!(
         "truth: {:.2} avg latency, lockstep wall {}\n",

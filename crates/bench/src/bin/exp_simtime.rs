@@ -5,15 +5,24 @@
 //! engine claws that cost back as the network grows.
 //!
 //! `--json` emits the rows as a JSON array (for CI artifact diffing);
-//! `--cores 64,256` restricts the sweep.
+//! `--cores 64,256` restricts the sweep; `--mode reciprocal` filters the
+//! mode ladder; `--trace-out t.jsonl` streams observability events;
+//! `--metrics` prints per-run time breakdowns.
 
-use ra_bench::{banner, json_array, json_object, secs, BenchArgs, JsonField};
-use ra_cosim::{run_app, ModeSpec, Target, STANDARD_CORE_COUNTS};
+use ra_bench::{
+    banner, breakdown_of, format_breakdown, json_array, json_object, secs, BenchArgs, JsonField,
+};
+use ra_cosim::{ModeSpec, RunSpec, Target, STANDARD_CORE_COUNTS};
+use ra_obs::ObsSink;
 use ra_workloads::AppProfile;
 
 fn main() {
     let args = BenchArgs::from_args();
     let scale = args.scale;
+    let sink = args
+        .trace_sink()
+        .expect("open --trace-out")
+        .unwrap_or_else(ObsSink::disabled);
     let workers = std::thread::available_parallelism()
         .map(|p| p.get().saturating_sub(1).clamp(1, 8))
         .unwrap_or(4);
@@ -39,7 +48,17 @@ fn main() {
             ModeSpec::Reciprocal { quantum: 2_000, workers },
         ];
         for mode in modes {
-            match run_app(mode, &target, &app, instr, scale.budget(), 42) {
+            if !args.wants_mode(mode) {
+                continue;
+            }
+            let run = RunSpec::new(&target, &app)
+                .mode(mode)
+                .instructions(instr)
+                .budget(scale.budget())
+                .seed(42)
+                .recorder(sink.clone())
+                .run();
+            match run {
                 Ok(r) => {
                     let rate = r.cycles as f64 / r.wall.as_secs_f64().max(1e-9);
                     if args.json {
@@ -47,6 +66,7 @@ fn main() {
                             ("target", JsonField::Str(target.name.clone())),
                             ("cores", JsonField::Int(u64::from(cores))),
                             ("mode", JsonField::Str(mode.label())),
+                            ("mode_spec", JsonField::Str(mode.to_string())),
                             ("cycles", JsonField::Int(r.cycles)),
                             ("wall_s", JsonField::Num(r.wall.as_secs_f64())),
                             ("cycles_per_sec", JsonField::Num(rate)),
@@ -62,6 +82,13 @@ fn main() {
                             secs(r.wall),
                             rate
                         );
+                        if args.metrics && r.coupler.is_some() {
+                            println!(
+                                "{:<10}   {}",
+                                "",
+                                format_breakdown(&breakdown_of(&r))
+                            );
+                        }
                     }
                 }
                 Err(e) => {
@@ -81,6 +108,7 @@ fn main() {
             println!();
         }
     }
+    let _ = sink.flush();
     if args.json {
         println!("{}", json_array(&rows));
     }

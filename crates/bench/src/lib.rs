@@ -6,6 +6,9 @@
 
 use std::time::Duration;
 
+use ra_cosim::ModeSpec;
+use ra_obs::{JsonlRecorder, ObsSink, TimeBreakdown};
+
 /// Geometric mean of strictly positive values (0 if empty).
 ///
 /// # Example
@@ -97,7 +100,7 @@ impl Scale {
 /// machine-readable output (one JSON document on stdout, for CI artifact
 /// collection), and `--cores 256,512` restricts the target sweep to the
 /// listed core counts.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchArgs {
     /// Run scale (`--quick` / `--full`).
     pub scale: Scale,
@@ -105,6 +108,15 @@ pub struct BenchArgs {
     pub json: bool,
     /// Restrict the sweep to these core counts (`--cores 256,512`).
     pub cores: Option<Vec<u32>>,
+    /// Run only this mode (`--mode reciprocal:quantum=500,workers=4`);
+    /// binaries that sweep a mode ladder filter it to matching entries.
+    pub mode: Option<ModeSpec>,
+    /// Stream every observability event as JSONL to this path
+    /// (`--trace-out trace.jsonl`).
+    pub trace_out: Option<String>,
+    /// Print the simulation-time breakdown after each reciprocal run
+    /// (`--metrics`).
+    pub metrics: bool,
 }
 
 impl BenchArgs {
@@ -130,6 +142,16 @@ impl BenchArgs {
                         }
                     }
                 }
+                "--mode" => {
+                    if let Some(spec) = args.next() {
+                        match spec.parse() {
+                            Ok(mode) => out.mode = Some(mode),
+                            Err(e) => eprintln!("ignoring --mode {spec}: {e}"),
+                        }
+                    }
+                }
+                "--trace-out" => out.trace_out = args.next(),
+                "--metrics" => out.metrics = true,
                 _ => {}
             }
         }
@@ -143,6 +165,75 @@ impl BenchArgs {
             None => true,
         }
     }
+
+    /// Whether `mode` survives the `--mode` filter (labels must match, so
+    /// `--mode reciprocal` admits every serial-reciprocal ladder entry).
+    pub fn wants_mode(&self, mode: ModeSpec) -> bool {
+        match self.mode {
+            Some(wanted) => wanted.label() == mode.label(),
+            None => true,
+        }
+    }
+
+    /// Opens the `--trace-out` JSONL sink, if requested. The returned
+    /// [`ObsSink`] is shared: pass clones to every run so one file carries
+    /// the whole binary's event stream. `None` with no `--trace-out`.
+    pub fn trace_sink(&self) -> std::io::Result<Option<ObsSink>> {
+        match &self.trace_out {
+            Some(path) => {
+                let recorder = JsonlRecorder::create(path)?;
+                let (sink, _) = ObsSink::attach(recorder);
+                Ok(Some(sink))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Rolls a run's wall-clock into the T2-style simulation-time breakdown:
+/// detailed-NoC and calibration time from the coupler stats (zero for
+/// non-reciprocal runs), remainder attributed to the full system + fast
+/// path.
+pub fn breakdown_of(result: &ra_cosim::RunResult) -> TimeBreakdown {
+    let mut b = TimeBreakdown::default();
+    if let Some(coupler) = &result.coupler {
+        b.detailed_ns = coupler.detailed_wall.as_nanos() as u64;
+        b.calibrate_ns = coupler.calibrate_wall.as_nanos() as u64;
+    }
+    b.fullsys_ns = (result.wall.as_nanos() as u64)
+        .saturating_sub(b.detailed_ns)
+        .saturating_sub(b.calibrate_ns);
+    b
+}
+
+/// Formats a coupler's bounded watchdog-trip history as a JSON array for
+/// [`JsonField::Raw`].
+pub fn trips_json(trips: &[ra_cosim::TripRecord]) -> String {
+    let rows: Vec<String> = trips
+        .iter()
+        .map(|t| {
+            json_object(&[
+                ("cycle", JsonField::Int(t.cycle)),
+                ("cause", JsonField::Str(t.cause.clone())),
+            ])
+        })
+        .collect();
+    json_array(&rows)
+}
+
+/// Renders a T2-style simulation-time breakdown (detailed NoC vs.
+/// calibration vs. full system + fast path) for `--metrics` output.
+pub fn format_breakdown(b: &TimeBreakdown) -> String {
+    let total = b.total_ns().max(1) as f64;
+    format!(
+        "time breakdown: detailed {:.3}s ({:.1}%), calibrate {:.3}s ({:.1}%), fullsys+fast {:.3}s ({:.1}%)",
+        b.detailed_ns as f64 / 1e9,
+        b.detailed_ns as f64 / total * 100.0,
+        b.calibrate_ns as f64 / 1e9,
+        b.calibrate_ns as f64 / total * 100.0,
+        b.fullsys_ns as f64 / 1e9,
+        b.fullsys_ns as f64 / total * 100.0,
+    )
 }
 
 /// One field of a hand-rolled JSON object (the vendored `serde` stub cannot
@@ -156,6 +247,9 @@ pub enum JsonField {
     Num(f64),
     /// An unsigned integer.
     Int(u64),
+    /// Pre-formatted JSON emitted verbatim (nested arrays/objects built
+    /// with [`json_object`]/[`json_array`]).
+    Raw(String),
 }
 
 /// Formats one JSON object from field name/value pairs.
@@ -188,6 +282,7 @@ pub fn json_object(fields: &[(&str, JsonField)]) -> String {
             JsonField::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
             JsonField::Num(_) => out.push_str("null"),
             JsonField::Int(n) => out.push_str(&format!("{n}")),
+            JsonField::Raw(json) => out.push_str(json),
         }
     }
     out.push('}');
@@ -254,6 +349,38 @@ mod tests {
         assert!(parse(&[]).wants_cores(64), "no filter admits everything");
         let junk = parse(&["--cores", "banana"]);
         assert_eq!(junk.cores, None, "unparseable filter is ignored");
+    }
+
+    #[test]
+    fn bench_args_parse_observability_flags() {
+        let a = parse(&[
+            "--mode",
+            "reciprocal:quantum=500,workers=4",
+            "--trace-out",
+            "trace.jsonl",
+            "--metrics",
+        ]);
+        assert_eq!(
+            a.mode,
+            Some(ModeSpec::Reciprocal { quantum: 500, workers: 4 })
+        );
+        assert_eq!(a.trace_out.as_deref(), Some("trace.jsonl"));
+        assert!(a.metrics);
+        assert!(a.wants_mode(ModeSpec::Reciprocal { quantum: 123, workers: 4 }),
+            "mode filter matches by label, not exact quantum");
+        assert!(!a.wants_mode(ModeSpec::Hop));
+        assert!(parse(&[]).wants_mode(ModeSpec::Hop), "no filter admits everything");
+        let junk = parse(&["--mode", "warp-speed"]);
+        assert_eq!(junk.mode, None, "unparseable mode is ignored");
+        assert!(parse(&[]).trace_sink().unwrap().is_none());
+    }
+
+    #[test]
+    fn json_raw_embeds_verbatim() {
+        let row = json_object(&[
+            ("trips", JsonField::Raw(json_array(&["{\"cycle\":5}".into()]))),
+        ]);
+        assert_eq!(row, "{\"trips\":[{\"cycle\":5}]}");
     }
 
     #[test]

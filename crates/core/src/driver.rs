@@ -1,16 +1,19 @@
 //! Experiment driver: runs a full system under a chosen network
 //! abstraction and reports the metrics the figures plot.
 
+use std::fmt;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 
 use ra_fullsys::FullSystem;
 use ra_netmodel::{AbstractNetwork, FixedLatency, HopLatency, HopMetric, QueueingLatency};
 use ra_noc::{NocNetwork, TopologyKind};
+use ra_obs::{Event, ObsSink, SpanKind};
 use ra_sim::{MessageClass, Network, SimError, Summary};
 use ra_workloads::{AppProfile, AppWorkload};
 
 use crate::probe::LatencyProbe;
-use crate::reciprocal::ReciprocalNetwork;
+use crate::reciprocal::{CouplerStats, ReciprocalNetwork};
 use crate::target::Target;
 
 /// Which network abstraction a run uses.
@@ -50,6 +53,116 @@ impl ModeSpec {
     }
 }
 
+/// Canonical textual form, round-trippable through [`FromStr`]:
+/// `fixed:12`, `hop`, `queueing`, `reciprocal:quantum=500,workers=4`,
+/// `lockstep`.
+impl fmt::Display for ModeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModeSpec::Fixed(l) => write!(f, "fixed:{l}"),
+            ModeSpec::Hop => f.write_str("hop"),
+            ModeSpec::Queueing => f.write_str("queueing"),
+            ModeSpec::Reciprocal { quantum, workers } => {
+                write!(f, "reciprocal:quantum={quantum},workers={workers}")
+            }
+            ModeSpec::Lockstep => f.write_str("lockstep"),
+        }
+    }
+}
+
+/// A mode string [`ModeSpec::from_str`] could not parse, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModeError(String);
+
+impl fmt::Display for ParseModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid mode spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseModeError {}
+
+/// Parses the `--mode` syntax shared by every experiment binary.
+///
+/// Accepts the canonical [`Display`](ModeSpec) forms plus bare
+/// `reciprocal` (default quantum/workers) and partial key=value lists:
+/// `reciprocal:workers=4` keeps the default quantum.
+impl FromStr for ModeSpec {
+    type Err = ParseModeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (head, rest) = match s.split_once(':') {
+            Some((head, rest)) => (head.trim(), Some(rest)),
+            None => (s, None),
+        };
+        match (head, rest) {
+            ("hop", None) => Ok(ModeSpec::Hop),
+            ("queueing", None) => Ok(ModeSpec::Queueing),
+            ("lockstep", None) => Ok(ModeSpec::Lockstep),
+            ("fixed", Some(lat)) => lat
+                .trim()
+                .parse()
+                .map(ModeSpec::Fixed)
+                .map_err(|_| ParseModeError(format!("fixed latency `{lat}` is not an integer"))),
+            ("fixed", None) => Err(ParseModeError(
+                "fixed needs a latency, e.g. `fixed:12`".into(),
+            )),
+            ("reciprocal", rest) => {
+                let ModeSpec::Reciprocal {
+                    mut quantum,
+                    mut workers,
+                } = ModeSpec::default()
+                else {
+                    unreachable!("default mode is reciprocal");
+                };
+                for kv in rest
+                    .unwrap_or_default()
+                    .split(',')
+                    .filter(|kv| !kv.trim().is_empty())
+                {
+                    let (key, value) = kv
+                        .split_once('=')
+                        .ok_or_else(|| ParseModeError(format!("expected key=value, got `{kv}`")))?;
+                    match key.trim() {
+                        "quantum" => {
+                            quantum = value.trim().parse().map_err(|_| {
+                                ParseModeError(format!("quantum `{value}` is not an integer"))
+                            })?;
+                        }
+                        "workers" => {
+                            workers = value.trim().parse().map_err(|_| {
+                                ParseModeError(format!("workers `{value}` is not an integer"))
+                            })?;
+                        }
+                        other => {
+                            return Err(ParseModeError(format!(
+                                "unknown reciprocal key `{other}` (expected quantum or workers)"
+                            )))
+                        }
+                    }
+                }
+                Ok(ModeSpec::Reciprocal { quantum, workers })
+            }
+            (other, _) => Err(ParseModeError(format!(
+                "unknown mode `{other}` (expected fixed:<lat>, hop, queueing, \
+                 reciprocal[:quantum=<n>,workers=<n>], or lockstep)"
+            ))),
+        }
+    }
+}
+
+/// The default mode is the paper's contribution: a serial reciprocal
+/// coupler at a 2 000-cycle quantum.
+impl Default for ModeSpec {
+    fn default() -> Self {
+        ModeSpec::Reciprocal {
+            quantum: 2_000,
+            workers: 0,
+        }
+    }
+}
+
 /// Everything a single run measures.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -71,6 +184,9 @@ pub struct RunResult {
     pub ipc: f64,
     /// Calibration updates (reciprocal modes only).
     pub calibrations: u64,
+    /// The coupler's full exchange statistics (reciprocal modes only):
+    /// drift, time decomposition, degradation and trip history.
+    pub coupler: Option<CouplerStats>,
 }
 
 impl RunResult {
@@ -88,12 +204,196 @@ pub fn percent_error(value: f64, truth: f64) -> f64 {
     ((value - truth) / truth).abs() * 100.0
 }
 
+/// A single simulation run, declaratively configured.
+///
+/// Replaces the positional-argument drivers (`run_app`,
+/// `run_app_reciprocal`) with a builder: name the target and workload,
+/// override only what differs from the defaults, and `run()`.
+///
+/// ```
+/// use ra_cosim::{ModeSpec, RunSpec, Target};
+/// use ra_workloads::AppProfile;
+///
+/// let target = Target::cmp(4, 4);
+/// let app = AppProfile::water();
+/// let result = RunSpec::new(&target, &app)
+///     .mode(ModeSpec::Hop)
+///     .instructions(300)
+///     .budget(500_000)
+///     .seed(1)
+///     .run()?;
+/// assert!(result.cycles > 0);
+/// # Ok::<(), ra_sim::SimError>(())
+/// ```
+///
+/// Defaults: the [`ModeSpec::default`] reciprocal coupler, 1 000
+/// instructions per core, a 10 M-cycle budget, seed 42, and no recorder.
+#[non_exhaustive]
+#[derive(Debug)]
+#[must_use = "a RunSpec does nothing until .run()"]
+pub struct RunSpec<'a> {
+    target: &'a Target,
+    app: &'a AppProfile,
+    mode: ModeSpec,
+    instructions: u64,
+    budget: u64,
+    seed: u64,
+    sink: ObsSink,
+}
+
+impl<'a> RunSpec<'a> {
+    /// Starts a run specification over `target` executing `app`.
+    pub fn new(target: &'a Target, app: &'a AppProfile) -> Self {
+        RunSpec {
+            target,
+            app,
+            mode: ModeSpec::default(),
+            instructions: 1_000,
+            budget: 10_000_000,
+            seed: 42,
+            sink: ObsSink::disabled(),
+        }
+    }
+
+    /// Selects the network abstraction (default: reciprocal).
+    pub fn mode(mut self, mode: ModeSpec) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Instructions every core must retire (default 1 000).
+    pub fn instructions(mut self, instructions: u64) -> Self {
+        self.instructions = instructions;
+        self
+    }
+
+    /// Cycle budget before the run times out (default 10 000 000).
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Workload RNG seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches an observability sink; its recorder receives the whole
+    /// stack's events (coupler, NoC windows, engine batches, profiling
+    /// spans). Default: disabled — zero recording overhead.
+    pub fn recorder(mut self, sink: ObsSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Executes the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors and the full system's
+    /// timeout/deadlock watchdogs.
+    pub fn run(self) -> Result<RunResult, SimError> {
+        let result = match self.mode {
+            ModeSpec::Reciprocal { quantum, workers } => self.run_reciprocal(quantum, workers),
+            mode => self.run_boxed(mode),
+        }?;
+        Ok(result)
+    }
+
+    /// The reciprocal path keeps the concrete coupler type, so the real
+    /// [`CouplerStats`] come back in [`RunResult::coupler`].
+    fn run_reciprocal(self, quantum: u64, workers: usize) -> Result<RunResult, SimError> {
+        let coupler = ReciprocalNetwork::new(self.target.noc.clone(), quantum, workers)
+            .map_err(SimError::Config)?
+            .with_sink(self.sink.clone());
+        let net = LatencyProbe::new(coupler);
+        let workload = AppWorkload::new(self.app.clone(), self.target.cores(), self.seed);
+        let mut sys = FullSystem::new(self.target.fullsys.clone(), net, workload)
+            .map_err(SimError::Config)?;
+        let start = Instant::now();
+        let cycles = sys.run_until_instructions(self.instructions, self.budget)?;
+        let wall = start.elapsed();
+        let stats = sys.stats();
+        let probe = sys.network();
+        let latency = *probe.latency();
+        let class_latency = MessageClass::ALL
+            .iter()
+            .map(|c| *probe.class_latency(*c))
+            .collect();
+        let coupler_stats = probe.inner().stats().clone();
+        // The remainder of the wall-clock is the full system plus the fast
+        // path — T2's third component.
+        self.sink.emit(|| Event::Span {
+            kind: SpanKind::FullsysStep,
+            nanos: wall
+                .saturating_sub(coupler_stats.detailed_wall)
+                .saturating_sub(coupler_stats.calibrate_wall)
+                .as_nanos() as u64,
+        });
+        let _ = self.sink.flush();
+        let mode = ModeSpec::Reciprocal { quantum, workers };
+        Ok(RunResult {
+            workload: self.app.name.clone(),
+            mode: mode.label(),
+            cycles,
+            wall,
+            latency,
+            class_latency,
+            messages: stats.total_messages(),
+            ipc: stats.ipc(),
+            calibrations: coupler_stats.calibrations,
+            coupler: Some(coupler_stats),
+        })
+    }
+
+    /// Every non-reciprocal mode runs behind `Box<dyn Network>`.
+    fn run_boxed(self, mode: ModeSpec) -> Result<RunResult, SimError> {
+        let net = LatencyProbe::new(build_network(mode, self.target, &self.sink)?);
+        let workload = AppWorkload::new(self.app.clone(), self.target.cores(), self.seed);
+        let mut sys = FullSystem::new(self.target.fullsys.clone(), net, workload)
+            .map_err(SimError::Config)?;
+        let start = Instant::now();
+        let cycles = sys.run_until_instructions(self.instructions, self.budget)?;
+        let wall = start.elapsed();
+        let stats = sys.stats();
+        let probe = sys.network();
+        let latency = *probe.latency();
+        let class_latency = MessageClass::ALL
+            .iter()
+            .map(|c| *probe.class_latency(*c))
+            .collect();
+        self.sink.emit(|| Event::Span {
+            kind: SpanKind::FullsysStep,
+            nanos: wall.as_nanos() as u64,
+        });
+        let _ = self.sink.flush();
+        Ok(RunResult {
+            workload: self.app.name.clone(),
+            mode: mode.label(),
+            cycles,
+            wall,
+            latency,
+            class_latency,
+            messages: stats.total_messages(),
+            ipc: stats.ipc(),
+            calibrations: 0,
+            coupler: None,
+        })
+    }
+}
+
 /// A reciprocal run plus the coupler's internals (time decomposition for
 /// the coprocessor experiments).
 ///
 /// # Errors
 ///
-/// Same failure modes as [`run_app`].
+/// Same failure modes as [`RunSpec::run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunSpec::new(target, app).mode(ModeSpec::Reciprocal { .. }).run(); \
+            the coupler stats are in RunResult::coupler"
+)]
 pub fn run_app_reciprocal(
     target: &Target,
     app: &ra_workloads::AppProfile,
@@ -103,42 +403,23 @@ pub fn run_app_reciprocal(
     quantum: u64,
     workers: usize,
 ) -> Result<(RunResult, crate::reciprocal::CouplerStats), SimError> {
-    let coupler = ReciprocalNetwork::new(target.noc.clone(), quantum, workers)
-        .map_err(SimError::Config)?;
-    let net = LatencyProbe::new(coupler);
-    let workload = AppWorkload::new(app.clone(), target.cores(), seed);
-    let mut sys = FullSystem::new(target.fullsys.clone(), net, workload)
-        .map_err(SimError::Config)?;
-    let start = Instant::now();
-    let cycles = sys.run_until_instructions(instructions, budget)?;
-    let wall = start.elapsed();
-    let stats = sys.stats();
-    let probe = sys.network();
-    let latency = *probe.latency();
-    let class_latency = MessageClass::ALL
-        .iter()
-        .map(|c| *probe.class_latency(*c))
-        .collect();
-    let coupler_stats = probe.inner().stats().clone();
-    let mode = ModeSpec::Reciprocal { quantum, workers };
-    Ok((
-        RunResult {
-            workload: app.name.clone(),
-            mode: mode.label(),
-            cycles,
-            wall,
-            latency,
-            class_latency,
-            messages: stats.total_messages(),
-            ipc: stats.ipc(),
-            calibrations: coupler_stats.calibrations,
-        },
-        coupler_stats,
-    ))
+    let result = RunSpec::new(target, app)
+        .mode(ModeSpec::Reciprocal { quantum, workers })
+        .instructions(instructions)
+        .budget(budget)
+        .seed(seed)
+        .run()?;
+    let stats = result.coupler.clone().unwrap_or_default();
+    Ok((result, stats))
 }
 
-/// Builds the network for a mode over a target.
-fn build_network(mode: ModeSpec, target: &Target) -> Result<Box<dyn Network>, SimError> {
+/// Builds the network for a mode over a target. Lockstep mode attaches
+/// `sink` to the cycle-level NoC (the other abstract models emit nothing).
+fn build_network(
+    mode: ModeSpec,
+    target: &Target,
+    sink: &ObsSink,
+) -> Result<Box<dyn Network>, SimError> {
     let shape = target.noc.shape;
     let metric = match target.noc.topology {
         TopologyKind::Mesh => HopMetric::Mesh(shape),
@@ -157,10 +438,15 @@ fn build_network(mode: ModeSpec, target: &Target) -> Result<Box<dyn Network>, Si
             metric,
             flit_bytes,
         )),
-        ModeSpec::Reciprocal { quantum, workers } => {
-            Box::new(ReciprocalNetwork::new(target.noc.clone(), quantum, workers)?)
+        ModeSpec::Reciprocal { quantum, workers } => Box::new(
+            ReciprocalNetwork::new(target.noc.clone(), quantum, workers)?
+                .with_sink(sink.clone()),
+        ),
+        ModeSpec::Lockstep => {
+            let mut net = NocNetwork::new(target.noc.clone())?;
+            net.set_sink(sink.clone());
+            Box::new(net)
         }
-        ModeSpec::Lockstep => Box::new(NocNetwork::new(target.noc.clone())?),
     })
 }
 
@@ -171,6 +457,10 @@ fn build_network(mode: ModeSpec, target: &Target) -> Result<Box<dyn Network>, Si
 ///
 /// Propagates configuration errors and the full system's timeout/deadlock
 /// watchdogs (`budget` caps the run length in cycles).
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunSpec::new(target, app).mode(mode).instructions(n).budget(n).seed(n).run()"
+)]
 pub fn run_app(
     mode: ModeSpec,
     target: &Target,
@@ -179,42 +469,12 @@ pub fn run_app(
     budget: u64,
     seed: u64,
 ) -> Result<RunResult, SimError> {
-    let net = LatencyProbe::new(build_network(mode, target)?);
-    let workload = AppWorkload::new(app.clone(), target.cores(), seed);
-    let mut sys = FullSystem::new(target.fullsys.clone(), net, workload)
-        .map_err(SimError::Config)?;
-    let start = Instant::now();
-    let cycles = sys.run_until_instructions(instructions, budget)?;
-    let wall = start.elapsed();
-    let stats = sys.stats();
-    let probe = sys.network();
-    let latency = *probe.latency();
-    let class_latency = MessageClass::ALL
-        .iter()
-        .map(|c| *probe.class_latency(*c))
-        .collect();
-    let calibrations = 0; // patched below for reciprocal modes
-    let mut result = RunResult {
-        workload: app.name.clone(),
-        mode: mode.label(),
-        cycles,
-        wall,
-        latency,
-        class_latency,
-        messages: stats.total_messages(),
-        ipc: stats.ipc(),
-        calibrations,
-    };
-    // Recover coupler statistics if this was a reciprocal run.
-    if let ModeSpec::Reciprocal { .. } = mode {
-        // The probe wraps Box<dyn Network>; we cannot downcast through the
-        // trait object, so couplers export their calibration count through
-        // the run by construction: quantum boundaries per cycle count.
-        if let ModeSpec::Reciprocal { quantum, .. } = mode {
-            result.calibrations = cycles / quantum.max(1);
-        }
-    }
-    Ok(result)
+    RunSpec::new(target, app)
+        .mode(mode)
+        .instructions(instructions)
+        .budget(budget)
+        .seed(seed)
+        .run()
 }
 
 /// Formats a row of the standard report table.
@@ -263,6 +523,52 @@ mod tests {
     }
 
     #[test]
+    fn mode_display_round_trips_through_from_str() {
+        for mode in [
+            ModeSpec::Fixed(12),
+            ModeSpec::Hop,
+            ModeSpec::Queueing,
+            ModeSpec::Reciprocal { quantum: 500, workers: 4 },
+            ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
+            ModeSpec::Lockstep,
+        ] {
+            let text = mode.to_string();
+            let parsed: ModeSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(parsed, mode, "{text} must round-trip");
+        }
+    }
+
+    #[test]
+    fn mode_from_str_accepts_shorthand() {
+        assert_eq!("reciprocal".parse::<ModeSpec>().unwrap(), ModeSpec::default());
+        assert_eq!(
+            "reciprocal:workers=4".parse::<ModeSpec>().unwrap(),
+            ModeSpec::Reciprocal { quantum: 2_000, workers: 4 }
+        );
+        assert_eq!(
+            "reciprocal:quantum=500".parse::<ModeSpec>().unwrap(),
+            ModeSpec::Reciprocal { quantum: 500, workers: 0 }
+        );
+        assert_eq!(" hop ".parse::<ModeSpec>().unwrap(), ModeSpec::Hop);
+        assert_eq!("fixed: 9".parse::<ModeSpec>().unwrap(), ModeSpec::Fixed(9));
+    }
+
+    #[test]
+    fn mode_from_str_rejects_garbage() {
+        for bad in [
+            "",
+            "warp",
+            "fixed",
+            "fixed:lots",
+            "reciprocal:quantum",
+            "reciprocal:pace=3",
+            "hop:1",
+        ] {
+            assert!(bad.parse::<ModeSpec>().is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
     fn all_modes_complete_a_small_run() {
         let target = small_target();
         let app = AppProfile::water();
@@ -273,12 +579,61 @@ mod tests {
             ModeSpec::Reciprocal { quantum: 200, workers: 0 },
             ModeSpec::Lockstep,
         ] {
-            let r = run_app(mode, &target, &app, 300, 500_000, 1)
+            let r = RunSpec::new(&target, &app)
+                .mode(mode)
+                .instructions(300)
+                .budget(500_000)
+                .seed(1)
+                .run()
                 .unwrap_or_else(|e| panic!("{}: {e}", mode.label()));
             assert!(r.cycles > 0, "{}", mode.label());
             assert!(r.latency.count() > 0, "{}", mode.label());
             assert!(r.ipc > 0.0, "{}", mode.label());
+            assert_eq!(
+                r.coupler.is_some(),
+                matches!(mode, ModeSpec::Reciprocal { .. }),
+                "{}: coupler stats come back iff the mode is reciprocal",
+                mode.label()
+            );
         }
+    }
+
+    #[test]
+    fn reciprocal_run_returns_real_coupler_stats() {
+        let target = small_target();
+        let app = AppProfile::water();
+        let r = RunSpec::new(&target, &app)
+            .mode(ModeSpec::Reciprocal { quantum: 200, workers: 0 })
+            .instructions(300)
+            .budget(500_000)
+            .seed(1)
+            .run()
+            .unwrap();
+        let coupler = r.coupler.expect("reciprocal run carries coupler stats");
+        assert_eq!(coupler.calibrations, r.calibrations);
+        assert!(coupler.calibrations > 0);
+        assert!(coupler.measured > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_run_spec() {
+        let target = small_target();
+        let app = AppProfile::water();
+        let via_spec = RunSpec::new(&target, &app)
+            .mode(ModeSpec::Hop)
+            .instructions(300)
+            .budget(500_000)
+            .seed(1)
+            .run()
+            .unwrap();
+        let via_shim = run_app(ModeSpec::Hop, &target, &app, 300, 500_000, 1).unwrap();
+        assert_eq!(via_spec.cycles, via_shim.cycles);
+        assert_eq!(via_spec.messages, via_shim.messages);
+        let (result, stats) =
+            run_app_reciprocal(&target, &app, 300, 500_000, 1, 200, 0).unwrap();
+        assert_eq!(result.calibrations, stats.calibrations);
+        assert!(stats.calibrations > 0);
     }
 
     #[test]
@@ -288,17 +643,18 @@ mod tests {
         // truth much better than the contention-free hop model.
         let target = small_target();
         let app = AppProfile::ocean();
-        let truth = run_app(ModeSpec::Lockstep, &target, &app, 400, 2_000_000, 3).unwrap();
-        let hop = run_app(ModeSpec::Hop, &target, &app, 400, 2_000_000, 3).unwrap();
-        let recip = run_app(
-            ModeSpec::Reciprocal { quantum: 500, workers: 0 },
-            &target,
-            &app,
-            400,
-            2_000_000,
-            3,
-        )
-        .unwrap();
+        let run = |mode: ModeSpec| {
+            RunSpec::new(&target, &app)
+                .mode(mode)
+                .instructions(400)
+                .budget(2_000_000)
+                .seed(3)
+                .run()
+                .unwrap()
+        };
+        let truth = run(ModeSpec::Lockstep);
+        let hop = run(ModeSpec::Hop);
+        let recip = run(ModeSpec::Reciprocal { quantum: 500, workers: 0 });
         let hop_err = percent_error(hop.avg_latency(), truth.avg_latency());
         let recip_err = percent_error(recip.avg_latency(), truth.avg_latency());
         assert!(

@@ -21,19 +21,19 @@
 //! # Quick start
 //!
 //! ```
-//! use ra_cosim::{run_app, ModeSpec, Target};
+//! use ra_cosim::{ModeSpec, RunSpec, Target};
 //! use ra_workloads::AppProfile;
 //!
 //! let target = Target::cmp(4, 4);
-//! let result = run_app(
-//!     ModeSpec::Reciprocal { quantum: 500, workers: 0 },
-//!     &target,
-//!     &AppProfile::water(),
-//!     200,      // instructions per core
-//!     500_000,  // cycle budget
-//!     1,        // seed
-//! )?;
+//! let app = AppProfile::water();
+//! let result = RunSpec::new(&target, &app)
+//!     .mode(ModeSpec::Reciprocal { quantum: 500, workers: 0 })
+//!     .instructions(200) // per core
+//!     .budget(500_000)   // cycle cap
+//!     .seed(1)
+//!     .run()?;
 //! assert!(result.cycles > 0);
+//! assert!(result.coupler.expect("reciprocal run").calibrations > 0);
 //! # Ok::<(), ra_sim::SimError>(())
 //! ```
 
@@ -43,8 +43,12 @@ pub mod record;
 pub mod reciprocal;
 pub mod target;
 
-pub use driver::{format_row, percent_error, run_app, run_app_reciprocal, ModeSpec, RunResult};
+#[allow(deprecated)]
+pub use driver::{run_app, run_app_reciprocal};
+pub use driver::{format_row, percent_error, ModeSpec, ParseModeError, RunResult, RunSpec};
 pub use probe::LatencyProbe;
 pub use record::{replay_into, RecordedMessage, TrafficRecord};
-pub use reciprocal::{AdaptiveQuantum, CouplerStats, FallbackPolicy, ReciprocalNetwork};
+pub use reciprocal::{
+    AdaptiveQuantum, CouplerStats, FallbackPolicy, ReciprocalNetwork, TripRecord, TRIP_HISTORY,
+};
 pub use target::{Target, STANDARD_CORE_COUNTS};

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use ra_gpu::ParallelEngine;
 use ra_netmodel::{AbstractNetwork, CalibratedModel, HopMetric};
 use ra_noc::{NocConfig, NocNetwork, TopologyKind};
+use ra_obs::{DegradationState, Event, ObsSink, SpanKind};
 use ra_sim::{Cycle, Delivery, LatencyTable, NetMessage, Network, SimError, Summary};
 
 /// Configuration of adaptive quantum control.
@@ -66,6 +67,21 @@ impl Default for FallbackPolicy {
     }
 }
 
+/// One watchdog teardown of the detailed model, stamped with the quantum
+/// boundary (in cycles) at which it was handled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TripRecord {
+    /// The quantum boundary the coupler was advancing toward when it
+    /// tripped.
+    pub cycle: u64,
+    /// Human-readable cause (the `SimError`'s display form).
+    pub cause: String,
+}
+
+/// Watchdog trips retained in [`CouplerStats::trips`] (oldest dropped
+/// first); [`CouplerStats::watchdog_trips`] still counts them all.
+pub const TRIP_HISTORY: usize = 8;
+
 /// Statistics of the reciprocal exchange itself.
 #[derive(Debug, Clone, Default)]
 pub struct CouplerStats {
@@ -79,6 +95,10 @@ pub struct CouplerStats {
     /// Wall-clock time spent stepping the detailed cycle-level NoC — the
     /// component a coprocessor offloads (experiment T2's decomposition).
     pub detailed_wall: Duration,
+    /// Wall-clock time spent measuring the window and re-fitting the
+    /// calibrated model at quantum boundaries (the exchange overhead in
+    /// T2's decomposition).
+    pub calibrate_wall: Duration,
     /// Cycles the detailed NoC simulated.
     pub detailed_cycles: u64,
     /// Quanta served by the calibrated model alone because the detailed
@@ -95,8 +115,24 @@ pub struct CouplerStats {
     pub calibration_age: u64,
     /// True once the detailed model was abandoned for the rest of the run.
     pub detailed_abandoned: bool,
-    /// Human-readable cause of the most recent watchdog trip.
-    pub last_trip: Option<String>,
+    /// Bounded history of watchdog trips, most recent last (at most
+    /// [`TRIP_HISTORY`] entries — earlier trips age out of the list but
+    /// stay counted in [`watchdog_trips`](CouplerStats::watchdog_trips)).
+    pub trips: Vec<TripRecord>,
+}
+
+impl CouplerStats {
+    /// Cause of the most recent watchdog trip, if any.
+    pub fn last_trip(&self) -> Option<&str> {
+        self.trips.last().map(|t| t.cause.as_str())
+    }
+
+    fn record_trip(&mut self, cycle: u64, cause: String) {
+        if self.trips.len() == TRIP_HISTORY {
+            self.trips.remove(0);
+        }
+        self.trips.push(TripRecord { cycle, cause });
+    }
 }
 
 /// Reciprocal-abstraction network: the paper's contribution.
@@ -159,6 +195,13 @@ pub struct ReciprocalNetwork {
     stalled_quanta: u32,
     /// The detailed model is out of service for the rest of the run.
     abandoned: bool,
+    /// Observability sink; disabled by default. Shared (cloned) with the
+    /// detailed NoC and the parallel engine so one recorder sees the whole
+    /// stack's events.
+    sink: ObsSink,
+    /// Degradation state last reported on the sink, for edge-triggered
+    /// [`Event::Degradation`] emission.
+    last_state: DegradationState,
 }
 
 impl ReciprocalNetwork {
@@ -201,7 +244,24 @@ impl ReciprocalNetwork {
             backoff_remaining: 0,
             stalled_quanta: 0,
             abandoned: false,
+            sink: ObsSink::disabled(),
+            last_state: DegradationState::Healthy,
         })
+    }
+
+    /// Attaches an observability sink, sharing it with the detailed NoC
+    /// (window events) and the parallel engine (batch events). Coupler
+    /// events — quantum reports, watchdog trips, degradation transitions,
+    /// profiling spans — go to the same sink, so one recorder sees the
+    /// whole stack in order.
+    #[must_use]
+    pub fn with_sink(mut self, sink: ObsSink) -> Self {
+        self.detailed.set_sink(sink.clone());
+        if let Some(engine) = self.engine.as_mut() {
+            engine.set_sink(sink.clone());
+        }
+        self.sink = sink;
+        self
     }
 
     /// Enables *sampled* co-simulation: only every `sample_every`-th
@@ -277,14 +337,23 @@ impl ReciprocalNetwork {
     /// calibration and is handed to [`trip`](Self::trip) by the caller.
     fn calibrate(&mut self, target: u64) -> Result<(), SimError> {
         // Run the detailed NoC through the window.
+        let snap = self.detailed.window_snapshot();
         let started = Instant::now();
         let from = self.detailed.next_cycle();
         let flits_before = self.detailed.stats().flits_delivered;
         let drops_before = self.detailed.stats().faults.flits_dropped();
         let run = self.run_detailed_window(target);
-        self.stats.detailed_wall += started.elapsed();
+        let detailed_elapsed = started.elapsed();
+        self.stats.detailed_wall += detailed_elapsed;
         self.stats.detailed_cycles += self.detailed.next_cycle().saturating_sub(from);
+        // Even a window that trips spent this wall-clock on the detailed
+        // path; account it before propagating the error.
+        self.sink.emit(|| Event::Span {
+            kind: SpanKind::DetailedStep,
+            nanos: detailed_elapsed.as_nanos() as u64,
+        });
         run?;
+        self.detailed.emit_window(&snap);
         // Watchdog heartbeat: the detailed model has stopped delivering —
         // a deadlock (total inactivity with traffic pending) or a fault
         // black-holing messages (two full quanta with traffic in flight
@@ -322,6 +391,7 @@ impl ReciprocalNetwork {
             });
         }
         // Measure what it delivered.
+        let cal_started = Instant::now();
         let target = self.detailed.next_cycle().max(target);
         let mut window_mean = Summary::new();
         for d in self.detailed.drain_delivered(Cycle(target)) {
@@ -334,9 +404,11 @@ impl ReciprocalNetwork {
             window_mean.record(latency);
             self.stats.measured += 1;
         }
+        let quantum_before = self.quantum;
+        let predicted = self.fast.predicted_latency().mean();
+        let mut drift = 0.0;
         if window_mean.count() > 0 {
-            let predicted = self.fast.predicted_latency().mean();
-            let drift = (window_mean.mean() - predicted).abs();
+            drift = (window_mean.mean() - predicted).abs();
             self.stats.drift.record(drift);
             // Reciprocal exchange: the detailed model re-fits the abstract
             // one the full system will use for the next quantum.
@@ -353,6 +425,22 @@ impl ReciprocalNetwork {
         self.stats.calibrations += 1;
         self.consecutive_trips = 0;
         self.stats.calibration_age = 0;
+        let cal_elapsed = cal_started.elapsed();
+        self.stats.calibrate_wall += cal_elapsed;
+        self.sink.emit(|| Event::Span {
+            kind: SpanKind::Calibrate,
+            nanos: cal_elapsed.as_nanos() as u64,
+        });
+        self.sink.emit(|| Event::QuantumReport {
+            window: self.window_idx,
+            boundary: target,
+            predicted,
+            measured: window_mean.mean(),
+            drift,
+            samples: window_mean.count(),
+            quantum_before,
+            quantum_after: self.quantum,
+        });
         Ok(())
     }
 
@@ -387,9 +475,13 @@ impl ReciprocalNetwork {
     /// tracking (counted as rerouted) — nothing the full system sees is
     /// lost. A fresh `NocNetwork` replaces the corrupt one; it rejoins the
     /// clock at the next healthy quantum boundary via `skip_to`.
-    fn trip(&mut self, err: &SimError) {
+    fn trip(&mut self, boundary: u64, err: &SimError) {
         self.stats.watchdog_trips += 1;
-        self.stats.last_trip = Some(err.to_string());
+        self.stats.record_trip(boundary, err.to_string());
+        self.sink.emit(|| Event::WatchdogTrip {
+            cycle: boundary,
+            cause: err.to_string(),
+        });
         self.stats.quanta_degraded += 1;
         self.stats.calibration_age += 1;
         self.stats.messages_rerouted += self.detailed.in_flight() as u64;
@@ -397,7 +489,10 @@ impl ReciprocalNetwork {
         self.inject_times.clear();
         self.measured.clear();
         match NocNetwork::new(self.detailed.config().clone()) {
-            Ok(fresh) => self.detailed = fresh,
+            Ok(mut fresh) => {
+                fresh.set_sink(self.sink.clone());
+                self.detailed = fresh;
+            }
             // The config validated once already; if a rebuild somehow
             // fails, give up on the detailed path entirely.
             Err(_) => self.abandoned = true,
@@ -411,6 +506,33 @@ impl ReciprocalNetwork {
         if !self.abandoned {
             self.backoff_remaining =
                 u64::from(self.policy.backoff_quanta) * u64::from(self.consecutive_trips);
+        }
+    }
+
+    /// The coupler's current degradation state, for edge-triggered
+    /// [`Event::Degradation`] reporting.
+    fn degradation_state(&self) -> DegradationState {
+        if self.abandoned {
+            DegradationState::Abandoned
+        } else if self.backoff_remaining > 0 {
+            DegradationState::Degraded
+        } else {
+            DegradationState::Healthy
+        }
+    }
+
+    /// Emits a [`Event::Degradation`] transition if the state changed since
+    /// the last boundary.
+    fn report_degradation(&mut self, boundary: u64) {
+        let state = self.degradation_state();
+        if state != self.last_state {
+            let from = self.last_state;
+            self.last_state = state;
+            self.sink.emit(|| Event::Degradation {
+                cycle: boundary,
+                from,
+                to: state,
+            });
         }
     }
 }
@@ -445,7 +567,7 @@ impl Network for ReciprocalNetwork {
                 self.backoff_remaining = self.backoff_remaining.saturating_sub(1);
             } else if self.window_sampled() {
                 if let Err(err) = self.calibrate(boundary) {
-                    self.trip(&err);
+                    self.trip(boundary, &err);
                 }
             }
             self.window_idx += 1;
@@ -453,9 +575,10 @@ impl Network for ReciprocalNetwork {
                 // Entering a detailed window after skipped or degraded
                 // ones: jump the detailed clock over the un-simulated gap.
                 if let Err(err) = self.detailed.skip_to(boundary) {
-                    self.trip(&err);
+                    self.trip(boundary, &err);
                 }
             }
+            self.report_degradation(boundary);
             self.next_calibration = boundary + self.quantum;
         }
     }
@@ -647,7 +770,13 @@ mod tests {
         assert!(stats.watchdog_trips > 0, "watchdog never tripped: {stats:?}");
         assert!(stats.quanta_degraded > 0);
         assert!(stats.messages_rerouted > 0);
-        assert!(stats.last_trip.is_some());
+        assert!(stats.last_trip().is_some());
+        assert!(!stats.trips.is_empty() && stats.trips.len() <= TRIP_HISTORY);
+        assert!(
+            stats.trips.windows(2).all(|w| w[0].cycle <= w[1].cycle),
+            "trip history must be in boundary order: {:?}",
+            stats.trips
+        );
     }
 
     #[test]

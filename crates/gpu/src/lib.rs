@@ -61,6 +61,7 @@ use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;
 
 use parking_lot::RwLock;
+use ra_obs::{Event, ObsSink};
 use ra_noc::{
     EngineParts, Flit, NocNetwork, ReleasedInjection, Router, TopologyMap, Wire, Wires,
     MAX_BATCH_CYCLES,
@@ -225,6 +226,10 @@ pub struct ParallelEngine {
     bounds: Vec<u32>,
     /// Releases of the current batch (pinned while workers run).
     releases: Vec<ReleasedInjection>,
+    /// Observability sink; disabled by default. When enabled, each batch
+    /// emits one [`Event::EngineBatch`] with its range cuts and the
+    /// coordinator's barrier wait (the batch's wall-clock on the pool).
+    sink: ObsSink,
 }
 
 impl std::fmt::Debug for ParallelEngine {
@@ -264,12 +269,19 @@ impl ParallelEngine {
             workers,
             bounds: Vec::new(),
             releases: Vec::new(),
+            sink: ObsSink::disabled(),
         }
     }
 
     /// Number of worker threads in the pool.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Attaches an observability sink. Per-batch events only; the workers
+    /// themselves never touch it.
+    pub fn set_sink(&mut self, sink: ObsSink) {
+        self.sink = sink;
     }
 
     /// Executes exactly one cycle of `net` on the pool.
@@ -289,6 +301,8 @@ impl ParallelEngine {
     /// one batched job.
     fn run_batch(&mut self, net: &mut NocNetwork, cycles: u64) -> Result<(), SimError> {
         debug_assert!((1..=MAX_BATCH_CYCLES).contains(&cycles));
+        let t0 = net.next_cycle();
+        let mut barrier_wait_ns = 0u64;
         {
             let parts = net.begin_batch(cycles, &mut self.releases);
             compute_bounds(&parts, self.workers, &mut self.bounds);
@@ -313,9 +327,13 @@ impl ParallelEngine {
             };
             self.shared.active_bits.store(0, Ordering::SeqCst);
             *self.shared.job.write() = job;
+            let timer = self.sink.enabled().then(std::time::Instant::now);
             self.shared.start.wait();
             // Workers run all `cycles` cycles back to back while we wait.
             self.shared.end.wait();
+            if let Some(t) = timer {
+                barrier_wait_ns = t.elapsed().as_nanos() as u64;
+            }
         }
         let active_bits = self.shared.active_bits.load(Ordering::SeqCst);
         if let Some((worker, detail)) = self.shared.fault.write().take() {
@@ -325,6 +343,20 @@ impl ParallelEngine {
             });
         }
         net.finish_batch(cycles, active_bits);
+        let bounds = &self.bounds;
+        let releases = self.releases.len() as u64;
+        self.sink.emit(|| {
+            let ranges = bounds.windows(2).map(|w| u64::from(w[1] - w[0]));
+            Event::EngineBatch {
+                t0,
+                cycles,
+                workers: self.workers as u64,
+                barrier_wait_ns,
+                releases,
+                min_range: ranges.clone().min().unwrap_or(0),
+                max_range: ranges.max().unwrap_or(0),
+            }
+        });
         Ok(())
     }
 

@@ -58,7 +58,9 @@ pub use config::{NocConfig, Routing, TopologyKind};
 pub use deflection::{DeflectionConfig, DeflectionNetwork};
 pub use fault::{FaultEvent, FaultPlan};
 pub use flit::{Flit, FlitKind, PacketId};
-pub use network::{EngineParts, NocNetwork, ReleasedInjection, MAX_BATCH_CYCLES, NO_WAKE_TARGET};
+pub use network::{
+    EngineParts, NocNetwork, NocWindowSnapshot, ReleasedInjection, MAX_BATCH_CYCLES, NO_WAKE_TARGET,
+};
 pub use power::{EnergyBreakdown, EnergyParams};
 pub use router::Router;
 pub use stats::{FaultStats, NocStats};

@@ -27,12 +27,13 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use ra_obs::{Event, ObsSink};
 use ra_sim::{Cycle, Delivery, MessageClass, NetMessage, Network, SimError};
 
 use crate::config::NocConfig;
 use crate::flit::PacketId;
 use crate::router::{PendingPacket, Router};
-use crate::stats::NocStats;
+use crate::stats::{FaultStats, NocStats};
 use crate::topology::TopologyMap;
 use crate::wire::Wires;
 
@@ -227,6 +228,13 @@ pub struct NocNetwork {
     started_scratch: Vec<(PacketId, u64)>,
     /// Scratch: `(packet, cycle)` delivery events drained from routers.
     delivered_scratch: Vec<(PacketId, u64)>,
+    /// Observability sink; disabled by default (one predicted branch on the
+    /// paths that consult it — the per-cycle hot loop never does).
+    sink: ObsSink,
+    /// Cycles skipped by [`fast_forward_idle`](NocNetwork::fast_forward_idle)
+    /// since construction (they *are* simulated time; this counts how many
+    /// were covered in O(routers) instead of being stepped).
+    ff_cycles: u64,
 }
 
 impl Clone for NocNetwork {
@@ -257,8 +265,27 @@ impl Clone for NocNetwork {
             active_scratch: self.active_scratch.clone(),
             started_scratch: self.started_scratch.clone(),
             delivered_scratch: self.delivered_scratch.clone(),
+            sink: self.sink.clone(),
+            ff_cycles: self.ff_cycles,
         }
     }
+}
+
+/// Counter baseline captured by [`NocNetwork::window_snapshot`] before a
+/// detailed window; [`NocNetwork::emit_window`] diffs the live counters
+/// against it to produce one [`Event::NocWindow`].
+#[derive(Debug, Clone, Copy)]
+pub struct NocWindowSnapshot {
+    /// Cycle the window starts at.
+    pub cycle: u64,
+    /// `compute_invocations` at the start of the window.
+    pub router_steps: u64,
+    /// `fast_forwarded_cycles` at the start of the window.
+    pub fast_forwarded: u64,
+    /// Flits delivered at the start of the window.
+    pub flits_delivered: u64,
+    /// Fault counters at the start of the window.
+    pub fault_events: FaultStats,
 }
 
 impl NocNetwork {
@@ -313,7 +340,22 @@ impl NocNetwork {
             active_scratch: Vec::with_capacity(n),
             started_scratch: Vec::new(),
             delivered_scratch: Vec::new(),
+            sink: ObsSink::disabled(),
+            ff_cycles: 0,
         })
+    }
+
+    /// Attaches an observability sink. Events are emitted only at window
+    /// granularity via [`emit_window`](NocNetwork::emit_window) — the
+    /// per-cycle hot path never consults the sink, so the zero-allocation
+    /// steady-state guarantee is unaffected.
+    pub fn set_sink(&mut self, sink: ObsSink) {
+        self.sink = sink;
+    }
+
+    /// The currently attached observability sink (disabled by default).
+    pub fn sink(&self) -> &ObsSink {
+        &self.sink
     }
 
     /// The network's configuration.
@@ -625,9 +667,65 @@ impl NocNetwork {
         // Every skipped cycle would have stepped nothing, delivered
         // nothing, and (with nothing in flight) reset the idle counter.
         self.stats.cycles += skipped;
+        self.ff_cycles += skipped;
         self.idle_cycles = 0;
         self.next_cycle = limit;
         skipped
+    }
+
+    /// Cumulative cycles covered by
+    /// [`fast_forward_idle`](NocNetwork::fast_forward_idle) rather than
+    /// stepped (diagnostic; the observability window events report deltas
+    /// of this).
+    pub fn fast_forwarded_cycles(&self) -> u64 {
+        self.ff_cycles
+    }
+
+    /// In-flight messages per virtual network (message class), indexed by
+    /// [`MessageClass::vnet`] — the instantaneous occupancy snapshot the
+    /// observability window events carry.
+    pub fn occupancy_by_class(&self) -> [u64; MessageClass::COUNT] {
+        let mut out = [0u64; MessageClass::COUNT];
+        for (slot, n) in out.iter_mut().zip(&self.in_flight_by_class) {
+            *slot = *n as u64;
+        }
+        out
+    }
+
+    /// Captures the counters a [`NocWindowSnapshot`] diffs against. Take
+    /// one before running a detailed window, then call
+    /// [`emit_window`](NocNetwork::emit_window) after it.
+    pub fn window_snapshot(&self) -> NocWindowSnapshot {
+        NocWindowSnapshot {
+            cycle: self.next_cycle,
+            router_steps: self.compute_invocations(),
+            fast_forwarded: self.ff_cycles,
+            flits_delivered: self.stats.flits_delivered,
+            fault_events: self.stats.faults,
+        }
+    }
+
+    /// Emits one [`Event::NocWindow`] covering everything since `since`
+    /// (deltas of router steps, fast-forwarded cycles, flit deliveries and
+    /// fault counters, plus the instantaneous per-class occupancy). A no-op
+    /// when no sink is attached.
+    pub fn emit_window(&self, since: &NocWindowSnapshot) {
+        self.sink.emit(|| {
+            let f = &self.stats.faults;
+            let f0 = &since.fault_events;
+            Event::NocWindow {
+                from_cycle: since.cycle,
+                to_cycle: self.next_cycle,
+                router_steps: self.compute_invocations() - since.router_steps,
+                fast_forwarded: self.ff_cycles - since.fast_forwarded,
+                flits_delivered: self.stats.flits_delivered - since.flits_delivered,
+                occupancy: self.occupancy_by_class(),
+                flits_dropped: (f.flits_dropped_dead + f.flits_dropped_flaky)
+                    - (f0.flits_dropped_dead + f0.flits_dropped_flaky),
+                reroutes: f.reroutes - f0.reroutes,
+                stall_cycles: f.stall_cycles - f0.stall_cycles,
+            }
+        });
     }
 
     /// Fast-forwards the clock without simulating, for windows known to

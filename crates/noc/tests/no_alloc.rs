@@ -17,6 +17,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ra_noc::{NocConfig, NocNetwork};
+use ra_obs::{NullRecorder, ObsSink};
 use ra_sim::{Cycle, Delivery, MessageClass, NetMessage, Network, NodeId};
 
 struct CountingAllocator;
@@ -82,6 +83,30 @@ fn measure(gating: bool) -> u64 {
     after - before
 }
 
+/// Same steady-state drive, but with an enabled observability sink attached
+/// and a window event emitted every 100 cycles. `Event::NocWindow` carries
+/// only plain numbers, so routing it through a [`NullRecorder`] must stay
+/// allocation-free: instrumentation cannot cost the hot path its guarantee.
+fn measure_observed() -> u64 {
+    let cfg = NocConfig::new(4, 4).with_clock_gating(true);
+    let mut net = NocNetwork::new(cfg).unwrap();
+    let (sink, _recorder) = ObsSink::attach(NullRecorder);
+    net.set_sink(sink);
+    let mut out = Vec::new();
+    let mut next_id = 0u64;
+    drive(&mut net, &mut out, &mut next_id, 1_000);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        let snap = net.window_snapshot();
+        drive(&mut net, &mut out, &mut next_id, 100);
+        net.emit_window(&snap);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(net.stats().delivered > 1_000, "pattern did not deliver");
+    net.audit().unwrap();
+    after - before
+}
+
 #[test]
 fn steady_state_stepping_allocates_nothing() {
     // Gating off: every router steps every cycle — the full scratch-reuse
@@ -94,4 +119,12 @@ fn steady_state_stepping_allocates_nothing() {
             "steady-state cycle allocated {allocs} times (gating: {gating})"
         );
     }
+    // With the observability sink enabled the steady state must stay clean:
+    // the per-cycle path never consults the sink, and the per-window events
+    // are built from scratch-free numeric snapshots.
+    let allocs = measure_observed();
+    assert_eq!(
+        allocs, 0,
+        "instrumented steady-state cycle allocated {allocs} times"
+    );
 }

@@ -1,0 +1,859 @@
+//! Observability layer for the co-simulation stack: events, metrics, and
+//! wall-clock profiling spans, **zero-cost when disabled**.
+//!
+//! The paper's claims are time-series phenomena — drift between
+//! calibrations, quantum-boundary exchanges, degraded windows — but the
+//! final [`CouplerStats`]-style snapshots collapse them to one number. This
+//! crate gives every layer of the stack a place to report *per-interval*
+//! observations without perturbing the thing being measured:
+//!
+//! * the **coupler** emits one [`Event::QuantumReport`] per calibration
+//!   (predicted vs measured latency, drift, quantum resize), plus
+//!   [`Event::WatchdogTrip`] and [`Event::Degradation`] transitions;
+//! * the **detailed NoC** emits one [`Event::NocWindow`] per calibration
+//!   window (router steps, fast-forwarded cycles, per-virtual-network
+//!   occupancy, fault deltas);
+//! * the **parallel engine** emits one [`Event::EngineBatch`] per batched
+//!   job (worker range cuts, barrier wait, batch size);
+//! * wall-clock [`Event::Span`]s (`detailed_step` / `calibrate` /
+//!   `fullsys_step`) roll up into the T2-style simulation-time breakdown
+//!   via [`TimeBreakdown`].
+//!
+//! # The cost model
+//!
+//! Everything funnels through an [`ObsSink`], a cloneable handle that is
+//! either *disabled* (the default: an `Option::None`, so
+//! [`ObsSink::emit`] is a branch and the event-construction closure is
+//! never run — nothing on the PR 2 zero-allocation hot path changes) or
+//! *attached* to a [`Recorder`]. Events are emitted only at window /
+//! quantum / batch granularity, never per cycle or per flit, so even an
+//! attached recorder costs a bounded, amortized amount: the determinism
+//! suite holds [`NullRecorder`] and [`RingRecorder`] runs to bit-identical
+//! simulation statistics, and the steady-state allocation test proves the
+//! instrumented hot path still allocates nothing under a [`NullRecorder`].
+//!
+//! [`CouplerStats`]: https://docs.rs/ra-cosim
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use ra_sim::MessageClass;
+
+/// Wall-clock profiling span kinds, named after the co-simulation phases
+/// the T2 experiment decomposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Stepping the detailed cycle-level NoC through a window (the
+    /// component a coprocessor offloads).
+    DetailedStep,
+    /// Measuring the window's deliveries and re-fitting the calibrated
+    /// model at the quantum boundary.
+    Calibrate,
+    /// Everything else: the coarse-grain full system and the fast-path
+    /// model (reported once per run as the remainder).
+    FullsysStep,
+}
+
+impl SpanKind {
+    /// Stable lower-snake name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::DetailedStep => "detailed_step",
+            SpanKind::Calibrate => "calibrate",
+            SpanKind::FullsysStep => "fullsys_step",
+        }
+    }
+}
+
+/// Degradation state of the coupler's detailed path (see the `ra-cosim`
+/// watchdog / fallback machinery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationState {
+    /// The detailed model is in service and calibrating.
+    Healthy,
+    /// Tripped and backing off; the calibrated model answers alone.
+    Degraded,
+    /// Permanently out of service for the rest of the run.
+    Abandoned,
+}
+
+impl DegradationState {
+    /// Stable lower-case name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationState::Healthy => "healthy",
+            DegradationState::Degraded => "degraded",
+            DegradationState::Abandoned => "abandoned",
+        }
+    }
+}
+
+/// One observation. Variants are emitted at window / quantum / batch
+/// granularity only — never per cycle or per flit — so recording stays off
+/// the simulators' hot paths by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One calibration exchange at a quantum boundary.
+    QuantumReport {
+        /// Zero-based index of the calibration window.
+        window: u64,
+        /// The quantum-boundary cycle the calibration ran at.
+        boundary: u64,
+        /// Mean latency the fast-path model predicted for the window.
+        predicted: f64,
+        /// Mean latency the detailed NoC measured over the window
+        /// (0 when the window delivered nothing).
+        measured: f64,
+        /// |predicted − measured| (0 when nothing was measured).
+        drift: f64,
+        /// Deliveries measured in the window.
+        samples: u64,
+        /// Calibration quantum entering the window, in cycles.
+        quantum_before: u64,
+        /// Quantum after the adaptive controller's decision (equal to
+        /// `quantum_before` when static or unchanged).
+        quantum_after: u64,
+    },
+    /// The watchdog tore down the detailed model.
+    WatchdogTrip {
+        /// The quantum-boundary cycle the trip was detected at.
+        cycle: u64,
+        /// Human-readable cause (the underlying `SimError`).
+        cause: String,
+    },
+    /// The coupler's detailed path changed supervision state.
+    Degradation {
+        /// The quantum-boundary cycle of the transition.
+        cycle: u64,
+        /// State before.
+        from: DegradationState,
+        /// State after.
+        to: DegradationState,
+    },
+    /// One detailed-NoC calibration window's execution profile.
+    NocWindow {
+        /// First cycle of the window.
+        from_cycle: u64,
+        /// One past the last cycle of the window.
+        to_cycle: u64,
+        /// Router `phase_compute` invocations in the window — the
+        /// active-router count integrated over time (what clock gating
+        /// saves is directly visible here).
+        router_steps: u64,
+        /// Cycles skipped in O(1) by idle fast-forward.
+        fast_forwarded: u64,
+        /// Flits delivered in the window.
+        flits_delivered: u64,
+        /// In-flight messages per virtual network at the window boundary
+        /// (the per-VC occupancy snapshot).
+        occupancy: [u64; MessageClass::COUNT],
+        /// Flits lost to scripted link faults in the window.
+        flits_dropped: u64,
+        /// Fault detours taken in the window.
+        reroutes: u64,
+        /// Cycles a scripted stall froze a router in the window.
+        stall_cycles: u64,
+    },
+    /// One batched job on the data-parallel engine.
+    EngineBatch {
+        /// First cycle of the batch.
+        t0: u64,
+        /// Cycles in the batch.
+        cycles: u64,
+        /// Worker threads in the pool.
+        workers: u64,
+        /// Wall-clock nanoseconds the coordinator spent blocked between
+        /// the batch's start and end barriers (the pool's busy time).
+        barrier_wait_ns: u64,
+        /// Injections released into the batch up front.
+        releases: u64,
+        /// Routers in the smallest worker range this batch (the activity-
+        /// weighted re-cut; min ≪ max means the load was skewed).
+        min_range: u64,
+        /// Routers in the largest worker range this batch.
+        max_range: u64,
+    },
+    /// A wall-clock profiling span.
+    Span {
+        /// Which phase the span timed.
+        kind: SpanKind,
+        /// Span length in nanoseconds.
+        nanos: u64,
+    },
+}
+
+impl Event {
+    /// Stable lower-snake discriminant name (the JSONL `"event"` field).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::QuantumReport { .. } => "quantum_report",
+            Event::WatchdogTrip { .. } => "watchdog_trip",
+            Event::Degradation { .. } => "degradation",
+            Event::NocWindow { .. } => "noc_window",
+            Event::EngineBatch { .. } => "engine_batch",
+            Event::Span { .. } => "span",
+        }
+    }
+
+    /// Renders the event as one JSON object (the JSONL line format; see
+    /// DESIGN.md "Observability" for the schema).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new(self.kind_name());
+        match self {
+            Event::QuantumReport {
+                window,
+                boundary,
+                predicted,
+                measured,
+                drift,
+                samples,
+                quantum_before,
+                quantum_after,
+            } => {
+                w.int("window", *window);
+                w.int("boundary", *boundary);
+                w.num("predicted", *predicted);
+                w.num("measured", *measured);
+                w.num("drift", *drift);
+                w.int("samples", *samples);
+                w.int("quantum_before", *quantum_before);
+                w.int("quantum_after", *quantum_after);
+            }
+            Event::WatchdogTrip { cycle, cause } => {
+                w.int("cycle", *cycle);
+                w.str("cause", cause);
+            }
+            Event::Degradation { cycle, from, to } => {
+                w.int("cycle", *cycle);
+                w.str("from", from.name());
+                w.str("to", to.name());
+            }
+            Event::NocWindow {
+                from_cycle,
+                to_cycle,
+                router_steps,
+                fast_forwarded,
+                flits_delivered,
+                occupancy,
+                flits_dropped,
+                reroutes,
+                stall_cycles,
+            } => {
+                w.int("from_cycle", *from_cycle);
+                w.int("to_cycle", *to_cycle);
+                w.int("router_steps", *router_steps);
+                w.int("fast_forwarded", *fast_forwarded);
+                w.int("flits_delivered", *flits_delivered);
+                w.int_array("occupancy", occupancy);
+                w.int("flits_dropped", *flits_dropped);
+                w.int("reroutes", *reroutes);
+                w.int("stall_cycles", *stall_cycles);
+            }
+            Event::EngineBatch {
+                t0,
+                cycles,
+                workers,
+                barrier_wait_ns,
+                releases,
+                min_range,
+                max_range,
+            } => {
+                w.int("t0", *t0);
+                w.int("cycles", *cycles);
+                w.int("workers", *workers);
+                w.int("barrier_wait_ns", *barrier_wait_ns);
+                w.int("releases", *releases);
+                w.int("min_range", *min_range);
+                w.int("max_range", *max_range);
+            }
+            Event::Span { kind, nanos } => {
+                w.str("span", kind.name());
+                w.int("nanos", *nanos);
+            }
+        }
+        w.finish()
+    }
+}
+
+/// Minimal hand-rolled JSON object writer (the vendored `serde` stub cannot
+/// serialize, so the export format is built by hand, as in `ra-bench`).
+struct JsonWriter {
+    out: String,
+}
+
+impl JsonWriter {
+    fn new(event: &str) -> Self {
+        let mut w = JsonWriter {
+            out: String::with_capacity(128),
+        };
+        w.out.push('{');
+        w.str("event", event);
+        w
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.out.len() > 1 {
+            self.out.push(',');
+        }
+        self.out.push('"');
+        self.out.push_str(key); // keys are static identifiers, no escaping
+        self.out.push_str("\":");
+    }
+
+    fn str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.out.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn int(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+    }
+
+    fn num(&mut self, key: &str, value: f64) {
+        self.key(key);
+        if value.is_finite() {
+            self.out.push_str(&format!("{value}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    fn int_array(&mut self, key: &str, values: &[u64]) {
+        self.key(key);
+        self.out.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(&v.to_string());
+        }
+        self.out.push(']');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Consumes [`Event`]s. Implementations must be cheap per call: recorders
+/// run under the sink's lock at window/quantum/batch boundaries.
+pub trait Recorder: Send {
+    /// Records one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes any buffered output (no-op for in-memory recorders).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from streaming recorders.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards everything. The reference point for overhead measurements: an
+/// *attached* sink whose recorder does no work, proving the event plumbing
+/// itself is free of allocation and of observable effect on results.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Bounded in-memory recorder: keeps the most recent `capacity` events.
+///
+/// The buffer is allocated up front; steady-state recording of
+/// allocation-free event variants performs no heap allocation (string-
+/// carrying variants such as [`Event::WatchdogTrip`] are off the hot path
+/// by construction).
+#[derive(Debug)]
+pub struct RingRecorder {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl RingRecorder {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingRecorder {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Retained event count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded, including those evicted by the bound.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Rolls the retained [`Event::Span`]s up into a time breakdown.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        TimeBreakdown::from_events(self.events())
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&mut self, event: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event.clone());
+        self.seen += 1;
+    }
+}
+
+/// Streaming JSONL export: one JSON object per line, flushed on drop.
+pub struct JsonlRecorder<W: Write + Send> {
+    /// `None` only after [`into_inner`](JsonlRecorder::into_inner).
+    out: Option<BufWriter<W>>,
+    lines: u64,
+    /// First write error, reported once via [`Recorder::flush`].
+    error: Option<io::Error>,
+}
+
+impl JsonlRecorder<File> {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlRecorder<W> {
+    /// Streams events into `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlRecorder {
+            out: Some(BufWriter::new(writer)),
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Consumes the recorder, flushing and returning the writer.
+    ///
+    /// # Errors
+    ///
+    /// The first deferred write error, or the final flush error.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        self.out
+            .take()
+            .expect("writer present until into_inner")
+            .into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
+        let line = event.to_json();
+        if let Err(e) = out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+            return;
+        }
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        match self.out.as_mut() {
+            Some(out) => out.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlRecorder<W> {
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Cloneable handle the instrumented layers hold. Disabled by default:
+/// [`ObsSink::emit`] then costs one branch and never runs the event-
+/// construction closure, so the simulators' hot paths are untouched.
+///
+/// Clones share the recorder, so one sink threaded through the coupler,
+/// the NoC, and the engine interleaves their events into one stream.
+#[derive(Clone, Default)]
+pub struct ObsSink {
+    rec: Option<Arc<Mutex<dyn Recorder>>>,
+}
+
+impl fmt::Debug for ObsSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObsSink")
+            .field("enabled", &self.rec.is_some())
+            .finish()
+    }
+}
+
+impl ObsSink {
+    /// The zero-cost default: every emit is skipped.
+    pub fn disabled() -> Self {
+        ObsSink::default()
+    }
+
+    /// Attaches `recorder`, returning the sink plus a typed handle for
+    /// reading the recorder back after the run (the sink itself is
+    /// type-erased).
+    ///
+    /// ```
+    /// use ra_obs::{Event, ObsSink, RingRecorder, SpanKind};
+    /// let (sink, ring) = ObsSink::attach(RingRecorder::new(16));
+    /// sink.emit(|| Event::Span { kind: SpanKind::Calibrate, nanos: 5 });
+    /// assert_eq!(ring.lock().unwrap().len(), 1);
+    /// ```
+    pub fn attach<R: Recorder + 'static>(recorder: R) -> (Self, Arc<Mutex<R>>) {
+        let handle = Arc::new(Mutex::new(recorder));
+        let rec: Arc<Mutex<dyn Recorder>> = handle.clone();
+        (ObsSink { rec: Some(rec) }, handle)
+    }
+
+    /// True when a recorder is attached.
+    pub fn enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Emits the event built by `f` — *if* a recorder is attached. The
+    /// closure is the lazy-construction point: when the sink is disabled
+    /// (the default), no event is built at all.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> Event) {
+        if let Some(rec) = &self.rec {
+            let event = f();
+            // A panicked recorder poisons the lock; observability must
+            // never take the simulation down, so recover the guard.
+            let mut rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+            rec.record(&event);
+        }
+    }
+
+    /// Flushes the attached recorder (no-op when disabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the recorder's flush error.
+    pub fn flush(&self) -> io::Result<()> {
+        match &self.rec {
+            Some(rec) => rec.lock().unwrap_or_else(|e| e.into_inner()).flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// T2-style simulation-time decomposition, rolled up from [`Event::Span`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// Nanoseconds stepping the detailed cycle-level NoC.
+    pub detailed_ns: u64,
+    /// Nanoseconds measuring + re-fitting the calibrated model.
+    pub calibrate_ns: u64,
+    /// Nanoseconds in the full system and fast path (the remainder).
+    pub fullsys_ns: u64,
+}
+
+impl TimeBreakdown {
+    /// Adds one span.
+    pub fn add(&mut self, kind: SpanKind, nanos: u64) {
+        match kind {
+            SpanKind::DetailedStep => self.detailed_ns += nanos,
+            SpanKind::Calibrate => self.calibrate_ns += nanos,
+            SpanKind::FullsysStep => self.fullsys_ns += nanos,
+        }
+    }
+
+    /// Rolls up every [`Event::Span`] in `events`.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> Self {
+        let mut out = TimeBreakdown::default();
+        for event in events {
+            if let Event::Span { kind, nanos } = event {
+                out.add(*kind, *nanos);
+            }
+        }
+        out
+    }
+
+    /// Total accounted nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.detailed_ns + self.calibrate_ns + self.fullsys_ns
+    }
+
+    /// Share of the total spent in the detailed NoC (0 when empty) — the
+    /// fraction a coprocessor can attack (experiment T2).
+    pub fn detailed_share(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        self.detailed_ns as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(nanos: u64) -> Event {
+        Event::Span {
+            kind: SpanKind::DetailedStep,
+            nanos,
+        }
+    }
+
+    #[test]
+    fn disabled_sink_never_builds_events() {
+        let sink = ObsSink::disabled();
+        assert!(!sink.enabled());
+        let mut built = false;
+        sink.emit(|| {
+            built = true;
+            span(1)
+        });
+        assert!(!built, "closure must not run on a disabled sink");
+        sink.flush().unwrap();
+    }
+
+    #[test]
+    fn attached_sink_delivers_to_recorder() {
+        let (sink, ring) = ObsSink::attach(RingRecorder::new(4));
+        assert!(sink.enabled());
+        for i in 0..3 {
+            sink.emit(|| span(i));
+        }
+        let ring = ring.lock().unwrap();
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.seen(), 3);
+    }
+
+    #[test]
+    fn cloned_sinks_share_one_recorder() {
+        let (sink, ring) = ObsSink::attach(RingRecorder::new(8));
+        let clone = sink.clone();
+        sink.emit(|| span(1));
+        clone.emit(|| span(2));
+        assert_eq!(ring.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let mut ring = RingRecorder::new(3);
+        for i in 0..10 {
+            ring.record(&span(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.seen(), 10);
+        let kept: Vec<u64> = ring
+            .events()
+            .map(|e| match e {
+                Event::Span { nanos, .. } => *nanos,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn breakdown_rolls_up_spans_only() {
+        let mut ring = RingRecorder::new(16);
+        ring.record(&Event::Span {
+            kind: SpanKind::DetailedStep,
+            nanos: 100,
+        });
+        ring.record(&Event::Span {
+            kind: SpanKind::DetailedStep,
+            nanos: 50,
+        });
+        ring.record(&Event::Span {
+            kind: SpanKind::Calibrate,
+            nanos: 25,
+        });
+        ring.record(&Event::Span {
+            kind: SpanKind::FullsysStep,
+            nanos: 25,
+        });
+        ring.record(&Event::WatchdogTrip {
+            cycle: 7,
+            cause: "not a span".into(),
+        });
+        let b = ring.breakdown();
+        assert_eq!(b.detailed_ns, 150);
+        assert_eq!(b.calibrate_ns, 25);
+        assert_eq!(b.fullsys_ns, 25);
+        assert_eq!(b.total_ns(), 200);
+        assert!((b.detailed_share() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let mut rec = JsonlRecorder::new(Vec::new());
+        rec.record(&Event::QuantumReport {
+            window: 3,
+            boundary: 8000,
+            predicted: 12.5,
+            measured: 14.0,
+            drift: 1.5,
+            samples: 42,
+            quantum_before: 2000,
+            quantum_after: 1000,
+        });
+        rec.record(&Event::WatchdogTrip {
+            cycle: 9000,
+            cause: "fault: \"bad\"\nrouter".into(),
+        });
+        assert_eq!(rec.lines(), 2);
+        let bytes = rec.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"quantum_report\",\"window\":3,\"boundary\":8000,\
+             \"predicted\":12.5,\"measured\":14,\"drift\":1.5,\"samples\":42,\
+             \"quantum_before\":2000,\"quantum_after\":1000}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"watchdog_trip\",\"cycle\":9000,\
+             \"cause\":\"fault: \\\"bad\\\"\\nrouter\"}"
+        );
+    }
+
+    #[test]
+    fn every_variant_serializes_with_its_kind_name() {
+        let events = [
+            Event::QuantumReport {
+                window: 0,
+                boundary: 0,
+                predicted: 0.0,
+                measured: 0.0,
+                drift: f64::NAN,
+                samples: 0,
+                quantum_before: 1,
+                quantum_after: 1,
+            },
+            Event::WatchdogTrip {
+                cycle: 1,
+                cause: "x".into(),
+            },
+            Event::Degradation {
+                cycle: 2,
+                from: DegradationState::Healthy,
+                to: DegradationState::Degraded,
+            },
+            Event::NocWindow {
+                from_cycle: 0,
+                to_cycle: 64,
+                router_steps: 10,
+                fast_forwarded: 3,
+                flits_delivered: 5,
+                occupancy: [1, 2, 3],
+                flits_dropped: 0,
+                reroutes: 0,
+                stall_cycles: 0,
+            },
+            Event::EngineBatch {
+                t0: 0,
+                cycles: 64,
+                workers: 4,
+                barrier_wait_ns: 1000,
+                releases: 2,
+                min_range: 10,
+                max_range: 22,
+            },
+            Event::Span {
+                kind: SpanKind::FullsysStep,
+                nanos: 9,
+            },
+        ];
+        for event in &events {
+            let json = event.to_json();
+            assert!(
+                json.starts_with(&format!("{{\"event\":\"{}\"", event.kind_name())),
+                "{json}"
+            );
+            assert!(json.ends_with('}'), "{json}");
+        }
+        // NaN drift must degrade to null, and the occupancy array must be
+        // a JSON array.
+        assert!(events[0].to_json().contains("\"drift\":null"));
+        assert!(events[3].to_json().contains("\"occupancy\":[1,2,3]"));
+    }
+
+    #[test]
+    fn jsonl_file_roundtrip() {
+        let path = std::env::temp_dir().join("ra_obs_test_trace.jsonl");
+        {
+            let (sink, handle) =
+                ObsSink::attach(JsonlRecorder::create(&path).unwrap());
+            sink.emit(|| span(1));
+            sink.emit(|| span(2));
+            handle.lock().unwrap().flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -7,7 +7,7 @@
 //! cargo run --release --example design_sweep
 //! ```
 
-use reciprocal_abstraction::cosim::{run_app, ModeSpec, Target};
+use reciprocal_abstraction::cosim::{ModeSpec, RunSpec, Target};
 use reciprocal_abstraction::workloads::AppProfile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,14 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for vcs in [1u32, 2, 4, 8] {
         let mut target = Target::cmp(8, 8);
         target.noc = target.noc.with_vcs_per_vnet(vcs);
-        let r = run_app(
-            ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
-            &target,
-            &app,
-            600,
-            10_000_000,
-            3,
-        )?;
+        let r = RunSpec::new(&target, &app)
+            .mode(ModeSpec::Reciprocal { quantum: 2_000, workers: 0 })
+            .instructions(600)
+            .budget(10_000_000)
+            .seed(3)
+            .run()?;
         println!("{:>4} {:>14} {:>12.2} {:>8.2}", vcs, r.cycles, r.avg_latency(), r.ipc);
     }
     println!("\ndiminishing returns past a few VCs: the full system tells you when to stop");

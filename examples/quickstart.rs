@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use reciprocal_abstraction::cosim::{format_row, percent_error, run_app, ModeSpec, Target};
+use reciprocal_abstraction::cosim::{format_row, percent_error, ModeSpec, RunSpec, Target};
 use reciprocal_abstraction::workloads::AppProfile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,7 +15,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let instructions = 800;
     let budget = 10_000_000;
-    let truth = run_app(ModeSpec::Lockstep, &target, &app, instructions, budget, 1)?;
+    let run = |mode: ModeSpec| {
+        RunSpec::new(&target, &app)
+            .mode(mode)
+            .instructions(instructions)
+            .budget(budget)
+            .seed(1)
+            .run()
+    };
+    let truth = run(ModeSpec::Lockstep)?;
     let modes = [
         ModeSpec::Fixed(15),
         ModeSpec::Hop,
@@ -23,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     println!("{}", format_row(&truth));
     for mode in modes {
-        let r = run_app(mode, &target, &app, instructions, budget, 1)?;
+        let r = run(mode)?;
         println!(
             "{}   latency error vs truth: {:.1}%",
             format_row(&r),

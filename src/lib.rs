@@ -10,23 +10,29 @@
 //! * [`netmodel`] — abstract latency models, including the calibrated one;
 //! * [`gpu`] — data-parallel execution engine (GPU-coprocessor stand-in);
 //! * [`workloads`] — application profiles and trace record/replay;
+//! * [`obs`] — zero-cost-when-disabled observability (tracing, metrics,
+//!   profiling spans);
 //! * [`sim`] — shared primitives.
 //!
 //! # Example
 //!
 //! ```
-//! use reciprocal_abstraction::cosim::{run_app, ModeSpec, Target};
+//! use reciprocal_abstraction::cosim::{ModeSpec, RunSpec, Target};
+//! use reciprocal_abstraction::obs::{ObsSink, RingRecorder};
 //! use reciprocal_abstraction::workloads::AppProfile;
 //!
-//! let result = run_app(
-//!     ModeSpec::Reciprocal { quantum: 500, workers: 0 },
-//!     &Target::cmp(4, 4),
-//!     &AppProfile::water(),
-//!     100,
-//!     200_000,
-//!     1,
-//! )?;
+//! let target = Target::cmp(4, 4);
+//! let app = AppProfile::water();
+//! let (sink, recorder) = ObsSink::attach(RingRecorder::new(1_024));
+//! let result = RunSpec::new(&target, &app)
+//!     .mode(ModeSpec::Reciprocal { quantum: 500, workers: 0 })
+//!     .instructions(100)
+//!     .budget(200_000)
+//!     .seed(1)
+//!     .recorder(sink)
+//!     .run()?;
 //! assert!(result.cycles > 0);
+//! assert!(!recorder.lock().unwrap().is_empty(), "the run emitted events");
 //! # Ok::<(), reciprocal_abstraction::sim::SimError>(())
 //! ```
 
@@ -35,5 +41,6 @@ pub use ra_fullsys as fullsys;
 pub use ra_gpu as gpu;
 pub use ra_netmodel as netmodel;
 pub use ra_noc as noc;
+pub use ra_obs as obs;
 pub use ra_sim as sim;
 pub use ra_workloads as workloads;

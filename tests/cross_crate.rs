@@ -2,7 +2,7 @@
 //! methodology relies on.
 
 use reciprocal_abstraction::cosim::{
-    percent_error, run_app, LatencyProbe, ModeSpec, ReciprocalNetwork, Target,
+    percent_error, LatencyProbe, ModeSpec, ReciprocalNetwork, RunSpec, Target,
 };
 use reciprocal_abstraction::fullsys::{FullSysConfig, FullSystem};
 use reciprocal_abstraction::gpu::ParallelEngine;
@@ -101,17 +101,17 @@ fn cosim_results_identical_serial_vs_parallel_engine() {
 fn accuracy_ladder_holds_on_small_target() {
     let target = Target::cmp(4, 4);
     let app = AppProfile::canneal();
-    let truth = run_app(ModeSpec::Lockstep, &target, &app, 500, 5_000_000, 11).unwrap();
-    let hop = run_app(ModeSpec::Hop, &target, &app, 500, 5_000_000, 11).unwrap();
-    let recip = run_app(
-        ModeSpec::Reciprocal { quantum: 400, workers: 0 },
-        &target,
-        &app,
-        500,
-        5_000_000,
-        11,
-    )
-    .unwrap();
+    let run = |mode: ModeSpec| {
+        RunSpec::new(&target, &app)
+            .mode(mode)
+            .instructions(500)
+            .budget(5_000_000)
+            .seed(11)
+            .run()
+    };
+    let truth = run(ModeSpec::Lockstep).unwrap();
+    let hop = run(ModeSpec::Hop).unwrap();
+    let recip = run(ModeSpec::Reciprocal { quantum: 400, workers: 0 }).unwrap();
     let hop_err = percent_error(hop.avg_latency(), truth.avg_latency());
     let recip_err = percent_error(recip.avg_latency(), truth.avg_latency());
     assert!(
@@ -126,15 +126,14 @@ fn accuracy_ladder_holds_on_small_target() {
 fn end_to_end_determinism() {
     fn run() -> (u64, u64, f64) {
         let target = Target::cmp(4, 4);
-        let r = run_app(
-            ModeSpec::Reciprocal { quantum: 300, workers: 0 },
-            &target,
-            &AppProfile::fft(),
-            300,
-            5_000_000,
-            99,
-        )
-        .unwrap();
+        let app = AppProfile::fft();
+        let r = RunSpec::new(&target, &app)
+            .mode(ModeSpec::Reciprocal { quantum: 300, workers: 0 })
+            .instructions(300)
+            .budget(5_000_000)
+            .seed(99)
+            .run()
+            .unwrap();
         (r.cycles, r.messages, r.avg_latency())
     }
     assert_eq!(run(), run());
@@ -212,16 +211,16 @@ fn engine_equivalence_under_protocol_traffic() {
 fn tiny_quantum_approaches_lockstep_truth() {
     let target = Target::cmp(4, 4);
     let app = AppProfile::ocean();
-    let truth = run_app(ModeSpec::Lockstep, &target, &app, 300, 5_000_000, 8).unwrap();
-    let tight = run_app(
-        ModeSpec::Reciprocal { quantum: 50, workers: 0 },
-        &target,
-        &app,
-        300,
-        5_000_000,
-        8,
-    )
-    .unwrap();
+    let run = |mode: ModeSpec| {
+        RunSpec::new(&target, &app)
+            .mode(mode)
+            .instructions(300)
+            .budget(5_000_000)
+            .seed(8)
+            .run()
+    };
+    let truth = run(ModeSpec::Lockstep).unwrap();
+    let tight = run(ModeSpec::Reciprocal { quantum: 50, workers: 0 }).unwrap();
     let err = percent_error(tight.avg_latency(), truth.avg_latency());
     assert!(err < 25.0, "quantum-50 error {err:.1}% unexpectedly large");
 }

@@ -8,11 +8,15 @@
 //! equality: counters, f64 latency accumulators, tables, histograms).
 
 use proptest::prelude::*;
+use reciprocal_abstraction::cosim::{ReciprocalNetwork, Target};
+use reciprocal_abstraction::fullsys::FullSystem;
 use reciprocal_abstraction::gpu::ParallelEngine;
 use reciprocal_abstraction::noc::{
     InjectionProcess, NocConfig, NocNetwork, NocStats, TopologyKind, TrafficGen, TrafficPattern,
 };
+use reciprocal_abstraction::obs::{NullRecorder, ObsSink, RingRecorder};
 use reciprocal_abstraction::sim::{Cycle, Network};
+use reciprocal_abstraction::workloads::{AppProfile, AppWorkload};
 
 /// Node-grid shape shared by all cases: 8x4 works for the mesh, the torus,
 /// and a concentration-2 CMesh alike.
@@ -89,6 +93,93 @@ fn engine_matrix_is_bit_identical_to_serial_reference() {
             }
         }
     }
+}
+
+/// Runs the fixed schedule with an observability sink attached to both the
+/// network and the engine. Recording must be a pure observer: whatever the
+/// sink does with events, the simulated statistics cannot move.
+fn run_observed(sink: ObsSink, workers: Option<usize>) -> NocStats {
+    let mut net = NocNetwork::new(config(TopologyKind::Mesh, 5, true)).unwrap();
+    net.set_sink(sink.clone());
+    let mut gen = TrafficGen::new(
+        COLS,
+        ROWS,
+        TrafficPattern::Uniform,
+        InjectionProcess::Bernoulli { rate: 0.03 },
+        5,
+    );
+    let mut engine = workers.map(ParallelEngine::new);
+    if let Some(e) = engine.as_mut() {
+        e.set_sink(sink);
+    }
+    for now in 0..ACTIVE {
+        gen.inject_cycle(&mut net, Cycle(now));
+        match engine.as_mut() {
+            Some(e) => e.run_cycle(&mut net).unwrap(),
+            None => net.tick(Cycle(now)),
+        }
+    }
+    match engine.as_mut() {
+        Some(e) => e.run_cycles(&mut net, TOTAL - ACTIVE).unwrap(),
+        None => net.tick(Cycle(TOTAL - 1)),
+    }
+    net.stats().clone()
+}
+
+/// Attaching a recorder — null or ring — must leave NocStats bit-identical
+/// to the unobserved run, on both the serial and the parallel engine.
+#[test]
+fn recorders_never_perturb_noc_results() {
+    for workers in [None, Some(2)] {
+        let unobserved = run_observed(ObsSink::disabled(), workers);
+        assert!(unobserved.delivered > 0, "sterile case: workers {workers:?}");
+
+        let (null_sink, _null) = ObsSink::attach(NullRecorder);
+        assert_eq!(
+            unobserved,
+            run_observed(null_sink, workers),
+            "NullRecorder perturbed results (workers {workers:?})"
+        );
+
+        let (ring_sink, ring) = ObsSink::attach(RingRecorder::new(4_096));
+        assert_eq!(
+            unobserved,
+            run_observed(ring_sink, workers),
+            "RingRecorder perturbed results (workers {workers:?})"
+        );
+        // The parallel engine emits per-batch events; the observed run must
+        // actually have been observed for the equality above to mean much.
+        if workers.is_some() {
+            assert!(
+                !ring.lock().unwrap().is_empty(),
+                "engine run recorded no events"
+            );
+        }
+    }
+}
+
+/// Same invariant at the co-simulation level: a full reciprocal run with a
+/// RingRecorder wired through coupler, NoC, and engine must reproduce the
+/// unobserved run exactly — cycles, messages, and the detailed NocStats.
+#[test]
+fn observed_cosim_run_is_bit_identical() {
+    fn run(sink: ObsSink) -> (u64, u64, NocStats) {
+        let target = Target::cmp(4, 4);
+        let coupler = ReciprocalNetwork::new(target.noc.clone(), 400, 0)
+            .unwrap()
+            .with_sink(sink);
+        let workload = AppWorkload::new(AppProfile::radix(), 16, 9);
+        let mut sys = FullSystem::new(target.fullsys.clone(), coupler, workload).unwrap();
+        let cycles = sys.run_until_instructions(400, 5_000_000).unwrap();
+        let messages = sys.stats().total_messages();
+        (cycles, messages, sys.into_network().detailed().stats().clone())
+    }
+    let unobserved = run(ObsSink::disabled());
+    let (ring_sink, ring) = ObsSink::attach(RingRecorder::new(4_096));
+    let observed = run(ring_sink);
+    assert_eq!(unobserved, observed);
+    let ring = ring.lock().unwrap();
+    assert!(ring.seen() > 0, "co-sim run recorded no events");
 }
 
 proptest! {

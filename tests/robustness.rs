@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use reciprocal_abstraction::cosim::{
-    run_app, run_app_reciprocal, FallbackPolicy, ModeSpec, ReciprocalNetwork, Target,
+    FallbackPolicy, ModeSpec, ReciprocalNetwork, RunSpec, Target,
 };
 use reciprocal_abstraction::fullsys::{FullSysConfig, FullSystem, Op, ScriptedWorkload};
 use reciprocal_abstraction::noc::{FaultPlan, NocConfig, NocNetwork};
@@ -121,7 +121,7 @@ proptest! {
         if stats.watchdog_trips > 0 {
             prop_assert!(stats.quanta_degraded > 0,
                 "a tripped run must report degraded quanta: {stats:?}");
-            prop_assert!(stats.last_trip.is_some());
+            prop_assert!(stats.last_trip().is_some());
         }
         // The detailed NoC (whatever state it is in) still balances.
         let noc = coupler.detailed();
@@ -154,12 +154,24 @@ proptest! {
 fn permanent_fault_degrades_gracefully_within_latency_bound() {
     let app = AppProfile::water();
     let healthy = Target::cmp(4, 4);
-    let baseline = run_app(ModeSpec::Hop, &healthy, &app, 300, 1_000_000, 1).unwrap();
+    let baseline = RunSpec::new(&healthy, &app)
+        .mode(ModeSpec::Hop)
+        .instructions(300)
+        .budget(1_000_000)
+        .seed(1)
+        .run()
+        .unwrap();
 
     let mut faulty = Target::cmp(4, 4);
     faulty.noc = faulty.noc.with_faults(FaultPlan::new().isolate_router(5, 0));
-    let (result, coupler) =
-        run_app_reciprocal(&faulty, &app, 300, 1_000_000, 1, 200, 0).unwrap();
+    let result = RunSpec::new(&faulty, &app)
+        .mode(ModeSpec::Reciprocal { quantum: 200, workers: 0 })
+        .instructions(300)
+        .budget(1_000_000)
+        .seed(1)
+        .run()
+        .unwrap();
+    let coupler = result.coupler.clone().expect("reciprocal run reports coupler stats");
 
     assert!(result.cycles > 0);
     assert!(
@@ -186,8 +198,15 @@ fn stalled_router_run_completes_via_fallback() {
     target.noc = target
         .noc
         .with_faults(FaultPlan::new().stall_router(5, 0, 1_500));
-    let (result, coupler) =
-        run_app_reciprocal(&target, &app_heavy(), 300, 2_000_000, 2, 200, 0).unwrap();
+    let app = app_heavy();
+    let result = RunSpec::new(&target, &app)
+        .mode(ModeSpec::Reciprocal { quantum: 200, workers: 0 })
+        .instructions(300)
+        .budget(2_000_000)
+        .seed(2)
+        .run()
+        .unwrap();
+    let coupler = result.coupler.clone().expect("reciprocal run reports coupler stats");
     assert!(result.cycles > 0);
     assert!(
         coupler.watchdog_trips > 0 || coupler.calibrations > 0,
