@@ -34,6 +34,28 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// Nearest-rank percentile of an unsorted sample (0 if empty).
+///
+/// `p` is in percent: `percentile(&xs, 50.0)` is the median,
+/// `percentile(&xs, 99.0)` the tail the serving experiments report.
+///
+/// # Example
+///
+/// ```
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(ra_bench::percentile(&xs, 50.0), 2.0);
+/// assert_eq!(ra_bench::percentile(&xs, 100.0), 4.0);
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Prints a figure/table banner.
 pub fn banner(id: &str, title: &str) {
     println!("================================================================");
@@ -324,6 +346,21 @@ mod tests {
     fn mean_handles_empty() {
         assert_eq!(mean(&[]), 0.0);
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 95.0), 95.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0, "p0 clamps to the minimum");
+        // Order must not matter.
+        let mut rev = xs.clone();
+        rev.reverse();
+        assert_eq!(percentile(&rev, 95.0), 95.0);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ra_fullsys::FullSystem;
@@ -206,9 +208,8 @@ pub fn percent_error(value: f64, truth: f64) -> f64 {
 
 /// A single simulation run, declaratively configured.
 ///
-/// Replaces the positional-argument drivers (`run_app`,
-/// `run_app_reciprocal`) with a builder: name the target and workload,
-/// override only what differs from the defaults, and `run()`.
+/// A builder: name the target and workload, override only what differs
+/// from the defaults, and `run()`.
 ///
 /// ```
 /// use ra_cosim::{ModeSpec, RunSpec, Target};
@@ -239,6 +240,7 @@ pub struct RunSpec<'a> {
     budget: u64,
     seed: u64,
     sink: ObsSink,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<'a> RunSpec<'a> {
@@ -252,6 +254,7 @@ impl<'a> RunSpec<'a> {
             budget: 10_000_000,
             seed: 42,
             sink: ObsSink::disabled(),
+            cancel: None,
         }
     }
 
@@ -287,6 +290,16 @@ impl<'a> RunSpec<'a> {
         self
     }
 
+    /// Arms a cooperative cancellation flag: another thread setting it
+    /// makes the run return [`SimError::Cancelled`] at the next poll
+    /// boundary of the full system's run-loop watchdog. The job service
+    /// uses this to cancel in-flight simulations without tearing down
+    /// worker threads. Default: not cancellable.
+    pub fn cancel_flag(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// Executes the run.
     ///
     /// # Errors
@@ -311,6 +324,9 @@ impl<'a> RunSpec<'a> {
         let workload = AppWorkload::new(self.app.clone(), self.target.cores(), self.seed);
         let mut sys = FullSystem::new(self.target.fullsys.clone(), net, workload)
             .map_err(SimError::Config)?;
+        if let Some(cancel) = &self.cancel {
+            sys.set_halt_flag(cancel.clone());
+        }
         let start = Instant::now();
         let cycles = sys.run_until_instructions(self.instructions, self.budget)?;
         let wall = start.elapsed();
@@ -353,6 +369,9 @@ impl<'a> RunSpec<'a> {
         let workload = AppWorkload::new(self.app.clone(), self.target.cores(), self.seed);
         let mut sys = FullSystem::new(self.target.fullsys.clone(), net, workload)
             .map_err(SimError::Config)?;
+        if let Some(cancel) = &self.cancel {
+            sys.set_halt_flag(cancel.clone());
+        }
         let start = Instant::now();
         let cycles = sys.run_until_instructions(self.instructions, self.budget)?;
         let wall = start.elapsed();
@@ -381,36 +400,6 @@ impl<'a> RunSpec<'a> {
             coupler: None,
         })
     }
-}
-
-/// A reciprocal run plus the coupler's internals (time decomposition for
-/// the coprocessor experiments).
-///
-/// # Errors
-///
-/// Same failure modes as [`RunSpec::run`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunSpec::new(target, app).mode(ModeSpec::Reciprocal { .. }).run(); \
-            the coupler stats are in RunResult::coupler"
-)]
-pub fn run_app_reciprocal(
-    target: &Target,
-    app: &ra_workloads::AppProfile,
-    instructions: u64,
-    budget: u64,
-    seed: u64,
-    quantum: u64,
-    workers: usize,
-) -> Result<(RunResult, crate::reciprocal::CouplerStats), SimError> {
-    let result = RunSpec::new(target, app)
-        .mode(ModeSpec::Reciprocal { quantum, workers })
-        .instructions(instructions)
-        .budget(budget)
-        .seed(seed)
-        .run()?;
-    let stats = result.coupler.clone().unwrap_or_default();
-    Ok((result, stats))
 }
 
 /// Builds the network for a mode over a target. Lockstep mode attaches
@@ -448,33 +437,6 @@ fn build_network(
             Box::new(net)
         }
     })
-}
-
-/// Runs `app` on `target` under `mode` until every core retires
-/// `instructions` instructions.
-///
-/// # Errors
-///
-/// Propagates configuration errors and the full system's timeout/deadlock
-/// watchdogs (`budget` caps the run length in cycles).
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunSpec::new(target, app).mode(mode).instructions(n).budget(n).seed(n).run()"
-)]
-pub fn run_app(
-    mode: ModeSpec,
-    target: &Target,
-    app: &AppProfile,
-    instructions: u64,
-    budget: u64,
-    seed: u64,
-) -> Result<RunResult, SimError> {
-    RunSpec::new(target, app)
-        .mode(mode)
-        .instructions(instructions)
-        .budget(budget)
-        .seed(seed)
-        .run()
 }
 
 /// Formats a row of the standard report table.
@@ -616,24 +578,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_run_spec() {
+    fn cancel_flag_stops_a_run_spec_mid_flight() {
+        use std::sync::atomic::Ordering;
+
         let target = small_target();
-        let app = AppProfile::water();
-        let via_spec = RunSpec::new(&target, &app)
+        let app = AppProfile::ocean();
+        let cancel = Arc::new(AtomicBool::new(false));
+        cancel.store(true, Ordering::Relaxed);
+        let err = RunSpec::new(&target, &app)
             .mode(ModeSpec::Hop)
-            .instructions(300)
-            .budget(500_000)
+            .instructions(1_000_000)
+            .budget(1_000_000_000)
             .seed(1)
+            .cancel_flag(cancel)
             .run()
-            .unwrap();
-        let via_shim = run_app(ModeSpec::Hop, &target, &app, 300, 500_000, 1).unwrap();
-        assert_eq!(via_spec.cycles, via_shim.cycles);
-        assert_eq!(via_spec.messages, via_shim.messages);
-        let (result, stats) =
-            run_app_reciprocal(&target, &app, 300, 500_000, 1, 200, 0).unwrap();
-        assert_eq!(result.calibrations, stats.calibrations);
-        assert!(stats.calibrations > 0);
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::Cancelled { .. }),
+            "expected Cancelled, got {err:?}"
+        );
     }
 
     #[test]

@@ -43,8 +43,6 @@ pub mod record;
 pub mod reciprocal;
 pub mod target;
 
-#[allow(deprecated)]
-pub use driver::{run_app, run_app_reciprocal};
 pub use driver::{format_row, percent_error, ModeSpec, ParseModeError, RunResult, RunSpec};
 pub use probe::LatencyProbe;
 pub use record::{replay_into, RecordedMessage, TrafficRecord};

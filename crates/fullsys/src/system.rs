@@ -1,6 +1,8 @@
 //! The assembled full system, generic over the network implementation.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use ra_sim::{Cycle, NetMessage, Network, NodeId, SimError};
 
@@ -12,6 +14,11 @@ use crate::workload::Workload;
 
 /// Cycles without any instruction progress before the watchdog gives up.
 const WATCHDOG_CYCLES: u64 = 500_000;
+
+/// How often (in cycles) [`FullSystem::run_until_instructions`] polls the
+/// external halt flag. A power of two so the check is a mask, not a
+/// division; coarse enough that the atomic load stays off the hot path.
+const HALT_POLL_MASK: u64 = 0x1FF;
 
 /// The coarse-grain full-system simulator: a grid of tiles exchanging
 /// coherence-protocol messages over any [`Network`] implementation.
@@ -51,6 +58,9 @@ pub struct FullSystem<N, W> {
     next_msg_id: u64,
     out: Vec<OutMsg>,
     stats: FullSysStats,
+    /// External stop request, polled by the run-loop watchdog (see
+    /// [`FullSystem::set_halt_flag`]). `None` costs nothing.
+    halt: Option<Arc<AtomicBool>>,
 }
 
 impl<N: Network, W: Workload> FullSystem<N, W> {
@@ -72,7 +82,18 @@ impl<N: Network, W: Workload> FullSystem<N, W> {
             next_msg_id: 0,
             out: Vec::new(),
             stats: FullSysStats::default(),
+            halt: None,
         })
+    }
+
+    /// Arms an external halt flag: while `run_until_instructions` is
+    /// driving the system, another thread setting the flag makes the run
+    /// return [`SimError::Cancelled`] at the next poll boundary (within
+    /// [`HALT_POLL_MASK`] + 1 cycles). This is the cancellation hook the
+    /// job service uses; it shares the run loop's existing watchdog
+    /// plumbing rather than tearing threads down.
+    pub fn set_halt_flag(&mut self, halt: Arc<AtomicBool>) {
+        self.halt = Some(halt);
     }
 
     /// The configuration in use.
@@ -203,6 +224,13 @@ impl<N: Network, W: Workload> FullSystem<N, W> {
                     waiting_for: format!("{per_core} instructions per core"),
                 });
             }
+            if self.now & HALT_POLL_MASK == 0 {
+                if let Some(halt) = &self.halt {
+                    if halt.load(Ordering::Relaxed) {
+                        return Err(SimError::Cancelled { at_cycle: self.now });
+                    }
+                }
+            }
             let instr = self.instructions();
             if instr > last_progress.1 {
                 last_progress = (self.now, instr);
@@ -247,6 +275,38 @@ mod tests {
         assert!(stats.tiles.instructions >= 200 * 16);
         assert!(stats.total_messages() > 0, "misses must generate traffic");
         assert!(stats.tiles.miss_latency.count() > 0);
+    }
+
+    #[test]
+    fn pre_set_halt_flag_cancels_the_run_promptly() {
+        let cfg = FullSysConfig::new(4, 4);
+        let net = hop_net(&cfg);
+        let w = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 1);
+        let mut sys = FullSystem::new(cfg, net, w).unwrap();
+        let halt = Arc::new(AtomicBool::new(true));
+        sys.set_halt_flag(halt);
+        match sys.run_until_instructions(1_000_000, 10_000_000) {
+            Err(SimError::Cancelled { at_cycle }) => {
+                assert!(at_cycle <= HALT_POLL_MASK + 1, "must stop at first poll");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unarmed_halt_flag_changes_nothing() {
+        let cfg = FullSysConfig::new(4, 4);
+        let run = |armed: bool| {
+            let cfg = cfg.clone();
+            let net = hop_net(&cfg);
+            let w = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 1);
+            let mut sys = FullSystem::new(cfg, net, w).unwrap();
+            if armed {
+                sys.set_halt_flag(Arc::new(AtomicBool::new(false)));
+            }
+            sys.run_until_instructions(100, 200_000).unwrap()
+        };
+        assert_eq!(run(false), run(true), "an unset flag must not perturb");
     }
 
     #[test]

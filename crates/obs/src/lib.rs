@@ -17,7 +17,11 @@
 //!   job (worker range cuts, barrier wait, batch size);
 //! * wall-clock [`Event::Span`]s (`detailed_step` / `calibrate` /
 //!   `fullsys_step`) roll up into the T2-style simulation-time breakdown
-//!   via [`TimeBreakdown`].
+//!   via [`TimeBreakdown`];
+//! * the **job service** (`ra-serve`) emits per-job lifecycle events —
+//!   [`Event::JobAdmitted`], [`Event::JobRejected`] (the backpressure
+//!   signal), [`Event::CacheHit`], [`Event::JobDone`] — at job
+//!   granularity, orders of magnitude rarer than even window events.
 //!
 //! # The cost model
 //!
@@ -184,6 +188,41 @@ pub enum Event {
         /// Span length in nanoseconds.
         nanos: u64,
     },
+    /// The job service admitted a simulation job to its run queue.
+    JobAdmitted {
+        /// Canonical job-spec content hash (the cache key).
+        job: u64,
+        /// Queue depth after admission.
+        queue_depth: u64,
+        /// Scheduling priority (higher runs first).
+        priority: u64,
+    },
+    /// The job service refused a submission — the explicit backpressure
+    /// signal (`Rejected::QueueFull` on the API, `"queue_full"` on the
+    /// wire).
+    JobRejected {
+        /// Canonical job-spec content hash of the refused job.
+        job: u64,
+        /// Queue depth at the time of refusal (the configured bound).
+        queue_depth: u64,
+    },
+    /// A submission was answered from the memoized result store without
+    /// re-running the co-simulation.
+    CacheHit {
+        /// Canonical job-spec content hash (the cache key).
+        job: u64,
+    },
+    /// A job reached a terminal state.
+    JobDone {
+        /// Canonical job-spec content hash.
+        job: u64,
+        /// Terminal outcome: `ok`, `failed`, `cancelled`, or `expired`.
+        outcome: String,
+        /// Nanoseconds spent queued before a worker picked the job up.
+        queue_ns: u64,
+        /// Nanoseconds spent running the co-simulation (0 if never run).
+        run_ns: u64,
+    },
 }
 
 impl Event {
@@ -196,6 +235,10 @@ impl Event {
             Event::NocWindow { .. } => "noc_window",
             Event::EngineBatch { .. } => "engine_batch",
             Event::Span { .. } => "span",
+            Event::JobAdmitted { .. } => "job_admitted",
+            Event::JobRejected { .. } => "job_rejected",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::JobDone { .. } => "job_done",
         }
     }
 
@@ -274,6 +317,33 @@ impl Event {
                 w.str("span", kind.name());
                 w.int("nanos", *nanos);
             }
+            Event::JobAdmitted {
+                job,
+                queue_depth,
+                priority,
+            } => {
+                w.hex("job", *job);
+                w.int("queue_depth", *queue_depth);
+                w.int("priority", *priority);
+            }
+            Event::JobRejected { job, queue_depth } => {
+                w.hex("job", *job);
+                w.int("queue_depth", *queue_depth);
+            }
+            Event::CacheHit { job } => {
+                w.hex("job", *job);
+            }
+            Event::JobDone {
+                job,
+                outcome,
+                queue_ns,
+                run_ns,
+            } => {
+                w.hex("job", *job);
+                w.str("outcome", outcome);
+                w.int("queue_ns", *queue_ns);
+                w.int("run_ns", *run_ns);
+            }
         }
         w.finish()
     }
@@ -326,6 +396,15 @@ impl JsonWriter {
     fn int(&mut self, key: &str, value: u64) {
         self.key(key);
         self.out.push_str(&value.to_string());
+    }
+
+    /// Writes a u64 as a zero-padded 16-digit hex *string* (job content
+    /// hashes: a JSON number would lose precision past 2^53).
+    fn hex(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.out.push('"');
+        self.out.push_str(&format!("{value:016x}"));
+        self.out.push('"');
     }
 
     fn num(&mut self, key: &str, value: f64) {
@@ -827,6 +906,22 @@ mod tests {
                 kind: SpanKind::FullsysStep,
                 nanos: 9,
             },
+            Event::JobAdmitted {
+                job: 0xDEAD_BEEF,
+                queue_depth: 3,
+                priority: 1,
+            },
+            Event::JobRejected {
+                job: 0xDEAD_BEEF,
+                queue_depth: 64,
+            },
+            Event::CacheHit { job: 0xDEAD_BEEF },
+            Event::JobDone {
+                job: 0xDEAD_BEEF,
+                outcome: "ok".into(),
+                queue_ns: 1_000,
+                run_ns: 2_000,
+            },
         ];
         for event in &events {
             let json = event.to_json();
@@ -840,6 +935,9 @@ mod tests {
         // a JSON array.
         assert!(events[0].to_json().contains("\"drift\":null"));
         assert!(events[3].to_json().contains("\"occupancy\":[1,2,3]"));
+        // Job hashes export as 16-digit hex strings, not JSON numbers
+        // (precision past 2^53 must survive a JS JSON parser).
+        assert!(events[6].to_json().contains("\"job\":\"00000000deadbeef\""));
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! `ra-loadgen` — mixed open-loop load generator for `ra-serve`.
+//!
+//! ```text
+//! ra-loadgen --addr 127.0.0.1:7743 [--jobs 64] [--workers 4]
+//!            [--distinct 8] [--spec "target=2x2 app=water ..."]
+//!            [--timeout-ms 120000]
+//! ```
+//!
+//! Drives the server with `--jobs` submissions spread round-robin over
+//! `--workers` persistent connections. The stream cycles through
+//! `--distinct` seed variants of the base `--spec` and through the three
+//! priorities, so it exercises coalescing, caching, and priority
+//! ordering at once. Submission is *open-loop*: each connection fires
+//! all of its submits back-to-back, then collects results.
+//!
+//! The report (stable, CI-greppable):
+//!
+//! ```text
+//! dispositions: enqueued=8 coalesced=40 cached=16 rejected=0 rejected_without_signal=0
+//! outcomes: completed=8 cached=56 failed=0 cancelled=0 expired=0
+//! latency ms: p50=1.2 p95=9.8 p99=14.0 mean=3.4
+//! throughput: 410.3 jobs/s over 0.16 s
+//! server cache: ... hit_ratio=0.875 memo_ratio=0.875
+//! ```
+//!
+//! `rejected_without_signal` counts submissions the server turned away
+//! *without* the explicit `queue_full` backpressure signal — always 0
+//! for a well-behaved server, and CI asserts exactly that.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ra_bench::percentile;
+use ra_serve::{Json, WireClient};
+
+struct Args {
+    addr: String,
+    jobs: usize,
+    workers: usize,
+    distinct: usize,
+    spec: String,
+    timeout_ms: u64,
+}
+
+const USAGE: &str = "usage: ra-loadgen --addr HOST:PORT [--jobs N] [--workers N] \
+                     [--distinct N] [--spec SPEC] [--timeout-ms N]";
+
+const PRIORITIES: [&str; 3] = ["low", "normal", "high"];
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        jobs: 64,
+        workers: 4,
+        distinct: 8,
+        spec: "target=2x2 app=water mode=fixed:10 instructions=50 budget=200000".to_owned(),
+        timeout_ms: 120_000,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--jobs" => args.jobs = parse_num(&value("--jobs")?, "--jobs")?,
+            "--workers" => args.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--distinct" => args.distinct = parse_num(&value("--distinct")?, "--distinct")?,
+            "--spec" => args.spec = value("--spec")?,
+            "--timeout-ms" => {
+                args.timeout_ms = parse_num(&value("--timeout-ms")?, "--timeout-ms")? as u64;
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive integer, got `{text}`"))
+}
+
+/// What one connection observed.
+#[derive(Default)]
+struct Tally {
+    enqueued: u64,
+    coalesced: u64,
+    cached_submit: u64,
+    rejected: u64,
+    rejected_without_signal: u64,
+    completed: u64,
+    cached_outcome: u64,
+    failed: u64,
+    cancelled: u64,
+    expired: u64,
+    transport_errors: u64,
+    /// Client-observed submit -> result wall latency, milliseconds.
+    latency_ms: Vec<f64>,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.enqueued += other.enqueued;
+        self.coalesced += other.coalesced;
+        self.cached_submit += other.cached_submit;
+        self.rejected += other.rejected;
+        self.rejected_without_signal += other.rejected_without_signal;
+        self.completed += other.completed;
+        self.cached_outcome += other.cached_outcome;
+        self.failed += other.failed;
+        self.cancelled += other.cancelled;
+        self.expired += other.expired;
+        self.transport_errors += other.transport_errors;
+        self.latency_ms.extend(other.latency_ms);
+    }
+}
+
+fn drive_connection(args: &Args, jobs: &[usize]) -> Tally {
+    let mut tally = Tally::default();
+    let mut client = match WireClient::connect(args.addr.as_str()) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("ra-loadgen: connect {}: {err}", args.addr);
+            tally.transport_errors += 1;
+            return tally;
+        }
+    };
+    // Open-loop phase: all submits back-to-back.
+    let mut pending: Vec<(u64, Instant)> = Vec::with_capacity(jobs.len());
+    for &job in jobs {
+        let spec = format!("{} seed={}", args.spec, job % args.distinct);
+        let priority = PRIORITIES[job % PRIORITIES.len()];
+        let submitted = Instant::now();
+        let response = match client.submit(&spec, Some(priority), None) {
+            Ok(response) => response,
+            Err(err) => {
+                eprintln!("ra-loadgen: submit: {err}");
+                tally.transport_errors += 1;
+                continue;
+            }
+        };
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            match response.get("disposition").and_then(Json::as_str) {
+                Some("enqueued") => tally.enqueued += 1,
+                Some("coalesced") => tally.coalesced += 1,
+                Some("cached") => tally.cached_submit += 1,
+                other => {
+                    eprintln!("ra-loadgen: odd disposition {other:?}");
+                    tally.transport_errors += 1;
+                }
+            }
+            match response.get("ticket").and_then(Json::as_u64) {
+                Some(ticket) => pending.push((ticket, submitted)),
+                None => tally.transport_errors += 1,
+            }
+        } else {
+            tally.rejected += 1;
+            let signalled = response.get("error").and_then(Json::as_str) == Some("queue_full")
+                && response.get("retryable").and_then(Json::as_bool) == Some(true)
+                && response.get("depth").and_then(Json::as_u64).is_some();
+            if !signalled {
+                tally.rejected_without_signal += 1;
+            }
+        }
+    }
+    // Collection phase.
+    for (ticket, submitted) in pending {
+        let response = match client.result(ticket, Some(args.timeout_ms)) {
+            Ok(response) => response,
+            Err(err) => {
+                eprintln!("ra-loadgen: result: {err}");
+                tally.transport_errors += 1;
+                continue;
+            }
+        };
+        match response.get("outcome").and_then(Json::as_str) {
+            Some("completed") => tally.completed += 1,
+            Some("cached") => tally.cached_outcome += 1,
+            Some("failed") => tally.failed += 1,
+            Some("cancelled") => tally.cancelled += 1,
+            Some("deadline_expired") => tally.expired += 1,
+            _ => {
+                eprintln!(
+                    "ra-loadgen: no outcome for ticket {ticket}: {:?}",
+                    response.get("error").and_then(Json::as_str)
+                );
+                tally.transport_errors += 1;
+                continue;
+            }
+        }
+        tally.latency_ms.push(submitted.elapsed().as_secs_f64() * 1e3);
+    }
+    tally
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "loadgen: {} jobs, {} connections, {} distinct specs -> {}",
+        args.jobs, args.workers, args.distinct, args.addr
+    );
+    let started = Instant::now();
+    let slices: Vec<Vec<usize>> = (0..args.workers)
+        .map(|w| (w..args.jobs).step_by(args.workers).collect())
+        .collect();
+    let mut total = Tally::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .iter()
+            .map(|jobs| scope.spawn(|| drive_connection(&args, jobs)))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(tally) => total.absorb(tally),
+                Err(_) => total.transport_errors += 1,
+            }
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    println!(
+        "dispositions: enqueued={} coalesced={} cached={} rejected={} rejected_without_signal={}",
+        total.enqueued,
+        total.coalesced,
+        total.cached_submit,
+        total.rejected,
+        total.rejected_without_signal
+    );
+    println!(
+        "outcomes: completed={} cached={} failed={} cancelled={} expired={}",
+        total.completed, total.cached_outcome, total.failed, total.cancelled, total.expired
+    );
+    let mean = if total.latency_ms.is_empty() {
+        0.0
+    } else {
+        total.latency_ms.iter().sum::<f64>() / total.latency_ms.len() as f64
+    };
+    println!(
+        "latency ms: p50={:.2} p95={:.2} p99={:.2} mean={:.2}",
+        percentile(&total.latency_ms, 50.0),
+        percentile(&total.latency_ms, 95.0),
+        percentile(&total.latency_ms, 99.0),
+        mean
+    );
+    let finished = total.completed + total.cached_outcome;
+    println!(
+        "throughput: {:.1} jobs/s over {:.2} s",
+        if elapsed > 0.0 { finished as f64 / elapsed } else { 0.0 },
+        elapsed
+    );
+
+    match WireClient::connect(args.addr.as_str()).and_then(|mut c| c.stats()) {
+        Ok(stats) => {
+            let num = |key: &str| stats.get(key).and_then(Json::as_u64).unwrap_or(0);
+            let ratio = |key: &str| stats.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+            println!(
+                "server cache: store_hits={} store_misses={} insertions={} evictions={} \
+                 hit_ratio={:.3} memo_ratio={:.3}",
+                num("store_hits"),
+                num("store_misses"),
+                num("insertions"),
+                num("evictions"),
+                ratio("hit_ratio"),
+                ratio("memo_ratio")
+            );
+        }
+        Err(err) => {
+            eprintln!("ra-loadgen: stats: {err}");
+            total.transport_errors += 1;
+        }
+    }
+
+    if total.transport_errors > 0 || total.rejected_without_signal > 0 || total.failed > 0 {
+        eprintln!(
+            "ra-loadgen: FAILED (transport_errors={}, rejected_without_signal={}, failed={})",
+            total.transport_errors, total.rejected_without_signal, total.failed
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

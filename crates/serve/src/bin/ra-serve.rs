@@ -1,0 +1,129 @@
+//! `ra-serve` — the simulation-job server.
+//!
+//! ```text
+//! ra-serve [--addr 127.0.0.1:7743] [--workers 2] [--queue 64]
+//!          [--cache 256] [--shards 8] [--spill results.jsonl]
+//!          [--trace trace.jsonl]
+//! ```
+//!
+//! Binds a line-JSON TCP endpoint (see `ra_serve::wire` for the
+//! protocol), prints `listening on <addr>` once ready — scripts and CI
+//! wait for that line — and serves until killed. `--spill` appends one
+//! JSON line per completed result; `--trace` streams the full service +
+//! simulation event stream (admissions, rejections, cache hits, run
+//! spans) as JSONL.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ra_obs::{JsonlRecorder, ObsSink};
+use ra_serve::{JobService, ServeConfig, WireServer};
+
+struct Args {
+    addr: String,
+    config: ServeConfig,
+    trace: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: ra-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--cache N] [--shards N] [--spill FILE] [--trace FILE]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7743".to_owned(),
+        config: ServeConfig::default(),
+        trace: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.config.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--queue" => {
+                args.config.queue_capacity = parse_num(&value("--queue")?, "--queue")?;
+            }
+            "--cache" => {
+                args.config.cache_capacity = parse_num(&value("--cache")?, "--cache")?;
+            }
+            "--shards" => {
+                args.config.cache_shards = parse_num(&value("--shards")?, "--shards")?;
+            }
+            "--spill" => args.config.spill = Some(PathBuf::from(value("--spill")?)),
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive integer, got `{text}`"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = match &args.trace {
+        None => ObsSink::disabled(),
+        Some(path) => match JsonlRecorder::create(path) {
+            Ok(recorder) => ObsSink::attach(recorder).0,
+            Err(err) => {
+                eprintln!("ra-serve: cannot create trace file {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let service = match JobService::start(args.config.clone(), obs) {
+        Ok(service) => service,
+        Err(err) => {
+            eprintln!("ra-serve: cannot start service: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match WireServer::bind(args.addr.as_str(), service) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("ra-serve: cannot bind {}: {err}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // Flushed immediately: launch scripts block on this line.
+            println!("listening on {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(err) => {
+            eprintln!("ra-serve: cannot read bound address: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "ra-serve: {} workers, queue {}, cache {} entries / {} shards",
+        args.config.workers,
+        args.config.queue_capacity,
+        args.config.cache_capacity,
+        args.config.cache_shards
+    );
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("ra-serve: accept loop failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

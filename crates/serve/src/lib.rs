@@ -1,0 +1,345 @@
+//! `ra-serve`: a concurrent simulation-job service over the reciprocal
+//! co-simulation driver.
+//!
+//! Experiment sweeps and interactive tooling hit the same small set of
+//! simulations over and over — the mode ladder on the standard targets,
+//! a handful of seeds. Running each request with a fresh [`RunSpec`] is
+//! both serial and wasteful. This crate packages the driver as a
+//! *service*:
+//!
+//! * [`JobSpec`] — an owned, canonical job description with a stable
+//!   content hash ([`JobKey`]) and text round-trip, convertible into the
+//!   borrowed [`RunSpec`];
+//! * [`ResultStore`] — sharded in-memory LRU memoization of completed
+//!   [`RunResult`]s, plus an append-only JSONL spill log;
+//! * [`JobService`] — a fixed worker pool behind a *bounded* admission
+//!   queue with explicit backpressure ([`Rejected::QueueFull`]),
+//!   priorities, queue-wait deadlines, single-flight coalescing of
+//!   identical jobs, and interest-counted cooperative cancellation
+//!   (reusing the engine's watchdog poll via
+//!   [`RunSpec::cancel_flag`](ra_cosim::RunSpec::cancel_flag));
+//! * [`wire`] — line-delimited JSON over `std::net` TCP (the `ra-serve`
+//!   server bin and the `ra-loadgen` load generator bin), no async
+//!   runtime required;
+//! * observability — service events (`job_admitted`, `job_rejected`,
+//!   `cache_hit`, `job_done`) and per-job run spans flow through the
+//!   existing [`ra_obs`] recorder taxonomy.
+//!
+//! Everything is deterministic where the simulator is: one job's result
+//! depends only on its canonical spec, never on scheduling order — the
+//! property the workspace-level determinism suite pins down.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ra_serve::{JobService, JobSpec, Priority, ServeConfig};
+//!
+//! let service = JobService::start(ServeConfig::default(), ra_obs::ObsSink::disabled())?;
+//! let spec: JobSpec = "target=2x2 app=water mode=fixed:10 instructions=20 budget=100000"
+//!     .parse()
+//!     .expect("canonical spec");
+//! let first = service.submit(spec.clone(), Priority::High, None).expect("admitted");
+//! let outcome = service.wait(first.ticket, None).expect("finishes");
+//! assert_eq!(outcome.label(), "completed");
+//!
+//! // Identical resubmission: served from the memo store, no simulation.
+//! let again = service.submit(spec, Priority::Low, None).expect("admitted");
+//! assert_eq!(again.disposition.label(), "cached");
+//! service.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! [`RunSpec`]: ra_cosim::RunSpec
+//! [`RunResult`]: ra_cosim::RunResult
+
+pub mod json;
+pub mod scheduler;
+pub mod spec;
+pub mod store;
+pub mod wire;
+
+pub use json::{Json, JsonError};
+pub use scheduler::{
+    CancelOutcome, Disposition, JobOutcome, JobService, JobStatus, Priority, Rejected,
+    ServeConfig, ServiceStats, SubmitReceipt, Ticket, WaitError,
+};
+pub use spec::{JobKey, JobSpec, SpecError};
+pub use store::{ResultStore, StoreStats};
+pub use wire::{ServerHandle, WireClient, WireServer};
+
+#[cfg(test)]
+mod service_tests {
+    use super::*;
+    use ra_obs::{Event, ObsSink, RingRecorder};
+    use std::time::{Duration, Instant};
+
+    const FAST: &str = "target=2x2 app=water mode=fixed:10 instructions=20 budget=100000";
+    /// Long enough to still be running while the test submits more work,
+    /// but bounded, and cancellable at the 512-cycle watchdog poll.
+    const SLOW: &str = "target=2x2 app=water mode=fixed:10 instructions=60000 budget=30000000";
+
+    fn service_with_ring(
+        config: ServeConfig,
+    ) -> (JobService, std::sync::Arc<std::sync::Mutex<RingRecorder>>) {
+        let (sink, ring) = ObsSink::attach(RingRecorder::new(4096));
+        let service = JobService::start(config, sink).expect("service starts");
+        (service, ring)
+    }
+
+    fn spin_until_running(service: &JobService, ticket: Ticket) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            match service.status(ticket) {
+                Some(JobStatus::Running) => return,
+                Some(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                other => panic!("job never started running: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn resubmission_is_a_cache_hit_and_skips_the_simulator() {
+        let (service, ring) = service_with_ring(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let spec: JobSpec = FAST.parse().unwrap();
+
+        let first = service.submit(spec.clone(), Priority::Normal, None).unwrap();
+        assert!(matches!(first.disposition, Disposition::Enqueued { .. }));
+        let outcome = service.wait(first.ticket, None).unwrap();
+        let JobOutcome::Completed { result, cached, .. } = outcome else {
+            panic!("first run should complete");
+        };
+        assert!(!cached);
+
+        let second = service.submit(spec, Priority::Normal, None).unwrap();
+        assert_eq!(second.disposition, Disposition::CacheHit);
+        let JobOutcome::Completed {
+            result: cached_result,
+            cached: true,
+            ..
+        } = service.wait(second.ticket, None).unwrap()
+        else {
+            panic!("resubmission should be served cached");
+        };
+        assert_eq!(cached_result.cycles, result.cycles);
+        assert_eq!(cached_result.latency, result.latency);
+
+        let stats = service.stats();
+        assert_eq!(stats.completed, 1, "exactly one simulation ran");
+        assert_eq!(stats.cache_hits, 1);
+        service.shutdown();
+
+        // The obs stream is the ground truth the tests and CI smoke use:
+        // one job_done, one cache_hit, one admission.
+        let ring = ring.lock().unwrap();
+        let events: Vec<&Event> = ring.events().collect();
+        let count = |kind: &str| events.iter().filter(|e| e.kind_name() == kind).count();
+        assert_eq!(count("job_done"), 1);
+        assert_eq!(count("cache_hit"), 1);
+        assert_eq!(count("job_admitted"), 1);
+        assert_eq!(count("job_rejected"), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_jobs_coalesce_to_one_run() {
+        let (service, _ring) = service_with_ring(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let spec: JobSpec = SLOW.parse().unwrap();
+        let first = service.submit(spec.clone(), Priority::Normal, None).unwrap();
+        let mut tickets = vec![first.ticket];
+        for _ in 0..5 {
+            let receipt = service.submit(spec.clone(), Priority::Normal, None).unwrap();
+            assert_eq!(receipt.disposition, Disposition::Coalesced);
+            assert_eq!(receipt.job, first.job);
+            tickets.push(receipt.ticket);
+        }
+        let mut cycle_counts = Vec::new();
+        for ticket in tickets {
+            let JobOutcome::Completed { result, .. } = service.wait(ticket, None).unwrap()
+            else {
+                panic!("coalesced job should complete for every ticket");
+            };
+            cycle_counts.push(result.cycles);
+        }
+        cycle_counts.dedup();
+        assert_eq!(cycle_counts.len(), 1, "all tickets share one result");
+        let stats = service.stats();
+        assert_eq!(stats.completed, 1, "single-flight: one simulation for six submits");
+        assert_eq!(stats.coalesced, 5);
+        service.shutdown();
+    }
+
+    #[test]
+    fn queue_overflow_rejects_with_explicit_backpressure() {
+        let (service, ring) = service_with_ring(ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        });
+        // Occupy the only worker, then the only queue slot. Distinct
+        // seeds keep the jobs from coalescing.
+        let blocker = service
+            .submit(SLOW.parse::<JobSpec>().unwrap().seed(1), Priority::Normal, None)
+            .unwrap();
+        spin_until_running(&service, blocker.ticket);
+        let queued = service
+            .submit(SLOW.parse::<JobSpec>().unwrap().seed(2), Priority::Normal, None)
+            .unwrap();
+        assert!(matches!(queued.disposition, Disposition::Enqueued { depth: 1 }));
+
+        let overflow = service.submit(SLOW.parse::<JobSpec>().unwrap().seed(3), Priority::Normal, None);
+        assert_eq!(overflow.unwrap_err(), Rejected::QueueFull { depth: 1 });
+        assert_eq!(service.stats().rejected, 1);
+
+        // Unblock quickly: drop interest in both live jobs.
+        assert_eq!(service.cancel(blocker.ticket), Some(CancelOutcome::Signalled));
+        assert_eq!(service.cancel(queued.ticket), Some(CancelOutcome::Cancelled));
+        service.shutdown();
+
+        let ring = ring.lock().unwrap();
+        let rejected = ring
+            .events()
+            .filter(|e| e.kind_name() == "job_rejected")
+            .count();
+        assert_eq!(rejected, 1, "every rejection must emit its signal");
+    }
+
+    #[test]
+    fn cancelling_a_running_job_stops_it_via_the_watchdog_poll() {
+        let (service, _ring) = service_with_ring(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let receipt = service
+            .submit(SLOW.parse().unwrap(), Priority::Normal, None)
+            .unwrap();
+        spin_until_running(&service, receipt.ticket);
+        // wait() would consume the ticket; keep it for the cancel and
+        // poll status instead.
+        assert_eq!(service.cancel(receipt.ticket), Some(CancelOutcome::Signalled));
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let stats = service.stats();
+            if stats.cancelled == 1 {
+                break;
+            }
+            assert!(stats.completed == 0, "job should stop before completing");
+            assert!(Instant::now() < deadline, "cancellation never landed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn coalesced_interest_survives_a_single_cancel() {
+        let (service, _ring) = service_with_ring(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let spec: JobSpec = SLOW.parse::<JobSpec>().unwrap().seed(9);
+        let keeper = service.submit(spec.clone(), Priority::Normal, None).unwrap();
+        let quitter = service.submit(spec, Priority::Normal, None).unwrap();
+        assert_eq!(quitter.disposition, Disposition::Coalesced);
+        assert_eq!(service.cancel(quitter.ticket), Some(CancelOutcome::Detached));
+        let outcome = service.wait(keeper.ticket, None).unwrap();
+        assert!(
+            matches!(outcome, JobOutcome::Completed { cached: false, .. }),
+            "the job must still run for the remaining ticket: {outcome:?}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn priorities_order_the_queue_and_deadlines_expire_in_it() {
+        let (service, _ring) = service_with_ring(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        // Worker busy -> everything below queues up behind it.
+        let blocker = service
+            .submit(SLOW.parse::<JobSpec>().unwrap().seed(1), Priority::Normal, None)
+            .unwrap();
+        spin_until_running(&service, blocker.ticket);
+
+        let low = service
+            .submit(FAST.parse::<JobSpec>().unwrap().seed(10), Priority::Low, None)
+            .unwrap();
+        let doomed = service
+            .submit(
+                FAST.parse::<JobSpec>().unwrap().seed(11),
+                Priority::High,
+                Some(Duration::from_millis(0)),
+            )
+            .unwrap();
+        let high = service
+            .submit(FAST.parse::<JobSpec>().unwrap().seed(12), Priority::High, None)
+            .unwrap();
+
+        // Free the worker; the queue drains high-first.
+        service.cancel(blocker.ticket);
+        let JobOutcome::Completed {
+            queue_ns: high_queue_ns,
+            ..
+        } = service.wait(high.ticket, None).unwrap()
+        else {
+            panic!("high-priority job should complete");
+        };
+        let JobOutcome::Completed {
+            queue_ns: low_queue_ns,
+            ..
+        } = service.wait(low.ticket, None).unwrap()
+        else {
+            panic!("low-priority job should complete");
+        };
+        assert!(
+            high_queue_ns < low_queue_ns,
+            "high priority must leave the queue first ({high_queue_ns} vs {low_queue_ns})"
+        );
+        assert!(
+            matches!(
+                service.wait(doomed.ticket, None).unwrap(),
+                JobOutcome::DeadlineExpired
+            ),
+            "a zero deadline must expire in the queue"
+        );
+        assert_eq!(service.stats().expired, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_and_joins_cleanly() {
+        let (service, _ring) = service_with_ring(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|seed| {
+                service
+                    .submit(
+                        FAST.parse::<JobSpec>().unwrap().seed(100 + seed),
+                        Priority::Normal,
+                        None,
+                    )
+                    .unwrap()
+                    .ticket
+            })
+            .collect();
+        // Wait for all, then shut down: drained queue, clean joins.
+        for ticket in tickets {
+            assert!(matches!(
+                service.wait(ticket, Some(Duration::from_secs(60))),
+                Ok(JobOutcome::Completed { .. })
+            ));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.queue_depth, 0);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,831 @@
+//! Job scheduling: bounded admission, priorities, deadlines, a fixed
+//! worker pool, single-flight coalescing, and cooperative cancellation.
+//!
+//! # Admission and backpressure
+//!
+//! The queue is bounded ([`ServeConfig::queue_capacity`]). A submission
+//! that would overflow it is *rejected at the door* with
+//! [`Rejected::QueueFull`] — an explicit signal the client can see and
+//! retry on — never silently dropped or unboundedly buffered. Every
+//! rejection also emits [`Event::JobRejected`], so a trace with a
+//! `job_rejected` line is the ground truth for "the service shed load".
+//!
+//! # Single-flight coalescing
+//!
+//! Identical jobs (same [`JobKey`]) are *coalesced*: the first
+//! submission enqueues a run; later submissions while it is queued or
+//! running attach to the same in-flight entry and share its outcome. N
+//! concurrent submissions of one spec cost one simulation. Completed
+//! results land in the [`ResultStore`], so later resubmissions are
+//! cache hits without any scheduling at all.
+//!
+//! # Cancellation
+//!
+//! Cancellation reuses the run-loop watchdog plumbing: each job owns an
+//! `Arc<AtomicBool>` handed to [`RunSpec::cancel_flag`], which the
+//! full-system engine polls every 512 cycles and honours with
+//! `SimError::Cancelled`. Because coalesced submissions share one run,
+//! cancellation is *interest-counted*: cancelling one ticket detaches
+//! that submission; only when the last interested ticket cancels is the
+//! flag actually raised (or the queued entry tombstoned).
+//!
+//! [`RunSpec::cancel_flag`]: ra_cosim::RunSpec::cancel_flag
+//! [`Event::JobRejected`]: ra_obs::Event::JobRejected
+
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ra_cosim::RunResult;
+use ra_obs::{Event, ObsSink};
+use ra_sim::SimError;
+
+use crate::spec::{JobKey, JobSpec};
+use crate::store::{ResultStore, StoreStats};
+
+/// Scheduling priority. Higher priorities always dequeue first; within a
+/// priority the queue is FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Background work (sweeps, prefetching).
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Interactive requests.
+    High,
+}
+
+impl Priority {
+    /// Numeric rank for observability events (0 = low, 2 = high).
+    pub fn rank(self) -> u64 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        })
+    }
+}
+
+impl FromStr for Priority {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "low" => Ok(Priority::Low),
+            "normal" => Ok(Priority::Normal),
+            "high" => Ok(Priority::High),
+            other => Err(format!("unknown priority `{other}` (low/normal/high)")),
+        }
+    }
+}
+
+/// Why a submission was turned away at the door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The admission queue is at capacity — the backpressure signal.
+    /// `depth` is the queue depth the client collided with.
+    QueueFull {
+        /// Queued jobs at rejection time.
+        depth: usize,
+    },
+    /// The service is shutting down and admits nothing new.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { depth } => {
+                write!(f, "admission queue full ({depth} queued); retry later")
+            }
+            Rejected::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// How a submission was admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Result was already memoized; the ticket is immediately ready.
+    CacheHit,
+    /// Attached to an identical job already queued or running.
+    Coalesced,
+    /// Enqueued as a fresh run; `depth` is the queue depth after.
+    Enqueued {
+        /// Queued jobs after admission.
+        depth: usize,
+    },
+}
+
+impl Disposition {
+    /// Wire label (`cached` / `coalesced` / `enqueued`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Disposition::CacheHit => "cached",
+            Disposition::Coalesced => "coalesced",
+            Disposition::Enqueued { .. } => "enqueued",
+        }
+    }
+}
+
+/// A submission handle: use it with [`JobService::status`],
+/// [`JobService::wait`], and [`JobService::cancel`].
+pub type Ticket = u64;
+
+/// What [`JobService::submit`] returns on admission.
+#[derive(Debug, Clone)]
+pub struct SubmitReceipt {
+    /// Handle for status/wait/cancel.
+    pub ticket: Ticket,
+    /// Content hash of the submitted spec.
+    pub job: JobKey,
+    /// How the submission was admitted.
+    pub disposition: Disposition,
+}
+
+/// Terminal state of a job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// The simulation finished (or was already memoized).
+    Completed {
+        /// The run's results, shared with the cache.
+        result: Arc<RunResult>,
+        /// True when served from the memo store without simulating.
+        cached: bool,
+        /// Nanoseconds spent queued before the run started.
+        queue_ns: u64,
+        /// Nanoseconds spent simulating.
+        run_ns: u64,
+    },
+    /// The simulation errored (budget exhausted, stall, ...).
+    Failed {
+        /// Rendered `SimError` chain.
+        error: String,
+    },
+    /// Every interested submission cancelled before completion.
+    Cancelled,
+    /// The job was still queued past its deadline and never ran.
+    DeadlineExpired,
+}
+
+impl JobOutcome {
+    /// Stable label for wire responses and [`Event::JobDone`].
+    ///
+    /// [`Event::JobDone`]: ra_obs::Event::JobDone
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed { cached: true, .. } => "cached",
+            JobOutcome::Completed { cached: false, .. } => "completed",
+            JobOutcome::Failed { .. } => "failed",
+            JobOutcome::Cancelled => "cancelled",
+            JobOutcome::DeadlineExpired => "deadline_expired",
+        }
+    }
+}
+
+/// Non-terminal view of a job for the `status` verb.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// Waiting in the admission queue.
+    Queued,
+    /// A worker is simulating it.
+    Running,
+    /// Finished; the outcome is ready to collect.
+    Done(JobOutcome),
+}
+
+impl JobStatus {
+    /// Stable label for wire responses.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done(outcome) => outcome.label(),
+        }
+    }
+}
+
+/// Why [`JobService::wait`] returned without an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitError {
+    /// No such ticket (never issued, or already collected/cancelled).
+    UnknownTicket,
+    /// The timeout elapsed first; the ticket stays valid.
+    TimedOut,
+}
+
+impl fmt::Display for WaitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitError::UnknownTicket => f.write_str("unknown ticket"),
+            WaitError::TimedOut => f.write_str("timed out waiting for the job"),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+/// What [`JobService::cancel`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// This was the last interested ticket of a *queued* job: it will
+    /// never run.
+    Cancelled,
+    /// This was the last interested ticket of a *running* job: the halt
+    /// flag is raised and the engine will stop at the next poll.
+    Signalled,
+    /// Other submissions still want the job; only this ticket detached.
+    Detached,
+    /// The job had already finished; the ticket was simply collected.
+    AlreadyDone,
+}
+
+/// Tuning knobs for [`JobService::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Bounded admission-queue capacity (queued, not running, jobs).
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Result-cache lock shards.
+    pub cache_shards: usize,
+    /// Optional JSONL spill log for completed results.
+    pub spill: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            cache_shards: 8,
+            spill: None,
+        }
+    }
+}
+
+/// Counter snapshot for the `stats` verb and the smoke tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Submissions received (including rejected ones).
+    pub submitted: u64,
+    /// Fresh runs admitted to the queue.
+    pub admitted: u64,
+    /// Submissions rejected with [`Rejected::QueueFull`].
+    pub rejected: u64,
+    /// Submissions attached to an in-flight identical job.
+    pub coalesced: u64,
+    /// Submissions served straight from the result store.
+    pub cache_hits: u64,
+    /// Runs that completed successfully.
+    pub completed: u64,
+    /// Runs that errored.
+    pub failed: u64,
+    /// Jobs cancelled before or during their run.
+    pub cancelled: u64,
+    /// Jobs that expired in the queue.
+    pub expired: u64,
+    /// Jobs queued right now.
+    pub queue_depth: usize,
+    /// Result-store counters.
+    pub store: StoreStats,
+}
+
+type JobId = u64;
+
+#[derive(Debug)]
+enum Phase {
+    Queued,
+    Running,
+    Done(JobOutcome),
+}
+
+struct JobCell {
+    spec: JobSpec,
+    key: JobKey,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    cancel: Arc<AtomicBool>,
+    phase: Phase,
+    /// Live submissions (tickets not yet collected or cancelled).
+    interest: usize,
+}
+
+/// Max-heap slot: higher priority first, then FIFO by sequence number.
+#[derive(PartialEq, Eq)]
+struct QueueSlot {
+    priority: Priority,
+    seq: u64,
+    job: JobId,
+}
+
+impl Ord for QueueSlot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueueSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Default)]
+struct State {
+    queue: BinaryHeap<QueueSlot>,
+    cells: HashMap<JobId, JobCell>,
+    /// key -> queued-or-running job, for single-flight coalescing.
+    inflight: HashMap<u64, JobId>,
+    tickets: HashMap<Ticket, JobId>,
+    next_id: u64,
+    next_seq: u64,
+    /// Live (non-tombstoned) queued jobs — what `queue_capacity` bounds.
+    queued: usize,
+    shutting_down: bool,
+    stats: ServiceStats,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Wakes workers when work arrives or shutdown starts.
+    work_cv: Condvar,
+    /// Wakes `wait`ers whenever any job reaches a terminal phase.
+    done_cv: Condvar,
+    store: ResultStore,
+    obs: ObsSink,
+    config: ServeConfig,
+}
+
+/// A multi-worker simulation-job service: canonical [`JobSpec`]s in,
+/// memoized [`RunResult`]s out.
+///
+/// ```
+/// use ra_serve::{JobService, ServeConfig};
+///
+/// let service = JobService::start(ServeConfig::default(), ra_obs::ObsSink::disabled())?;
+/// let spec = "target=2x2 app=water mode=fixed:10 instructions=20 budget=100000"
+///     .parse::<ra_serve::JobSpec>()
+///     .map_err(|e| std::io::Error::other(e.to_string()))?;
+/// let receipt = service.submit(spec, Default::default(), None).expect("admitted");
+/// let outcome = service.wait(receipt.ticket, None).expect("completes");
+/// assert_eq!(outcome.label(), "completed");
+/// service.shutdown();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct JobService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl JobService {
+    /// Spawns the worker pool and opens the spill log (if configured).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the spill-log open failure.
+    pub fn start(config: ServeConfig, obs: ObsSink) -> std::io::Result<JobService> {
+        let mut store = ResultStore::new(config.cache_capacity, config.cache_shards);
+        if let Some(path) = &config.spill {
+            store = store.with_spill(path)?;
+        }
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            store,
+            obs,
+            config: config.clone(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("ra-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(JobService { inner, workers })
+    }
+
+    /// Submits a job. `deadline` bounds *queue wait*: a job still queued
+    /// when it elapses never runs and finishes as
+    /// [`JobOutcome::DeadlineExpired`].
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::QueueFull`] when the admission queue is at capacity
+    /// (the backpressure signal), [`Rejected::ShuttingDown`] after
+    /// [`shutdown`](JobService::shutdown) began.
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<SubmitReceipt, Rejected> {
+        let key = spec.job_hash();
+        let now = Instant::now();
+        let mut st = self.lock();
+        if st.shutting_down {
+            return Err(Rejected::ShuttingDown);
+        }
+        st.stats.submitted += 1;
+
+        // Tier 1: the memo store. (Lock order is always state -> store.)
+        if let Some(result) = self.inner.store.get(key) {
+            st.stats.cache_hits += 1;
+            let ticket = new_cell(
+                &mut st,
+                spec,
+                key,
+                None,
+                now,
+                Phase::Done(JobOutcome::Completed {
+                    result,
+                    cached: true,
+                    queue_ns: 0,
+                    run_ns: 0,
+                }),
+            );
+            drop(st);
+            self.inner.obs.emit(|| Event::CacheHit { job: key.0 });
+            // The outcome is already terminal; let sleeping waiters of
+            // other tickets coexist — only this ticket's waiter matters,
+            // and it will observe Done immediately.
+            return Ok(SubmitReceipt {
+                ticket,
+                job: key,
+                disposition: Disposition::CacheHit,
+            });
+        }
+
+        // Tier 2: single-flight — attach to an identical in-flight job.
+        if let Some(&job) = st.inflight.get(&key.0) {
+            let ticket = st.next_id;
+            st.next_id += 1;
+            st.tickets.insert(ticket, job);
+            st.cells.get_mut(&job).expect("inflight cell").interest += 1;
+            st.stats.coalesced += 1;
+            drop(st);
+            self.inner.obs.emit(|| Event::CacheHit { job: key.0 });
+            return Ok(SubmitReceipt {
+                ticket,
+                job: key,
+                disposition: Disposition::Coalesced,
+            });
+        }
+
+        // Tier 3: a fresh run — subject to bounded admission.
+        if st.queued >= self.inner.config.queue_capacity {
+            let depth = st.queued;
+            st.stats.rejected += 1;
+            drop(st);
+            self.inner.obs.emit(|| Event::JobRejected {
+                job: key.0,
+                queue_depth: depth as u64,
+            });
+            return Err(Rejected::QueueFull { depth });
+        }
+        let ticket = new_cell(
+            &mut st,
+            spec,
+            key,
+            deadline.map(|d| now + d),
+            now,
+            Phase::Queued,
+        );
+        let job = st.tickets[&ticket];
+        st.inflight.insert(key.0, job);
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.queue.push(QueueSlot { priority, seq, job });
+        st.queued += 1;
+        st.stats.admitted += 1;
+        let depth = st.queued;
+        drop(st);
+        self.inner.work_cv.notify_one();
+        self.inner.obs.emit(|| Event::JobAdmitted {
+            job: key.0,
+            queue_depth: depth as u64,
+            priority: priority.rank(),
+        });
+        Ok(SubmitReceipt {
+            ticket,
+            job: key,
+            disposition: Disposition::Enqueued { depth },
+        })
+    }
+
+    /// Non-consuming snapshot of a ticket's job, or `None` for an
+    /// unknown (or already collected) ticket.
+    pub fn status(&self, ticket: Ticket) -> Option<JobStatus> {
+        let st = self.lock();
+        let cell = st.cells.get(st.tickets.get(&ticket)?)?;
+        Some(match &cell.phase {
+            Phase::Queued => JobStatus::Queued,
+            Phase::Running => JobStatus::Running,
+            Phase::Done(outcome) => JobStatus::Done(outcome.clone()),
+        })
+    }
+
+    /// Blocks until the ticket's job finishes, then *collects* the
+    /// ticket (it stops resolving afterwards). `None` waits forever.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::TimedOut`] leaves the ticket collectable later;
+    /// [`WaitError::UnknownTicket`] means it never existed or was
+    /// already collected.
+    pub fn wait(&self, ticket: Ticket, timeout: Option<Duration>) -> Result<JobOutcome, WaitError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut st = self.lock();
+        loop {
+            let job = *st.tickets.get(&ticket).ok_or(WaitError::UnknownTicket)?;
+            let cell = st.cells.get(&job).ok_or(WaitError::UnknownTicket)?;
+            if let Phase::Done(outcome) = &cell.phase {
+                let outcome = outcome.clone();
+                collect_ticket(&mut st, ticket);
+                return Ok(outcome);
+            }
+            st = match deadline {
+                None => self.inner.done_cv.wait(st).expect("service state poisoned"),
+                Some(deadline) => {
+                    let left = deadline
+                        .checked_duration_since(Instant::now())
+                        .ok_or(WaitError::TimedOut)?;
+                    let (guard, timeout) = self
+                        .inner
+                        .done_cv
+                        .wait_timeout(st, left)
+                        .expect("service state poisoned");
+                    if timeout.timed_out() {
+                        return Err(WaitError::TimedOut);
+                    }
+                    guard
+                }
+            };
+        }
+    }
+
+    /// Withdraws this ticket's interest in its job and collects the
+    /// ticket. The job itself is only cancelled when *no* submission
+    /// remains interested (see the module docs). Returns `None` for an
+    /// unknown ticket.
+    pub fn cancel(&self, ticket: Ticket) -> Option<CancelOutcome> {
+        let mut st = self.lock();
+        let job = *st.tickets.get(&ticket)?;
+        let (outcome, key) = {
+            let cell = st.cells.get_mut(&job)?;
+            let last = cell.interest <= 1;
+            let outcome = match &cell.phase {
+                Phase::Done(_) => CancelOutcome::AlreadyDone,
+                _ if !last => CancelOutcome::Detached,
+                Phase::Queued => {
+                    // Tombstone: the heap slot stays; workers skip it.
+                    cell.phase = Phase::Done(JobOutcome::Cancelled);
+                    CancelOutcome::Cancelled
+                }
+                Phase::Running => {
+                    cell.cancel.store(true, Ordering::Relaxed);
+                    CancelOutcome::Signalled
+                }
+            };
+            (outcome, cell.key)
+        };
+        if outcome == CancelOutcome::Cancelled {
+            st.inflight.remove(&key.0);
+            st.queued -= 1;
+            st.stats.cancelled += 1;
+        }
+        collect_ticket(&mut st, ticket);
+        drop(st);
+        if outcome == CancelOutcome::Cancelled {
+            self.inner.done_cv.notify_all();
+        }
+        Some(outcome)
+    }
+
+    /// Counter snapshot (service + store).
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = {
+            let st = self.lock();
+            let mut stats = st.stats;
+            stats.queue_depth = st.queued;
+            stats
+        };
+        stats.store = self.inner.store.stats();
+        stats
+    }
+
+    /// The sink service events and per-job run spans are emitted into.
+    pub fn obs(&self) -> &ObsSink {
+        &self.inner.obs
+    }
+
+    /// Stops admitting, drains the queue, and joins every worker.
+    /// Queued jobs still run to completion; to abandon one instead,
+    /// [`cancel`](JobService::cancel) it first.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.lock().shutting_down = true;
+        self.inner.work_cv.notify_all();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.inner.state.lock().expect("service state poisoned")
+    }
+}
+
+impl Drop for JobService {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Allocates a cell + first ticket; returns the ticket.
+fn new_cell(
+    st: &mut State,
+    spec: JobSpec,
+    key: JobKey,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    phase: Phase,
+) -> Ticket {
+    let job = st.next_id;
+    let ticket = st.next_id + 1;
+    st.next_id += 2;
+    st.cells.insert(
+        job,
+        JobCell {
+            spec,
+            key,
+            deadline,
+            submitted,
+            cancel: Arc::new(AtomicBool::new(false)),
+            phase,
+            interest: 1,
+        },
+    );
+    st.tickets.insert(ticket, job);
+    ticket
+}
+
+/// Removes a ticket; frees the cell once it is terminal and no ticket
+/// references it (bounding service memory by *live* submissions).
+fn collect_ticket(st: &mut State, ticket: Ticket) {
+    let Some(job) = st.tickets.remove(&ticket) else {
+        return;
+    };
+    if let Some(cell) = st.cells.get_mut(&job) {
+        cell.interest = cell.interest.saturating_sub(1);
+        if cell.interest == 0 && matches!(cell.phase, Phase::Done(_)) {
+            st.cells.remove(&job);
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        // Phase 1: pop the next live queued job (skipping tombstones).
+        let mut st = inner.state.lock().expect("service state poisoned");
+        let (job, key, spec, cancel, queue_ns) = loop {
+            match st.queue.pop() {
+                Some(slot) => {
+                    let now = Instant::now();
+                    let Some(cell) = st.cells.get_mut(&slot.job) else {
+                        continue; // cancelled and fully collected
+                    };
+                    if !matches!(cell.phase, Phase::Queued) {
+                        continue; // cancellation tombstone
+                    }
+                    if cell.deadline.is_some_and(|d| now > d) {
+                        cell.phase = Phase::Done(JobOutcome::DeadlineExpired);
+                        let key = cell.key;
+                        let queue_ns = elapsed_ns(cell.submitted, now);
+                        st.inflight.remove(&key.0);
+                        st.queued -= 1;
+                        st.stats.expired += 1;
+                        finish(inner, key, "deadline_expired", queue_ns, 0);
+                        continue;
+                    }
+                    cell.phase = Phase::Running;
+                    let out = (
+                        slot.job,
+                        cell.key,
+                        cell.spec.clone(),
+                        cell.cancel.clone(),
+                        elapsed_ns(cell.submitted, now),
+                    );
+                    st.queued -= 1;
+                    break out;
+                }
+                None if st.shutting_down => return,
+                None => {
+                    st = inner
+                        .work_cv
+                        .wait(st)
+                        .expect("service state poisoned");
+                }
+            }
+        };
+        drop(st);
+
+        // Phase 2: simulate, with per-job spans flowing into the shared
+        // sink and the cancel flag armed on the engine's watchdog poll.
+        let started = Instant::now();
+        let run = spec
+            .to_run_spec()
+            .cancel_flag(cancel)
+            .recorder(inner.obs.clone())
+            .run();
+        let run_ns = elapsed_ns(started, Instant::now());
+
+        // Phase 3: publish the outcome.
+        let outcome = match run {
+            Ok(result) => {
+                let result = Arc::new(result);
+                inner.store.insert(key, &spec.canonical(), result.clone());
+                JobOutcome::Completed {
+                    result,
+                    cached: false,
+                    queue_ns,
+                    run_ns,
+                }
+            }
+            Err(SimError::Cancelled { .. }) => JobOutcome::Cancelled,
+            Err(err) => JobOutcome::Failed {
+                error: err.to_string(),
+            },
+        };
+        let label = outcome.label();
+        let mut st = inner.state.lock().expect("service state poisoned");
+        match &outcome {
+            JobOutcome::Completed { .. } => st.stats.completed += 1,
+            JobOutcome::Cancelled => st.stats.cancelled += 1,
+            _ => st.stats.failed += 1,
+        }
+        let free = match st.cells.get_mut(&job) {
+            Some(cell) => {
+                cell.phase = Phase::Done(outcome);
+                cell.interest == 0
+            }
+            None => false,
+        };
+        if free {
+            st.cells.remove(&job);
+        }
+        st.inflight.remove(&key.0);
+        drop(st);
+        finish(inner, key, label, queue_ns, run_ns);
+    }
+}
+
+/// Emits `job_done` and wakes waiters. The recorder lock is a leaf in
+/// the lock order (nothing holding it ever takes the state lock), so
+/// this is safe to call with or without the state lock held.
+fn finish(inner: &Inner, key: JobKey, label: &str, queue_ns: u64, run_ns: u64) {
+    inner.obs.emit(|| Event::JobDone {
+        job: key.0,
+        outcome: label.to_owned(),
+        queue_ns,
+        run_ns,
+    });
+    inner.done_cv.notify_all();
+}
+
+fn elapsed_ns(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_nanos() as u64
+}

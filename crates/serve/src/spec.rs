@@ -1,0 +1,499 @@
+//! Canonical, owned job specifications.
+//!
+//! A [`JobSpec`] is everything that determines a simulation's result —
+//! target machine, workload profile, network abstraction, run length,
+//! cycle budget, RNG seed — in an *owned* form the service can queue,
+//! hash, and ship over the wire (today's [`RunSpec`] borrows its target
+//! and app, so it cannot outlive a request handler).
+//!
+//! # Canonicalization and the cache key
+//!
+//! The spec's [`Display`] form is the *canonical text*: fixed key order,
+//! one space between keys, the mode in its canonical
+//! [`ModeSpec`](ra_cosim::ModeSpec) `Display` form. Parsing accepts
+//! shorthand (omitted keys take the [`RunSpec`] defaults, `reciprocal`
+//! without parameters, etc.) but printing always normalizes, so
+//! `text -> JobSpec -> text` is a fixed point and two requests that mean
+//! the same run produce byte-identical canonical text. The cache key
+//! ([`JobSpec::job_hash`], wrapped in [`JobKey`]) is the FNV-1a 64-bit
+//! hash of that canonical text — stable across processes and runs, unlike
+//! `std::hash`'s randomized `SipHash`.
+//!
+//! To keep "same text ⇒ same simulation" honest, [`JobSpec::new`] only
+//! admits targets and profiles *from the canonical vocabulary*: grids
+//! built by [`Target::cmp`] and the named [`AppProfile`] suite. An
+//! off-vocabulary target (hand-tuned cache sizes, scripted faults) would
+//! canonicalize to the same text as the stock one and poison the cache,
+//! so it is rejected with [`SpecError::OffVocabulary`] instead.
+
+use std::fmt;
+use std::str::FromStr;
+
+use ra_cosim::{ModeSpec, ParseModeError, RunSpec, Target};
+use ra_workloads::AppProfile;
+
+/// Defaults shared with [`RunSpec`]: instructions per core, cycle budget,
+/// workload seed.
+const DEFAULT_INSTRUCTIONS: u64 = 1_000;
+const DEFAULT_BUDGET: u64 = 10_000_000;
+const DEFAULT_SEED: u64 = 42;
+
+/// Stable content hash of a canonical [`JobSpec`] — the result-store key
+/// and the `"job"` field of service observability events and wire
+/// responses. Displays as 16 lower-case hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey(pub u64);
+
+impl fmt::Display for JobKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl FromStr for JobKey {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        u64::from_str_radix(s.trim(), 16)
+            .map(JobKey)
+            .map_err(|_| SpecError::BadValue {
+                key: "job",
+                detail: format!("`{s}` is not a 64-bit hex key"),
+            })
+    }
+}
+
+/// FNV-1a 64-bit over `bytes`: tiny, dependency-free, and — unlike the
+/// standard library's randomized SipHash — identical in every process, so
+/// spill files written by one server instance name the same jobs as the
+/// next.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a job specification could not be built or parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A required key (`target`, `app`) was absent.
+    MissingKey(&'static str),
+    /// A key outside the canonical vocabulary.
+    UnknownKey(String),
+    /// A key's value did not parse.
+    BadValue {
+        /// Which key.
+        key: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// `app` named no profile in the canonical suite.
+    UnknownApp(String),
+    /// The `mode` value failed [`ModeSpec`] parsing.
+    Mode(ParseModeError),
+    /// A target or profile that the canonical text cannot faithfully
+    /// represent (it would collide with the stock one in the cache).
+    OffVocabulary(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::MissingKey(key) => write!(f, "job spec is missing `{key}`"),
+            SpecError::UnknownKey(key) => write!(
+                f,
+                "unknown job-spec key `{key}` (expected target, app, mode, \
+                 instructions, budget, or seed)"
+            ),
+            SpecError::BadValue { key, detail } => {
+                write!(f, "bad job-spec value for `{key}`: {detail}")
+            }
+            SpecError::UnknownApp(name) => {
+                write!(f, "unknown app profile `{name}` (see AppProfile::suite)")
+            }
+            SpecError::Mode(_) => f.write_str("bad job-spec value for `mode`"),
+            SpecError::OffVocabulary(detail) => {
+                write!(f, "spec outside the canonical vocabulary: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            // The mode parser's message carries the detail; service-layer
+            // error chains render it via `source()`.
+            SpecError::Mode(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseModeError> for SpecError {
+    fn from(err: ParseModeError) -> Self {
+        SpecError::Mode(err)
+    }
+}
+
+/// An owned, canonical simulation-job specification.
+///
+/// Convertible into today's borrowed [`RunSpec`] via
+/// [`to_run_spec`](JobSpec::to_run_spec); round-trippable through text via
+/// [`Display`]/[`FromStr`]; content-addressed via
+/// [`job_hash`](JobSpec::job_hash).
+///
+/// ```
+/// use ra_serve::JobSpec;
+///
+/// let spec: JobSpec = "target=4x4 app=water mode=hop seed=7".parse()?;
+/// // Printing normalizes: omitted keys surface with their defaults.
+/// assert_eq!(
+///     spec.to_string(),
+///     "target=4x4 app=water mode=hop instructions=1000 budget=10000000 seed=7"
+/// );
+/// assert_eq!(spec.to_string().parse::<JobSpec>()?, spec);
+/// # Ok::<(), ra_serve::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    target: Target,
+    app: AppProfile,
+    /// Network abstraction for the run.
+    pub mode: ModeSpec,
+    /// Instructions every core must retire.
+    pub instructions: u64,
+    /// Cycle budget before the run times out.
+    pub budget: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// Builds a spec over an owned target and profile, with the
+    /// [`RunSpec`] defaults for everything else.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::OffVocabulary`] if `target` is not exactly the
+    /// [`Target::cmp`] preset for its grid, or `app` is not a profile of
+    /// the named suite — such configurations would alias a stock spec in
+    /// the cache (see the module docs).
+    pub fn new(target: Target, app: AppProfile) -> Result<JobSpec, SpecError> {
+        let (cols, rows) = (target.fullsys.shape.cols(), target.fullsys.shape.rows());
+        if target != Target::cmp(cols, rows) {
+            return Err(SpecError::OffVocabulary(format!(
+                "target `{}` differs from the {cols}x{rows} preset",
+                target.name
+            )));
+        }
+        match AppProfile::by_name(&app.name) {
+            Some(stock) if stock == app => {}
+            _ => return Err(SpecError::UnknownApp(app.name.clone())),
+        }
+        Ok(JobSpec {
+            target,
+            app,
+            mode: ModeSpec::default(),
+            instructions: DEFAULT_INSTRUCTIONS,
+            budget: DEFAULT_BUDGET,
+            seed: DEFAULT_SEED,
+        })
+    }
+
+    /// Selects the network abstraction.
+    #[must_use]
+    pub fn mode(mut self, mode: ModeSpec) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Instructions every core must retire.
+    #[must_use]
+    pub fn instructions(mut self, instructions: u64) -> Self {
+        self.instructions = instructions;
+        self
+    }
+
+    /// Cycle budget before the run times out.
+    #[must_use]
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Workload RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The owned target machine.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// The owned workload profile.
+    pub fn app(&self) -> &AppProfile {
+        &self.app
+    }
+
+    /// The canonical text (the [`Display`] form, allocated).
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+
+    /// The stable content hash of the canonical text — the cache key.
+    pub fn job_hash(&self) -> JobKey {
+        JobKey(fnv1a(self.canonical().as_bytes()))
+    }
+
+    /// Borrows this owned spec into the driver's [`RunSpec`] builder.
+    /// Attach a recorder or cancellation flag on the returned builder
+    /// before `.run()`.
+    pub fn to_run_spec(&self) -> RunSpec<'_> {
+        RunSpec::new(&self.target, &self.app)
+            .mode(self.mode)
+            .instructions(self.instructions)
+            .budget(self.budget)
+            .seed(self.seed)
+    }
+}
+
+/// Canonical text: every key, fixed order, normalized mode.
+impl fmt::Display for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "target={}x{} app={} mode={} instructions={} budget={} seed={}",
+            self.target.fullsys.shape.cols(),
+            self.target.fullsys.shape.rows(),
+            self.app.name,
+            self.mode,
+            self.instructions,
+            self.budget,
+            self.seed
+        )
+    }
+}
+
+/// Parses `key=value` tokens separated by whitespace. `target` and `app`
+/// are required; `mode`, `instructions`, `budget`, and `seed` default as
+/// in [`RunSpec`].
+impl FromStr for JobSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut target = None;
+        let mut app = None;
+        let mut mode = ModeSpec::default();
+        let mut instructions = DEFAULT_INSTRUCTIONS;
+        let mut budget = DEFAULT_BUDGET;
+        let mut seed = DEFAULT_SEED;
+        for token in s.split_whitespace() {
+            let (key, value) = token.split_once('=').ok_or_else(|| SpecError::BadValue {
+                key: "spec",
+                detail: format!("expected key=value, got `{token}`"),
+            })?;
+            match key {
+                "target" => {
+                    let (cols, rows) =
+                        value.split_once('x').ok_or_else(|| SpecError::BadValue {
+                            key: "target",
+                            detail: format!("expected <cols>x<rows>, got `{value}`"),
+                        })?;
+                    let parse = |dim: &str| {
+                        dim.parse::<u32>().ok().filter(|d| *d > 0).ok_or_else(|| {
+                            SpecError::BadValue {
+                                key: "target",
+                                detail: format!("`{dim}` is not a positive grid dimension"),
+                            }
+                        })
+                    };
+                    target = Some(Target::cmp(parse(cols)?, parse(rows)?));
+                }
+                "app" => {
+                    app = Some(
+                        AppProfile::by_name(value)
+                            .ok_or_else(|| SpecError::UnknownApp(value.to_owned()))?,
+                    );
+                }
+                "mode" => mode = value.parse()?,
+                "instructions" => {
+                    instructions = value.parse().map_err(|_| SpecError::BadValue {
+                        key: "instructions",
+                        detail: format!("`{value}` is not an integer"),
+                    })?;
+                }
+                "budget" => {
+                    budget = value.parse().map_err(|_| SpecError::BadValue {
+                        key: "budget",
+                        detail: format!("`{value}` is not an integer"),
+                    })?;
+                }
+                "seed" => {
+                    seed = value.parse().map_err(|_| SpecError::BadValue {
+                        key: "seed",
+                        detail: format!("`{value}` is not an integer"),
+                    })?;
+                }
+                other => return Err(SpecError::UnknownKey(other.to_owned())),
+            }
+        }
+        let target = target.ok_or(SpecError::MissingKey("target"))?;
+        let app = app.ok_or(SpecError::MissingKey("app"))?;
+        Ok(JobSpec::new(target, app)?
+            .mode(mode)
+            .instructions(instructions)
+            .budget(budget)
+            .seed(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    fn water_4x4() -> JobSpec {
+        JobSpec::new(Target::cmp(4, 4), AppProfile::water()).unwrap()
+    }
+
+    #[test]
+    fn display_is_a_parse_fixed_point() {
+        let spec = water_4x4()
+            .mode(ModeSpec::Reciprocal { quantum: 500, workers: 4 })
+            .instructions(300)
+            .budget(500_000)
+            .seed(9);
+        let text = spec.to_string();
+        let reparsed: JobSpec = text.parse().unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.to_string(), text);
+        assert_eq!(reparsed.job_hash(), spec.job_hash());
+    }
+
+    #[test]
+    fn shorthand_normalizes_to_one_canonical_text() {
+        let long: JobSpec =
+            "target=4x4 app=water mode=reciprocal:quantum=2000,workers=0 \
+             instructions=1000 budget=10000000 seed=42"
+                .parse()
+                .unwrap();
+        let short: JobSpec = "app=water target=4x4 mode=reciprocal".parse().unwrap();
+        assert_eq!(long, short);
+        assert_eq!(long.canonical(), short.canonical());
+        assert_eq!(long.job_hash(), short.job_hash());
+    }
+
+    #[test]
+    fn job_hash_is_pinned() {
+        // The spill format and cross-process memoization depend on this
+        // value never moving silently. If canonicalization legitimately
+        // changes, update the pin *and* call it out in DESIGN.md.
+        let spec: JobSpec = "target=4x4 app=water".parse().unwrap();
+        assert_eq!(
+            spec.canonical(),
+            "target=4x4 app=water mode=reciprocal:quantum=2000,workers=0 \
+             instructions=1000 budget=10000000 seed=42"
+        );
+        assert_eq!(spec.job_hash().to_string(), "fce6d5450b0eded6");
+        assert_eq!(
+            "fce6d5450b0eded6".parse::<JobKey>().unwrap(),
+            spec.job_hash()
+        );
+    }
+
+    #[test]
+    fn distinct_specs_hash_apart() {
+        let base = water_4x4();
+        let variants = [
+            base.clone().seed(7),
+            base.clone().instructions(2_000),
+            base.clone().budget(1),
+            base.clone().mode(ModeSpec::Hop),
+            JobSpec::new(Target::cmp(8, 8), AppProfile::water()).unwrap(),
+            JobSpec::new(Target::cmp(4, 4), AppProfile::ocean()).unwrap(),
+        ];
+        let mut keys: Vec<JobKey> = variants.iter().map(JobSpec::job_hash).collect();
+        keys.push(base.job_hash());
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), variants.len() + 1, "hash collision in variants");
+    }
+
+    #[test]
+    fn off_vocabulary_targets_and_apps_are_rejected() {
+        let mut custom = Target::cmp(4, 4);
+        custom.fullsys.mem_controllers = 2;
+        assert!(matches!(
+            JobSpec::new(custom, AppProfile::water()),
+            Err(SpecError::OffVocabulary(_))
+        ));
+        let mut app = AppProfile::water();
+        app.busy_gap = 99;
+        assert!(matches!(
+            JobSpec::new(Target::cmp(4, 4), app),
+            Err(SpecError::UnknownApp(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors_name_the_problem() {
+        for (text, needle) in [
+            ("", "missing `target`"),
+            ("target=4x4", "missing `app`"),
+            ("target=4x4 app=nonesuch", "nonesuch"),
+            ("target=4x4 app=water pace=3", "unknown job-spec key"),
+            ("target=4 app=water", "<cols>x<rows>"),
+            ("target=0x4 app=water", "positive"),
+            ("target=4x4 app=water instructions=lots", "integer"),
+            ("bareword", "key=value"),
+        ] {
+            let err = text.parse::<JobSpec>().unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "`{text}` -> `{err}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn mode_errors_chain_to_parse_mode_error() {
+        // The satellite contract: ParseModeError implements Display +
+        // Error, so a service-layer chain renders the real cause.
+        let err = "target=4x4 app=water mode=warp".parse::<JobSpec>().unwrap_err();
+        assert!(matches!(err, SpecError::Mode(_)));
+        let source = err.source().expect("mode errors carry a source");
+        assert!(
+            source.to_string().contains("unknown mode `warp`"),
+            "source must be the ParseModeError: {source}"
+        );
+    }
+
+    #[test]
+    fn to_run_spec_runs_equivalently() {
+        let spec = water_4x4()
+            .mode(ModeSpec::Hop)
+            .instructions(200)
+            .budget(500_000)
+            .seed(1);
+        let via_job = spec.to_run_spec().run().unwrap();
+        let target = Target::cmp(4, 4);
+        let app = AppProfile::water();
+        let direct = ra_cosim::RunSpec::new(&target, &app)
+            .mode(ModeSpec::Hop)
+            .instructions(200)
+            .budget(500_000)
+            .seed(1)
+            .run()
+            .unwrap();
+        assert_eq!(via_job.cycles, direct.cycles);
+        assert_eq!(via_job.messages, direct.messages);
+        assert_eq!(via_job.latency, direct.latency);
+    }
+}

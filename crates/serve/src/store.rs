@@ -1,0 +1,291 @@
+//! Result memoization: a sharded in-memory LRU plus an append-only
+//! JSONL spill log.
+//!
+//! The store is keyed by [`JobKey`] — the content hash of a job's
+//! canonical text — so *any* two requests that mean the same simulation
+//! share one entry, regardless of how they were phrased on the wire.
+//!
+//! Two tiers:
+//!
+//! * **LRU cache** — `shards` independent `Mutex<HashMap>` shards (key
+//!   distributes by its low bits) so concurrent workers rarely contend on
+//!   the same lock. Each shard tracks a monotonic use tick; when a shard
+//!   exceeds its slice of `capacity`, the least-recently-used entry is
+//!   evicted. Results are `Arc`-shared, so a hit never copies the
+//!   latency histograms.
+//! * **Spill log** — every insertion appends one JSON line (job key,
+//!   canonical spec, headline numbers) to an optional JSONL file. The
+//!   spill is an audit/replay record, not a second cache tier: the
+//!   server never reads it back, but `tail -f` on it is the cheapest
+//!   possible service dashboard, and a future process can replay it to
+//!   warm a cold cache.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ra_bench::{json_object, JsonField};
+use ra_cosim::RunResult;
+
+use crate::spec::JobKey;
+
+/// Counters the `stats` wire verb and the smoke tests read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that found a cached result.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Results inserted.
+    pub insertions: u64,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+}
+
+impl StoreStats {
+    /// Fraction of lookups served from cache (0 when none happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    result: Arc<RunResult>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// Sharded LRU result cache with an optional JSONL spill log.
+pub struct ResultStore {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    spill: Option<Mutex<BufWriter<File>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultStore {
+    /// A store holding at most `capacity` results across `shards` locks.
+    ///
+    /// `shards` is clamped to `1..=capacity.max(1)` so every shard can
+    /// hold at least one entry.
+    pub fn new(capacity: usize, shards: usize) -> ResultStore {
+        let shards = shards.clamp(1, capacity.max(1));
+        ResultStore {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(shards).max(1),
+            spill: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches (and creates or appends to) a JSONL spill log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `open` failure.
+    pub fn with_spill(mut self, path: &Path) -> std::io::Result<ResultStore> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        self.spill = Some(Mutex::new(BufWriter::new(file)));
+        Ok(self)
+    }
+
+    fn shard(&self, key: JobKey) -> &Mutex<Shard> {
+        &self.shards[(key.0 as usize) % self.shards.len()]
+    }
+
+    /// Looks up a cached result, refreshing its recency on a hit.
+    pub fn get(&self, key: JobKey) -> Option<Arc<RunResult>> {
+        let mut shard = self.shard(key).lock().expect("store shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key.0) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.result.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a result and appends a spill-log line.
+    ///
+    /// `spec` is the job's canonical text, recorded in the spill so the
+    /// log is self-describing without the hash preimage.
+    pub fn insert(&self, key: JobKey, spec: &str, result: Arc<RunResult>) {
+        {
+            let mut shard = self.shard(key).lock().expect("store shard poisoned");
+            shard.tick += 1;
+            let tick = shard.tick;
+            shard.map.insert(
+                key.0,
+                Entry {
+                    result: result.clone(),
+                    last_used: tick,
+                },
+            );
+            while shard.map.len() > self.per_shard_capacity {
+                // O(shard) scan; shards are small (capacity / shards) and
+                // eviction is off the submit fast path.
+                let coldest = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty shard");
+                shard.map.remove(&coldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some(spill) = &self.spill {
+            let line = json_object(&[
+                ("job", JsonField::Str(key.to_string())),
+                ("spec", JsonField::Str(spec.to_owned())),
+                ("cycles", JsonField::Int(result.cycles)),
+                ("messages", JsonField::Int(result.messages)),
+                ("ipc", JsonField::Num(result.ipc)),
+                ("latency_mean", JsonField::Num(result.latency.mean())),
+                ("calibrations", JsonField::Int(result.calibrations)),
+            ]);
+            let mut spill = spill.lock().expect("spill log poisoned");
+            // A full disk shouldn't take the service down; the cache is
+            // authoritative and the spill is advisory.
+            let _ = writeln!(spill, "{line}");
+            let _ = spill.flush();
+        }
+    }
+
+    /// Number of cached results across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("store shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot (hits/misses/insertions/evictions).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_cosim::{ModeSpec, Target};
+    use ra_workloads::AppProfile;
+
+    fn tiny_result(cycles: u64) -> Arc<RunResult> {
+        let target = Target::cmp(2, 2);
+        let app = AppProfile::water();
+        let mut result = ra_cosim::RunSpec::new(&target, &app)
+            .mode(ModeSpec::Fixed(10))
+            .instructions(5)
+            .budget(100_000)
+            .run()
+            .unwrap();
+        result.cycles = cycles; // distinguishable payloads for the tests
+        Arc::new(result)
+    }
+
+    #[test]
+    fn get_after_insert_hits_and_counts() {
+        let store = ResultStore::new(8, 2);
+        let key = JobKey(0x11);
+        assert!(store.get(key).is_none());
+        store.insert(key, "spec", tiny_result(1));
+        let hit = store.get(key).expect("cached");
+        assert_eq!(hit.cycles, 1);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_per_shard() {
+        // Single shard, capacity 2: touching key 1 makes key 2 coldest.
+        let store = ResultStore::new(2, 1);
+        store.insert(JobKey(1), "a", tiny_result(1));
+        store.insert(JobKey(2), "b", tiny_result(2));
+        assert!(store.get(JobKey(1)).is_some());
+        store.insert(JobKey(3), "c", tiny_result(3));
+        assert!(store.get(JobKey(2)).is_none(), "coldest entry evicted");
+        assert!(store.get(JobKey(1)).is_some());
+        assert!(store.get(JobKey(3)).is_some());
+        assert_eq!(store.stats().evictions, 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let store = ResultStore::new(64, 4);
+        for k in 0..16u64 {
+            store.insert(JobKey(k), "s", tiny_result(k));
+        }
+        assert_eq!(store.len(), 16);
+        let occupied = store
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().map.is_empty())
+            .count();
+        assert_eq!(occupied, 4, "sequential keys should use every shard");
+    }
+
+    #[test]
+    fn spill_log_appends_one_line_per_insertion() {
+        let dir = std::env::temp_dir().join(format!(
+            "ra-serve-spill-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = ResultStore::new(8, 1).with_spill(&path).unwrap();
+            store.insert(JobKey(0xAB), "target=2x2 app=water", tiny_result(7));
+            store.insert(JobKey(0xCD), "target=2x2 app=ocean", tiny_result(8));
+        }
+        let log = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"job\":\"00000000000000ab\""));
+        assert!(lines[0].contains("\"spec\":\"target=2x2 app=water\""));
+        assert!(lines[0].contains("\"cycles\":7"));
+        assert!(lines[1].contains("\"job\":\"00000000000000cd\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

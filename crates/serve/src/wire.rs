@@ -1,0 +1,650 @@
+//! Line-delimited JSON over TCP: the service's wire layer.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in each direction; every request carries a
+//! `"verb"`. The five verbs:
+//!
+//! | verb | request fields | success response |
+//! |---|---|---|
+//! | `submit` | `spec`, `priority`?, `deadline_ms`? | `ticket`, `job`, `disposition`, `depth` |
+//! | `status` | `ticket` | `state` |
+//! | `result` | `ticket`, `timeout_ms`? | `outcome`, `queue_ns`, `run_ns`, `result`? |
+//! | `cancel` | `ticket` | `cancel` |
+//! | `stats`  | — | counter snapshot |
+//!
+//! Success responses carry `"ok":true`. Failures carry `"ok":false`,
+//! an `"error"` code, and `"retryable":true` when backing off and
+//! retrying is sensible — notably `queue_full`, the backpressure
+//! signal, which also reports the queue `depth` the client collided
+//! with. Job keys travel as 16-hex-digit strings (`"job"`): JSON
+//! numbers are f64 and cannot carry a u64 hash exactly.
+//!
+//! The server is deliberately boring: blocking `std::net` accept loop,
+//! one thread per connection (jobs are coarse — each is a simulation —
+//! so connection counts are small), [`JobService`] does all the real
+//! work. [`WireClient`] is the matching blocking client used by
+//! `ra-loadgen` and the integration tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ra_bench::{json_object, JsonField};
+
+use crate::json::Json;
+use crate::scheduler::{JobOutcome, JobService, Priority, Rejected, WaitError};
+use crate::spec::JobSpec;
+
+/// Renders `err` and its `source()` chain as `a: b: c`.
+fn error_chain(err: &dyn std::error::Error) -> String {
+    let mut out = err.to_string();
+    let mut cursor = err.source();
+    while let Some(cause) = cursor {
+        out.push_str(": ");
+        out.push_str(&cause.to_string());
+        cursor = cause.source();
+    }
+    out
+}
+
+fn ok_fields(mut fields: Vec<(&'static str, JsonField)>) -> String {
+    fields.insert(0, ("ok", JsonField::Raw("true".into())));
+    json_object(&fields)
+}
+
+fn err_fields(code: &str, mut fields: Vec<(&'static str, JsonField)>) -> String {
+    let mut all = vec![
+        ("ok", JsonField::Raw("false".into())),
+        ("error", JsonField::Str(code.to_owned())),
+    ];
+    all.append(&mut fields);
+    json_object(&all)
+}
+
+fn outcome_response(outcome: &JobOutcome) -> String {
+    match outcome {
+        JobOutcome::Completed {
+            result,
+            cached,
+            queue_ns,
+            run_ns,
+        } => {
+            let body = json_object(&[
+                ("workload", JsonField::Str(result.workload.clone())),
+                ("mode", JsonField::Str(result.mode.clone())),
+                ("cycles", JsonField::Int(result.cycles)),
+                ("messages", JsonField::Int(result.messages)),
+                ("ipc", JsonField::Num(result.ipc)),
+                ("latency_mean", JsonField::Num(result.latency.mean())),
+                ("latency_count", JsonField::Int(result.latency.count())),
+                ("calibrations", JsonField::Int(result.calibrations)),
+            ]);
+            ok_fields(vec![
+                (
+                    "outcome",
+                    JsonField::Str(if *cached { "cached" } else { "completed" }.into()),
+                ),
+                ("queue_ns", JsonField::Int(*queue_ns)),
+                ("run_ns", JsonField::Int(*run_ns)),
+                ("result", JsonField::Raw(body)),
+            ])
+        }
+        JobOutcome::Failed { error } => ok_fields(vec![
+            ("outcome", JsonField::Str("failed".into())),
+            ("detail", JsonField::Str(error.clone())),
+        ]),
+        JobOutcome::Cancelled => {
+            ok_fields(vec![("outcome", JsonField::Str("cancelled".into()))])
+        }
+        JobOutcome::DeadlineExpired => ok_fields(vec![(
+            "outcome",
+            JsonField::Str("deadline_expired".into()),
+        )]),
+    }
+}
+
+fn require_ticket(request: &Json) -> Result<u64, String> {
+    request
+        .get("ticket")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err_fields("bad_request", vec![(
+            "detail",
+            JsonField::Str("`ticket` must be a non-negative integer".into()),
+        )]))
+}
+
+/// Dispatches one request line to the service and renders the response
+/// line (no trailing newline). Pure with respect to I/O, so unit tests
+/// can drive the whole protocol without sockets.
+pub fn handle_request(service: &JobService, line: &str) -> String {
+    let request = match Json::parse(line) {
+        Ok(request) => request,
+        Err(err) => {
+            return err_fields(
+                "bad_request",
+                vec![("detail", JsonField::Str(err.to_string()))],
+            )
+        }
+    };
+    let verb = request.get("verb").and_then(Json::as_str).unwrap_or("");
+    match verb {
+        "submit" => {
+            let Some(spec_text) = request.get("spec").and_then(Json::as_str) else {
+                return err_fields(
+                    "bad_request",
+                    vec![("detail", JsonField::Str("`spec` is required".into()))],
+                );
+            };
+            let spec: JobSpec = match spec_text.parse() {
+                Ok(spec) => spec,
+                Err(err) => {
+                    return err_fields(
+                        "bad_spec",
+                        vec![("detail", JsonField::Str(error_chain(&err)))],
+                    )
+                }
+            };
+            let priority = match request.get("priority").and_then(Json::as_str) {
+                None => Priority::Normal,
+                Some(text) => match text.parse() {
+                    Ok(priority) => priority,
+                    Err(err) => {
+                        return err_fields(
+                            "bad_request",
+                            vec![("detail", JsonField::Str(err))],
+                        )
+                    }
+                },
+            };
+            let deadline = request
+                .get("deadline_ms")
+                .and_then(Json::as_u64)
+                .map(Duration::from_millis);
+            match service.submit(spec, priority, deadline) {
+                Ok(receipt) => {
+                    let depth = match receipt.disposition {
+                        crate::scheduler::Disposition::Enqueued { depth } => depth as u64,
+                        _ => 0,
+                    };
+                    ok_fields(vec![
+                        ("ticket", JsonField::Int(receipt.ticket)),
+                        ("job", JsonField::Str(receipt.job.to_string())),
+                        (
+                            "disposition",
+                            JsonField::Str(receipt.disposition.label().into()),
+                        ),
+                        ("depth", JsonField::Int(depth)),
+                    ])
+                }
+                Err(Rejected::QueueFull { depth }) => err_fields(
+                    "queue_full",
+                    vec![
+                        ("depth", JsonField::Int(depth as u64)),
+                        ("retryable", JsonField::Raw("true".into())),
+                    ],
+                ),
+                Err(Rejected::ShuttingDown) => err_fields("shutting_down", vec![]),
+            }
+        }
+        "status" => {
+            let ticket = match require_ticket(&request) {
+                Ok(ticket) => ticket,
+                Err(response) => return response,
+            };
+            match service.status(ticket) {
+                Some(status) => {
+                    ok_fields(vec![("state", JsonField::Str(status.label().into()))])
+                }
+                None => err_fields("unknown_ticket", vec![]),
+            }
+        }
+        "result" => {
+            let ticket = match require_ticket(&request) {
+                Ok(ticket) => ticket,
+                Err(response) => return response,
+            };
+            let timeout = request
+                .get("timeout_ms")
+                .and_then(Json::as_u64)
+                .map(Duration::from_millis);
+            match service.wait(ticket, timeout) {
+                Ok(outcome) => outcome_response(&outcome),
+                Err(WaitError::TimedOut) => err_fields(
+                    "timeout",
+                    vec![("retryable", JsonField::Raw("true".into()))],
+                ),
+                Err(WaitError::UnknownTicket) => err_fields("unknown_ticket", vec![]),
+            }
+        }
+        "cancel" => {
+            let ticket = match require_ticket(&request) {
+                Ok(ticket) => ticket,
+                Err(response) => return response,
+            };
+            match service.cancel(ticket) {
+                Some(outcome) => ok_fields(vec![(
+                    "cancel",
+                    JsonField::Str(
+                        match outcome {
+                            crate::scheduler::CancelOutcome::Cancelled => "cancelled",
+                            crate::scheduler::CancelOutcome::Signalled => "signalled",
+                            crate::scheduler::CancelOutcome::Detached => "detached",
+                            crate::scheduler::CancelOutcome::AlreadyDone => "already_done",
+                        }
+                        .into(),
+                    ),
+                )]),
+                None => err_fields("unknown_ticket", vec![]),
+            }
+        }
+        "stats" => {
+            // A stats poll is a natural sync point: push any buffered
+            // trace events to disk so `tail -f` and the CI smoke see a
+            // complete stream without waiting for process exit.
+            let _ = service.obs().flush();
+            let stats = service.stats();
+            let memoized = stats.cache_hits + stats.coalesced;
+            let memo_ratio = if stats.submitted == 0 {
+                0.0
+            } else {
+                memoized as f64 / stats.submitted as f64
+            };
+            ok_fields(vec![
+                ("submitted", JsonField::Int(stats.submitted)),
+                ("admitted", JsonField::Int(stats.admitted)),
+                ("rejected", JsonField::Int(stats.rejected)),
+                ("coalesced", JsonField::Int(stats.coalesced)),
+                ("cache_hits", JsonField::Int(stats.cache_hits)),
+                ("completed", JsonField::Int(stats.completed)),
+                ("failed", JsonField::Int(stats.failed)),
+                ("cancelled", JsonField::Int(stats.cancelled)),
+                ("expired", JsonField::Int(stats.expired)),
+                ("queue_depth", JsonField::Int(stats.queue_depth as u64)),
+                ("store_hits", JsonField::Int(stats.store.hits)),
+                ("store_misses", JsonField::Int(stats.store.misses)),
+                ("insertions", JsonField::Int(stats.store.insertions)),
+                ("evictions", JsonField::Int(stats.store.evictions)),
+                ("hit_ratio", JsonField::Num(stats.store.hit_ratio())),
+                ("memo_ratio", JsonField::Num(memo_ratio)),
+            ])
+        }
+        "" => err_fields(
+            "bad_request",
+            vec![("detail", JsonField::Str("`verb` is required".into()))],
+        ),
+        other => err_fields(
+            "unknown_verb",
+            vec![("detail", JsonField::Str(format!("`{other}`")))],
+        ),
+    }
+}
+
+/// A bound, not-yet-running wire server.
+pub struct WireServer {
+    listener: TcpListener,
+    service: Arc<JobService>,
+}
+
+impl WireServer {
+    /// Binds `addr` (use port 0 for an ephemeral test port) around an
+    /// already-started service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, service: JobService) -> io::Result<WireServer> {
+        Ok(WireServer {
+            listener: TcpListener::bind(addr)?,
+            service: Arc::new(service),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever on the calling thread (the `ra-serve` bin's mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a fatal accept failure.
+    pub fn run(self) -> io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        self.accept_loop(&stop)
+    }
+
+    /// Serves on a background thread; the handle stops it cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("ra-serve-accept".into())
+            .spawn(move || {
+                let _ = self.accept_loop(&loop_stop);
+            })
+            .expect("spawn accept thread");
+        Ok(ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    fn accept_loop(self, stop: &AtomicBool) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            let stream = match conn {
+                Ok(stream) => stream,
+                Err(err) if err.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(err) => return Err(err),
+            };
+            let service = self.service.clone();
+            let _ = std::thread::Builder::new()
+                .name("ra-serve-conn".into())
+                .spawn(move || handle_connection(&service, stream));
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(service: &JobService, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_request(service, &line);
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Stops a [`WireServer::spawn`]ed server on drop (or explicitly).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Where the server listens.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop and joins it. Open connections finish
+    /// their in-flight request and close on their own.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Blocking line-JSON client for [`WireServer`] (used by `ra-loadgen`
+/// and the integration tests).
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl WireClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<WireClient> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(WireClient { reader, writer })
+    }
+
+    /// Sends one request line and parses the one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, server disconnect, or an unparseable response.
+    pub fn call(&mut self, request: &str) -> io::Result<Json> {
+        writeln!(self.writer, "{request}")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(line.trim_end()).map_err(|err| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {err}"))
+        })
+    }
+
+    /// `submit` with optional priority/deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`call`](WireClient::call).
+    pub fn submit(
+        &mut self,
+        spec: &str,
+        priority: Option<&str>,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<Json> {
+        let mut fields = vec![
+            ("verb", JsonField::Str("submit".into())),
+            ("spec", JsonField::Str(spec.to_owned())),
+        ];
+        if let Some(priority) = priority {
+            fields.push(("priority", JsonField::Str(priority.to_owned())));
+        }
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms", JsonField::Int(ms)));
+        }
+        self.call(&json_object(&fields))
+    }
+
+    /// `status` for a ticket.
+    ///
+    /// # Errors
+    ///
+    /// See [`call`](WireClient::call).
+    pub fn status(&mut self, ticket: u64) -> io::Result<Json> {
+        self.call(&json_object(&[
+            ("verb", JsonField::Str("status".into())),
+            ("ticket", JsonField::Int(ticket)),
+        ]))
+    }
+
+    /// `result` for a ticket, blocking up to `timeout_ms` (forever when
+    /// `None`).
+    ///
+    /// # Errors
+    ///
+    /// See [`call`](WireClient::call).
+    pub fn result(&mut self, ticket: u64, timeout_ms: Option<u64>) -> io::Result<Json> {
+        let mut fields = vec![
+            ("verb", JsonField::Str("result".into())),
+            ("ticket", JsonField::Int(ticket)),
+        ];
+        if let Some(ms) = timeout_ms {
+            fields.push(("timeout_ms", JsonField::Int(ms)));
+        }
+        self.call(&json_object(&fields))
+    }
+
+    /// `cancel` for a ticket.
+    ///
+    /// # Errors
+    ///
+    /// See [`call`](WireClient::call).
+    pub fn cancel(&mut self, ticket: u64) -> io::Result<Json> {
+        self.call(&json_object(&[
+            ("verb", JsonField::Str("cancel".into())),
+            ("ticket", JsonField::Int(ticket)),
+        ]))
+    }
+
+    /// `stats` snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`call`](WireClient::call).
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.call(&json_object(&[("verb", JsonField::Str("stats".into()))]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ServeConfig;
+
+    fn tiny_service() -> JobService {
+        JobService::start(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            ra_obs::ObsSink::disabled(),
+        )
+        .expect("service starts")
+    }
+
+    const SPEC: &str = "target=2x2 app=water mode=fixed:10 instructions=20 budget=100000";
+
+    #[test]
+    fn handle_request_speaks_the_protocol_without_sockets() {
+        let service = tiny_service();
+        let submit = format!(r#"{{"verb":"submit","spec":"{SPEC}"}}"#);
+        let response = Json::parse(&handle_request(&service, &submit)).unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            response.get("disposition").and_then(Json::as_str),
+            Some("enqueued")
+        );
+        let ticket = response.get("ticket").and_then(Json::as_u64).unwrap();
+        let job = response.get("job").and_then(Json::as_str).unwrap();
+        assert_eq!(job.len(), 16, "job keys are 16 hex digits, got `{job}`");
+
+        let result = format!(r#"{{"verb":"result","ticket":{ticket}}}"#);
+        let response = Json::parse(&handle_request(&service, &result)).unwrap();
+        assert_eq!(
+            response.get("outcome").and_then(Json::as_str),
+            Some("completed")
+        );
+        let body = response.get("result").expect("result body");
+        assert_eq!(body.get("workload").and_then(Json::as_str), Some("water"));
+        assert!(body.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+
+        // Same spec again: a cache hit, ready immediately.
+        let response = Json::parse(&handle_request(&service, &submit)).unwrap();
+        assert_eq!(
+            response.get("disposition").and_then(Json::as_str),
+            Some("cached")
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors() {
+        let service = tiny_service();
+        for (request, code) in [
+            ("not json", "bad_request"),
+            (r#"{"spec":"x"}"#, "bad_request"),
+            (r#"{"verb":"frobnicate"}"#, "unknown_verb"),
+            (r#"{"verb":"submit"}"#, "bad_request"),
+            (r#"{"verb":"submit","spec":"target=4x4 app=water mode=warp"}"#, "bad_spec"),
+            (r#"{"verb":"status","ticket":-1}"#, "bad_request"),
+            (r#"{"verb":"result","ticket":999999}"#, "unknown_ticket"),
+            (r#"{"verb":"cancel","ticket":999999}"#, "unknown_ticket"),
+        ] {
+            let response = Json::parse(&handle_request(&service, request)).unwrap();
+            assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{request}"
+            );
+            assert_eq!(
+                response.get("error").and_then(Json::as_str),
+                Some(code),
+                "{request}"
+            );
+        }
+        // The mode failure surfaces the ParseModeError chain.
+        let response = Json::parse(&handle_request(
+            &service,
+            r#"{"verb":"submit","spec":"target=4x4 app=water mode=warp"}"#,
+        ))
+        .unwrap();
+        let detail = response.get("detail").and_then(Json::as_str).unwrap();
+        assert!(detail.contains("unknown mode `warp`"), "detail: {detail}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn tcp_round_trip_on_loopback() {
+        let server = WireServer::bind("127.0.0.1:0", tiny_service()).unwrap();
+        let handle = server.spawn().unwrap();
+        let mut client = WireClient::connect(handle.addr()).unwrap();
+
+        let response = client.submit(SPEC, Some("high"), None).unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        let ticket = response.get("ticket").and_then(Json::as_u64).unwrap();
+
+        let response = client.result(ticket, Some(30_000)).unwrap();
+        assert_eq!(
+            response.get("outcome").and_then(Json::as_str),
+            Some("completed")
+        );
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get("submitted").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(1));
+
+        // A second connection sees the same service (and its cache).
+        let mut second = WireClient::connect(handle.addr()).unwrap();
+        let response = second.submit(SPEC, None, None).unwrap();
+        assert_eq!(
+            response.get("disposition").and_then(Json::as_str),
+            Some("cached")
+        );
+        handle.stop();
+    }
+}

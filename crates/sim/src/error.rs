@@ -62,6 +62,15 @@ pub enum SimError {
     },
     /// Bad configuration detected after construction.
     Config(ConfigError),
+    /// The run was stopped from outside (e.g. a job-service cancellation
+    /// flag). Unlike [`Timeout`], nothing went wrong inside the
+    /// simulation: a supervisor simply asked it to stop.
+    ///
+    /// [`Timeout`]: SimError::Timeout
+    Cancelled {
+        /// The cycle at which the halt request was honoured.
+        at_cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -79,6 +88,9 @@ impl fmt::Display for SimError {
                 write!(f, "component fault in {component}: {detail}")
             }
             SimError::Config(err) => err.fmt(f),
+            SimError::Cancelled { at_cycle } => {
+                write!(f, "simulation cancelled at cycle {at_cycle}")
+            }
         }
     }
 }
@@ -126,6 +138,11 @@ mod tests {
         assert!(fault.to_string().contains("worker 3"));
         assert!(fault.to_string().contains("panicked"));
         assert!(fault.source().is_none());
+
+        let cancelled = SimError::Cancelled { at_cycle: 512 };
+        assert!(cancelled.to_string().contains("cancelled"));
+        assert!(cancelled.to_string().contains("512"));
+        assert!(cancelled.source().is_none());
     }
 
     #[test]

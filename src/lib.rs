@@ -12,6 +12,8 @@
 //! * [`workloads`] — application profiles and trace record/replay;
 //! * [`obs`] — zero-cost-when-disabled observability (tracing, metrics,
 //!   profiling spans);
+//! * [`serve`] — concurrent simulation-job service (canonical job specs,
+//!   result memoization, bounded admission, line-JSON wire protocol);
 //! * [`sim`] — shared primitives.
 //!
 //! # Example
@@ -42,5 +44,6 @@ pub use ra_gpu as gpu;
 pub use ra_netmodel as netmodel;
 pub use ra_noc as noc;
 pub use ra_obs as obs;
+pub use ra_serve as serve;
 pub use ra_sim as sim;
 pub use ra_workloads as workloads;

@@ -245,3 +245,66 @@ fn multiple_engines_coexist() {
     assert_eq!(net_a.stats().delivered, 1);
     assert_eq!(net_b.stats().delivered, 1);
 }
+
+/// The service layer end to end through the umbrella crate: wire client
+/// -> TCP server -> scheduler -> driver -> cached resubmission, with the
+/// backpressure and cache counters visible over the `stats` verb.
+#[test]
+fn serve_wire_round_trip_reaches_the_driver_and_memoizes() {
+    use reciprocal_abstraction::serve::{
+        JobService, Json, ServeConfig, WireClient, WireServer,
+    };
+
+    let service = JobService::start(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        reciprocal_abstraction::obs::ObsSink::disabled(),
+    )
+    .expect("service starts");
+    let handle = WireServer::bind("127.0.0.1:0", service)
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn accept loop");
+    let mut client = WireClient::connect(handle.addr()).expect("connect");
+
+    let spec = "target=4x4 app=water mode=hop instructions=100 budget=500000 seed=3";
+    let submitted = client.submit(spec, Some("high"), None).expect("submit");
+    assert_eq!(submitted.get("ok").and_then(Json::as_bool), Some(true));
+    let ticket = submitted.get("ticket").and_then(Json::as_u64).expect("ticket");
+
+    let outcome = client.result(ticket, Some(60_000)).expect("result");
+    assert_eq!(outcome.get("outcome").and_then(Json::as_str), Some("completed"));
+    let body = outcome.get("result").expect("result body");
+    assert_eq!(body.get("workload").and_then(Json::as_str), Some("water"));
+    assert_eq!(body.get("mode").and_then(Json::as_str), Some("abstract-hop"));
+    let cycles = body.get("cycles").and_then(Json::as_u64).expect("cycles");
+    assert!(cycles > 0);
+
+    // Identical spec, different phrasing: canonicalization makes it the
+    // same job, and the store serves it without re-simulating.
+    let rephrased = "seed=3 app=water target=4x4 budget=500000 instructions=100 mode=hop";
+    let again = client.submit(rephrased, None, None).expect("resubmit");
+    assert_eq!(
+        again.get("disposition").and_then(Json::as_str),
+        Some("cached")
+    );
+    let ticket = again.get("ticket").and_then(Json::as_u64).expect("ticket");
+    let cached = client.result(ticket, Some(60_000)).expect("cached result");
+    assert_eq!(cached.get("outcome").and_then(Json::as_str), Some("cached"));
+    assert_eq!(
+        cached
+            .get("result")
+            .and_then(|r| r.get("cycles"))
+            .and_then(Json::as_u64),
+        Some(cycles),
+        "the cached result must be the original, bit for bit"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("rejected").and_then(Json::as_u64), Some(0));
+    handle.stop();
+}

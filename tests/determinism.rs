@@ -204,3 +204,126 @@ proptest! {
         prop_assert_eq!(reference, candidate);
     }
 }
+
+/// The service layer must be schedule-transparent too: N identical
+/// [`JobSpec`]s submitted concurrently, in shuffled priority order, must
+/// yield results bit-identical to a plain serial [`RunSpec::run`] — and
+/// must cost exactly one simulation (single-flight + memoization).
+///
+/// [`JobSpec`]: reciprocal_abstraction::serve::JobSpec
+/// [`RunSpec::run`]: reciprocal_abstraction::cosim::RunSpec::run
+mod service_schedule_transparency {
+    use reciprocal_abstraction::cosim::RunResult;
+    use reciprocal_abstraction::obs::{ObsSink, RingRecorder};
+    use reciprocal_abstraction::serve::{
+        Disposition, JobOutcome, JobService, JobSpec, Priority, ServeConfig,
+    };
+
+    const SPEC: &str =
+        "target=4x4 app=water mode=reciprocal:quantum=500,workers=2 instructions=200 \
+         budget=500000 seed=1";
+
+    /// The deterministic slice of a [`RunResult`] (wall-clock `Duration`s
+    /// excluded — they legitimately vary run to run).
+    #[derive(Debug, PartialEq)]
+    struct Fingerprint {
+        cycles: u64,
+        messages: u64,
+        ipc_bits: u64,
+        calibrations: u64,
+        latency: reciprocal_abstraction::sim::Summary,
+        class_latency: Vec<reciprocal_abstraction::sim::Summary>,
+    }
+
+    fn fingerprint(result: &RunResult) -> Fingerprint {
+        Fingerprint {
+            cycles: result.cycles,
+            messages: result.messages,
+            ipc_bits: result.ipc.to_bits(),
+            calibrations: result.calibrations,
+            latency: result.latency,
+            class_latency: result.class_latency.clone(),
+        }
+    }
+
+    #[test]
+    fn concurrent_identical_jobs_match_the_serial_run_bit_for_bit() {
+        let spec: JobSpec = SPEC.parse().expect("canonical spec");
+        let reference = fingerprint(&spec.to_run_spec().run().expect("serial run"));
+
+        let (sink, ring) = ObsSink::attach(RingRecorder::new(8192));
+        let service = JobService::start(
+            ServeConfig {
+                workers: 4,
+                ..ServeConfig::default()
+            },
+            sink,
+        )
+        .expect("service starts");
+
+        // Shuffled priority order across the concurrent submitters: the
+        // outcome must not depend on who wins the race to enqueue.
+        let priorities = [
+            Priority::High,
+            Priority::Low,
+            Priority::Normal,
+            Priority::High,
+            Priority::Normal,
+            Priority::Low,
+            Priority::Low,
+            Priority::High,
+        ];
+        let fingerprints: Vec<Fingerprint> = std::thread::scope(|scope| {
+            let handles: Vec<_> = priorities
+                .iter()
+                .map(|&priority| {
+                    let service = &service;
+                    let spec = spec.clone();
+                    scope.spawn(move || {
+                        let receipt = service.submit(spec, priority, None).expect("admitted");
+                        match service.wait(receipt.ticket, None).expect("job finishes") {
+                            JobOutcome::Completed { result, .. } => fingerprint(&result),
+                            other => panic!("job should complete: {other:?}"),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("submitter")).collect()
+        });
+        for (i, fp) in fingerprints.iter().enumerate() {
+            assert_eq!(
+                fp, &reference,
+                "submitter {i} saw a result differing from the serial reference"
+            );
+        }
+
+        // Single-flight + memoization: one simulation total, and a late
+        // resubmission is a cache hit that never reaches a worker.
+        let stats = service.stats();
+        assert_eq!(stats.completed, 1, "exactly one simulation may run: {stats:?}");
+        assert_eq!(
+            stats.cache_hits + stats.coalesced + stats.admitted,
+            priorities.len() as u64,
+            "every submission is accounted for: {stats:?}"
+        );
+        let late = service
+            .submit(spec.clone(), Priority::Normal, None)
+            .expect("admitted");
+        assert_eq!(late.disposition, Disposition::CacheHit);
+        match service.wait(late.ticket, None).expect("cached outcome") {
+            JobOutcome::Completed { result, cached, .. } => {
+                assert!(cached);
+                assert_eq!(fingerprint(&result), reference);
+            }
+            other => panic!("cached job should complete: {other:?}"),
+        }
+        service.shutdown();
+
+        let ring = ring.lock().unwrap();
+        let job_done = ring
+            .events()
+            .filter(|e| e.kind_name() == "job_done")
+            .count();
+        assert_eq!(job_done, 1, "the obs stream must record exactly one run");
+    }
+}
