@@ -223,6 +223,43 @@ pub enum Event {
         /// Nanoseconds spent running the co-simulation (0 if never run).
         run_ns: u64,
     },
+    /// The job service replayed its durability logs (spill + journal)
+    /// at startup — the warm-restart signature.
+    JournalReplay {
+        /// Memoized results rebuilt into the cache from the spill log.
+        recovered_results: u64,
+        /// Journaled-but-unfinished jobs re-enqueued to run again.
+        resumed_jobs: u64,
+        /// Bytes of torn/corrupt tail ignored across both logs.
+        dropped_tail_bytes: u64,
+        /// Complete frames whose checksum failed (0 after a clean tear).
+        checksum_errors: u64,
+    },
+    /// A worker thread panicked mid-job and was respawned by the
+    /// supervisor; the pool is back to full strength.
+    WorkerRespawn {
+        /// Which worker slot respawned.
+        worker: u64,
+        /// How many times this slot has respawned (1 = first panic).
+        incarnation: u64,
+        /// Content hash of the job that killed it (0 if it died idle).
+        job: u64,
+    },
+    /// A job was quarantined as poisoned after killing too many workers.
+    JobQuarantined {
+        /// Canonical job-spec content hash.
+        job: u64,
+        /// Workers it killed before quarantine.
+        strikes: u64,
+    },
+    /// A *running* job crossed its deadline and was cooperatively
+    /// cancelled via the engine's watchdog poll.
+    DeadlineCancel {
+        /// Canonical job-spec content hash.
+        job: u64,
+        /// Milliseconds past the deadline when the reaper fired.
+        overrun_ms: u64,
+    },
 }
 
 impl Event {
@@ -239,6 +276,10 @@ impl Event {
             Event::JobRejected { .. } => "job_rejected",
             Event::CacheHit { .. } => "cache_hit",
             Event::JobDone { .. } => "job_done",
+            Event::JournalReplay { .. } => "journal_replay",
+            Event::WorkerRespawn { .. } => "worker_respawn",
+            Event::JobQuarantined { .. } => "job_quarantined",
+            Event::DeadlineCancel { .. } => "deadline_cancel",
         }
     }
 
@@ -343,6 +384,34 @@ impl Event {
                 w.str("outcome", outcome);
                 w.int("queue_ns", *queue_ns);
                 w.int("run_ns", *run_ns);
+            }
+            Event::JournalReplay {
+                recovered_results,
+                resumed_jobs,
+                dropped_tail_bytes,
+                checksum_errors,
+            } => {
+                w.int("recovered_results", *recovered_results);
+                w.int("resumed_jobs", *resumed_jobs);
+                w.int("dropped_tail_bytes", *dropped_tail_bytes);
+                w.int("checksum_errors", *checksum_errors);
+            }
+            Event::WorkerRespawn {
+                worker,
+                incarnation,
+                job,
+            } => {
+                w.int("worker", *worker);
+                w.int("incarnation", *incarnation);
+                w.hex("job", *job);
+            }
+            Event::JobQuarantined { job, strikes } => {
+                w.hex("job", *job);
+                w.int("strikes", *strikes);
+            }
+            Event::DeadlineCancel { job, overrun_ms } => {
+                w.hex("job", *job);
+                w.int("overrun_ms", *overrun_ms);
             }
         }
         w.finish()
@@ -921,6 +990,25 @@ mod tests {
                 outcome: "ok".into(),
                 queue_ns: 1_000,
                 run_ns: 2_000,
+            },
+            Event::JournalReplay {
+                recovered_results: 12,
+                resumed_jobs: 3,
+                dropped_tail_bytes: 17,
+                checksum_errors: 0,
+            },
+            Event::WorkerRespawn {
+                worker: 1,
+                incarnation: 2,
+                job: 0xDEAD_BEEF,
+            },
+            Event::JobQuarantined {
+                job: 0xDEAD_BEEF,
+                strikes: 2,
+            },
+            Event::DeadlineCancel {
+                job: 0xDEAD_BEEF,
+                overrun_ms: 40,
             },
         ];
         for event in &events {

@@ -16,7 +16,7 @@
 //! The report (stable, CI-greppable):
 //!
 //! ```text
-//! dispositions: enqueued=8 coalesced=40 cached=16 rejected=0 rejected_without_signal=0
+//! dispositions: enqueued=8 coalesced=40 cached=16 rejected=0 rejected_without_signal=0 retries=0
 //! outcomes: completed=8 cached=56 failed=0 cancelled=0 expired=0
 //! latency ms: p50=1.2 p95=9.8 p99=14.0 mean=3.4
 //! throughput: 410.3 jobs/s over 0.16 s
@@ -26,9 +26,16 @@
 //! `rejected_without_signal` counts submissions the server turned away
 //! *without* the explicit `queue_full` backpressure signal — always 0
 //! for a well-behaved server, and CI asserts exactly that.
+//!
+//! When the server *does* signal `queue_full` + `retryable`, each
+//! connection retries the same submission with exponential backoff plus
+//! jitter drawn from a per-connection seeded generator, so runs are
+//! reproducible and connections do not thunder back in lockstep. The
+//! `retries=` field on the dispositions line counts those resubmits;
+//! `rejected=` counts only submissions that exhausted the budget.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ra_bench::percentile;
 use ra_serve::{Json, WireClient};
@@ -46,6 +53,36 @@ const USAGE: &str = "usage: ra-loadgen --addr HOST:PORT [--jobs N] [--workers N]
                      [--distinct N] [--spec SPEC] [--timeout-ms N]";
 
 const PRIORITIES: [&str; 3] = ["low", "normal", "high"];
+
+/// Backoff schedule for `queue_full` rejections: attempt `n` (1-based)
+/// sleeps `BACKOFF_BASE_MS << (n-1)` plus jitter in `[0, same)` ms.
+const MAX_SUBMIT_ATTEMPTS: u32 = 6;
+const BACKOFF_BASE_MS: u64 = 2;
+
+/// xorshift64* — tiny, seedable, and plenty for backoff jitter.
+/// Seeded from the connection index so every run of the same command
+/// line produces the same retry timing per connection.
+struct Jitter(u64);
+
+impl Jitter {
+    fn seeded(client_id: usize) -> Jitter {
+        Jitter((client_id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish draw in `[0, bound)`; bound must be non-zero.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -96,6 +133,7 @@ struct Tally {
     cached_submit: u64,
     rejected: u64,
     rejected_without_signal: u64,
+    retries: u64,
     completed: u64,
     cached_outcome: u64,
     failed: u64,
@@ -113,6 +151,7 @@ impl Tally {
         self.cached_submit += other.cached_submit;
         self.rejected += other.rejected;
         self.rejected_without_signal += other.rejected_without_signal;
+        self.retries += other.retries;
         self.completed += other.completed;
         self.cached_outcome += other.cached_outcome;
         self.failed += other.failed;
@@ -123,8 +162,9 @@ impl Tally {
     }
 }
 
-fn drive_connection(args: &Args, jobs: &[usize]) -> Tally {
+fn drive_connection(args: &Args, jobs: &[usize], client_id: usize) -> Tally {
     let mut tally = Tally::default();
+    let mut jitter = Jitter::seeded(client_id);
     let mut client = match WireClient::connect(args.addr.as_str()) {
         Ok(client) => client,
         Err(err) => {
@@ -133,42 +173,54 @@ fn drive_connection(args: &Args, jobs: &[usize]) -> Tally {
             return tally;
         }
     };
-    // Open-loop phase: all submits back-to-back.
+    // Open-loop phase: all submits back-to-back; a `queue_full` signal
+    // pauses just this job for a jittered exponential backoff.
     let mut pending: Vec<(u64, Instant)> = Vec::with_capacity(jobs.len());
     for &job in jobs {
         let spec = format!("{} seed={}", args.spec, job % args.distinct);
         let priority = PRIORITIES[job % PRIORITIES.len()];
         let submitted = Instant::now();
-        let response = match client.submit(&spec, Some(priority), None) {
-            Ok(response) => response,
-            Err(err) => {
-                eprintln!("ra-loadgen: submit: {err}");
-                tally.transport_errors += 1;
-                continue;
-            }
-        };
-        if response.get("ok").and_then(Json::as_bool) == Some(true) {
-            match response.get("disposition").and_then(Json::as_str) {
-                Some("enqueued") => tally.enqueued += 1,
-                Some("coalesced") => tally.coalesced += 1,
-                Some("cached") => tally.cached_submit += 1,
-                other => {
-                    eprintln!("ra-loadgen: odd disposition {other:?}");
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let response = match client.submit(&spec, Some(priority), None) {
+                Ok(response) => response,
+                Err(err) => {
+                    eprintln!("ra-loadgen: submit: {err}");
                     tally.transport_errors += 1;
+                    break;
                 }
+            };
+            if response.get("ok").and_then(Json::as_bool) == Some(true) {
+                match response.get("disposition").and_then(Json::as_str) {
+                    Some("enqueued") => tally.enqueued += 1,
+                    Some("coalesced") => tally.coalesced += 1,
+                    Some("cached") => tally.cached_submit += 1,
+                    other => {
+                        eprintln!("ra-loadgen: odd disposition {other:?}");
+                        tally.transport_errors += 1;
+                    }
+                }
+                match response.get("ticket").and_then(Json::as_u64) {
+                    Some(ticket) => pending.push((ticket, submitted)),
+                    None => tally.transport_errors += 1,
+                }
+                break;
             }
-            match response.get("ticket").and_then(Json::as_u64) {
-                Some(ticket) => pending.push((ticket, submitted)),
-                None => tally.transport_errors += 1,
-            }
-        } else {
-            tally.rejected += 1;
             let signalled = response.get("error").and_then(Json::as_str) == Some("queue_full")
                 && response.get("retryable").and_then(Json::as_bool) == Some(true)
                 && response.get("depth").and_then(Json::as_u64).is_some();
+            if signalled && attempt < MAX_SUBMIT_ATTEMPTS {
+                let base = BACKOFF_BASE_MS << (attempt - 1);
+                std::thread::sleep(Duration::from_millis(base + jitter.below(base)));
+                tally.retries += 1;
+                continue;
+            }
+            tally.rejected += 1;
             if !signalled {
                 tally.rejected_without_signal += 1;
             }
+            break;
         }
     }
     // Collection phase.
@@ -186,7 +238,8 @@ fn drive_connection(args: &Args, jobs: &[usize]) -> Tally {
             Some("cached") => tally.cached_outcome += 1,
             Some("failed") => tally.failed += 1,
             Some("cancelled") => tally.cancelled += 1,
-            Some("deadline_expired") => tally.expired += 1,
+            Some("deadline_expired") | Some("deadline_exceeded") => tally.expired += 1,
+            Some("poisoned") => tally.failed += 1,
             _ => {
                 eprintln!(
                     "ra-loadgen: no outcome for ticket {ticket}: {:?}",
@@ -219,9 +272,11 @@ fn main() -> ExitCode {
         .collect();
     let mut total = Tally::default();
     std::thread::scope(|scope| {
+        let args = &args;
         let handles: Vec<_> = slices
             .iter()
-            .map(|jobs| scope.spawn(|| drive_connection(&args, jobs)))
+            .enumerate()
+            .map(|(client_id, jobs)| scope.spawn(move || drive_connection(args, jobs, client_id)))
             .collect();
         for handle in handles {
             match handle.join() {
@@ -233,12 +288,14 @@ fn main() -> ExitCode {
     let elapsed = started.elapsed().as_secs_f64();
 
     println!(
-        "dispositions: enqueued={} coalesced={} cached={} rejected={} rejected_without_signal={}",
+        "dispositions: enqueued={} coalesced={} cached={} rejected={} \
+         rejected_without_signal={} retries={}",
         total.enqueued,
         total.coalesced,
         total.cached_submit,
         total.rejected,
-        total.rejected_without_signal
+        total.rejected_without_signal,
+        total.retries
     );
     println!(
         "outcomes: completed={} cached={} failed={} cancelled={} expired={}",

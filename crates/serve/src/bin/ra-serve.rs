@@ -2,36 +2,92 @@
 //!
 //! ```text
 //! ra-serve [--addr 127.0.0.1:7743] [--workers 2] [--queue 64]
-//!          [--cache 256] [--shards 8] [--spill results.jsonl]
-//!          [--trace trace.jsonl]
+//!          [--cache 256] [--shards 8] [--state-dir DIR]
+//!          [--spill results.jsonl] [--fsync-every 8]
+//!          [--drain-timeout 30] [--trace trace.jsonl]
 //! ```
 //!
 //! Binds a line-JSON TCP endpoint (see `ra_serve::wire` for the
-//! protocol), prints `listening on <addr>` once ready — scripts and CI
-//! wait for that line — and serves until killed. `--spill` appends one
-//! JSON line per completed result; `--trace` streams the full service +
-//! simulation event stream (admissions, rejections, cache hits, run
-//! spans) as JSONL.
+//! protocol), prints a `recovery: ...` summary of what it replayed from
+//! disk and then `listening on <addr>` once ready — scripts and CI wait
+//! for the latter line — and serves until stopped.
+//!
+//! `--state-dir DIR` turns on crash-safe durability: completed results
+//! spill to `DIR/spill.jsonl` and admissions are write-ahead journaled
+//! to `DIR/journal.jsonl`, both as checksummed frames. A restart
+//! against the same directory (even after kill -9) rebuilds the memo
+//! cache and re-runs whatever was admitted but unfinished — exactly
+//! once. `--spill FILE` alone keeps the older spill-only behaviour.
+//!
+//! On SIGTERM or ctrl-c the server stops admitting, drains in-flight
+//! jobs for up to `--drain-timeout` seconds, flushes and fsyncs the
+//! journal and spill, and exits 0.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use ra_obs::{JsonlRecorder, ObsSink};
 use ra_serve::{JobService, ServeConfig, WireServer};
 
+/// Minimal unix signal latch without any libc crate: `signal(2)` is in
+/// every libc the toolchain links anyway, and the handler only performs
+/// an async-signal-safe atomic store.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
+
 struct Args {
     addr: String,
     config: ServeConfig,
+    state_dir: Option<PathBuf>,
+    drain_timeout: Duration,
     trace: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: ra-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--cache N] [--shards N] [--spill FILE] [--trace FILE]";
+                     [--cache N] [--shards N] [--state-dir DIR] [--spill FILE] \
+                     [--fsync-every N] [--drain-timeout SECS] [--trace FILE]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7743".to_owned(),
         config: ServeConfig::default(),
+        state_dir: None,
+        drain_timeout: Duration::from_secs(30),
         trace: None,
     };
     let mut argv = std::env::args().skip(1);
@@ -52,11 +108,30 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => {
                 args.config.cache_shards = parse_num(&value("--shards")?, "--shards")?;
             }
+            "--state-dir" => args.state_dir = Some(PathBuf::from(value("--state-dir")?)),
             "--spill" => args.config.spill = Some(PathBuf::from(value("--spill")?)),
+            "--fsync-every" => {
+                // 0 is meaningful here: flush every record, fsync never.
+                let text = value("--fsync-every")?;
+                args.config.fsync_every = text.parse::<u64>().map_err(|_| {
+                    format!("--fsync-every needs a non-negative integer, got `{text}`")
+                })?;
+            }
+            "--drain-timeout" => {
+                args.drain_timeout = Duration::from_secs(
+                    parse_num(&value("--drain-timeout")?, "--drain-timeout")? as u64,
+                );
+            }
             "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
+    }
+    if let Some(dir) = &args.state_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|err| format!("cannot create --state-dir {}: {err}", dir.display()))?;
+        args.config.spill = Some(dir.join("spill.jsonl"));
+        args.config.journal = Some(dir.join("journal.jsonl"));
     }
     Ok(args)
 }
@@ -93,6 +168,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let recovery = service.recovery();
+    println!(
+        "recovery: spill_records={} journal_records={} resumed={} dropped_tail_bytes={} \
+         checksum_errors={}",
+        recovery.recovered_results,
+        recovery.journal_records,
+        recovery.resumed_jobs,
+        recovery.dropped_tail_bytes,
+        recovery.checksum_errors
+    );
+    signals::install();
     let server = match WireServer::bind(args.addr.as_str(), service) {
         Ok(server) => server,
         Err(err) => {
@@ -100,30 +186,47 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match server.local_addr() {
-        Ok(addr) => {
-            // Flushed immediately: launch scripts block on this line.
-            println!("listening on {addr}");
-            use std::io::Write as _;
-            let _ = std::io::stdout().flush();
-        }
+    let handle = match server.spawn() {
+        Ok(handle) => handle,
         Err(err) => {
-            eprintln!("ra-serve: cannot read bound address: {err}");
+            eprintln!("ra-serve: cannot start accept loop: {err}");
             return ExitCode::FAILURE;
         }
-    }
+    };
+    // Flushed immediately: launch scripts block on this line.
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
     eprintln!(
-        "ra-serve: {} workers, queue {}, cache {} entries / {} shards",
+        "ra-serve: {} workers, queue {}, cache {} entries / {} shards{}",
         args.config.workers,
         args.config.queue_capacity,
         args.config.cache_capacity,
-        args.config.cache_shards
-    );
-    match server.run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(err) => {
-            eprintln!("ra-serve: accept loop failed: {err}");
-            ExitCode::FAILURE
+        args.config.cache_shards,
+        match &args.state_dir {
+            Some(dir) => format!(", state dir {}", dir.display()),
+            None => String::new(),
         }
+    );
+    while !signals::requested() {
+        std::thread::sleep(Duration::from_millis(50));
     }
+    eprintln!(
+        "ra-serve: shutdown signal received, draining (up to {}s)",
+        args.drain_timeout.as_secs()
+    );
+    let service = handle.service();
+    let drained = service.drain(args.drain_timeout);
+    let _ = service.obs().flush();
+    handle.stop();
+    if drained {
+        eprintln!("ra-serve: drained cleanly, journal and spill synced");
+    } else {
+        eprintln!(
+            "ra-serve: drain timed out after {}s; unfinished jobs stay journaled \
+             and will resume on restart",
+            args.drain_timeout.as_secs()
+        );
+    }
+    ExitCode::SUCCESS
 }

@@ -11,13 +11,20 @@
 //!   content hash ([`JobKey`]) and text round-trip, convertible into the
 //!   borrowed [`RunSpec`];
 //! * [`ResultStore`] — sharded in-memory LRU memoization of completed
-//!   [`RunResult`]s, plus an append-only JSONL spill log;
+//!   [`RunResult`]s, plus a checksummed, replayable spill log;
+//! * [`journal`] — the crash-safety layer: a shared checksummed frame
+//!   format for both durability logs and a write-ahead job journal, so
+//!   a restart (even after kill -9) rebuilds the memo cache and
+//!   re-enqueues admitted-but-unfinished jobs exactly once;
 //! * [`JobService`] — a fixed worker pool behind a *bounded* admission
 //!   queue with explicit backpressure ([`Rejected::QueueFull`]),
-//!   priorities, queue-wait deadlines, single-flight coalescing of
-//!   identical jobs, and interest-counted cooperative cancellation
+//!   priorities, whole-life deadlines (queued jobs expire, running jobs
+//!   are cooperatively cancelled by a reaper), single-flight coalescing
+//!   of identical jobs, interest-counted cooperative cancellation
 //!   (reusing the engine's watchdog poll via
-//!   [`RunSpec::cancel_flag`](ra_cosim::RunSpec::cancel_flag));
+//!   [`RunSpec::cancel_flag`](ra_cosim::RunSpec::cancel_flag)), a
+//!   panic-catching worker supervisor with per-job strike quarantine,
+//!   and bounded retry with exponential backoff for transient faults;
 //! * [`wire`] — line-delimited JSON over `std::net` TCP (the `ra-serve`
 //!   server bin and the `ra-loadgen` load generator bin), no async
 //!   runtime required;
@@ -52,16 +59,18 @@
 //! [`RunSpec`]: ra_cosim::RunSpec
 //! [`RunResult`]: ra_cosim::RunResult
 
+pub mod journal;
 pub mod json;
 pub mod scheduler;
 pub mod spec;
 pub mod store;
 pub mod wire;
 
+pub use journal::{Journal, JournalRecovery, RecoveryReport, UnfinishedJob};
 pub use json::{Json, JsonError};
 pub use scheduler::{
-    CancelOutcome, Disposition, JobOutcome, JobService, JobStatus, Priority, Rejected,
-    ServeConfig, ServiceStats, SubmitReceipt, Ticket, WaitError,
+    CancelOutcome, ChaosConfig, Disposition, JobOutcome, JobService, JobStatus, Priority,
+    RecoveryInfo, Rejected, ServeConfig, ServiceStats, SubmitReceipt, Ticket, WaitError,
 };
 pub use spec::{JobKey, JobSpec, SpecError};
 pub use store::{ResultStore, StoreStats};
@@ -77,6 +86,9 @@ mod service_tests {
     /// Long enough to still be running while the test submits more work,
     /// but bounded, and cancellable at the 512-cycle watchdog poll.
     const SLOW: &str = "target=2x2 app=water mode=fixed:10 instructions=60000 budget=30000000";
+    /// Comfortably outlives a short deadline even on a loaded CI box.
+    const VERY_SLOW: &str =
+        "target=2x2 app=water mode=fixed:10 instructions=200000 budget=100000000";
 
     fn service_with_ring(
         config: ServeConfig,
@@ -340,6 +352,238 @@ mod service_tests {
         let stats = service.stats();
         assert_eq!(stats.completed, 4);
         assert_eq!(stats.queue_depth, 0);
+        service.shutdown();
+    }
+
+    fn temp_state_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ra-serve-state-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn a_panicking_job_is_quarantined_and_the_pool_survives() {
+        let (service, ring) = service_with_ring(ServeConfig {
+            workers: 2,
+            retry_backoff: Duration::from_millis(1),
+            chaos: ChaosConfig {
+                panic_on_seeds: vec![777],
+                ..ChaosConfig::default()
+            },
+            ..ServeConfig::default()
+        });
+        // The poison pill crashes a worker on every attempt; after the
+        // second strike it must be quarantined, not retried forever.
+        let bad = service
+            .submit(FAST.parse::<JobSpec>().unwrap().seed(777), Priority::Normal, None)
+            .unwrap();
+        // A sibling job in flight at the same time must be unaffected.
+        let good = service
+            .submit(FAST.parse::<JobSpec>().unwrap().seed(778), Priority::Normal, None)
+            .unwrap();
+        let outcome = service.wait(bad.ticket, Some(Duration::from_secs(60))).unwrap();
+        let JobOutcome::Poisoned { error } = outcome else {
+            panic!("poison pill should be quarantined, got {outcome:?}");
+        };
+        assert!(error.contains("chaos: injected worker panic"), "error: {error}");
+        assert!(matches!(
+            service.wait(good.ticket, Some(Duration::from_secs(60))).unwrap(),
+            JobOutcome::Completed { .. }
+        ));
+        // The pool is whole again: a fresh job still completes.
+        let after = service
+            .submit(FAST.parse::<JobSpec>().unwrap().seed(779), Priority::Normal, None)
+            .unwrap();
+        assert!(matches!(
+            service.wait(after.ticket, Some(Duration::from_secs(60))).unwrap(),
+            JobOutcome::Completed { .. }
+        ));
+        let stats = service.stats();
+        assert_eq!(stats.poisoned, 1);
+        assert_eq!(stats.respawns, 2, "one respawn per strike");
+        assert_eq!(stats.completed, 2);
+        service.shutdown();
+
+        let ring = ring.lock().unwrap();
+        let count = |kind: &str| ring.events().filter(|e| e.kind_name() == kind).count();
+        assert_eq!(count("worker_respawn"), 2);
+        assert_eq!(count("job_quarantined"), 1);
+    }
+
+    #[test]
+    fn transient_faults_retry_with_backoff_until_success() {
+        let (service, _ring) = service_with_ring(ServeConfig {
+            workers: 1,
+            retry_budget: 2,
+            retry_backoff: Duration::from_millis(1),
+            chaos: ChaosConfig {
+                fault_on_seeds: vec![555],
+                fault_attempts: 2,
+                ..ChaosConfig::default()
+            },
+            ..ServeConfig::default()
+        });
+        let receipt = service
+            .submit(FAST.parse::<JobSpec>().unwrap().seed(555), Priority::Normal, None)
+            .unwrap();
+        assert!(matches!(
+            service.wait(receipt.ticket, Some(Duration::from_secs(60))).unwrap(),
+            JobOutcome::Completed { cached: false, .. }
+        ));
+        let stats = service.stats();
+        assert_eq!(stats.retries, 2, "two faulted attempts, then success");
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn an_exhausted_retry_budget_fails_the_job() {
+        let (service, _ring) = service_with_ring(ServeConfig {
+            workers: 1,
+            retry_budget: 1,
+            retry_backoff: Duration::from_millis(1),
+            chaos: ChaosConfig {
+                fault_on_seeds: vec![556],
+                fault_attempts: u32::MAX,
+                ..ChaosConfig::default()
+            },
+            ..ServeConfig::default()
+        });
+        let receipt = service
+            .submit(FAST.parse::<JobSpec>().unwrap().seed(556), Priority::Normal, None)
+            .unwrap();
+        let outcome = service.wait(receipt.ticket, Some(Duration::from_secs(60))).unwrap();
+        let JobOutcome::Failed { error } = outcome else {
+            panic!("budget exhaustion should fail the job, got {outcome:?}");
+        };
+        assert!(error.contains("injected transient fault"), "error: {error}");
+        let stats = service.stats();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.failed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn a_running_job_past_its_deadline_is_cooperatively_cancelled() {
+        let (service, ring) = service_with_ring(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let receipt = service
+            .submit(
+                VERY_SLOW.parse::<JobSpec>().unwrap().seed(31),
+                Priority::Normal,
+                Some(Duration::from_millis(150)),
+            )
+            .unwrap();
+        let outcome = service.wait(receipt.ticket, Some(Duration::from_secs(60))).unwrap();
+        assert!(
+            matches!(outcome, JobOutcome::DeadlineExceeded),
+            "a run past its deadline must finish as deadline_exceeded, got {outcome:?}"
+        );
+        assert_eq!(service.stats().deadline_exceeded, 1);
+        service.shutdown();
+
+        let ring = ring.lock().unwrap();
+        let fired = ring
+            .events()
+            .filter(|e| e.kind_name() == "deadline_cancel")
+            .count();
+        assert_eq!(fired, 1, "the reaper fires the cancel exactly once");
+    }
+
+    #[test]
+    fn restart_replays_the_spill_and_reruns_unfinished_journal_entries() {
+        let dir = temp_state_dir("restart");
+        let spill = dir.join("spill.jsonl");
+        let journal_path = dir.join("journal.jsonl");
+        let durable = |chaos: ChaosConfig| ServeConfig {
+            workers: 1,
+            spill: Some(spill.clone()),
+            journal: Some(journal_path.clone()),
+            fsync_every: 0,
+            chaos,
+            ..ServeConfig::default()
+        };
+        let done_spec = FAST.parse::<JobSpec>().unwrap().seed(21);
+        let lost_spec = FAST.parse::<JobSpec>().unwrap().seed(22);
+
+        // Life A: complete one job, then die with another admitted but
+        // unfinished (simulated by appending its admit record the way a
+        // killed process would have left it).
+        {
+            let (service, _ring) = service_with_ring(durable(ChaosConfig::default()));
+            let receipt = service.submit(done_spec.clone(), Priority::Normal, None).unwrap();
+            assert!(matches!(
+                service.wait(receipt.ticket, Some(Duration::from_secs(60))).unwrap(),
+                JobOutcome::Completed { .. }
+            ));
+            service.shutdown();
+            let journal = Journal::open(&journal_path, 0).unwrap();
+            journal.admit(lost_spec.job_hash(), &lost_spec.canonical(), Priority::High);
+            journal.sync().unwrap();
+        }
+
+        // Life B: the completed result survives, the unfinished job is
+        // re-enqueued and runs exactly once.
+        let (service, ring) = service_with_ring(durable(ChaosConfig::default()));
+        let recovery = service.recovery();
+        assert_eq!(recovery.recovered_results, 1);
+        assert_eq!(recovery.resumed_jobs, 1);
+        assert_eq!(recovery.checksum_errors, 0);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while service.stats().completed < 1 {
+            assert!(Instant::now() < deadline, "resumed job never completed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Both specs now answer from the memo store without simulating.
+        for spec in [done_spec, lost_spec] {
+            let receipt = service.submit(spec, Priority::Normal, None).unwrap();
+            assert_eq!(receipt.disposition, Disposition::CacheHit, "spec should be memoized");
+        }
+        assert_eq!(service.stats().completed, 1, "the resumed job ran exactly once");
+        service.shutdown();
+
+        let ring = ring.lock().unwrap();
+        let replayed = ring
+            .events()
+            .filter(|e| e.kind_name() == "journal_replay")
+            .count();
+        assert_eq!(replayed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_finishes_inflight_work_and_rejects_new_submissions() {
+        let (service, _ring) = service_with_ring(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        for seed in 0..4 {
+            service
+                .submit(
+                    FAST.parse::<JobSpec>().unwrap().seed(300 + seed),
+                    Priority::Normal,
+                    None,
+                )
+                .unwrap();
+        }
+        assert!(service.drain(Duration::from_secs(60)), "drain should finish");
+        let stats = service.stats();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(
+            service
+                .submit(FAST.parse::<JobSpec>().unwrap().seed(399), Priority::Normal, None)
+                .unwrap_err(),
+            Rejected::ShuttingDown
+        );
         service.shutdown();
     }
 }

@@ -1,5 +1,6 @@
 //! Job scheduling: bounded admission, priorities, deadlines, a fixed
-//! worker pool, single-flight coalescing, and cooperative cancellation.
+//! worker pool, single-flight coalescing, cooperative cancellation,
+//! crash-safe journaling, and a self-healing worker supervisor.
 //!
 //! # Admission and backpressure
 //!
@@ -19,7 +20,7 @@
 //! results land in the [`ResultStore`], so later resubmissions are
 //! cache hits without any scheduling at all.
 //!
-//! # Cancellation
+//! # Cancellation and deadlines
 //!
 //! Cancellation reuses the run-loop watchdog plumbing: each job owns an
 //! `Arc<AtomicBool>` handed to [`RunSpec::cancel_flag`], which the
@@ -29,9 +30,37 @@
 //! that submission; only when the last interested ticket cancels is the
 //! flag actually raised (or the queued entry tombstoned).
 //!
+//! A submission deadline bounds the job's *whole* life, not just its
+//! queue wait: a job still queued when it elapses never runs
+//! ([`JobOutcome::DeadlineExpired`]), and a job still *running* past it
+//! is cooperatively cancelled by the reaper thread through the same
+//! flag and finishes as [`JobOutcome::DeadlineExceeded`].
+//!
+//! # Durability
+//!
+//! With [`ServeConfig::journal`] set, every fresh admission is appended
+//! to a write-ahead [`Journal`] *before* any worker can pick the job
+//! up, and every terminal outcome appends a settle record. Together
+//! with the result-store spill ([`ServeConfig::spill`]), a restart
+//! against the same state directory rebuilds the memo cache and
+//! re-enqueues exactly the jobs the previous process admitted but never
+//! finished — a kill -9 loses no completed result and re-runs each
+//! unfinished job exactly once.
+//!
+//! # Self-healing
+//!
+//! Worker threads run under a supervisor: a panic inside a run is
+//! caught with `catch_unwind`, the worker is respawned (same OS thread,
+//! next incarnation), and the offending job is retried with backoff. A
+//! job that kills [`ServeConfig::strike_limit`] workers is quarantined
+//! as [`JobOutcome::Poisoned`] instead of being retried forever.
+//! Transient [`SimError::Fault`] outcomes are retried up to
+//! [`ServeConfig::retry_budget`] times with exponential backoff.
+//!
 //! [`RunSpec::cancel_flag`]: ra_cosim::RunSpec::cancel_flag
 //! [`Event::JobRejected`]: ra_obs::Event::JobRejected
 
+use std::any::Any;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::path::PathBuf;
@@ -45,6 +74,7 @@ use ra_cosim::RunResult;
 use ra_obs::{Event, ObsSink};
 use ra_sim::SimError;
 
+use crate::journal::{self, Journal, RecoveryReport, UnfinishedJob};
 use crate::spec::{JobKey, JobSpec};
 use crate::store::{ResultStore, StoreStats};
 
@@ -184,6 +214,15 @@ pub enum JobOutcome {
     Cancelled,
     /// The job was still queued past its deadline and never ran.
     DeadlineExpired,
+    /// The job was *running* past its deadline and was cooperatively
+    /// cancelled by the reaper.
+    DeadlineExceeded,
+    /// The job crashed [`ServeConfig::strike_limit`] workers and was
+    /// quarantined instead of retried again.
+    Poisoned {
+        /// Rendered fault describing the last crash.
+        error: String,
+    },
 }
 
 impl JobOutcome {
@@ -197,6 +236,8 @@ impl JobOutcome {
             JobOutcome::Failed { .. } => "failed",
             JobOutcome::Cancelled => "cancelled",
             JobOutcome::DeadlineExpired => "deadline_expired",
+            JobOutcome::DeadlineExceeded => "deadline_exceeded",
+            JobOutcome::Poisoned { .. } => "poisoned",
         }
     }
 }
@@ -258,6 +299,29 @@ pub enum CancelOutcome {
     AlreadyDone,
 }
 
+/// Deterministic failure injection for chaos drills and the supervisor
+/// tests: matching is by workload seed, so a test can aim a crash at
+/// exactly one job without touching the engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Jobs whose spec seed is listed here panic the worker instead of
+    /// running (every attempt — what the strike limit is for).
+    pub panic_on_seeds: Vec<u64>,
+    /// Jobs whose spec seed is listed here fail with a transient
+    /// [`SimError::Fault`] while their attempt number is at most
+    /// [`fault_attempts`](ChaosConfig::fault_attempts).
+    pub fault_on_seeds: Vec<u64>,
+    /// How many leading attempts of a `fault_on_seeds` job fault.
+    pub fault_attempts: u32,
+}
+
+impl ChaosConfig {
+    /// True when no fault injection is configured (the default).
+    pub fn is_quiet(&self) -> bool {
+        self.panic_on_seeds.is_empty() && self.fault_on_seeds.is_empty()
+    }
+}
+
 /// Tuning knobs for [`JobService::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -269,8 +333,25 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Result-cache lock shards.
     pub cache_shards: usize,
-    /// Optional JSONL spill log for completed results.
+    /// Optional framed spill log for completed results; replayed on
+    /// startup to rebuild the memo cache.
     pub spill: Option<PathBuf>,
+    /// Optional write-ahead job journal; replayed on startup to
+    /// re-enqueue admitted-but-unfinished jobs.
+    pub journal: Option<PathBuf>,
+    /// fsync the journal and spill after every N records (0 = flush
+    /// only, letting the OS decide when bytes reach the platter).
+    pub fsync_every: u64,
+    /// Retries allowed for a transient (`SimError::Fault`) outcome
+    /// before the job finishes as failed.
+    pub retry_budget: u32,
+    /// Base delay before a retry; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Worker crashes one job may cause before it is quarantined as
+    /// [`JobOutcome::Poisoned`].
+    pub strike_limit: u32,
+    /// Deterministic failure injection (quiet by default).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServeConfig {
@@ -281,6 +362,12 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             cache_shards: 8,
             spill: None,
+            journal: None,
+            fsync_every: 8,
+            retry_budget: 2,
+            retry_backoff: Duration::from_millis(10),
+            strike_limit: 2,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -306,10 +393,37 @@ pub struct ServiceStats {
     pub cancelled: u64,
     /// Jobs that expired in the queue.
     pub expired: u64,
+    /// Running jobs cooperatively cancelled at their deadline.
+    pub deadline_exceeded: u64,
+    /// Jobs quarantined after crashing too many workers.
+    pub poisoned: u64,
+    /// Transient-failure retries scheduled.
+    pub retries: u64,
+    /// Worker respawns after a caught panic.
+    pub respawns: u64,
+    /// Results rebuilt from the spill log at startup.
+    pub recovered_results: u64,
+    /// Journaled-but-unfinished jobs re-enqueued at startup.
+    pub resumed_jobs: u64,
     /// Jobs queued right now.
     pub queue_depth: usize,
     /// Result-store counters.
     pub store: StoreStats,
+}
+
+/// What startup recovery found, for the `ra-serve` banner and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Results rebuilt from the spill log.
+    pub recovered_results: u64,
+    /// Intact records read from the journal.
+    pub journal_records: u64,
+    /// Unfinished jobs re-enqueued.
+    pub resumed_jobs: u64,
+    /// Torn-tail bytes dropped across both logs.
+    pub dropped_tail_bytes: u64,
+    /// Checksum mismatches across both logs.
+    pub checksum_errors: u64,
 }
 
 type JobId = u64;
@@ -330,6 +444,16 @@ struct JobCell {
     phase: Phase,
     /// Live submissions (tickets not yet collected or cancelled).
     interest: usize,
+    /// Priority it was admitted at (retries requeue at the same one).
+    priority: Priority,
+    /// Times a worker has started running it.
+    attempts: u32,
+    /// Workers it has crashed (quarantine at `strike_limit`).
+    strikes: u32,
+    /// Backoff gate: not runnable before this instant.
+    not_before: Option<Instant>,
+    /// The reaper already raised the cancel flag for its deadline.
+    deadline_fired: bool,
 }
 
 /// Max-heap slot: higher priority first, then FIFO by sequence number.
@@ -361,6 +485,9 @@ struct State {
     /// key -> queued-or-running job, for single-flight coalescing.
     inflight: HashMap<u64, JobId>,
     tickets: HashMap<Ticket, JobId>,
+    /// worker id -> the job it is currently running (what the panic
+    /// supervisor uses to find the victim).
+    running: HashMap<usize, JobId>,
     next_id: u64,
     next_seq: u64,
     /// Live (non-tombstoned) queued jobs — what `queue_capacity` bounds.
@@ -375,9 +502,13 @@ struct Inner {
     work_cv: Condvar,
     /// Wakes `wait`ers whenever any job reaches a terminal phase.
     done_cv: Condvar,
+    /// Wakes the deadline reaper when a deadline-bearing job arrives.
+    reaper_cv: Condvar,
     store: ResultStore,
     obs: ObsSink,
+    journal: Option<Journal>,
     config: ServeConfig,
+    recovery: RecoveryInfo,
 }
 
 /// A multi-worker simulation-job service: canonical [`JobSpec`]s in,
@@ -402,39 +533,131 @@ pub struct JobService {
 }
 
 impl JobService {
-    /// Spawns the worker pool and opens the spill log (if configured).
+    /// Spawns the worker pool and the deadline reaper, after replaying
+    /// any configured spill log and journal (warm restart): memoized
+    /// results are rebuilt, admitted-but-unfinished jobs re-enqueued,
+    /// and the journal compacted to exactly those jobs.
     ///
     /// # Errors
     ///
-    /// Propagates the spill-log open failure.
+    /// Propagates spill/journal open, replay, and compaction failures.
     pub fn start(config: ServeConfig, obs: ObsSink) -> std::io::Result<JobService> {
         let mut store = ResultStore::new(config.cache_capacity, config.cache_shards);
+        let mut recovery = RecoveryInfo::default();
+        let mut frames = RecoveryReport::default();
         if let Some(path) = &config.spill {
-            store = store.with_spill(path)?;
+            let report = store.warm_from_spill(path)?;
+            recovery.recovered_results = report.recovered_records;
+            frames.absorb(report);
+            store = store.with_spill(path, config.fsync_every)?;
         }
+        let mut journal = None;
+        let mut resumed: Vec<UnfinishedJob> = Vec::new();
+        if let Some(path) = &config.journal {
+            let replayed = journal::replay(path)?;
+            recovery.journal_records = replayed.report.recovered_records;
+            frames.absorb(replayed.report);
+            // An unfinished job whose result came back with the spill
+            // replay only lost its settle record; it is already done.
+            resumed = replayed
+                .unfinished
+                .into_iter()
+                .filter(|u| !store.contains(u.key))
+                .collect();
+            journal::compact(path, &resumed)?;
+            journal = Some(Journal::open(path, config.fsync_every)?);
+        }
+        // Re-parse resumed specs; a spec this build can no longer parse
+        // (foreign or stale journal) is dropped rather than wedging the
+        // queue forever.
+        let seeds: Vec<(JobSpec, Priority)> = resumed
+            .into_iter()
+            .filter_map(|u| u.spec.parse::<JobSpec>().ok().map(|s| (s, u.priority)))
+            .collect();
+        recovery.resumed_jobs = seeds.len() as u64;
+        recovery.dropped_tail_bytes = frames.dropped_tail_bytes;
+        recovery.checksum_errors = frames.checksum_errors;
+
         let inner = Arc::new(Inner {
             state: Mutex::new(State::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            reaper_cv: Condvar::new(),
             store,
             obs,
+            journal,
             config: config.clone(),
+            recovery,
         });
-        let workers = (0..config.workers.max(1))
+        {
+            let mut st = lock_state(&inner);
+            let now = Instant::now();
+            for (spec, priority) in seeds {
+                let key = spec.job_hash();
+                let job = st.next_id;
+                st.next_id += 1;
+                st.cells.insert(
+                    job,
+                    JobCell {
+                        spec,
+                        key,
+                        deadline: None,
+                        submitted: now,
+                        cancel: Arc::new(AtomicBool::new(false)),
+                        phase: Phase::Queued,
+                        // No ticket survives a restart; the cell frees
+                        // itself when done. New submissions of the same
+                        // spec coalesce onto it as usual.
+                        interest: 0,
+                        priority,
+                        attempts: 0,
+                        strikes: 0,
+                        not_before: None,
+                        deadline_fired: false,
+                    },
+                );
+                st.inflight.insert(key.0, job);
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.queue.push(QueueSlot { priority, seq, job });
+                st.queued += 1;
+            }
+            st.stats.recovered_results = recovery.recovered_results;
+            st.stats.resumed_jobs = recovery.resumed_jobs;
+        }
+        if config.spill.is_some() || config.journal.is_some() {
+            inner.obs.emit(|| Event::JournalReplay {
+                recovered_results: recovery.recovered_results,
+                resumed_jobs: recovery.resumed_jobs,
+                dropped_tail_bytes: recovery.dropped_tail_bytes,
+                checksum_errors: recovery.checksum_errors,
+            });
+        }
+        let mut workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
                 let inner = inner.clone();
                 std::thread::Builder::new()
                     .name(format!("ra-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || supervise(&inner, i))
                     .expect("spawn worker")
             })
             .collect();
+        {
+            let inner = inner.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name("ra-serve-reaper".to_owned())
+                    .spawn(move || reaper_loop(&inner))
+                    .expect("spawn reaper"),
+            );
+        }
         Ok(JobService { inner, workers })
     }
 
-    /// Submits a job. `deadline` bounds *queue wait*: a job still queued
-    /// when it elapses never runs and finishes as
-    /// [`JobOutcome::DeadlineExpired`].
+    /// Submits a job. `deadline` bounds the job's whole life: still
+    /// queued when it elapses → [`JobOutcome::DeadlineExpired`] without
+    /// running; still *running* when it elapses → cooperatively
+    /// cancelled and [`JobOutcome::DeadlineExceeded`].
     ///
     /// # Errors
     ///
@@ -464,6 +687,7 @@ impl JobService {
                 key,
                 None,
                 now,
+                priority,
                 Phase::Done(JobOutcome::Completed {
                     result,
                     cached: true,
@@ -510,12 +734,15 @@ impl JobService {
             });
             return Err(Rejected::QueueFull { depth });
         }
+        let canonical = spec.canonical();
+        let has_deadline = deadline.is_some();
         let ticket = new_cell(
             &mut st,
             spec,
             key,
             deadline.map(|d| now + d),
             now,
+            priority,
             Phase::Queued,
         );
         let job = st.tickets[&ticket];
@@ -526,8 +753,16 @@ impl JobService {
         st.queued += 1;
         st.stats.admitted += 1;
         let depth = st.queued;
+        // Write-ahead: the admit record lands while the state lock still
+        // blocks every worker from popping the job.
+        if let Some(journal) = &self.inner.journal {
+            journal.admit(key, &canonical, priority);
+        }
         drop(st);
         self.inner.work_cv.notify_one();
+        if has_deadline {
+            self.inner.reaper_cv.notify_all();
+        }
         self.inner.obs.emit(|| Event::JobAdmitted {
             job: key.0,
             queue_depth: depth as u64,
@@ -572,7 +807,11 @@ impl JobService {
                 return Ok(outcome);
             }
             st = match deadline {
-                None => self.inner.done_cv.wait(st).expect("service state poisoned"),
+                None => self
+                    .inner
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner()),
                 Some(deadline) => {
                     let left = deadline
                         .checked_duration_since(Instant::now())
@@ -581,7 +820,7 @@ impl JobService {
                         .inner
                         .done_cv
                         .wait_timeout(st, left)
-                        .expect("service state poisoned");
+                        .unwrap_or_else(|e| e.into_inner());
                     if timeout.timed_out() {
                         return Err(WaitError::TimedOut);
                     }
@@ -620,6 +859,9 @@ impl JobService {
             st.inflight.remove(&key.0);
             st.queued -= 1;
             st.stats.cancelled += 1;
+            if let Some(journal) = &self.inner.journal {
+                journal.settle(key, "cancelled");
+            }
         }
         collect_ticket(&mut st, ticket);
         drop(st);
@@ -641,9 +883,47 @@ impl JobService {
         stats
     }
 
+    /// What startup recovery found (zeroes when no state was configured).
+    pub fn recovery(&self) -> RecoveryInfo {
+        self.inner.recovery
+    }
+
     /// The sink service events and per-job run spans are emitted into.
     pub fn obs(&self) -> &ObsSink {
         &self.inner.obs
+    }
+
+    /// Graceful-shutdown half: stops admissions, then waits up to
+    /// `timeout` for the queue to empty and every running job to
+    /// publish. Returns `true` when fully drained. Either way the
+    /// journal and spill are flushed and fsynced before returning, so a
+    /// follow-up exit (or even a kill) loses nothing that finished.
+    ///
+    /// Call [`shutdown`](JobService::shutdown) (or drop) afterwards to
+    /// join the workers.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        st.shutting_down = true;
+        self.inner.work_cv.notify_all();
+        self.inner.reaper_cv.notify_all();
+        let drained = loop {
+            if st.queued == 0 && st.running.is_empty() {
+                break true;
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                break false;
+            };
+            let (guard, _) = self
+                .inner
+                .done_cv
+                .wait_timeout(st, left)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        };
+        drop(st);
+        self.sync_durability();
+        drained
     }
 
     /// Stops admitting, drains the queue, and joins every worker.
@@ -651,37 +931,70 @@ impl JobService {
     /// [`cancel`](JobService::cancel) it first.
     pub fn shutdown(mut self) {
         self.begin_shutdown();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.join_and_sync();
     }
 
     fn begin_shutdown(&self) {
         self.lock().shutting_down = true;
         self.inner.work_cv.notify_all();
+        self.inner.reaper_cv.notify_all();
+    }
+
+    fn join_and_sync(&mut self) {
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.sync_durability();
+    }
+
+    fn sync_durability(&self) {
+        let _ = self.inner.store.sync_spill();
+        if let Some(journal) = &self.inner.journal {
+            let _ = journal.sync();
+        }
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
-        self.inner.state.lock().expect("service state poisoned")
+        lock_state(&self.inner)
     }
 }
 
 impl Drop for JobService {
     fn drop(&mut self) {
         self.begin_shutdown();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.join_and_sync();
+    }
+}
+
+/// Locks the service state, recovering from poison: a worker panic is a
+/// supervised event here, not a reason to wedge the whole service. The
+/// state is consistent at every await point inside the lock, so the
+/// poisoned guard is safe to adopt.
+fn lock_state(inner: &Inner) -> MutexGuard<'_, State> {
+    inner.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Exponential backoff for attempt N (1-based): `base * 2^(N-1)`,
+/// shift-capped so a pathological attempt count cannot overflow.
+fn backoff_delay(base: Duration, attempts: u32) -> Duration {
+    base.saturating_mul(1u32 << attempts.saturating_sub(1).min(10))
+}
+
+fn journal_settle(inner: &Inner, key: JobKey, outcome: &str) {
+    if let Some(journal) = &inner.journal {
+        journal.settle(key, outcome);
     }
 }
 
 /// Allocates a cell + first ticket; returns the ticket.
+#[allow(clippy::too_many_arguments)]
 fn new_cell(
     st: &mut State,
     spec: JobSpec,
     key: JobKey,
     deadline: Option<Instant>,
     submitted: Instant,
+    priority: Priority,
     phase: Phase,
 ) -> Ticket {
     let job = st.next_id;
@@ -697,6 +1010,11 @@ fn new_cell(
             cancel: Arc::new(AtomicBool::new(false)),
             phase,
             interest: 1,
+            priority,
+            attempts: 0,
+            strikes: 0,
+            not_before: None,
+            deadline_fired: false,
         },
     );
     st.tickets.insert(ticket, job);
@@ -717,99 +1035,383 @@ fn collect_ticket(st: &mut State, ticket: Ticket) {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+/// The worker supervisor: runs [`worker_loop`] under `catch_unwind`,
+/// and on a panic recovers the victim job and re-enters the loop as the
+/// next incarnation of the same worker — the pool never shrinks. (This
+/// relies on unwinding panics; the release profile must not set
+/// `panic = "abort"`, which `Cargo.toml` documents.)
+fn supervise(inner: &Inner, worker_id: usize) {
+    let mut incarnation: u64 = 0;
     loop {
-        // Phase 1: pop the next live queued job (skipping tombstones).
-        let mut st = inner.state.lock().expect("service state poisoned");
-        let (job, key, spec, cancel, queue_ns) = loop {
-            match st.queue.pop() {
-                Some(slot) => {
-                    let now = Instant::now();
-                    let Some(cell) = st.cells.get_mut(&slot.job) else {
-                        continue; // cancelled and fully collected
-                    };
-                    if !matches!(cell.phase, Phase::Queued) {
-                        continue; // cancellation tombstone
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_loop(inner, worker_id)
+        })) {
+            Ok(()) => return, // clean shutdown
+            Err(payload) => {
+                incarnation += 1;
+                let detail = panic_message(payload.as_ref());
+                recover_from_panic(inner, worker_id, incarnation, detail);
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_owned()
+    }
+}
+
+/// Post-panic cleanup for one worker: charge a strike to the job it was
+/// running, requeue it with backoff — or quarantine it as `Poisoned`
+/// once it has crossed the strike limit — and account the respawn.
+fn recover_from_panic(inner: &Inner, worker_id: usize, incarnation: u64, detail: String) {
+    let now = Instant::now();
+    let mut st = lock_state(inner);
+    st.stats.respawns += 1;
+    let victim = st.running.remove(&worker_id);
+    let mut victim_key: u64 = 0;
+    let mut quarantined: Option<(JobKey, u64, u64)> = None;
+    if let Some(job) = victim {
+        if let Some(cell) = st.cells.get_mut(&job) {
+            victim_key = cell.key.0;
+            cell.strikes += 1;
+            if cell.strikes >= inner.config.strike_limit.max(1) {
+                let key = cell.key;
+                let strikes = u64::from(cell.strikes);
+                let queue_ns = elapsed_ns(cell.submitted, now);
+                cell.phase = Phase::Done(JobOutcome::Poisoned {
+                    error: SimError::Fault {
+                        component: format!("serve worker {worker_id}"),
+                        detail: detail.clone(),
                     }
-                    if cell.deadline.is_some_and(|d| now > d) {
-                        cell.phase = Phase::Done(JobOutcome::DeadlineExpired);
-                        let key = cell.key;
-                        let queue_ns = elapsed_ns(cell.submitted, now);
-                        st.inflight.remove(&key.0);
-                        st.queued -= 1;
-                        st.stats.expired += 1;
-                        finish(inner, key, "deadline_expired", queue_ns, 0);
+                    .to_string(),
+                });
+                let free = cell.interest == 0;
+                if free {
+                    st.cells.remove(&job);
+                }
+                st.inflight.remove(&key.0);
+                st.stats.poisoned += 1;
+                quarantined = Some((key, strikes, queue_ns));
+            } else {
+                cell.phase = Phase::Queued;
+                cell.not_before = Some(now + backoff_delay(inner.config.retry_backoff, cell.attempts));
+                let priority = cell.priority;
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.queue.push(QueueSlot { priority, seq, job });
+                st.queued += 1;
+            }
+        }
+    }
+    drop(st);
+    if let Some((key, strikes, queue_ns)) = quarantined {
+        journal_settle(inner, key, "poisoned");
+        inner.obs.emit(|| Event::JobQuarantined {
+            job: key.0,
+            strikes,
+        });
+        finish(inner, key, "poisoned", queue_ns, 0);
+    }
+    inner.obs.emit(|| Event::WorkerRespawn {
+        worker: worker_id as u64,
+        incarnation,
+        job: victim_key,
+    });
+    inner.work_cv.notify_all();
+    inner.done_cv.notify_all();
+}
+
+fn worker_loop(inner: &Inner, worker_id: usize) {
+    loop {
+        // Phase 1: pop the next runnable job — skipping tombstones,
+        // expiring the dead, and deferring backoff-gated retries.
+        let mut st = lock_state(inner);
+        let (job, key, spec, cancel, queue_ns, attempts) = 'pick: loop {
+            let now = Instant::now();
+            let mut deferred: Vec<QueueSlot> = Vec::new();
+            let mut next_wake: Option<Instant> = None;
+            let draining = st.shutting_down;
+            let picked = loop {
+                let Some(slot) = st.queue.pop() else {
+                    break None;
+                };
+                let Some(cell) = st.cells.get_mut(&slot.job) else {
+                    continue; // cancelled and fully collected
+                };
+                if !matches!(cell.phase, Phase::Queued) {
+                    continue; // cancellation tombstone
+                }
+                if cell.deadline.is_some_and(|d| now > d) {
+                    let key = cell.key;
+                    let queue_ns = elapsed_ns(cell.submitted, now);
+                    cell.phase = Phase::Done(JobOutcome::DeadlineExpired);
+                    let free = cell.interest == 0;
+                    if free {
+                        st.cells.remove(&slot.job);
+                    }
+                    st.inflight.remove(&key.0);
+                    st.queued -= 1;
+                    st.stats.expired += 1;
+                    journal_settle(inner, key, "deadline_expired");
+                    finish(inner, key, "deadline_expired", queue_ns, 0);
+                    continue;
+                }
+                // A backoff-gated retry waits its turn — unless we are
+                // draining, when waiting would just delay shutdown.
+                if let Some(gate) = cell.not_before {
+                    if now < gate && !draining {
+                        next_wake = Some(next_wake.map_or(gate, |w| w.min(gate)));
+                        deferred.push(slot);
                         continue;
                     }
-                    cell.phase = Phase::Running;
-                    let out = (
-                        slot.job,
-                        cell.key,
-                        cell.spec.clone(),
-                        cell.cancel.clone(),
-                        elapsed_ns(cell.submitted, now),
-                    );
-                    st.queued -= 1;
-                    break out;
                 }
-                None if st.shutting_down => return,
-                None => {
-                    st = inner
-                        .work_cv
-                        .wait(st)
-                        .expect("service state poisoned");
-                }
+                cell.not_before = None;
+                cell.attempts += 1;
+                cell.phase = Phase::Running;
+                break Some((
+                    slot.job,
+                    cell.key,
+                    cell.spec.clone(),
+                    cell.cancel.clone(),
+                    elapsed_ns(cell.submitted, now),
+                    cell.attempts,
+                ));
+            };
+            for slot in deferred {
+                st.queue.push(slot);
             }
+            if let Some(out) = picked {
+                st.queued -= 1;
+                st.running.insert(worker_id, out.0);
+                break 'pick out;
+            }
+            if st.shutting_down && st.queue.is_empty() {
+                return;
+            }
+            st = match next_wake {
+                Some(at) => {
+                    let wait = at
+                        .saturating_duration_since(Instant::now())
+                        .max(Duration::from_millis(1));
+                    inner
+                        .work_cv
+                        .wait_timeout(st, wait)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+                None => inner.work_cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+            };
         };
         drop(st);
 
         // Phase 2: simulate, with per-job spans flowing into the shared
         // sink and the cancel flag armed on the engine's watchdog poll.
+        // Chaos injection happens here, outside every lock, so an
+        // injected panic unwinds exactly like an engine panic would.
+        let chaos = &inner.config.chaos;
+        if chaos.panic_on_seeds.contains(&spec.seed) {
+            panic!("chaos: injected worker panic (seed {})", spec.seed);
+        }
         let started = Instant::now();
-        let run = spec
-            .to_run_spec()
-            .cancel_flag(cancel)
-            .recorder(inner.obs.clone())
-            .run();
+        let run = if chaos.fault_on_seeds.contains(&spec.seed) && attempts <= chaos.fault_attempts {
+            Err(SimError::Fault {
+                component: "chaos injector".to_owned(),
+                detail: format!("injected transient fault (attempt {attempts})"),
+            })
+        } else {
+            spec.to_run_spec()
+                .cancel_flag(cancel.clone())
+                .recorder(inner.obs.clone())
+                .run()
+        };
         let run_ns = elapsed_ns(started, Instant::now());
 
-        // Phase 3: publish the outcome.
-        let outcome = match run {
+        // Phase 3: publish the outcome — or schedule a retry.
+        let stored = match run {
             Ok(result) => {
                 let result = Arc::new(result);
                 inner.store.insert(key, &spec.canonical(), result.clone());
-                JobOutcome::Completed {
-                    result,
-                    cached: false,
-                    queue_ns,
-                    run_ns,
-                }
+                Ok(result)
             }
-            Err(SimError::Cancelled { .. }) => JobOutcome::Cancelled,
-            Err(err) => JobOutcome::Failed {
-                error: err.to_string(),
+            Err(err) => Err(err),
+        };
+        let mut st = lock_state(inner);
+        st.running.remove(&worker_id);
+        let now = Instant::now();
+        enum Next {
+            Publish(JobOutcome),
+            Retry(Instant, Priority),
+        }
+        let next = match stored {
+            Ok(result) => Next::Publish(JobOutcome::Completed {
+                result,
+                cached: false,
+                queue_ns,
+                run_ns,
+            }),
+            Err(err) => match st.cells.get_mut(&job) {
+                None => Next::Publish(JobOutcome::Failed {
+                    error: err.to_string(),
+                }),
+                Some(cell) => {
+                    let deadline_fired = cell.deadline_fired;
+                    if matches!(err, SimError::Cancelled { .. })
+                        || cancel.load(Ordering::Relaxed)
+                    {
+                        Next::Publish(if deadline_fired {
+                            JobOutcome::DeadlineExceeded
+                        } else {
+                            JobOutcome::Cancelled
+                        })
+                    } else if err.is_transient() && cell.attempts <= inner.config.retry_budget {
+                        let resume = now + backoff_delay(inner.config.retry_backoff, cell.attempts);
+                        if cell.deadline.is_some_and(|d| resume >= d) {
+                            Next::Publish(JobOutcome::Failed {
+                                error: format!("{err}; no retry budget left before the deadline"),
+                            })
+                        } else {
+                            Next::Retry(resume, cell.priority)
+                        }
+                    } else {
+                        Next::Publish(JobOutcome::Failed {
+                            error: err.to_string(),
+                        })
+                    }
+                }
             },
         };
-        let label = outcome.label();
-        let mut st = inner.state.lock().expect("service state poisoned");
-        match &outcome {
-            JobOutcome::Completed { .. } => st.stats.completed += 1,
-            JobOutcome::Cancelled => st.stats.cancelled += 1,
-            _ => st.stats.failed += 1,
-        }
-        let free = match st.cells.get_mut(&job) {
-            Some(cell) => {
-                cell.phase = Phase::Done(outcome);
-                cell.interest == 0
+        match next {
+            Next::Retry(resume, priority) => {
+                if let Some(cell) = st.cells.get_mut(&job) {
+                    cell.phase = Phase::Queued;
+                    cell.not_before = Some(resume);
+                }
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.queue.push(QueueSlot { priority, seq, job });
+                st.queued += 1;
+                st.stats.retries += 1;
+                drop(st);
+                // notify_all: the retry may be gated, and only a timed
+                // waiter re-arms the backoff wake-up.
+                inner.work_cv.notify_all();
             }
-            None => false,
-        };
-        if free {
-            st.cells.remove(&job);
+            Next::Publish(outcome) => {
+                match &outcome {
+                    JobOutcome::Completed { .. } => st.stats.completed += 1,
+                    JobOutcome::Cancelled => st.stats.cancelled += 1,
+                    JobOutcome::DeadlineExceeded => st.stats.deadline_exceeded += 1,
+                    _ => st.stats.failed += 1,
+                }
+                let label = outcome.label();
+                let free = match st.cells.get_mut(&job) {
+                    Some(cell) => {
+                        cell.phase = Phase::Done(outcome);
+                        cell.interest == 0
+                    }
+                    None => false,
+                };
+                if free {
+                    st.cells.remove(&job);
+                }
+                st.inflight.remove(&key.0);
+                journal_settle(inner, key, label);
+                drop(st);
+                finish(inner, key, label, queue_ns, run_ns);
+            }
         }
-        st.inflight.remove(&key.0);
-        drop(st);
-        finish(inner, key, label, queue_ns, run_ns);
+    }
+}
+
+/// The deadline reaper: expires queued jobs whose deadline passed
+/// without a run, and raises the cancel flag of *running* jobs past
+/// theirs (exactly once — `deadline_fired`), so the engine's watchdog
+/// poll stops them cooperatively and they publish as
+/// [`JobOutcome::DeadlineExceeded`].
+fn reaper_loop(inner: &Inner) {
+    let mut st = lock_state(inner);
+    loop {
+        if st.shutting_down {
+            return;
+        }
+        let now = Instant::now();
+        let mut expired: Vec<JobId> = Vec::new();
+        let mut fire: Vec<JobId> = Vec::new();
+        let mut next_deadline: Option<Instant> = None;
+        for (&job, cell) in &st.cells {
+            let Some(deadline) = cell.deadline else {
+                continue;
+            };
+            match cell.phase {
+                Phase::Queued if now > deadline => expired.push(job),
+                Phase::Running if now > deadline => {
+                    if !cell.deadline_fired {
+                        fire.push(job);
+                    }
+                }
+                Phase::Queued | Phase::Running => {
+                    next_deadline = Some(next_deadline.map_or(deadline, |d| d.min(deadline)));
+                }
+                Phase::Done(_) => {}
+            }
+        }
+        for job in expired {
+            let Some(cell) = st.cells.get_mut(&job) else {
+                continue;
+            };
+            if !matches!(cell.phase, Phase::Queued) {
+                continue;
+            }
+            let key = cell.key;
+            let queue_ns = elapsed_ns(cell.submitted, now);
+            cell.phase = Phase::Done(JobOutcome::DeadlineExpired);
+            let free = cell.interest == 0;
+            if free {
+                st.cells.remove(&job);
+            }
+            st.inflight.remove(&key.0);
+            st.queued -= 1;
+            st.stats.expired += 1;
+            journal_settle(inner, key, "deadline_expired");
+            finish(inner, key, "deadline_expired", queue_ns, 0);
+        }
+        for job in fire {
+            let Some(cell) = st.cells.get_mut(&job) else {
+                continue;
+            };
+            if !matches!(cell.phase, Phase::Running) || cell.deadline_fired {
+                continue;
+            }
+            cell.deadline_fired = true;
+            cell.cancel.store(true, Ordering::Relaxed);
+            let key = cell.key.0;
+            let overrun_ms = cell
+                .deadline
+                .map_or(0, |d| now.saturating_duration_since(d).as_millis() as u64);
+            inner.obs.emit(|| Event::DeadlineCancel {
+                job: key,
+                overrun_ms,
+            });
+        }
+        st = match next_deadline {
+            Some(at) => {
+                let wait = at
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                inner
+                    .reaper_cv
+                    .wait_timeout(st, wait)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            }
+            None => inner.reaper_cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+        };
     }
 }
 

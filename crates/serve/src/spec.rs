@@ -66,8 +66,9 @@ impl FromStr for JobKey {
 /// FNV-1a 64-bit over `bytes`: tiny, dependency-free, and — unlike the
 /// standard library's randomized SipHash — identical in every process, so
 /// spill files written by one server instance name the same jobs as the
-/// next.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// next. Shared with the durability layer, which uses the same hash as
+/// the per-record checksum of journal and spill frames.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

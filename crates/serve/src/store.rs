@@ -1,5 +1,5 @@
-//! Result memoization: a sharded in-memory LRU plus an append-only
-//! JSONL spill log.
+//! Result memoization: a sharded in-memory LRU plus a checksummed,
+//! replayable spill log.
 //!
 //! The store is keyed by [`JobKey`] — the content hash of a job's
 //! canonical text — so *any* two requests that mean the same simulation
@@ -13,23 +13,29 @@
 //!   exceeds its slice of `capacity`, the least-recently-used entry is
 //!   evicted. Results are `Arc`-shared, so a hit never copies the
 //!   latency histograms.
-//! * **Spill log** — every insertion appends one JSON line (job key,
-//!   canonical spec, headline numbers) to an optional JSONL file. The
-//!   spill is an audit/replay record, not a second cache tier: the
-//!   server never reads it back, but `tail -f` on it is the cheapest
-//!   possible service dashboard, and a future process can replay it to
-//!   warm a cold cache.
+//! * **Spill log** — every insertion appends one checksummed frame (see
+//!   [`crate::journal`] for the framing) whose JSON payload carries the
+//!   *complete deterministic result*: headline numbers plus the exact
+//!   Welford state of every latency summary. On restart,
+//!   [`warm_from_spill`](ResultStore::warm_from_spill) replays the log —
+//!   tolerating a torn or corrupt tail — and rebuilds the LRU so
+//!   completed work survives a kill -9. Replayed results are bit-exact
+//!   in everything deterministic; only the wall-clock duration (reset to
+//!   zero) and the coupler diagnostics (dropped) are not persisted.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use ra_bench::{json_object, JsonField};
 use ra_cosim::RunResult;
+use ra_sim::Summary;
 
+use crate::journal::{read_frames, FrameWriter, RecoveryReport};
+use crate::json::Json;
 use crate::spec::JobKey;
 
 /// Counters the `stats` wire verb and the smoke tests read.
@@ -68,11 +74,11 @@ struct Shard {
     tick: u64,
 }
 
-/// Sharded LRU result cache with an optional JSONL spill log.
+/// Sharded LRU result cache with an optional checksummed spill log.
 pub struct ResultStore {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
-    spill: Option<Mutex<BufWriter<File>>>,
+    spill: Option<Mutex<FrameWriter>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -97,15 +103,45 @@ impl ResultStore {
         }
     }
 
-    /// Attaches (and creates or appends to) a JSONL spill log.
+    /// Attaches (and creates or appends to) a framed spill log, fsyncing
+    /// after every `fsync_every` records (0 = flush only).
+    ///
+    /// Call [`warm_from_spill`](ResultStore::warm_from_spill) *first*
+    /// when restarting against an existing log, so recovery does not
+    /// re-append what it just read.
     ///
     /// # Errors
     ///
     /// Propagates the underlying `open` failure.
-    pub fn with_spill(mut self, path: &Path) -> std::io::Result<ResultStore> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        self.spill = Some(Mutex::new(BufWriter::new(file)));
+    pub fn with_spill(mut self, path: &Path, fsync_every: u64) -> io::Result<ResultStore> {
+        self.spill = Some(Mutex::new(FrameWriter::append_to(path, fsync_every)?));
         Ok(self)
+    }
+
+    /// Replays an existing spill log into the LRU (newest record wins),
+    /// stopping at the first torn or corrupt frame. A missing file is an
+    /// empty log. Records that fail semantic decoding (foreign payloads)
+    /// are skipped without charging the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures other than `NotFound`.
+    pub fn warm_from_spill(&mut self, path: &Path) -> io::Result<RecoveryReport> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(err) => return Err(err),
+        };
+        let (records, mut report) = read_frames(&bytes);
+        report.recovered_records = 0; // count only records that decode
+        for record in &records {
+            let Some((key, result)) = decode_spill_record(record) else {
+                continue;
+            };
+            self.insert_entry(key, Arc::new(result));
+            report.recovered_records += 1;
+        }
+        Ok(report)
     }
 
     fn shard(&self, key: JobKey) -> &Mutex<Shard> {
@@ -130,51 +166,69 @@ impl ResultStore {
         }
     }
 
-    /// Inserts (or refreshes) a result and appends a spill-log line.
+    /// True when `key` is cached, without perturbing hit/miss counters
+    /// or recency (used by restart recovery to classify journaled jobs).
+    pub fn contains(&self, key: JobKey) -> bool {
+        self.shard(key)
+            .lock()
+            .expect("store shard poisoned")
+            .map
+            .contains_key(&key.0)
+    }
+
+    /// LRU insert + bounded eviction, shared by the live path and the
+    /// warm-restart replay (which must not re-spill).
+    fn insert_entry(&self, key: JobKey, result: Arc<RunResult>) {
+        let mut shard = self.shard(key).lock().expect("store shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(
+            key.0,
+            Entry {
+                result,
+                last_used: tick,
+            },
+        );
+        while shard.map.len() > self.per_shard_capacity {
+            // O(shard) scan; shards are small (capacity / shards) and
+            // eviction is off the submit fast path.
+            let coldest = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty shard");
+            shard.map.remove(&coldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Inserts (or refreshes) a result and appends a framed spill record.
     ///
     /// `spec` is the job's canonical text, recorded in the spill so the
     /// log is self-describing without the hash preimage.
     pub fn insert(&self, key: JobKey, spec: &str, result: Arc<RunResult>) {
-        {
-            let mut shard = self.shard(key).lock().expect("store shard poisoned");
-            shard.tick += 1;
-            let tick = shard.tick;
-            shard.map.insert(
-                key.0,
-                Entry {
-                    result: result.clone(),
-                    last_used: tick,
-                },
-            );
-            while shard.map.len() > self.per_shard_capacity {
-                // O(shard) scan; shards are small (capacity / shards) and
-                // eviction is off the submit fast path.
-                let coldest = shard
-                    .map
-                    .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| *k)
-                    .expect("non-empty shard");
-                shard.map.remove(&coldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        self.insert_entry(key, result.clone());
         self.insertions.fetch_add(1, Ordering::Relaxed);
         if let Some(spill) = &self.spill {
-            let line = json_object(&[
-                ("job", JsonField::Str(key.to_string())),
-                ("spec", JsonField::Str(spec.to_owned())),
-                ("cycles", JsonField::Int(result.cycles)),
-                ("messages", JsonField::Int(result.messages)),
-                ("ipc", JsonField::Num(result.ipc)),
-                ("latency_mean", JsonField::Num(result.latency.mean())),
-                ("calibrations", JsonField::Int(result.calibrations)),
-            ]);
+            let payload = encode_spill_record(key, spec, &result);
             let mut spill = spill.lock().expect("spill log poisoned");
             // A full disk shouldn't take the service down; the cache is
             // authoritative and the spill is advisory.
-            let _ = writeln!(spill, "{line}");
-            let _ = spill.flush();
+            let _ = spill.append(&payload);
+        }
+    }
+
+    /// Flushes and fsyncs the spill log (no-op without one) — the drain
+    /// path's "nothing buffered" guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush/sync failure.
+    pub fn sync_spill(&self) -> io::Result<()> {
+        match &self.spill {
+            Some(spill) => spill.lock().expect("spill log poisoned").sync(),
+            None => Ok(()),
         }
     }
 
@@ -202,6 +256,95 @@ impl ResultStore {
     }
 }
 
+/// `[count, mean, m2, min, max]`, or `[0]` for an empty summary (whose
+/// ±inf min/max sentinels have no JSON representation). f64s print in
+/// Rust's shortest-round-trip form, so decode is bit-exact.
+fn summary_json(s: &Summary) -> String {
+    if s.count() == 0 {
+        "[0]".to_owned()
+    } else {
+        format!(
+            "[{},{},{},{},{}]",
+            s.count(),
+            s.mean(),
+            s.m2(),
+            s.min(),
+            s.max()
+        )
+    }
+}
+
+fn summary_from_json(json: &Json) -> Option<Summary> {
+    let Json::Arr(items) = json else {
+        return None;
+    };
+    let count = items.first()?.as_u64()?;
+    if count == 0 {
+        return Some(Summary::new());
+    }
+    if items.len() != 5 {
+        return None;
+    }
+    Some(Summary::from_parts(
+        count,
+        items[1].as_f64()?,
+        items[2].as_f64()?,
+        items[3].as_f64()?,
+        items[4].as_f64()?,
+    ))
+}
+
+/// One spill payload: everything deterministic about a completed run.
+fn encode_spill_record(key: JobKey, spec: &str, result: &RunResult) -> String {
+    let classes: Vec<String> = result.class_latency.iter().map(summary_json).collect();
+    let mut class_latency = String::from("[");
+    class_latency.push_str(&classes.join(","));
+    class_latency.push(']');
+    json_object(&[
+        ("rec", JsonField::Str("result".into())),
+        ("job", JsonField::Str(key.to_string())),
+        ("spec", JsonField::Str(spec.to_owned())),
+        ("workload", JsonField::Str(result.workload.clone())),
+        ("mode", JsonField::Str(result.mode.clone())),
+        ("cycles", JsonField::Int(result.cycles)),
+        ("messages", JsonField::Int(result.messages)),
+        ("ipc", JsonField::Num(result.ipc)),
+        ("calibrations", JsonField::Int(result.calibrations)),
+        ("latency", JsonField::Raw(summary_json(&result.latency))),
+        ("class_latency", JsonField::Raw(class_latency)),
+    ])
+}
+
+fn decode_spill_record(payload: &str) -> Option<(JobKey, RunResult)> {
+    let json = Json::parse(payload).ok()?;
+    if json.get("rec").and_then(Json::as_str) != Some("result") {
+        return None;
+    }
+    let key: JobKey = json.get("job")?.as_str()?.parse().ok()?;
+    let class_latency = match json.get("class_latency")? {
+        Json::Arr(items) => items
+            .iter()
+            .map(summary_from_json)
+            .collect::<Option<Vec<Summary>>>()?,
+        _ => return None,
+    };
+    Some((
+        key,
+        RunResult {
+            workload: json.get("workload")?.as_str()?.to_owned(),
+            mode: json.get("mode")?.as_str()?.to_owned(),
+            cycles: json.get("cycles")?.as_u64()?,
+            wall: Duration::ZERO,
+            latency: summary_from_json(json.get("latency")?)?,
+            class_latency,
+            messages: json.get("messages")?.as_u64()?,
+            ipc: json.get("ipc")?.as_f64()?,
+            calibrations: json.get("calibrations")?.as_u64()?,
+            coupler: None,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +364,16 @@ mod tests {
         Arc::new(result)
     }
 
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ra-serve-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn get_after_insert_hits_and_counts() {
         let store = ResultStore::new(8, 2);
@@ -232,6 +385,8 @@ mod tests {
         let stats = store.stats();
         assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
         assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+        assert!(store.contains(key));
+        assert_eq!(store.stats().hits, 1, "contains() charges no counters");
     }
 
     #[test]
@@ -265,27 +420,86 @@ mod tests {
     }
 
     #[test]
-    fn spill_log_appends_one_line_per_insertion() {
-        let dir = std::env::temp_dir().join(format!(
-            "ra-serve-spill-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::create_dir_all(&dir).unwrap();
+    fn spill_log_appends_one_checksummed_frame_per_insertion() {
+        let dir = temp_dir("frames");
         let path = dir.join("results.jsonl");
         let _ = std::fs::remove_file(&path);
         {
-            let store = ResultStore::new(8, 1).with_spill(&path).unwrap();
+            let store = ResultStore::new(8, 1).with_spill(&path, 0).unwrap();
             store.insert(JobKey(0xAB), "target=2x2 app=water", tiny_result(7));
             store.insert(JobKey(0xCD), "target=2x2 app=ocean", tiny_result(8));
         }
-        let log = std::fs::read_to_string(&path).unwrap();
-        let lines: Vec<&str> = log.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains("\"job\":\"00000000000000ab\""));
-        assert!(lines[0].contains("\"spec\":\"target=2x2 app=water\""));
-        assert!(lines[0].contains("\"cycles\":7"));
-        assert!(lines[1].contains("\"job\":\"00000000000000cd\""));
+        let bytes = std::fs::read(&path).unwrap();
+        let (records, report) = read_frames(&bytes);
+        assert_eq!(report.recovered_records, 2);
+        assert_eq!(report.dropped_tail_bytes, 0);
+        assert_eq!(report.checksum_errors, 0);
+        assert!(records[0].contains("\"job\":\"00000000000000ab\""));
+        assert!(records[0].contains("\"spec\":\"target=2x2 app=water\""));
+        assert!(records[0].contains("\"cycles\":7"));
+        assert!(records[1].contains("\"job\":\"00000000000000cd\""));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_restart_replays_the_spill_bit_exactly() {
+        let dir = temp_dir("warm");
+        let path = dir.join("results.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let original = tiny_result(0); // keep the run's true cycles
+        {
+            let store = ResultStore::new(8, 2).with_spill(&path, 0).unwrap();
+            store.insert(JobKey(0x11), "spec a", original.clone());
+            store.insert(JobKey(0x22), "spec b", tiny_result(99));
+        }
+        let mut cold = ResultStore::new(8, 2);
+        let report = cold.warm_from_spill(&path).unwrap();
+        assert_eq!(report.recovered_records, 2);
+        assert_eq!(report.checksum_errors, 0);
+        assert_eq!(cold.len(), 2);
+        let replayed = cold.get(JobKey(0x11)).expect("warmed");
+        assert_eq!(replayed.cycles, original.cycles);
+        assert_eq!(replayed.messages, original.messages);
+        assert_eq!(replayed.ipc, original.ipc);
+        assert_eq!(replayed.latency, original.latency, "Welford state is bit-exact");
+        assert_eq!(replayed.class_latency, original.class_latency);
+        assert_eq!(replayed.workload, original.workload);
+        assert_eq!(replayed.mode, original.mode);
+        assert_eq!(replayed.wall, Duration::ZERO, "wall clock is not persisted");
+        assert!(replayed.coupler.is_none(), "coupler diagnostics are not persisted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_restart_survives_a_torn_tail() {
+        let dir = temp_dir("torn");
+        let path = dir.join("results.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = ResultStore::new(8, 1).with_spill(&path, 0).unwrap();
+            store.insert(JobKey(0x1), "a", tiny_result(1));
+            store.insert(JobKey(0x2), "b", tiny_result(2));
+        }
+        // Tear the file mid-way through the second record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let mut cold = ResultStore::new(8, 1);
+        let report = cold.warm_from_spill(&path).unwrap();
+        assert_eq!(report.recovered_records, 1);
+        assert!(report.dropped_tail_bytes > 0);
+        assert_eq!(report.checksum_errors, 0, "a tear is not a checksum error");
+        assert!(cold.contains(JobKey(0x1)));
+        assert!(!cold.contains(JobKey(0x2)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_restart_of_a_missing_spill_is_empty() {
+        let mut store = ResultStore::new(8, 1);
+        let report = store
+            .warm_from_spill(Path::new("/nonexistent/ra-serve/spill"))
+            .unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert!(store.is_empty());
     }
 }

@@ -104,6 +104,14 @@ fn outcome_response(outcome: &JobOutcome) -> String {
             "outcome",
             JsonField::Str("deadline_expired".into()),
         )]),
+        JobOutcome::DeadlineExceeded => ok_fields(vec![(
+            "outcome",
+            JsonField::Str("deadline_exceeded".into()),
+        )]),
+        JobOutcome::Poisoned { error } => ok_fields(vec![
+            ("outcome", JsonField::Str("poisoned".into())),
+            ("detail", JsonField::Str(error.clone())),
+        ]),
     }
 }
 
@@ -263,6 +271,12 @@ pub fn handle_request(service: &JobService, line: &str) -> String {
                 ("failed", JsonField::Int(stats.failed)),
                 ("cancelled", JsonField::Int(stats.cancelled)),
                 ("expired", JsonField::Int(stats.expired)),
+                ("deadline_exceeded", JsonField::Int(stats.deadline_exceeded)),
+                ("poisoned", JsonField::Int(stats.poisoned)),
+                ("retries", JsonField::Int(stats.retries)),
+                ("respawns", JsonField::Int(stats.respawns)),
+                ("recovered_results", JsonField::Int(stats.recovered_results)),
+                ("resumed_jobs", JsonField::Int(stats.resumed_jobs)),
                 ("queue_depth", JsonField::Int(stats.queue_depth as u64)),
                 ("store_hits", JsonField::Int(stats.store.hits)),
                 ("store_misses", JsonField::Int(stats.store.misses)),
@@ -330,6 +344,7 @@ impl WireServer {
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let service = self.service.clone();
         let loop_stop = stop.clone();
         let thread = std::thread::Builder::new()
             .name("ra-serve-accept".into())
@@ -340,6 +355,7 @@ impl WireServer {
         Ok(ServerHandle {
             addr,
             stop,
+            service,
             thread: Some(thread),
         })
     }
@@ -385,6 +401,7 @@ fn handle_connection(service: &JobService, stream: TcpStream) {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    service: Arc<JobService>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -392,6 +409,12 @@ impl ServerHandle {
     /// Where the server listens.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The underlying service — what the `ra-serve` bin drives for
+    /// graceful drain on SIGTERM.
+    pub fn service(&self) -> Arc<JobService> {
+        self.service.clone()
     }
 
     /// Signals the accept loop and joins it. Open connections finish

@@ -73,6 +73,17 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// True for failures a supervisor may reasonably retry: a component
+    /// fault describes a *runtime* casualty (a crashed worker, an
+    /// injected fault) that a fresh attempt can outlive, whereas
+    /// timeouts, invariant violations, bad configuration, and external
+    /// cancellations are deterministic — retrying reproduces them.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::Fault { .. })
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -143,6 +154,26 @@ mod tests {
         assert!(cancelled.to_string().contains("cancelled"));
         assert!(cancelled.to_string().contains("512"));
         assert!(cancelled.source().is_none());
+    }
+
+    #[test]
+    fn only_component_faults_are_transient() {
+        assert!(SimError::Fault {
+            component: "worker".into(),
+            detail: "panicked".into(),
+        }
+        .is_transient());
+        for persistent in [
+            SimError::Timeout {
+                budget: 1,
+                waiting_for: "drain".into(),
+            },
+            SimError::Invariant("credits".into()),
+            SimError::Config(ConfigError::new("bad")),
+            SimError::Cancelled { at_cycle: 0 },
+        ] {
+            assert!(!persistent.is_transient(), "{persistent}");
+        }
     }
 
     #[test]

@@ -45,6 +45,26 @@ impl Summary {
         }
     }
 
+    /// Reconstructs a summary from previously exported state — the
+    /// persistence counterpart of [`count`](Summary::count),
+    /// [`mean`](Summary::mean), [`m2`](Summary::m2),
+    /// [`min`](Summary::min), [`max`](Summary::max). With `count == 0`
+    /// the other arguments are ignored and an empty summary is returned,
+    /// so serializers may encode empty summaries without the non-finite
+    /// min/max sentinels.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            return Summary::new();
+        }
+        Summary {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Adds one sample.
     #[inline]
     pub fn record(&mut self, x: f64) {
@@ -90,6 +110,14 @@ impl Summary {
         } else {
             self.mean
         }
+    }
+
+    /// Welford's running sum of squared deviations — exported (with
+    /// [`from_parts`](Summary::from_parts)) so a summary survives a
+    /// serialize/deserialize round trip bit-exactly.
+    #[inline]
+    pub fn m2(&self) -> f64 {
+        self.m2
     }
 
     /// Sample variance (n-1 denominator), or 0 with fewer than 2 samples.
@@ -366,6 +394,18 @@ mod tests {
         let mut e = Summary::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn summary_from_parts_round_trips_bit_exactly() {
+        let mut s = Summary::new();
+        for x in [1.5, -2.25, 1e-17, 42.0, 0.1] {
+            s.record(x);
+        }
+        let back = Summary::from_parts(s.count(), s.mean(), s.m2(), s.min(), s.max());
+        assert_eq!(back, s);
+        // Degenerate empty round trip via the count==0 escape hatch.
+        assert_eq!(Summary::from_parts(0, 123.0, 4.0, 5.0, 6.0), Summary::new());
     }
 
     #[test]

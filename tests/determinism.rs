@@ -326,4 +326,62 @@ mod service_schedule_transparency {
             .count();
         assert_eq!(job_done, 1, "the obs stream must record exactly one run");
     }
+
+    /// Recovery paths must be schedule-transparent too: a job the reaper
+    /// cooperatively cancels mid-run (deadline exceeded), then resubmitted
+    /// fresh, must produce a result bit-identical to the uninterrupted
+    /// serial run. Interrupting a simulation may not leak any state into
+    /// the next attempt.
+    #[test]
+    fn a_deadline_cancelled_job_reruns_bit_identically() {
+        use reciprocal_abstraction::obs::ObsSink as Sink;
+        use std::time::Duration;
+
+        // Long enough that a 100 ms deadline reliably lands mid-run (the
+        // sibling serve test cancels this same workload at 150 ms).
+        const SLOW: &str =
+            "target=2x2 app=water mode=fixed:10 instructions=200000 budget=100000000";
+        let spec: JobSpec = SLOW.parse().expect("canonical spec");
+        let reference = fingerprint(&spec.to_run_spec().run().expect("serial run"));
+
+        let service = JobService::start(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            Sink::disabled(),
+        )
+        .expect("service starts");
+
+        let doomed = service
+            .submit(spec.clone(), Priority::Normal, Some(Duration::from_millis(100)))
+            .expect("admitted");
+        match service.wait(doomed.ticket, None).expect("job settles") {
+            JobOutcome::DeadlineExceeded => {}
+            other => panic!("the deadline should cancel the run mid-flight: {other:?}"),
+        }
+
+        // The cancelled attempt must not have been memoized, and the fresh
+        // run must match the serial reference exactly.
+        let rerun = service
+            .submit(spec, Priority::Normal, None)
+            .expect("admitted");
+        assert!(
+            matches!(rerun.disposition, Disposition::Enqueued { .. }),
+            "a cancelled attempt must not satisfy the resubmission: {:?}",
+            rerun.disposition
+        );
+        match service.wait(rerun.ticket, None).expect("job finishes") {
+            JobOutcome::Completed { result, cached, .. } => {
+                assert!(!cached, "the rerun must be a fresh simulation");
+                assert_eq!(
+                    fingerprint(&result),
+                    reference,
+                    "an interrupted attempt perturbed the rerun"
+                );
+            }
+            other => panic!("rerun should complete: {other:?}"),
+        }
+        service.shutdown();
+    }
 }
