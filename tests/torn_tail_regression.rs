@@ -1,0 +1,49 @@
+use reciprocal_abstraction::serve::journal::read_frames;
+use reciprocal_abstraction::serve::{JobKey, ResultStore};
+use std::sync::Arc;
+
+#[test]
+fn spill_appended_after_torn_tail_is_recoverable() {
+    let dir = std::env::temp_dir().join(format!("torn-regress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spill.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let result = || {
+        use reciprocal_abstraction::cosim::{ModeSpec, RunSpec, Target};
+        use reciprocal_abstraction::workloads::AppProfile;
+        Arc::new(
+            RunSpec::new(&Target::cmp(2, 2), &AppProfile::water())
+                .mode(ModeSpec::Fixed(10))
+                .instructions(5)
+                .budget(100_000)
+                .run()
+                .unwrap(),
+        )
+    };
+    // Life A: two results, then a kill -9 tears the tail.
+    {
+        let store = ResultStore::new(8, 1).with_spill(&path, 0).unwrap();
+        store.insert(JobKey(1), "a", result());
+        store.insert(JobKey(2), "b", result());
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+    // Life B: warm restart (tolerates the tear), then completes a new job.
+    {
+        let mut store = ResultStore::new(8, 1);
+        let report = store.warm_from_spill(&path).unwrap();
+        assert_eq!(report.recovered_records, 1);
+        let store = store.with_spill(&path, 0).unwrap();
+        store.insert(JobKey(3), "c", result());
+    }
+    // Life C: the result completed in life B must be recoverable.
+    let mut store = ResultStore::new(8, 1);
+    let report = store.warm_from_spill(&path).unwrap();
+    let (_, raw) = read_frames(&std::fs::read(&path).unwrap());
+    eprintln!("life C report: {report:?}, raw: {raw:?}");
+    assert!(
+        store.contains(JobKey(3)),
+        "result completed after a torn-tail restart was lost: {report:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
