@@ -260,6 +260,37 @@ pub enum Event {
         /// Milliseconds past the deadline when the reaper fired.
         overrun_ms: u64,
     },
+    /// A relay health probe promoted a backend node to `Up`.
+    NodeUp {
+        /// Backend slot index in the relay's node table.
+        node: u64,
+        /// Round-trip time of the probe that completed the promotion.
+        rtt_ns: u64,
+    },
+    /// A relay health probe demoted a backend node to `Down`.
+    NodeDown {
+        /// Backend slot index in the relay's node table.
+        node: u64,
+        /// Consecutive probe failures at the moment of demotion.
+        failures: u64,
+    },
+    /// A node death triggered failover: its key range was re-routed to
+    /// survivors and its in-flight jobs re-submitted.
+    Failover {
+        /// The dead backend's slot index.
+        node: u64,
+        /// In-flight jobs handed off to survivors.
+        inflight: u64,
+    },
+    /// One job was re-routed from a failed backend to a survivor.
+    Reroute {
+        /// Canonical job-spec content hash.
+        job: u64,
+        /// Backend slot the job was leaving.
+        from: u64,
+        /// Backend slot that now owns it.
+        to: u64,
+    },
 }
 
 impl Event {
@@ -280,6 +311,10 @@ impl Event {
             Event::WorkerRespawn { .. } => "worker_respawn",
             Event::JobQuarantined { .. } => "job_quarantined",
             Event::DeadlineCancel { .. } => "deadline_cancel",
+            Event::NodeUp { .. } => "node_up",
+            Event::NodeDown { .. } => "node_down",
+            Event::Failover { .. } => "failover",
+            Event::Reroute { .. } => "reroute",
         }
     }
 
@@ -412,6 +447,23 @@ impl Event {
             Event::DeadlineCancel { job, overrun_ms } => {
                 w.hex("job", *job);
                 w.int("overrun_ms", *overrun_ms);
+            }
+            Event::NodeUp { node, rtt_ns } => {
+                w.int("node", *node);
+                w.int("rtt_ns", *rtt_ns);
+            }
+            Event::NodeDown { node, failures } => {
+                w.int("node", *node);
+                w.int("failures", *failures);
+            }
+            Event::Failover { node, inflight } => {
+                w.int("node", *node);
+                w.int("inflight", *inflight);
+            }
+            Event::Reroute { job, from, to } => {
+                w.hex("job", *job);
+                w.int("from", *from);
+                w.int("to", *to);
             }
         }
         w.finish()
@@ -1009,6 +1061,20 @@ mod tests {
             Event::DeadlineCancel {
                 job: 0xDEAD_BEEF,
                 overrun_ms: 40,
+            },
+            Event::NodeUp { node: 0, rtt_ns: 120_000 },
+            Event::NodeDown {
+                node: 2,
+                failures: 3,
+            },
+            Event::Failover {
+                node: 2,
+                inflight: 5,
+            },
+            Event::Reroute {
+                job: 0xDEAD_BEEF,
+                from: 2,
+                to: 0,
             },
         ];
         for event in &events {

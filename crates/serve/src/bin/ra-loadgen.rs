@@ -27,6 +27,12 @@
 //! *without* the explicit `queue_full` backpressure signal — always 0
 //! for a well-behaved server, and CI asserts exactly that.
 //!
+//! `--addr` may point at an `ra-relay` instead of a single backend —
+//! the protocol is identical. In that case the report grows a
+//! `relay: ... retries=... reroutes=...` line (forward retries and
+//! failover re-routes observed at the relay) and one `shard N:` row per
+//! backend with its health state and share of the work.
+//!
 //! When the server *does* signal `queue_full` + `retryable`, each
 //! connection retries the same submission with exponential backoff plus
 //! jitter drawn from a per-connection seeded generator, so runs are
@@ -254,6 +260,36 @@ fn drive_connection(args: &Args, jobs: &[usize], client_id: usize) -> Tally {
     tally
 }
 
+/// One `shard N:` line per backend the relay fronts — health state and
+/// each live node's share of the work (its own counters).
+fn report_shards(args: &Args) {
+    let nodes = match WireClient::connect(args.addr.as_str()).and_then(|mut c| c.node_stats()) {
+        Ok(nodes) => nodes,
+        Err(err) => {
+            eprintln!("ra-loadgen: node_stats: {err}");
+            return;
+        }
+    };
+    let Some(Json::Arr(rows)) = nodes.get("nodes") else {
+        return;
+    };
+    for row in rows {
+        let num = |key: &str| row.get(key).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "shard {}: state={} submitted={} completed={} cache_hits={} coalesced={} \
+             queue_depth={} rtt_ns={}",
+            num("node"),
+            row.get("state").and_then(Json::as_str).unwrap_or("?"),
+            num("submitted"),
+            num("completed"),
+            num("cache_hits"),
+            num("coalesced"),
+            num("queue_depth"),
+            num("rtt_ns")
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -334,6 +370,24 @@ fn main() -> ExitCode {
                 ratio("hit_ratio"),
                 ratio("memo_ratio")
             );
+            // Pointed at a relay instead of a single backend, the stats
+            // snapshot carries the cluster-level counters too: surface
+            // the forwarding retries and failover re-routes so chaos
+            // runs can grep for them.
+            if stats.get("role").and_then(Json::as_str) == Some("relay") {
+                println!(
+                    "relay: forwards={} retries={} reroutes={} failovers={} edge_hits={} \
+                     nodes_routable={}/{}",
+                    num("relay_forwards"),
+                    num("relay_retries"),
+                    num("relay_reroutes"),
+                    num("relay_failovers"),
+                    num("relay_edge_hits"),
+                    num("nodes_routable"),
+                    num("nodes")
+                );
+                report_shards(&args);
+            }
         }
         Err(err) => {
             eprintln!("ra-loadgen: stats: {err}");

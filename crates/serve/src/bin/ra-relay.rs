@@ -1,0 +1,215 @@
+//! `ra-relay` — the cluster coordinator in front of N `ra-serve` nodes.
+//!
+//! ```text
+//! ra-relay --backend 127.0.0.1:7743 --backend 127.0.0.1:7744 ...
+//!          [--addr 127.0.0.1:7742] [--vnodes 128]
+//!          [--probe-interval-ms 250] [--probe-timeout-ms 500]
+//!          [--fail-threshold 3] [--recover-threshold 2]
+//!          [--forward-deadline-ms 2000] [--retry-budget 3]
+//!          [--retry-backoff-ms 10] [--edge-cache 64] [--seed 42]
+//!          [--trace trace.jsonl]
+//! ```
+//!
+//! Speaks the same line-JSON protocol as a single `ra-serve`, so every
+//! client points at the relay unchanged. Jobs are consistent-hashed
+//! across the backends; a probe loop drives each backend's
+//! Up/Suspect/Down health machine, and when a node dies its in-flight
+//! jobs are re-driven on the survivors exactly once (`ra_serve::cluster`
+//! has the full story). Prints `listening on <addr>` once ready —
+//! scripts and CI wait for that line — and serves until SIGTERM/ctrl-c.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ra_obs::{JsonlRecorder, ObsSink};
+use ra_serve::cluster::{Relay, RelayConfig, RelayServer};
+
+/// Minimal unix signal latch without any libc crate: `signal(2)` is in
+/// every libc the toolchain links anyway, and the handler only performs
+/// an async-signal-safe atomic store.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+struct Args {
+    addr: String,
+    config: RelayConfig,
+    trace: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: ra-relay --backend HOST:PORT [--backend HOST:PORT ...] \
+                     [--addr HOST:PORT] [--vnodes N] [--probe-interval-ms N] \
+                     [--probe-timeout-ms N] [--fail-threshold N] [--recover-threshold N] \
+                     [--forward-deadline-ms N] [--retry-budget N] [--retry-backoff-ms N] \
+                     [--edge-cache N] [--seed N] [--trace FILE]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7742".to_owned(),
+        config: RelayConfig::default(),
+        trace: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--backend" => args.config.backends.push(value("--backend")?),
+            "--vnodes" => args.config.vnodes = parse_num(&value("--vnodes")?, "--vnodes")?,
+            "--probe-interval-ms" => {
+                args.config.health.probe_interval =
+                    parse_ms(&value("--probe-interval-ms")?, "--probe-interval-ms")?;
+            }
+            "--probe-timeout-ms" => {
+                args.config.health.probe_timeout =
+                    parse_ms(&value("--probe-timeout-ms")?, "--probe-timeout-ms")?;
+            }
+            "--fail-threshold" => {
+                args.config.health.fail_threshold =
+                    parse_num(&value("--fail-threshold")?, "--fail-threshold")? as u32;
+            }
+            "--recover-threshold" => {
+                args.config.health.recover_threshold =
+                    parse_num(&value("--recover-threshold")?, "--recover-threshold")? as u32;
+            }
+            "--forward-deadline-ms" => {
+                args.config.forward_deadline =
+                    parse_ms(&value("--forward-deadline-ms")?, "--forward-deadline-ms")?;
+            }
+            "--retry-budget" => {
+                args.config.retry_budget =
+                    parse_num(&value("--retry-budget")?, "--retry-budget")? as u32;
+            }
+            "--retry-backoff-ms" => {
+                args.config.retry_backoff =
+                    parse_ms(&value("--retry-backoff-ms")?, "--retry-backoff-ms")?;
+            }
+            "--edge-cache" => {
+                // 0 is meaningful: disables the edge LRU entirely.
+                let text = value("--edge-cache")?;
+                args.config.edge_cache = text.parse::<usize>().map_err(|_| {
+                    format!("--edge-cache needs a non-negative integer, got `{text}`")
+                })?;
+            }
+            "--seed" => {
+                let text = value("--seed")?;
+                args.config.seed = text
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed needs a non-negative integer, got `{text}`"))?;
+            }
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if args.config.backends.is_empty() {
+        return Err(format!("at least one --backend is required\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive integer, got `{text}`"))
+}
+
+fn parse_ms(text: &str, flag: &str) -> Result<Duration, String> {
+    Ok(Duration::from_millis(parse_num(text, flag)? as u64))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = match &args.trace {
+        None => ObsSink::disabled(),
+        Some(path) => match JsonlRecorder::create(path) {
+            Ok(recorder) => ObsSink::attach(recorder).0,
+            Err(err) => {
+                eprintln!("ra-relay: cannot create trace file {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let backends = args.config.backends.clone();
+    let relay = match Relay::new(args.config, obs) {
+        Ok(relay) => relay,
+        Err(err) => {
+            eprintln!("ra-relay: bad cluster config: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    signals::install();
+    let server = match RelayServer::bind(args.addr.as_str(), relay) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("ra-relay: cannot bind {}: {err}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = match server.spawn() {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("ra-relay: cannot start relay loops: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Flushed immediately: launch scripts block on this line.
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "ra-relay: fronting {} backend(s): {}",
+        backends.len(),
+        backends.join(", ")
+    );
+    while !signals::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("ra-relay: shutdown signal received, stopping probe and accept loops");
+    handle.stop();
+    ExitCode::SUCCESS
+}

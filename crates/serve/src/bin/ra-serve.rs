@@ -80,7 +80,8 @@ struct Args {
 
 const USAGE: &str = "usage: ra-serve [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--cache N] [--shards N] [--state-dir DIR] [--spill FILE] \
-                     [--fsync-every N] [--drain-timeout SECS] [--trace FILE]";
+                     [--fsync-every N] [--journal-compact-bytes N] \
+                     [--drain-timeout SECS] [--trace FILE]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -115,6 +116,15 @@ fn parse_args() -> Result<Args, String> {
                 let text = value("--fsync-every")?;
                 args.config.fsync_every = text.parse::<u64>().map_err(|_| {
                     format!("--fsync-every needs a non-negative integer, got `{text}`")
+                })?;
+            }
+            "--journal-compact-bytes" => {
+                // 0 is meaningful here: compact only at startup.
+                let text = value("--journal-compact-bytes")?;
+                args.config.journal_compact_bytes = text.parse::<u64>().map_err(|_| {
+                    format!(
+                        "--journal-compact-bytes needs a non-negative integer, got `{text}`"
+                    )
                 })?;
             }
             "--drain-timeout" => {

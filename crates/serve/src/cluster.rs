@@ -1,0 +1,1420 @@
+//! The `ra-relay` coordinator: shards jobs across N backend nodes with
+//! health-checked failover and exactly-once handoff.
+//!
+//! # Shape
+//!
+//! The relay speaks the same line-JSON wire protocol as a single
+//! backend, so every existing client (`ra-loadgen`, the integration
+//! tests, curl-with-netcat) points at the relay unchanged. Internally:
+//!
+//! * a [`HashRing`](crate::ring::HashRing) consistent-hashes each
+//!   [`JobKey`] to an owning backend, so identical specs always land on
+//!   the same node and its memo store keeps deduplicating across the
+//!   whole cluster;
+//! * a probe loop drives one [`HealthMachine`] per backend
+//!   (Up/Suspect/Down, consecutive-failure thresholds, probe RTT),
+//!   emitting `node_up` / `node_down` obs events on transitions;
+//! * every forward carries a deadline (connect + read timeouts) and a
+//!   bounded, seeded-jitter retry budget — the same exponential policy
+//!   the scheduler uses for transient job faults;
+//! * a small LRU at the relay edge replicates hot memo entries, so
+//!   duplicate-heavy traffic is answered without a backend hop even
+//!   while a shard is failing over.
+//!
+//! # Exactly-once failover
+//!
+//! When a node dies mid-job the relay re-submits the dead shard's
+//! in-flight specs to the ring's next live owner. Re-submission is safe
+//! for the same reason journal replay is: a job is content-addressed by
+//! its canonical spec hash, results are deterministic, and the
+//! survivor's memo store + single-flight coalescing collapse any
+//! duplicate arrival (prober re-route racing a client retry) into one
+//! run. The client observes exactly one terminal result per submitted
+//! job, bit-identical to what the dead node would have produced.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ra_bench::{json_object, JsonField};
+use ra_obs::{Event, ObsSink};
+
+use crate::health::{HealthMachine, HealthPolicy, NodeState, Transition};
+use crate::json::Json;
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use crate::scheduler::backoff_delay;
+use crate::spec::{JobKey, JobSpec};
+use crate::wire::{err_fields, ok_fields, serve_lines, WireClient};
+
+/// Tuning knobs for [`Relay::start`].
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    /// Backend addresses, one per shard slot; slot order is identity.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the hash ring.
+    pub vnodes: usize,
+    /// Probe loop tuning (interval, timeout, thresholds).
+    pub health: HealthPolicy,
+    /// Per-forward connect + response deadline.
+    pub forward_deadline: Duration,
+    /// Forward attempts per request beyond the first.
+    pub retry_budget: u32,
+    /// Base backoff between forward attempts; doubles per attempt, plus
+    /// seeded jitter so synchronized clients do not stampede.
+    pub retry_backoff: Duration,
+    /// Relay-edge hot-memo LRU capacity in entries (0 disables it).
+    pub edge_cache: usize,
+    /// Seed for retry jitter (deterministic tests pin it).
+    pub seed: u64,
+    /// Idle-connection budget for the relay's own listener.
+    pub idle_timeout: Duration,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        RelayConfig {
+            backends: Vec::new(),
+            vnodes: DEFAULT_VNODES,
+            health: HealthPolicy::default(),
+            forward_deadline: Duration::from_secs(2),
+            retry_budget: 3,
+            retry_backoff: Duration::from_millis(10),
+            edge_cache: 64,
+            seed: 42,
+            idle_timeout: crate::wire::DEFAULT_IDLE_TIMEOUT,
+        }
+    }
+}
+
+/// Relay-level counters (the backend counters live on the backends and
+/// are aggregated by the `stats` verb).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelayStats {
+    /// Submits received by the relay.
+    pub submitted: u64,
+    /// Requests forwarded to a backend (all verbs).
+    pub forwards: u64,
+    /// Forward attempts retried after a transport failure.
+    pub retries: u64,
+    /// Jobs re-routed from a failed backend to a survivor.
+    pub reroutes: u64,
+    /// Node-down transitions (each fires one failover pass).
+    pub failovers: u64,
+    /// Submits and results answered from the relay-edge memo LRU.
+    pub edge_hits: u64,
+}
+
+/// xorshift64* — the same tiny deterministic generator `ra-loadgen`
+/// uses for client backoff jitter.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new(seed: u64) -> Jitter {
+        Jitter(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next() % bound
+        }
+    }
+}
+
+/// Hot-memo LRU at the relay edge: raw `result` response lines keyed by
+/// job hash, served without a backend hop.
+struct EdgeCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<u64, (u64, String)>,
+}
+
+impl EdgeCache {
+    fn new(capacity: usize) -> EdgeCache {
+        EdgeCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: JobKey) -> Option<String> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key.0).map(|(when, line)| {
+            *when = tick;
+            line.clone()
+        })
+    }
+
+    fn contains(&self, key: JobKey) -> bool {
+        self.map.contains_key(&key.0)
+    }
+
+    fn insert(&mut self, key: JobKey, line: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(key.0, (self.tick, line));
+        if self.map.len() > self.capacity {
+            // Evict the least-recently-used entry. Linear scan: the
+            // edge cache is deliberately small (tens of entries).
+            if let Some(&oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (when, _))| *when)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+    }
+}
+
+/// One in-flight relay ticket: enough to re-drive the job anywhere.
+#[derive(Debug, Clone)]
+struct TicketEntry {
+    key: JobKey,
+    /// Canonical spec text (re-submittable verbatim).
+    spec: String,
+    priority: Option<String>,
+    deadline_ms: Option<u64>,
+    /// Backend slot currently owning the job; `None` for a ticket
+    /// answered purely from the edge cache.
+    backend: Option<usize>,
+    /// The owning backend's ticket for this job.
+    remote_ticket: u64,
+    /// Bumped on every re-route so a forwarder blocked on the old
+    /// backend can tell the prober already moved the job.
+    generation: u64,
+}
+
+struct Node {
+    addr: SocketAddr,
+    health: Mutex<HealthMachine>,
+}
+
+/// Shared relay state: ring, node table, ticket map, edge cache,
+/// counters. Connection threads and the probe loop all hold an `Arc`.
+pub struct Relay {
+    config: RelayConfig,
+    ring: HashRing,
+    nodes: Vec<Node>,
+    tickets: Mutex<HashMap<u64, TicketEntry>>,
+    next_ticket: AtomicU64,
+    edge: Mutex<EdgeCache>,
+    stats: Mutex<RelayStats>,
+    obs: ObsSink,
+    stop: AtomicBool,
+}
+
+impl Relay {
+    /// Resolves the backend addresses and builds the shared state (no
+    /// I/O beyond DNS resolution; probing starts with [`Relay::spawn`]).
+    ///
+    /// # Errors
+    ///
+    /// When `backends` is empty or an address does not resolve.
+    pub fn new(config: RelayConfig, obs: ObsSink) -> io::Result<Relay> {
+        if config.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a relay needs at least one --backend",
+            ));
+        }
+        let mut nodes = Vec::with_capacity(config.backends.len());
+        for text in &config.backends {
+            let addr = text.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("backend `{text}` does not resolve"),
+                )
+            })?;
+            nodes.push(Node {
+                addr,
+                health: Mutex::new(HealthMachine::new(&config.health)),
+            });
+        }
+        let ring = HashRing::new(nodes.len(), config.vnodes.max(1));
+        let edge = EdgeCache::new(config.edge_cache);
+        Ok(Relay {
+            config,
+            ring,
+            nodes,
+            tickets: Mutex::new(HashMap::new()),
+            next_ticket: AtomicU64::new(1),
+            edge: Mutex::new(edge),
+            stats: Mutex::new(RelayStats::default()),
+            obs,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Relay-level counter snapshot.
+    pub fn stats(&self) -> RelayStats {
+        *self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Health state of one backend slot.
+    pub fn node_state(&self, node: usize) -> NodeState {
+        self.nodes[node]
+            .health
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .state()
+    }
+
+    fn bump<F: FnOnce(&mut RelayStats)>(&self, f: F) {
+        f(&mut self.stats.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Per-node liveness mask for the ring.
+    fn alive_mask(&self) -> Vec<bool> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.health
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .state()
+                    .routes()
+            })
+            .collect()
+    }
+
+    /// Feeds one probe (or forward) outcome into a node's machine and
+    /// reacts to transitions: obs events, and failover on `WentDown`.
+    fn record_probe(&self, node: usize, outcome: Result<Duration, ()>) {
+        let transition = {
+            let mut machine = self.nodes[node]
+                .health
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match outcome {
+                Ok(rtt) => machine.on_success(rtt),
+                Err(()) => machine.on_failure(),
+            }
+        };
+        match transition {
+            Some(Transition::CameUp) => {
+                let rtt_ns = self.nodes[node]
+                    .health
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .last_rtt_ns();
+                self.obs.emit(|| Event::NodeUp {
+                    node: node as u64,
+                    rtt_ns,
+                });
+                // Membership changes must be visible to a live tail
+                // (CI greps the trace mid-run), not sit buffered.
+                let _ = self.obs.flush();
+            }
+            Some(Transition::WentDown) => {
+                let failures = u64::from(
+                    self.nodes[node]
+                        .health
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .failures(),
+                );
+                self.obs.emit(|| Event::NodeDown {
+                    node: node as u64,
+                    failures,
+                });
+                self.bump(|s| s.failovers += 1);
+                self.fail_over(node);
+            }
+            None => {}
+        }
+    }
+
+    /// Re-routes every in-flight job owned by `dead` to the ring's next
+    /// live owner, re-submitting each spec exactly once from the
+    /// relay's side (the survivor's memo store and coalescing dedup any
+    /// racing client-path retry).
+    fn fail_over(&self, dead: usize) {
+        let alive = self.alive_mask();
+        let moved: Vec<(u64, TicketEntry)> = {
+            let tickets = self.tickets.lock().unwrap_or_else(|e| e.into_inner());
+            tickets
+                .iter()
+                .filter(|(_, e)| e.backend == Some(dead))
+                .map(|(&t, e)| (t, e.clone()))
+                .collect()
+        };
+        let mut handed_off = 0u64;
+        for (ticket, entry) in &moved {
+            let Some(target) = self.ring.route_live(entry.key, &alive) else {
+                break; // nothing alive: the client path will surface it
+            };
+            match self.resubmit(target, entry) {
+                Ok(remote_ticket) => {
+                    let mut tickets =
+                        self.tickets.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(live) = tickets.get_mut(ticket) {
+                        // Only move it if a client thread has not
+                        // already re-driven it elsewhere.
+                        if live.backend == Some(dead) {
+                            live.backend = Some(target);
+                            live.remote_ticket = remote_ticket;
+                            live.generation += 1;
+                            handed_off += 1;
+                            let job = entry.key.0;
+                            self.obs.emit(|| Event::Reroute {
+                                job,
+                                from: dead as u64,
+                                to: target as u64,
+                            });
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Survivor unreachable too; its own probe loop will
+                    // demote it. The client path keeps retrying.
+                }
+            }
+        }
+        self.bump(|s| s.reroutes += handed_off);
+        self.obs.emit(|| Event::Failover {
+            node: dead as u64,
+            inflight: handed_off,
+        });
+        let _ = self.obs.flush();
+    }
+
+    /// Submits an entry's spec to `target` over a fresh short-lived
+    /// connection, returning the backend's ticket.
+    fn resubmit(&self, target: usize, entry: &TicketEntry) -> io::Result<u64> {
+        let mut client = WireClient::connect_timeout(
+            &self.nodes[target].addr,
+            self.config.forward_deadline,
+        )?;
+        client.set_read_timeout(Some(self.config.forward_deadline))?;
+        let response = client.submit(
+            &entry.spec,
+            entry.priority.as_deref(),
+            entry.deadline_ms,
+        )?;
+        self.bump(|s| s.forwards += 1);
+        response
+            .get("ticket")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "resubmit response carried no ticket",
+                )
+            })
+    }
+
+    /// One probe round over every backend.
+    fn probe_all(&self) {
+        for node in 0..self.nodes.len() {
+            let started = Instant::now();
+            let outcome = WireClient::connect_timeout(
+                &self.nodes[node].addr,
+                self.config.health.probe_timeout,
+            )
+            .and_then(|mut client| {
+                client.set_read_timeout(Some(self.config.health.probe_timeout))?;
+                client.health()
+            });
+            match outcome {
+                Ok(response) if response.get("ok").and_then(Json::as_bool) == Some(true) => {
+                    self.record_probe(node, Ok(started.elapsed()));
+                }
+                _ => self.record_probe(node, Err(())),
+            }
+        }
+    }
+
+    fn probe_loop(&self) {
+        // First round immediately: traffic may arrive before the first
+        // interval elapses and the mask should reflect reality.
+        while !self.stop.load(Ordering::Relaxed) {
+            self.probe_all();
+            let mut waited = Duration::ZERO;
+            let step = Duration::from_millis(25);
+            while waited < self.config.health.probe_interval {
+                if self.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(step);
+                waited += step;
+            }
+        }
+    }
+}
+
+/// A per-connection pool of backend clients: lazily connected, dropped
+/// on any transport error so the next use reconnects fresh. One pool
+/// per relay connection thread — forwards never contend on a shared
+/// backend socket.
+pub struct BackendPool {
+    clients: Vec<Option<WireClient>>,
+}
+
+impl BackendPool {
+    /// An empty pool sized for `relay`'s node table.
+    pub fn new(relay: &Relay) -> BackendPool {
+        BackendPool {
+            clients: (0..relay.nodes.len()).map(|_| None).collect(),
+        }
+    }
+
+    /// A connected client for `node`, reusing the pooled connection.
+    fn client(
+        &mut self,
+        relay: &Relay,
+        node: usize,
+    ) -> io::Result<&mut WireClient> {
+        if self.clients[node].is_none() {
+            let client = WireClient::connect_timeout(
+                &relay.nodes[node].addr,
+                relay.config.forward_deadline,
+            )?;
+            client.set_read_timeout(Some(relay.config.forward_deadline))?;
+            self.clients[node] = Some(client);
+        }
+        Ok(self.clients[node].as_mut().expect("just inserted"))
+    }
+
+    fn invalidate(&mut self, node: usize) {
+        self.clients[node] = None;
+    }
+}
+
+/// Forwards one raw request line to `node`, with the read deadline
+/// stretched to `read_deadline` (long-poll `result` calls must outlive
+/// the job they wait for). Invalidates the pooled connection on error.
+fn forward(
+    relay: &Relay,
+    pool: &mut BackendPool,
+    node: usize,
+    request: &str,
+    read_deadline: Duration,
+) -> io::Result<String> {
+    let outcome = (|| {
+        let client = pool.client(relay, node)?;
+        client.set_read_timeout(Some(read_deadline))?;
+        let response = client.call_raw(request);
+        // Restore the default forward deadline for the next reuse.
+        let _ = client.set_read_timeout(Some(relay.config.forward_deadline));
+        response
+    })();
+    match outcome {
+        Ok(line) => {
+            relay.bump(|s| s.forwards += 1);
+            Ok(line)
+        }
+        Err(err) => {
+            // A desynchronized connection (timed-out long poll) cannot
+            // be reused: a stale response would answer the wrong call.
+            pool.invalidate(node);
+            Err(err)
+        }
+    }
+}
+
+/// How long a `result` forward may block: the client's requested wait
+/// plus one forward deadline of slack for transport. An unbounded
+/// client wait is capped — the relay never parks a thread forever on
+/// one backend read.
+fn result_read_deadline(relay: &Relay, timeout_ms: Option<u64>) -> (u64, Duration) {
+    let wait_ms = timeout_ms.unwrap_or(600_000);
+    let deadline = Duration::from_millis(wait_ms) + relay.config.forward_deadline;
+    (wait_ms, deadline)
+}
+
+fn bad_request(detail: &str) -> String {
+    err_fields(
+        "bad_request",
+        vec![("detail", JsonField::Str(detail.to_owned()))],
+    )
+}
+
+fn no_backend() -> String {
+    err_fields(
+        "no_backend",
+        vec![
+            (
+                "detail",
+                JsonField::Str("no live backend for this key".into()),
+            ),
+            ("retryable", JsonField::Raw("true".into())),
+        ],
+    )
+}
+
+/// Whether a backend error response means "this backend no longer knows
+/// the job" (restart lost the ticket) rather than a client error.
+fn is_lost_ticket(raw: &str) -> bool {
+    Json::parse(raw)
+        .ok()
+        .and_then(|j| j.get("error").and_then(Json::as_str).map(String::from))
+        .is_some_and(|code| code == "unknown_ticket")
+}
+
+/// Dispatches one relay request line. Pure with respect to listener
+/// I/O (the pool does backend I/O), so tests drive it without sockets
+/// on the front side.
+pub fn handle_relay_request(relay: &Relay, pool: &mut BackendPool, line: &str) -> String {
+    let request = match Json::parse(line) {
+        Ok(request) => request,
+        Err(err) => return bad_request(&err.to_string()),
+    };
+    let verb = request.get("verb").and_then(Json::as_str).unwrap_or("");
+    match verb {
+        "submit" => relay_submit(relay, pool, &request),
+        "status" | "result" | "cancel" => relay_forward_ticket(relay, pool, &request, verb),
+        "stats" => {
+            // Mirror the backend: a stats poll is a sync point for the
+            // relay's own trace stream.
+            let _ = relay.obs.flush();
+            relay_stats(relay, pool)
+        }
+        "node_stats" => relay_node_stats(relay, pool),
+        "health" => {
+            let alive = relay.alive_mask();
+            let up = alive.iter().filter(|a| **a).count() as u64;
+            ok_fields(vec![
+                ("role", JsonField::Str("relay".into())),
+                ("state", JsonField::Str("up".into())),
+                ("nodes", JsonField::Int(alive.len() as u64)),
+                ("nodes_routable", JsonField::Int(up)),
+            ])
+        }
+        "" => bad_request("`verb` is required"),
+        other => err_fields(
+            "unknown_verb",
+            vec![("detail", JsonField::Str(format!("`{other}`")))],
+        ),
+    }
+}
+
+fn relay_submit(relay: &Relay, pool: &mut BackendPool, request: &Json) -> String {
+    let Some(spec_text) = request.get("spec").and_then(Json::as_str) else {
+        return bad_request("`spec` is required");
+    };
+    // Canonicalize at the edge: routing must hash the canonical form,
+    // and malformed specs should never cost a backend hop.
+    let spec: JobSpec = match spec_text.parse() {
+        Ok(spec) => spec,
+        Err(err) => {
+            return err_fields(
+                "bad_spec",
+                vec![("detail", JsonField::Str(err.to_string()))],
+            )
+        }
+    };
+    let key = spec.job_hash();
+    let canonical = spec.canonical();
+    let priority = request
+        .get("priority")
+        .and_then(Json::as_str)
+        .map(String::from);
+    let deadline_ms = request.get("deadline_ms").and_then(Json::as_u64);
+    relay.bump(|s| s.submitted += 1);
+
+    // Edge hit: answer without a backend hop, even mid-failover.
+    let edge_hit = {
+        let edge = relay.edge.lock().unwrap_or_else(|e| e.into_inner());
+        edge.contains(key)
+    };
+    if edge_hit {
+        relay.bump(|s| s.edge_hits += 1);
+        let ticket = relay.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let mut tickets = relay.tickets.lock().unwrap_or_else(|e| e.into_inner());
+        tickets.insert(
+            ticket,
+            TicketEntry {
+                key,
+                spec: canonical,
+                priority,
+                deadline_ms,
+                backend: None,
+                remote_ticket: 0,
+                generation: 0,
+            },
+        );
+        return ok_fields(vec![
+            ("ticket", JsonField::Int(ticket)),
+            ("job", JsonField::Str(key.to_string())),
+            ("disposition", JsonField::Str("cached".into())),
+            ("depth", JsonField::Int(0)),
+            ("edge", JsonField::Raw("true".into())),
+        ]);
+    }
+
+    // Forward to the ring owner, with bounded jittered retries walking
+    // past nodes that fail mid-forward.
+    let forward_line = {
+        let mut fields = vec![
+            ("verb", JsonField::Str("submit".into())),
+            ("spec", JsonField::Str(canonical.clone())),
+        ];
+        if let Some(priority) = &priority {
+            fields.push(("priority", JsonField::Str(priority.clone())));
+        }
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms", JsonField::Int(ms)));
+        }
+        json_object(&fields)
+    };
+    let mut jitter = Jitter::new(relay.config.seed ^ key.0);
+    let attempts = relay.config.retry_budget.max(1);
+    for attempt in 1..=attempts {
+        let alive = relay.alive_mask();
+        let Some(node) = relay.ring.route_live(key, &alive) else {
+            return no_backend();
+        };
+        match forward(
+            relay,
+            pool,
+            node,
+            &forward_line,
+            relay.config.forward_deadline,
+        ) {
+            Ok(raw) => {
+                let Ok(response) = Json::parse(&raw) else {
+                    return raw; // foreign but delivered: pass through
+                };
+                if response.get("ok").and_then(Json::as_bool) != Some(true) {
+                    return raw; // queue_full etc.: client owns that policy
+                }
+                let remote_ticket = response
+                    .get("ticket")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                let disposition = response
+                    .get("disposition")
+                    .and_then(Json::as_str)
+                    .unwrap_or("enqueued")
+                    .to_owned();
+                let depth = response.get("depth").and_then(Json::as_u64).unwrap_or(0);
+                let ticket = relay.next_ticket.fetch_add(1, Ordering::Relaxed);
+                let mut tickets =
+                    relay.tickets.lock().unwrap_or_else(|e| e.into_inner());
+                tickets.insert(
+                    ticket,
+                    TicketEntry {
+                        key,
+                        spec: canonical,
+                        priority,
+                        deadline_ms,
+                        backend: Some(node),
+                        remote_ticket,
+                        generation: 0,
+                    },
+                );
+                return ok_fields(vec![
+                    ("ticket", JsonField::Int(ticket)),
+                    ("job", JsonField::Str(key.to_string())),
+                    ("disposition", JsonField::Str(disposition)),
+                    ("depth", JsonField::Int(depth)),
+                    ("node", JsonField::Int(node as u64)),
+                ]);
+            }
+            Err(_) => {
+                relay.record_probe(node, Err(()));
+                if attempt < attempts {
+                    relay.bump(|s| s.retries += 1);
+                    let base = backoff_delay(relay.config.retry_backoff, attempt);
+                    let extra = jitter.below(base.as_millis().max(1) as u64);
+                    std::thread::sleep(base + Duration::from_millis(extra));
+                }
+            }
+        }
+    }
+    no_backend()
+}
+
+/// status / result / cancel: look the relay ticket up, forward to the
+/// owning backend, and on transport failure or a backend restart
+/// re-drive the job on the ring's live owner (the failover path).
+fn relay_forward_ticket(
+    relay: &Relay,
+    pool: &mut BackendPool,
+    request: &Json,
+    verb: &str,
+) -> String {
+    let Some(ticket) = request.get("ticket").and_then(Json::as_u64) else {
+        return bad_request("`ticket` must be a non-negative integer");
+    };
+    let entry = {
+        let tickets = relay.tickets.lock().unwrap_or_else(|e| e.into_inner());
+        tickets.get(&ticket).cloned()
+    };
+    let Some(mut entry) = entry else {
+        return err_fields("unknown_ticket", vec![]);
+    };
+
+    // Edge tickets: the result is (or was) in the edge LRU.
+    if entry.backend.is_none() {
+        match verb {
+            "status" => return ok_fields(vec![("state", JsonField::Str("done".into()))]),
+            "cancel" => {
+                return ok_fields(vec![("cancel", JsonField::Str("already_done".into()))])
+            }
+            _ => {
+                let cached = {
+                    let mut edge =
+                        relay.edge.lock().unwrap_or_else(|e| e.into_inner());
+                    edge.get(entry.key)
+                };
+                if let Some(raw) = cached {
+                    relay.bump(|s| s.edge_hits += 1);
+                    relay.tickets.lock().unwrap_or_else(|e| e.into_inner()).remove(&ticket);
+                    return raw;
+                }
+                // Evicted between submit and result: fall through to a
+                // re-drive on the owning ring node.
+            }
+        }
+    }
+
+    let timeout_ms = request.get("timeout_ms").and_then(Json::as_u64);
+    let (wait_ms, read_deadline) = result_read_deadline(relay, timeout_ms);
+    let attempts = relay.config.retry_budget.max(1) + 1;
+    let mut jitter = Jitter::new(relay.config.seed ^ entry.key.0 ^ ticket);
+    for attempt in 1..=attempts {
+        // Ensure the job is owned by a live backend, re-submitting it if
+        // its owner died or restarted (exactly-once: the survivor memo
+        // dedups by JobKey whether this thread or the prober wins).
+        let node = match entry.backend {
+            Some(node) if relay.node_state(node).routes() => node,
+            _ => {
+                let alive = relay.alive_mask();
+                let Some(target) = relay.ring.route_live(entry.key, &alive) else {
+                    return no_backend();
+                };
+                match relay.resubmit(target, &entry) {
+                    Ok(remote_ticket) => {
+                        relay.bump(|s| s.reroutes += 1);
+                        let from = entry.backend.map_or(u64::MAX, |n| n as u64);
+                        let job = entry.key.0;
+                        relay.obs.emit(|| Event::Reroute {
+                            job,
+                            from,
+                            to: target as u64,
+                        });
+                        entry.backend = Some(target);
+                        entry.remote_ticket = remote_ticket;
+                        entry.generation += 1;
+                        let mut tickets =
+                            relay.tickets.lock().unwrap_or_else(|e| e.into_inner());
+                        if let Some(live) = tickets.get_mut(&ticket) {
+                            *live = entry.clone();
+                        }
+                        target
+                    }
+                    Err(_) => {
+                        relay.record_probe(target, Err(()));
+                        backoff_sleep(relay, &mut jitter, attempt, attempts);
+                        continue;
+                    }
+                }
+            }
+        };
+        let forward_line = match verb {
+            "result" => json_object(&[
+                ("verb", JsonField::Str("result".into())),
+                ("ticket", JsonField::Int(entry.remote_ticket)),
+                ("timeout_ms", JsonField::Int(wait_ms)),
+            ]),
+            _ => json_object(&[
+                ("verb", JsonField::Str(verb.to_owned())),
+                ("ticket", JsonField::Int(entry.remote_ticket)),
+            ]),
+        };
+        let deadline = if verb == "result" {
+            read_deadline
+        } else {
+            relay.config.forward_deadline
+        };
+        match forward(relay, pool, node, &forward_line, deadline) {
+            Ok(raw) => {
+                if is_lost_ticket(&raw) {
+                    // The backend restarted and lost its tickets; the
+                    // journal replay may still be re-running the job.
+                    // Re-submit (memo/coalescing dedups) and retry.
+                    entry.backend = None;
+                    backoff_sleep(relay, &mut jitter, attempt, attempts);
+                    continue;
+                }
+                if verb == "result" {
+                    cache_terminal_result(relay, &entry, ticket, &raw);
+                }
+                return raw;
+            }
+            Err(_) => {
+                relay.record_probe(node, Err(()));
+                // The prober may have moved the job already; pick up
+                // its new home before re-driving it ourselves.
+                let latest = {
+                    let tickets =
+                        relay.tickets.lock().unwrap_or_else(|e| e.into_inner());
+                    tickets.get(&ticket).cloned()
+                };
+                match latest {
+                    Some(live) if live.generation > entry.generation => entry = live,
+                    Some(live) => {
+                        entry = live;
+                        entry.backend = None; // force a re-route
+                    }
+                    None => return err_fields("unknown_ticket", vec![]),
+                }
+                backoff_sleep(relay, &mut jitter, attempt, attempts);
+            }
+        }
+    }
+    err_fields(
+        "unavailable",
+        vec![
+            (
+                "detail",
+                JsonField::Str("backends unreachable within the retry budget".into()),
+            ),
+            ("retryable", JsonField::Raw("true".into())),
+        ],
+    )
+}
+
+fn backoff_sleep(relay: &Relay, jitter: &mut Jitter, attempt: u32, attempts: u32) {
+    if attempt < attempts {
+        relay.bump(|s| s.retries += 1);
+        let base = backoff_delay(relay.config.retry_backoff, attempt);
+        let extra = jitter.below(base.as_millis().max(1) as u64);
+        std::thread::sleep(base + Duration::from_millis(extra));
+    }
+}
+
+/// A terminal `result` response replicates into the edge LRU (and the
+/// consumed relay ticket is dropped). Only memoizable outcomes are
+/// cached: completed/cached results are deterministic; failures are
+/// not replicated so a transient fault cannot get pinned at the edge.
+fn cache_terminal_result(relay: &Relay, entry: &TicketEntry, ticket: u64, raw: &str) {
+    let Ok(response) = Json::parse(raw) else {
+        return;
+    };
+    let outcome = response.get("outcome").and_then(Json::as_str);
+    let terminal = outcome.is_some();
+    if matches!(outcome, Some("completed" | "cached")) {
+        let mut edge = relay.edge.lock().unwrap_or_else(|e| e.into_inner());
+        edge.insert(entry.key, raw.to_owned());
+    }
+    if terminal {
+        // The backend collected its ticket; ours is spent too.
+        relay
+            .tickets
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&ticket);
+    }
+}
+
+/// Aggregated cluster stats: the numeric counters of every reachable
+/// backend summed, plus the relay's own counters and node tallies.
+fn relay_stats(relay: &Relay, pool: &mut BackendPool) -> String {
+    const SUMMED: &[&str] = &[
+        "submitted",
+        "admitted",
+        "rejected",
+        "coalesced",
+        "cache_hits",
+        "completed",
+        "failed",
+        "cancelled",
+        "expired",
+        "deadline_exceeded",
+        "poisoned",
+        "retries",
+        "respawns",
+        "journal_compactions",
+        "recovered_results",
+        "resumed_jobs",
+        "queue_depth",
+        "store_hits",
+        "store_misses",
+        "insertions",
+        "evictions",
+    ];
+    let mut sums: HashMap<&str, u64> = SUMMED.iter().map(|&k| (k, 0)).collect();
+    let mut reachable = 0u64;
+    for node in 0..relay.nodes.len() {
+        let stats_line = json_object(&[("verb", JsonField::Str("stats".into()))]);
+        let Ok(raw) = forward(
+            relay,
+            pool,
+            node,
+            &stats_line,
+            relay.config.forward_deadline,
+        ) else {
+            relay.record_probe(node, Err(()));
+            continue;
+        };
+        let Ok(response) = Json::parse(&raw) else { continue };
+        reachable += 1;
+        for &field in SUMMED {
+            if let Some(v) = response.get(field).and_then(Json::as_u64) {
+                *sums.get_mut(field).expect("preseeded") += v;
+            }
+        }
+    }
+    let submitted = sums["submitted"];
+    let memoized = sums["cache_hits"] + sums["coalesced"];
+    let memo_ratio = if submitted == 0 {
+        0.0
+    } else {
+        memoized as f64 / submitted as f64
+    };
+    let lookups = sums["store_hits"] + sums["store_misses"];
+    let hit_ratio = if lookups == 0 {
+        0.0
+    } else {
+        sums["store_hits"] as f64 / lookups as f64
+    };
+    let alive = relay.alive_mask();
+    let nodes_routable = alive.iter().filter(|a| **a).count() as u64;
+    let relay_stats = relay.stats();
+    let mut fields: Vec<(&'static str, JsonField)> = SUMMED
+        .iter()
+        .map(|&k| (k, JsonField::Int(sums[k])))
+        .collect();
+    fields.push(("hit_ratio", JsonField::Num(hit_ratio)));
+    fields.push(("memo_ratio", JsonField::Num(memo_ratio)));
+    fields.push(("role", JsonField::Str("relay".into())));
+    fields.push(("nodes", JsonField::Int(alive.len() as u64)));
+    fields.push(("nodes_routable", JsonField::Int(nodes_routable)));
+    fields.push(("nodes_reporting", JsonField::Int(reachable)));
+    fields.push(("relay_submitted", JsonField::Int(relay_stats.submitted)));
+    fields.push(("relay_forwards", JsonField::Int(relay_stats.forwards)));
+    fields.push(("relay_retries", JsonField::Int(relay_stats.retries)));
+    fields.push(("relay_reroutes", JsonField::Int(relay_stats.reroutes)));
+    fields.push(("relay_failovers", JsonField::Int(relay_stats.failovers)));
+    fields.push(("relay_edge_hits", JsonField::Int(relay_stats.edge_hits)));
+    ok_fields(fields)
+}
+
+/// Per-node breakdown: health state, probe RTT, and each reachable
+/// backend's own counters, as a JSON array.
+fn relay_node_stats(relay: &Relay, pool: &mut BackendPool) -> String {
+    let mut rows = Vec::with_capacity(relay.nodes.len());
+    for node in 0..relay.nodes.len() {
+        let (state, failures, rtt_ns) = {
+            let machine = relay.nodes[node]
+                .health
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            (
+                machine.state(),
+                u64::from(machine.failures()),
+                machine.last_rtt_ns(),
+            )
+        };
+        let mut fields = vec![
+            ("node", JsonField::Int(node as u64)),
+            (
+                "addr",
+                JsonField::Str(relay.nodes[node].addr.to_string()),
+            ),
+            ("state", JsonField::Str(state.name().into())),
+            ("failures", JsonField::Int(failures)),
+            ("rtt_ns", JsonField::Int(rtt_ns)),
+        ];
+        if state.routes() {
+            let stats_line = json_object(&[("verb", JsonField::Str("stats".into()))]);
+            if let Ok(raw) = forward(
+                relay,
+                pool,
+                node,
+                &stats_line,
+                relay.config.forward_deadline,
+            ) {
+                if let Ok(response) = Json::parse(&raw) {
+                    for field in ["submitted", "completed", "cache_hits", "coalesced", "queue_depth"]
+                    {
+                        if let Some(v) = response.get(field).and_then(Json::as_u64) {
+                            // Narrow static strs: map to the matching literal.
+                            let name: &'static str = match field {
+                                "submitted" => "submitted",
+                                "completed" => "completed",
+                                "cache_hits" => "cache_hits",
+                                "coalesced" => "coalesced",
+                                _ => "queue_depth",
+                            };
+                            fields.push((name, JsonField::Int(v)));
+                        }
+                    }
+                }
+            }
+        }
+        rows.push(json_object(&fields));
+    }
+    ok_fields(vec![
+        ("role", JsonField::Str("relay".into())),
+        ("nodes", JsonField::Raw(format!("[{}]", rows.join(",")))),
+    ])
+}
+
+/// A bound, not-yet-running relay server (mirrors
+/// [`WireServer`](crate::wire::WireServer)).
+pub struct RelayServer {
+    listener: TcpListener,
+    relay: Arc<Relay>,
+}
+
+impl RelayServer {
+    /// Binds `addr` around a relay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, relay: Relay) -> io::Result<RelayServer> {
+        Ok(RelayServer {
+            listener: TcpListener::bind(addr)?,
+            relay: Arc::new(relay),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the probe loop and the accept loop on background
+    /// threads; the handle stops both.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query / thread spawn failure.
+    pub fn spawn(self) -> io::Result<RelayHandle> {
+        let addr = self.local_addr()?;
+        let relay = self.relay.clone();
+        let prober_relay = relay.clone();
+        let prober = std::thread::Builder::new()
+            .name("ra-relay-probe".into())
+            .spawn(move || prober_relay.probe_loop())?;
+        let accept_relay = relay.clone();
+        let listener = self.listener;
+        let accept = std::thread::Builder::new()
+            .name("ra-relay-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_relay))?;
+        Ok(RelayHandle {
+            addr,
+            relay,
+            threads: vec![prober, accept],
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, relay: &Arc<Relay>) {
+    for conn in listener.incoming() {
+        if relay.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let relay = relay.clone();
+        let _ = std::thread::Builder::new()
+            .name("ra-relay-conn".into())
+            .spawn(move || {
+                let mut pool = BackendPool::new(&relay);
+                let idle = relay.config.idle_timeout;
+                serve_lines(stream, idle, |line| {
+                    handle_relay_request(&relay, &mut pool, line)
+                });
+            });
+    }
+}
+
+/// Stops a spawned relay (probe + accept loops) on drop or explicitly.
+pub struct RelayHandle {
+    addr: SocketAddr,
+    relay: Arc<Relay>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RelayHandle {
+    /// Where the relay listens.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared relay state (stats, node health).
+    pub fn relay(&self) -> Arc<Relay> {
+        self.relay.clone()
+    }
+
+    /// Signals both loops and joins them.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.relay.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        let _ = self.relay.obs.flush();
+    }
+}
+
+impl Drop for RelayHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{JobService, ServeConfig};
+    use crate::wire::WireServer;
+
+    const SPEC: &str = "target=2x2 app=water mode=fixed:10 instructions=20 budget=100000";
+
+    fn backend(workers: usize) -> crate::wire::ServerHandle {
+        let service = JobService::start(
+            ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            },
+            ObsSink::disabled(),
+        )
+        .expect("service starts");
+        WireServer::bind("127.0.0.1:0", service)
+            .expect("bind backend")
+            .spawn()
+            .expect("spawn backend")
+    }
+
+    fn relay_over(addrs: &[SocketAddr]) -> RelayHandle {
+        let config = RelayConfig {
+            backends: addrs.iter().map(|a| a.to_string()).collect(),
+            health: HealthPolicy {
+                probe_interval: Duration::from_millis(50),
+                probe_timeout: Duration::from_millis(250),
+                fail_threshold: 2,
+                recover_threshold: 1,
+            },
+            forward_deadline: Duration::from_millis(500),
+            retry_backoff: Duration::from_millis(5),
+            ..RelayConfig::default()
+        };
+        let relay = Relay::new(config, ObsSink::disabled()).expect("relay config");
+        RelayServer::bind("127.0.0.1:0", relay)
+            .expect("bind relay")
+            .spawn()
+            .expect("spawn relay")
+    }
+
+    #[test]
+    fn relay_round_trips_submit_and_result() {
+        let b0 = backend(1);
+        let b1 = backend(1);
+        let relay = relay_over(&[b0.addr(), b1.addr()]);
+        let mut client = WireClient::connect(relay.addr()).unwrap();
+
+        let submit = client.submit(SPEC, Some("high"), None).unwrap();
+        assert_eq!(submit.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            submit.get("disposition").and_then(Json::as_str),
+            Some("enqueued")
+        );
+        let ticket = submit.get("ticket").and_then(Json::as_u64).unwrap();
+        let node = submit.get("node").and_then(Json::as_u64).unwrap();
+        assert!(node < 2);
+
+        let result = client.result(ticket, Some(30_000)).unwrap();
+        assert_eq!(
+            result.get("outcome").and_then(Json::as_str),
+            Some("completed")
+        );
+        let cycles = result
+            .get("result")
+            .and_then(|r| r.get("cycles"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(cycles > 0);
+
+        // Same spec again: the edge LRU answers without a backend hop.
+        let again = client.submit(SPEC, None, None).unwrap();
+        assert_eq!(
+            again.get("disposition").and_then(Json::as_str),
+            Some("cached")
+        );
+        assert_eq!(again.get("edge").and_then(Json::as_bool), Some(true));
+        let ticket2 = again.get("ticket").and_then(Json::as_u64).unwrap();
+        let cached = client.result(ticket2, Some(5_000)).unwrap();
+        assert_eq!(
+            cached.get("result").and_then(|r| r.get("cycles")).and_then(Json::as_u64),
+            Some(cycles),
+            "edge-cached result must be bit-identical"
+        );
+        assert!(relay.relay().stats().edge_hits >= 2);
+        relay.stop();
+        b0.stop();
+        b1.stop();
+    }
+
+    #[test]
+    fn relay_stats_aggregate_and_node_stats_break_down() {
+        let b0 = backend(1);
+        let b1 = backend(1);
+        let relay = relay_over(&[b0.addr(), b1.addr()]);
+        let mut client = WireClient::connect(relay.addr()).unwrap();
+        let submit = client.submit(SPEC, None, None).unwrap();
+        let ticket = submit.get("ticket").and_then(Json::as_u64).unwrap();
+        client.result(ticket, Some(30_000)).unwrap();
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get("role").and_then(Json::as_str), Some("relay"));
+        assert_eq!(stats.get("submitted").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("nodes").and_then(Json::as_u64), Some(2));
+        assert!(stats.get("relay_forwards").and_then(Json::as_u64).unwrap() >= 2);
+
+        let nodes = client.node_stats().unwrap();
+        let rows = match nodes.get("nodes") {
+            Some(Json::Arr(rows)) => rows,
+            other => panic!("nodes must be an array, got {other:?}"),
+        };
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert_eq!(row.get("state").and_then(Json::as_str), Some("up"));
+        }
+        relay.stop();
+        b0.stop();
+        b1.stop();
+    }
+
+    #[test]
+    fn killing_a_backend_fails_over_with_the_same_result() {
+        let b0 = backend(1);
+        let b1 = backend(1);
+        let relay = relay_over(&[b0.addr(), b1.addr()]);
+        let mut backends = [Some(b0), Some(b1)];
+        let mut client = WireClient::connect(relay.addr()).unwrap();
+
+        // Pin down which node owns the spec, then kill exactly that one.
+        let submit = client.submit(SPEC, None, None).unwrap();
+        let ticket = submit.get("ticket").and_then(Json::as_u64).unwrap();
+        let owner = submit.get("node").and_then(Json::as_u64).unwrap() as usize;
+        let baseline = client.result(ticket, Some(30_000)).unwrap();
+        let cycles = baseline
+            .get("result")
+            .and_then(|r| r.get("cycles"))
+            .and_then(Json::as_u64)
+            .unwrap();
+
+        // Kill the owner; the cluster must keep serving the same spec
+        // with a bit-identical result (edge LRU or survivor memo).
+        backends[owner].take().unwrap().stop();
+        // Probe loop: fail_threshold=2 at 50ms interval -> Down well
+        // within a second.
+        let relay_state = relay.relay();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while relay_state.node_state(owner).routes() {
+            assert!(
+                Instant::now() < deadline,
+                "probe loop never marked the dead node Down"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        let again = client.submit(SPEC, None, None).unwrap();
+        assert_eq!(again.get("ok").and_then(Json::as_bool), Some(true));
+        let ticket2 = again.get("ticket").and_then(Json::as_u64).unwrap();
+        let failed_over = client.result(ticket2, Some(30_000)).unwrap();
+        assert_eq!(
+            failed_over
+                .get("result")
+                .and_then(|r| r.get("cycles"))
+                .and_then(Json::as_u64),
+            Some(cycles),
+            "post-failover result must be bit-identical"
+        );
+        relay.stop();
+        for handle in backends.into_iter().flatten() {
+            handle.stop();
+        }
+    }
+
+    #[test]
+    fn in_flight_jobs_survive_a_backend_death() {
+        // Slow enough to still be running when the backend dies.
+        let slow_spec =
+            "target=4x4 app=water mode=fixed:10 instructions=3000 budget=10000000";
+        let b0 = backend(2);
+        let b1 = backend(2);
+        let relay = relay_over(&[b0.addr(), b1.addr()]);
+        let mut backends = [Some(b0), Some(b1)];
+        let mut client = WireClient::connect(relay.addr()).unwrap();
+        let submit = client.submit(slow_spec, None, None).unwrap();
+        assert_eq!(submit.get("ok").and_then(Json::as_bool), Some(true));
+        let ticket = submit.get("ticket").and_then(Json::as_u64).unwrap();
+        let owner = submit.get("node").and_then(Json::as_u64).unwrap() as usize;
+
+        // Kill the owner while the job is in flight.
+        backends[owner].take().unwrap().stop();
+        let result = client.result(ticket, Some(60_000)).unwrap();
+        assert_eq!(
+            result.get("outcome").and_then(Json::as_str),
+            Some("completed"),
+            "failover must re-drive the in-flight job: {result:?}"
+        );
+        let stats = relay.relay().stats();
+        assert!(
+            stats.reroutes >= 1,
+            "the handoff must be accounted as a reroute: {stats:?}"
+        );
+        relay.stop();
+        for handle in backends.into_iter().flatten() {
+            handle.stop();
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_at_the_edge() {
+        let b0 = backend(1);
+        let relay = relay_over(&[b0.addr()]);
+        let mut client = WireClient::connect(relay.addr()).unwrap();
+        let response = client
+            .call(r#"{"verb":"submit","spec":"target=4x4 app=water mode=warp"}"#)
+            .unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            response.get("error").and_then(Json::as_str),
+            Some("bad_spec")
+        );
+        // No forwards spent on it.
+        assert_eq!(relay.relay().stats().submitted, 0);
+        relay.stop();
+        b0.stop();
+    }
+}

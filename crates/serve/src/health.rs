@@ -1,0 +1,247 @@
+//! Per-backend health state machine for the relay's probe loop.
+//!
+//! Each backend runs the classic three-state machine:
+//!
+//! ```text
+//!          failure                failures >= fail_threshold
+//!   Up ─────────────▶ Suspect ─────────────────────────────▶ Down
+//!    ▲                  │                                     │
+//!    └──── success ─────┘            successes >= recover_threshold
+//!    ▲                                                        │
+//!    └────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! `Up` and `Suspect` both route traffic (a single dropped probe must
+//! not trigger failover); only `Down` takes a node out of the ring.
+//! Demotion needs `fail_threshold` *consecutive* failures, promotion
+//! from `Down` needs `recover_threshold` consecutive successes, so a
+//! flapping link cannot oscillate the ring every probe. The machine is
+//! pure state — no clocks, no I/O — so the unit tests drive it
+//! deterministically and the relay owns all timing.
+
+use std::time::Duration;
+
+/// Probe-loop tuning for the relay's health checker.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Delay between probe rounds.
+    pub probe_interval: Duration,
+    /// Per-probe connect + response deadline.
+    pub probe_timeout: Duration,
+    /// Consecutive failures that demote `Suspect` to `Down`.
+    pub fail_threshold: u32,
+    /// Consecutive successes that promote `Down` back to `Up`.
+    pub recover_threshold: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            probe_interval: Duration::from_millis(250),
+            probe_timeout: Duration::from_millis(500),
+            fail_threshold: 3,
+            recover_threshold: 2,
+        }
+    }
+}
+
+/// Where a backend sits in the Up/Suspect/Down machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Probes are succeeding; the node routes traffic.
+    Up,
+    /// Recent failures, not yet past the threshold; still routes.
+    Suspect,
+    /// Past the failure threshold; out of the ring until it recovers.
+    Down,
+}
+
+impl NodeState {
+    /// Lower-snake name for wire responses and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeState::Up => "up",
+            NodeState::Suspect => "suspect",
+            NodeState::Down => "down",
+        }
+    }
+
+    /// Whether the ring may route new work to the node.
+    pub fn routes(self) -> bool {
+        !matches!(self, NodeState::Down)
+    }
+}
+
+/// A state change worth reporting (obs events, failover trigger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The node (re-)entered `Up` from `Down`.
+    CameUp,
+    /// The node entered `Down`; failover must fire.
+    WentDown,
+}
+
+/// The per-node machine: feed it probe results, watch for transitions.
+#[derive(Debug, Clone)]
+pub struct HealthMachine {
+    state: NodeState,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    /// RTT of the most recent successful probe.
+    last_rtt_ns: u64,
+    fail_threshold: u32,
+    recover_threshold: u32,
+}
+
+impl HealthMachine {
+    /// A fresh machine starts `Up` (backends are probed before traffic
+    /// arrives; an unreachable one demotes within `fail_threshold`
+    /// probes).
+    pub fn new(policy: &HealthPolicy) -> HealthMachine {
+        HealthMachine {
+            state: NodeState::Up,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            last_rtt_ns: 0,
+            fail_threshold: policy.fail_threshold.max(1),
+            recover_threshold: policy.recover_threshold.max(1),
+        }
+    }
+
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// Consecutive failures so far (for the `node_down` event payload).
+    pub fn failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// RTT of the last successful probe, 0 if none yet.
+    pub fn last_rtt_ns(&self) -> u64 {
+        self.last_rtt_ns
+    }
+
+    /// Records a successful probe with its round-trip time.
+    pub fn on_success(&mut self, rtt: Duration) -> Option<Transition> {
+        self.last_rtt_ns = rtt.as_nanos() as u64;
+        self.consecutive_failures = 0;
+        match self.state {
+            NodeState::Up => None,
+            NodeState::Suspect => {
+                self.state = NodeState::Up;
+                None // never left service: not a reportable transition
+            }
+            NodeState::Down => {
+                self.consecutive_successes += 1;
+                if self.consecutive_successes >= self.recover_threshold {
+                    self.state = NodeState::Up;
+                    self.consecutive_successes = 0;
+                    Some(Transition::CameUp)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Records a failed or timed-out probe.
+    pub fn on_failure(&mut self) -> Option<Transition> {
+        self.consecutive_successes = 0;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            NodeState::Up => {
+                self.state = NodeState::Suspect;
+                self.check_down()
+            }
+            NodeState::Suspect => self.check_down(),
+            NodeState::Down => None,
+        }
+    }
+
+    fn check_down(&mut self) -> Option<Transition> {
+        if self.consecutive_failures >= self.fail_threshold {
+            self.state = NodeState::Down;
+            Some(Transition::WentDown)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(fail: u32, recover: u32) -> HealthPolicy {
+        HealthPolicy {
+            fail_threshold: fail,
+            recover_threshold: recover,
+            ..HealthPolicy::default()
+        }
+    }
+
+    #[test]
+    fn one_failure_suspects_but_keeps_routing() {
+        let mut m = HealthMachine::new(&policy(3, 2));
+        assert_eq!(m.on_failure(), None);
+        assert_eq!(m.state(), NodeState::Suspect);
+        assert!(m.state().routes());
+    }
+
+    #[test]
+    fn threshold_failures_demote_to_down_exactly_once() {
+        let mut m = HealthMachine::new(&policy(3, 2));
+        assert_eq!(m.on_failure(), None);
+        assert_eq!(m.on_failure(), None);
+        assert_eq!(m.on_failure(), Some(Transition::WentDown));
+        assert_eq!(m.state(), NodeState::Down);
+        assert!(!m.state().routes());
+        // Further failures stay Down silently — failover fires once.
+        assert_eq!(m.on_failure(), None);
+        assert_eq!(m.state(), NodeState::Down);
+    }
+
+    #[test]
+    fn a_success_rescues_a_suspect_without_an_event() {
+        let mut m = HealthMachine::new(&policy(3, 2));
+        m.on_failure();
+        assert_eq!(m.on_success(Duration::from_micros(80)), None);
+        assert_eq!(m.state(), NodeState::Up);
+        assert_eq!(m.failures(), 0);
+        assert_eq!(m.last_rtt_ns(), 80_000);
+    }
+
+    #[test]
+    fn recovery_needs_consecutive_successes() {
+        let mut m = HealthMachine::new(&policy(1, 2));
+        assert_eq!(m.on_failure(), Some(Transition::WentDown));
+        assert_eq!(m.on_success(Duration::from_micros(10)), None);
+        // A failure mid-recovery resets the streak.
+        assert_eq!(m.on_failure(), None);
+        assert_eq!(m.on_success(Duration::from_micros(10)), None);
+        assert_eq!(
+            m.on_success(Duration::from_micros(10)),
+            Some(Transition::CameUp)
+        );
+        assert_eq!(m.state(), NodeState::Up);
+    }
+
+    #[test]
+    fn flapping_cannot_oscillate_faster_than_the_thresholds() {
+        let mut m = HealthMachine::new(&policy(2, 2));
+        let mut transitions = 0;
+        for round in 0..20 {
+            let t = if round % 2 == 0 {
+                m.on_failure()
+            } else {
+                m.on_success(Duration::from_micros(50))
+            };
+            transitions += usize::from(t.is_some());
+        }
+        // Alternating probe results never accumulate two consecutive
+        // failures, so the machine never leaves Up/Suspect.
+        assert_eq!(transitions, 0);
+        assert!(m.state().routes());
+    }
+}

@@ -178,6 +178,7 @@ pub(crate) struct FrameWriter {
 
 impl FrameWriter {
     pub(crate) fn append_to(path: &Path, fsync_every: u64) -> io::Result<FrameWriter> {
+        truncate_torn_tail(path)?;
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(FrameWriter {
             out: BufWriter::new(file),
@@ -205,6 +206,27 @@ impl FrameWriter {
         self.since_sync = 0;
         Ok(())
     }
+}
+
+/// Drops any torn or corrupt tail before a log is reopened for append.
+/// Without this, a record appended after a tear is glued onto the
+/// partial frame and the *next* replay discards it along with the tear —
+/// a completed result silently lost (the torn-tail regression test).
+fn truncate_torn_tail(path: &Path) -> io::Result<()> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(err) => return Err(err),
+    };
+    let (_, report) = read_frames(&bytes);
+    if report.dropped_tail_bytes == 0 {
+        return Ok(());
+    }
+    let keep = bytes.len() as u64 - report.dropped_tail_bytes;
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep)?;
+    file.sync_data()?;
+    Ok(())
 }
 
 /// A journaled-but-unfinished job: admitted by a previous process, never
@@ -236,12 +258,20 @@ pub struct JournalRecovery {
 /// first error is remembered and surfaced by [`Journal::sync`].
 pub struct Journal {
     writer: Mutex<JournalWriter>,
+    path: std::path::PathBuf,
+    fsync_every: u64,
 }
 
 struct JournalWriter {
     frames: FrameWriter,
     /// First append error, reported once by `sync`.
     error: Option<io::Error>,
+    /// Current journal file length in bytes (frames appended since open
+    /// plus whatever was already there), kept so the scheduler can
+    /// trigger compaction without a stat per settle.
+    bytes: u64,
+    /// Completed runtime compactions.
+    compactions: u64,
 }
 
 impl Journal {
@@ -251,11 +281,17 @@ impl Journal {
     ///
     /// Propagates the underlying open failure.
     pub fn open(path: &Path, fsync_every: u64) -> io::Result<Journal> {
+        let frames = FrameWriter::append_to(path, fsync_every)?;
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         Ok(Journal {
             writer: Mutex::new(JournalWriter {
-                frames: FrameWriter::append_to(path, fsync_every)?,
+                frames,
                 error: None,
+                bytes,
+                compactions: 0,
             }),
+            path: path.to_path_buf(),
+            fsync_every,
         })
     }
 
@@ -264,9 +300,44 @@ impl Journal {
         if writer.error.is_some() {
             return;
         }
-        if let Err(err) = writer.frames.append(payload) {
-            writer.error = Some(err);
+        match writer.frames.append(payload) {
+            Ok(()) => writer.bytes += frame(payload).len() as u64,
+            Err(err) => writer.error = Some(err),
         }
+    }
+
+    /// Current journal file length in bytes, as tracked by the writer.
+    pub fn len_bytes(&self) -> u64 {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner()).bytes
+    }
+
+    /// Completed runtime compactions since open.
+    pub fn compactions(&self) -> u64 {
+        let writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        writer.compactions
+    }
+
+    /// Rewrites the journal in place to exactly `unfinished`, with the
+    /// same tmp + fsync + rename discipline as the startup [`compact`].
+    /// The writer lock is held across the rewrite, so no append can
+    /// interleave with the rename; the caller must pass an `unfinished`
+    /// set consistent with everything appended so far (i.e. call this
+    /// under the same lock that orders admits and settles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/rename/reopen failures; on error the journal
+    /// keeps appending to whichever file the rename left behind.
+    pub fn compact_live(&self, unfinished: &[UnfinishedJob]) -> io::Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Flush buffered frames so the pre-compaction file is complete
+        // (a crash mid-compaction must leave a fully-replayable log).
+        writer.frames.sync()?;
+        compact(&self.path, unfinished)?;
+        writer.frames = FrameWriter::append_to(&self.path, self.fsync_every)?;
+        writer.bytes = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
+        writer.compactions += 1;
+        Ok(())
     }
 
     /// Records an admission. Must be called *before* the job becomes
@@ -496,6 +567,61 @@ mod tests {
         let recovery = replay(Path::new("/nonexistent/ra-serve/journal")).unwrap();
         assert!(recovery.unfinished.is_empty());
         assert_eq!(recovery.report, RecoveryReport::default());
+    }
+
+    #[test]
+    fn appending_after_a_torn_tail_truncates_the_tear_first() {
+        let path = temp_path("torn-append");
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = Journal::open(&path, 0).unwrap();
+            journal.admit(JobKey(1), "spec one", Priority::Normal);
+            journal.admit(JobKey(2), "spec two", Priority::Normal);
+            journal.sync().unwrap();
+        }
+        // kill -9 tears the tail of record 2.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        // Reopen-for-append must not glue record 3 onto the tear.
+        {
+            let journal = Journal::open(&path, 0).unwrap();
+            journal.admit(JobKey(3), "spec three", Priority::High);
+            journal.sync().unwrap();
+        }
+        let recovery = replay(&path).unwrap();
+        assert_eq!(recovery.report.checksum_errors, 0);
+        assert_eq!(recovery.report.dropped_tail_bytes, 0);
+        let keys: Vec<u64> = recovery.unfinished.iter().map(|j| j.key.0).collect();
+        assert_eq!(keys, vec![1, 3], "the record after the tear must survive");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_live_bounds_the_file_and_keeps_appending() {
+        let path = temp_path("compact-live");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::open(&path, 0).unwrap();
+        for i in 0..32u64 {
+            journal.admit(JobKey(i), &format!("spec {i}"), Priority::Normal);
+            journal.settle(JobKey(i), "completed");
+        }
+        let unfinished = vec![UnfinishedJob {
+            key: JobKey(99),
+            spec: "spec ninety-nine".to_owned(),
+            priority: Priority::High,
+        }];
+        journal.admit(JobKey(99), "spec ninety-nine", Priority::High);
+        let before = journal.len_bytes();
+        journal.compact_live(&unfinished).unwrap();
+        assert!(journal.len_bytes() < before);
+        assert_eq!(journal.compactions(), 1);
+        // The writer keeps working against the compacted file.
+        journal.settle(JobKey(99), "completed");
+        journal.sync().unwrap();
+        let recovery = replay(&path).unwrap();
+        assert!(recovery.unfinished.is_empty());
+        assert_eq!(recovery.report.checksum_errors, 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -27,7 +27,14 @@
 //!   and bounded retry with exponential backoff for transient faults;
 //! * [`wire`] — line-delimited JSON over `std::net` TCP (the `ra-serve`
 //!   server bin and the `ra-loadgen` load generator bin), no async
-//!   runtime required;
+//!   runtime required, with an idle-connection reaper so stalled peers
+//!   cannot pin connection threads;
+//! * [`cluster`] / [`ring`] / [`health`] — the multi-node tier: the
+//!   `ra-relay` coordinator consistent-hashes [`JobKey`]s across N
+//!   backend nodes, probes their health (Up/Suspect/Down), forwards the
+//!   wire verbs with per-forward deadlines and jittered retries, and on
+//!   node death re-routes the dead shard to survivors with exactly-once
+//!   handoff (dedup by `JobKey` against the survivor's memo store);
 //! * observability — service events (`job_admitted`, `job_rejected`,
 //!   `cache_hit`, `job_done`) and per-job run spans flow through the
 //!   existing [`ra_obs`] recorder taxonomy.
@@ -59,15 +66,21 @@
 //! [`RunSpec`]: ra_cosim::RunSpec
 //! [`RunResult`]: ra_cosim::RunResult
 
+pub mod cluster;
+pub mod health;
 pub mod journal;
 pub mod json;
+pub mod ring;
 pub mod scheduler;
 pub mod spec;
 pub mod store;
 pub mod wire;
 
+pub use cluster::{Relay, RelayConfig, RelayHandle, RelayStats};
+pub use health::{HealthMachine, HealthPolicy, NodeState};
 pub use journal::{Journal, JournalRecovery, RecoveryReport, UnfinishedJob};
 pub use json::{Json, JsonError};
+pub use ring::HashRing;
 pub use scheduler::{
     CancelOutcome, ChaosConfig, Disposition, JobOutcome, JobService, JobStatus, Priority,
     RecoveryInfo, Rejected, ServeConfig, ServiceStats, SubmitReceipt, Ticket, WaitError,

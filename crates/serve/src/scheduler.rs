@@ -342,6 +342,11 @@ pub struct ServeConfig {
     /// fsync the journal and spill after every N records (0 = flush
     /// only, letting the OS decide when bytes reach the platter).
     pub fsync_every: u64,
+    /// Rewrite the journal to just the live admissions once the file
+    /// exceeds this many bytes (0 = compact only at startup). Keeps a
+    /// long-running service's journal proportional to outstanding work
+    /// instead of uptime.
+    pub journal_compact_bytes: u64,
     /// Retries allowed for a transient (`SimError::Fault`) outcome
     /// before the job finishes as failed.
     pub retry_budget: u32,
@@ -364,6 +369,7 @@ impl Default for ServeConfig {
             spill: None,
             journal: None,
             fsync_every: 8,
+            journal_compact_bytes: 1 << 20,
             retry_budget: 2,
             retry_backoff: Duration::from_millis(10),
             strike_limit: 2,
@@ -401,6 +407,8 @@ pub struct ServiceStats {
     pub retries: u64,
     /// Worker respawns after a caught panic.
     pub respawns: u64,
+    /// Runtime journal compactions (size-threshold triggered).
+    pub journal_compactions: u64,
     /// Results rebuilt from the spill log at startup.
     pub recovered_results: u64,
     /// Journaled-but-unfinished jobs re-enqueued at startup.
@@ -862,6 +870,7 @@ impl JobService {
             if let Some(journal) = &self.inner.journal {
                 journal.settle(key, "cancelled");
             }
+            maybe_compact_journal(&self.inner, &mut st);
         }
         collect_ticket(&mut st, ticket);
         drop(st);
@@ -976,13 +985,54 @@ fn lock_state(inner: &Inner) -> MutexGuard<'_, State> {
 
 /// Exponential backoff for attempt N (1-based): `base * 2^(N-1)`,
 /// shift-capped so a pathological attempt count cannot overflow.
-fn backoff_delay(base: Duration, attempts: u32) -> Duration {
+pub(crate) fn backoff_delay(base: Duration, attempts: u32) -> Duration {
     base.saturating_mul(1u32 << attempts.saturating_sub(1).min(10))
 }
 
 fn journal_settle(inner: &Inner, key: JobKey, outcome: &str) {
     if let Some(journal) = &inner.journal {
         journal.settle(key, outcome);
+    }
+}
+
+/// Runtime journal compaction: once the file outgrows
+/// [`ServeConfig::journal_compact_bytes`], rewrite it to just the live
+/// admissions with the same tmp + fsync + rename discipline as startup.
+/// Called with the state lock held, so the unfinished set cannot drift
+/// between collection and the rewrite (the lock also orders this
+/// against every admit/settle append).
+fn maybe_compact_journal(inner: &Inner, st: &mut State) {
+    let threshold = inner.config.journal_compact_bytes;
+    if threshold == 0 {
+        return;
+    }
+    let Some(journal) = &inner.journal else {
+        return;
+    };
+    if journal.len_bytes() < threshold {
+        return;
+    }
+    let mut live: Vec<(JobId, UnfinishedJob)> = st
+        .inflight
+        .values()
+        .filter_map(|&job| {
+            st.cells.get(&job).map(|cell| {
+                (
+                    job,
+                    UnfinishedJob {
+                        key: cell.key,
+                        spec: cell.spec.canonical(),
+                        priority: cell.priority,
+                    },
+                )
+            })
+        })
+        .collect();
+    // Admission order: job ids are allocated monotonically.
+    live.sort_by_key(|&(job, _)| job);
+    let unfinished: Vec<UnfinishedJob> = live.into_iter().map(|(_, job)| job).collect();
+    if journal.compact_live(&unfinished).is_ok() {
+        st.stats.journal_compactions += 1;
     }
 }
 
@@ -1159,6 +1209,7 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
                     st.queued -= 1;
                     st.stats.expired += 1;
                     journal_settle(inner, key, "deadline_expired");
+                    maybe_compact_journal(inner, &mut st);
                     finish(inner, key, "deadline_expired", queue_ns, 0);
                     continue;
                 }
@@ -1322,6 +1373,7 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
                 }
                 st.inflight.remove(&key.0);
                 journal_settle(inner, key, label);
+                maybe_compact_journal(inner, &mut st);
                 drop(st);
                 finish(inner, key, label, queue_ns, run_ns);
             }
@@ -1379,6 +1431,7 @@ fn reaper_loop(inner: &Inner) {
             st.queued -= 1;
             st.stats.expired += 1;
             journal_settle(inner, key, "deadline_expired");
+            maybe_compact_journal(inner, &mut st);
             finish(inner, key, "deadline_expired", queue_ns, 0);
         }
         for job in fire {

@@ -12,6 +12,12 @@
 //! | `result` | `ticket`, `timeout_ms`? | `outcome`, `queue_ns`, `run_ns`, `result`? |
 //! | `cancel` | `ticket` | `cancel` |
 //! | `stats`  | — | counter snapshot |
+//! | `health` | — | `role`, `state`, `queue_depth` |
+//! | `node_stats` | — | counter snapshot + node identity |
+//!
+//! `health` is the relay's probe verb: cheap, no trace flush, answered
+//! from one lock acquisition. `node_stats` is `stats` plus identity
+//! fields, so a relay can aggregate per-backend breakdowns.
 //!
 //! Success responses carry `"ok":true`. Failures carry `"ok":false`,
 //! an `"error"` code, and `"retryable":true` when backing off and
@@ -31,7 +37,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ra_bench::{json_object, JsonField};
 
@@ -51,12 +57,12 @@ fn error_chain(err: &dyn std::error::Error) -> String {
     out
 }
 
-fn ok_fields(mut fields: Vec<(&'static str, JsonField)>) -> String {
+pub(crate) fn ok_fields(mut fields: Vec<(&'static str, JsonField)>) -> String {
     fields.insert(0, ("ok", JsonField::Raw("true".into())));
     json_object(&fields)
 }
 
-fn err_fields(code: &str, mut fields: Vec<(&'static str, JsonField)>) -> String {
+pub(crate) fn err_fields(code: &str, mut fields: Vec<(&'static str, JsonField)>) -> String {
     let mut all = vec![
         ("ok", JsonField::Raw("false".into())),
         ("error", JsonField::Str(code.to_owned())),
@@ -254,37 +260,22 @@ pub fn handle_request(service: &JobService, line: &str) -> String {
             // trace events to disk so `tail -f` and the CI smoke see a
             // complete stream without waiting for process exit.
             let _ = service.obs().flush();
+            ok_fields(stats_fields(service))
+        }
+        "health" => {
+            // The relay's probe verb: one lock, no flush — the probe
+            // deadline is the health signal, so keep the path minimal.
             let stats = service.stats();
-            let memoized = stats.cache_hits + stats.coalesced;
-            let memo_ratio = if stats.submitted == 0 {
-                0.0
-            } else {
-                memoized as f64 / stats.submitted as f64
-            };
             ok_fields(vec![
-                ("submitted", JsonField::Int(stats.submitted)),
-                ("admitted", JsonField::Int(stats.admitted)),
-                ("rejected", JsonField::Int(stats.rejected)),
-                ("coalesced", JsonField::Int(stats.coalesced)),
-                ("cache_hits", JsonField::Int(stats.cache_hits)),
-                ("completed", JsonField::Int(stats.completed)),
-                ("failed", JsonField::Int(stats.failed)),
-                ("cancelled", JsonField::Int(stats.cancelled)),
-                ("expired", JsonField::Int(stats.expired)),
-                ("deadline_exceeded", JsonField::Int(stats.deadline_exceeded)),
-                ("poisoned", JsonField::Int(stats.poisoned)),
-                ("retries", JsonField::Int(stats.retries)),
-                ("respawns", JsonField::Int(stats.respawns)),
-                ("recovered_results", JsonField::Int(stats.recovered_results)),
-                ("resumed_jobs", JsonField::Int(stats.resumed_jobs)),
+                ("role", JsonField::Str("backend".into())),
+                ("state", JsonField::Str("up".into())),
                 ("queue_depth", JsonField::Int(stats.queue_depth as u64)),
-                ("store_hits", JsonField::Int(stats.store.hits)),
-                ("store_misses", JsonField::Int(stats.store.misses)),
-                ("insertions", JsonField::Int(stats.store.insertions)),
-                ("evictions", JsonField::Int(stats.store.evictions)),
-                ("hit_ratio", JsonField::Num(stats.store.hit_ratio())),
-                ("memo_ratio", JsonField::Num(memo_ratio)),
             ])
+        }
+        "node_stats" => {
+            let mut fields = vec![("role", JsonField::Str("backend".into()))];
+            fields.append(&mut stats_fields(service));
+            ok_fields(fields)
         }
         "" => err_fields(
             "bad_request",
@@ -297,11 +288,57 @@ pub fn handle_request(service: &JobService, line: &str) -> String {
     }
 }
 
+/// The counter snapshot rendered by the `stats` and `node_stats` verbs.
+fn stats_fields(service: &JobService) -> Vec<(&'static str, JsonField)> {
+    let stats = service.stats();
+    let memoized = stats.cache_hits + stats.coalesced;
+    let memo_ratio = if stats.submitted == 0 {
+        0.0
+    } else {
+        memoized as f64 / stats.submitted as f64
+    };
+    vec![
+        ("submitted", JsonField::Int(stats.submitted)),
+        ("admitted", JsonField::Int(stats.admitted)),
+        ("rejected", JsonField::Int(stats.rejected)),
+        ("coalesced", JsonField::Int(stats.coalesced)),
+        ("cache_hits", JsonField::Int(stats.cache_hits)),
+        ("completed", JsonField::Int(stats.completed)),
+        ("failed", JsonField::Int(stats.failed)),
+        ("cancelled", JsonField::Int(stats.cancelled)),
+        ("expired", JsonField::Int(stats.expired)),
+        ("deadline_exceeded", JsonField::Int(stats.deadline_exceeded)),
+        ("poisoned", JsonField::Int(stats.poisoned)),
+        ("retries", JsonField::Int(stats.retries)),
+        ("respawns", JsonField::Int(stats.respawns)),
+        ("journal_compactions", JsonField::Int(stats.journal_compactions)),
+        ("recovered_results", JsonField::Int(stats.recovered_results)),
+        ("resumed_jobs", JsonField::Int(stats.resumed_jobs)),
+        ("queue_depth", JsonField::Int(stats.queue_depth as u64)),
+        ("store_hits", JsonField::Int(stats.store.hits)),
+        ("store_misses", JsonField::Int(stats.store.misses)),
+        ("insertions", JsonField::Int(stats.store.insertions)),
+        ("evictions", JsonField::Int(stats.store.evictions)),
+        ("hit_ratio", JsonField::Num(stats.store.hit_ratio())),
+        ("memo_ratio", JsonField::Num(memo_ratio)),
+    ]
+}
+
 /// A bound, not-yet-running wire server.
 pub struct WireServer {
     listener: TcpListener,
     service: Arc<JobService>,
+    /// A connection that completes no request for this long is reaped.
+    idle_timeout: Duration,
 }
+
+/// Default idle budget: generous for interactive clients, finite so a
+/// stalled or half-open peer can never pin a connection thread forever.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A request line larger than this is protocol abuse, not a request:
+/// canonical specs are under 200 bytes.
+const MAX_LINE_BYTES: usize = 64 * 1024;
 
 impl WireServer {
     /// Binds `addr` (use port 0 for an ephemeral test port) around an
@@ -314,7 +351,16 @@ impl WireServer {
         Ok(WireServer {
             listener: TcpListener::bind(addr)?,
             service: Arc::new(service),
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
         })
+    }
+
+    /// Overrides the idle-connection budget (tests use millisecond
+    /// values to exercise the reaper quickly).
+    #[must_use]
+    pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> WireServer {
+        self.idle_timeout = idle_timeout;
+        self
     }
 
     /// The bound address (resolves port 0).
@@ -371,29 +417,92 @@ impl WireServer {
                 Err(err) => return Err(err),
             };
             let service = self.service.clone();
+            let idle_timeout = self.idle_timeout;
             let _ = std::thread::Builder::new()
                 .name("ra-serve-conn".into())
-                .spawn(move || handle_connection(&service, stream));
+                .spawn(move || handle_connection(&service, stream, idle_timeout));
         }
         Ok(())
     }
 }
 
-fn handle_connection(service: &JobService, stream: TcpStream) {
+fn handle_connection(service: &JobService, stream: TcpStream, idle_timeout: Duration) {
+    serve_lines(stream, idle_timeout, |line| handle_request(service, line));
+}
+
+/// Serves one connection until EOF, an I/O error, or the idle reaper —
+/// the shared loop behind both the backend server and the relay.
+///
+/// Each connection thread is its own reaper: the socket read timeout
+/// ticks at a fraction of the idle budget, so the thread wakes even
+/// when the peer sends nothing, measures how long it has been since a
+/// complete request line arrived, and hangs up once the budget is
+/// spent. A slowloris trickling bytes without ever finishing a line —
+/// or a half-open socket sending nothing at all — gets its thread back
+/// within `idle_timeout` plus one tick. Time spent *serving* a request
+/// (a blocking `result` wait) does not count as idle: the clock resets
+/// when the response goes out.
+pub(crate) fn serve_lines(
+    stream: TcpStream,
+    idle_timeout: Duration,
+    mut handler: impl FnMut(&str) -> String,
+) {
+    let tick = (idle_timeout / 4).max(Duration::from_millis(10));
+    if stream.set_read_timeout(Some(tick)).is_err() {
+        return;
+    }
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let mut writer = io::BufWriter::new(write_half);
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    let mut reader = BufReader::new(stream);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut idle_since = Instant::now();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok([]) => break, // clean EOF
+            Ok(buf) => buf,
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if idle_since.elapsed() >= idle_timeout {
+                    break; // reaped: stalled or half-open peer
+                }
+                continue;
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        let (take, complete) = match buf.iter().position(|&b| b == b'\n') {
+            Some(newline) => (newline + 1, true),
+            None => (buf.len(), false),
+        };
+        pending.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if pending.len() > MAX_LINE_BYTES {
+            break; // unbounded line: abuse, not a request
         }
-        let response = handle_request(service, &line);
-        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
-            break;
+        if !complete {
+            continue; // partial line buffered; the idle clock keeps running
         }
+        let line = match std::str::from_utf8(&pending) {
+            Ok(line) => line.trim(),
+            Err(_) => break,
+        };
+        if !line.is_empty() {
+            let response = handler(line);
+            if writeln!(writer, "{response}")
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+        pending.clear();
+        idle_since = Instant::now();
     }
 }
 
@@ -459,12 +568,36 @@ impl WireClient {
         Ok(WireClient { reader, writer })
     }
 
-    /// Sends one request line and parses the one response line.
+    /// Connects with a bounded connect attempt — the relay's forward
+    /// path must never hang on a dead backend's SYN queue.
     ///
     /// # Errors
     ///
-    /// I/O failures, server disconnect, or an unparseable response.
-    pub fn call(&mut self, request: &str) -> io::Result<Json> {
+    /// Propagates connect/clone failures, including the timeout.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> io::Result<WireClient> {
+        let writer = TcpStream::connect_timeout(addr, timeout)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(WireClient { reader, writer })
+    }
+
+    /// Bounds every subsequent response read (the per-forward deadline).
+    /// `None` restores blocking reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request line and returns the raw response line (no
+    /// trailing newline) — what the relay forwards verbatim so cluster
+    /// responses stay bit-identical to single-node ones.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or server disconnect.
+    pub fn call_raw(&mut self, request: &str) -> io::Result<String> {
         writeln!(self.writer, "{request}")?;
         self.writer.flush()?;
         let mut line = String::new();
@@ -474,7 +607,20 @@ impl WireClient {
                 "server closed the connection",
             ));
         }
-        Json::parse(line.trim_end()).map_err(|err| {
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends one request line and parses the one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, server disconnect, or an unparseable response.
+    pub fn call(&mut self, request: &str) -> io::Result<Json> {
+        let line = self.call_raw(request)?;
+        Json::parse(&line).map_err(|err| {
             io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {err}"))
         })
     }
@@ -551,6 +697,28 @@ impl WireClient {
     /// See [`call`](WireClient::call).
     pub fn stats(&mut self) -> io::Result<Json> {
         self.call(&json_object(&[("verb", JsonField::Str("stats".into()))]))
+    }
+
+    /// `health` probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`call`](WireClient::call).
+    pub fn health(&mut self) -> io::Result<Json> {
+        self.call(&json_object(&[("verb", JsonField::Str("health".into()))]))
+    }
+
+    /// `node_stats` snapshot (per-node breakdown when the peer is a
+    /// relay; `stats` plus identity when it is a backend).
+    ///
+    /// # Errors
+    ///
+    /// See [`call`](WireClient::call).
+    pub fn node_stats(&mut self) -> io::Result<Json> {
+        self.call(&json_object(&[(
+            "verb",
+            JsonField::Str("node_stats".into()),
+        )]))
     }
 }
 
@@ -668,6 +836,90 @@ mod tests {
             response.get("disposition").and_then(Json::as_str),
             Some("cached")
         );
+        handle.stop();
+    }
+
+    #[test]
+    fn health_and_node_stats_verbs_answer() {
+        let service = tiny_service();
+        let health =
+            Json::parse(&handle_request(&service, r#"{"verb":"health"}"#)).unwrap();
+        assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(health.get("role").and_then(Json::as_str), Some("backend"));
+        assert_eq!(health.get("state").and_then(Json::as_str), Some("up"));
+        assert_eq!(health.get("queue_depth").and_then(Json::as_u64), Some(0));
+
+        let node = Json::parse(&handle_request(&service, r#"{"verb":"node_stats"}"#))
+            .unwrap();
+        assert_eq!(node.get("role").and_then(Json::as_str), Some("backend"));
+        assert_eq!(node.get("submitted").and_then(Json::as_u64), Some(0));
+        service.shutdown();
+    }
+
+    #[test]
+    fn a_half_open_connection_is_reaped_and_service_continues() {
+        let server = WireServer::bind("127.0.0.1:0", tiny_service())
+            .unwrap()
+            .with_idle_timeout(Duration::from_millis(200));
+        let handle = server.spawn().unwrap();
+
+        // A slowloris: connects, dribbles half a request, never finishes
+        // the line and never hangs up.
+        let mut stalled = TcpStream::connect(handle.addr()).unwrap();
+        stalled.write_all(b"{\"verb\":\"sub").unwrap();
+        stalled.flush().unwrap();
+
+        // The server must hang up on its own within the idle budget.
+        stalled
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut sink = Vec::new();
+        let start = Instant::now();
+        let read = io::Read::read_to_end(&mut stalled, &mut sink);
+        assert!(
+            matches!(read, Ok(0)),
+            "expected server-side close (EOF), got {read:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "reaper did not fire within the idle budget"
+        );
+
+        // The reaped connection cost the server nothing: a fresh,
+        // well-behaved client is served normally.
+        let mut client = WireClient::connect(handle.addr()).unwrap();
+        let response = client.submit(SPEC, None, None).unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        handle.stop();
+    }
+
+    #[test]
+    fn an_unbounded_request_line_is_cut_off() {
+        let server = WireServer::bind("127.0.0.1:0", tiny_service())
+            .unwrap()
+            .with_idle_timeout(Duration::from_secs(30));
+        let handle = server.spawn().unwrap();
+        let mut abuser = TcpStream::connect(handle.addr()).unwrap();
+        // Pump newline-free bytes well past MAX_LINE_BYTES; the server
+        // must hang up rather than buffer without bound. The write side
+        // may observe the reset as an error mid-stream — both shapes
+        // (error or EOF on read) prove the hangup.
+        let chunk = [b'x'; 4096];
+        let mut closed = false;
+        for _ in 0..((MAX_LINE_BYTES / chunk.len()) + 4) {
+            if abuser.write_all(&chunk).and_then(|()| abuser.flush()).is_err() {
+                closed = true;
+                break;
+            }
+        }
+        if !closed {
+            abuser
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut sink = Vec::new();
+            closed = matches!(io::Read::read_to_end(&mut abuser, &mut sink), Ok(0) | Err(_));
+        }
+        assert!(closed, "server kept a >64KiB line buffered");
         handle.stop();
     }
 }

@@ -1,0 +1,266 @@
+//! Cluster-layer robustness: the consistent-hash ring's balance and
+//! minimal-movement properties, bounded journal growth under sustained
+//! load, and the determinism gate — a job's result must be bit-identical
+//! whether served by one node, by the cluster, or by a post-failover
+//! survivor.
+
+use proptest::prelude::*;
+use reciprocal_abstraction::obs::ObsSink;
+use reciprocal_abstraction::serve::cluster::{Relay, RelayConfig, RelayServer};
+use reciprocal_abstraction::serve::{
+    HashRing, HealthPolicy, JobKey, JobService, Json, ServeConfig, WireClient, WireServer,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// A deterministic stream of well-spread keys (splitmix64).
+fn keys(seed: u64, count: usize) -> Vec<JobKey> {
+    let mut state = seed;
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            JobKey(z ^ (z >> 31))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With the default vnode count, every node's share of a large key
+    /// population stays within 15% of perfectly even.
+    #[test]
+    fn ring_distributes_within_fifteen_percent(
+        nodes in 2usize..9,
+        seed in 0u64..1_000,
+    ) {
+        const KEYS: usize = 40_000;
+        let ring = HashRing::new(nodes, reciprocal_abstraction::serve::ring::DEFAULT_VNODES);
+        let mut counts = vec![0u64; nodes];
+        for key in keys(seed, KEYS) {
+            counts[ring.route(key)] += 1;
+        }
+        let even = KEYS as f64 / nodes as f64;
+        for (node, &count) in counts.iter().enumerate() {
+            let skew = (count as f64 - even).abs() / even;
+            prop_assert!(
+                skew <= 0.15,
+                "node {node} holds {count} of {KEYS} keys across {nodes} nodes \
+                 (even share {even:.0}, skew {:.1}%)",
+                skew * 100.0
+            );
+        }
+    }
+
+    /// Taking one node out moves ONLY that node's keys: every key owned
+    /// by a surviving node keeps its owner, and every orphaned key lands
+    /// on a survivor.
+    #[test]
+    fn removing_a_node_moves_only_its_keys(
+        nodes in 2usize..9,
+        seed in 0u64..1_000,
+        dead_pick in 0usize..8,
+    ) {
+        let ring = HashRing::new(nodes, 128);
+        let dead = dead_pick % nodes;
+        let mut alive = vec![true; nodes];
+        alive[dead] = false;
+        for key in keys(seed, 4_000) {
+            let before = ring.route(key);
+            let after = ring.route_live(key, &alive).expect("survivors exist");
+            if before == dead {
+                prop_assert_ne!(after, dead, "orphaned key must move off the dead node");
+            } else {
+                prop_assert_eq!(
+                    after, before,
+                    "key on a surviving node must not move when another node dies"
+                );
+            }
+        }
+    }
+}
+
+/// A fresh scratch dir per test run.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "ra-cluster-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A long-running service with runtime compaction enabled keeps its
+/// journal proportional to outstanding work, not total history — and a
+/// restart against the compacted journal still recovers cleanly.
+#[test]
+fn journal_stays_bounded_over_a_long_run() {
+    let dir = scratch_dir("journal");
+    let journal_path = dir.join("journal.jsonl");
+    let config = ServeConfig {
+        workers: 2,
+        journal: Some(journal_path.clone()),
+        spill: Some(dir.join("spill.jsonl")),
+        // Tiny threshold so a short test crosses it many times.
+        journal_compact_bytes: 2_048,
+        ..ServeConfig::default()
+    };
+    let service = JobService::start(config.clone(), ObsSink::disabled())
+        .expect("service starts");
+
+    // Many distinct short jobs: each admission appends a journal frame,
+    // each settle makes it dead weight the compactor can drop.
+    let mut peak = 0u64;
+    for batch in 0..24u64 {
+        let tickets: Vec<u64> = (0..8u64)
+            .map(|i| {
+                let spec = format!(
+                    "target=2x2 app=water mode=fixed:10 instructions=20 \
+                     budget=100000 seed={}",
+                    batch * 8 + i
+                );
+                service
+                    .submit(spec.parse().expect("valid spec"), Default::default(), None)
+                    .expect("admitted")
+                    .ticket
+            })
+            .collect();
+        for ticket in tickets {
+            service.wait(ticket, Some(Duration::from_secs(30))).expect("completes");
+        }
+        let bytes = std::fs::metadata(&journal_path).map(|m| m.len()).unwrap_or(0);
+        peak = peak.max(bytes);
+    }
+    let stats = service.stats();
+    assert!(
+        stats.journal_compactions > 0,
+        "a 192-admission run over a 2KiB threshold must compact at least once"
+    );
+    // Each frame is ~120 bytes; 192 admissions uncompacted would be
+    // >20KiB. Bounded means: never far past the threshold.
+    assert!(
+        peak < 8_192,
+        "journal grew to {peak} bytes despite a 2048-byte compaction threshold"
+    );
+    service.shutdown();
+
+    // The compacted journal plus spill must still be a valid warm-start
+    // image: no resumed jobs (all settled), no dropped bytes.
+    let reborn = JobService::start(config, ObsSink::disabled()).expect("restart");
+    let recovery = reborn.recovery();
+    assert_eq!(recovery.resumed_jobs, 0, "everything settled before shutdown");
+    assert_eq!(recovery.checksum_errors, 0);
+    assert_eq!(recovery.dropped_tail_bytes, 0);
+    assert!(recovery.recovered_results > 0, "spill must repopulate the memo store");
+    reborn.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn backend() -> reciprocal_abstraction::serve::ServerHandle {
+    let service = JobService::start(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        ObsSink::disabled(),
+    )
+    .expect("backend starts");
+    WireServer::bind("127.0.0.1:0", service)
+        .expect("bind backend")
+        .spawn()
+        .expect("spawn backend")
+}
+
+/// The result body a client sees for `spec`, as raw JSON text — the
+/// fingerprint the determinism gate compares bit-for-bit.
+fn fingerprint(addr: std::net::SocketAddr, spec: &str) -> String {
+    let mut client = WireClient::connect(addr).expect("connect");
+    let submit = client.submit(spec, None, None).expect("submit");
+    assert_eq!(
+        submit.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "submit failed: {submit:?}"
+    );
+    let ticket = submit.get("ticket").and_then(Json::as_u64).expect("ticket");
+    let outcome = client.result(ticket, Some(60_000)).expect("result");
+    let body = outcome.get("result").expect("terminal result body");
+    // Render the parsed body back through one deterministic shape so
+    // the comparison is about values, not key order.
+    let mut fields: Vec<String> = ["workload", "mode", "cycles", "messages", "ipc",
+        "latency_mean", "latency_count", "calibrations"]
+        .iter()
+        .map(|key| format!("{key}={:?}", body.get(key)))
+        .collect();
+    fields.sort();
+    fields.join(";")
+}
+
+/// The determinism gate: one spec, three topologies — a lone backend,
+/// a 3-node cluster behind the relay, and the same cluster after its
+/// owning shard was killed — must produce byte-identical result
+/// fingerprints.
+#[test]
+fn cluster_results_match_single_node_and_survive_failover() {
+    let spec = "target=4x4 app=water mode=hop instructions=200 budget=1000000 seed=11";
+
+    // Topology 1: a single node, no relay.
+    let solo = backend();
+    let single = fingerprint(solo.addr(), spec);
+    solo.stop();
+
+    // Topology 2: three backends behind a relay. Edge cache off so the
+    // post-failover fetch must come from a survivor's real run, not a
+    // relay-cached copy.
+    let backends: Vec<_> = (0..3).map(|_| backend()).collect();
+    let config = RelayConfig {
+        backends: backends.iter().map(|b| b.addr().to_string()).collect(),
+        health: HealthPolicy {
+            probe_interval: Duration::from_millis(50),
+            probe_timeout: Duration::from_millis(250),
+            fail_threshold: 2,
+            recover_threshold: 1,
+        },
+        forward_deadline: Duration::from_millis(500),
+        edge_cache: 0,
+        ..RelayConfig::default()
+    };
+    let relay = Relay::new(config, ObsSink::disabled()).expect("relay");
+    let relay = RelayServer::bind("127.0.0.1:0", relay)
+        .expect("bind relay")
+        .spawn()
+        .expect("spawn relay");
+    let clustered = fingerprint(relay.addr(), spec);
+    assert_eq!(single, clustered, "cluster result differs from single-node");
+
+    // Find the owning shard and kill exactly it.
+    let owner = {
+        let mut client = WireClient::connect(relay.addr()).expect("connect");
+        let submit = client.submit(spec, None, None).expect("submit");
+        submit.get("node").and_then(Json::as_u64).expect("node") as usize
+    };
+    let mut backends: Vec<Option<_>> = backends.into_iter().map(Some).collect();
+    backends[owner].take().expect("owner live").stop();
+    let state = relay.relay();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while state.node_state(owner).routes() {
+        assert!(Instant::now() < deadline, "dead shard never marked Down");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Topology 3: the survivors re-run the job from scratch.
+    let failed_over = fingerprint(relay.addr(), spec);
+    assert_eq!(
+        single, failed_over,
+        "post-failover result differs from single-node"
+    );
+    relay.stop();
+    for handle in backends.into_iter().flatten() {
+        handle.stop();
+    }
+}
