@@ -1,9 +1,14 @@
 //! Router hot-path microbenchmarks for the zero-allocation / clock-gating
 //! work: what one simulated cycle costs (a) on a loaded mesh, (b) on a
 //! sparsely loaded mesh with gating on vs. off, and (c) on a fully idle
-//! mesh, where gating should make the cycle almost free.
+//! mesh, where gating should make the cycle almost free. Also the
+//! FullSystem snapshot/restore pair, which the speculative quantum
+//! pipeline pays once per quantum — it has to stay cheap relative to a
+//! quantum's worth of simulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ra_fullsys::{FullSysConfig, FullSystem, SyntheticParams, SyntheticWorkload};
+use ra_netmodel::{AbstractNetwork, HopLatency, HopMetric};
 use ra_noc::{InjectionProcess, NocConfig, NocNetwork, TrafficGen, TrafficPattern};
 use ra_sim::Cycle;
 
@@ -97,5 +102,71 @@ fn bench_hotpath(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hotpath);
+/// A warmed-up full system on an abstract hop network, the configuration
+/// the speculative pipeline snapshots before each predicted quantum.
+fn warmed_fullsys(side: u32) -> FullSystem<AbstractNetwork<HopLatency>, SyntheticWorkload> {
+    let cfg = FullSysConfig::new(side, side);
+    let net = AbstractNetwork::new(HopLatency::default(), HopMetric::Mesh(cfg.shape), 16);
+    let w = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 42);
+    let mut sys = FullSystem::new(cfg, net, w).unwrap();
+    sys.run_cycles(500);
+    sys
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fullsys-snapshot");
+    group.sample_size(20);
+    for side in [8u32, 16] {
+        let tiles = side * side;
+        // Checkpoint cost: one clone of tiles + workload + in-flight state,
+        // plus the network half of the checkpoint (the driver snapshots
+        // both — see `run_pipelined`).
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", format!("{tiles}tiles")),
+            &side,
+            |b, &side| {
+                let sys = warmed_fullsys(side);
+                b.iter(|| (sys.snapshot(), sys.network().clone()))
+            },
+        );
+        // Rollback cost: restore into a system that has since diverged by
+        // one speculative quantum — the exact mis-speculation path.
+        group.bench_with_input(
+            BenchmarkId::new("restore", format!("{tiles}tiles")),
+            &side,
+            |b, &side| {
+                let mut sys = warmed_fullsys(side);
+                let snap = sys.snapshot();
+                let net = sys.network().clone();
+                sys.run_cycles(500);
+                b.iter(|| {
+                    sys.restore(&snap);
+                    *sys.network_mut() = net.clone();
+                    sys.now()
+                })
+            },
+        );
+        // The round trip amortized against the work it protects: snapshot,
+        // simulate a 500-cycle quantum, roll it back — the full cost of one
+        // mis-speculated window beyond the wasted simulation itself.
+        group.bench_with_input(
+            BenchmarkId::new("snapshot-run500-restore", format!("{tiles}tiles")),
+            &side,
+            |b, &side| {
+                let mut sys = warmed_fullsys(side);
+                b.iter(|| {
+                    let snap = sys.snapshot();
+                    let net = sys.network().clone();
+                    sys.run_cycles(500);
+                    sys.restore(&snap);
+                    *sys.network_mut() = net;
+                    sys.now()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpath, bench_snapshot);
 criterion_main!(benches);

@@ -32,7 +32,7 @@ fn main() {
         };
         let truth = run(ModeSpec::Lockstep).expect("lockstep");
         let abs = run(ModeSpec::Hop).expect("hop");
-        let recip = run(ModeSpec::Reciprocal { quantum, workers: 0 }).expect("reciprocal");
+        let recip = run(ModeSpec::Reciprocal { quantum, workers: 0, pipeline: false }).expect("reciprocal");
         let abs_err = percent_error(abs.avg_latency(), truth.avg_latency());
         let recip_err = percent_error(recip.avg_latency(), truth.avg_latency());
         abs_errors.push(abs_err);

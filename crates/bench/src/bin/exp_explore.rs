@@ -23,7 +23,7 @@ fn main() {
             let mut target = Target::preset(64).expect("preset");
             target.noc = target.noc.with_vcs_per_vnet(vcs).with_vc_depth(depth);
             match RunSpec::new(&target, &app)
-                .mode(ModeSpec::Reciprocal { quantum: 2_000, workers: 0 })
+                .mode(ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: false })
                 .instructions(scale.instructions())
                 .budget(scale.budget())
                 .seed(42)

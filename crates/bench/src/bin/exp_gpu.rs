@@ -22,7 +22,8 @@
 //! `--cores 256,512` restricts the sweep; `--trace-out t.jsonl` streams
 //! every observability event (quantum reports, NoC windows, engine
 //! batches, profiling spans) as JSONL; `--metrics` prints the T2 time
-//! breakdown per row.
+//! breakdown per row; `--pipeline` also runs the speculative quantum
+//! pipeline and reports its commit/rollback columns.
 
 use ra_bench::{
     banner, breakdown_of, format_breakdown, json_array, json_object, secs, trips_json, BenchArgs,
@@ -68,7 +69,7 @@ fn main() {
         let target = Target::preset(cores).expect("preset");
         let instr = (scale.instructions() / (cores as u64 / 64)).max(150);
         let serial = RunSpec::new(&target, &app)
-            .mode(ModeSpec::Reciprocal { quantum: 2_000, workers: 0 })
+            .mode(ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: false })
             .instructions(instr)
             .budget(scale.budget())
             .seed(42)
@@ -116,10 +117,69 @@ fn main() {
             ("watchdog_trips", JsonField::Int(coupler.watchdog_trips)),
             ("trips", JsonField::Raw(trips_json(&coupler.trips))),
         ];
+        if args.pipeline {
+            // Speculation favors short quanta: each rollback re-runs one
+            // window, and fresh predictions drift less over 500 cycles
+            // than 2 000. The pipelined pair therefore runs at its own
+            // quantum, against its own serial baseline, so the comparison
+            // is apples to apples and the simulated stats must match
+            // bit for bit.
+            const SPEC_QUANTUM: u64 = 500;
+            // Rollback statistics need runs long enough to leave the
+            // cold-start ramp, where every window legitimately resyncs.
+            let spec_instr = instr.max(1_000);
+            let pair = |pipeline: bool| {
+                RunSpec::new(&target, &app)
+                    .mode(ModeSpec::Reciprocal { quantum: SPEC_QUANTUM, workers: 0, pipeline })
+                    .instructions(spec_instr)
+                    .budget(scale.budget().max(20_000_000))
+                    .seed(42)
+                    .recorder(sink.clone())
+                    .run()
+                    .expect("reciprocal pipelined pair")
+            };
+            let base = pair(false);
+            let piped = pair(true);
+            let pc = piped.coupler.clone().expect("reciprocal run");
+            let decisions = pc.spec_commits + pc.spec_rollbacks;
+            let rollback_pct =
+                pc.spec_rollbacks as f64 / (decisions.max(1)) as f64 * 100.0;
+            let base_s = base.wall.as_secs_f64();
+            let piped_reduction = (1.0 - piped.wall.as_secs_f64() / base_s.max(1e-9)) * 100.0;
+            let identical = base.cycles == piped.cycles
+                && base.messages == piped.messages
+                && base.latency.mean().to_bits() == piped.latency.mean().to_bits();
+            if !args.json {
+                println!(
+                    "{:<10}   pipelined (q={SPEC_QUANTUM}): {} vs serial {} \
+                     ({piped_reduction:.0}% reduction), {} commits / {} rollbacks \
+                     ({rollback_pct:.1}% rolled back), stats identical: {identical}",
+                    "",
+                    secs(piped.wall),
+                    secs(base.wall),
+                    pc.spec_commits,
+                    pc.spec_rollbacks,
+                );
+                if args.metrics {
+                    println!("{:<10}   {}", "", format_breakdown(&breakdown_of(&piped)));
+                }
+            }
+            fields.push(("pipelined_quantum", JsonField::Int(SPEC_QUANTUM)));
+            fields.push(("pipelined_serial_s", JsonField::Num(base_s)));
+            fields.push(("pipelined_s", JsonField::Num(piped.wall.as_secs_f64())));
+            fields.push(("pipelined_reduction_pct", JsonField::Num(piped_reduction)));
+            fields.push(("spec_commits", JsonField::Int(pc.spec_commits)));
+            fields.push(("spec_rollbacks", JsonField::Int(pc.spec_rollbacks)));
+            fields.push(("rollback_pct", JsonField::Num(rollback_pct)));
+            fields.push((
+                "spec_identical",
+                JsonField::Raw(if identical { "true".into() } else { "false".into() }),
+            ));
+        }
         if host_cores > 1 {
             let workers = host_cores.saturating_sub(1).clamp(1, 8);
             let parallel = RunSpec::new(&target, &app)
-                .mode(ModeSpec::Reciprocal { quantum: 2_000, workers })
+                .mode(ModeSpec::Reciprocal { quantum: 2_000, workers, pipeline: false })
                 .instructions(instr)
                 .budget(scale.budget())
                 .seed(42)

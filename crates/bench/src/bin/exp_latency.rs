@@ -14,7 +14,7 @@ fn main() {
     let modes = [
         ModeSpec::Hop,
         ModeSpec::Queueing,
-        ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
+        ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: false },
         ModeSpec::Lockstep,
     ];
     for app in AppProfile::suite() {

@@ -28,7 +28,7 @@ fn main() {
         "quantum", "avg-lat", "err%", "calibration", "wall"
     );
     for quantum in [100u64, 300, 1_000, 3_000, 10_000, 30_000, 100_000] {
-        let r = run(ModeSpec::Reciprocal { quantum, workers: 0 }).expect("reciprocal");
+        let r = run(ModeSpec::Reciprocal { quantum, workers: 0, pipeline: false }).expect("reciprocal");
         println!(
             "{:>9} {:>12.2} {:>9.1}% {:>12} {:>12}",
             quantum,

@@ -29,7 +29,7 @@ fn main() {
         let truth = run(ModeSpec::Lockstep).expect("lockstep");
         let abs = run(ModeSpec::Hop).expect("hop");
         let recip =
-            run(ModeSpec::Reciprocal { quantum: 2_000, workers: 0 }).expect("reciprocal");
+            run(ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: false }).expect("reciprocal");
         let ae = percent_error(abs.cycles as f64, truth.cycles as f64);
         let re = percent_error(recip.cycles as f64, truth.cycles as f64);
         abs_errors.push(ae);

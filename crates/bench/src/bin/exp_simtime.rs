@@ -7,7 +7,8 @@
 //! `--json` emits the rows as a JSON array (for CI artifact diffing);
 //! `--cores 64,256` restricts the sweep; `--mode reciprocal` filters the
 //! mode ladder; `--trace-out t.jsonl` streams observability events;
-//! `--metrics` prints per-run time breakdowns.
+//! `--metrics` prints per-run time breakdowns; `--pipeline` adds a
+//! speculatively pipelined reciprocal row (spec commit/rollback columns).
 
 use ra_bench::{
     banner, breakdown_of, format_breakdown, json_array, json_object, secs, BenchArgs, JsonField,
@@ -42,11 +43,18 @@ fn main() {
         }
         let target = Target::preset(cores).expect("preset");
         let instr = (scale.instructions() / (cores as u64 / 64)).max(150);
-        let modes = [
+        let mut modes = vec![
             ModeSpec::Hop,
-            ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
-            ModeSpec::Reciprocal { quantum: 2_000, workers },
+            ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: false },
+            ModeSpec::Reciprocal { quantum: 2_000, workers, pipeline: false },
         ];
+        if args.pipeline {
+            // The speculative pair runs at a short quantum (see exp_gpu):
+            // a serial baseline and its pipelined twin, which must agree
+            // on every simulated stat.
+            modes.push(ModeSpec::Reciprocal { quantum: 500, workers: 0, pipeline: false });
+            modes.push(ModeSpec::Reciprocal { quantum: 500, workers: 0, pipeline: true });
+        }
         for mode in modes {
             if !args.wants_mode(mode) {
                 continue;
@@ -62,7 +70,7 @@ fn main() {
                 Ok(r) => {
                     let rate = r.cycles as f64 / r.wall.as_secs_f64().max(1e-9);
                     if args.json {
-                        rows.push(json_object(&[
+                        let mut fields = vec![
                             ("target", JsonField::Str(target.name.clone())),
                             ("cores", JsonField::Int(u64::from(cores))),
                             ("mode", JsonField::Str(mode.label())),
@@ -72,7 +80,19 @@ fn main() {
                             ("cycles_per_sec", JsonField::Num(rate)),
                             ("messages", JsonField::Int(r.messages)),
                             ("avg_latency", JsonField::Num(r.avg_latency())),
-                        ]));
+                        ];
+                        if let Some(c) = &r.coupler {
+                            let decisions = c.spec_commits + c.spec_rollbacks;
+                            fields.push(("spec_commits", JsonField::Int(c.spec_commits)));
+                            fields.push(("spec_rollbacks", JsonField::Int(c.spec_rollbacks)));
+                            fields.push((
+                                "rollback_pct",
+                                JsonField::Num(
+                                    c.spec_rollbacks as f64 / (decisions.max(1)) as f64 * 100.0,
+                                ),
+                            ));
+                        }
+                        rows.push(json_object(&fields));
                     } else {
                         println!(
                             "{:<10} {:<18} {:>12} {:>12} {:>12.0}",

@@ -139,6 +139,10 @@ pub struct BenchArgs {
     /// Print the simulation-time breakdown after each reciprocal run
     /// (`--metrics`).
     pub metrics: bool,
+    /// Run reciprocal modes with speculative quantum pipelining
+    /// (`--pipeline`): the detailed replay overlaps the next quantum,
+    /// with checkpoint/rollback keeping simulated stats bit-identical.
+    pub pipeline: bool,
 }
 
 impl BenchArgs {
@@ -174,6 +178,7 @@ impl BenchArgs {
                 }
                 "--trace-out" => out.trace_out = args.next(),
                 "--metrics" => out.metrics = true,
+                "--pipeline" => out.pipeline = true,
                 _ => {}
             }
         }
@@ -221,7 +226,12 @@ pub fn breakdown_of(result: &ra_cosim::RunResult) -> TimeBreakdown {
     if let Some(coupler) = &result.coupler {
         b.detailed_ns = coupler.detailed_wall.as_nanos() as u64;
         b.calibrate_ns = coupler.calibrate_wall.as_nanos() as u64;
+        b.spec_commits = coupler.spec_commits;
+        b.spec_rollbacks = coupler.spec_rollbacks;
+        b.spec_wasted_cycles = coupler.spec_wasted_cycles;
     }
+    // Pipelined runs overlap the detailed replay with the full system, so
+    // the components can sum past the wall clock; the remainder saturates.
     b.fullsys_ns = (result.wall.as_nanos() as u64)
         .saturating_sub(b.detailed_ns)
         .saturating_sub(b.calibrate_ns);
@@ -247,7 +257,7 @@ pub fn trips_json(trips: &[ra_cosim::TripRecord]) -> String {
 /// calibration vs. full system + fast path) for `--metrics` output.
 pub fn format_breakdown(b: &TimeBreakdown) -> String {
     let total = b.total_ns().max(1) as f64;
-    format!(
+    let mut out = format!(
         "time breakdown: detailed {:.3}s ({:.1}%), calibrate {:.3}s ({:.1}%), fullsys+fast {:.3}s ({:.1}%)",
         b.detailed_ns as f64 / 1e9,
         b.detailed_ns as f64 / total * 100.0,
@@ -255,7 +265,17 @@ pub fn format_breakdown(b: &TimeBreakdown) -> String {
         b.calibrate_ns as f64 / total * 100.0,
         b.fullsys_ns as f64 / 1e9,
         b.fullsys_ns as f64 / total * 100.0,
-    )
+    );
+    if b.spec_decisions() > 0 {
+        out.push_str(&format!(
+            "\nspeculation: {} commits, {} rollbacks ({:.1}% rolled back), {} cycles wasted",
+            b.spec_commits,
+            b.spec_rollbacks,
+            b.rollback_ratio() * 100.0,
+            b.spec_wasted_cycles,
+        ));
+    }
+    out
 }
 
 /// One field of a hand-rolled JSON object (the vendored `serde` stub cannot
@@ -396,14 +416,17 @@ mod tests {
             "--trace-out",
             "trace.jsonl",
             "--metrics",
+            "--pipeline",
         ]);
         assert_eq!(
             a.mode,
-            Some(ModeSpec::Reciprocal { quantum: 500, workers: 4 })
+            Some(ModeSpec::Reciprocal { quantum: 500, workers: 4, pipeline: false })
         );
         assert_eq!(a.trace_out.as_deref(), Some("trace.jsonl"));
         assert!(a.metrics);
-        assert!(a.wants_mode(ModeSpec::Reciprocal { quantum: 123, workers: 4 }),
+        assert!(a.pipeline);
+        assert!(!parse(&[]).pipeline, "pipelining is opt-in");
+        assert!(a.wants_mode(ModeSpec::Reciprocal { quantum: 123, workers: 4, pipeline: false }),
             "mode filter matches by label, not exact quantum");
         assert!(!a.wants_mode(ModeSpec::Hop));
         assert!(parse(&[]).wants_mode(ModeSpec::Hop), "no filter admits everything");

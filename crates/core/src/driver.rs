@@ -7,14 +7,14 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ra_fullsys::FullSystem;
+use ra_fullsys::{FullSysSnapshot, FullSystem, SliceEnd};
 use ra_netmodel::{AbstractNetwork, FixedLatency, HopLatency, HopMetric, QueueingLatency};
 use ra_noc::{NocNetwork, TopologyKind};
 use ra_obs::{Event, ObsSink, SpanKind};
 use ra_sim::{MessageClass, Network, SimError, Summary};
 use ra_workloads::{AppProfile, AppWorkload};
 
-use crate::probe::LatencyProbe;
+use crate::probe::{LatencyProbe, ProbeSnapshot};
 use crate::reciprocal::{CouplerStats, ReciprocalNetwork};
 use crate::target::Target;
 
@@ -35,6 +35,11 @@ pub enum ModeSpec {
         quantum: u64,
         /// Parallel-engine workers (0 = serial).
         workers: usize,
+        /// Speculative quantum pipelining: replay quantum N in the
+        /// background while the full system runs quantum N+1 against the
+        /// predicted calibration, committing or rolling back at the join.
+        /// Simulated statistics are bit-identical either way.
+        pipeline: bool,
     },
     /// Ground truth: the full system coupled to the cycle-level NoC for
     /// every message.
@@ -48,8 +53,17 @@ impl ModeSpec {
             ModeSpec::Fixed(l) => format!("fixed({l})"),
             ModeSpec::Hop => "abstract-hop".into(),
             ModeSpec::Queueing => "abstract-queueing".into(),
-            ModeSpec::Reciprocal { workers: 0, .. } => "reciprocal".into(),
-            ModeSpec::Reciprocal { workers, .. } => format!("reciprocal-par{workers}"),
+            ModeSpec::Reciprocal { workers, pipeline, .. } => {
+                let mut label = if *workers == 0 {
+                    "reciprocal".to_string()
+                } else {
+                    format!("reciprocal-par{workers}")
+                };
+                if *pipeline {
+                    label.push_str("-pipe");
+                }
+                label
+            }
             ModeSpec::Lockstep => "lockstep-truth".into(),
         }
     }
@@ -57,15 +71,21 @@ impl ModeSpec {
 
 /// Canonical textual form, round-trippable through [`FromStr`]:
 /// `fixed:12`, `hop`, `queueing`, `reciprocal:quantum=500,workers=4`,
-/// `lockstep`.
+/// `lockstep`. Pipelined reciprocal appends `,pipeline=on`; the flag is
+/// omitted when off, so pre-existing canonical texts (and anything hashed
+/// from them) are unchanged.
 impl fmt::Display for ModeSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModeSpec::Fixed(l) => write!(f, "fixed:{l}"),
             ModeSpec::Hop => f.write_str("hop"),
             ModeSpec::Queueing => f.write_str("queueing"),
-            ModeSpec::Reciprocal { quantum, workers } => {
-                write!(f, "reciprocal:quantum={quantum},workers={workers}")
+            ModeSpec::Reciprocal { quantum, workers, pipeline } => {
+                write!(f, "reciprocal:quantum={quantum},workers={workers}")?;
+                if *pipeline {
+                    f.write_str(",pipeline=on")?;
+                }
+                Ok(())
             }
             ModeSpec::Lockstep => f.write_str("lockstep"),
         }
@@ -114,6 +134,7 @@ impl FromStr for ModeSpec {
                 let ModeSpec::Reciprocal {
                     mut quantum,
                     mut workers,
+                    mut pipeline,
                 } = ModeSpec::default()
                 else {
                     unreachable!("default mode is reciprocal");
@@ -137,14 +158,26 @@ impl FromStr for ModeSpec {
                                 ParseModeError(format!("workers `{value}` is not an integer"))
                             })?;
                         }
+                        "pipeline" => {
+                            pipeline = match value.trim() {
+                                "on" => true,
+                                "off" => false,
+                                other => {
+                                    return Err(ParseModeError(format!(
+                                        "pipeline `{other}` is not on/off"
+                                    )))
+                                }
+                            };
+                        }
                         other => {
                             return Err(ParseModeError(format!(
-                                "unknown reciprocal key `{other}` (expected quantum or workers)"
+                                "unknown reciprocal key `{other}` \
+                                 (expected quantum, workers, or pipeline)"
                             )))
                         }
                     }
                 }
-                Ok(ModeSpec::Reciprocal { quantum, workers })
+                Ok(ModeSpec::Reciprocal { quantum, workers, pipeline })
             }
             (other, _) => Err(ParseModeError(format!(
                 "unknown mode `{other}` (expected fixed:<lat>, hop, queueing, \
@@ -161,6 +194,7 @@ impl Default for ModeSpec {
         ModeSpec::Reciprocal {
             quantum: 2_000,
             workers: 0,
+            pipeline: false,
         }
     }
 }
@@ -308,18 +342,29 @@ impl<'a> RunSpec<'a> {
     /// timeout/deadlock watchdogs.
     pub fn run(self) -> Result<RunResult, SimError> {
         let result = match self.mode {
-            ModeSpec::Reciprocal { quantum, workers } => self.run_reciprocal(quantum, workers),
+            ModeSpec::Reciprocal {
+                quantum,
+                workers,
+                pipeline,
+            } => self.run_reciprocal(quantum, workers, pipeline),
             mode => self.run_boxed(mode),
         }?;
         Ok(result)
     }
 
     /// The reciprocal path keeps the concrete coupler type, so the real
-    /// [`CouplerStats`] come back in [`RunResult::coupler`].
-    fn run_reciprocal(self, quantum: u64, workers: usize) -> Result<RunResult, SimError> {
+    /// [`CouplerStats`] come back in [`RunResult::coupler`] — and so the
+    /// pipelined schedule can drive the checkpoint/rollback loop.
+    fn run_reciprocal(
+        self,
+        quantum: u64,
+        workers: usize,
+        pipeline: bool,
+    ) -> Result<RunResult, SimError> {
         let coupler = ReciprocalNetwork::new(self.target.noc.clone(), quantum, workers)
             .map_err(SimError::Config)?
-            .with_sink(self.sink.clone());
+            .with_sink(self.sink.clone())
+            .with_pipeline(pipeline);
         let net = LatencyProbe::new(coupler);
         let workload = AppWorkload::new(self.app.clone(), self.target.cores(), self.seed);
         let mut sys = FullSystem::new(self.target.fullsys.clone(), net, workload)
@@ -328,7 +373,12 @@ impl<'a> RunSpec<'a> {
             sys.set_halt_flag(cancel.clone());
         }
         let start = Instant::now();
-        let cycles = sys.run_until_instructions(self.instructions, self.budget)?;
+        let run = if pipeline {
+            run_pipelined(&mut sys, self.instructions, self.budget)
+        } else {
+            sys.run_until_instructions(self.instructions, self.budget)
+        };
+        let cycles = run?;
         let wall = start.elapsed();
         let stats = sys.stats();
         let probe = sys.network();
@@ -337,7 +387,8 @@ impl<'a> RunSpec<'a> {
             .iter()
             .map(|c| *probe.class_latency(*c))
             .collect();
-        let coupler_stats = probe.inner().stats().clone();
+        let mut coupler_stats = probe.inner().stats().clone();
+        coupler_stats.noc = Some(probe.inner().detailed().stats().clone());
         // The remainder of the wall-clock is the full system plus the fast
         // path — T2's third component.
         self.sink.emit(|| Event::Span {
@@ -348,7 +399,11 @@ impl<'a> RunSpec<'a> {
                 .as_nanos() as u64,
         });
         let _ = self.sink.flush();
-        let mode = ModeSpec::Reciprocal { quantum, workers };
+        let mode = ModeSpec::Reciprocal {
+            quantum,
+            workers,
+            pipeline,
+        };
         Ok(RunResult {
             workload: self.app.name.clone(),
             mode: mode.label(),
@@ -402,6 +457,85 @@ impl<'a> RunSpec<'a> {
     }
 }
 
+/// The simulation state a pipelined run checkpoints at every healthy
+/// quantum boundary and rewinds on rollback: the full system (tiles,
+/// caches, protocol state, workload RNG cursors, stats), the latency
+/// probe's measurements, and the run-loop watchdog bookkeeping. The
+/// coupler rewinds its own fast path internally.
+type Checkpoint = (
+    FullSysSnapshot<AppWorkload>,
+    ProbeSnapshot,
+    ra_fullsys::RunProgress,
+);
+
+/// The pipelined run loop: run to each quantum boundary in slices,
+/// checkpoint at healthy pauses, and rewind + re-run the window when the
+/// coupler's join reports that the speculation diverged. The simulated
+/// timeline that survives commits is bit-identical to a serial run's.
+fn run_pipelined(
+    sys: &mut FullSystem<LatencyProbe<ReciprocalNetwork>, AppWorkload>,
+    per_core: u64,
+    budget: u64,
+) -> Result<u64, SimError> {
+    let mut progress = sys.begin_run();
+    let mut checkpoint: Option<Checkpoint> = None;
+    loop {
+        let until = sys.network().inner().next_boundary() + 1;
+        match sys.run_slice(per_core, budget, until, &mut progress) {
+            Ok(SliceEnd::Paused) => {
+                if sys.network().inner().has_rollback() {
+                    restore(sys, &checkpoint, &mut progress);
+                } else {
+                    checkpoint = Some((sys.snapshot(), sys.network().snapshot(), progress));
+                }
+            }
+            Ok(SliceEnd::Done(cycles)) => {
+                // Join any replay still in flight; the final partial
+                // window must also verify before the result is trusted.
+                let now = sys.now();
+                if sys.network_mut().inner_mut().finalize(now) {
+                    return Ok(cycles);
+                }
+                restore(sys, &checkpoint, &mut progress);
+            }
+            Err(err) => {
+                // The error is only real if the speculative state it arose
+                // in survives the join; otherwise rewind and re-run.
+                let now = sys.now();
+                if sys.network_mut().inner_mut().finalize(now) {
+                    return Err(err);
+                }
+                restore(sys, &checkpoint, &mut progress);
+            }
+        }
+    }
+}
+
+/// Rewinds a pipelined run to its last healthy-boundary checkpoint after
+/// the coupler decided a rollback.
+fn restore(
+    sys: &mut FullSystem<LatencyProbe<ReciprocalNetwork>, AppWorkload>,
+    checkpoint: &Option<Checkpoint>,
+    progress: &mut ra_fullsys::RunProgress,
+) {
+    let boundary = sys
+        .network_mut()
+        .inner_mut()
+        .take_rollback()
+        .expect("restore without a decided rollback");
+    let (snap, probe, saved) = checkpoint
+        .as_ref()
+        .expect("a rollback cannot precede the first boundary checkpoint");
+    debug_assert_eq!(
+        snap.at_cycle(),
+        boundary + 1,
+        "checkpoint must sit one step past the rolled-back boundary"
+    );
+    sys.restore(snap);
+    sys.network_mut().restore(probe);
+    *progress = *saved;
+}
+
 /// Builds the network for a mode over a target. Lockstep mode attaches
 /// `sink` to the cycle-level NoC (the other abstract models emit nothing).
 fn build_network(
@@ -427,7 +561,10 @@ fn build_network(
             metric,
             flit_bytes,
         )),
-        ModeSpec::Reciprocal { quantum, workers } => Box::new(
+        // The boxed path cannot drive the checkpoint/rollback loop, so the
+        // pipeline flag is ignored here; `RunSpec::run` routes reciprocal
+        // modes through the concrete-typed path instead.
+        ModeSpec::Reciprocal { quantum, workers, pipeline: _ } => Box::new(
             ReciprocalNetwork::new(target.noc.clone(), quantum, workers)?
                 .with_sink(sink.clone()),
         ),
@@ -474,14 +611,16 @@ mod tests {
             ModeSpec::Fixed(10),
             ModeSpec::Hop,
             ModeSpec::Queueing,
-            ModeSpec::Reciprocal { quantum: 100, workers: 0 },
-            ModeSpec::Reciprocal { quantum: 100, workers: 2 },
+            ModeSpec::Reciprocal { quantum: 100, workers: 0, pipeline: false },
+            ModeSpec::Reciprocal { quantum: 100, workers: 0, pipeline: true },
+            ModeSpec::Reciprocal { quantum: 100, workers: 2, pipeline: false },
+            ModeSpec::Reciprocal { quantum: 100, workers: 2, pipeline: true },
             ModeSpec::Lockstep,
         ]
         .iter()
         .map(ModeSpec::label)
         .collect();
-        assert_eq!(labels.len(), 6);
+        assert_eq!(labels.len(), 8);
     }
 
     #[test]
@@ -490,8 +629,9 @@ mod tests {
             ModeSpec::Fixed(12),
             ModeSpec::Hop,
             ModeSpec::Queueing,
-            ModeSpec::Reciprocal { quantum: 500, workers: 4 },
-            ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
+            ModeSpec::Reciprocal { quantum: 500, workers: 4, pipeline: false },
+            ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: false },
+            ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: true },
             ModeSpec::Lockstep,
         ] {
             let text = mode.to_string();
@@ -501,15 +641,33 @@ mod tests {
     }
 
     #[test]
+    fn mode_display_omits_pipeline_when_off() {
+        // Wire compatibility: canonical texts from before the pipeline
+        // flag existed (and anything hashed from them) must not change.
+        let off = ModeSpec::Reciprocal { quantum: 500, workers: 4, pipeline: false };
+        assert_eq!(off.to_string(), "reciprocal:quantum=500,workers=4");
+        let on = ModeSpec::Reciprocal { quantum: 500, workers: 4, pipeline: true };
+        assert_eq!(on.to_string(), "reciprocal:quantum=500,workers=4,pipeline=on");
+    }
+
+    #[test]
     fn mode_from_str_accepts_shorthand() {
         assert_eq!("reciprocal".parse::<ModeSpec>().unwrap(), ModeSpec::default());
         assert_eq!(
             "reciprocal:workers=4".parse::<ModeSpec>().unwrap(),
-            ModeSpec::Reciprocal { quantum: 2_000, workers: 4 }
+            ModeSpec::Reciprocal { quantum: 2_000, workers: 4, pipeline: false }
         );
         assert_eq!(
             "reciprocal:quantum=500".parse::<ModeSpec>().unwrap(),
-            ModeSpec::Reciprocal { quantum: 500, workers: 0 }
+            ModeSpec::Reciprocal { quantum: 500, workers: 0, pipeline: false }
+        );
+        assert_eq!(
+            "reciprocal:pipeline=on".parse::<ModeSpec>().unwrap(),
+            ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: true }
+        );
+        assert_eq!(
+            "reciprocal:quantum=500,pipeline=off".parse::<ModeSpec>().unwrap(),
+            ModeSpec::Reciprocal { quantum: 500, workers: 0, pipeline: false }
         );
         assert_eq!(" hop ".parse::<ModeSpec>().unwrap(), ModeSpec::Hop);
         assert_eq!("fixed: 9".parse::<ModeSpec>().unwrap(), ModeSpec::Fixed(9));
@@ -524,6 +682,7 @@ mod tests {
             "fixed:lots",
             "reciprocal:quantum",
             "reciprocal:pace=3",
+            "reciprocal:pipeline=sideways",
             "hop:1",
         ] {
             assert!(bad.parse::<ModeSpec>().is_err(), "`{bad}` must not parse");
@@ -538,7 +697,8 @@ mod tests {
             ModeSpec::Fixed(12),
             ModeSpec::Hop,
             ModeSpec::Queueing,
-            ModeSpec::Reciprocal { quantum: 200, workers: 0 },
+            ModeSpec::Reciprocal { quantum: 200, workers: 0, pipeline: false },
+            ModeSpec::Reciprocal { quantum: 200, workers: 0, pipeline: true },
             ModeSpec::Lockstep,
         ] {
             let r = RunSpec::new(&target, &app)
@@ -565,7 +725,7 @@ mod tests {
         let target = small_target();
         let app = AppProfile::water();
         let r = RunSpec::new(&target, &app)
-            .mode(ModeSpec::Reciprocal { quantum: 200, workers: 0 })
+            .mode(ModeSpec::Reciprocal { quantum: 200, workers: 0, pipeline: false })
             .instructions(300)
             .budget(500_000)
             .seed(1)
@@ -575,6 +735,87 @@ mod tests {
         assert_eq!(coupler.calibrations, r.calibrations);
         assert!(coupler.calibrations > 0);
         assert!(coupler.measured > 0);
+    }
+
+    #[test]
+    fn pipelined_run_is_bit_identical_to_serial() {
+        let target = small_target();
+        for app in [AppProfile::water(), AppProfile::ocean()] {
+            for seed in [1u64, 7, 42] {
+                let run = |pipeline: bool| {
+                    RunSpec::new(&target, &app)
+                        .mode(ModeSpec::Reciprocal { quantum: 300, workers: 0, pipeline })
+                        .instructions(400)
+                        .budget(2_000_000)
+                        .seed(seed)
+                        .run()
+                        .unwrap()
+                };
+                let serial = run(false);
+                let piped = run(true);
+                let label = format!("{} seed {seed}", app.name);
+                assert_eq!(serial.cycles, piped.cycles, "{label}: cycles");
+                assert_eq!(serial.messages, piped.messages, "{label}: messages");
+                assert_eq!(serial.ipc.to_bits(), piped.ipc.to_bits(), "{label}: ipc");
+                assert_eq!(
+                    serial.latency.mean().to_bits(),
+                    piped.latency.mean().to_bits(),
+                    "{label}: avg latency"
+                );
+                for (s, p) in serial.class_latency.iter().zip(&piped.class_latency) {
+                    assert_eq!(s.count(), p.count(), "{label}: class count");
+                    assert_eq!(s.mean().to_bits(), p.mean().to_bits(), "{label}: class mean");
+                }
+                let sc = serial.coupler.unwrap();
+                let pc = piped.coupler.unwrap();
+                assert_eq!(sc.calibrations, pc.calibrations, "{label}: calibrations");
+                assert_eq!(sc.measured, pc.measured, "{label}: measured");
+                assert_eq!(
+                    sc.drift.mean().to_bits(),
+                    pc.drift.mean().to_bits(),
+                    "{label}: drift"
+                );
+                assert_eq!(sc.spec_commits, 0, "{label}: serial never speculates");
+                assert!(
+                    pc.spec_commits + pc.spec_rollbacks > 0,
+                    "{label}: pipelined run decided no speculation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_rollbacks_converge_to_serial() {
+        // The first calibration always moves the model off its cold-start
+        // fit, so an early speculative window diverges and rolls back; the
+        // surviving timeline must still equal serial bit-for-bit.
+        let target = small_target();
+        let app = AppProfile::ocean();
+        let run = |pipeline: bool| {
+            RunSpec::new(&target, &app)
+                .mode(ModeSpec::Reciprocal { quantum: 400, workers: 0, pipeline })
+                .instructions(500)
+                .budget(2_000_000)
+                .seed(9)
+                .run()
+                .unwrap()
+        };
+        let serial = run(false);
+        let piped = run(true);
+        let pc = piped.coupler.as_ref().unwrap();
+        assert!(pc.spec_rollbacks > 0, "loaded run must roll back at least once: {pc:?}");
+        assert!(pc.spec_wasted_cycles > 0);
+        assert_eq!(
+            pc.spec_commits + pc.spec_rollbacks,
+            pc.calibrations,
+            "every calibrated window is decided exactly once"
+        );
+        assert_eq!(serial.cycles, piped.cycles);
+        assert_eq!(serial.messages, piped.messages);
+        assert_eq!(
+            serial.latency.mean().to_bits(),
+            piped.latency.mean().to_bits()
+        );
     }
 
     #[test]
@@ -617,7 +858,7 @@ mod tests {
         };
         let truth = run(ModeSpec::Lockstep);
         let hop = run(ModeSpec::Hop);
-        let recip = run(ModeSpec::Reciprocal { quantum: 500, workers: 0 });
+        let recip = run(ModeSpec::Reciprocal { quantum: 500, workers: 0, pipeline: false });
         let hop_err = percent_error(hop.avg_latency(), truth.avg_latency());
         let recip_err = percent_error(recip.avg_latency(), truth.avg_latency());
         assert!(

@@ -27,7 +27,7 @@
 //! let target = Target::cmp(4, 4);
 //! let app = AppProfile::water();
 //! let result = RunSpec::new(&target, &app)
-//!     .mode(ModeSpec::Reciprocal { quantum: 500, workers: 0 })
+//!     .mode(ModeSpec::Reciprocal { quantum: 500, workers: 0, pipeline: false })
 //!     .instructions(200) // per core
 //!     .budget(500_000)   // cycle cap
 //!     .seed(1)
@@ -44,9 +44,10 @@ pub mod reciprocal;
 pub mod target;
 
 pub use driver::{format_row, percent_error, ModeSpec, ParseModeError, RunResult, RunSpec};
-pub use probe::LatencyProbe;
+pub use probe::{LatencyProbe, ProbeSnapshot};
 pub use record::{replay_into, RecordedMessage, TrafficRecord};
 pub use reciprocal::{
-    AdaptiveQuantum, CouplerStats, FallbackPolicy, ReciprocalNetwork, TripRecord, TRIP_HISTORY,
+    AdaptiveQuantum, CouplerStats, FallbackPolicy, ReciprocalNetwork, SpecState, TripRecord,
+    TRIP_HISTORY,
 };
 pub use target::{Target, STANDARD_CORE_COUNTS};

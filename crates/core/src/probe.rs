@@ -77,6 +77,32 @@ impl<N: Network> LatencyProbe<N> {
     pub fn class_latency(&self, class: MessageClass) -> &Summary {
         &self.per_class[class.vnet()]
     }
+
+    /// Checkpoints the probe's own measurement state (not the wrapped
+    /// network). Part of the speculative-pipelining checkpoint set.
+    pub fn snapshot(&self) -> ProbeSnapshot {
+        ProbeSnapshot {
+            inject_times: self.inject_times.clone(),
+            latency: self.latency,
+            per_class: self.per_class.clone(),
+        }
+    }
+
+    /// Rewinds the measurement state to `snap`, leaving the wrapped
+    /// network alone (the caller rewinds it separately).
+    pub fn restore(&mut self, snap: &ProbeSnapshot) {
+        self.inject_times.clone_from(&snap.inject_times);
+        self.latency = snap.latency;
+        self.per_class.clone_from(&snap.per_class);
+    }
+}
+
+/// A [`LatencyProbe`] measurement checkpoint (see [`LatencyProbe::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct ProbeSnapshot {
+    inject_times: HashMap<u64, u64>,
+    latency: Summary,
+    per_class: Vec<Summary>,
 }
 
 impl<N: Network> Network for LatencyProbe<N> {

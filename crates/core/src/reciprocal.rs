@@ -1,11 +1,13 @@
 //! The reciprocal-abstraction coupler.
 
 use std::collections::HashMap;
+use std::sync::mpsc;
+use std::thread;
 use std::time::{Duration, Instant};
 
 use ra_gpu::ParallelEngine;
-use ra_netmodel::{AbstractNetwork, CalibratedModel, HopMetric};
-use ra_noc::{NocConfig, NocNetwork, TopologyKind};
+use ra_netmodel::{AbstractNetwork, CalibratedModel, HopMetric, LatencyModel, ModelQuery};
+use ra_noc::{NocConfig, NocNetwork, NocStats, NocWindowSnapshot, TopologyKind};
 use ra_obs::{DegradationState, Event, ObsSink, SpanKind};
 use ra_sim::{Cycle, Delivery, LatencyTable, NetMessage, Network, SimError, Summary};
 
@@ -82,6 +84,11 @@ pub struct TripRecord {
 /// first); [`CouplerStats::watchdog_trips`] still counts them all.
 pub const TRIP_HISTORY: usize = 8;
 
+/// Relative component of the resync threshold: drift under this fraction
+/// of the predicted mean latency never forces a resync (see
+/// [`ReciprocalNetwork::drift_threshold`]).
+const REL_DRIFT_FRAC: f64 = 0.10;
+
 /// Statistics of the reciprocal exchange itself.
 #[derive(Debug, Clone, Default)]
 pub struct CouplerStats {
@@ -119,6 +126,23 @@ pub struct CouplerStats {
     /// [`TRIP_HISTORY`] entries — earlier trips age out of the list but
     /// stay counted in [`watchdog_trips`](CouplerStats::watchdog_trips)).
     pub trips: Vec<TripRecord>,
+    /// Speculative quanta verified against the post-replay re-fit and
+    /// kept (pipelined mode; 0 on serial schedules).
+    pub spec_commits: u64,
+    /// Speculative quanta that diverged from the re-fit and were rolled
+    /// back to the checkpoint for serial re-execution.
+    pub spec_rollbacks: u64,
+    /// Simulated cycles executed speculatively and then discarded by
+    /// rollbacks (the wasted work the rollback rate buys).
+    pub spec_wasted_cycles: u64,
+    /// Calibrations whose drift crossed [`ReciprocalNetwork::drift_threshold`]
+    /// and resynced the serving model to the measurement chain. In a
+    /// fault-free pipelined run every rollback is such a resync.
+    pub model_resyncs: u64,
+    /// Final statistics of the detailed cycle-level NoC, captured by the
+    /// driver when a run ends (`None` for couplers stepped by hand). The
+    /// determinism suite compares these bit for bit across schedules.
+    pub noc: Option<NocStats>,
 }
 
 impl CouplerStats {
@@ -133,6 +157,135 @@ impl CouplerStats {
         }
         self.trips.push(TripRecord { cycle, cause });
     }
+}
+
+/// Where the speculative pipeline currently is (see
+/// [`ReciprocalNetwork::with_pipeline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecState {
+    /// No speculation in flight (serial schedule, or between windows).
+    Idle,
+    /// A detailed replay is running in the background while the full
+    /// system executes the next quantum against the predicted calibration.
+    Speculating,
+    /// The background replay is being joined and verified.
+    Committing,
+    /// The last speculation diverged; the coupler has rewound itself and
+    /// is waiting for the driver to rewind the full system and re-run.
+    RollingBack,
+}
+
+/// Everything the coupler remembers about an in-flight background replay,
+/// captured at spawn time so the join can reproduce the serial
+/// calibration bit-for-bit and rewind on divergence.
+#[derive(Debug)]
+struct PendingReplay {
+    /// Quantum boundary the replayed window ends at.
+    spawn_boundary: u64,
+    /// Window index of the replayed window (pre-increment).
+    window: u64,
+    /// The replayed window's predicted mean latency at spawn — what a
+    /// serial run would have read at its calibration, before the next
+    /// window's injections move the summary.
+    predicted_mean: f64,
+    /// Predicted-summary totals at spawn; installed as the coupler's
+    /// [`ReciprocalNetwork::predicted_mark`] when the join's calibration
+    /// succeeds (a trip leaves the mark alone, exactly like serial).
+    predicted_mark: (u64, f64),
+    /// Quantum length entering the speculated window; an adaptive resize
+    /// at the join forces a rollback because it moves the next boundary.
+    quantum_at_spawn: u64,
+    /// Detailed clock at spawn (for `detailed_cycles` accounting).
+    from_cycle: u64,
+    /// Flits delivered at spawn (watchdog heartbeat baseline).
+    flits_before: u64,
+    /// Fault-dropped flits at spawn (drop-delta supervision baseline).
+    drops_before: u64,
+    /// Counter baseline for the window's [`Event::NocWindow`].
+    snap: NocWindowSnapshot,
+    /// The whole fast path at spawn — the rollback restore point. The
+    /// remaining actions of the boundary cycle's `step` never touch the
+    /// network, so this equals the serial end-of-boundary-step state.
+    fast_snapshot: AbstractNetwork<CalibratedModel>,
+}
+
+/// One window replay shipped to the background worker thread.
+struct ReplayJob {
+    detailed: NocNetwork,
+    engine: Option<ParallelEngine>,
+    target: u64,
+    sample_every: u32,
+}
+
+/// The worker's reply: the NoC (and engine) handed back, the run verdict,
+/// and the wall clock the replay cost.
+struct ReplayDone {
+    detailed: NocNetwork,
+    engine: Option<ParallelEngine>,
+    result: Result<(), SimError>,
+    elapsed: Duration,
+}
+
+/// The persistent background replay thread: one job in flight at a time,
+/// the NoC and parallel engine move in and out per window.
+#[derive(Debug)]
+struct ReplayWorker {
+    job_tx: mpsc::Sender<ReplayJob>,
+    done_rx: mpsc::Receiver<ReplayDone>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+fn replay_worker(jobs: &mpsc::Receiver<ReplayJob>, done: &mpsc::Sender<ReplayDone>) {
+    while let Ok(mut job) = jobs.recv() {
+        let started = Instant::now();
+        let result = run_window(
+            &mut job.detailed,
+            job.engine.as_mut(),
+            job.target,
+            job.sample_every,
+        );
+        if done
+            .send(ReplayDone {
+                detailed: job.detailed,
+                engine: job.engine,
+                result,
+                elapsed: started.elapsed(),
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Steps the detailed NoC through one quantum (and, in sampled mode,
+/// drains it), on whichever engine is configured. Shared verbatim by the
+/// serial calibration path and the background replay worker so both
+/// schedules run the identical window.
+fn run_window(
+    detailed: &mut NocNetwork,
+    engine: Option<&mut ParallelEngine>,
+    target: u64,
+    sample_every: u32,
+) -> Result<(), SimError> {
+    match engine {
+        Some(engine) => {
+            // One batched call for the whole window: the engine chunks
+            // it into multi-cycle jobs (amortizing barrier crossings)
+            // and fast-forwards fully drained idle stretches.
+            if detailed.next_cycle() <= target {
+                let cycles = target + 1 - detailed.next_cycle();
+                engine.run_cycles(detailed, cycles)?;
+            }
+        }
+        None => detailed.tick(Cycle(target)),
+    }
+    if sample_every > 1 {
+        // Sampled mode: drain the window's traffic so its measurements
+        // are complete and the detailed clock can skip the next gap.
+        detailed.run_until_drained(1_000_000)?;
+    }
+    Ok(())
 }
 
 /// Reciprocal-abstraction network: the paper's contribution.
@@ -174,7 +327,19 @@ impl CouplerStats {
 #[derive(Debug)]
 pub struct ReciprocalNetwork {
     fast: AbstractNetwork<CalibratedModel>,
-    detailed: NocNetwork,
+    /// The continuously re-fitted calibration chain. Every sampled window's
+    /// measurements fold in here, but the *serving* model inside `fast`
+    /// only resyncs to it when a window's drift exceeds
+    /// [`Self::drift_threshold`] — the prediction-packetizing protocol that
+    /// lets a speculative window run on the current serving model and
+    /// commit whenever the serial schedule would have kept serving it too.
+    fit: CalibratedModel,
+    /// The cycle-level NoC. `None` exactly while a background replay has
+    /// it on the worker thread (pipelined mode).
+    detailed: Option<NocNetwork>,
+    /// The NoC configuration, kept for watchdog rebuilds even while the
+    /// NoC itself is away on the replay worker.
+    cfg: NocConfig,
     engine: Option<ParallelEngine>,
     quantum: u64,
     adaptive: Option<AdaptiveQuantum>,
@@ -202,6 +367,32 @@ pub struct ReciprocalNetwork {
     /// Degradation state last reported on the sink, for edge-triggered
     /// [`Event::Degradation`] emission.
     last_state: DegradationState,
+    /// Speculative pipelining requested (see
+    /// [`ReciprocalNetwork::with_pipeline`]); effective only when
+    /// `sample_every == 1`.
+    pipeline: bool,
+    /// The in-flight background replay, if any.
+    pending: Option<PendingReplay>,
+    /// Injections made during a speculative window, buffered for the
+    /// detailed NoC (flushed on commit, discarded on rollback — the
+    /// serial re-run re-injects them live).
+    spec_buffer: Vec<(NetMessage, Cycle)>,
+    /// Every fast-path model consultation made during the speculative
+    /// window, re-checked against the re-fit model at the join.
+    query_log: Vec<ModelQuery>,
+    /// `(count, sum)` of the fast path's predicted-latency summary at the
+    /// last calibration boundary, so each window's drift compares against
+    /// what the model predicted *for that window* rather than the
+    /// run-cumulative mean (which a congestion trend would dominate).
+    predicted_mark: (u64, f64),
+    /// Set when a join decided a rollback: the boundary whose end-of-step
+    /// checkpoint the driver must restore (see
+    /// [`ReciprocalNetwork::take_rollback`]).
+    rollback: Option<u64>,
+    /// The persistent replay thread, spawned lazily at first speculation.
+    worker: Option<ReplayWorker>,
+    /// Current pipeline state, for observability.
+    spec_state: SpecState,
 }
 
 impl ReciprocalNetwork {
@@ -226,10 +417,13 @@ impl ReciprocalNetwork {
         };
         let diameter = detailed.topology().diameter();
         let model = CalibratedModel::new(diameter, 0.5);
+        let fit = model.clone();
         let fast = AbstractNetwork::new(model, metric, cfg.flit_bytes);
         Ok(ReciprocalNetwork {
             fast,
-            detailed,
+            fit,
+            detailed: Some(detailed),
+            cfg,
             engine: (workers > 0).then(|| ParallelEngine::new(workers)),
             quantum: quantum.max(1),
             adaptive: None,
@@ -246,6 +440,14 @@ impl ReciprocalNetwork {
             abandoned: false,
             sink: ObsSink::disabled(),
             last_state: DegradationState::Healthy,
+            pipeline: false,
+            pending: None,
+            spec_buffer: Vec::new(),
+            query_log: Vec::new(),
+            predicted_mark: (0, 0.0),
+            rollback: None,
+            worker: None,
+            spec_state: SpecState::Idle,
         })
     }
 
@@ -256,7 +458,7 @@ impl ReciprocalNetwork {
     /// whole stack in order.
     #[must_use]
     pub fn with_sink(mut self, sink: ObsSink) -> Self {
-        self.detailed.set_sink(sink.clone());
+        self.det_mut().set_sink(sink.clone());
         if let Some(engine) = self.engine.as_mut() {
             engine.set_sink(sink.clone());
         }
@@ -297,6 +499,25 @@ impl ReciprocalNetwork {
         self
     }
 
+    /// Enables speculative quantum pipelining: at each quantum boundary
+    /// the detailed window is replayed on a background thread while the
+    /// full system runs the *next* quantum against the current (predicted)
+    /// calibration. The join verifies every model answer the speculative
+    /// window saw against the post-replay re-fit; on any divergence (or an
+    /// adaptive quantum resize) the coupler rewinds itself and reports a
+    /// rollback via [`ReciprocalNetwork::take_rollback`].
+    ///
+    /// The caller must be rollback-capable: it must checkpoint the rest of
+    /// the simulation at every boundary and rewind it when
+    /// `take_rollback` fires (the `RunSpec` driver does). Ineffective in
+    /// sampled mode (`sample_every > 1`), where the serial schedule is
+    /// kept.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: bool) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
     /// The calibration quantum in cycles (current value when adaptive).
     pub fn quantum(&self) -> u64 {
         self.quantum
@@ -308,13 +529,135 @@ impl ReciprocalNetwork {
     }
 
     /// The calibrated model currently answering the full system.
+    ///
+    /// This is the *serving* model: it lags the measurement chain (see
+    /// [`Self::fit_model`]) until a window's drift crosses
+    /// [`Self::drift_threshold`] and forces a resync.
     pub fn model(&self) -> &CalibratedModel {
         self.fast.model()
     }
 
+    /// The continuously re-fitted calibration chain — every sampled
+    /// window's detailed measurements are folded in here regardless of
+    /// whether the serving model has resynced to them yet.
+    pub fn fit_model(&self) -> &CalibratedModel {
+        &self.fit
+    }
+
+    /// The base drift (in cycles of mean latency) past which a calibration
+    /// resyncs the serving model to the measurement chain: the adaptive
+    /// controller's `target_drift` when adaptive quantum control is on,
+    /// otherwise [`AdaptiveQuantum::default`]'s. In a pipelined run this
+    /// same threshold is the speculation-abort signal — a window whose
+    /// drift stays inside it commits, one that crosses it rolls back.
+    ///
+    /// The effective threshold scales with latency magnitude: a window
+    /// resyncs when drift exceeds `max(base, 10% of predicted mean)`, so a
+    /// 2-cycle gap aborts speculation on a lightly loaded 20-cycle network
+    /// but not on a congested 70-cycle one where it is measurement noise.
+    pub fn drift_threshold(&self) -> f64 {
+        self.adaptive
+            .map_or(AdaptiveQuantum::default().target_drift, |c| c.target_drift)
+    }
+
+    /// Whether a calibration with the given window drift resyncs the
+    /// serving model (serial) / aborts the speculation (pipelined). The
+    /// very first fit always installs — an uncalibrated prior has nothing
+    /// to be faithful to.
+    fn should_resync(&self, drift: f64, predicted: f64) -> bool {
+        self.fast.model().updates() == 0
+            || drift > self.drift_threshold().max(REL_DRIFT_FRAC * predicted.abs())
+    }
+
+    /// The mean latency the serving model predicted for the window that
+    /// just ended (queries since [`Self::predicted_mark`]; run-cumulative
+    /// mean when the window made none), plus the summary totals the mark
+    /// must advance to once this window's calibration succeeds.
+    fn window_predicted(&self) -> (f64, (u64, f64)) {
+        let s = self.fast.predicted_latency();
+        let count = s.count();
+        let sum = s.mean() * count as f64;
+        let (c0, s0) = self.predicted_mark;
+        let mean = if count > c0 {
+            (sum - s0) / (count - c0) as f64
+        } else {
+            s.mean()
+        };
+        (mean, (count, sum))
+    }
+
     /// The detailed cycle-level network (for end-of-run statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a background replay holds the NoC — i.e.
+    /// between quantum boundaries of a pipelined run before
+    /// [`ReciprocalNetwork::finalize`].
     pub fn detailed(&self) -> &NocNetwork {
-        &self.detailed
+        self.det()
+    }
+
+    fn det(&self) -> &NocNetwork {
+        self.detailed
+            .as_ref()
+            .expect("detailed NoC is away on the replay worker")
+    }
+
+    fn det_mut(&mut self) -> &mut NocNetwork {
+        self.detailed
+            .as_mut()
+            .expect("detailed NoC is away on the replay worker")
+    }
+
+    /// True when this coupler runs the speculative pipelined schedule.
+    pub fn pipelined(&self) -> bool {
+        self.pipeline && self.sample_every == 1
+    }
+
+    /// Where the speculative pipeline currently is.
+    pub fn spec_state(&self) -> SpecState {
+        self.spec_state
+    }
+
+    /// The cycle the next calibration fires at — the boundary a
+    /// rollback-capable driver should pause and checkpoint after.
+    pub fn next_boundary(&self) -> u64 {
+        self.next_calibration
+    }
+
+    /// If the last quantum boundary decided a rollback, returns the
+    /// boundary whose end-of-step checkpoint the driver must restore
+    /// (clearing the flag). The coupler has already rewound its own fast
+    /// path, installed the corrected re-fit, and reset
+    /// [`next_boundary`](Self::next_boundary); the driver restores the
+    /// full system and re-runs the window, injecting live into the
+    /// detailed NoC.
+    /// True if the last quantum boundary decided a rollback that has not
+    /// been taken yet (see [`take_rollback`](Self::take_rollback)).
+    pub fn has_rollback(&self) -> bool {
+        self.rollback.is_some()
+    }
+
+    pub fn take_rollback(&mut self) -> Option<u64> {
+        let taken = self.rollback.take();
+        if taken.is_some() {
+            debug_assert_eq!(self.spec_state, SpecState::RollingBack);
+            self.spec_state = SpecState::Idle;
+        }
+        taken
+    }
+
+    /// Joins any outstanding background replay and decides the
+    /// speculative window in progress at cycle `now` (end-of-run or error
+    /// finalization). Returns `true` if the speculation committed — the
+    /// coupler's statistics are final and the run result is trustworthy —
+    /// or `false` if it rolled back, in which case the driver must
+    /// restore its checkpoint (see [`Self::take_rollback`]) and re-run.
+    pub fn finalize(&mut self, now: u64) -> bool {
+        if self.pending.is_none() {
+            return true;
+        }
+        self.join_and_decide(now)
     }
 
     /// True while the detailed model is out of service (tripped and backing
@@ -336,16 +679,26 @@ impl ReciprocalNetwork {
     /// heartbeat showing the quantum made no progress — aborts the
     /// calibration and is handed to [`trip`](Self::trip) by the caller.
     fn calibrate(&mut self, target: u64) -> Result<(), SimError> {
+        let mut detailed = self
+            .detailed
+            .take()
+            .expect("detailed NoC is away on the replay worker");
+        let result = self.calibrate_with(&mut detailed, target);
+        self.detailed = Some(detailed);
+        result
+    }
+
+    fn calibrate_with(&mut self, detailed: &mut NocNetwork, target: u64) -> Result<(), SimError> {
         // Run the detailed NoC through the window.
-        let snap = self.detailed.window_snapshot();
+        let snap = detailed.window_snapshot();
         let started = Instant::now();
-        let from = self.detailed.next_cycle();
-        let flits_before = self.detailed.stats().flits_delivered;
-        let drops_before = self.detailed.stats().faults.flits_dropped();
-        let run = self.run_detailed_window(target);
+        let from = detailed.next_cycle();
+        let flits_before = detailed.stats().flits_delivered;
+        let drops_before = detailed.stats().faults.flits_dropped();
+        let run = run_window(detailed, self.engine.as_mut(), target, self.sample_every);
         let detailed_elapsed = started.elapsed();
         self.stats.detailed_wall += detailed_elapsed;
-        self.stats.detailed_cycles += self.detailed.next_cycle().saturating_sub(from);
+        self.stats.detailed_cycles += detailed.next_cycle().saturating_sub(from);
         // Even a window that trips spent this wall-clock on the detailed
         // path; account it before propagating the error.
         self.sink.emit(|| Event::Span {
@@ -353,67 +706,40 @@ impl ReciprocalNetwork {
             nanos: detailed_elapsed.as_nanos() as u64,
         });
         run?;
-        self.detailed.emit_window(&snap);
-        // Watchdog heartbeat: the detailed model has stopped delivering —
-        // a deadlock (total inactivity with traffic pending) or a fault
-        // black-holing messages (two full quanta with traffic in flight
-        // but not one flit delivered; one quantum alone could be a
-        // legitimate tail injection still crossing the network).
-        self.detailed.check_invariant()?;
-        self.detailed.audit()?;
-        // Flits lost to link faults mean packets that can never be
-        // delivered: the detailed model's measurements are no longer
-        // trustworthy and its in-flight count will never drain. (Detoured
-        // traffic does not drop flits and does not trip this.)
-        let drop_delta = self.detailed.stats().faults.flits_dropped() - drops_before;
-        if drop_delta > 0 {
-            return Err(SimError::Fault {
-                component: "detailed-noc".into(),
-                detail: format!("{drop_delta} flits lost to link faults in the quantum"),
-            });
-        }
-        let flit_delta = self.detailed.stats().flits_delivered - flits_before;
-        if self.detailed.in_flight() > 0 && flit_delta == 0 {
-            self.stalled_quanta += 1;
-        } else {
-            self.stalled_quanta = 0;
-        }
-        let deadlocked =
-            self.detailed.in_flight() > 0 && self.detailed.idle_cycles() >= self.quantum;
-        if self.stalled_quanta >= 2 || deadlocked {
-            self.stalled_quanta = 0;
-            return Err(SimError::Timeout {
-                budget: self.quantum,
-                waiting_for: format!(
-                    "{} in-flight messages made no progress for a full quantum",
-                    self.detailed.in_flight()
-                ),
-            });
-        }
+        detailed.emit_window(&snap);
+        self.supervise(detailed, flits_before, drops_before, self.quantum)?;
         // Measure what it delivered.
         let cal_started = Instant::now();
-        let target = self.detailed.next_cycle().max(target);
+        let target = detailed.next_cycle().max(target);
         let mut window_mean = Summary::new();
-        for d in self.detailed.drain_delivered(Cycle(target)) {
+        for d in detailed.drain_delivered(Cycle(target)) {
             let Some(injected) = self.inject_times.remove(&d.msg.id) else {
                 continue;
             };
             let latency = (d.at.0 - injected) as f64;
-            let hops = self.detailed.topology().hops(d.msg.src, d.msg.dst);
+            let hops = detailed.topology().hops(d.msg.src, d.msg.dst);
             self.measured.record(d.msg.class, hops, latency);
             window_mean.record(latency);
             self.stats.measured += 1;
         }
         let quantum_before = self.quantum;
-        let predicted = self.fast.predicted_latency().mean();
+        let (predicted, mark) = self.window_predicted();
+        self.predicted_mark = mark;
         let mut drift = 0.0;
         if window_mean.count() > 0 {
             drift = (window_mean.mean() - predicted).abs();
             self.stats.drift.record(drift);
-            // Reciprocal exchange: the detailed model re-fits the abstract
-            // one the full system will use for the next quantum.
-            self.fast.model_mut().update(&self.measured);
+            // Reciprocal exchange: the detailed measurements always fold
+            // into the calibration chain, but the full system only sees
+            // the new fit when its predictions drifted past the threshold
+            // — a stable model keeps serving unchanged (and, pipelined,
+            // lets the next window speculate on it and commit).
+            self.fit.update(&self.measured);
             self.measured.clear();
+            if self.should_resync(drift, predicted) {
+                *self.fast.model_mut() = self.fit.clone();
+                self.stats.model_resyncs += 1;
+            }
             if let Some(ctl) = self.adaptive {
                 if drift > ctl.target_drift {
                     self.quantum = (self.quantum / 2).max(ctl.min.max(1));
@@ -444,25 +770,50 @@ impl ReciprocalNetwork {
         Ok(())
     }
 
-    /// Steps the detailed NoC through one quantum (and, in sampled mode,
-    /// drains it), on whichever engine is configured.
-    fn run_detailed_window(&mut self, target: u64) -> Result<(), SimError> {
-        match self.engine.as_mut() {
-            Some(engine) => {
-                // One batched call for the whole window: the engine chunks
-                // it into multi-cycle jobs (amortizing barrier crossings)
-                // and fast-forwards fully drained idle stretches.
-                if self.detailed.next_cycle() <= target {
-                    let cycles = target + 1 - self.detailed.next_cycle();
-                    engine.run_cycles(&mut self.detailed, cycles)?;
-                }
-            }
-            None => self.detailed.tick(Cycle(target)),
+    /// Watchdog supervision of a window the detailed NoC just ran, shared
+    /// by the serial calibration and the pipelined join: a violated router
+    /// invariant, a failed conservation audit, flits lost to link faults,
+    /// or a heartbeat showing the quantum made no progress — a deadlock
+    /// (total inactivity with traffic pending) or a fault black-holing
+    /// messages (two full quanta with traffic in flight but not one flit
+    /// delivered; one quantum alone could be a legitimate tail injection
+    /// still crossing the network).
+    fn supervise(
+        &mut self,
+        detailed: &NocNetwork,
+        flits_before: u64,
+        drops_before: u64,
+        quantum: u64,
+    ) -> Result<(), SimError> {
+        detailed.check_invariant()?;
+        detailed.audit()?;
+        // Flits lost to link faults mean packets that can never be
+        // delivered: the detailed model's measurements are no longer
+        // trustworthy and its in-flight count will never drain. (Detoured
+        // traffic does not drop flits and does not trip this.)
+        let drop_delta = detailed.stats().faults.flits_dropped() - drops_before;
+        if drop_delta > 0 {
+            return Err(SimError::Fault {
+                component: "detailed-noc".into(),
+                detail: format!("{drop_delta} flits lost to link faults in the quantum"),
+            });
         }
-        if self.sample_every > 1 {
-            // Sampled mode: drain the window's traffic so its measurements
-            // are complete and the detailed clock can skip the next gap.
-            self.detailed.run_until_drained(1_000_000)?;
+        let flit_delta = detailed.stats().flits_delivered - flits_before;
+        if detailed.in_flight() > 0 && flit_delta == 0 {
+            self.stalled_quanta += 1;
+        } else {
+            self.stalled_quanta = 0;
+        }
+        let deadlocked = detailed.in_flight() > 0 && detailed.idle_cycles() >= quantum;
+        if self.stalled_quanta >= 2 || deadlocked {
+            self.stalled_quanta = 0;
+            return Err(SimError::Timeout {
+                budget: quantum,
+                waiting_for: format!(
+                    "{} in-flight messages made no progress for a full quantum",
+                    detailed.in_flight()
+                ),
+            });
         }
         Ok(())
     }
@@ -484,14 +835,14 @@ impl ReciprocalNetwork {
         });
         self.stats.quanta_degraded += 1;
         self.stats.calibration_age += 1;
-        self.stats.messages_rerouted += self.detailed.in_flight() as u64;
+        self.stats.messages_rerouted += self.detailed.as_ref().map_or(0, |d| d.in_flight() as u64);
         self.consecutive_trips += 1;
         self.inject_times.clear();
         self.measured.clear();
-        match NocNetwork::new(self.detailed.config().clone()) {
+        match NocNetwork::new(self.cfg.clone()) {
             Ok(mut fresh) => {
                 fresh.set_sink(self.sink.clone());
-                self.detailed = fresh;
+                self.detailed = Some(fresh);
             }
             // The config validated once already; if a rebuild somehow
             // fails, give up on the detailed path entirely.
@@ -507,6 +858,283 @@ impl ReciprocalNetwork {
             self.backoff_remaining =
                 u64::from(self.policy.backoff_quanta) * u64::from(self.consecutive_trips);
         }
+    }
+
+    /// Ships the window ending at `boundary` to the background replay
+    /// thread and opens a speculative window on the current (predicted)
+    /// calibration. Returns `false` if no worker is available — the caller
+    /// then falls back to the serial schedule.
+    fn spawn_replay(&mut self, boundary: u64) -> bool {
+        if self.worker.is_none() {
+            let (job_tx, job_rx) = mpsc::channel();
+            let (done_tx, done_rx) = mpsc::channel();
+            let spawned = thread::Builder::new()
+                .name("ra-replay".into())
+                .spawn(move || replay_worker(&job_rx, &done_tx));
+            match spawned {
+                Ok(handle) => {
+                    self.worker = Some(ReplayWorker {
+                        job_tx,
+                        done_rx,
+                        handle: Some(handle),
+                    });
+                }
+                Err(_) => return false,
+            }
+        }
+        let Some(detailed) = self.detailed.take() else {
+            return false;
+        };
+        let (predicted_mean, predicted_mark) = self.window_predicted();
+        let pending = PendingReplay {
+            spawn_boundary: boundary,
+            window: self.window_idx,
+            predicted_mean,
+            predicted_mark,
+            quantum_at_spawn: self.quantum,
+            from_cycle: detailed.next_cycle(),
+            flits_before: detailed.stats().flits_delivered,
+            drops_before: detailed.stats().faults.flits_dropped(),
+            snap: detailed.window_snapshot(),
+            fast_snapshot: self.fast.clone(),
+        };
+        let job = ReplayJob {
+            detailed,
+            engine: self.engine.take(),
+            target: boundary,
+            sample_every: self.sample_every,
+        };
+        let worker = self.worker.as_ref().expect("worker ensured above");
+        match worker.job_tx.send(job) {
+            Ok(()) => {
+                self.pending = Some(pending);
+                self.spec_state = SpecState::Speculating;
+                true
+            }
+            Err(mpsc::SendError(job)) => {
+                // The worker thread died: recover the NoC and engine from
+                // the undelivered job and go serial.
+                self.detailed = Some(job.detailed);
+                self.engine = job.engine;
+                self.reap_worker();
+                false
+            }
+        }
+    }
+
+    /// Joins and drops the worker thread (closing its job channel first so
+    /// its `recv` unblocks).
+    fn reap_worker(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            let ReplayWorker {
+                job_tx,
+                done_rx,
+                handle,
+            } = worker;
+            drop(job_tx);
+            drop(done_rx);
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Joins the background replay of the window ending at the pending
+    /// spawn boundary, reproduces the serial calibration bit-for-bit, and
+    /// verifies every model answer the speculative window (which ran up to
+    /// `at`) saw against the re-fit. Returns `true` on commit — the
+    /// speculation is bit-identical to the serial schedule — or `false` on
+    /// rollback, with the coupler rewound and
+    /// [`take_rollback`](Self::take_rollback) armed for the driver.
+    fn join_and_decide(&mut self, at: u64) -> bool {
+        let pending = self.pending.take().expect("join without a pending replay");
+        self.spec_state = SpecState::Committing;
+        let pb = pending.spawn_boundary;
+        let speculated = at.saturating_sub(pb);
+        let Some(done) = self.worker.as_ref().and_then(|w| w.done_rx.recv().ok()) else {
+            // The worker died with the NoC on board. Treat it like any
+            // other watchdog event: rebuild from config and degrade. The
+            // speculation stands — a trip never changes the model, so it
+            // consulted exactly what a degraded serial window would have.
+            self.reap_worker();
+            self.engine = None;
+            let err = SimError::Fault {
+                component: "replay-worker".into(),
+                detail: "background replay thread died".into(),
+            };
+            self.trip(pb, &err);
+            self.commit_as_degraded(&pending, at, speculated);
+            self.pipeline = false;
+            return true;
+        };
+        self.engine = done.engine;
+        let mut detailed = done.detailed;
+        self.stats.detailed_wall += done.elapsed;
+        self.stats.detailed_cycles += detailed.next_cycle().saturating_sub(pending.from_cycle);
+        self.sink.emit(|| Event::Span {
+            kind: SpanKind::DetailedStep,
+            nanos: done.elapsed.as_nanos() as u64,
+        });
+        // The serial supervision chain, on the replayed window.
+        let verdict = done.result.and_then(|()| {
+            detailed.emit_window(&pending.snap);
+            self.supervise(
+                &detailed,
+                pending.flits_before,
+                pending.drops_before,
+                pending.quantum_at_spawn,
+            )
+        });
+        if let Err(err) = verdict {
+            // A trip discovered at the join. The serial schedule would
+            // have tripped at this boundary *before* running the window we
+            // just speculated — but a trip leaves the model untouched, so
+            // the speculation consulted exactly the calibration a degraded
+            // serial window would have. Commit it as a degraded window.
+            self.detailed = Some(detailed);
+            self.trip(pb, &err);
+            self.commit_as_degraded(&pending, at, speculated);
+            return true;
+        }
+        // Reproduce the serial measurement + re-fit at boundary `pb`.
+        let cal_started = Instant::now();
+        let target = detailed.next_cycle().max(pb);
+        let mut window_mean = Summary::new();
+        for d in detailed.drain_delivered(Cycle(target)) {
+            let Some(injected) = self.inject_times.remove(&d.msg.id) else {
+                continue;
+            };
+            let latency = (d.at.0 - injected) as f64;
+            let hops = detailed.topology().hops(d.msg.src, d.msg.dst);
+            self.measured.record(d.msg.class, hops, latency);
+            window_mean.record(latency);
+            self.stats.measured += 1;
+        }
+        let quantum_before = self.quantum;
+        let predicted = pending.predicted_mean;
+        self.predicted_mark = pending.predicted_mark;
+        let mut drift = 0.0;
+        let mut resync = false;
+        if window_mean.count() > 0 {
+            drift = (window_mean.mean() - predicted).abs();
+            self.stats.drift.record(drift);
+            // The calibration-chain update the serial schedule would have
+            // made at `pb`: the chain is untouched since the spawn
+            // (speculative injections only move the load summaries), so
+            // this equals the serial update.
+            self.fit.update(&self.measured);
+            self.measured.clear();
+            resync = self.should_resync(drift, predicted);
+            if let Some(ctl) = self.adaptive {
+                if drift > ctl.target_drift {
+                    self.quantum = (self.quantum / 2).max(ctl.min.max(1));
+                } else if drift < ctl.target_drift / 2.0 {
+                    self.quantum = (self.quantum * 2).min(ctl.max.max(1));
+                }
+            }
+        }
+        self.stats.calibrations += 1;
+        self.consecutive_trips = 0;
+        self.stats.calibration_age = 0;
+        let cal_elapsed = cal_started.elapsed();
+        self.stats.calibrate_wall += cal_elapsed;
+        self.sink.emit(|| Event::Span {
+            kind: SpanKind::Calibrate,
+            nanos: cal_elapsed.as_nanos() as u64,
+        });
+        self.sink.emit(|| Event::QuantumReport {
+            window: pending.window,
+            boundary: target,
+            predicted,
+            measured: window_mean.mean(),
+            drift,
+            samples: window_mean.count(),
+            quantum_before,
+            quantum_after: self.quantum,
+        });
+        // Verification: would the serial schedule have answered every
+        // query identically? When the drift stayed inside the threshold
+        // the serial fast path would have kept serving the very model the
+        // speculation consulted, so every answer matches by construction;
+        // past the threshold the serial schedule resyncs to the re-fit,
+        // and any divergent answer (or an adaptive quantum resize, which
+        // moves this very boundary) is a rollback.
+        let check = if resync { &self.fit } else { self.fast.model() };
+        let mut mismatches: u64 = 0;
+        for q in &self.query_log {
+            if check.latency(&q.msg, &q.ctx).max(1) != q.latency {
+                mismatches += 1;
+            }
+        }
+        if mismatches == 0 && self.quantum == pending.quantum_at_spawn {
+            // Commit: resync if the serial schedule would have, and hand
+            // the detailed NoC the buffered message stream of the window
+            // it will replay next.
+            if resync {
+                *self.fast.model_mut() = self.fit.clone();
+                self.stats.model_resyncs += 1;
+            }
+            for (msg, t) in self.spec_buffer.drain(..) {
+                if t.0 >= detailed.next_cycle() {
+                    self.inject_times.insert(msg.id, t.0);
+                    detailed.inject(msg, t);
+                }
+            }
+            self.detailed = Some(detailed);
+            self.query_log.clear();
+            self.stats.spec_commits += 1;
+            self.spec_state = SpecState::Idle;
+            self.sink.emit(|| Event::SpecCommit {
+                window: pending.window + 1,
+                boundary: at,
+                drift,
+                speculated_cycles: speculated,
+            });
+            true
+        } else {
+            // Rollback: rewind the fast path to its spawn snapshot (the
+            // serial end-of-boundary-step state), resync it to the
+            // corrected fit, and arm `take_rollback` so the driver rewinds
+            // the full system and re-runs the window serially.
+            self.fast = pending.fast_snapshot;
+            if resync {
+                *self.fast.model_mut() = self.fit.clone();
+                self.stats.model_resyncs += 1;
+            }
+            self.detailed = Some(detailed);
+            self.spec_buffer.clear();
+            self.query_log.clear();
+            self.stats.spec_rollbacks += 1;
+            self.stats.spec_wasted_cycles += speculated;
+            self.next_calibration = pb + self.quantum;
+            self.rollback = Some(pb);
+            self.spec_state = SpecState::RollingBack;
+            self.sink.emit(|| Event::SpecRollback {
+                window: pending.window + 1,
+                boundary: at,
+                drift,
+                wasted_cycles: speculated,
+                mismatches,
+            });
+            false
+        }
+    }
+
+    /// A speculative window whose join discovered a trip: its injections
+    /// ride the calibrated model alone, exactly like serial injections
+    /// made while degraded.
+    fn commit_as_degraded(&mut self, pending: &PendingReplay, at: u64, speculated: u64) {
+        self.stats.messages_rerouted += self.spec_buffer.len() as u64;
+        self.spec_buffer.clear();
+        self.query_log.clear();
+        self.stats.spec_commits += 1;
+        self.spec_state = SpecState::Idle;
+        self.sink.emit(|| Event::SpecCommit {
+            window: pending.window + 1,
+            boundary: at,
+            drift: 0.0,
+            speculated_cycles: speculated,
+        });
     }
 
     /// The coupler's current degradation state, for edge-triggered
@@ -539,6 +1167,16 @@ impl ReciprocalNetwork {
 
 impl Network for ReciprocalNetwork {
     fn inject(&mut self, msg: NetMessage, now: Cycle) {
+        if self.pending.is_some() {
+            // Speculative window: the fast path answers as usual, but the
+            // model's verdict is logged for the join's verification and
+            // the injection is buffered for the detailed NoC (flushed on
+            // commit, discarded on rollback — the re-run re-injects live).
+            let query = self.fast.inject_recorded(msg, now);
+            self.query_log.push(query);
+            self.spec_buffer.push((msg, now));
+            return;
+        }
         self.fast.inject(msg, now);
         if self.degraded() {
             // The detailed path is out of service: the message rides the
@@ -549,9 +1187,9 @@ impl Network for ReciprocalNetwork {
         // In sampled mode a drained window can overrun the boundary; a
         // message landing inside that overrun would be measured with an
         // inflated latency, so it is left out of the sample instead.
-        if self.window_sampled() && now.0 >= self.detailed.next_cycle() {
+        if self.window_sampled() && now.0 >= self.det().next_cycle() {
             self.inject_times.insert(msg.id, now.0);
-            self.detailed.inject(msg, now);
+            self.det_mut().inject(msg, now);
         }
     }
 
@@ -559,6 +1197,37 @@ impl Network for ReciprocalNetwork {
         self.fast.tick(now);
         while now.0 >= self.next_calibration {
             let boundary = self.next_calibration;
+            if self.pipelined() {
+                if self.pending.is_some() && !self.join_and_decide(boundary) {
+                    // Rolled back: the coupler has rewound itself; the
+                    // driver restores its checkpoint and re-runs.
+                    return;
+                }
+                if self.degraded() {
+                    self.stats.quanta_degraded += 1;
+                    self.stats.calibration_age += 1;
+                    self.backoff_remaining = self.backoff_remaining.saturating_sub(1);
+                    self.window_idx += 1;
+                    if !self.degraded() {
+                        // Readmitting the detailed model next window: jump
+                        // its clock over the degraded gap, exactly as the
+                        // serial schedule does.
+                        if let Err(err) = self.det_mut().skip_to(boundary) {
+                            self.trip(boundary, &err);
+                        }
+                    }
+                } else if self.spawn_replay(boundary) {
+                    self.window_idx += 1;
+                } else {
+                    // No worker thread could be obtained: fall back to the
+                    // serial schedule for good, reprocessing this boundary.
+                    self.pipeline = false;
+                    continue;
+                }
+                self.report_degradation(boundary);
+                self.next_calibration = boundary + self.quantum;
+                continue;
+            }
             if self.degraded() {
                 // Serve the quantum from the calibrated model alone; its
                 // answers age until the detailed model is readmitted.
@@ -574,7 +1243,7 @@ impl Network for ReciprocalNetwork {
             if !self.degraded() && self.window_sampled() {
                 // Entering a detailed window after skipped or degraded
                 // ones: jump the detailed clock over the un-simulated gap.
-                if let Err(err) = self.detailed.skip_to(boundary) {
+                if let Err(err) = self.det_mut().skip_to(boundary) {
                     self.trip(boundary, &err);
                 }
             }
@@ -590,6 +1259,15 @@ impl Network for ReciprocalNetwork {
 
     fn in_flight(&self) -> usize {
         self.fast.in_flight()
+    }
+}
+
+impl Drop for ReciprocalNetwork {
+    fn drop(&mut self) {
+        // Reap the replay thread. Closing the job channel unblocks its
+        // `recv`; a replay still in flight finishes first (its final send
+        // lands on an unbounded channel, so it can never block).
+        self.reap_worker();
     }
 }
 
@@ -734,11 +1412,14 @@ mod tests {
             }
             net.tick(Cycle(now));
         }
-        assert!(net.model().updates() >= 5);
+        assert!(net.fit_model().updates() >= 5);
         assert!(
-            (0..=6).any(|h| net.model().cell_estimate(MessageClass::Request, h).is_some()),
+            (0..=6).any(|h| net.fit_model().cell_estimate(MessageClass::Request, h).is_some()),
             "calibration must populate some Request cell"
         );
+        // The cold-start resync put real cells in front of the full system.
+        assert!(net.stats().model_resyncs > 0);
+        assert!(net.model().updates() > 0);
         // The fast path still delivers everything (grace period for the
         // tail injections).
         net.tick(Cycle(16_000));

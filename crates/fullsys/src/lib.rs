@@ -40,6 +40,6 @@ pub mod workload;
 pub use config::FullSysConfig;
 pub use protocol::{ProtoKind, ProtoMsg};
 pub use stats::{AggregateTileStats, FullSysStats};
-pub use system::FullSystem;
+pub use system::{FullSysSnapshot, FullSystem, RunProgress, SliceEnd};
 pub use tile::TileStats;
 pub use workload::{Op, ScriptedWorkload, SyntheticParams, SyntheticWorkload, Workload};

@@ -20,6 +20,54 @@ const WATCHDOG_CYCLES: u64 = 500_000;
 /// division; coarse enough that the atomic load stays off the hot path.
 const HALT_POLL_MASK: u64 = 0x1FF;
 
+/// A resumable checkpoint of everything in a [`FullSystem`] *except* the
+/// network: tiles (cores, private caches, in-flight protocol transactions),
+/// workload cursors (including RNG state), the cycle clock, the payload
+/// table, the message-id counter, and accumulated statistics.
+///
+/// The network is deliberately excluded: in the reciprocal-abstraction
+/// coupler the fast path snapshots itself (it is plain `Clone`) and the
+/// detailed NoC is never speculated, so a whole-system checkpoint would
+/// double-copy state the coupler already owns. Restoring a snapshot and
+/// the matching network state rewinds the simulation bit-exactly.
+#[derive(Debug, Clone)]
+pub struct FullSysSnapshot<W> {
+    tiles: Vec<Tile>,
+    workload: W,
+    now: u64,
+    payloads: HashMap<u64, ProtoMsg>,
+    next_msg_id: u64,
+    stats: FullSysStats,
+}
+
+impl<W> FullSysSnapshot<W> {
+    /// The cycle the snapshot was taken at.
+    pub fn at_cycle(&self) -> u64 {
+        self.now
+    }
+}
+
+/// Why a [`FullSystem::run_slice`] call returned without an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceEnd {
+    /// Every core met the instruction goal; payload = cycles elapsed since
+    /// the [`RunProgress`] was created by [`FullSystem::begin_run`].
+    Done(u64),
+    /// The `until` cycle was reached with the goal still outstanding.
+    Paused,
+}
+
+/// Watchdog and budget bookkeeping carried across [`FullSystem::run_slice`]
+/// calls, so a run split into slices behaves exactly like one
+/// [`FullSystem::run_until_instructions`] call. `Copy`, so a driver can
+/// checkpoint it alongside a [`FullSysSnapshot`] and rewind both.
+#[derive(Debug, Clone, Copy)]
+pub struct RunProgress {
+    start_cycle: u64,
+    last_progress_cycle: u64,
+    last_progress_instr: u64,
+}
+
 /// The coarse-grain full-system simulator: a grid of tiles exchanging
 /// coherence-protocol messages over any [`Network`] implementation.
 ///
@@ -212,13 +260,46 @@ impl<N: Network, W: Workload> FullSystem<N, W> {
     /// * [`SimError::Invariant`] if no instruction retires for a prolonged
     ///   period (protocol deadlock).
     pub fn run_until_instructions(&mut self, per_core: u64, budget: u64) -> Result<u64, SimError> {
-        let start_cycle = self.now;
-        let mut last_progress = (self.now, self.instructions());
+        let mut progress = self.begin_run();
+        match self.run_slice(per_core, budget, u64::MAX, &mut progress)? {
+            SliceEnd::Done(cycles) => Ok(cycles),
+            SliceEnd::Paused => unreachable!("cycle counter reached u64::MAX"),
+        }
+    }
+
+    /// Starts the bookkeeping for a sliced run (see [`FullSystem::run_slice`]).
+    pub fn begin_run(&self) -> RunProgress {
+        RunProgress {
+            start_cycle: self.now,
+            last_progress_cycle: self.now,
+            last_progress_instr: self.instructions(),
+        }
+    }
+
+    /// Runs like [`FullSystem::run_until_instructions`] but pauses (without
+    /// error) as soon as `self.now() >= until`, carrying watchdog state in
+    /// `progress` so a sequence of slices is check-for-check identical to
+    /// one uninterrupted run. The speculative-pipelining driver uses this
+    /// to stop at quantum boundaries, checkpoint, and resume or rewind.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`FullSystem::run_until_instructions`].
+    pub fn run_slice(
+        &mut self,
+        per_core: u64,
+        budget: u64,
+        until: u64,
+        progress: &mut RunProgress,
+    ) -> Result<SliceEnd, SimError> {
         loop {
-            if self.tiles.iter().all(|t| t.stats.instructions >= per_core) {
-                return Ok(self.now - start_cycle);
+            if self.now >= until {
+                return Ok(SliceEnd::Paused);
             }
-            if self.now - start_cycle > budget {
+            if self.tiles.iter().all(|t| t.stats.instructions >= per_core) {
+                return Ok(SliceEnd::Done(self.now - progress.start_cycle));
+            }
+            if self.now - progress.start_cycle > budget {
                 return Err(SimError::Timeout {
                     budget,
                     waiting_for: format!("{per_core} instructions per core"),
@@ -232,9 +313,10 @@ impl<N: Network, W: Workload> FullSystem<N, W> {
                 }
             }
             let instr = self.instructions();
-            if instr > last_progress.1 {
-                last_progress = (self.now, instr);
-            } else if self.now - last_progress.0 > WATCHDOG_CYCLES {
+            if instr > progress.last_progress_instr {
+                progress.last_progress_cycle = self.now;
+                progress.last_progress_instr = instr;
+            } else if self.now - progress.last_progress_cycle > WATCHDOG_CYCLES {
                 return Err(SimError::Invariant(format!(
                     "no instruction progress for {WATCHDOG_CYCLES} cycles \
                      ({} messages in flight)",
@@ -249,6 +331,35 @@ impl<N: Network, W: Workload> FullSystem<N, W> {
     /// statistics from a cycle-level NoC).
     pub fn into_network(self) -> N {
         self.net
+    }
+}
+
+impl<N: Network, W: Workload + Clone> FullSystem<N, W> {
+    /// Checkpoints everything except the network (see [`FullSysSnapshot`]).
+    ///
+    /// Taken between [`FullSystem::step`]s, where the outgoing-message
+    /// scratch buffer is empty by construction.
+    pub fn snapshot(&self) -> FullSysSnapshot<W> {
+        FullSysSnapshot {
+            tiles: self.tiles.clone(),
+            workload: self.workload.clone(),
+            now: self.now,
+            payloads: self.payloads.clone(),
+            next_msg_id: self.next_msg_id,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rewinds to `snap`. The network and halt flag are untouched — the
+    /// caller restores the network to the matching cycle itself.
+    pub fn restore(&mut self, snap: &FullSysSnapshot<W>) {
+        self.tiles.clone_from(&snap.tiles);
+        self.workload = snap.workload.clone();
+        self.now = snap.now;
+        self.payloads.clone_from(&snap.payloads);
+        self.next_msg_id = snap.next_msg_id;
+        self.stats = snap.stats.clone();
+        self.out.clear();
     }
 }
 
@@ -395,6 +506,59 @@ mod tests {
             (s.tiles.instructions, s.total_messages())
         }
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_bit_exactly() {
+        let cfg = FullSysConfig::new(4, 4);
+        let net = hop_net(&cfg);
+        let w = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 7);
+        let mut sys = FullSystem::new(cfg, net, w).unwrap();
+        sys.run_cycles(1_000);
+        let snap = sys.snapshot();
+        let net_snap = sys.network().clone();
+        sys.run_cycles(2_000);
+        let s = sys.stats();
+        let first = (sys.now(), sys.instructions(), s.total_messages(), s.cycles);
+        sys.restore(&snap);
+        *sys.network_mut() = net_snap;
+        assert_eq!(sys.now(), snap.at_cycle());
+        sys.run_cycles(2_000);
+        let s = sys.stats();
+        let second = (sys.now(), sys.instructions(), s.total_messages(), s.cycles);
+        assert_eq!(first, second, "restored run must replay bit-exactly");
+    }
+
+    #[test]
+    fn sliced_run_matches_monolithic_run() {
+        let build = || {
+            let cfg = FullSysConfig::new(4, 4);
+            let net = hop_net(&cfg);
+            let w = SyntheticWorkload::new(cfg.tiles(), SyntheticParams::default(), 3);
+            FullSystem::new(cfg, net, w).unwrap()
+        };
+        let mut mono = build();
+        let cycles = mono.run_until_instructions(300, 400_000).unwrap();
+        let mut sliced = build();
+        let mut progress = sliced.begin_run();
+        let mut pauses = 0u64;
+        let elapsed = loop {
+            let until = sliced.now() + 777;
+            match sliced.run_slice(300, 400_000, until, &mut progress).unwrap() {
+                SliceEnd::Done(c) => break c,
+                SliceEnd::Paused => {
+                    assert_eq!(sliced.now(), until);
+                    pauses += 1;
+                }
+            }
+        };
+        assert!(pauses > 0, "the slice width must actually pause the run");
+        assert_eq!(elapsed, cycles);
+        assert_eq!(mono.instructions(), sliced.instructions());
+        assert_eq!(
+            mono.stats().total_messages(),
+            sliced.stats().total_messages()
+        );
     }
 
     #[test]

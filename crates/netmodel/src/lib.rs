@@ -46,4 +46,4 @@ pub mod network;
 pub use calibrated::CalibratedModel;
 pub use hop::HopMetric;
 pub use models::{FixedLatency, HopLatency, LatencyModel, LoadContext, QueueingLatency};
-pub use network::AbstractNetwork;
+pub use network::{AbstractNetwork, ModelQuery};

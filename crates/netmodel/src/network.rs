@@ -30,6 +30,22 @@ impl PartialOrd for Scheduled {
     }
 }
 
+/// One model consultation made by [`AbstractNetwork::inject`]: the message,
+/// the load context it was evaluated under, and the (clamped) answer.
+///
+/// Speculative pipelining logs these during a speculative quantum and
+/// re-evaluates them against the post-replay re-fit model; the speculation
+/// commits only if every answer is identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelQuery {
+    /// The injected message.
+    pub msg: NetMessage,
+    /// The load context the model saw (utilization, hops, flits).
+    pub ctx: LoadContext,
+    /// The model's answer after the min-1-cycle clamp.
+    pub latency: u64,
+}
+
 /// An abstract network: messages are delayed by whatever the wrapped
 /// [`LatencyModel`] predicts, with an online utilization estimate supplied
 /// to load-aware models.
@@ -98,10 +114,11 @@ impl<M: LatencyModel> AbstractNetwork<M> {
             self.last_cycle = now;
         }
     }
-}
 
-impl<M: LatencyModel> Network for AbstractNetwork<M> {
-    fn inject(&mut self, msg: NetMessage, now: Cycle) {
+    /// Injects `msg` exactly as [`Network::inject`] does and returns the
+    /// model consultation it made, so a speculative caller can later check
+    /// whether a re-fit model would have answered the same.
+    pub fn inject_recorded(&mut self, msg: NetMessage, now: Cycle) -> ModelQuery {
         self.decay_to(now.0);
         let flits = msg.flits(self.flit_bytes);
         // EWMA of injected flits per node per cycle: at a steady rate `r`
@@ -120,6 +137,13 @@ impl<M: LatencyModel> Network for AbstractNetwork<M> {
             msg,
         }));
         self.seq += 1;
+        ModelQuery { msg, ctx, latency }
+    }
+}
+
+impl<M: LatencyModel> Network for AbstractNetwork<M> {
+    fn inject(&mut self, msg: NetMessage, now: Cycle) {
+        self.inject_recorded(msg, now);
     }
 
     fn tick(&mut self, now: Cycle) {

@@ -138,6 +138,35 @@ pub enum Event {
         /// State after.
         to: DegradationState,
     },
+    /// A speculatively executed quantum was verified against the
+    /// post-replay re-fit model and kept (pipelined mode).
+    SpecCommit {
+        /// Zero-based calibration-window index of the speculated window.
+        window: u64,
+        /// Quantum-boundary cycle the commit decision was taken at.
+        boundary: u64,
+        /// |predicted − measured| drift of the replay joined at the
+        /// decision point.
+        drift: f64,
+        /// Simulated cycles executed speculatively and kept.
+        speculated_cycles: u64,
+    },
+    /// A speculatively executed quantum diverged from the re-fit model
+    /// and was rolled back to the checkpoint for serial re-execution.
+    SpecRollback {
+        /// Zero-based calibration-window index of the speculated window.
+        window: u64,
+        /// Quantum-boundary cycle the rollback decision was taken at.
+        boundary: u64,
+        /// |predicted − measured| drift of the replay joined at the
+        /// decision point.
+        drift: f64,
+        /// Simulated cycles executed speculatively and thrown away.
+        wasted_cycles: u64,
+        /// Model queries whose re-fit answer differed (0 when the
+        /// rollback was forced by an adaptive quantum resize instead).
+        mismatches: u64,
+    },
     /// One detailed-NoC calibration window's execution profile.
     NocWindow {
         /// First cycle of the window.
@@ -222,6 +251,11 @@ pub enum Event {
         queue_ns: u64,
         /// Nanoseconds spent running the co-simulation (0 if never run).
         run_ns: u64,
+        /// Speculative quanta the run committed (0 unless the job ran a
+        /// pipelined reciprocal mode).
+        spec_commits: u64,
+        /// Speculative quanta the run rolled back and re-executed.
+        spec_rollbacks: u64,
     },
     /// The job service replayed its durability logs (spill + journal)
     /// at startup — the warm-restart signature.
@@ -300,6 +334,8 @@ impl Event {
             Event::QuantumReport { .. } => "quantum_report",
             Event::WatchdogTrip { .. } => "watchdog_trip",
             Event::Degradation { .. } => "degradation",
+            Event::SpecCommit { .. } => "spec_commit",
+            Event::SpecRollback { .. } => "spec_rollback",
             Event::NocWindow { .. } => "noc_window",
             Event::EngineBatch { .. } => "engine_batch",
             Event::Span { .. } => "span",
@@ -350,6 +386,30 @@ impl Event {
                 w.int("cycle", *cycle);
                 w.str("from", from.name());
                 w.str("to", to.name());
+            }
+            Event::SpecCommit {
+                window,
+                boundary,
+                drift,
+                speculated_cycles,
+            } => {
+                w.int("window", *window);
+                w.int("boundary", *boundary);
+                w.num("drift", *drift);
+                w.int("speculated_cycles", *speculated_cycles);
+            }
+            Event::SpecRollback {
+                window,
+                boundary,
+                drift,
+                wasted_cycles,
+                mismatches,
+            } => {
+                w.int("window", *window);
+                w.int("boundary", *boundary);
+                w.num("drift", *drift);
+                w.int("wasted_cycles", *wasted_cycles);
+                w.int("mismatches", *mismatches);
             }
             Event::NocWindow {
                 from_cycle,
@@ -414,11 +474,15 @@ impl Event {
                 outcome,
                 queue_ns,
                 run_ns,
+                spec_commits,
+                spec_rollbacks,
             } => {
                 w.hex("job", *job);
                 w.str("outcome", outcome);
                 w.int("queue_ns", *queue_ns);
                 w.int("run_ns", *run_ns);
+                w.int("spec_commits", *spec_commits);
+                w.int("spec_rollbacks", *spec_rollbacks);
             }
             Event::JournalReplay {
                 recovered_results,
@@ -813,6 +877,12 @@ pub struct TimeBreakdown {
     pub calibrate_ns: u64,
     /// Nanoseconds in the full system and fast path (the remainder).
     pub fullsys_ns: u64,
+    /// Speculative quanta verified and kept (pipelined mode; 0 serial).
+    pub spec_commits: u64,
+    /// Speculative quanta rolled back and re-run serially.
+    pub spec_rollbacks: u64,
+    /// Simulated cycles speculated and then discarded by rollbacks.
+    pub spec_wasted_cycles: u64,
 }
 
 impl TimeBreakdown {
@@ -825,15 +895,36 @@ impl TimeBreakdown {
         }
     }
 
-    /// Rolls up every [`Event::Span`] in `events`.
+    /// Rolls up every [`Event::Span`] (and speculation decision) in
+    /// `events`.
     pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> Self {
         let mut out = TimeBreakdown::default();
         for event in events {
-            if let Event::Span { kind, nanos } = event {
-                out.add(*kind, *nanos);
+            match event {
+                Event::Span { kind, nanos } => out.add(*kind, *nanos),
+                Event::SpecCommit { .. } => out.spec_commits += 1,
+                Event::SpecRollback { wasted_cycles, .. } => {
+                    out.spec_rollbacks += 1;
+                    out.spec_wasted_cycles += wasted_cycles;
+                }
+                _ => {}
             }
         }
         out
+    }
+
+    /// Speculation decisions taken (commits + rollbacks; 0 when serial).
+    pub fn spec_decisions(&self) -> u64 {
+        self.spec_commits + self.spec_rollbacks
+    }
+
+    /// Fraction of speculation decisions that rolled back (0 when none).
+    pub fn rollback_ratio(&self) -> f64 {
+        let total = self.spec_decisions();
+        if total == 0 {
+            return 0.0;
+        }
+        self.spec_rollbacks as f64 / total as f64
     }
 
     /// Total accounted nanoseconds.
@@ -947,6 +1038,36 @@ mod tests {
     }
 
     #[test]
+    fn breakdown_counts_speculation_decisions() {
+        let mut ring = RingRecorder::new(16);
+        ring.record(&Event::SpecCommit {
+            window: 0,
+            boundary: 2_000,
+            drift: 0.1,
+            speculated_cycles: 2_000,
+        });
+        ring.record(&Event::SpecCommit {
+            window: 1,
+            boundary: 4_000,
+            drift: 0.2,
+            speculated_cycles: 2_000,
+        });
+        ring.record(&Event::SpecRollback {
+            window: 2,
+            boundary: 6_000,
+            drift: 11.0,
+            wasted_cycles: 1_500,
+            mismatches: 2,
+        });
+        let b = ring.breakdown();
+        assert_eq!(b.spec_commits, 2);
+        assert_eq!(b.spec_rollbacks, 1);
+        assert_eq!(b.spec_wasted_cycles, 1_500);
+        assert_eq!(b.spec_decisions(), 3);
+        assert!((b.rollback_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn jsonl_writes_one_line_per_event() {
         let mut rec = JsonlRecorder::new(Vec::new());
         rec.record(&Event::QuantumReport {
@@ -1003,6 +1124,19 @@ mod tests {
                 from: DegradationState::Healthy,
                 to: DegradationState::Degraded,
             },
+            Event::SpecCommit {
+                window: 4,
+                boundary: 10_000,
+                drift: 0.5,
+                speculated_cycles: 2_000,
+            },
+            Event::SpecRollback {
+                window: 5,
+                boundary: 12_000,
+                drift: 9.0,
+                wasted_cycles: 2_000,
+                mismatches: 3,
+            },
             Event::NocWindow {
                 from_cycle: 0,
                 to_cycle: 64,
@@ -1042,6 +1176,8 @@ mod tests {
                 outcome: "ok".into(),
                 queue_ns: 1_000,
                 run_ns: 2_000,
+                spec_commits: 4,
+                spec_rollbacks: 1,
             },
             Event::JournalReplay {
                 recovered_results: 12,
@@ -1088,10 +1224,10 @@ mod tests {
         // NaN drift must degrade to null, and the occupancy array must be
         // a JSON array.
         assert!(events[0].to_json().contains("\"drift\":null"));
-        assert!(events[3].to_json().contains("\"occupancy\":[1,2,3]"));
+        assert!(events[5].to_json().contains("\"occupancy\":[1,2,3]"));
         // Job hashes export as 16-digit hex strings, not JSON numbers
         // (precision past 2^53 must survive a JS JSON parser).
-        assert!(events[6].to_json().contains("\"job\":\"00000000deadbeef\""));
+        assert!(events[8].to_json().contains("\"job\":\"00000000deadbeef\""));
     }
 
     #[test]

@@ -169,6 +169,52 @@ mod service_tests {
         assert_eq!(count("job_rejected"), 0);
     }
 
+    /// A pipelined reciprocal job must surface its speculation counters
+    /// through every reporting layer: the run result, the cumulative
+    /// [`ServiceStats`], and the `job_done` observability event.
+    #[test]
+    fn pipelined_job_reports_speculation_counters() {
+        let (service, ring) = service_with_ring(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let spec: JobSpec =
+            "target=4x4 app=water mode=reciprocal:quantum=300,pipeline=on instructions=200 \
+             budget=500000 seed=1"
+                .parse()
+                .unwrap();
+        let receipt = service.submit(spec, Priority::Normal, None).unwrap();
+        let JobOutcome::Completed { result, .. } = service.wait(receipt.ticket, None).unwrap()
+        else {
+            panic!("pipelined job should complete");
+        };
+        let coupler = result.coupler.as_ref().expect("reciprocal run has coupler stats");
+        let decisions = coupler.spec_commits + coupler.spec_rollbacks;
+        assert!(decisions > 0, "the run never speculated: {coupler:?}");
+
+        let stats = service.stats();
+        assert_eq!(stats.spec_commits, coupler.spec_commits);
+        assert_eq!(stats.spec_rollbacks, coupler.spec_rollbacks);
+        service.shutdown();
+
+        let ring = ring.lock().unwrap();
+        let done: Vec<&Event> = ring
+            .events()
+            .filter(|e| e.kind_name() == "job_done")
+            .collect();
+        assert_eq!(done.len(), 1);
+        let Event::JobDone {
+            spec_commits,
+            spec_rollbacks,
+            ..
+        } = done[0]
+        else {
+            unreachable!("filtered on kind_name");
+        };
+        assert_eq!(*spec_commits, coupler.spec_commits);
+        assert_eq!(*spec_rollbacks, coupler.spec_rollbacks);
+    }
+
     #[test]
     fn concurrent_identical_jobs_coalesce_to_one_run() {
         let (service, _ring) = service_with_ring(ServeConfig {

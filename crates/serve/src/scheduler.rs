@@ -413,6 +413,10 @@ pub struct ServiceStats {
     pub recovered_results: u64,
     /// Journaled-but-unfinished jobs re-enqueued at startup.
     pub resumed_jobs: u64,
+    /// Speculative quanta committed across all completed pipelined runs.
+    pub spec_commits: u64,
+    /// Speculative quanta rolled back across all completed pipelined runs.
+    pub spec_rollbacks: u64,
     /// Jobs queued right now.
     pub queue_depth: usize,
     /// Result-store counters.
@@ -1166,7 +1170,7 @@ fn recover_from_panic(inner: &Inner, worker_id: usize, incarnation: u64, detail:
             job: key.0,
             strikes,
         });
-        finish(inner, key, "poisoned", queue_ns, 0);
+        finish(inner, key, "poisoned", queue_ns, 0, (0, 0));
     }
     inner.obs.emit(|| Event::WorkerRespawn {
         worker: worker_id as u64,
@@ -1210,7 +1214,7 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
                     st.stats.expired += 1;
                     journal_settle(inner, key, "deadline_expired");
                     maybe_compact_journal(inner, &mut st);
-                    finish(inner, key, "deadline_expired", queue_ns, 0);
+                    finish(inner, key, "deadline_expired", queue_ns, 0, (0, 0));
                     continue;
                 }
                 // A backoff-gated retry waits its turn — unless we are
@@ -1354,8 +1358,16 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
                 inner.work_cv.notify_all();
             }
             Next::Publish(outcome) => {
+                let mut spec = (0u64, 0u64);
                 match &outcome {
-                    JobOutcome::Completed { .. } => st.stats.completed += 1,
+                    JobOutcome::Completed { result, .. } => {
+                        st.stats.completed += 1;
+                        if let Some(c) = &result.coupler {
+                            spec = (c.spec_commits, c.spec_rollbacks);
+                            st.stats.spec_commits += c.spec_commits;
+                            st.stats.spec_rollbacks += c.spec_rollbacks;
+                        }
+                    }
                     JobOutcome::Cancelled => st.stats.cancelled += 1,
                     JobOutcome::DeadlineExceeded => st.stats.deadline_exceeded += 1,
                     _ => st.stats.failed += 1,
@@ -1375,7 +1387,7 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
                 journal_settle(inner, key, label);
                 maybe_compact_journal(inner, &mut st);
                 drop(st);
-                finish(inner, key, label, queue_ns, run_ns);
+                finish(inner, key, label, queue_ns, run_ns, spec);
             }
         }
     }
@@ -1432,7 +1444,7 @@ fn reaper_loop(inner: &Inner) {
             st.stats.expired += 1;
             journal_settle(inner, key, "deadline_expired");
             maybe_compact_journal(inner, &mut st);
-            finish(inner, key, "deadline_expired", queue_ns, 0);
+            finish(inner, key, "deadline_expired", queue_ns, 0, (0, 0));
         }
         for job in fire {
             let Some(cell) = st.cells.get_mut(&job) else {
@@ -1471,12 +1483,14 @@ fn reaper_loop(inner: &Inner) {
 /// Emits `job_done` and wakes waiters. The recorder lock is a leaf in
 /// the lock order (nothing holding it ever takes the state lock), so
 /// this is safe to call with or without the state lock held.
-fn finish(inner: &Inner, key: JobKey, label: &str, queue_ns: u64, run_ns: u64) {
+fn finish(inner: &Inner, key: JobKey, label: &str, queue_ns: u64, run_ns: u64, spec: (u64, u64)) {
     inner.obs.emit(|| Event::JobDone {
         job: key.0,
         outcome: label.to_owned(),
         queue_ns,
         run_ns,
+        spec_commits: spec.0,
+        spec_rollbacks: spec.1,
     });
     inner.done_cv.notify_all();
 }

@@ -367,7 +367,7 @@ mod tests {
     #[test]
     fn display_is_a_parse_fixed_point() {
         let spec = water_4x4()
-            .mode(ModeSpec::Reciprocal { quantum: 500, workers: 4 })
+            .mode(ModeSpec::Reciprocal { quantum: 500, workers: 4, pipeline: false })
             .instructions(300)
             .budget(500_000)
             .seed(9);

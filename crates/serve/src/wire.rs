@@ -314,6 +314,8 @@ fn stats_fields(service: &JobService) -> Vec<(&'static str, JsonField)> {
         ("journal_compactions", JsonField::Int(stats.journal_compactions)),
         ("recovered_results", JsonField::Int(stats.recovered_results)),
         ("resumed_jobs", JsonField::Int(stats.resumed_jobs)),
+        ("spec_commits", JsonField::Int(stats.spec_commits)),
+        ("spec_rollbacks", JsonField::Int(stats.spec_rollbacks)),
         ("queue_depth", JsonField::Int(stats.queue_depth as u64)),
         ("store_hits", JsonField::Int(stats.store.hits)),
         ("store_misses", JsonField::Int(stats.store.misses)),

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut target = Target::cmp(8, 8);
         target.noc = target.noc.with_vcs_per_vnet(vcs);
         let r = RunSpec::new(&target, &app)
-            .mode(ModeSpec::Reciprocal { quantum: 2_000, workers: 0 })
+            .mode(ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: false })
             .instructions(600)
             .budget(10_000_000)
             .seed(3)

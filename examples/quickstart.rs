@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let modes = [
         ModeSpec::Fixed(15),
         ModeSpec::Hop,
-        ModeSpec::Reciprocal { quantum: 2_000, workers: 0 },
+        ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: false },
     ];
     println!("{}", format_row(&truth));
     for mode in modes {

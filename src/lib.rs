@@ -27,7 +27,7 @@
 //! let app = AppProfile::water();
 //! let (sink, recorder) = ObsSink::attach(RingRecorder::new(1_024));
 //! let result = RunSpec::new(&target, &app)
-//!     .mode(ModeSpec::Reciprocal { quantum: 500, workers: 0 })
+//!     .mode(ModeSpec::Reciprocal { quantum: 500, workers: 0, pipeline: false })
 //!     .instructions(100)
 //!     .budget(200_000)
 //!     .seed(1)

@@ -111,7 +111,7 @@ fn accuracy_ladder_holds_on_small_target() {
     };
     let truth = run(ModeSpec::Lockstep).unwrap();
     let hop = run(ModeSpec::Hop).unwrap();
-    let recip = run(ModeSpec::Reciprocal { quantum: 400, workers: 0 }).unwrap();
+    let recip = run(ModeSpec::Reciprocal { quantum: 400, workers: 0, pipeline: false }).unwrap();
     let hop_err = percent_error(hop.avg_latency(), truth.avg_latency());
     let recip_err = percent_error(recip.avg_latency(), truth.avg_latency());
     assert!(
@@ -128,7 +128,7 @@ fn end_to_end_determinism() {
         let target = Target::cmp(4, 4);
         let app = AppProfile::fft();
         let r = RunSpec::new(&target, &app)
-            .mode(ModeSpec::Reciprocal { quantum: 300, workers: 0 })
+            .mode(ModeSpec::Reciprocal { quantum: 300, workers: 0, pipeline: false })
             .instructions(300)
             .budget(5_000_000)
             .seed(99)
@@ -220,7 +220,7 @@ fn tiny_quantum_approaches_lockstep_truth() {
             .run()
     };
     let truth = run(ModeSpec::Lockstep).unwrap();
-    let tight = run(ModeSpec::Reciprocal { quantum: 50, workers: 0 }).unwrap();
+    let tight = run(ModeSpec::Reciprocal { quantum: 50, workers: 0, pipeline: false }).unwrap();
     let err = percent_error(tight.avg_latency(), truth.avg_latency());
     assert!(err < 25.0, "quantum-50 error {err:.1}% unexpectedly large");
 }

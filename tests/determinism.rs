@@ -205,6 +205,151 @@ proptest! {
     }
 }
 
+/// The speculative quantum pipeline (`pipeline=on`) must be a pure
+/// *schedule* change too: overlapping the full system's next quantum with
+/// the detailed replay of the previous one — including every rollback and
+/// re-execution — may not move a single simulated statistic. These tests
+/// hold the pipelined schedule to bit-identical results against the serial
+/// reference: run-level stats, the coupler's exchange fingerprint, and the
+/// detailed NoC's full [`NocStats`].
+mod speculative_pipeline {
+    use proptest::prelude::*;
+    use reciprocal_abstraction::cosim::{ModeSpec, RunResult, RunSpec, Target};
+    use reciprocal_abstraction::noc::{FaultPlan, NocStats, TopologyKind};
+    use reciprocal_abstraction::sim::Summary;
+    use reciprocal_abstraction::workloads::AppProfile;
+
+    use super::TOPOLOGIES;
+
+    /// The deterministic slice of a reciprocal run: everything except
+    /// wall-clock durations and the speculation counters themselves (the
+    /// serial schedule has zero commits and rollbacks by construction).
+    #[derive(Debug, PartialEq)]
+    struct Fingerprint {
+        cycles: u64,
+        messages: u64,
+        ipc_bits: u64,
+        latency: Summary,
+        class_latency: Vec<Summary>,
+        calibrations: u64,
+        measured: u64,
+        drift: Summary,
+        detailed_cycles: u64,
+        quanta_degraded: u64,
+        messages_rerouted: u64,
+        watchdog_trips: u64,
+        model_resyncs: u64,
+        noc: NocStats,
+    }
+
+    fn fingerprint(r: &RunResult) -> Fingerprint {
+        let c = r.coupler.as_ref().expect("reciprocal run");
+        Fingerprint {
+            cycles: r.cycles,
+            messages: r.messages,
+            ipc_bits: r.ipc.to_bits(),
+            latency: r.latency,
+            class_latency: r.class_latency.clone(),
+            calibrations: c.calibrations,
+            measured: c.measured,
+            drift: c.drift,
+            detailed_cycles: c.detailed_cycles,
+            quanta_degraded: c.quanta_degraded,
+            messages_rerouted: c.messages_rerouted,
+            watchdog_trips: c.watchdog_trips,
+            model_resyncs: c.model_resyncs,
+            noc: c.noc.clone().expect("driver captures detailed stats"),
+        }
+    }
+
+    /// An 8x4 CMP with the NoC rebuilt on the given topology (and an
+    /// optional scripted fault plan).
+    fn target(topology: TopologyKind, faults: Option<FaultPlan>) -> Target {
+        let mut target = Target::cmp(super::COLS, super::ROWS);
+        let mut noc = target.noc.clone().with_topology(topology);
+        if let Some(plan) = faults {
+            noc = noc.with_faults(plan);
+        }
+        target.noc = noc;
+        target
+    }
+
+    fn run(target: &Target, seed: u64, workers: usize, pipeline: bool) -> RunResult {
+        RunSpec::new(target, &AppProfile::water())
+            .mode(ModeSpec::Reciprocal { quantum: 300, workers, pipeline })
+            .instructions(150)
+            .budget(500_000)
+            .seed(seed)
+            .run()
+            .expect("reciprocal run")
+    }
+
+    /// The pinned matrix the acceptance criteria name: pipeline=on across
+    /// every topology, three seeds, workers in {1, 2, 4, 8} — all bit-
+    /// identical to the serial (workers=0, pipeline=off) reference.
+    #[test]
+    fn pipelined_matrix_is_bit_identical_to_serial() {
+        for topology in TOPOLOGIES {
+            for seed in [1u64, 7, 23] {
+                let t = target(topology, None);
+                let reference = run(&t, seed, 0, false);
+                assert!(reference.messages > 0, "sterile case: {topology:?}/{seed}");
+                let reference = fingerprint(&reference);
+                for workers in [1usize, 2, 4, 8] {
+                    let piped = run(&t, seed, workers, true);
+                    let c = piped.coupler.as_ref().expect("reciprocal run");
+                    assert!(
+                        c.spec_commits + c.spec_rollbacks > 0,
+                        "pipelined run never speculated: {topology:?}/{seed}/{workers}"
+                    );
+                    assert_eq!(
+                        reference,
+                        fingerprint(&piped),
+                        "{topology:?} seed {seed} workers {workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Forced-rollback sweep: a scripted router stall spikes the
+        /// detailed NoC's latency mid-run, so the post-replay re-fit
+        /// diverges from the prediction the speculative quantum ran on.
+        /// The pipeline must roll back and converge to the serial
+        /// timeline bit for bit, and every completed window must be
+        /// accounted for as exactly one commit or one rollback.
+        #[test]
+        fn forced_rollbacks_converge_to_serial(
+            stall_from in 200u64..1_500,
+            stall_len in 150u64..600,
+            seed in 0u64..1_000,
+        ) {
+            let plan = FaultPlan::new().stall_router(5, stall_from, stall_from + stall_len);
+            let t = target(TopologyKind::Mesh, Some(plan));
+            let serial = run(&t, seed, 0, false);
+            let piped = run(&t, seed, 0, true);
+            let c = piped.coupler.as_ref().expect("reciprocal run");
+            prop_assert!(
+                c.spec_rollbacks > 0,
+                "the stall must force at least one rollback: {c:?}"
+            );
+            // Every speculated window is accounted for exactly once: a
+            // calibrated window is one commit or one rollback, and a
+            // window whose join discovers a watchdog trip commits as
+            // degraded without calibrating.
+            prop_assert_eq!(
+                c.spec_commits + c.spec_rollbacks,
+                c.calibrations + c.watchdog_trips,
+                "decided windows must equal calibrated + tripped windows"
+            );
+            prop_assert_eq!(fingerprint(&serial), fingerprint(&piped));
+        }
+    }
+}
+
 /// The service layer must be schedule-transparent too: N identical
 /// [`JobSpec`]s submitted concurrently, in shuffled priority order, must
 /// yield results bit-identical to a plain serial [`RunSpec::run`] — and

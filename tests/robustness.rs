@@ -320,7 +320,7 @@ fn permanent_fault_degrades_gracefully_within_latency_bound() {
     let mut faulty = Target::cmp(4, 4);
     faulty.noc = faulty.noc.with_faults(FaultPlan::new().isolate_router(5, 0));
     let result = RunSpec::new(&faulty, &app)
-        .mode(ModeSpec::Reciprocal { quantum: 200, workers: 0 })
+        .mode(ModeSpec::Reciprocal { quantum: 200, workers: 0, pipeline: false })
         .instructions(300)
         .budget(1_000_000)
         .seed(1)
@@ -355,7 +355,7 @@ fn stalled_router_run_completes_via_fallback() {
         .with_faults(FaultPlan::new().stall_router(5, 0, 1_500));
     let app = app_heavy();
     let result = RunSpec::new(&target, &app)
-        .mode(ModeSpec::Reciprocal { quantum: 200, workers: 0 })
+        .mode(ModeSpec::Reciprocal { quantum: 200, workers: 0, pipeline: false })
         .instructions(300)
         .budget(2_000_000)
         .seed(2)
