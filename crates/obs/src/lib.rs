@@ -325,6 +325,15 @@ pub enum Event {
         /// Backend slot that now owns it.
         to: u64,
     },
+    /// A batched wire verb (`submit_batch`/`status_batch`/`result_batch`)
+    /// was dispatched — one event per round-trip, however many jobs it
+    /// carried, so batching efficiency is visible in the trace.
+    WireBatch {
+        /// The batch verb name.
+        verb: String,
+        /// Items the batch carried.
+        items: u64,
+    },
 }
 
 impl Event {
@@ -351,6 +360,7 @@ impl Event {
             Event::NodeDown { .. } => "node_down",
             Event::Failover { .. } => "failover",
             Event::Reroute { .. } => "reroute",
+            Event::WireBatch { .. } => "wire_batch",
         }
     }
 
@@ -528,6 +538,10 @@ impl Event {
                 w.hex("job", *job);
                 w.int("from", *from);
                 w.int("to", *to);
+            }
+            Event::WireBatch { verb, items } => {
+                w.str("verb", verb);
+                w.int("items", *items);
             }
         }
         w.finish()
@@ -1211,6 +1225,10 @@ mod tests {
                 job: 0xDEAD_BEEF,
                 from: 2,
                 to: 0,
+            },
+            Event::WireBatch {
+                verb: "submit_batch".into(),
+                items: 64,
             },
         ];
         for event in &events {

@@ -3,7 +3,7 @@
 //! ```text
 //! ra-loadgen --addr 127.0.0.1:7743 [--jobs 64] [--workers 4]
 //!            [--distinct 8] [--spec "target=2x2 app=water ..."]
-//!            [--timeout-ms 120000]
+//!            [--timeout-ms 120000] [--binary] [--batch N]
 //! ```
 //!
 //! Drives the server with `--jobs` submissions spread round-robin over
@@ -13,6 +13,12 @@
 //! ordering at once. Submission is *open-loop*: each connection fires
 //! all of its submits back-to-back, then collects results.
 //!
+//! `--binary` speaks the checksummed binary frame codec instead of
+//! line JSON (the server sniffs the codec per connection, no flag
+//! needed on its side). `--batch N` rides the `submit_batch` /
+//! `result_batch` verbs, N jobs per round-trip; both compose, and
+//! `--binary --batch 16` is the wire's cheapest shape.
+//!
 //! The report (stable, CI-greppable):
 //!
 //! ```text
@@ -20,8 +26,14 @@
 //! outcomes: completed=8 cached=56 failed=0 cancelled=0 expired=0
 //! latency ms: p50=1.2 p95=9.8 p99=14.0 mean=3.4
 //! throughput: 410.3 jobs/s over 0.16 s
+//! bytes: sent=9184 received=21440 per_job=478.5
 //! server cache: ... hit_ratio=0.875 memo_ratio=0.875
 //! ```
+//!
+//! The `bytes:` line counts wire traffic on the loadgen's job
+//! connections (submits + results, not the final stats poll);
+//! `per_job` divides the total by finished jobs, which is what the CI
+//! binary-vs-JSON efficiency gate compares.
 //!
 //! `rejected_without_signal` counts submissions the server turned away
 //! *without* the explicit `queue_full` backpressure signal — always 0
@@ -44,7 +56,7 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use ra_bench::percentile;
-use ra_serve::{Json, WireClient};
+use ra_serve::{ErrorCode, Json, Response, SubmitItem, WireClient};
 
 struct Args {
     addr: String,
@@ -53,10 +65,12 @@ struct Args {
     distinct: usize,
     spec: String,
     timeout_ms: u64,
+    binary: bool,
+    batch: usize,
 }
 
 const USAGE: &str = "usage: ra-loadgen --addr HOST:PORT [--jobs N] [--workers N] \
-                     [--distinct N] [--spec SPEC] [--timeout-ms N]";
+                     [--distinct N] [--spec SPEC] [--timeout-ms N] [--binary] [--batch N]";
 
 const PRIORITIES: [&str; 3] = ["low", "normal", "high"];
 
@@ -98,6 +112,8 @@ fn parse_args() -> Result<Args, String> {
         distinct: 8,
         spec: "target=2x2 app=water mode=fixed:10 instructions=50 budget=200000".to_owned(),
         timeout_ms: 120_000,
+        binary: false,
+        batch: 1,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -114,6 +130,8 @@ fn parse_args() -> Result<Args, String> {
             "--timeout-ms" => {
                 args.timeout_ms = parse_num(&value("--timeout-ms")?, "--timeout-ms")? as u64;
             }
+            "--binary" => args.binary = true,
+            "--batch" => args.batch = parse_num(&value("--batch")?, "--batch")?,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -146,6 +164,9 @@ struct Tally {
     cancelled: u64,
     expired: u64,
     transport_errors: u64,
+    /// Wire bytes this connection wrote / read (submits + results).
+    bytes_sent: u64,
+    bytes_received: u64,
     /// Client-observed submit -> result wall latency, milliseconds.
     latency_ms: Vec<f64>,
 }
@@ -164,99 +185,228 @@ impl Tally {
         self.cancelled += other.cancelled;
         self.expired += other.expired;
         self.transport_errors += other.transport_errors;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
         self.latency_ms.extend(other.latency_ms);
     }
+}
+
+/// One job's spec + priority, with its original submit instant for the
+/// latency tally.
+struct PendingJob {
+    spec: String,
+    priority: &'static str,
+    submitted: Instant,
+}
+
+/// Records one typed submit response; returns the ticket if accepted,
+/// `Some(true)` in `.1` if the job should be retried (signalled
+/// `queue_full`).
+fn record_submit(tally: &mut Tally, response: &Response) -> (Option<u64>, bool) {
+    match response {
+        Response::Submit(ok) => {
+            match ok.disposition.as_str() {
+                "enqueued" => tally.enqueued += 1,
+                "coalesced" => tally.coalesced += 1,
+                "cached" => tally.cached_submit += 1,
+                other => {
+                    eprintln!("ra-loadgen: odd disposition {other:?}");
+                    tally.transport_errors += 1;
+                }
+            }
+            (Some(ok.ticket), false)
+        }
+        Response::Error(err) => {
+            let signalled = err.code == ErrorCode::QueueFull && err.depth.is_some();
+            (None, signalled)
+        }
+        other => {
+            eprintln!("ra-loadgen: odd submit response {other:?}");
+            tally.transport_errors += 1;
+            (None, false)
+        }
+    }
+}
+
+/// Submits one job with the signalled-`queue_full` backoff loop.
+fn submit_one(
+    client: &mut WireClient,
+    tally: &mut Tally,
+    jitter: &mut Jitter,
+    job: &PendingJob,
+) -> Option<u64> {
+    let item = SubmitItem::new(job.spec.clone()).priority(job.priority);
+    let mut attempt: u32 = 0;
+    loop {
+        attempt += 1;
+        let mut responses = match client.submit_batch(vec![item.clone()]) {
+            Ok(responses) => responses,
+            Err(err) => {
+                eprintln!("ra-loadgen: submit: {err}");
+                tally.transport_errors += 1;
+                return None;
+            }
+        };
+        let response = responses.pop().unwrap_or_else(|| {
+            Response::Error(ra_serve::WireError::new(ErrorCode::Unavailable, "submit"))
+        });
+        let (ticket, retryable) = record_submit(tally, &response);
+        if ticket.is_some() {
+            return ticket;
+        }
+        if retryable && attempt < MAX_SUBMIT_ATTEMPTS {
+            let base = BACKOFF_BASE_MS << (attempt - 1);
+            std::thread::sleep(Duration::from_millis(base + jitter.below(base)));
+            tally.retries += 1;
+            continue;
+        }
+        tally.rejected += 1;
+        if !retryable {
+            tally.rejected_without_signal += 1;
+        }
+        return None;
+    }
+}
+
+/// Records one typed result response against its submit instant.
+fn record_result(tally: &mut Tally, response: &Response, submitted: Instant) {
+    let outcome = match response {
+        Response::Outcome(ok) => ok.outcome.as_str(),
+        Response::Error(err) => {
+            eprintln!("ra-loadgen: no outcome: {} ({})", err.code.as_str(), err.verb);
+            tally.transport_errors += 1;
+            return;
+        }
+        other => {
+            eprintln!("ra-loadgen: odd result response {other:?}");
+            tally.transport_errors += 1;
+            return;
+        }
+    };
+    match outcome {
+        "completed" => tally.completed += 1,
+        "cached" => tally.cached_outcome += 1,
+        "failed" | "poisoned" => tally.failed += 1,
+        "cancelled" => tally.cancelled += 1,
+        "deadline_expired" | "deadline_exceeded" => tally.expired += 1,
+        other => {
+            eprintln!("ra-loadgen: odd outcome {other:?}");
+            tally.transport_errors += 1;
+            return;
+        }
+    }
+    tally.latency_ms.push(submitted.elapsed().as_secs_f64() * 1e3);
 }
 
 fn drive_connection(args: &Args, jobs: &[usize], client_id: usize) -> Tally {
     let mut tally = Tally::default();
     let mut jitter = Jitter::seeded(client_id);
     let mut client = match WireClient::connect(args.addr.as_str()) {
-        Ok(client) => client,
+        Ok(client) => client.with_binary(args.binary),
         Err(err) => {
             eprintln!("ra-loadgen: connect {}: {err}", args.addr);
             tally.transport_errors += 1;
             return tally;
         }
     };
-    // Open-loop phase: all submits back-to-back; a `queue_full` signal
-    // pauses just this job for a jittered exponential backoff.
+    let queue: Vec<PendingJob> = jobs
+        .iter()
+        .map(|&job| PendingJob {
+            spec: format!("{} seed={}", args.spec, job % args.distinct),
+            priority: PRIORITIES[job % PRIORITIES.len()],
+            submitted: Instant::now(),
+        })
+        .collect();
+    // Open-loop phase: all submits back-to-back (in `--batch`-sized
+    // bursts when batching); a signalled `queue_full` pauses just that
+    // job for a jittered exponential backoff.
     let mut pending: Vec<(u64, Instant)> = Vec::with_capacity(jobs.len());
-    for &job in jobs {
-        let spec = format!("{} seed={}", args.spec, job % args.distinct);
-        let priority = PRIORITIES[job % PRIORITIES.len()];
-        let submitted = Instant::now();
-        let mut attempt: u32 = 0;
-        loop {
-            attempt += 1;
-            let response = match client.submit(&spec, Some(priority), None) {
-                Ok(response) => response,
-                Err(err) => {
-                    eprintln!("ra-loadgen: submit: {err}");
-                    tally.transport_errors += 1;
-                    break;
-                }
-            };
-            if response.get("ok").and_then(Json::as_bool) == Some(true) {
-                match response.get("disposition").and_then(Json::as_str) {
-                    Some("enqueued") => tally.enqueued += 1,
-                    Some("coalesced") => tally.coalesced += 1,
-                    Some("cached") => tally.cached_submit += 1,
-                    other => {
-                        eprintln!("ra-loadgen: odd disposition {other:?}");
-                        tally.transport_errors += 1;
-                    }
-                }
-                match response.get("ticket").and_then(Json::as_u64) {
-                    Some(ticket) => pending.push((ticket, submitted)),
-                    None => tally.transport_errors += 1,
-                }
-                break;
+    let batch = args.batch.max(1);
+    for chunk in queue.chunks(batch) {
+        if batch == 1 {
+            let job = &chunk[0];
+            if let Some(ticket) = submit_one(&mut client, &mut tally, &mut jitter, job) {
+                pending.push((ticket, job.submitted));
             }
-            let signalled = response.get("error").and_then(Json::as_str) == Some("queue_full")
-                && response.get("retryable").and_then(Json::as_bool) == Some(true)
-                && response.get("depth").and_then(Json::as_u64).is_some();
-            if signalled && attempt < MAX_SUBMIT_ATTEMPTS {
-                let base = BACKOFF_BASE_MS << (attempt - 1);
-                std::thread::sleep(Duration::from_millis(base + jitter.below(base)));
-                tally.retries += 1;
-                continue;
-            }
-            tally.rejected += 1;
-            if !signalled {
-                tally.rejected_without_signal += 1;
-            }
-            break;
+            continue;
         }
-    }
-    // Collection phase.
-    for (ticket, submitted) in pending {
-        let response = match client.result(ticket, Some(args.timeout_ms)) {
-            Ok(response) => response,
+        let items: Vec<SubmitItem> = chunk
+            .iter()
+            .map(|job| SubmitItem::new(job.spec.clone()).priority(job.priority))
+            .collect();
+        let responses = match client.submit_batch(items) {
+            Ok(responses) => responses,
             Err(err) => {
-                eprintln!("ra-loadgen: result: {err}");
+                eprintln!("ra-loadgen: submit_batch: {err}");
                 tally.transport_errors += 1;
                 continue;
             }
         };
-        match response.get("outcome").and_then(Json::as_str) {
-            Some("completed") => tally.completed += 1,
-            Some("cached") => tally.cached_outcome += 1,
-            Some("failed") => tally.failed += 1,
-            Some("cancelled") => tally.cancelled += 1,
-            Some("deadline_expired") | Some("deadline_exceeded") => tally.expired += 1,
-            Some("poisoned") => tally.failed += 1,
-            _ => {
-                eprintln!(
-                    "ra-loadgen: no outcome for ticket {ticket}: {:?}",
-                    response.get("error").and_then(Json::as_str)
-                );
-                tally.transport_errors += 1;
-                continue;
+        for (job, response) in chunk.iter().zip(&responses) {
+            let (ticket, retryable) = record_submit(&mut tally, response);
+            match ticket {
+                Some(ticket) => pending.push((ticket, job.submitted)),
+                // A signalled queue_full falls back to the per-job
+                // backoff loop; anything else is a final rejection.
+                None if retryable => {
+                    tally.retries += 1;
+                    let base = BACKOFF_BASE_MS + jitter.below(BACKOFF_BASE_MS);
+                    std::thread::sleep(Duration::from_millis(base));
+                    if let Some(ticket) =
+                        submit_one(&mut client, &mut tally, &mut jitter, job)
+                    {
+                        pending.push((ticket, job.submitted));
+                    }
+                }
+                None => {
+                    tally.rejected += 1;
+                    tally.rejected_without_signal += 1;
+                }
             }
         }
-        tally.latency_ms.push(submitted.elapsed().as_secs_f64() * 1e3);
+        // A short sub-batch answer loses the tail items.
+        if responses.len() < chunk.len() {
+            tally.transport_errors += (chunk.len() - responses.len()) as u64;
+        }
     }
+    // Collection phase.
+    for chunk in pending.chunks(batch) {
+        if batch == 1 {
+            let (ticket, submitted) = chunk[0];
+            match client.result_batch(vec![ticket], Some(args.timeout_ms)) {
+                Ok(responses) if responses.len() == 1 => {
+                    record_result(&mut tally, &responses[0], submitted);
+                }
+                Ok(_) | Err(_) => {
+                    eprintln!("ra-loadgen: result: ticket {ticket} got no answer");
+                    tally.transport_errors += 1;
+                }
+            }
+            continue;
+        }
+        let tickets: Vec<u64> = chunk.iter().map(|&(ticket, _)| ticket).collect();
+        match client.result_batch(tickets, Some(args.timeout_ms)) {
+            Ok(responses) if responses.len() == chunk.len() => {
+                for (&(_, submitted), response) in chunk.iter().zip(&responses) {
+                    record_result(&mut tally, response, submitted);
+                }
+            }
+            Ok(responses) => {
+                eprintln!(
+                    "ra-loadgen: result_batch: {} answers for {} tickets",
+                    responses.len(),
+                    chunk.len()
+                );
+                tally.transport_errors += 1;
+            }
+            Err(err) => {
+                eprintln!("ra-loadgen: result_batch: {err}");
+                tally.transport_errors += 1;
+            }
+        }
+    }
+    tally.bytes_sent = client.bytes_sent();
+    tally.bytes_received = client.bytes_received();
     tally
 }
 
@@ -299,8 +449,13 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "loadgen: {} jobs, {} connections, {} distinct specs -> {}",
-        args.jobs, args.workers, args.distinct, args.addr
+        "loadgen: {} jobs, {} connections, {} distinct specs, codec={}, batch={} -> {}",
+        args.jobs,
+        args.workers,
+        args.distinct,
+        if args.binary { "binary" } else { "json" },
+        args.batch.max(1),
+        args.addr
     );
     let started = Instant::now();
     let slices: Vec<Vec<usize>> = (0..args.workers)
@@ -354,6 +509,15 @@ fn main() -> ExitCode {
         "throughput: {:.1} jobs/s over {:.2} s",
         if elapsed > 0.0 { finished as f64 / elapsed } else { 0.0 },
         elapsed
+    );
+    let per_job = if finished > 0 {
+        (total.bytes_sent + total.bytes_received) as f64 / finished as f64
+    } else {
+        0.0
+    };
+    println!(
+        "bytes: sent={} received={} per_job={per_job:.1}",
+        total.bytes_sent, total.bytes_received
     );
 
     match WireClient::connect(args.addr.as_str()).and_then(|mut c| c.stats()) {

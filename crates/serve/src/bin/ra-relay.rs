@@ -10,13 +10,16 @@
 //!          [--trace trace.jsonl]
 //! ```
 //!
-//! Speaks the same line-JSON protocol as a single `ra-serve`, so every
-//! client points at the relay unchanged. Jobs are consistent-hashed
-//! across the backends; a probe loop drives each backend's
-//! Up/Suspect/Down health machine, and when a node dies its in-flight
-//! jobs are re-driven on the survivors exactly once (`ra_serve::cluster`
-//! has the full story). Prints `listening on <addr>` once ready —
-//! scripts and CI wait for that line — and serves until SIGTERM/ctrl-c.
+//! Speaks the same dual-codec wire protocol as a single `ra-serve`
+//! (line JSON and binary frames, sniffed per connection), so every
+//! client points at the relay unchanged; its own forwards to the
+//! backends ride the binary codec. Jobs are consistent-hashed across
+//! the backends, batch verbs fan out as one sub-batch per owning node,
+//! a probe loop drives each backend's Up/Suspect/Down health machine,
+//! and when a node dies its in-flight jobs are re-driven on the
+//! survivors exactly once (`ra_serve::cluster` has the full story).
+//! Prints `listening on <addr>` once ready — scripts and CI wait for
+//! that line — and serves until SIGTERM/ctrl-c.
 
 use std::path::PathBuf;
 use std::process::ExitCode;

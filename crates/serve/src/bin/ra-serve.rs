@@ -7,10 +7,13 @@
 //!          [--drain-timeout 30] [--trace trace.jsonl]
 //! ```
 //!
-//! Binds a line-JSON TCP endpoint (see `ra_serve::wire` for the
-//! protocol), prints a `recovery: ...` summary of what it replayed from
-//! disk and then `listening on <addr>` once ready — scripts and CI wait
-//! for the latter line — and serves until stopped.
+//! Binds a TCP endpoint speaking both wire codecs — line JSON and the
+//! checksummed binary frame format, sniffed per connection from the
+//! first byte (see `ra_serve::wire` for the protocol, including the
+//! batched `submit_batch`/`status_batch`/`result_batch` verbs) —
+//! prints a `recovery: ...` summary of what it replayed from disk and
+//! then `listening on <addr>` once ready — scripts and CI wait for the
+//! latter line — and serves until stopped.
 //!
 //! `--state-dir DIR` turns on crash-safe durability: completed results
 //! spill to `DIR/spill.jsonl` and admissions are write-ahead journaled

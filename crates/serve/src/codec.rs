@@ -1,0 +1,667 @@
+//! The two wire codecs behind one [`Codec`] trait.
+//!
+//! [`JsonCodec`] is the pre-v2 wire, unchanged: one JSON object per line,
+//! newline-terminated, human-readable — the debuggable compat surface.
+//! [`BinaryCodec`] is the hot-path wire: a compact tag-length-value
+//! encoding of the same [`Request`]/[`Response`] enums, carried inside
+//! the journal's checksummed length-prefixed frame
+//! ([`crate::frame::frame_bytes`]), so a corrupted or truncated stream is
+//! detected by the same machinery that guards durability files.
+//!
+//! A server never negotiates: it sniffs the **first byte** of each
+//! connection. JSON requests start with `{` (0x7B); binary frames start
+//! with a lower-case hex digit of the length field — the sets are
+//! disjoint, the mode is decided once, and it is sticky for the life of
+//! the connection. Old clients therefore keep working against new
+//! servers with no flag anywhere.
+//!
+//! TLV layout (all integers LEB128 varints, `f64` as 8-byte LE bit
+//! pattern, strings varint-length-prefixed UTF-8, options a one-byte
+//! presence flag, vectors a varint count):
+//!
+//! ```text
+//! request  := tag:u8 body
+//!   0x01 submit        item
+//!   0x02 submit_batch  count item*
+//!   0x03 status        ticket
+//!   0x04 status_batch  count ticket*
+//!   0x05 result        ticket opt(timeout_ms)
+//!   0x06 result_batch  count ticket* opt(timeout_ms)
+//!   0x07 cancel        ticket
+//!   0x08 stats         —
+//!   0x09 health        —
+//!   0x0A node_stats    —
+//!   item := spec:str opt(priority:str) opt(deadline_ms)
+//! response := tag:u8 body
+//!   0x81 submit   ticket job:str disposition:str depth opt(node) edge:u8
+//!   0x82 status   state:str
+//!   0x83 outcome  outcome:str opt(detail) opt(queue_ns) opt(run_ns) opt(body)
+//!   0x84 cancel   cancel:str
+//!   0x85 report   json:str
+//!   0x86 batch    count response*        (nested, without re-framing)
+//!   0x87 error    code:str verb:str opt(detail) opt(depth)
+//!   body := workload:str mode:str cycles messages ipc:f64
+//!           latency_mean:f64 latency_count calibrations
+//! ```
+
+use std::io;
+
+use crate::frame::frame_bytes;
+use crate::proto::{
+    ErrorCode, OutcomeOk, Request, Response, ResultBody, SubmitItem, SubmitOk, WireError,
+    MAX_BATCH_ITEMS,
+};
+
+/// One wire encoding: full on-wire bytes out, de-framed payloads in.
+///
+/// `encode_*` return everything that goes on the socket for one message
+/// (the JSON line including its `\n`; the complete checksummed binary
+/// frame). `decode_*` take one *extracted* message — a line stripped of
+/// its terminator, or a frame body that already passed its checksum.
+pub trait Codec {
+    /// Stable codec name (`"json"` / `"binary"`) for logs and reports.
+    fn name(&self) -> &'static str;
+    fn encode_request(&self, request: &Request) -> Vec<u8>;
+    fn encode_response(&self, response: &Response) -> Vec<u8>;
+    /// Server side: a decode failure is answered on the wire, so the
+    /// error type is a [`WireError`] ready to send back.
+    fn decode_request(&self, payload: &[u8]) -> Result<Request, WireError>;
+    /// Client side: a decode failure means a broken peer, surfaced as an
+    /// I/O error on the call.
+    fn decode_response(&self, payload: &[u8]) -> io::Result<Response>;
+}
+
+/// The line-delimited JSON wire — byte-compatible with pre-v2 peers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonCodec;
+
+impl Codec for JsonCodec {
+    fn name(&self) -> &'static str {
+        "json"
+    }
+
+    fn encode_request(&self, request: &Request) -> Vec<u8> {
+        let mut bytes = request.encode_json().into_bytes();
+        bytes.push(b'\n');
+        bytes
+    }
+
+    fn encode_response(&self, response: &Response) -> Vec<u8> {
+        let mut bytes = response.encode_json().into_bytes();
+        bytes.push(b'\n');
+        bytes
+    }
+
+    fn decode_request(&self, payload: &[u8]) -> Result<Request, WireError> {
+        let text = std::str::from_utf8(payload).map_err(|_| {
+            WireError::new(ErrorCode::BadRequest, "").with_detail("request is not UTF-8")
+        })?;
+        let json = crate::json::Json::parse(text)
+            .map_err(|err| WireError::new(ErrorCode::BadRequest, "").with_detail(err.to_string()))?;
+        Request::decode_json(&json)
+    }
+
+    fn decode_response(&self, payload: &[u8]) -> io::Result<Response> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))?;
+        let json = crate::json::Json::parse(text).map_err(|err| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad response JSON: {err}"))
+        })?;
+        Ok(Response::decode_json(&json, text))
+    }
+}
+
+/// The framed TLV wire — same enums, a fraction of the bytes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryCodec;
+
+impl Codec for BinaryCodec {
+    fn name(&self) -> &'static str {
+        "binary"
+    }
+
+    fn encode_request(&self, request: &Request) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64);
+        write_request(&mut body, request);
+        frame_bytes(&body)
+    }
+
+    fn encode_response(&self, response: &Response) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64);
+        write_response(&mut body, response);
+        frame_bytes(&body)
+    }
+
+    fn decode_request(&self, payload: &[u8]) -> Result<Request, WireError> {
+        let mut cursor = Cursor::new(payload);
+        let request = read_request(&mut cursor).ok_or_else(bad_frame)?;
+        if !cursor.done() {
+            return Err(bad_frame().with_detail("trailing bytes after request"));
+        }
+        Ok(request)
+    }
+
+    fn decode_response(&self, payload: &[u8]) -> io::Result<Response> {
+        let mut cursor = Cursor::new(payload);
+        let response = read_response(&mut cursor)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "undecodable frame body"))?;
+        if !cursor.done() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes after response",
+            ));
+        }
+        Ok(response)
+    }
+}
+
+fn bad_frame() -> WireError {
+    WireError::new(ErrorCode::BadFrame, "").with_detail("undecodable frame body")
+}
+
+// ---- TLV writer ----------------------------------------------------------
+
+fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn write_str(out: &mut Vec<u8>, text: &str) {
+    write_varint(out, text.len() as u64);
+    out.extend_from_slice(text.as_bytes());
+}
+
+fn write_opt_varint(out: &mut Vec<u8>, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            out.push(1);
+            write_varint(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn write_opt_str(out: &mut Vec<u8>, text: Option<&str>) {
+    match text {
+        Some(t) => {
+            out.push(1);
+            write_str(out, t);
+        }
+        None => out.push(0),
+    }
+}
+
+fn write_f64(out: &mut Vec<u8>, value: f64) {
+    out.extend_from_slice(&value.to_bits().to_le_bytes());
+}
+
+fn write_item(out: &mut Vec<u8>, item: &SubmitItem) {
+    write_str(out, &item.spec);
+    write_opt_str(out, item.priority.as_deref());
+    write_opt_varint(out, item.deadline_ms);
+}
+
+fn write_request(out: &mut Vec<u8>, request: &Request) {
+    match request {
+        Request::Submit(item) => {
+            out.push(0x01);
+            write_item(out, item);
+        }
+        Request::SubmitBatch(items) => {
+            out.push(0x02);
+            write_varint(out, items.len() as u64);
+            for item in items {
+                write_item(out, item);
+            }
+        }
+        Request::Status { ticket } => {
+            out.push(0x03);
+            write_varint(out, *ticket);
+        }
+        Request::StatusBatch { tickets } => {
+            out.push(0x04);
+            write_varint(out, tickets.len() as u64);
+            for ticket in tickets {
+                write_varint(out, *ticket);
+            }
+        }
+        Request::Result { ticket, timeout_ms } => {
+            out.push(0x05);
+            write_varint(out, *ticket);
+            write_opt_varint(out, *timeout_ms);
+        }
+        Request::ResultBatch { tickets, timeout_ms } => {
+            out.push(0x06);
+            write_varint(out, tickets.len() as u64);
+            for ticket in tickets {
+                write_varint(out, *ticket);
+            }
+            write_opt_varint(out, *timeout_ms);
+        }
+        Request::Cancel { ticket } => {
+            out.push(0x07);
+            write_varint(out, *ticket);
+        }
+        Request::Stats => out.push(0x08),
+        Request::Health => out.push(0x09),
+        Request::NodeStats => out.push(0x0A),
+    }
+}
+
+fn write_response(out: &mut Vec<u8>, response: &Response) {
+    match response {
+        Response::Submit(ok) => {
+            out.push(0x81);
+            write_varint(out, ok.ticket);
+            write_str(out, &ok.job);
+            write_str(out, &ok.disposition);
+            write_varint(out, ok.depth);
+            write_opt_varint(out, ok.node);
+            out.push(ok.edge as u8);
+        }
+        Response::Status { state } => {
+            out.push(0x82);
+            write_str(out, state);
+        }
+        Response::Outcome(ok) => {
+            out.push(0x83);
+            write_str(out, &ok.outcome);
+            write_opt_str(out, ok.detail.as_deref());
+            write_opt_varint(out, ok.queue_ns);
+            write_opt_varint(out, ok.run_ns);
+            match &ok.body {
+                Some(body) => {
+                    out.push(1);
+                    write_str(out, &body.workload);
+                    write_str(out, &body.mode);
+                    write_varint(out, body.cycles);
+                    write_varint(out, body.messages);
+                    write_f64(out, body.ipc);
+                    write_f64(out, body.latency_mean);
+                    write_varint(out, body.latency_count);
+                    write_varint(out, body.calibrations);
+                }
+                None => out.push(0),
+            }
+        }
+        Response::Cancel { cancel } => {
+            out.push(0x84);
+            write_str(out, cancel);
+        }
+        Response::Report { json } => {
+            out.push(0x85);
+            write_str(out, json);
+        }
+        Response::Batch(items) => {
+            out.push(0x86);
+            write_varint(out, items.len() as u64);
+            for item in items {
+                write_response(out, item);
+            }
+        }
+        Response::Error(err) => {
+            out.push(0x87);
+            write_str(out, err.code.as_str());
+            write_str(out, &err.verb);
+            write_opt_str(out, err.detail.as_deref());
+            write_opt_varint(out, err.depth);
+        }
+    }
+}
+
+// ---- TLV reader ----------------------------------------------------------
+
+/// Bounds-checked reader over one frame body. Every accessor returns
+/// `Option` — a truncated or over-long field yields `None`, never a
+/// panic, which is what the garbage-frame proptests pin down.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let byte = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(byte)
+    }
+
+    fn varint(&mut self) -> Option<u64> {
+        let mut value: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                // Reject non-canonical trailing zeros in the final byte
+                // (shift 63 only fits one bit).
+                if shift == 63 && byte > 1 {
+                    return None;
+                }
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    fn slice(&mut self, len: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(len)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.varint()?;
+        let len = usize::try_from(len).ok()?;
+        let bytes = self.slice(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn opt_varint(&mut self) -> Option<Option<u64>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.varint()?)),
+            _ => None,
+        }
+    }
+
+    fn opt_string(&mut self) -> Option<Option<String>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.string()?)),
+            _ => None,
+        }
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        let bytes = self.slice(8)?;
+        Some(f64::from_bits(u64::from_le_bytes(bytes.try_into().ok()?)))
+    }
+
+    /// A count that must also be a sane batch size — caps allocation
+    /// before any `Vec::with_capacity` sees attacker-controlled numbers.
+    fn count(&mut self) -> Option<usize> {
+        let count = usize::try_from(self.varint()?).ok()?;
+        (count <= MAX_BATCH_ITEMS).then_some(count)
+    }
+}
+
+fn read_item(cursor: &mut Cursor<'_>) -> Option<SubmitItem> {
+    Some(SubmitItem {
+        spec: cursor.string()?,
+        priority: cursor.opt_string()?,
+        deadline_ms: cursor.opt_varint()?,
+    })
+}
+
+fn read_request(cursor: &mut Cursor<'_>) -> Option<Request> {
+    match cursor.u8()? {
+        0x01 => Some(Request::Submit(read_item(cursor)?)),
+        0x02 => {
+            let count = cursor.count()?;
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(read_item(cursor)?);
+            }
+            Some(Request::SubmitBatch(items))
+        }
+        0x03 => Some(Request::Status {
+            ticket: cursor.varint()?,
+        }),
+        0x04 => {
+            let count = cursor.count()?;
+            let mut tickets = Vec::with_capacity(count);
+            for _ in 0..count {
+                tickets.push(cursor.varint()?);
+            }
+            Some(Request::StatusBatch { tickets })
+        }
+        0x05 => Some(Request::Result {
+            ticket: cursor.varint()?,
+            timeout_ms: cursor.opt_varint()?,
+        }),
+        0x06 => {
+            let count = cursor.count()?;
+            let mut tickets = Vec::with_capacity(count);
+            for _ in 0..count {
+                tickets.push(cursor.varint()?);
+            }
+            Some(Request::ResultBatch {
+                tickets,
+                timeout_ms: cursor.opt_varint()?,
+            })
+        }
+        0x07 => Some(Request::Cancel {
+            ticket: cursor.varint()?,
+        }),
+        0x08 => Some(Request::Stats),
+        0x09 => Some(Request::Health),
+        0x0A => Some(Request::NodeStats),
+        _ => None,
+    }
+}
+
+fn read_response(cursor: &mut Cursor<'_>) -> Option<Response> {
+    match cursor.u8()? {
+        0x81 => Some(Response::Submit(SubmitOk {
+            ticket: cursor.varint()?,
+            job: cursor.string()?,
+            disposition: cursor.string()?,
+            depth: cursor.varint()?,
+            node: cursor.opt_varint()?,
+            edge: match cursor.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+        })),
+        0x82 => Some(Response::Status {
+            state: cursor.string()?,
+        }),
+        0x83 => Some(Response::Outcome(OutcomeOk {
+            outcome: cursor.string()?,
+            detail: cursor.opt_string()?,
+            queue_ns: cursor.opt_varint()?,
+            run_ns: cursor.opt_varint()?,
+            body: match cursor.u8()? {
+                0 => None,
+                1 => Some(ResultBody {
+                    workload: cursor.string()?,
+                    mode: cursor.string()?,
+                    cycles: cursor.varint()?,
+                    messages: cursor.varint()?,
+                    ipc: cursor.f64()?,
+                    latency_mean: cursor.f64()?,
+                    latency_count: cursor.varint()?,
+                    calibrations: cursor.varint()?,
+                }),
+                _ => return None,
+            },
+        })),
+        0x84 => Some(Response::Cancel {
+            cancel: cursor.string()?,
+        }),
+        0x85 => Some(Response::Report {
+            json: cursor.string()?,
+        }),
+        0x86 => {
+            let count = cursor.count()?;
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(read_response(cursor)?);
+            }
+            Some(Response::Batch(items))
+        }
+        0x87 => {
+            let code = cursor.string()?;
+            Some(Response::Error(WireError {
+                code: ErrorCode::parse(&code),
+                verb: cursor.string()?,
+                detail: cursor.opt_string()?,
+                depth: cursor.opt_varint()?,
+            }))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame;
+
+    fn deframe(wire: &[u8]) -> Vec<u8> {
+        match frame::step(wire) {
+            frame::FrameStep::Ok { payload, advance } => {
+                assert_eq!(advance, wire.len(), "one message, one frame");
+                payload
+            }
+            other => panic!("not a clean frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_requests_round_trip_inside_checksummed_frames() {
+        let requests = [
+            Request::Submit(SubmitItem {
+                spec: "target=2x2 app=water seed=3".to_owned(),
+                priority: Some("high".to_owned()),
+                deadline_ms: Some(250),
+            }),
+            Request::SubmitBatch(vec![SubmitItem::new("a"), SubmitItem::new("b")]),
+            Request::Status { ticket: 1 << 40 },
+            Request::StatusBatch {
+                tickets: vec![0, 127, 128, u64::MAX],
+            },
+            Request::Result {
+                ticket: 5,
+                timeout_ms: None,
+            },
+            Request::ResultBatch {
+                tickets: vec![9, 10],
+                timeout_ms: Some(30_000),
+            },
+            Request::Cancel { ticket: 3 },
+            Request::Stats,
+            Request::Health,
+            Request::NodeStats,
+        ];
+        for request in requests {
+            let wire = BinaryCodec.encode_request(&request);
+            let payload = deframe(&wire);
+            assert_eq!(BinaryCodec.decode_request(&payload).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn binary_responses_round_trip_including_exact_f64_bits() {
+        let body = ResultBody {
+            workload: "water".to_owned(),
+            mode: "reciprocal".to_owned(),
+            cycles: 100_000,
+            messages: 512,
+            ipc: 0.1 + 0.2, // deliberately non-representable: bits must survive
+            latency_mean: f64::MIN_POSITIVE,
+            latency_count: 512,
+            calibrations: 4,
+        };
+        let responses = [
+            Response::Submit(SubmitOk {
+                ticket: 7,
+                job: "00000000000000aa".to_owned(),
+                disposition: "enqueued".to_owned(),
+                depth: 3,
+                node: Some(1),
+                edge: true,
+            }),
+            Response::Status {
+                state: "running".to_owned(),
+            },
+            Response::Outcome(OutcomeOk {
+                outcome: "completed".to_owned(),
+                detail: None,
+                queue_ns: Some(12),
+                run_ns: Some(34),
+                body: Some(body),
+            }),
+            Response::Cancel {
+                cancel: "signalled".to_owned(),
+            },
+            Response::Report {
+                json: r#"{"ok":true,"role":"backend","state":"up","queue_depth":0}"#.to_owned(),
+            },
+            Response::Batch(vec![
+                Response::Status {
+                    state: "done".to_owned(),
+                },
+                Response::Error(
+                    WireError::new(ErrorCode::QueueFull, "submit_batch").with_depth(64),
+                ),
+            ]),
+            Response::Error(
+                WireError::new(ErrorCode::BadSpec, "submit").with_detail("unknown mode `warp`"),
+            ),
+        ];
+        for response in responses {
+            let wire = BinaryCodec.encode_response(&response);
+            let payload = deframe(&wire);
+            let back = BinaryCodec.decode_response(&payload).unwrap();
+            assert_eq!(back, response);
+            if let (Response::Outcome(a), Response::Outcome(b)) = (&back, &response) {
+                let (a, b) = (a.body.as_ref().unwrap(), b.body.as_ref().unwrap());
+                assert_eq!(a.ipc.to_bits(), b.ipc.to_bits());
+                assert_eq!(a.latency_mean.to_bits(), b.latency_mean.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_bodies_decode_to_errors_not_panics() {
+        let wire = BinaryCodec.encode_request(&Request::Submit(SubmitItem::new("spec=1")));
+        let payload = deframe(&wire);
+        for cut in 0..payload.len() {
+            assert!(BinaryCodec.decode_request(&payload[..cut]).is_err());
+        }
+        assert!(BinaryCodec.decode_request(&[0xFF, 0x00]).is_err());
+        assert!(BinaryCodec.decode_response(&[0x00]).is_err());
+        // A count field claiming more items than the cap is refused
+        // before any allocation.
+        assert!(BinaryCodec
+            .decode_request(&[0x04, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F])
+            .is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_after_a_message_are_a_decode_error() {
+        let mut payload = deframe(&BinaryCodec.encode_request(&Request::Stats));
+        payload.push(0x00);
+        let err = BinaryCodec.decode_request(&payload).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadFrame);
+    }
+
+    #[test]
+    fn json_codec_terminates_lines_and_decodes_without_the_terminator() {
+        let wire = JsonCodec.encode_request(&Request::Health);
+        assert_eq!(wire.last(), Some(&b'\n'));
+        let request = JsonCodec.decode_request(&wire[..wire.len() - 1]).unwrap();
+        assert_eq!(request, Request::Health);
+    }
+}

@@ -1,0 +1,376 @@
+//! The shared checksummed frame format: one implementation behind both
+//! the durability logs (journal + spill) and the binary wire codec.
+//!
+//! # Frame format
+//!
+//! ```text
+//! <len-hex> SP <fnv1a-16hex> SP <payload bytes> LF
+//! ```
+//!
+//! * `len-hex` — payload length in bytes, lower-case hex, no padding;
+//! * `fnv1a-16hex` — FNV-1a 64-bit checksum of the payload, zero-padded
+//!   to 16 hex digits (the same hash that content-addresses job specs,
+//!   so the whole stack has exactly one hash function);
+//! * `payload` — arbitrary bytes; the length field delimits the body, so
+//!   an embedded LF is legal (binary wire payloads contain them). The
+//!   durability logs additionally keep their payloads newline-free UTF-8
+//!   JSON, which is what makes them `tail`- and `grep`-able.
+//!
+//! Two readers share the parser:
+//!
+//! * [`read_frames`] — the recovery pass over a whole log file. It walks
+//!   front to back and stops at the *first* frame that is truncated,
+//!   malformed, or fails its checksum; everything before that point is
+//!   trusted, everything after is reported as `dropped_tail_bytes`. A
+//!   clean kill -9 tears at most the buffered tail, which shows up as
+//!   truncation (`dropped_tail_bytes > 0`, `checksum_errors == 0`);
+//!   flipped bits in the middle of the file show up as
+//!   `checksum_errors > 0`. The workspace torn-write proptest drives
+//!   both.
+//! * [`step`] — the incremental form for a socket, where "not enough
+//!   bytes yet" ([`FrameStep::Incomplete`]) means *keep reading* while
+//!   corruption ([`FrameStep::Malformed`] / [`FrameStep::BadChecksum`])
+//!   means *hang up*. A file reader cannot tell the two apart (both end
+//!   the trustworthy prefix); a stream reader must.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::spec::fnv1a;
+
+/// What a recovery pass over one framed log found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact records recovered before the first bad frame.
+    pub recovered_records: u64,
+    /// Bytes from the first bad frame to end-of-file, all ignored.
+    pub dropped_tail_bytes: u64,
+    /// Complete-looking frames whose checksum did not match (0 for a
+    /// cleanly truncated tail — the benign kill -9 signature).
+    pub checksum_errors: u64,
+}
+
+impl RecoveryReport {
+    /// Folds another log's report into this one (spill + journal).
+    pub fn absorb(&mut self, other: RecoveryReport) {
+        self.recovered_records += other.recovered_records;
+        self.dropped_tail_bytes += other.dropped_tail_bytes;
+        self.checksum_errors += other.checksum_errors;
+    }
+}
+
+/// Renders one text payload as a checksummed frame (including the
+/// trailing newline). `payload` must not contain `\n` if the framed log
+/// is meant to stay line-tool-friendly — the JSON writers used by the
+/// durability logs never emit one.
+pub fn frame(payload: &str) -> String {
+    format!(
+        "{:x} {:016x} {payload}\n",
+        payload.len(),
+        fnv1a(payload.as_bytes())
+    )
+}
+
+/// Renders one byte payload as a checksummed frame — the binary wire
+/// codec's message envelope. Same bytes on the wire as [`frame`] when
+/// the payload happens to be UTF-8 text.
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = format!("{:x} {:016x} ", payload.len(), fnv1a(payload)).into_bytes();
+    out.extend_from_slice(payload);
+    out.push(b'\n');
+    out
+}
+
+/// Walks `bytes` front to back, returning every intact UTF-8 payload and
+/// a report of where (and why) reading stopped. Never panics, whatever
+/// the input: torn, bit-flipped, and non-UTF-8 tails all degrade to a
+/// truncated prefix plus an accurate `dropped_tail_bytes`.
+pub fn read_frames(bytes: &[u8]) -> (Vec<String>, RecoveryReport) {
+    let mut records = Vec::new();
+    let mut report = RecoveryReport::default();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match step(&bytes[pos..]) {
+            FrameStep::Ok { payload, advance } => {
+                // The durability logs carry JSON text; a checksum-valid
+                // frame with non-UTF-8 bytes is foreign and ends the
+                // trustworthy prefix like any other malformed frame.
+                let Ok(text) = String::from_utf8(payload) else {
+                    break;
+                };
+                records.push(text);
+                report.recovered_records += 1;
+                pos += advance;
+            }
+            FrameStep::Incomplete | FrameStep::Malformed => break,
+            FrameStep::BadChecksum => {
+                report.checksum_errors += 1;
+                break;
+            }
+        }
+    }
+    report.dropped_tail_bytes = (bytes.len() - pos) as u64;
+    (records, report)
+}
+
+/// One incremental parse attempt at the start of a byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameStep {
+    /// A complete, checksum-valid frame; consume `advance` bytes.
+    Ok {
+        /// The frame body (length-delimited, may contain any byte).
+        payload: Vec<u8>,
+        /// Total frame size including header and trailing LF.
+        advance: usize,
+    },
+    /// The buffer ends mid-frame; a stream reader should read more.
+    Incomplete,
+    /// The header or terminator is corrupt; no more frames can follow.
+    Malformed,
+    /// A complete frame whose payload hash does not match.
+    BadChecksum,
+}
+
+/// Writers emit lower-case hex only; rejecting the upper-case aliases
+/// keeps the header canonical, so any single-bit flip in a header byte
+/// invalidates the frame rather than silently parsing to the same value
+/// (`from_str_radix` alone would accept `A` for `a`).
+fn is_canonical_hex(text: &str) -> bool {
+    text.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'))
+}
+
+/// Parses one frame at the start of `bytes`, distinguishing "need more
+/// bytes" from "corrupt". The length field is bounded to 8 hex digits so
+/// a corrupt header cannot claim a multi-exabyte payload.
+pub fn step(bytes: &[u8]) -> FrameStep {
+    // Header: "<len-hex> <hash-16hex> ".
+    let Some(len_end) = bytes.iter().take(9).position(|&b| b == b' ') else {
+        return if bytes.len() < 9 {
+            FrameStep::Incomplete
+        } else {
+            FrameStep::Malformed
+        };
+    };
+    if len_end == 0 {
+        return FrameStep::Malformed;
+    }
+    let Ok(len_text) = std::str::from_utf8(&bytes[..len_end]) else {
+        return FrameStep::Malformed;
+    };
+    if !is_canonical_hex(len_text) {
+        return FrameStep::Malformed;
+    }
+    let Ok(len) = usize::from_str_radix(len_text, 16) else {
+        return FrameStep::Malformed;
+    };
+    let hash_start = len_end + 1;
+    let hash_end = hash_start + 16;
+    if bytes.len() < hash_end + 1 {
+        return FrameStep::Incomplete;
+    }
+    if bytes[hash_end] != b' ' {
+        return FrameStep::Malformed;
+    }
+    let Ok(hash_text) = std::str::from_utf8(&bytes[hash_start..hash_end]) else {
+        return FrameStep::Malformed;
+    };
+    if !is_canonical_hex(hash_text) {
+        return FrameStep::Malformed;
+    }
+    let Ok(hash) = u64::from_str_radix(hash_text, 16) else {
+        return FrameStep::Malformed;
+    };
+    let body_start = hash_end + 1;
+    let Some(body_end) = body_start.checked_add(len) else {
+        return FrameStep::Malformed;
+    };
+    if bytes.len() < body_end + 1 {
+        return FrameStep::Incomplete;
+    }
+    if bytes[body_end] != b'\n' {
+        return FrameStep::Malformed;
+    }
+    let body = &bytes[body_start..body_end];
+    if fnv1a(body) != hash {
+        return FrameStep::BadChecksum;
+    }
+    FrameStep::Ok {
+        payload: body.to_vec(),
+        advance: body_end + 1,
+    }
+}
+
+/// A buffered, frame-at-a-time appender with periodic fsync — the
+/// shared writer behind both the journal and the spill log.
+pub(crate) struct FrameWriter {
+    out: BufWriter<File>,
+    /// Records appended since the last fsync.
+    since_sync: u64,
+    /// fsync after every N records (0 = flush only, let the OS decide).
+    fsync_every: u64,
+}
+
+impl FrameWriter {
+    pub(crate) fn append_to(path: &Path, fsync_every: u64) -> io::Result<FrameWriter> {
+        truncate_torn_tail(path)?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(FrameWriter {
+            out: BufWriter::new(file),
+            since_sync: 0,
+            fsync_every,
+        })
+    }
+
+    /// Frames and appends one payload. Each record is flushed to the OS
+    /// so a kill -9 loses at most the write in progress; fsync is
+    /// amortized over `fsync_every` records.
+    pub(crate) fn append(&mut self, payload: &str) -> io::Result<()> {
+        self.out.write_all(frame(payload).as_bytes())?;
+        self.out.flush()?;
+        self.since_sync += 1;
+        if self.fsync_every > 0 && self.since_sync >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn sync(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.out.get_ref().sync_data()?;
+        self.since_sync = 0;
+        Ok(())
+    }
+}
+
+/// Drops any torn or corrupt tail before a log is reopened for append.
+/// Without this, a record appended after a tear is glued onto the
+/// partial frame and the *next* replay discards it along with the tear —
+/// a completed result silently lost (the torn-tail regression test).
+fn truncate_torn_tail(path: &Path) -> io::Result<()> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(err) => return Err(err),
+    };
+    let (_, report) = read_frames(&bytes);
+    if report.dropped_tail_bytes == 0 {
+        return Ok(());
+    }
+    let keep = bytes.len() as u64 - report.dropped_tail_bytes;
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_stop_at_a_torn_tail() {
+        let payloads = ["{\"a\":1}", "{\"b\":\"two\"}", "{\"c\":[1,2,3]}"];
+        let mut file = String::new();
+        for p in &payloads {
+            file.push_str(&frame(p));
+        }
+        let (records, report) = read_frames(file.as_bytes());
+        assert_eq!(records, payloads);
+        assert_eq!(report.recovered_records, 3);
+        assert_eq!(report.dropped_tail_bytes, 0);
+        assert_eq!(report.checksum_errors, 0);
+
+        // Truncate mid-record: the intact prefix survives, the tail is
+        // counted, and no checksum error is charged (benign tear).
+        let cut = file.len() - 5;
+        let (records, report) = read_frames(&file.as_bytes()[..cut]);
+        assert_eq!(records, &payloads[..2]);
+        assert_eq!(report.recovered_records, 2);
+        assert!(report.dropped_tail_bytes > 0);
+        assert_eq!(report.checksum_errors, 0);
+    }
+
+    #[test]
+    fn a_flipped_bit_is_a_checksum_error_not_a_bad_record() {
+        let mut file = frame("{\"a\":1}").into_bytes();
+        file.extend_from_slice(frame("{\"b\":2}").as_bytes());
+        // Flip a bit inside the second record's payload.
+        let second_start = frame("{\"a\":1}").len();
+        let target = second_start + frame("{\"b\":2}").len() - 3;
+        file[target] ^= 0x01;
+        let (records, report) = read_frames(&file);
+        assert_eq!(records, ["{\"a\":1}"]);
+        assert_eq!(report.checksum_errors, 1);
+        assert_eq!(
+            report.dropped_tail_bytes as usize,
+            file.len() - second_start
+        );
+    }
+
+    #[test]
+    fn garbage_input_never_panics_and_recovers_nothing() {
+        for bytes in [
+            &b"not a frame at all"[..],
+            &b"ffffffffffffffff "[..],
+            &b"5 0123456789abcdef"[..],
+            &[0xFF, 0xFE, 0x00, 0x20, 0x20][..],
+            &b""[..],
+        ] {
+            let (records, report) = read_frames(bytes);
+            assert!(records.is_empty());
+            assert_eq!(report.dropped_tail_bytes as usize, bytes.len());
+        }
+    }
+
+    #[test]
+    fn byte_frames_carry_arbitrary_payloads_including_newlines() {
+        let payload = [0u8, 1, 2, b'\n', 0xFF, b' ', b'\n', 0x7F];
+        let framed = frame_bytes(&payload);
+        let FrameStep::Ok {
+            payload: parsed,
+            advance,
+        } = step(&framed)
+        else {
+            panic!("a written byte frame must parse");
+        };
+        assert_eq!(parsed, payload);
+        assert_eq!(advance, framed.len());
+        // Text and byte framing are the same bytes for the same payload.
+        assert_eq!(frame("{\"a\":1}").as_bytes(), &frame_bytes(b"{\"a\":1}")[..]);
+    }
+
+    #[test]
+    fn step_distinguishes_truncation_from_corruption() {
+        let framed = frame_bytes(b"payload");
+        // Every proper prefix is Incomplete, never Malformed: a socket
+        // reader must keep waiting for the rest.
+        for cut in 0..framed.len() {
+            assert_eq!(
+                step(&framed[..cut]),
+                FrameStep::Incomplete,
+                "prefix of {cut} bytes"
+            );
+        }
+        // A corrupt header byte is Malformed (hang up).
+        let mut bad = framed.clone();
+        bad[0] = b'G';
+        assert_eq!(step(&bad), FrameStep::Malformed);
+        // An upper-case hex alias is not canonical.
+        let mut upper = framed.clone();
+        upper[2] = b'A';
+        assert_eq!(step(&upper), FrameStep::Malformed);
+        // A wrong terminator is Malformed.
+        let mut no_lf = framed.clone();
+        let last = no_lf.len() - 1;
+        no_lf[last] = b' ';
+        assert_eq!(step(&no_lf), FrameStep::Malformed);
+        // A flipped payload bit is BadChecksum.
+        let mut flipped = framed;
+        flipped[22] ^= 0x01;
+        assert_eq!(step(&flipped), FrameStep::BadChecksum);
+        // Nine-plus bytes with no header space can never become a frame.
+        assert_eq!(step(b"ffffffffffffffff "), FrameStep::Malformed);
+        assert_eq!(step(b"ffff"), FrameStep::Incomplete);
+    }
+}

@@ -1,30 +1,14 @@
-//! Crash-safe framing and the write-ahead job journal.
+//! The write-ahead job journal.
 //!
 //! # Frame format
 //!
 //! Both durability logs — the [`ResultStore`](crate::ResultStore) spill
-//! and the job journal — share one record framing, designed so a reader
-//! can always tell a *complete, intact* record from a torn or corrupt
-//! tail:
-//!
-//! ```text
-//! <len-hex> SP <fnv1a-16hex> SP <payload bytes> LF
-//! ```
-//!
-//! * `len-hex` — payload length in bytes, lower-case hex, no padding;
-//! * `fnv1a-16hex` — FNV-1a 64-bit checksum of the payload, zero-padded
-//!   to 16 hex digits (the same hash that content-addresses job specs,
-//!   so the whole durability layer has exactly one hash function);
-//! * `payload` — one JSON object, newline-free by construction.
-//!
-//! Recovery ([`read_frames`]) walks the file front to back and stops at
-//! the *first* frame that is truncated, malformed, or fails its
-//! checksum; everything before that point is trusted, everything after
-//! is reported as `dropped_tail_bytes`. A clean kill -9 tears at most
-//! the buffered tail, which shows up as truncation
-//! (`dropped_tail_bytes > 0`, `checksum_errors == 0`); flipped bits in
-//! the middle of the file show up as `checksum_errors > 0`. The
-//! workspace torn-write proptest drives both.
+//! and the job journal — share the checksummed record framing in
+//! [`crate::frame`] (also the binary wire codec's envelope), designed so
+//! a reader can always tell a *complete, intact* record from a torn or
+//! corrupt tail. [`frame`], [`read_frames`], and [`RecoveryReport`] are
+//! re-exported here for the recovery-facing callers that grew up when
+//! the framing lived in this module.
 //!
 //! # The journal
 //!
@@ -40,194 +24,19 @@
 //! work rather than to service uptime.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
+use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
 use ra_bench::{json_object, JsonField};
 
+pub use crate::frame::{frame, read_frames, RecoveryReport};
+pub(crate) use crate::frame::FrameWriter;
+
 use crate::json::Json;
 use crate::scheduler::Priority;
-use crate::spec::{fnv1a, JobKey};
-
-/// What a recovery pass over one framed log found.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RecoveryReport {
-    /// Intact records recovered before the first bad frame.
-    pub recovered_records: u64,
-    /// Bytes from the first bad frame to end-of-file, all ignored.
-    pub dropped_tail_bytes: u64,
-    /// Complete-looking frames whose checksum did not match (0 for a
-    /// cleanly truncated tail — the benign kill -9 signature).
-    pub checksum_errors: u64,
-}
-
-impl RecoveryReport {
-    /// Folds another log's report into this one (spill + journal).
-    pub fn absorb(&mut self, other: RecoveryReport) {
-        self.recovered_records += other.recovered_records;
-        self.dropped_tail_bytes += other.dropped_tail_bytes;
-        self.checksum_errors += other.checksum_errors;
-    }
-}
-
-/// Renders one payload as a checksummed frame (including the trailing
-/// newline). `payload` must not contain `\n` — the JSON writers used by
-/// the service never emit one.
-pub fn frame(payload: &str) -> String {
-    format!(
-        "{:x} {:016x} {payload}\n",
-        payload.len(),
-        fnv1a(payload.as_bytes())
-    )
-}
-
-/// Walks `bytes` front to back, returning every intact payload and a
-/// report of where (and why) reading stopped. Never panics, whatever
-/// the input: torn, bit-flipped, and non-UTF-8 tails all degrade to a
-/// truncated prefix plus an accurate `dropped_tail_bytes`.
-pub fn read_frames(bytes: &[u8]) -> (Vec<String>, RecoveryReport) {
-    let mut records = Vec::new();
-    let mut report = RecoveryReport::default();
-    let mut pos = 0usize;
-    while pos < bytes.len() {
-        let Some(parsed) = parse_frame(&bytes[pos..]) else {
-            break;
-        };
-        match parsed {
-            Frame::Ok { payload, advance } => {
-                records.push(payload);
-                report.recovered_records += 1;
-                pos += advance;
-            }
-            Frame::BadChecksum => {
-                report.checksum_errors += 1;
-                break;
-            }
-        }
-    }
-    report.dropped_tail_bytes = (bytes.len() - pos) as u64;
-    (records, report)
-}
-
-enum Frame {
-    Ok { payload: String, advance: usize },
-    BadChecksum,
-}
-
-/// Writers emit lower-case hex only; rejecting the upper-case aliases
-/// keeps the header canonical, so any single-bit flip in a header byte
-/// invalidates the frame rather than silently parsing to the same value
-/// (`from_str_radix` alone would accept `A` for `a`).
-fn is_canonical_hex(text: &str) -> bool {
-    text.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'))
-}
-
-/// Parses one frame at the start of `bytes`. `None` for anything that
-/// is not a complete, well-formed frame header + body (truncation or
-/// header corruption); `Frame::BadChecksum` when the frame is complete
-/// but its payload hash does not match.
-fn parse_frame(bytes: &[u8]) -> Option<Frame> {
-    // Header: "<len-hex> <hash-16hex> ". Bound the length field so a
-    // corrupt header cannot claim a multi-exabyte payload.
-    let len_end = bytes.iter().take(9).position(|&b| b == b' ')?;
-    if len_end == 0 {
-        return None;
-    }
-    let len_text = std::str::from_utf8(&bytes[..len_end]).ok()?;
-    if !is_canonical_hex(len_text) {
-        return None;
-    }
-    let len = usize::from_str_radix(len_text, 16).ok()?;
-    let hash_start = len_end + 1;
-    let hash_end = hash_start + 16;
-    if bytes.len() < hash_end + 1 || bytes[hash_end] != b' ' {
-        return None;
-    }
-    let hash_text = std::str::from_utf8(&bytes[hash_start..hash_end]).ok()?;
-    if !is_canonical_hex(hash_text) {
-        return None;
-    }
-    let hash = u64::from_str_radix(hash_text, 16).ok()?;
-    let body_start = hash_end + 1;
-    let body_end = body_start.checked_add(len)?;
-    if bytes.len() < body_end + 1 || bytes[body_end] != b'\n' {
-        return None;
-    }
-    let body = &bytes[body_start..body_end];
-    if fnv1a(body) != hash {
-        return Some(Frame::BadChecksum);
-    }
-    let payload = std::str::from_utf8(body).ok()?.to_owned();
-    Some(Frame::Ok {
-        payload,
-        advance: body_end + 1,
-    })
-}
-
-/// A buffered, frame-at-a-time appender with periodic fsync — the
-/// shared writer behind both the journal and the spill log.
-pub(crate) struct FrameWriter {
-    out: BufWriter<File>,
-    /// Records appended since the last fsync.
-    since_sync: u64,
-    /// fsync after every N records (0 = flush only, let the OS decide).
-    fsync_every: u64,
-}
-
-impl FrameWriter {
-    pub(crate) fn append_to(path: &Path, fsync_every: u64) -> io::Result<FrameWriter> {
-        truncate_torn_tail(path)?;
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(FrameWriter {
-            out: BufWriter::new(file),
-            since_sync: 0,
-            fsync_every,
-        })
-    }
-
-    /// Frames and appends one payload. Each record is flushed to the OS
-    /// so a kill -9 loses at most the write in progress; fsync is
-    /// amortized over `fsync_every` records.
-    pub(crate) fn append(&mut self, payload: &str) -> io::Result<()> {
-        self.out.write_all(frame(payload).as_bytes())?;
-        self.out.flush()?;
-        self.since_sync += 1;
-        if self.fsync_every > 0 && self.since_sync >= self.fsync_every {
-            self.sync()?;
-        }
-        Ok(())
-    }
-
-    pub(crate) fn sync(&mut self) -> io::Result<()> {
-        self.out.flush()?;
-        self.out.get_ref().sync_data()?;
-        self.since_sync = 0;
-        Ok(())
-    }
-}
-
-/// Drops any torn or corrupt tail before a log is reopened for append.
-/// Without this, a record appended after a tear is glued onto the
-/// partial frame and the *next* replay discards it along with the tear —
-/// a completed result silently lost (the torn-tail regression test).
-fn truncate_torn_tail(path: &Path) -> io::Result<()> {
-    let bytes = match std::fs::read(path) {
-        Ok(bytes) => bytes,
-        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(()),
-        Err(err) => return Err(err),
-    };
-    let (_, report) = read_frames(&bytes);
-    if report.dropped_tail_bytes == 0 {
-        return Ok(());
-    }
-    let keep = bytes.len() as u64 - report.dropped_tail_bytes;
-    let file = OpenOptions::new().write(true).open(path)?;
-    file.set_len(keep)?;
-    file.sync_data()?;
-    Ok(())
-}
+use crate::spec::JobKey;
 
 /// A journaled-but-unfinished job: admitted by a previous process, never
 /// settled, and (after the spill replay) not memoized either — it must
@@ -477,61 +286,6 @@ mod tests {
             std::process::id(),
             std::thread::current().id()
         ))
-    }
-
-    #[test]
-    fn frames_round_trip_and_stop_at_a_torn_tail() {
-        let payloads = ["{\"a\":1}", "{\"b\":\"two\"}", "{\"c\":[1,2,3]}"];
-        let mut file = String::new();
-        for p in &payloads {
-            file.push_str(&frame(p));
-        }
-        let (records, report) = read_frames(file.as_bytes());
-        assert_eq!(records, payloads);
-        assert_eq!(report.recovered_records, 3);
-        assert_eq!(report.dropped_tail_bytes, 0);
-        assert_eq!(report.checksum_errors, 0);
-
-        // Truncate mid-record: the intact prefix survives, the tail is
-        // counted, and no checksum error is charged (benign tear).
-        let cut = file.len() - 5;
-        let (records, report) = read_frames(&file.as_bytes()[..cut]);
-        assert_eq!(records, &payloads[..2]);
-        assert_eq!(report.recovered_records, 2);
-        assert!(report.dropped_tail_bytes > 0);
-        assert_eq!(report.checksum_errors, 0);
-    }
-
-    #[test]
-    fn a_flipped_bit_is_a_checksum_error_not_a_bad_record() {
-        let mut file = frame("{\"a\":1}").into_bytes();
-        file.extend_from_slice(frame("{\"b\":2}").as_bytes());
-        // Flip a bit inside the second record's payload.
-        let second_start = frame("{\"a\":1}").len();
-        let target = second_start + frame("{\"b\":2}").len() - 3;
-        file[target] ^= 0x01;
-        let (records, report) = read_frames(&file);
-        assert_eq!(records, ["{\"a\":1}"]);
-        assert_eq!(report.checksum_errors, 1);
-        assert_eq!(
-            report.dropped_tail_bytes as usize,
-            file.len() - second_start
-        );
-    }
-
-    #[test]
-    fn garbage_input_never_panics_and_recovers_nothing() {
-        for bytes in [
-            &b"not a frame at all"[..],
-            &b"ffffffffffffffff "[..],
-            &b"5 0123456789abcdef"[..],
-            &[0xFF, 0xFE, 0x00, 0x20, 0x20][..],
-            &b""[..],
-        ] {
-            let (records, report) = read_frames(bytes);
-            assert!(records.is_empty());
-            assert_eq!(report.dropped_tail_bytes as usize, bytes.len());
-        }
     }
 
     #[test]

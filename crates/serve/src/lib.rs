@@ -67,8 +67,11 @@
 //! [`RunResult`]: ra_cosim::RunResult
 
 pub mod cluster;
+pub mod codec;
+pub mod frame;
 pub mod health;
 pub mod journal;
+pub mod proto;
 pub mod json;
 pub mod ring;
 pub mod scheduler;
@@ -77,8 +80,11 @@ pub mod store;
 pub mod wire;
 
 pub use cluster::{Relay, RelayConfig, RelayHandle, RelayStats};
+pub use codec::{BinaryCodec, Codec, JsonCodec};
+pub use frame::{FrameStep, RecoveryReport};
 pub use health::{HealthMachine, HealthPolicy, NodeState};
-pub use journal::{Journal, JournalRecovery, RecoveryReport, UnfinishedJob};
+pub use journal::{Journal, JournalRecovery, UnfinishedJob};
+pub use proto::{ErrorCode, Request, Response, SubmitItem, WireError};
 pub use json::{Json, JsonError};
 pub use ring::HashRing;
 pub use scheduler::{

@@ -34,7 +34,7 @@ use ra_bench::{json_object, JsonField};
 use ra_cosim::RunResult;
 use ra_sim::Summary;
 
-use crate::journal::{read_frames, FrameWriter, RecoveryReport};
+use crate::frame::{read_frames, FrameWriter, RecoveryReport};
 use crate::json::Json;
 use crate::spec::JobKey;
 

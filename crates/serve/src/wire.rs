@@ -1,36 +1,40 @@
-//! Line-delimited JSON over TCP: the service's wire layer.
+//! The service's wire layer: one typed dispatch path behind two codecs.
 //!
-//! # Protocol
+//! # Protocol (v2)
 //!
-//! One JSON object per line in each direction; every request carries a
-//! `"verb"`. The five verbs:
+//! Every request is a [`Request`], every reply a [`Response`]
+//! (`crate::proto`); [`dispatch`] is the single verb switch. Two
+//! encodings carry the enums (`crate::codec`):
 //!
-//! | verb | request fields | success response |
-//! |---|---|---|
-//! | `submit` | `spec`, `priority`?, `deadline_ms`? | `ticket`, `job`, `disposition`, `depth` |
-//! | `status` | `ticket` | `state` |
-//! | `result` | `ticket`, `timeout_ms`? | `outcome`, `queue_ns`, `run_ns`, `result`? |
-//! | `cancel` | `ticket` | `cancel` |
-//! | `stats`  | — | counter snapshot |
-//! | `health` | — | `role`, `state`, `queue_depth` |
-//! | `node_stats` | — | counter snapshot + node identity |
+//! * **JSON** — one object per line, byte-compatible with the pre-v2
+//!   wire. The debuggable compat surface; old clients keep working.
+//! * **Binary** — a compact TLV inside the journal's checksummed
+//!   length-prefixed frames. The hot path for `ra-loadgen --binary` and
+//!   relay→backend forwarding.
 //!
-//! `health` is the relay's probe verb: cheap, no trace flush, answered
-//! from one lock acquisition. `node_stats` is `stats` plus identity
-//! fields, so a relay can aggregate per-backend breakdowns.
+//! The server never negotiates: it sniffs the first byte of each
+//! connection (`{` = JSON, a hex length digit = binary) and the mode is
+//! sticky. See `crate::codec` for the frame/TLV layout and DESIGN.md
+//! "Wire protocol v2" for the full verb table.
 //!
-//! Success responses carry `"ok":true`. Failures carry `"ok":false`,
-//! an `"error"` code, and `"retryable":true` when backing off and
-//! retrying is sensible — notably `queue_full`, the backpressure
-//! signal, which also reports the queue `depth` the client collided
-//! with. Job keys travel as 16-hex-digit strings (`"job"`): JSON
-//! numbers are f64 and cannot carry a u64 hash exactly.
+//! The verbs: `submit`, `status`, `result`, `cancel`, `stats`, `health`,
+//! `node_stats`, plus the batched `submit_batch` / `status_batch` /
+//! `result_batch`, which carry up to [`crate::proto::MAX_BATCH_ITEMS`]
+//! items per round-trip and answer with one [`Response::Batch`] entry
+//! per item in request order. A `result_batch` timeout is a whole-batch
+//! deadline, not per item.
+//!
+//! Failures carry a stable machine-readable `code`, the offending
+//! `verb`, and `retryable` derived from the code — notably `queue_full`,
+//! the backpressure signal, which also reports the queue `depth` the
+//! client collided with. Job keys travel as 16-hex-digit strings
+//! (`"job"`): JSON numbers are f64 and cannot carry a u64 hash exactly.
 //!
 //! The server is deliberately boring: blocking `std::net` accept loop,
 //! one thread per connection (jobs are coarse — each is a simulation —
 //! so connection counts are small), [`JobService`] does all the real
 //! work. [`WireClient`] is the matching blocking client used by
-//! `ra-loadgen` and the integration tests.
+//! `ra-loadgen` and the integration tests; it speaks either codec.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -40,8 +44,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ra_bench::{json_object, JsonField};
+use ra_obs::Event;
 
+use crate::codec::{BinaryCodec, Codec};
+use crate::frame::{self, FrameStep};
 use crate::json::Json;
+use crate::proto::{
+    ErrorCode, OutcomeOk, Request, Response, ResultBody, SubmitItem, SubmitOk, WireError,
+};
 use crate::scheduler::{JobOutcome, JobService, Priority, Rejected, WaitError};
 use crate::spec::JobSpec;
 
@@ -62,230 +72,256 @@ pub(crate) fn ok_fields(mut fields: Vec<(&'static str, JsonField)>) -> String {
     json_object(&fields)
 }
 
-pub(crate) fn err_fields(code: &str, mut fields: Vec<(&'static str, JsonField)>) -> String {
-    let mut all = vec![
-        ("ok", JsonField::Raw("false".into())),
-        ("error", JsonField::Str(code.to_owned())),
-    ];
-    all.append(&mut fields);
-    json_object(&all)
-}
-
-fn outcome_response(outcome: &JobOutcome) -> String {
+fn outcome_ok(outcome: &JobOutcome) -> OutcomeOk {
     match outcome {
         JobOutcome::Completed {
             result,
             cached,
             queue_ns,
             run_ns,
-        } => {
-            let body = json_object(&[
-                ("workload", JsonField::Str(result.workload.clone())),
-                ("mode", JsonField::Str(result.mode.clone())),
-                ("cycles", JsonField::Int(result.cycles)),
-                ("messages", JsonField::Int(result.messages)),
-                ("ipc", JsonField::Num(result.ipc)),
-                ("latency_mean", JsonField::Num(result.latency.mean())),
-                ("latency_count", JsonField::Int(result.latency.count())),
-                ("calibrations", JsonField::Int(result.calibrations)),
-            ]);
-            ok_fields(vec![
-                (
-                    "outcome",
-                    JsonField::Str(if *cached { "cached" } else { "completed" }.into()),
-                ),
-                ("queue_ns", JsonField::Int(*queue_ns)),
-                ("run_ns", JsonField::Int(*run_ns)),
-                ("result", JsonField::Raw(body)),
-            ])
-        }
-        JobOutcome::Failed { error } => ok_fields(vec![
-            ("outcome", JsonField::Str("failed".into())),
-            ("detail", JsonField::Str(error.clone())),
-        ]),
-        JobOutcome::Cancelled => {
-            ok_fields(vec![("outcome", JsonField::Str("cancelled".into()))])
-        }
-        JobOutcome::DeadlineExpired => ok_fields(vec![(
-            "outcome",
-            JsonField::Str("deadline_expired".into()),
-        )]),
-        JobOutcome::DeadlineExceeded => ok_fields(vec![(
-            "outcome",
-            JsonField::Str("deadline_exceeded".into()),
-        )]),
-        JobOutcome::Poisoned { error } => ok_fields(vec![
-            ("outcome", JsonField::Str("poisoned".into())),
-            ("detail", JsonField::Str(error.clone())),
-        ]),
+        } => OutcomeOk {
+            outcome: if *cached { "cached" } else { "completed" }.into(),
+            detail: None,
+            queue_ns: Some(*queue_ns),
+            run_ns: Some(*run_ns),
+            body: Some(ResultBody {
+                workload: result.workload.clone(),
+                mode: result.mode.clone(),
+                cycles: result.cycles,
+                messages: result.messages,
+                ipc: result.ipc,
+                latency_mean: result.latency.mean(),
+                latency_count: result.latency.count(),
+                calibrations: result.calibrations,
+            }),
+        },
+        JobOutcome::Failed { error } => OutcomeOk {
+            outcome: "failed".into(),
+            detail: Some(error.clone()),
+            queue_ns: None,
+            run_ns: None,
+            body: None,
+        },
+        JobOutcome::Cancelled => plain_outcome("cancelled"),
+        JobOutcome::DeadlineExpired => plain_outcome("deadline_expired"),
+        JobOutcome::DeadlineExceeded => plain_outcome("deadline_exceeded"),
+        JobOutcome::Poisoned { error } => OutcomeOk {
+            outcome: "poisoned".into(),
+            detail: Some(error.clone()),
+            queue_ns: None,
+            run_ns: None,
+            body: None,
+        },
     }
 }
 
-fn require_ticket(request: &Json) -> Result<u64, String> {
-    request
-        .get("ticket")
-        .and_then(Json::as_u64)
-        .ok_or_else(|| err_fields("bad_request", vec![(
-            "detail",
-            JsonField::Str("`ticket` must be a non-negative integer".into()),
-        )]))
+fn plain_outcome(outcome: &str) -> OutcomeOk {
+    OutcomeOk {
+        outcome: outcome.into(),
+        detail: None,
+        queue_ns: None,
+        run_ns: None,
+        body: None,
+    }
 }
 
-/// Dispatches one request line to the service and renders the response
-/// line (no trailing newline). Pure with respect to I/O, so unit tests
-/// can drive the whole protocol without sockets.
-pub fn handle_request(service: &JobService, line: &str) -> String {
-    let request = match Json::parse(line) {
-        Ok(request) => request,
-        Err(err) => {
-            return err_fields(
-                "bad_request",
-                vec![("detail", JsonField::Str(err.to_string()))],
+/// Dispatches one typed request against the service — the single verb
+/// switch behind both codecs and both server roles' backend halves.
+/// Pure with respect to I/O, so unit tests drive the whole protocol
+/// without sockets.
+pub fn dispatch(service: &JobService, request: &Request) -> Response {
+    match request {
+        Request::Submit(item) => submit_one(service, item, "submit"),
+        Request::SubmitBatch(items) => {
+            service.obs().emit(|| Event::WireBatch {
+                verb: "submit_batch".into(),
+                items: items.len() as u64,
+            });
+            Response::Batch(
+                items
+                    .iter()
+                    .map(|item| submit_one(service, item, "submit_batch"))
+                    .collect(),
             )
         }
-    };
-    let verb = request.get("verb").and_then(Json::as_str).unwrap_or("");
-    match verb {
-        "submit" => {
-            let Some(spec_text) = request.get("spec").and_then(Json::as_str) else {
-                return err_fields(
-                    "bad_request",
-                    vec![("detail", JsonField::Str("`spec` is required".into()))],
-                );
-            };
-            let spec: JobSpec = match spec_text.parse() {
-                Ok(spec) => spec,
-                Err(err) => {
-                    return err_fields(
-                        "bad_spec",
-                        vec![("detail", JsonField::Str(error_chain(&err)))],
-                    )
+        Request::Status { ticket } => status_one(service, *ticket, "status"),
+        Request::StatusBatch { tickets } => {
+            service.obs().emit(|| Event::WireBatch {
+                verb: "status_batch".into(),
+                items: tickets.len() as u64,
+            });
+            Response::Batch(
+                tickets
+                    .iter()
+                    .map(|&ticket| status_one(service, ticket, "status_batch"))
+                    .collect(),
+            )
+        }
+        Request::Result { ticket, timeout_ms } => result_one(
+            service,
+            *ticket,
+            timeout_ms.map(Duration::from_millis),
+            "result",
+        ),
+        Request::ResultBatch {
+            tickets,
+            timeout_ms,
+        } => {
+            service.obs().emit(|| Event::WireBatch {
+                verb: "result_batch".into(),
+                items: tickets.len() as u64,
+            });
+            // One deadline for the whole batch: each successive wait gets
+            // whatever budget remains, so N tickets cannot stack N
+            // timeouts.
+            let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+            Response::Batch(
+                tickets
+                    .iter()
+                    .map(|&ticket| {
+                        let left =
+                            deadline.map(|d| d.saturating_duration_since(Instant::now()));
+                        result_one(service, ticket, left, "result_batch")
+                    })
+                    .collect(),
+            )
+        }
+        Request::Cancel { ticket } => match service.cancel(*ticket) {
+            Some(outcome) => Response::Cancel {
+                cancel: match outcome {
+                    crate::scheduler::CancelOutcome::Cancelled => "cancelled",
+                    crate::scheduler::CancelOutcome::Signalled => "signalled",
+                    crate::scheduler::CancelOutcome::Detached => "detached",
+                    crate::scheduler::CancelOutcome::AlreadyDone => "already_done",
                 }
-            };
-            let priority = match request.get("priority").and_then(Json::as_str) {
-                None => Priority::Normal,
-                Some(text) => match text.parse() {
-                    Ok(priority) => priority,
-                    Err(err) => {
-                        return err_fields(
-                            "bad_request",
-                            vec![("detail", JsonField::Str(err))],
-                        )
-                    }
-                },
-            };
-            let deadline = request
-                .get("deadline_ms")
-                .and_then(Json::as_u64)
-                .map(Duration::from_millis);
-            match service.submit(spec, priority, deadline) {
-                Ok(receipt) => {
-                    let depth = match receipt.disposition {
-                        crate::scheduler::Disposition::Enqueued { depth } => depth as u64,
-                        _ => 0,
-                    };
-                    ok_fields(vec![
-                        ("ticket", JsonField::Int(receipt.ticket)),
-                        ("job", JsonField::Str(receipt.job.to_string())),
-                        (
-                            "disposition",
-                            JsonField::Str(receipt.disposition.label().into()),
-                        ),
-                        ("depth", JsonField::Int(depth)),
-                    ])
-                }
-                Err(Rejected::QueueFull { depth }) => err_fields(
-                    "queue_full",
-                    vec![
-                        ("depth", JsonField::Int(depth as u64)),
-                        ("retryable", JsonField::Raw("true".into())),
-                    ],
-                ),
-                Err(Rejected::ShuttingDown) => err_fields("shutting_down", vec![]),
-            }
-        }
-        "status" => {
-            let ticket = match require_ticket(&request) {
-                Ok(ticket) => ticket,
-                Err(response) => return response,
-            };
-            match service.status(ticket) {
-                Some(status) => {
-                    ok_fields(vec![("state", JsonField::Str(status.label().into()))])
-                }
-                None => err_fields("unknown_ticket", vec![]),
-            }
-        }
-        "result" => {
-            let ticket = match require_ticket(&request) {
-                Ok(ticket) => ticket,
-                Err(response) => return response,
-            };
-            let timeout = request
-                .get("timeout_ms")
-                .and_then(Json::as_u64)
-                .map(Duration::from_millis);
-            match service.wait(ticket, timeout) {
-                Ok(outcome) => outcome_response(&outcome),
-                Err(WaitError::TimedOut) => err_fields(
-                    "timeout",
-                    vec![("retryable", JsonField::Raw("true".into()))],
-                ),
-                Err(WaitError::UnknownTicket) => err_fields("unknown_ticket", vec![]),
-            }
-        }
-        "cancel" => {
-            let ticket = match require_ticket(&request) {
-                Ok(ticket) => ticket,
-                Err(response) => return response,
-            };
-            match service.cancel(ticket) {
-                Some(outcome) => ok_fields(vec![(
-                    "cancel",
-                    JsonField::Str(
-                        match outcome {
-                            crate::scheduler::CancelOutcome::Cancelled => "cancelled",
-                            crate::scheduler::CancelOutcome::Signalled => "signalled",
-                            crate::scheduler::CancelOutcome::Detached => "detached",
-                            crate::scheduler::CancelOutcome::AlreadyDone => "already_done",
-                        }
-                        .into(),
-                    ),
-                )]),
-                None => err_fields("unknown_ticket", vec![]),
-            }
-        }
-        "stats" => {
+                .into(),
+            },
+            None => Response::Error(WireError::new(ErrorCode::UnknownTicket, "cancel")),
+        },
+        Request::Stats => {
             // A stats poll is a natural sync point: push any buffered
             // trace events to disk so `tail -f` and the CI smoke see a
             // complete stream without waiting for process exit.
             let _ = service.obs().flush();
-            ok_fields(stats_fields(service))
+            Response::Report {
+                json: ok_fields(stats_fields(service)),
+            }
         }
-        "health" => {
+        Request::Health => {
             // The relay's probe verb: one lock, no flush — the probe
             // deadline is the health signal, so keep the path minimal.
             let stats = service.stats();
-            ok_fields(vec![
-                ("role", JsonField::Str("backend".into())),
-                ("state", JsonField::Str("up".into())),
-                ("queue_depth", JsonField::Int(stats.queue_depth as u64)),
-            ])
+            Response::Report {
+                json: ok_fields(vec![
+                    ("role", JsonField::Str("backend".into())),
+                    ("state", JsonField::Str("up".into())),
+                    ("queue_depth", JsonField::Int(stats.queue_depth as u64)),
+                ]),
+            }
         }
-        "node_stats" => {
+        Request::NodeStats => {
             let mut fields = vec![("role", JsonField::Str("backend".into()))];
             fields.append(&mut stats_fields(service));
-            ok_fields(fields)
+            Response::Report {
+                json: ok_fields(fields),
+            }
         }
-        "" => err_fields(
-            "bad_request",
-            vec![("detail", JsonField::Str("`verb` is required".into()))],
-        ),
-        other => err_fields(
-            "unknown_verb",
-            vec![("detail", JsonField::Str(format!("`{other}`")))],
-        ),
     }
+}
+
+fn submit_one(service: &JobService, item: &SubmitItem, verb: &str) -> Response {
+    let spec: JobSpec = match item.spec.parse() {
+        Ok(spec) => spec,
+        Err(err) => {
+            return Response::Error(
+                WireError::new(ErrorCode::BadSpec, verb).with_detail(error_chain(&err)),
+            )
+        }
+    };
+    let priority = match &item.priority {
+        None => Priority::Normal,
+        Some(text) => match text.parse() {
+            Ok(priority) => priority,
+            Err(err) => {
+                return Response::Error(
+                    WireError::new(ErrorCode::BadRequest, verb).with_detail(err),
+                )
+            }
+        },
+    };
+    let deadline = item.deadline_ms.map(Duration::from_millis);
+    match service.submit(spec, priority, deadline) {
+        Ok(receipt) => {
+            let depth = match receipt.disposition {
+                crate::scheduler::Disposition::Enqueued { depth } => depth as u64,
+                _ => 0,
+            };
+            Response::Submit(SubmitOk {
+                ticket: receipt.ticket,
+                job: receipt.job.to_string(),
+                disposition: receipt.disposition.label().into(),
+                depth,
+                node: None,
+                edge: false,
+            })
+        }
+        Err(Rejected::QueueFull { depth }) => Response::Error(
+            WireError::new(ErrorCode::QueueFull, verb).with_depth(depth as u64),
+        ),
+        Err(Rejected::ShuttingDown) => {
+            Response::Error(WireError::new(ErrorCode::ShuttingDown, verb))
+        }
+    }
+}
+
+fn status_one(service: &JobService, ticket: u64, verb: &str) -> Response {
+    match service.status(ticket) {
+        Some(status) => Response::Status {
+            state: status.label().into(),
+        },
+        None => Response::Error(WireError::new(ErrorCode::UnknownTicket, verb)),
+    }
+}
+
+fn result_one(
+    service: &JobService,
+    ticket: u64,
+    timeout: Option<Duration>,
+    verb: &str,
+) -> Response {
+    match service.wait(ticket, timeout) {
+        Ok(outcome) => Response::Outcome(outcome_ok(&outcome)),
+        Err(WaitError::TimedOut) => Response::Error(WireError::new(ErrorCode::Timeout, verb)),
+        Err(WaitError::UnknownTicket) => {
+            Response::Error(WireError::new(ErrorCode::UnknownTicket, verb))
+        }
+    }
+}
+
+/// Runs one JSON request line through `dispatch_one` and renders the
+/// response line (no trailing newline) — the shared line pipeline of the
+/// backend server and the relay.
+pub(crate) fn respond_line(
+    line: &str,
+    dispatch_one: impl FnOnce(&Request) -> Response,
+) -> String {
+    let response = match Json::parse(line) {
+        Err(err) => Response::Error(
+            WireError::new(ErrorCode::BadRequest, "").with_detail(err.to_string()),
+        ),
+        Ok(json) => match Request::decode_json(&json) {
+            Err(err) => Response::Error(err),
+            Ok(request) => dispatch_one(&request),
+        },
+    };
+    response.encode_json()
+}
+
+/// Dispatches one request line to the service and renders the response
+/// line (no trailing newline). The JSON compat surface, kept as the
+/// sockets-free protocol entry point for tests and tooling.
+pub fn handle_request(service: &JobService, line: &str) -> String {
+    respond_line(line, |request| dispatch(service, request))
 }
 
 /// The counter snapshot rendered by the `stats` and `node_stats` verbs.
@@ -341,6 +377,11 @@ pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(120);
 /// A request line larger than this is protocol abuse, not a request:
 /// canonical specs are under 200 bytes.
 const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A binary frame larger than this is protocol abuse: even a maximal
+/// submit batch of canonical specs fits with an order of magnitude to
+/// spare.
+const MAX_FRAME_BYTES: usize = 1024 * 1024;
 
 impl WireServer {
     /// Binds `addr` (use port 0 for an ephemeral test port) around an
@@ -422,32 +463,47 @@ impl WireServer {
             let idle_timeout = self.idle_timeout;
             let _ = std::thread::Builder::new()
                 .name("ra-serve-conn".into())
-                .spawn(move || handle_connection(&service, stream, idle_timeout));
+                .spawn(move || {
+                    serve_stream(stream, idle_timeout, |request| {
+                        dispatch(&service, request)
+                    });
+                });
         }
         Ok(())
     }
 }
 
-fn handle_connection(service: &JobService, stream: TcpStream, idle_timeout: Duration) {
-    serve_lines(stream, idle_timeout, |line| handle_request(service, line));
+/// Which codec a connection sniffed to.
+#[derive(Clone, Copy)]
+enum Mode {
+    Json,
+    Binary,
 }
 
-/// Serves one connection until EOF, an I/O error, or the idle reaper —
-/// the shared loop behind both the backend server and the relay.
+/// Serves one connection until EOF, an I/O error, a damaged frame, or
+/// the idle reaper — the shared loop behind both the backend server and
+/// the relay.
+///
+/// The first byte of the connection picks the codec: `{` is a JSON
+/// object, anything else is taken as the hex length digit of a binary
+/// frame. The choice is sticky; a peer cannot switch codecs mid-stream.
+/// In binary mode a malformed or checksum-failed frame hangs up the
+/// connection immediately — past the first damaged frame there is no
+/// way to resynchronize, exactly like the journal's recovery rule.
 ///
 /// Each connection thread is its own reaper: the socket read timeout
 /// ticks at a fraction of the idle budget, so the thread wakes even
 /// when the peer sends nothing, measures how long it has been since a
-/// complete request line arrived, and hangs up once the budget is
-/// spent. A slowloris trickling bytes without ever finishing a line —
-/// or a half-open socket sending nothing at all — gets its thread back
+/// complete request arrived, and hangs up once the budget is spent. A
+/// slowloris trickling bytes without ever finishing a message — or a
+/// half-open socket sending nothing at all — gets its thread back
 /// within `idle_timeout` plus one tick. Time spent *serving* a request
 /// (a blocking `result` wait) does not count as idle: the clock resets
 /// when the response goes out.
-pub(crate) fn serve_lines(
+pub(crate) fn serve_stream(
     stream: TcpStream,
     idle_timeout: Duration,
-    mut handler: impl FnMut(&str) -> String,
+    mut dispatch_one: impl FnMut(&Request) -> Response,
 ) {
     let tick = (idle_timeout / 4).max(Duration::from_millis(10));
     if stream.set_read_timeout(Some(tick)).is_err() {
@@ -459,8 +515,9 @@ pub(crate) fn serve_lines(
     let mut writer = io::BufWriter::new(write_half);
     let mut reader = BufReader::new(stream);
     let mut pending: Vec<u8> = Vec::new();
+    let mut mode: Option<Mode> = None;
     let mut idle_since = Instant::now();
-    loop {
+    'conn: loop {
         let buf = match reader.fill_buf() {
             Ok([]) => break, // clean EOF
             Ok(buf) => buf,
@@ -478,33 +535,69 @@ pub(crate) fn serve_lines(
             Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => break,
         };
-        let (take, complete) = match buf.iter().position(|&b| b == b'\n') {
-            Some(newline) => (newline + 1, true),
-            None => (buf.len(), false),
-        };
-        pending.extend_from_slice(&buf[..take]);
+        let take = buf.len();
+        pending.extend_from_slice(buf);
         reader.consume(take);
-        if pending.len() > MAX_LINE_BYTES {
-            break; // unbounded line: abuse, not a request
-        }
-        if !complete {
-            continue; // partial line buffered; the idle clock keeps running
-        }
-        let line = match std::str::from_utf8(&pending) {
-            Ok(line) => line.trim(),
-            Err(_) => break,
-        };
-        if !line.is_empty() {
-            let response = handler(line);
-            if writeln!(writer, "{response}")
-                .and_then(|()| writer.flush())
-                .is_err()
-            {
-                break;
+        let mode = *mode.get_or_insert(if pending[0] == b'{' {
+            Mode::Json
+        } else {
+            Mode::Binary
+        });
+        match mode {
+            Mode::Json => {
+                while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
+                    let line_bytes: Vec<u8> = pending.drain(..=newline).collect();
+                    let Ok(text) = std::str::from_utf8(&line_bytes[..newline]) else {
+                        break 'conn;
+                    };
+                    let line = text.trim();
+                    if !line.is_empty() {
+                        let response = respond_line(line, &mut dispatch_one);
+                        if writer
+                            .write_all(response.as_bytes())
+                            .and_then(|()| writer.write_all(b"\n"))
+                            .and_then(|()| writer.flush())
+                            .is_err()
+                        {
+                            break 'conn;
+                        }
+                    }
+                    idle_since = Instant::now();
+                }
+                if pending.len() > MAX_LINE_BYTES {
+                    break; // unbounded line: abuse, not a request
+                }
             }
+            Mode::Binary => loop {
+                match frame::step(&pending) {
+                    FrameStep::Ok { payload, advance } => {
+                        pending.drain(..advance);
+                        let response = match BinaryCodec.decode_request(&payload) {
+                            Ok(request) => dispatch_one(&request),
+                            Err(err) => Response::Error(err),
+                        };
+                        let wire = BinaryCodec.encode_response(&response);
+                        if writer
+                            .write_all(&wire)
+                            .and_then(|()| writer.flush())
+                            .is_err()
+                        {
+                            break 'conn;
+                        }
+                        idle_since = Instant::now();
+                    }
+                    FrameStep::Incomplete => {
+                        if pending.len() > MAX_FRAME_BYTES {
+                            break 'conn; // unbounded frame: abuse
+                        }
+                        break; // buffered; the idle clock keeps running
+                    }
+                    // No resync past a damaged frame: hang up, exactly
+                    // like journal recovery stops at the first bad frame.
+                    FrameStep::Malformed | FrameStep::BadChecksum => break 'conn,
+                }
+            },
         }
-        pending.clear();
-        idle_since = Instant::now();
     }
 }
 
@@ -551,11 +644,18 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Blocking line-JSON client for [`WireServer`] (used by `ra-loadgen`
-/// and the integration tests).
+/// Blocking client for [`WireServer`] (used by `ra-loadgen`, the relay's
+/// forward path, and the integration tests). Speaks JSON lines by
+/// default; [`with_binary`](WireClient::with_binary) switches to the
+/// framed binary codec — no handshake, the server sniffs per connection.
 pub struct WireClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    binary: bool,
+    /// Unconsumed wire bytes past the last complete binary frame.
+    pending: Vec<u8>,
+    bytes_sent: u64,
+    bytes_received: u64,
 }
 
 impl WireClient {
@@ -566,8 +666,7 @@ impl WireClient {
     /// Propagates connect/clone failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<WireClient> {
         let writer = TcpStream::connect(addr)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(WireClient { reader, writer })
+        WireClient::from_stream(writer)
     }
 
     /// Connects with a bounded connect attempt — the relay's forward
@@ -578,8 +677,42 @@ impl WireClient {
     /// Propagates connect/clone failures, including the timeout.
     pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> io::Result<WireClient> {
         let writer = TcpStream::connect_timeout(addr, timeout)?;
+        WireClient::from_stream(writer)
+    }
+
+    fn from_stream(writer: TcpStream) -> io::Result<WireClient> {
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(WireClient { reader, writer })
+        Ok(WireClient {
+            reader,
+            writer,
+            binary: false,
+            pending: Vec::new(),
+            bytes_sent: 0,
+            bytes_received: 0,
+        })
+    }
+
+    /// Selects the codec for all subsequent calls. Must not be flipped
+    /// mid-connection: the server's sniffed mode is sticky.
+    #[must_use]
+    pub fn with_binary(mut self, binary: bool) -> WireClient {
+        self.binary = binary;
+        self
+    }
+
+    /// Whether this client speaks the binary codec.
+    pub fn is_binary(&self) -> bool {
+        self.binary
+    }
+
+    /// Total request bytes put on the wire, framing included.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total response bytes taken off the wire, framing included.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
     }
 
     /// Bounds every subsequent response read (the per-forward deadline).
@@ -592,16 +725,76 @@ impl WireClient {
         self.reader.get_ref().set_read_timeout(timeout)
     }
 
-    /// Sends one request line and returns the raw response line (no
-    /// trailing newline) — what the relay forwards verbatim so cluster
-    /// responses stay bit-identical to single-node ones.
+    /// Sends one typed request and reads its typed response — the
+    /// codec-agnostic call every helper below goes through.
     ///
     /// # Errors
     ///
-    /// I/O failures or server disconnect.
+    /// I/O failures, server disconnect, or an undecodable response.
+    pub fn call_request(&mut self, request: &Request) -> io::Result<Response> {
+        if self.binary {
+            let wire = BinaryCodec.encode_request(request);
+            self.writer.write_all(&wire)?;
+            self.writer.flush()?;
+            self.bytes_sent += wire.len() as u64;
+            let payload = self.read_frame()?;
+            BinaryCodec.decode_response(&payload)
+        } else {
+            let line = self.call_raw(&request.encode_json())?;
+            let json = Json::parse(&line).map_err(|err| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {err}"))
+            })?;
+            Ok(Response::decode_json(&json, &line))
+        }
+    }
+
+    /// Reads one checksummed frame's payload off the binary wire.
+    fn read_frame(&mut self) -> io::Result<Vec<u8>> {
+        loop {
+            match frame::step(&self.pending) {
+                FrameStep::Ok { payload, advance } => {
+                    self.pending.drain(..advance);
+                    self.bytes_received += advance as u64;
+                    return Ok(payload);
+                }
+                FrameStep::Incomplete => {
+                    let buf = self.reader.fill_buf()?;
+                    if buf.is_empty() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        ));
+                    }
+                    let take = buf.len();
+                    self.pending.extend_from_slice(buf);
+                    self.reader.consume(take);
+                }
+                FrameStep::Malformed | FrameStep::BadChecksum => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "damaged response frame",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Sends one request line and returns the raw response line (no
+    /// trailing newline). JSON mode only.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or server disconnect; `InvalidInput` in binary mode.
     pub fn call_raw(&mut self, request: &str) -> io::Result<String> {
+        if self.binary {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "call_raw speaks JSON lines; this client is binary",
+            ));
+        }
         writeln!(self.writer, "{request}")?;
         self.writer.flush()?;
+        self.bytes_sent += request.len() as u64 + 1;
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(io::Error::new(
@@ -609,13 +802,15 @@ impl WireClient {
                 "server closed the connection",
             ));
         }
+        self.bytes_received += line.len() as u64;
         while line.ends_with('\n') || line.ends_with('\r') {
             line.pop();
         }
         Ok(line)
     }
 
-    /// Sends one request line and parses the one response line.
+    /// Sends one request line and parses the one response line. JSON
+    /// mode only.
     ///
     /// # Errors
     ///
@@ -625,6 +820,38 @@ impl WireClient {
         Json::parse(&line).map_err(|err| {
             io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {err}"))
         })
+    }
+
+    /// Runs a typed request and hands back the response as parsed JSON —
+    /// identical view under either codec, so every legacy call site
+    /// works unchanged in binary mode.
+    fn call_verb(&mut self, request: &Request) -> io::Result<Json> {
+        if self.binary {
+            let response = self.call_request(request)?;
+            let line = response.encode_json();
+            Json::parse(&line).map_err(|err| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {err}"))
+            })
+        } else {
+            self.call(&request.encode_json())
+        }
+    }
+
+    /// Runs a typed batch request and unwraps the per-item responses.
+    fn call_batch(&mut self, request: &Request) -> io::Result<Vec<Response>> {
+        match self.call_request(request)? {
+            Response::Batch(items) => Ok(items),
+            Response::Error(err) => Err(io::Error::other(format!(
+                "{} failed: {}{}",
+                request.verb(),
+                err.code.as_str(),
+                err.detail.map(|d| format!(" ({d})")).unwrap_or_default()
+            ))),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a batch response, got {other:?}"),
+            )),
+        }
     }
 
     /// `submit` with optional priority/deadline.
@@ -638,17 +865,22 @@ impl WireClient {
         priority: Option<&str>,
         deadline_ms: Option<u64>,
     ) -> io::Result<Json> {
-        let mut fields = vec![
-            ("verb", JsonField::Str("submit".into())),
-            ("spec", JsonField::Str(spec.to_owned())),
-        ];
-        if let Some(priority) = priority {
-            fields.push(("priority", JsonField::Str(priority.to_owned())));
-        }
-        if let Some(ms) = deadline_ms {
-            fields.push(("deadline_ms", JsonField::Int(ms)));
-        }
-        self.call(&json_object(&fields))
+        self.call_verb(&Request::Submit(SubmitItem {
+            spec: spec.to_owned(),
+            priority: priority.map(str::to_owned),
+            deadline_ms,
+        }))
+    }
+
+    /// `submit_batch`: up to [`crate::proto::MAX_BATCH_ITEMS`] specs in
+    /// one round-trip; one response per item, in order.
+    ///
+    /// # Errors
+    ///
+    /// See [`call_request`](WireClient::call_request); also errors when
+    /// the whole batch (not an item) was refused.
+    pub fn submit_batch(&mut self, items: Vec<SubmitItem>) -> io::Result<Vec<Response>> {
+        self.call_batch(&Request::SubmitBatch(items))
     }
 
     /// `status` for a ticket.
@@ -657,10 +889,16 @@ impl WireClient {
     ///
     /// See [`call`](WireClient::call).
     pub fn status(&mut self, ticket: u64) -> io::Result<Json> {
-        self.call(&json_object(&[
-            ("verb", JsonField::Str("status".into())),
-            ("ticket", JsonField::Int(ticket)),
-        ]))
+        self.call_verb(&Request::Status { ticket })
+    }
+
+    /// `status_batch` for many tickets in one round-trip.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit_batch`](WireClient::submit_batch).
+    pub fn status_batch(&mut self, tickets: Vec<u64>) -> io::Result<Vec<Response>> {
+        self.call_batch(&Request::StatusBatch { tickets })
     }
 
     /// `result` for a ticket, blocking up to `timeout_ms` (forever when
@@ -670,14 +908,24 @@ impl WireClient {
     ///
     /// See [`call`](WireClient::call).
     pub fn result(&mut self, ticket: u64, timeout_ms: Option<u64>) -> io::Result<Json> {
-        let mut fields = vec![
-            ("verb", JsonField::Str("result".into())),
-            ("ticket", JsonField::Int(ticket)),
-        ];
-        if let Some(ms) = timeout_ms {
-            fields.push(("timeout_ms", JsonField::Int(ms)));
-        }
-        self.call(&json_object(&fields))
+        self.call_verb(&Request::Result { ticket, timeout_ms })
+    }
+
+    /// `result_batch`: collects many tickets in one round-trip under one
+    /// whole-batch deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit_batch`](WireClient::submit_batch).
+    pub fn result_batch(
+        &mut self,
+        tickets: Vec<u64>,
+        timeout_ms: Option<u64>,
+    ) -> io::Result<Vec<Response>> {
+        self.call_batch(&Request::ResultBatch {
+            tickets,
+            timeout_ms,
+        })
     }
 
     /// `cancel` for a ticket.
@@ -686,10 +934,7 @@ impl WireClient {
     ///
     /// See [`call`](WireClient::call).
     pub fn cancel(&mut self, ticket: u64) -> io::Result<Json> {
-        self.call(&json_object(&[
-            ("verb", JsonField::Str("cancel".into())),
-            ("ticket", JsonField::Int(ticket)),
-        ]))
+        self.call_verb(&Request::Cancel { ticket })
     }
 
     /// `stats` snapshot.
@@ -698,7 +943,7 @@ impl WireClient {
     ///
     /// See [`call`](WireClient::call).
     pub fn stats(&mut self) -> io::Result<Json> {
-        self.call(&json_object(&[("verb", JsonField::Str("stats".into()))]))
+        self.call_verb(&Request::Stats)
     }
 
     /// `health` probe.
@@ -707,7 +952,7 @@ impl WireClient {
     ///
     /// See [`call`](WireClient::call).
     pub fn health(&mut self) -> io::Result<Json> {
-        self.call(&json_object(&[("verb", JsonField::Str("health".into()))]))
+        self.call_verb(&Request::Health)
     }
 
     /// `node_stats` snapshot (per-node breakdown when the peer is a
@@ -717,10 +962,7 @@ impl WireClient {
     ///
     /// See [`call`](WireClient::call).
     pub fn node_stats(&mut self) -> io::Result<Json> {
-        self.call(&json_object(&[(
-            "verb",
-            JsonField::Str("node_stats".into()),
-        )]))
+        self.call_verb(&Request::NodeStats)
     }
 }
 
@@ -799,8 +1041,17 @@ mod tests {
                 Some(code),
                 "{request}"
             );
+            // Satellite of the v2 redesign: every error names a stable
+            // machine-readable code (mirroring `error`) and the verb.
+            assert_eq!(
+                response.get("code").and_then(Json::as_str),
+                Some(code),
+                "{request}"
+            );
+            assert!(response.get("verb").is_some(), "{request}");
         }
-        // The mode failure surfaces the ParseModeError chain.
+        // The mode failure surfaces the ParseModeError chain and the
+        // offending verb.
         let response = Json::parse(&handle_request(
             &service,
             r#"{"verb":"submit","spec":"target=4x4 app=water mode=warp"}"#,
@@ -808,6 +1059,7 @@ mod tests {
         .unwrap();
         let detail = response.get("detail").and_then(Json::as_str).unwrap();
         assert!(detail.contains("unknown mode `warp`"), "detail: {detail}");
+        assert_eq!(response.get("verb").and_then(Json::as_str), Some("submit"));
         service.shutdown();
     }
 
@@ -838,6 +1090,110 @@ mod tests {
             response.get("disposition").and_then(Json::as_str),
             Some("cached")
         );
+        handle.stop();
+    }
+
+    #[test]
+    fn binary_clients_sniff_onto_the_same_server_as_json_ones() {
+        let server = WireServer::bind("127.0.0.1:0", tiny_service()).unwrap();
+        let handle = server.spawn().unwrap();
+
+        // Binary connection first: submit and collect.
+        let mut binary = WireClient::connect(handle.addr()).unwrap().with_binary(true);
+        let response = binary.submit(SPEC, Some("high"), None).unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        let ticket = response.get("ticket").and_then(Json::as_u64).unwrap();
+        let outcome = binary.result(ticket, Some(30_000)).unwrap();
+        assert_eq!(
+            outcome.get("outcome").and_then(Json::as_str),
+            Some("completed")
+        );
+        assert!(binary.bytes_sent() > 0 && binary.bytes_received() > 0);
+
+        // A JSON connection to the same server sees the same cache.
+        let mut json = WireClient::connect(handle.addr()).unwrap();
+        let response = json.submit(SPEC, None, None).unwrap();
+        assert_eq!(
+            response.get("disposition").and_then(Json::as_str),
+            Some("cached")
+        );
+        handle.stop();
+    }
+
+    #[test]
+    fn batch_verbs_answer_item_per_item_in_order() {
+        for binary in [false, true] {
+            let server = WireServer::bind("127.0.0.1:0", tiny_service()).unwrap();
+            let handle = server.spawn().unwrap();
+            let mut client = WireClient::connect(handle.addr())
+                .unwrap()
+                .with_binary(binary);
+
+            let items = vec![
+                SubmitItem::new(SPEC),
+                SubmitItem::new(format!("{SPEC} seed=1")),
+                SubmitItem::new("not a spec"),
+            ];
+            let responses = client.submit_batch(items).unwrap();
+            assert_eq!(responses.len(), 3, "binary={binary}");
+            let mut tickets = Vec::new();
+            for response in &responses[..2] {
+                let Response::Submit(ok) = response else {
+                    panic!("binary={binary}: {response:?}");
+                };
+                tickets.push(ok.ticket);
+            }
+            let Response::Error(err) = &responses[2] else {
+                panic!("binary={binary}: bad spec must fail per-item");
+            };
+            assert_eq!(err.code, ErrorCode::BadSpec);
+            assert_eq!(err.verb, "submit_batch");
+
+            let outcomes = client
+                .result_batch(tickets.clone(), Some(30_000))
+                .unwrap();
+            assert_eq!(outcomes.len(), 2);
+            for outcome in &outcomes {
+                let Response::Outcome(ok) = outcome else {
+                    panic!("binary={binary}: {outcome:?}");
+                };
+                assert_eq!(ok.outcome, "completed");
+            }
+
+            // Collected tickets are spent; a never-issued one is too.
+            let states = client.status_batch(vec![tickets[0], 999_999]).unwrap();
+            for state in &states {
+                assert!(
+                    matches!(state, Response::Error(err) if err.code == ErrorCode::UnknownTicket),
+                    "binary={binary}: {state:?}"
+                );
+            }
+            handle.stop();
+        }
+    }
+
+    #[test]
+    fn a_damaged_binary_frame_hangs_up_the_connection() {
+        let server = WireServer::bind("127.0.0.1:0", tiny_service()).unwrap();
+        let handle = server.spawn().unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut wire = BinaryCodec.encode_request(&Request::Health);
+        let flip = wire.len() - 2; // corrupt the payload, keep the header
+        wire[flip] ^= 0x01;
+        stream.write_all(&wire).unwrap();
+        stream.flush().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut sink = Vec::new();
+        let read = io::Read::read_to_end(&mut stream, &mut sink);
+        assert!(matches!(read, Ok(0)), "expected hangup, got {read:?}");
+        assert!(sink.is_empty(), "no response may precede the hangup");
+
+        // The service survives for well-formed clients.
+        let mut client = WireClient::connect(handle.addr()).unwrap().with_binary(true);
+        let health = client.health().unwrap();
+        assert_eq!(health.get("state").and_then(Json::as_str), Some("up"));
         handle.stop();
     }
 
@@ -905,8 +1261,10 @@ mod tests {
         // Pump newline-free bytes well past MAX_LINE_BYTES; the server
         // must hang up rather than buffer without bound. The write side
         // may observe the reset as an error mid-stream — both shapes
-        // (error or EOF on read) prove the hangup.
-        let chunk = [b'x'; 4096];
+        // (error or EOF on read) prove the hangup. Lead with `{` so the
+        // connection sniffs as JSON.
+        let mut chunk = [b'x'; 4096];
+        chunk[0] = b'{';
         let mut closed = false;
         for _ in 0..((MAX_LINE_BYTES / chunk.len()) + 4) {
             if abuser.write_all(&chunk).and_then(|()| abuser.flush()).is_err() {

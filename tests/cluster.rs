@@ -178,9 +178,10 @@ fn backend() -> reciprocal_abstraction::serve::ServerHandle {
 }
 
 /// The result body a client sees for `spec`, as raw JSON text — the
-/// fingerprint the determinism gate compares bit-for-bit.
-fn fingerprint(addr: std::net::SocketAddr, spec: &str) -> String {
-    let mut client = WireClient::connect(addr).expect("connect");
+/// fingerprint the determinism gate compares bit-for-bit. `binary`
+/// selects the wire codec the client speaks; the values must not care.
+fn fingerprint_via(addr: std::net::SocketAddr, spec: &str, binary: bool) -> String {
+    let mut client = WireClient::connect(addr).expect("connect").with_binary(binary);
     let submit = client.submit(spec, None, None).expect("submit");
     assert_eq!(
         submit.get("ok").and_then(Json::as_bool),
@@ -201,17 +202,29 @@ fn fingerprint(addr: std::net::SocketAddr, spec: &str) -> String {
     fields.join(";")
 }
 
+fn fingerprint(addr: std::net::SocketAddr, spec: &str) -> String {
+    fingerprint_via(addr, spec, false)
+}
+
 /// The determinism gate: one spec, three topologies — a lone backend,
 /// a 3-node cluster behind the relay, and the same cluster after its
 /// owning shard was killed — must produce byte-identical result
-/// fingerprints.
+/// fingerprints. The codec must be invisible too: the JSON and binary
+/// wire protocols, and the mixed path (JSON client, relay forwarding
+/// in binary), all yield the same bytes.
 #[test]
 fn cluster_results_match_single_node_and_survive_failover() {
     let spec = "target=4x4 app=water mode=hop instructions=200 budget=1000000 seed=11";
 
-    // Topology 1: a single node, no relay.
+    // Topology 1: a single node, no relay — fingerprinted over both
+    // codecs, which must agree bit-for-bit.
     let solo = backend();
     let single = fingerprint(solo.addr(), spec);
+    let single_binary = fingerprint_via(solo.addr(), spec, true);
+    assert_eq!(
+        single, single_binary,
+        "binary-codec result differs from JSON-codec result"
+    );
     solo.stop();
 
     // Topology 2: three backends behind a relay. Edge cache off so the
@@ -235,8 +248,15 @@ fn cluster_results_match_single_node_and_survive_failover() {
         .expect("bind relay")
         .spawn()
         .expect("spawn relay");
+    // A JSON client against the relay is the mixed path: the relay's
+    // own forwards to the backends ride the binary codec.
     let clustered = fingerprint(relay.addr(), spec);
     assert_eq!(single, clustered, "cluster result differs from single-node");
+    let clustered_binary = fingerprint_via(relay.addr(), spec, true);
+    assert_eq!(
+        single, clustered_binary,
+        "binary-client cluster result differs from single-node"
+    );
 
     // Find the owning shard and kill exactly it.
     let owner = {

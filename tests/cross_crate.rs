@@ -308,3 +308,191 @@ fn serve_wire_round_trip_reaches_the_driver_and_memoizes() {
     assert_eq!(stats.get("rejected").and_then(Json::as_u64), Some(0));
     handle.stop();
 }
+
+/// Every request and response the wire understands must survive a
+/// round-trip through both codecs unchanged — the typed enums are the
+/// contract, the codecs are interchangeable transports. The binary
+/// frames additionally unwrap through the shared frame reader, the
+/// same path the server and client use.
+#[test]
+fn wire_protocol_round_trips_every_message_through_both_codecs() {
+    use reciprocal_abstraction::serve::proto::{
+        ErrorCode, OutcomeOk, Request, Response, ResultBody, SubmitItem, SubmitOk, WireError,
+    };
+    use reciprocal_abstraction::serve::{frame, BinaryCodec, Codec, FrameStep, JsonCodec};
+
+    let requests = vec![
+        Request::Submit(SubmitItem::new("target=2x2 app=water mode=hop")),
+        Request::Submit(
+            SubmitItem::new("target=4x4 app=fft mode=lockstep")
+                .priority("high")
+                .deadline_ms(1_500),
+        ),
+        Request::SubmitBatch(vec![
+            SubmitItem::new("target=2x2 app=water mode=hop"),
+            SubmitItem::new("target=2x2 app=ocean mode=hop").priority("low"),
+        ]),
+        Request::Status { ticket: 7 },
+        Request::StatusBatch { tickets: vec![1, 2, 9_007_199_254_740_991] },
+        Request::Result { ticket: 9, timeout_ms: None },
+        Request::Result { ticket: 9, timeout_ms: Some(30_000) },
+        Request::ResultBatch { tickets: vec![3, 4], timeout_ms: Some(250) },
+        Request::ResultBatch { tickets: vec![], timeout_ms: None },
+        Request::Cancel { ticket: 12 },
+        Request::Stats,
+        Request::Health,
+        Request::NodeStats,
+    ];
+    let responses = vec![
+        Response::Submit(SubmitOk {
+            ticket: 41,
+            job: "00c0ffee00c0ffee".to_owned(),
+            disposition: "enqueued".to_owned(),
+            depth: 3,
+            node: None,
+            edge: false,
+        }),
+        Response::Submit(SubmitOk {
+            ticket: 42,
+            job: "00c0ffee00c0ffee".to_owned(),
+            disposition: "cached".to_owned(),
+            depth: 0,
+            node: Some(1),
+            edge: true,
+        }),
+        Response::Status { state: "running".to_owned() },
+        Response::Outcome(OutcomeOk {
+            outcome: "completed".to_owned(),
+            detail: None,
+            queue_ns: Some(120),
+            run_ns: Some(4_567),
+            body: Some(ResultBody {
+                workload: "water".to_owned(),
+                mode: "reciprocal".to_owned(),
+                cycles: 123_456,
+                messages: 789,
+                ipc: 1.25,
+                latency_mean: 17.5,
+                latency_count: 789,
+                calibrations: 4,
+            }),
+        }),
+        Response::Outcome(OutcomeOk {
+            outcome: "failed".to_owned(),
+            detail: Some("driver refused the spec".to_owned()),
+            queue_ns: Some(1),
+            run_ns: Some(2),
+            body: None,
+        }),
+        Response::Cancel { cancel: "cancelled".to_owned() },
+        Response::Report { json: r#"{"ok":true,"role":"backend","state":"up","queue_depth":0}"#.to_owned() },
+        Response::Batch(vec![
+            Response::Status { state: "done".to_owned() },
+            Response::Error(WireError::new(ErrorCode::UnknownTicket, "status_batch")),
+        ]),
+        Response::Error(
+            WireError::new(ErrorCode::QueueFull, "submit")
+                .with_detail("queue is at capacity")
+                .with_depth(64),
+        ),
+        Response::Error(WireError::new(ErrorCode::BadFrame, "")),
+    ];
+
+    // Binary frames come back through the shared frame reader first.
+    let unframe = |bytes: &[u8]| -> Vec<u8> {
+        match frame::step(bytes) {
+            FrameStep::Ok { payload, advance } => {
+                assert_eq!(advance, bytes.len(), "one message, one frame");
+                payload
+            }
+            other => panic!("binary codec produced a bad frame: {other:?}"),
+        }
+    };
+    // JSON payloads are newline-delimited lines.
+    let unline = |bytes: &[u8]| -> Vec<u8> {
+        assert_eq!(bytes.last(), Some(&b'\n'), "JSON messages are lines");
+        bytes[..bytes.len() - 1].to_vec()
+    };
+
+    for request in &requests {
+        let wire = JsonCodec.encode_request(request);
+        let back = JsonCodec
+            .decode_request(&unline(&wire))
+            .unwrap_or_else(|err| panic!("json decode of {request:?}: {err:?}"));
+        assert_eq!(&back, request, "json round-trip");
+
+        let wire = BinaryCodec.encode_request(request);
+        let back = BinaryCodec
+            .decode_request(&unframe(&wire))
+            .unwrap_or_else(|err| panic!("binary decode of {request:?}: {err:?}"));
+        assert_eq!(&back, request, "binary round-trip");
+    }
+    for response in &responses {
+        let wire = JsonCodec.encode_response(response);
+        let back = JsonCodec
+            .decode_response(&unline(&wire))
+            .unwrap_or_else(|err| panic!("json decode of {response:?}: {err}"));
+        assert_eq!(&back, response, "json round-trip");
+
+        let wire = BinaryCodec.encode_response(response);
+        let back = BinaryCodec
+            .decode_response(&unframe(&wire))
+            .unwrap_or_else(|err| panic!("binary decode of {response:?}: {err}"));
+        assert_eq!(&back, response, "binary round-trip");
+    }
+}
+
+/// The batched verbs end to end through the umbrella crate: one
+/// round-trip submits a mixed batch, one collects every result.
+#[test]
+fn serve_batched_verbs_round_trip_through_the_umbrella_crate() {
+    use reciprocal_abstraction::serve::{
+        JobService, Response, ServeConfig, SubmitItem, WireClient, WireServer,
+    };
+
+    let service = JobService::start(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        reciprocal_abstraction::obs::ObsSink::disabled(),
+    )
+    .expect("service starts");
+    let handle = WireServer::bind("127.0.0.1:0", service)
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn accept loop");
+    let mut client = WireClient::connect(handle.addr())
+        .expect("connect")
+        .with_binary(true);
+
+    let items: Vec<SubmitItem> = (0..4)
+        .map(|seed| {
+            SubmitItem::new(format!(
+                "target=2x2 app=water mode=hop instructions=50 budget=200000 seed={seed}"
+            ))
+        })
+        .collect();
+    let submitted = client.submit_batch(items).expect("submit_batch");
+    let tickets: Vec<u64> = submitted
+        .iter()
+        .map(|response| match response {
+            Response::Submit(ok) => ok.ticket,
+            other => panic!("batch item refused: {other:?}"),
+        })
+        .collect();
+    let outcomes = client
+        .result_batch(tickets, Some(60_000))
+        .expect("result_batch");
+    assert_eq!(outcomes.len(), 4);
+    for outcome in &outcomes {
+        match outcome {
+            Response::Outcome(ok) => {
+                assert_eq!(ok.outcome, "completed");
+                assert!(ok.body.as_ref().expect("result body").cycles > 0);
+            }
+            other => panic!("no outcome: {other:?}"),
+        }
+    }
+    handle.stop();
+}

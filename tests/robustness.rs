@@ -437,3 +437,114 @@ fn degraded_coupler_retires_every_script() {
     );
     assert!(stats.quanta_degraded > 0);
 }
+
+mod wire_protocol {
+    //! Fuzz for the binary wire codec: arbitrary or damaged bytes must
+    //! never panic the frame reader or the codec, and a damaged frame
+    //! must stop the stream exactly at the damage point — the same
+    //! trust-only-a-valid-prefix discipline the journal reader has.
+
+    use proptest::prelude::*;
+    use reciprocal_abstraction::serve::proto::{Request, SubmitItem};
+    use reciprocal_abstraction::serve::{frame, BinaryCodec, Codec, FrameStep};
+
+    fn sample_request(seed: u64) -> Request {
+        match seed % 5 {
+            0 => Request::Submit(
+                SubmitItem::new(format!("target=2x2 app=water seed={seed}")).priority("high"),
+            ),
+            1 => Request::Status { ticket: seed },
+            2 => Request::Result {
+                ticket: seed,
+                timeout_ms: Some(seed % 10_000),
+            },
+            3 => Request::StatusBatch {
+                tickets: vec![seed % 1_000, seed % 7],
+            },
+            _ => Request::Health,
+        }
+    }
+
+    /// Walks a buffer with `frame::step` the way the server's read loop
+    /// does: decode frames until damage or exhaustion.
+    fn drain(buffer: &[u8]) -> Vec<Vec<u8>> {
+        let mut at = 0usize;
+        let mut frames = Vec::new();
+        while at < buffer.len() {
+            match frame::step(&buffer[at..]) {
+                FrameStep::Ok { payload, advance } => {
+                    frames.push(payload);
+                    at += advance;
+                }
+                _ => break,
+            }
+        }
+        frames
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Arbitrary bytes never panic the frame reader or the binary
+        /// codec's request/response decoders.
+        #[test]
+        fn garbage_never_panics_the_binary_wire(
+            bytes in prop::collection::vec(any::<u8>(), 0..600),
+        ) {
+            let _ = frame::step(&bytes);
+            let _ = BinaryCodec.decode_request(&bytes);
+            let _ = BinaryCodec.decode_response(&bytes);
+        }
+
+        /// Truncating an encoded request mid-frame can never yield a
+        /// decodable message: the reader reports Incomplete (wait for
+        /// more bytes) or Malformed, never a trusted frame.
+        #[test]
+        fn truncated_frames_never_decode(
+            seed in any::<u64>(),
+            cut in any::<usize>(),
+        ) {
+            let wire = BinaryCodec.encode_request(&sample_request(seed));
+            let cut = cut % wire.len(); // strictly shorter than the frame
+            prop_assert!(
+                !matches!(frame::step(&wire[..cut]), FrameStep::Ok { .. }),
+                "a truncated frame must never decode"
+            );
+        }
+
+        /// Flipping one bit anywhere in a multi-frame stream stops the
+        /// read loop exactly at the damaged frame: every frame before it
+        /// decodes intact, nothing at or after it is trusted.
+        #[test]
+        fn a_flipped_bit_stops_the_stream_at_the_damaged_frame(
+            seeds in prop::collection::vec(any::<u64>(), 1..8),
+            flip_at in any::<usize>(),
+            flip_bit in 0u8..8,
+        ) {
+            let frames: Vec<Vec<u8>> = seeds
+                .iter()
+                .map(|&s| BinaryCodec.encode_request(&sample_request(s)))
+                .collect();
+            let mut wire: Vec<u8> = frames.concat();
+            let flip_at = flip_at % wire.len();
+            wire[flip_at] ^= 1 << flip_bit;
+            // Which frame did the flip land in?
+            let mut offset = 0usize;
+            let mut damaged = frames.len();
+            for (i, f) in frames.iter().enumerate() {
+                if flip_at < offset + f.len() {
+                    damaged = i;
+                    break;
+                }
+                offset += f.len();
+            }
+            let decoded = drain(&wire);
+            prop_assert_eq!(decoded.len(), damaged,
+                "the stream must stop exactly at the damaged frame");
+            for (payload, &seed) in decoded.iter().zip(&seeds) {
+                let request = BinaryCodec.decode_request(payload).expect("intact frame");
+                prop_assert_eq!(request, sample_request(seed));
+            }
+        }
+    }
+}
