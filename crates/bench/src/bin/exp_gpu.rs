@@ -23,7 +23,10 @@
 //! every observability event (quantum reports, NoC windows, engine
 //! batches, profiling spans) as JSONL; `--metrics` prints the T2 time
 //! breakdown per row; `--pipeline` also runs the speculative quantum
-//! pipeline and reports its commit/rollback columns.
+//! pipeline and reports its commit/rollback columns; `--chiplet
+//! 2x4x4,interposer=silicon` measures a chiplet system instead of the
+//! preset sweep (no paper column — the paper's targets are monolithic);
+//! `--trace-in <name>` replays a recorded trace stream.
 
 use ra_bench::{
     banner, breakdown_of, format_breakdown, json_array, json_object, secs, trips_json, BenchArgs,
@@ -31,7 +34,7 @@ use ra_bench::{
 };
 use ra_cosim::{ModeSpec, RunSpec, Target};
 use ra_obs::ObsSink;
-use ra_workloads::AppProfile;
+use ra_workloads::{AppProfile, WorkSpec};
 
 /// Device lanes of the modeled coprocessor.
 const LANES: f64 = 64.0;
@@ -60,15 +63,22 @@ fn main() {
             "target", "total", "noc-part", "share%", "S(dev)", "modeled", "paper"
         );
     }
-    let app = AppProfile::ocean();
+    let work = args.work_or(WorkSpec::Profile(AppProfile::ocean()));
     let mut rows = Vec::new();
-    for (cores, paper) in [(256u32, "16%"), (512, "65%")] {
-        if !args.wants_cores(cores) {
-            continue;
-        }
-        let target = Target::preset(cores).expect("preset");
-        let instr = (scale.instructions() / (cores as u64 / 64)).max(150);
-        let serial = RunSpec::new(&target, &app)
+    // A --chiplet flag swaps the preset sweep for the one chiplet system;
+    // the paper has no chiplet row, so its column reads "-".
+    let sweep: Vec<(Target, &str)> = match &args.chiplet {
+        Some(target) => vec![(target.clone(), "-")],
+        None => [(256u32, "16%"), (512, "65%")]
+            .into_iter()
+            .filter(|(c, _)| args.wants_cores(*c))
+            .map(|(c, paper)| (Target::preset(c).expect("preset"), paper))
+            .collect(),
+    };
+    for (target, paper) in sweep {
+        let cores = target.cores() as u32;
+        let instr = (scale.instructions() / (cores as u64 / 64).max(1)).max(150);
+        let serial = RunSpec::for_work(&target, work.clone())
             .mode(ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: false })
             .instructions(instr)
             .budget(scale.budget())
@@ -129,7 +139,7 @@ fn main() {
             // cold-start ramp, where every window legitimately resyncs.
             let spec_instr = instr.max(1_000);
             let pair = |pipeline: bool| {
-                RunSpec::new(&target, &app)
+                RunSpec::for_work(&target, work.clone())
                     .mode(ModeSpec::Reciprocal { quantum: SPEC_QUANTUM, workers: 0, pipeline })
                     .instructions(spec_instr)
                     .budget(scale.budget().max(20_000_000))
@@ -178,7 +188,7 @@ fn main() {
         }
         if host_cores > 1 {
             let workers = host_cores.saturating_sub(1).clamp(1, 8);
-            let parallel = RunSpec::new(&target, &app)
+            let parallel = RunSpec::for_work(&target, work.clone())
                 .mode(ModeSpec::Reciprocal { quantum: 2_000, workers, pipeline: false })
                 .instructions(instr)
                 .budget(scale.budget())

@@ -8,14 +8,17 @@
 //! `--cores 64,256` restricts the sweep; `--mode reciprocal` filters the
 //! mode ladder; `--trace-out t.jsonl` streams observability events;
 //! `--metrics` prints per-run time breakdowns; `--pipeline` adds a
-//! speculatively pipelined reciprocal row (spec commit/rollback columns).
+//! speculatively pipelined reciprocal row (spec commit/rollback columns);
+//! `--chiplet 2x4x4,interposer=silicon` times a chiplet system instead of
+//! the preset sweep; `--trace-in <name>` replays a recorded trace stream
+//! instead of the synthetic workload.
 
 use ra_bench::{
     banner, breakdown_of, format_breakdown, json_array, json_object, secs, BenchArgs, JsonField,
 };
 use ra_cosim::{ModeSpec, RunSpec, Target, STANDARD_CORE_COUNTS};
 use ra_obs::ObsSink;
-use ra_workloads::AppProfile;
+use ra_workloads::{AppProfile, WorkSpec};
 
 fn main() {
     let args = BenchArgs::from_args();
@@ -34,15 +37,21 @@ fn main() {
             "target", "mode", "target-cyc", "wall", "cyc/sec"
         );
     }
-    let app = AppProfile::ocean();
+    let work = args.work_or(WorkSpec::Profile(AppProfile::ocean()));
     let mut rows = Vec::new();
+    // A --chiplet flag swaps the preset sweep for the one chiplet system.
+    let targets: Vec<Target> = match &args.chiplet {
+        Some(target) => vec![target.clone()],
+        None => STANDARD_CORE_COUNTS
+            .into_iter()
+            .filter(|c| args.wants_cores(*c))
+            .map(|c| Target::preset(c).expect("preset"))
+            .collect(),
+    };
     // Shrink instruction counts with size so the table finishes promptly.
-    for cores in STANDARD_CORE_COUNTS {
-        if !args.wants_cores(cores) {
-            continue;
-        }
-        let target = Target::preset(cores).expect("preset");
-        let instr = (scale.instructions() / (cores as u64 / 64)).max(150);
+    for target in targets {
+        let cores = target.cores() as u32;
+        let instr = (scale.instructions() / (cores as u64 / 64).max(1)).max(150);
         let mut modes = vec![
             ModeSpec::Hop,
             ModeSpec::Reciprocal { quantum: 2_000, workers: 0, pipeline: false },
@@ -59,7 +68,7 @@ fn main() {
             if !args.wants_mode(mode) {
                 continue;
             }
-            let run = RunSpec::new(&target, &app)
+            let run = RunSpec::for_work(&target, work.clone())
                 .mode(mode)
                 .instructions(instr)
                 .budget(scale.budget())

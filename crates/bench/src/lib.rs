@@ -143,6 +143,12 @@ pub struct BenchArgs {
     /// (`--pipeline`): the detailed replay overlaps the next quantum,
     /// with checkpoint/rollback keeping simulated stats bit-identical.
     pub pipeline: bool,
+    /// Replace the preset target sweep with one chiplet system
+    /// (`--chiplet <islands>x<cols>x<rows>[,interposer=<class>]`).
+    pub chiplet: Option<ra_cosim::Target>,
+    /// Replace the workload with a recorded trace streamed from
+    /// `$RA_TRACE_DIR/<name>.ratr` (`--trace-in <name>`).
+    pub trace_in: Option<String>,
 }
 
 impl BenchArgs {
@@ -179,6 +185,15 @@ impl BenchArgs {
                 "--trace-out" => out.trace_out = args.next(),
                 "--metrics" => out.metrics = true,
                 "--pipeline" => out.pipeline = true,
+                "--chiplet" => {
+                    if let Some(spec) = args.next() {
+                        match ra_cosim::Target::from_chiplet_spec(&spec) {
+                            Ok(target) => out.chiplet = Some(target),
+                            Err(e) => eprintln!("ignoring --chiplet {spec}: {e}"),
+                        }
+                    }
+                }
+                "--trace-in" => out.trace_in = args.next(),
                 _ => {}
             }
         }
@@ -199,6 +214,15 @@ impl BenchArgs {
         match self.mode {
             Some(wanted) => wanted.label() == mode.label(),
             None => true,
+        }
+    }
+
+    /// The workload this invocation runs: the `--trace-in` stream when
+    /// given, otherwise `default` (typically the binary's stock profile).
+    pub fn work_or(&self, default: ra_workloads::WorkSpec) -> ra_workloads::WorkSpec {
+        match &self.trace_in {
+            Some(name) => ra_workloads::WorkSpec::Trace(name.clone()),
+            None => default,
         }
     }
 
@@ -433,6 +457,29 @@ mod tests {
         let junk = parse(&["--mode", "warp-speed"]);
         assert_eq!(junk.mode, None, "unparseable mode is ignored");
         assert!(parse(&[]).trace_sink().unwrap().is_none());
+    }
+
+    #[test]
+    fn bench_args_parse_chiplet_and_trace_in() {
+        use ra_cosim::{InterposerClass, Target};
+        use ra_workloads::WorkSpec;
+
+        let a = parse(&["--chiplet", "2x4x4,interposer=organic", "--trace-in", "smoke"]);
+        assert_eq!(
+            a.chiplet,
+            Some(Target::chiplet(2, 4, 4, InterposerClass::Organic))
+        );
+        assert_eq!(a.trace_in.as_deref(), Some("smoke"));
+        assert_eq!(
+            a.work_or(WorkSpec::Profile(ra_workloads::AppProfile::ocean())),
+            WorkSpec::Trace("smoke".into())
+        );
+        let junk = parse(&["--chiplet", "1x4x4"]);
+        assert_eq!(junk.chiplet, None, "unparseable chiplet spec is ignored");
+        assert_eq!(
+            parse(&[]).work_or(WorkSpec::Profile(ra_workloads::AppProfile::ocean())),
+            WorkSpec::Profile(ra_workloads::AppProfile::ocean())
+        );
     }
 
     #[test]

@@ -9,10 +9,10 @@ use std::time::{Duration, Instant};
 
 use ra_fullsys::{FullSysSnapshot, FullSystem, SliceEnd};
 use ra_netmodel::{AbstractNetwork, FixedLatency, HopLatency, HopMetric, QueueingLatency};
-use ra_noc::{NocNetwork, TopologyKind};
+use ra_noc::{DetailedNoc, TopologyKind};
 use ra_obs::{Event, ObsSink, SpanKind};
-use ra_sim::{MessageClass, Network, SimError, Summary};
-use ra_workloads::{AppProfile, AppWorkload};
+use ra_sim::{ConfigError, MessageClass, Network, SimError, Summary};
+use ra_workloads::{AnyWorkload, AppProfile, WorkSpec};
 
 use crate::probe::{LatencyProbe, ProbeSnapshot};
 use crate::reciprocal::{CouplerStats, ReciprocalNetwork};
@@ -268,7 +268,7 @@ pub fn percent_error(value: f64, truth: f64) -> f64 {
 #[must_use = "a RunSpec does nothing until .run()"]
 pub struct RunSpec<'a> {
     target: &'a Target,
-    app: &'a AppProfile,
+    work: WorkSpec,
     mode: ModeSpec,
     instructions: u64,
     budget: u64,
@@ -280,9 +280,15 @@ pub struct RunSpec<'a> {
 impl<'a> RunSpec<'a> {
     /// Starts a run specification over `target` executing `app`.
     pub fn new(target: &'a Target, app: &'a AppProfile) -> Self {
+        Self::for_work(target, WorkSpec::Profile(app.clone()))
+    }
+
+    /// Starts a run specification over `target` executing any workload the
+    /// vocabulary can name: a profile, a DNN pipeline, or a streamed trace.
+    pub fn for_work(target: &'a Target, work: WorkSpec) -> Self {
         RunSpec {
             target,
-            app,
+            work,
             mode: ModeSpec::default(),
             instructions: 1_000,
             budget: 10_000_000,
@@ -290,6 +296,17 @@ impl<'a> RunSpec<'a> {
             sink: ObsSink::disabled(),
             cancel: None,
         }
+    }
+
+    /// Instantiates this spec's workload for the target: DNN pipelines get
+    /// one stage per island on chiplet targets, and trace specs stream from
+    /// disk (surfacing a missing/malformed file as a config error).
+    fn build_workload(&self) -> Result<AnyWorkload, SimError> {
+        let islands = self.target.fullsys.islands;
+        let stages = if islands > 1 { islands } else { 0 };
+        self.work
+            .build(self.target.cores(), stages, self.seed)
+            .map_err(|e| SimError::Config(ConfigError::new(e.to_string())))
     }
 
     /// Selects the network abstraction (default: reciprocal).
@@ -366,7 +383,7 @@ impl<'a> RunSpec<'a> {
             .with_sink(self.sink.clone())
             .with_pipeline(pipeline);
         let net = LatencyProbe::new(coupler);
-        let workload = AppWorkload::new(self.app.clone(), self.target.cores(), self.seed);
+        let workload = self.build_workload()?;
         let mut sys = FullSystem::new(self.target.fullsys.clone(), net, workload)
             .map_err(SimError::Config)?;
         if let Some(cancel) = &self.cancel {
@@ -388,7 +405,7 @@ impl<'a> RunSpec<'a> {
             .map(|c| *probe.class_latency(*c))
             .collect();
         let mut coupler_stats = probe.inner().stats().clone();
-        coupler_stats.noc = Some(probe.inner().detailed().stats().clone());
+        coupler_stats.noc = Some(probe.inner().detailed().stats());
         // The remainder of the wall-clock is the full system plus the fast
         // path — T2's third component.
         self.sink.emit(|| Event::Span {
@@ -405,7 +422,7 @@ impl<'a> RunSpec<'a> {
             pipeline,
         };
         Ok(RunResult {
-            workload: self.app.name.clone(),
+            workload: self.work.name().to_owned(),
             mode: mode.label(),
             cycles,
             wall,
@@ -421,7 +438,7 @@ impl<'a> RunSpec<'a> {
     /// Every non-reciprocal mode runs behind `Box<dyn Network>`.
     fn run_boxed(self, mode: ModeSpec) -> Result<RunResult, SimError> {
         let net = LatencyProbe::new(build_network(mode, self.target, &self.sink)?);
-        let workload = AppWorkload::new(self.app.clone(), self.target.cores(), self.seed);
+        let workload = self.build_workload()?;
         let mut sys = FullSystem::new(self.target.fullsys.clone(), net, workload)
             .map_err(SimError::Config)?;
         if let Some(cancel) = &self.cancel {
@@ -443,7 +460,7 @@ impl<'a> RunSpec<'a> {
         });
         let _ = self.sink.flush();
         Ok(RunResult {
-            workload: self.app.name.clone(),
+            workload: self.work.name().to_owned(),
             mode: mode.label(),
             cycles,
             wall,
@@ -463,7 +480,7 @@ impl<'a> RunSpec<'a> {
 /// probe's measurements, and the run-loop watchdog bookkeeping. The
 /// coupler rewinds its own fast path internally.
 type Checkpoint = (
-    FullSysSnapshot<AppWorkload>,
+    FullSysSnapshot<AnyWorkload>,
     ProbeSnapshot,
     ra_fullsys::RunProgress,
 );
@@ -473,7 +490,7 @@ type Checkpoint = (
 /// coupler's join reports that the speculation diverged. The simulated
 /// timeline that survives commits is bit-identical to a serial run's.
 fn run_pipelined(
-    sys: &mut FullSystem<LatencyProbe<ReciprocalNetwork>, AppWorkload>,
+    sys: &mut FullSystem<LatencyProbe<ReciprocalNetwork>, AnyWorkload>,
     per_core: u64,
     budget: u64,
 ) -> Result<u64, SimError> {
@@ -514,7 +531,7 @@ fn run_pipelined(
 /// Rewinds a pipelined run to its last healthy-boundary checkpoint after
 /// the coupler decided a rollback.
 fn restore(
-    sys: &mut FullSystem<LatencyProbe<ReciprocalNetwork>, AppWorkload>,
+    sys: &mut FullSystem<LatencyProbe<ReciprocalNetwork>, AnyWorkload>,
     checkpoint: &Option<Checkpoint>,
     progress: &mut ra_fullsys::RunProgress,
 ) {
@@ -544,13 +561,20 @@ fn build_network(
     sink: &ObsSink,
 ) -> Result<Box<dyn Network>, SimError> {
     let shape = target.noc.shape;
-    let metric = match target.noc.topology {
-        TopologyKind::Mesh => HopMetric::Mesh(shape),
-        TopologyKind::Torus => HopMetric::Torus(shape),
-        TopologyKind::CMesh { concentration } => HopMetric::CMesh {
-            shape,
-            concentration,
-        },
+    let metric = if let Some(spec) = &target.noc.chiplet {
+        HopMetric::Chiplet {
+            islands: spec.islands,
+            island: shape,
+        }
+    } else {
+        match target.noc.topology {
+            TopologyKind::Mesh => HopMetric::Mesh(shape),
+            TopologyKind::Torus => HopMetric::Torus(shape),
+            TopologyKind::CMesh { concentration } => HopMetric::CMesh {
+                shape,
+                concentration,
+            },
+        }
     };
     let flit_bytes = target.noc.flit_bytes;
     Ok(match mode {
@@ -569,7 +593,7 @@ fn build_network(
                 .with_sink(sink.clone()),
         ),
         ModeSpec::Lockstep => {
-            let mut net = NocNetwork::new(target.noc.clone())?;
+            let mut net = DetailedNoc::new(target.noc.clone())?;
             net.set_sink(sink.clone());
             Box::new(net)
         }

@@ -51,3 +51,8 @@ pub use reciprocal::{
     TRIP_HISTORY,
 };
 pub use target::{Target, STANDARD_CORE_COUNTS};
+
+// Chiplet vocabulary, re-exported so layers above the driver (the job
+// service, bench bins) can name interposer classes without depending on
+// the NoC crate directly.
+pub use ra_noc::{ChipletSpec, InterposerClass};

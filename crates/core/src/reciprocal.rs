@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use ra_gpu::ParallelEngine;
 use ra_netmodel::{AbstractNetwork, CalibratedModel, HopMetric, LatencyModel, ModelQuery};
-use ra_noc::{NocConfig, NocNetwork, NocStats, NocWindowSnapshot, TopologyKind};
+use ra_noc::{DetailedNoc, DetailedSnapshot, NocConfig, NocStats, TopologyKind};
 use ra_obs::{DegradationState, Event, ObsSink, SpanKind};
 use ra_sim::{Cycle, Delivery, LatencyTable, NetMessage, Network, SimError, Summary};
 
@@ -202,7 +202,7 @@ struct PendingReplay {
     /// Fault-dropped flits at spawn (drop-delta supervision baseline).
     drops_before: u64,
     /// Counter baseline for the window's [`Event::NocWindow`].
-    snap: NocWindowSnapshot,
+    snap: DetailedSnapshot,
     /// The whole fast path at spawn — the rollback restore point. The
     /// remaining actions of the boundary cycle's `step` never touch the
     /// network, so this equals the serial end-of-boundary-step state.
@@ -211,7 +211,7 @@ struct PendingReplay {
 
 /// One window replay shipped to the background worker thread.
 struct ReplayJob {
-    detailed: NocNetwork,
+    detailed: DetailedNoc,
     engine: Option<ParallelEngine>,
     target: u64,
     sample_every: u32,
@@ -220,7 +220,7 @@ struct ReplayJob {
 /// The worker's reply: the NoC (and engine) handed back, the run verdict,
 /// and the wall clock the replay cost.
 struct ReplayDone {
-    detailed: NocNetwork,
+    detailed: DetailedNoc,
     engine: Option<ParallelEngine>,
     result: Result<(), SimError>,
     elapsed: Duration,
@@ -263,21 +263,38 @@ fn replay_worker(jobs: &mpsc::Receiver<ReplayJob>, done: &mpsc::Sender<ReplayDon
 /// serial calibration path and the background replay worker so both
 /// schedules run the identical window.
 fn run_window(
-    detailed: &mut NocNetwork,
+    detailed: &mut DetailedNoc,
     engine: Option<&mut ParallelEngine>,
     target: u64,
     sample_every: u32,
 ) -> Result<(), SimError> {
     match engine {
-        Some(engine) => {
+        Some(engine) => match detailed {
             // One batched call for the whole window: the engine chunks
             // it into multi-cycle jobs (amortizing barrier crossings)
             // and fast-forwards fully drained idle stretches.
-            if detailed.next_cycle() <= target {
-                let cycles = target + 1 - detailed.next_cycle();
-                engine.run_cycles(detailed, cycles)?;
+            DetailedNoc::Single(net) => {
+                if net.next_cycle() <= target {
+                    let cycles = target + 1 - net.next_cycle();
+                    engine.run_cycles(net, cycles)?;
+                }
             }
-        }
+            // Chiplet: the interposer protocol dictates the lockstep
+            // batching; the engine supplies the per-island stepping
+            // inside each batch, so every island's routers still run
+            // data-parallel.
+            DetailedNoc::Chiplet(chip) => {
+                if chip.next_cycle() <= target {
+                    chip.advance_to(target, &mut |island, end| {
+                        if island.next_cycle() <= end {
+                            let cycles = end + 1 - island.next_cycle();
+                            engine.run_cycles(island, cycles)?;
+                        }
+                        Ok(())
+                    })?;
+                }
+            }
+        },
         None => detailed.tick(Cycle(target)),
     }
     if sample_every > 1 {
@@ -334,9 +351,10 @@ pub struct ReciprocalNetwork {
     /// lets a speculative window run on the current serving model and
     /// commit whenever the serial schedule would have kept serving it too.
     fit: CalibratedModel,
-    /// The cycle-level NoC. `None` exactly while a background replay has
-    /// it on the worker thread (pipelined mode).
-    detailed: Option<NocNetwork>,
+    /// The cycle-level NoC (one die, or a chiplet system of islands).
+    /// `None` exactly while a background replay has it on the worker
+    /// thread (pipelined mode).
+    detailed: Option<DetailedNoc>,
     /// The NoC configuration, kept for watchdog rebuilds even while the
     /// NoC itself is away on the replay worker.
     cfg: NocConfig,
@@ -405,18 +423,30 @@ impl ReciprocalNetwork {
     ///
     /// Propagates the NoC configuration validation error.
     pub fn new(cfg: NocConfig, quantum: u64, workers: usize) -> Result<Self, ra_sim::ConfigError> {
-        let detailed = NocNetwork::new(cfg.clone())?;
+        let detailed = DetailedNoc::new(cfg.clone())?;
         let shape = cfg.shape;
-        let metric = match cfg.topology {
-            TopologyKind::Mesh => HopMetric::Mesh(shape),
-            TopologyKind::Torus => HopMetric::Torus(shape),
-            TopologyKind::CMesh { concentration } => HopMetric::CMesh {
-                shape,
-                concentration,
-            },
+        let metric = if let Some(spec) = &cfg.chiplet {
+            HopMetric::Chiplet {
+                islands: spec.islands,
+                island: shape,
+            }
+        } else {
+            match cfg.topology {
+                TopologyKind::Mesh => HopMetric::Mesh(shape),
+                TopologyKind::Torus => HopMetric::Torus(shape),
+                TopologyKind::CMesh { concentration } => HopMetric::CMesh {
+                    shape,
+                    concentration,
+                },
+            }
         };
-        let diameter = detailed.topology().diameter();
-        let model = CalibratedModel::new(diameter, 0.5);
+        let diameter = detailed.diameter();
+        let mut model = CalibratedModel::new(diameter, 0.5);
+        if let Some(split) = detailed.cross_split() {
+            // Chiplet: on-die and cross-die latencies live in disjoint
+            // hop bands and obey different physics; fit them separately.
+            model = model.with_cross_split(split);
+        }
         let fit = model.clone();
         let fast = AbstractNetwork::new(model, metric, cfg.flit_bytes);
         Ok(ReciprocalNetwork {
@@ -593,17 +623,17 @@ impl ReciprocalNetwork {
     /// Panics if called while a background replay holds the NoC — i.e.
     /// between quantum boundaries of a pipelined run before
     /// [`ReciprocalNetwork::finalize`].
-    pub fn detailed(&self) -> &NocNetwork {
+    pub fn detailed(&self) -> &DetailedNoc {
         self.det()
     }
 
-    fn det(&self) -> &NocNetwork {
+    fn det(&self) -> &DetailedNoc {
         self.detailed
             .as_ref()
             .expect("detailed NoC is away on the replay worker")
     }
 
-    fn det_mut(&mut self) -> &mut NocNetwork {
+    fn det_mut(&mut self) -> &mut DetailedNoc {
         self.detailed
             .as_mut()
             .expect("detailed NoC is away on the replay worker")
@@ -688,13 +718,13 @@ impl ReciprocalNetwork {
         result
     }
 
-    fn calibrate_with(&mut self, detailed: &mut NocNetwork, target: u64) -> Result<(), SimError> {
+    fn calibrate_with(&mut self, detailed: &mut DetailedNoc, target: u64) -> Result<(), SimError> {
         // Run the detailed NoC through the window.
         let snap = detailed.window_snapshot();
         let started = Instant::now();
         let from = detailed.next_cycle();
-        let flits_before = detailed.stats().flits_delivered;
-        let drops_before = detailed.stats().faults.flits_dropped();
+        let flits_before = detailed.flits_delivered();
+        let drops_before = detailed.dropped_flits();
         let run = run_window(detailed, self.engine.as_mut(), target, self.sample_every);
         let detailed_elapsed = started.elapsed();
         self.stats.detailed_wall += detailed_elapsed;
@@ -717,7 +747,7 @@ impl ReciprocalNetwork {
                 continue;
             };
             let latency = (d.at.0 - injected) as f64;
-            let hops = detailed.topology().hops(d.msg.src, d.msg.dst);
+            let hops = detailed.hops(d.msg.src, d.msg.dst);
             self.measured.record(d.msg.class, hops, latency);
             window_mean.record(latency);
             self.stats.measured += 1;
@@ -780,7 +810,7 @@ impl ReciprocalNetwork {
     /// still crossing the network).
     fn supervise(
         &mut self,
-        detailed: &NocNetwork,
+        detailed: &DetailedNoc,
         flits_before: u64,
         drops_before: u64,
         quantum: u64,
@@ -791,14 +821,14 @@ impl ReciprocalNetwork {
         // delivered: the detailed model's measurements are no longer
         // trustworthy and its in-flight count will never drain. (Detoured
         // traffic does not drop flits and does not trip this.)
-        let drop_delta = detailed.stats().faults.flits_dropped() - drops_before;
+        let drop_delta = detailed.dropped_flits() - drops_before;
         if drop_delta > 0 {
             return Err(SimError::Fault {
                 component: "detailed-noc".into(),
                 detail: format!("{drop_delta} flits lost to link faults in the quantum"),
             });
         }
-        let flit_delta = detailed.stats().flits_delivered - flits_before;
+        let flit_delta = detailed.flits_delivered() - flits_before;
         if detailed.in_flight() > 0 && flit_delta == 0 {
             self.stalled_quanta += 1;
         } else {
@@ -839,7 +869,7 @@ impl ReciprocalNetwork {
         self.consecutive_trips += 1;
         self.inject_times.clear();
         self.measured.clear();
-        match NocNetwork::new(self.cfg.clone()) {
+        match DetailedNoc::new(self.cfg.clone()) {
             Ok(mut fresh) => {
                 fresh.set_sink(self.sink.clone());
                 self.detailed = Some(fresh);
@@ -893,8 +923,8 @@ impl ReciprocalNetwork {
             predicted_mark,
             quantum_at_spawn: self.quantum,
             from_cycle: detailed.next_cycle(),
-            flits_before: detailed.stats().flits_delivered,
-            drops_before: detailed.stats().faults.flits_dropped(),
+            flits_before: detailed.flits_delivered(),
+            drops_before: detailed.dropped_flits(),
             snap: detailed.window_snapshot(),
             fast_snapshot: self.fast.clone(),
         };
@@ -1005,7 +1035,7 @@ impl ReciprocalNetwork {
                 continue;
             };
             let latency = (d.at.0 - injected) as f64;
-            let hops = detailed.topology().hops(d.msg.src, d.msg.dst);
+            let hops = detailed.hops(d.msg.src, d.msg.dst);
             self.measured.record(d.msg.class, hops, latency);
             window_mean.record(latency);
             self.stats.measured += 1;

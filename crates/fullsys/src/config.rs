@@ -52,6 +52,11 @@ pub struct FullSysConfig {
     pub data_bytes: u32,
     /// Seed for tile-local randomness (capacity-miss draws).
     pub seed: u64,
+    /// Chiplet islands the tile grid is partitioned into (1 = monolithic
+    /// die). When greater than 1, cache lines are homed island-locally so
+    /// directory traffic stays on-die and only sharing crosses the
+    /// interposer; must divide the tile count.
+    pub islands: u32,
 }
 
 impl FullSysConfig {
@@ -76,6 +81,7 @@ impl FullSysConfig {
             ctrl_bytes: 8,
             data_bytes: 72,
             seed: 0,
+            islands: 1,
         }
     }
 
@@ -108,8 +114,20 @@ impl FullSysConfig {
     }
 
     /// Home tile of a cache line (address-interleaved).
+    ///
+    /// On a chiplet target (`islands > 1`) the interleave is hierarchical:
+    /// the line picks an island first, then a tile within it, so each
+    /// island homes an equal slice of the address space on its own die.
+    /// With `islands == 1` this is the plain modulo interleave.
     pub fn home_of(&self, line: u64) -> NodeId {
-        NodeId((line % self.tiles() as u64) as u32)
+        let tiles = self.tiles() as u64;
+        if self.islands <= 1 {
+            return NodeId((line % tiles) as u32);
+        }
+        let islands = u64::from(self.islands);
+        let per_island = tiles / islands;
+        let island = (line / per_island) % islands;
+        NodeId((island * per_island + line % per_island) as u32)
     }
 
     /// Memory controller node serving a line.
@@ -147,6 +165,14 @@ impl FullSysConfig {
         }
         if self.mc_service == 0 || self.dram_latency == 0 {
             return Err(ConfigError::new("memory timing must be positive"));
+        }
+        if self.islands == 0 {
+            return Err(ConfigError::new("need at least one island"));
+        }
+        if !self.tiles().is_multiple_of(self.islands as usize) {
+            return Err(ConfigError::new(
+                "island count must divide the tile count evenly",
+            ));
         }
         Ok(())
     }
@@ -202,6 +228,34 @@ mod tests {
         let homes: std::collections::HashSet<_> =
             (0..64u64).map(|l| cfg.home_of(l)).collect();
         assert_eq!(homes.len(), 16);
+    }
+
+    #[test]
+    fn island_homing_keeps_lines_on_die() {
+        // 4x8 grid = two stacked 4x4 islands (tiles 0..16 and 16..32).
+        let mut cfg = FullSysConfig::new(4, 8);
+        cfg.islands = 2;
+        cfg.validate().expect("valid chiplet config");
+        for line in 0..128u64 {
+            let home = cfg.home_of(line).0 as u64;
+            let island = (line / 16) % 2;
+            assert_eq!(home / 16, island, "line {line} homed off its island");
+        }
+        // Every tile is still somebody's home.
+        let homes: std::collections::HashSet<_> =
+            (0..128u64).map(|l| cfg.home_of(l)).collect();
+        assert_eq!(homes.len(), 32);
+    }
+
+    #[test]
+    fn islands_must_divide_tiles() {
+        let mut cfg = FullSysConfig::new(4, 4);
+        cfg.islands = 3;
+        assert!(cfg.validate().is_err());
+        cfg.islands = 0;
+        assert!(cfg.validate().is_err());
+        cfg.islands = 2;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -48,10 +48,17 @@ pub struct CalibratedModel {
     blend: f64,
     /// Smoothed latency per `[class][hops]`, NaN when never observed.
     cells: Vec<f64>,
-    /// Affine fit `(intercept, slope)` per class, refreshed on update.
+    /// Affine fit `(intercept, slope)` per `[class][band]`, refreshed on
+    /// update (one band normally, two with a cross split).
     fits: Vec<(f64, f64)>,
-    /// Classes with at least one observation.
+    /// `[class][band]` pairs with at least one observation.
     seen: Vec<bool>,
+    /// Hop distance separating the on-die band (`hops <= split`) from
+    /// the cross-die band on a chiplet system: the two populations see
+    /// completely different physics (router pipelines vs. interposer
+    /// serialization), so each gets its own affine fit. `None` keeps the
+    /// single-band behaviour bit-identical to before.
+    split: Option<usize>,
     prior: HopLatency,
     updates: u64,
 }
@@ -73,9 +80,60 @@ impl CalibratedModel {
             cells: vec![f64::NAN; MessageClass::COUNT * (max_hops + 1)],
             fits: vec![(0.0, 0.0); MessageClass::COUNT],
             seen: vec![false; MessageClass::COUNT],
+            split: None,
             prior: HopLatency::default(),
             updates: 0,
         }
+    }
+
+    /// Splits the fits into separate on-die (`hops <= split`) and
+    /// cross-die (`hops > split`) bands — chiplet systems pass their
+    /// island diameter so interposer crossings never pollute the on-die
+    /// fit (and vice versa).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split >= max_hops` (the cross band would be empty).
+    #[must_use]
+    pub fn with_cross_split(mut self, split: usize) -> Self {
+        assert!(
+            split < self.max_hops,
+            "cross split {split} leaves no cross band below max hops {}",
+            self.max_hops
+        );
+        self.split = Some(split);
+        self.fits = vec![(0.0, 0.0); MessageClass::COUNT * 2];
+        self.seen = vec![false; MessageClass::COUNT * 2];
+        self
+    }
+
+    /// The configured cross split, if any.
+    pub fn cross_split(&self) -> Option<usize> {
+        self.split
+    }
+
+    /// Fit bands per class: 1, or 2 when a cross split is configured.
+    #[inline]
+    fn bands(&self) -> usize {
+        if self.split.is_some() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Which band a hop distance falls in (0 = on-die, 1 = cross-die).
+    #[inline]
+    fn band_of(&self, hops: usize) -> usize {
+        match self.split {
+            Some(split) if hops > split => 1,
+            _ => 0,
+        }
+    }
+
+    #[inline]
+    fn fit_idx(&self, class: MessageClass, band: usize) -> usize {
+        class.vnet() * self.bands() + band
     }
 
     #[inline]
@@ -98,7 +156,8 @@ impl CalibratedModel {
                 if cell.is_empty() {
                     continue;
                 }
-                self.seen[class.vnet()] = true;
+                let seen_idx = self.fit_idx(class, self.band_of(hops));
+                self.seen[seen_idx] = true;
                 let idx = self.idx(class, hops);
                 let old = self.cells[idx];
                 self.cells[idx] = if old.is_nan() {
@@ -107,15 +166,28 @@ impl CalibratedModel {
                     old * (1.0 - self.blend) + cell.mean() * self.blend
                 };
             }
-            self.refit(class);
+            for band in 0..self.bands() {
+                self.refit(class, band);
+            }
         }
         self.updates += 1;
     }
 
-    /// Weighted least-squares affine fit over this class's observed cells.
-    fn refit(&mut self, class: MessageClass) {
+    /// Hop-distance range covered by a fit band.
+    fn band_range(&self, band: usize) -> std::ops::RangeInclusive<usize> {
+        match self.split {
+            Some(split) if band == 1 => split + 1..=self.max_hops,
+            Some(split) => 0..=split.min(self.max_hops),
+            None => 0..=self.max_hops,
+        }
+    }
+
+    /// Weighted least-squares affine fit over this class's observed cells
+    /// within one band.
+    fn refit(&mut self, class: MessageClass, band: usize) {
         let base = class.vnet() * (self.max_hops + 1);
-        let points: Vec<(f64, f64)> = (0..=self.max_hops)
+        let points: Vec<(f64, f64)> = self
+            .band_range(band)
             .filter_map(|h| {
                 let v = self.cells[base + h];
                 (!v.is_nan()).then_some((h as f64, v))
@@ -124,10 +196,11 @@ impl CalibratedModel {
         if points.is_empty() {
             return;
         }
+        let fit_idx = self.fit_idx(class, band);
         if points.len() == 1 {
             // One point: keep the prior's slope, anchor the intercept.
             let slope = (self.prior.router + self.prior.link) as f64;
-            self.fits[class.vnet()] = (points[0].1 - slope * points[0].0, slope);
+            self.fits[fit_idx] = (points[0].1 - slope * points[0].0, slope);
             return;
         }
         let n = points.len() as f64;
@@ -141,7 +214,7 @@ impl CalibratedModel {
         }
         let slope = (n * sxy - sx * sy) / denom;
         let intercept = (sy - slope * sx) / n;
-        self.fits[class.vnet()] = (intercept, slope);
+        self.fits[fit_idx] = (intercept, slope);
     }
 
     /// The model's current estimate for `(class, hops)`, if observed.
@@ -158,8 +231,9 @@ impl LatencyModel for CalibratedModel {
         if !cell.is_nan() {
             return cell.round().max(1.0) as u64;
         }
-        if self.seen[msg.class.vnet()] {
-            let (a, b) = self.fits[msg.class.vnet()];
+        let fit_idx = self.fit_idx(msg.class, self.band_of(ctx.hops));
+        if self.seen[fit_idx] {
+            let (a, b) = self.fits[fit_idx];
             let est = a + b * ctx.hops as f64;
             let floor = self.prior.latency(msg, ctx) as f64;
             return est.max(floor).round() as u64;
@@ -263,5 +337,65 @@ mod tests {
     #[should_panic(expected = "blend must be in")]
     fn zero_blend_is_rejected() {
         CalibratedModel::new(4, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves no cross band")]
+    fn split_at_max_hops_is_rejected() {
+        let _ = CalibratedModel::new(6, 0.5).with_cross_split(6);
+    }
+
+    #[test]
+    fn cross_split_fits_bands_independently() {
+        // Chiplet-style geometry: on-die hops 0..=6, cross-die 7..=19.
+        let mut model = CalibratedModel::new(19, 1.0).with_cross_split(6);
+        assert_eq!(model.cross_split(), Some(6));
+        let mut t = LatencyTable::new(19);
+        // On-die: latency = 10 + 5 * hops, observed at 1..=4.
+        for h in 1..=4usize {
+            t.record(MessageClass::Request, h, 10.0 + 5.0 * h as f64);
+        }
+        // Cross-die: much steeper, latency = 100 + 20 * hops, at 8..=11.
+        for h in 8..=11usize {
+            t.record(MessageClass::Request, h, 100.0 + 20.0 * h as f64);
+        }
+        model.update(&t);
+        // Unseen on-die distance extrapolates the shallow line, not the
+        // steep cross-die one.
+        let on = model.latency(&msg(MessageClass::Request), &ctx(6));
+        assert_eq!(on, 40, "on-die band must follow its own fit");
+        // Unseen cross-die distance follows the steep line — with a single
+        // band the on-die points would drag this far down.
+        let cross = model.latency(&msg(MessageClass::Request), &ctx(15));
+        assert_eq!(cross, 400, "cross-die band must follow its own fit");
+    }
+
+    #[test]
+    fn cross_band_alone_does_not_activate_on_die_fit() {
+        let mut model = CalibratedModel::new(19, 1.0).with_cross_split(6);
+        let mut t = LatencyTable::new(19);
+        for h in 8..=11usize {
+            t.record(MessageClass::Response, h, 200.0 + 10.0 * h as f64);
+        }
+        model.update(&t);
+        // On-die band has no observations: predictions there still come
+        // from the contention-free prior, not the cross-die fit.
+        let prior = HopLatency::default();
+        assert_eq!(
+            model.latency(&msg(MessageClass::Response), &ctx(3)),
+            prior.latency(&msg(MessageClass::Response), &ctx(3))
+        );
+    }
+
+    #[test]
+    fn no_split_matches_single_band_behaviour() {
+        let mut banded = CalibratedModel::new(10, 1.0);
+        let mut t = LatencyTable::new(10);
+        for h in 1..=8usize {
+            t.record(MessageClass::Request, h, 12.0 + 4.0 * h as f64);
+        }
+        banded.update(&t);
+        assert_eq!(banded.cross_split(), None);
+        assert_eq!(banded.latency(&msg(MessageClass::Request), &ctx(10)), 52);
     }
 }

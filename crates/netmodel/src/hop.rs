@@ -21,6 +21,19 @@ pub enum HopMetric {
         /// Endpoints per router (divides the column count).
         concentration: u32,
     },
+    /// Hierarchical chiplet system: `islands` mesh dies joined by an
+    /// interposer. Intra-island pairs use the island's Manhattan
+    /// distance, `[0, D]`; cross-island pairs count both gateway legs
+    /// (gateway = island-local node 0) plus one interposer hop, offset
+    /// into the disjoint band `[D+1, 3D+1]` so the calibrated model can
+    /// fit on-die and cross-die latency separately.
+    Chiplet {
+        /// Number of islands.
+        islands: u32,
+        /// Shape of one island (island `i` owns global node ids
+        /// `[i * island.nodes(), (i + 1) * island.nodes())`).
+        island: MeshShape,
+    },
 }
 
 impl HopMetric {
@@ -37,6 +50,17 @@ impl HopMetric {
                 let (dx, dy) = shape.coords(dst);
                 ((sx / concentration).abs_diff(dx / concentration) + sy.abs_diff(dy)) as usize
             }
+            HopMetric::Chiplet { island, .. } => {
+                let per = island.nodes() as u32;
+                let (si, sl) = (src.0 / per, NodeId(src.0 % per));
+                let (di, dl) = (dst.0 / per, NodeId(dst.0 % per));
+                if si == di {
+                    island.mesh_hops(sl, dl)
+                } else {
+                    let gw = NodeId(0);
+                    island.diameter() + 1 + island.mesh_hops(sl, gw) + island.mesh_hops(gw, dl)
+                }
+            }
         }
     }
 
@@ -51,6 +75,7 @@ impl HopMetric {
                 shape,
                 concentration,
             } => (shape.cols() / concentration) as usize - 1 + shape.rows() as usize - 1,
+            HopMetric::Chiplet { island, .. } => 3 * island.diameter() + 1,
         }
     }
 
@@ -59,6 +84,16 @@ impl HopMetric {
         match *self {
             HopMetric::Mesh(shape) | HopMetric::Torus(shape) => shape.nodes(),
             HopMetric::CMesh { shape, .. } => shape.nodes(),
+            HopMetric::Chiplet { islands, island } => islands as usize * island.nodes(),
+        }
+    }
+
+    /// For a chiplet, the hop distance separating on-die pairs
+    /// (`hops <= split`) from cross-die pairs; `None` otherwise.
+    pub fn cross_split(&self) -> Option<usize> {
+        match *self {
+            HopMetric::Chiplet { island, .. } => Some(island.diameter()),
+            _ => None,
         }
     }
 }
@@ -80,6 +115,34 @@ mod tests {
         let m = HopMetric::Torus(MeshShape::new(8, 8).unwrap());
         assert_eq!(m.hops(NodeId(0), NodeId(7)), 1);
         assert_eq!(m.diameter(), 8);
+    }
+
+    #[test]
+    fn chiplet_metric_bands_are_disjoint() {
+        let m = HopMetric::Chiplet {
+            islands: 2,
+            island: MeshShape::new(4, 4).unwrap(),
+        };
+        assert_eq!(m.nodes(), 32);
+        assert_eq!(m.cross_split(), Some(6));
+        assert_eq!(m.diameter(), 3 * 6 + 1);
+        // Intra-island: plain Manhattan on local ids.
+        assert_eq!(m.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(m.hops(NodeId(16), NodeId(31)), 6);
+        // Cross-island gateway-to-gateway is the band floor.
+        assert_eq!(m.hops(NodeId(0), NodeId(16)), 7);
+        // Worst case: far corner to far corner through both gateways.
+        assert_eq!(m.hops(NodeId(15), NodeId(31)), 19);
+        for s in 0..32u32 {
+            for d in 0..32u32 {
+                let h = m.hops(NodeId(s), NodeId(d));
+                if s / 16 == d / 16 {
+                    assert!(h <= 6);
+                } else {
+                    assert!((7..=19).contains(&h));
+                }
+            }
+        }
     }
 
     #[test]

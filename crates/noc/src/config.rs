@@ -3,6 +3,7 @@
 use ra_sim::{ConfigError, MeshShape};
 use serde::{Deserialize, Serialize};
 
+use crate::chiplet::ChipletSpec;
 use crate::fault::FaultPlan;
 
 /// Network topology of the cycle-level NoC.
@@ -82,6 +83,14 @@ pub struct NocConfig {
     /// sweep every router every cycle, which is only useful as the
     /// reference schedule in tests and benchmarks.
     pub clock_gating: bool,
+    /// Multi-die extension: replicate this configuration into N islands
+    /// joined by an interposer (see
+    /// [`ChipletSpec`](crate::chiplet::ChipletSpec)). `None` (the
+    /// default) is a single die. A config carrying a spec must be built
+    /// with [`DetailedNoc::new`](crate::chiplet::DetailedNoc::new) or
+    /// [`ChipletNetwork::new`](crate::chiplet::ChipletNetwork::new);
+    /// [`NocNetwork::new`](crate::NocNetwork::new) rejects it.
+    pub chiplet: Option<ChipletSpec>,
 }
 
 impl NocConfig {
@@ -105,6 +114,7 @@ impl NocConfig {
             seed: 0,
             faults: FaultPlan::default(),
             clock_gating: true,
+            chiplet: None,
         }
     }
 
@@ -168,6 +178,15 @@ impl NocConfig {
     #[must_use]
     pub fn with_clock_gating(mut self, enabled: bool) -> Self {
         self.clock_gating = enabled;
+        self
+    }
+
+    /// Turns this single-die configuration into the per-island template
+    /// of an N-island chiplet system (see
+    /// [`ChipletSpec`](crate::chiplet::ChipletSpec)).
+    #[must_use]
+    pub fn with_chiplet(mut self, spec: ChipletSpec) -> Self {
+        self.chiplet = Some(spec);
         self
     }
 
@@ -246,6 +265,9 @@ impl NocConfig {
         }
         self.faults.validate()?;
         self.faults.validate_routers(self.routers())?;
+        if let Some(spec) = &self.chiplet {
+            spec.validate(self)?;
+        }
         Ok(())
     }
 }

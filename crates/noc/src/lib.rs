@@ -42,6 +42,7 @@
 //! # Ok::<(), ra_sim::ConfigError>(())
 //! ```
 
+pub mod chiplet;
 pub mod config;
 pub mod deflection;
 pub mod fault;
@@ -54,6 +55,10 @@ pub mod topology;
 pub mod traffic;
 pub mod wire;
 
+pub use chiplet::{
+    ChipletNetwork, ChipletSpec, ChipletWindowSnapshot, DetailedNoc, DetailedSnapshot,
+    InterposerClass, InterposerStats,
+};
 pub use config::{NocConfig, Routing, TopologyKind};
 pub use deflection::{DeflectionConfig, DeflectionNetwork};
 pub use fault::{FaultEvent, FaultPlan};

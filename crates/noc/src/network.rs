@@ -235,6 +235,9 @@ pub struct NocNetwork {
     /// since construction (they *are* simulated time; this counts how many
     /// were covered in O(routers) instead of being stepped).
     ff_cycles: u64,
+    /// Island id stamped onto emitted window events (0 for a standalone
+    /// die; set by [`ChipletNetwork`](crate::chiplet::ChipletNetwork)).
+    island_tag: u64,
 }
 
 impl Clone for NocNetwork {
@@ -267,6 +270,7 @@ impl Clone for NocNetwork {
             delivered_scratch: self.delivered_scratch.clone(),
             sink: self.sink.clone(),
             ff_cycles: self.ff_cycles,
+            island_tag: self.island_tag,
         }
     }
 }
@@ -297,6 +301,12 @@ impl NocNetwork {
     /// (see [`NocConfig::validate`]).
     pub fn new(cfg: NocConfig) -> Result<Self, ra_sim::ConfigError> {
         cfg.validate()?;
+        if cfg.chiplet.is_some() {
+            return Err(ra_sim::ConfigError::new(
+                "config carries a chiplet spec: build it with DetailedNoc::new \
+                 (or ChipletNetwork::new), not NocNetwork::new",
+            ));
+        }
         let topo = TopologyMap::new(&cfg);
         let routers = (0..topo.routers() as u32)
             .map(|id| Router::new(id, &cfg, &topo, cfg.seed))
@@ -342,7 +352,14 @@ impl NocNetwork {
             delivered_scratch: Vec::new(),
             sink: ObsSink::disabled(),
             ff_cycles: 0,
+            island_tag: 0,
         })
+    }
+
+    /// Stamps this network's window events with an island id (chiplet
+    /// systems tag each island; standalone dies keep the default 0).
+    pub fn set_island_tag(&mut self, island: u64) {
+        self.island_tag = island;
     }
 
     /// Attaches an observability sink. Events are emitted only at window
@@ -714,6 +731,7 @@ impl NocNetwork {
             let f = &self.stats.faults;
             let f0 = &since.fault_events;
             Event::NocWindow {
+                island: self.island_tag,
                 from_cycle: since.cycle,
                 to_cycle: self.next_cycle,
                 router_steps: self.compute_invocations() - since.router_steps,

@@ -123,6 +123,31 @@ impl NocStats {
         self.hist.record(total_latency);
     }
 
+    /// Folds the statistics of a *concurrent* sub-network (e.g. one
+    /// chiplet island) into this one: counters and distributions sum,
+    /// `cycles` takes the max — islands simulate the same wall of cycles
+    /// in lockstep, so summing clocks would double-count time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency-table or histogram geometries differ (the
+    /// sub-networks must share a shape).
+    pub fn merge(&mut self, other: &NocStats) {
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.flits_delivered += other.flits_delivered;
+        self.cycles = self.cycles.max(other.cycles);
+        self.latency.merge(&other.latency);
+        self.net_latency.merge(&other.net_latency);
+        self.queue_latency.merge(&other.queue_latency);
+        for (mine, theirs) in self.class_latency.iter_mut().zip(&other.class_latency) {
+            mine.merge(theirs);
+        }
+        self.table.merge(&other.table);
+        self.hist.merge(&other.hist);
+        self.faults.merge(&other.faults);
+    }
+
     /// Mean total packet latency in cycles (0 if nothing delivered).
     pub fn avg_latency(&self) -> f64 {
         self.latency.mean()

@@ -169,6 +169,10 @@ pub enum Event {
     },
     /// One detailed-NoC calibration window's execution profile.
     NocWindow {
+        /// Which die emitted the window: 0 for a standalone single-die
+        /// network, the island id on a chiplet system (each island emits
+        /// its own tagged window per calibration).
+        island: u64,
         /// First cycle of the window.
         from_cycle: u64,
         /// One past the last cycle of the window.
@@ -422,6 +426,7 @@ impl Event {
                 w.int("mismatches", *mismatches);
             }
             Event::NocWindow {
+                island,
                 from_cycle,
                 to_cycle,
                 router_steps,
@@ -432,6 +437,7 @@ impl Event {
                 reroutes,
                 stall_cycles,
             } => {
+                w.int("island", *island);
                 w.int("from_cycle", *from_cycle);
                 w.int("to_cycle", *to_cycle);
                 w.int("router_steps", *router_steps);
@@ -1152,6 +1158,7 @@ mod tests {
                 mismatches: 3,
             },
             Event::NocWindow {
+                island: 0,
                 from_cycle: 0,
                 to_cycle: 64,
                 router_steps: 10,

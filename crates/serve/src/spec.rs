@@ -20,17 +20,21 @@
 //! `std::hash`'s randomized `SipHash`.
 //!
 //! To keep "same text ⇒ same simulation" honest, [`JobSpec::new`] only
-//! admits targets and profiles *from the canonical vocabulary*: grids
-//! built by [`Target::cmp`] and the named [`AppProfile`] suite. An
-//! off-vocabulary target (hand-tuned cache sizes, scripted faults) would
-//! canonicalize to the same text as the stock one and poison the cache,
-//! so it is rejected with [`SpecError::OffVocabulary`] instead.
+//! admits targets and workloads *from the canonical vocabulary*: grids
+//! built by [`Target::cmp`], chiplet systems built by [`Target::chiplet`]
+//! (`target=chiplet:<islands>x<cols>x<rows>,interposer=<class>`), and the
+//! workloads [`WorkSpec`] can name — the [`AppProfile`] suite, DNN
+//! pipelines (`app=dnn:layers=..,tensor=..`), and named on-disk traces
+//! (`app=trace:<name>`). An off-vocabulary target (hand-tuned cache
+//! sizes, scripted faults) would canonicalize to the same text as the
+//! stock one and poison the cache, so it is rejected with
+//! [`SpecError::OffVocabulary`] instead.
 
 use std::fmt;
 use std::str::FromStr;
 
-use ra_cosim::{ModeSpec, ParseModeError, RunSpec, Target};
-use ra_workloads::AppProfile;
+use ra_cosim::{InterposerClass, ModeSpec, ParseModeError, RunSpec, Target};
+use ra_workloads::{AppProfile, TraceError, TraceStream, WorkSpec};
 
 /// Defaults shared with [`RunSpec`]: instructions per core, cycle budget,
 /// workload seed.
@@ -95,6 +99,9 @@ pub enum SpecError {
     UnknownApp(String),
     /// The `mode` value failed [`ModeSpec`] parsing.
     Mode(ParseModeError),
+    /// An `app=trace:<name>` spec whose trace file is missing or
+    /// malformed (detected by [`JobSpec::preflight`]).
+    Trace(TraceError),
     /// A target or profile that the canonical text cannot faithfully
     /// represent (it would collide with the stock one in the cache).
     OffVocabulary(String),
@@ -116,6 +123,7 @@ impl fmt::Display for SpecError {
                 write!(f, "unknown app profile `{name}` (see AppProfile::suite)")
             }
             SpecError::Mode(_) => f.write_str("bad job-spec value for `mode`"),
+            SpecError::Trace(_) => f.write_str("job spec names an unusable trace"),
             SpecError::OffVocabulary(detail) => {
                 write!(f, "spec outside the canonical vocabulary: {detail}")
             }
@@ -126,9 +134,10 @@ impl fmt::Display for SpecError {
 impl std::error::Error for SpecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            // The mode parser's message carries the detail; service-layer
-            // error chains render it via `source()`.
+            // The mode parser's and trace reader's messages carry the
+            // detail; service-layer error chains render it via `source()`.
             SpecError::Mode(err) => Some(err),
+            SpecError::Trace(err) => Some(err),
             _ => None,
         }
     }
@@ -137,6 +146,12 @@ impl std::error::Error for SpecError {
 impl From<ParseModeError> for SpecError {
     fn from(err: ParseModeError) -> Self {
         SpecError::Mode(err)
+    }
+}
+
+impl From<TraceError> for SpecError {
+    fn from(err: TraceError) -> Self {
+        SpecError::Trace(err)
     }
 }
 
@@ -162,7 +177,7 @@ impl From<ParseModeError> for SpecError {
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     target: Target,
-    app: AppProfile,
+    work: WorkSpec,
     /// Network abstraction for the run.
     pub mode: ModeSpec,
     /// Instructions every core must retire.
@@ -179,25 +194,50 @@ impl JobSpec {
     ///
     /// # Errors
     ///
-    /// [`SpecError::OffVocabulary`] if `target` is not exactly the
-    /// [`Target::cmp`] preset for its grid, or `app` is not a profile of
-    /// the named suite — such configurations would alias a stock spec in
-    /// the cache (see the module docs).
+    /// As [`JobSpec::for_work`], which this wraps.
     pub fn new(target: Target, app: AppProfile) -> Result<JobSpec, SpecError> {
-        let (cols, rows) = (target.fullsys.shape.cols(), target.fullsys.shape.rows());
-        if target != Target::cmp(cols, rows) {
-            return Err(SpecError::OffVocabulary(format!(
-                "target `{}` differs from the {cols}x{rows} preset",
-                target.name
-            )));
+        Self::for_work(target, WorkSpec::Profile(app))
+    }
+
+    /// Builds a spec over an owned target and any workload the vocabulary
+    /// can name, with the [`RunSpec`] defaults for everything else.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::OffVocabulary`] if `target` is not exactly the
+    /// [`Target::cmp`] grid or [`Target::chiplet`] system its shape
+    /// names, or [`SpecError::UnknownApp`] if a profile workload is not
+    /// stock — such configurations would alias a canonical spec in the
+    /// cache (see the module docs).
+    pub fn for_work(target: Target, work: WorkSpec) -> Result<JobSpec, SpecError> {
+        if let Some(chip) = &target.noc.chiplet {
+            let (cols, rows) = (target.noc.shape.cols(), target.noc.shape.rows());
+            let stock = Target::chiplet(chip.islands, cols, rows, chip.interposer);
+            if target != stock {
+                return Err(SpecError::OffVocabulary(format!(
+                    "target `{}` differs from the {}-island {cols}x{rows} \
+                     chiplet preset",
+                    target.name, chip.islands
+                )));
+            }
+        } else {
+            let (cols, rows) = (target.fullsys.shape.cols(), target.fullsys.shape.rows());
+            if target != Target::cmp(cols, rows) {
+                return Err(SpecError::OffVocabulary(format!(
+                    "target `{}` differs from the {cols}x{rows} preset",
+                    target.name
+                )));
+            }
         }
-        match AppProfile::by_name(&app.name) {
-            Some(stock) if stock == app => {}
-            _ => return Err(SpecError::UnknownApp(app.name.clone())),
+        if let WorkSpec::Profile(app) = &work {
+            match AppProfile::by_name(&app.name) {
+                Some(stock) if stock == *app => {}
+                _ => return Err(SpecError::UnknownApp(app.name.clone())),
+            }
         }
         Ok(JobSpec {
             target,
-            app,
+            work,
             mode: ModeSpec::default(),
             instructions: DEFAULT_INSTRUCTIONS,
             budget: DEFAULT_BUDGET,
@@ -238,9 +278,25 @@ impl JobSpec {
         &self.target
     }
 
-    /// The owned workload profile.
-    pub fn app(&self) -> &AppProfile {
-        &self.app
+    /// The owned workload specification.
+    pub fn work(&self) -> &WorkSpec {
+        &self.work
+    }
+
+    /// Validates what parsing alone cannot: a `trace:` workload's file
+    /// must exist and index cleanly. The wire layer calls this at submit
+    /// so a bad trace rejects the request with a typed
+    /// [`SpecError::Trace`] chain instead of failing the queued job.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Trace`] carrying the byte offset and kind of the
+    /// first problem in the trace file.
+    pub fn preflight(&self) -> Result<(), SpecError> {
+        if let WorkSpec::Trace(name) = &self.work {
+            TraceStream::open(WorkSpec::trace_path(name))?;
+        }
+        Ok(())
     }
 
     /// The canonical text (the [`Display`] form, allocated).
@@ -257,7 +313,7 @@ impl JobSpec {
     /// Attach a recorder or cancellation flag on the returned builder
     /// before `.run()`.
     pub fn to_run_spec(&self) -> RunSpec<'_> {
-        RunSpec::new(&self.target, &self.app)
+        RunSpec::for_work(&self.target, self.work.clone())
             .mode(self.mode)
             .instructions(self.instructions)
             .budget(self.budget)
@@ -265,19 +321,34 @@ impl JobSpec {
     }
 }
 
-/// Canonical text: every key, fixed order, normalized mode.
+/// Canonical text: every key, fixed order, normalized mode. Single-die
+/// targets print exactly as they always have (`target=4x4`), so existing
+/// canonical texts — and everything hashed from them — are unchanged;
+/// chiplet targets print as
+/// `target=chiplet:<islands>x<cols>x<rows>,interposer=<class>`.
 impl fmt::Display for JobSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("target=")?;
+        match &self.target.noc.chiplet {
+            Some(chip) => write!(
+                f,
+                "chiplet:{}x{}x{},interposer={}",
+                chip.islands,
+                self.target.noc.shape.cols(),
+                self.target.noc.shape.rows(),
+                chip.interposer
+            )?,
+            None => write!(
+                f,
+                "{}x{}",
+                self.target.fullsys.shape.cols(),
+                self.target.fullsys.shape.rows()
+            )?,
+        }
         write!(
             f,
-            "target={}x{} app={} mode={} instructions={} budget={} seed={}",
-            self.target.fullsys.shape.cols(),
-            self.target.fullsys.shape.rows(),
-            self.app.name,
-            self.mode,
-            self.instructions,
-            self.budget,
-            self.seed
+            " app={} mode={} instructions={} budget={} seed={}",
+            self.work, self.mode, self.instructions, self.budget, self.seed
         )
     }
 }
@@ -290,7 +361,7 @@ impl FromStr for JobSpec {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut target = None;
-        let mut app = None;
+        let mut work = None;
         let mut mode = ModeSpec::default();
         let mut instructions = DEFAULT_INSTRUCTIONS;
         let mut budget = DEFAULT_BUDGET;
@@ -302,26 +373,31 @@ impl FromStr for JobSpec {
             })?;
             match key {
                 "target" => {
-                    let (cols, rows) =
-                        value.split_once('x').ok_or_else(|| SpecError::BadValue {
-                            key: "target",
-                            detail: format!("expected <cols>x<rows>, got `{value}`"),
-                        })?;
-                    let parse = |dim: &str| {
-                        dim.parse::<u32>().ok().filter(|d| *d > 0).ok_or_else(|| {
-                            SpecError::BadValue {
-                                key: "target",
-                                detail: format!("`{dim}` is not a positive grid dimension"),
-                            }
-                        })
-                    };
-                    target = Some(Target::cmp(parse(cols)?, parse(rows)?));
+                    target = Some(match value.strip_prefix("chiplet:") {
+                        Some(rest) => parse_chiplet_target(rest)?,
+                        None => {
+                            let (cols, rows) =
+                                value.split_once('x').ok_or_else(|| SpecError::BadValue {
+                                    key: "target",
+                                    detail: format!("expected <cols>x<rows>, got `{value}`"),
+                                })?;
+                            Target::cmp(parse_dim(cols)?, parse_dim(rows)?)
+                        }
+                    });
                 }
                 "app" => {
-                    app = Some(
-                        AppProfile::by_name(value)
-                            .ok_or_else(|| SpecError::UnknownApp(value.to_owned()))?,
-                    );
+                    work = Some(value.parse::<WorkSpec>().map_err(|err| {
+                        // Plain profile names keep their dedicated error so
+                        // clients see the familiar "unknown app" shape.
+                        if !value.contains(':') {
+                            SpecError::UnknownApp(value.to_owned())
+                        } else {
+                            SpecError::BadValue {
+                                key: "app",
+                                detail: err.to_string(),
+                            }
+                        }
+                    })?);
                 }
                 "mode" => mode = value.parse()?,
                 "instructions" => {
@@ -346,13 +422,72 @@ impl FromStr for JobSpec {
             }
         }
         let target = target.ok_or(SpecError::MissingKey("target"))?;
-        let app = app.ok_or(SpecError::MissingKey("app"))?;
-        Ok(JobSpec::new(target, app)?
+        let work = work.ok_or(SpecError::MissingKey("app"))?;
+        Ok(JobSpec::for_work(target, work)?
             .mode(mode)
             .instructions(instructions)
             .budget(budget)
             .seed(seed))
     }
+}
+
+/// Parses one `<dim>` of a target grid.
+fn parse_dim(dim: &str) -> Result<u32, SpecError> {
+    dim.parse::<u32>()
+        .ok()
+        .filter(|d| *d > 0)
+        .ok_or_else(|| SpecError::BadValue {
+            key: "target",
+            detail: format!("`{dim}` is not a positive grid dimension"),
+        })
+}
+
+/// Parses the remainder of `target=chiplet:...`:
+/// `<islands>x<cols>x<rows>[,interposer=<class>]` (interposer defaults to
+/// silicon; printing always normalizes it back in).
+fn parse_chiplet_target(rest: &str) -> Result<Target, SpecError> {
+    let mut parts = rest.split(',');
+    let grid = parts.next().unwrap_or_default();
+    let dims: Vec<&str> = grid.split('x').collect();
+    let [islands, cols, rows] = dims[..] else {
+        return Err(SpecError::BadValue {
+            key: "target",
+            detail: format!("expected chiplet:<islands>x<cols>x<rows>, got `chiplet:{grid}`"),
+        });
+    };
+    let islands = parse_dim(islands)?;
+    if islands < 2 {
+        return Err(SpecError::BadValue {
+            key: "target",
+            detail: format!("a chiplet system needs at least 2 islands, got {islands}"),
+        });
+    }
+    let (cols, rows) = (parse_dim(cols)?, parse_dim(rows)?);
+    let mut interposer = InterposerClass::Silicon;
+    for kv in parts {
+        let (key, value) = kv.split_once('=').ok_or_else(|| SpecError::BadValue {
+            key: "target",
+            detail: format!("expected key=value after the chiplet grid, got `{kv}`"),
+        })?;
+        match key {
+            "interposer" => {
+                interposer = value.parse().map_err(|_| SpecError::BadValue {
+                    key: "target",
+                    detail: format!(
+                        "unknown interposer class `{value}` (expected silicon, \
+                         organic, or active)"
+                    ),
+                })?;
+            }
+            other => {
+                return Err(SpecError::BadValue {
+                    key: "target",
+                    detail: format!("unknown chiplet key `{other}` (expected interposer)"),
+                })
+            }
+        }
+    }
+    Ok(Target::chiplet(islands, cols, rows, interposer))
 }
 
 #[cfg(test)]
@@ -461,6 +596,65 @@ mod tests {
                 "`{text}` -> `{err}` (wanted `{needle}`)"
             );
         }
+    }
+
+    #[test]
+    fn chiplet_and_workload_vocabulary_round_trips() {
+        for text in [
+            "target=chiplet:2x4x4,interposer=silicon app=water mode=hop \
+             instructions=1000 budget=10000000 seed=42",
+            "target=chiplet:4x4x2,interposer=organic app=dnn:layers=4,tensor=16384 \
+             mode=reciprocal:quantum=2000,workers=0 instructions=1000 \
+             budget=10000000 seed=42",
+            "target=4x4 app=trace:smoke mode=lockstep instructions=1000 \
+             budget=10000000 seed=42",
+        ] {
+            let spec: JobSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(spec.to_string(), text, "canonical text must round-trip");
+            assert_eq!(text.parse::<JobSpec>().unwrap().job_hash(), spec.job_hash());
+        }
+        // Shorthand normalizes: interposer defaults to silicon, bare `dnn`
+        // expands to its parameters.
+        let short: JobSpec = "target=chiplet:2x4x4 app=dnn".parse().unwrap();
+        let long: JobSpec = "target=chiplet:2x4x4,interposer=silicon \
+                             app=dnn:layers=4,tensor=16384"
+            .parse()
+            .unwrap();
+        assert_eq!(short, long);
+        assert_eq!(short.job_hash(), long.job_hash());
+        assert_eq!(short.target().fullsys.islands, 2);
+    }
+
+    #[test]
+    fn bad_chiplet_and_workload_specs_name_the_problem() {
+        for (text, needle) in [
+            ("target=chiplet:2x4 app=water", "<islands>x<cols>x<rows>"),
+            ("target=chiplet:1x4x4 app=water", "at least 2 islands"),
+            ("target=chiplet:2x4x4,interposer=wood app=water", "interposer class"),
+            ("target=chiplet:2x4x4,lanes=9 app=water", "unknown chiplet key"),
+            ("target=4x4 app=trace:", "trace name"),
+            ("target=4x4 app=dnn:layers=x", "layers"),
+        ] {
+            let err = text.parse::<JobSpec>().unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "`{text}` -> `{err}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_preflight_chains_the_trace_error() {
+        let spec: JobSpec = "target=4x4 app=trace:no-such-trace".parse().unwrap();
+        let err = spec.preflight().unwrap_err();
+        assert!(matches!(err, SpecError::Trace(_)));
+        let source = err.source().expect("trace errors carry a source");
+        assert!(
+            source.to_string().contains("trace invalid at byte"),
+            "source must be the TraceError: {source}"
+        );
+        // A profile spec has nothing to preflight.
+        water_4x4().preflight().unwrap();
     }
 
     #[test]

@@ -230,7 +230,14 @@ pub fn dispatch(service: &JobService, request: &Request) -> Response {
 }
 
 fn submit_one(service: &JobService, item: &SubmitItem, verb: &str) -> Response {
-    let spec: JobSpec = match item.spec.parse() {
+    // Parse, then preflight: a `trace:` workload's file must exist and
+    // index cleanly, and rejecting it here (with the TraceError chained
+    // into the detail) beats queueing a job doomed to fail.
+    let parsed = item
+        .spec
+        .parse::<JobSpec>()
+        .and_then(|spec| spec.preflight().map(|()| spec));
+    let spec = match parsed {
         Ok(spec) => spec,
         Err(err) => {
             return Response::Error(

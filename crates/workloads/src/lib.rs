@@ -26,8 +26,12 @@
 //! let _op = w.next_op(0);
 //! ```
 
+pub mod dnn;
 pub mod profiles;
+pub mod spec;
 pub mod trace;
 
+pub use dnn::{DnnSpec, DnnWorkload};
 pub use profiles::{AppProfile, AppWorkload};
-pub use trace::{TraceRecorder, TraceReplay};
+pub use spec::{AnyWorkload, WorkSpec, TRACE_DIR_ENV};
+pub use trace::{TraceError, TraceErrorKind, TraceRecorder, TraceReplay, TraceStream};

@@ -162,6 +162,30 @@ impl AppProfile {
         }
     }
 
+    /// DNN-inference-like: regular bursts of large, heavily shared
+    /// tensor transfers with few private accesses.
+    ///
+    /// This is the *profile approximation* of the DNN pipeline for code
+    /// paths that only know [`AppProfile`]; the true producer-consumer
+    /// generator with stage pinning is
+    /// [`DnnWorkload`](crate::dnn::DnnWorkload), reached through the
+    /// `dnn` spec string. Registered in [`AppProfile::by_name`] but not
+    /// in [`AppProfile::suite`] (the evaluation suite stays the eight
+    /// SPLASH/PARSEC-class profiles).
+    pub fn dnn() -> AppProfile {
+        AppProfile {
+            busy_gap: 2,
+            idle_gap: 14,
+            busy_ops: 96,
+            idle_ops: 8,
+            read_fraction: 0.5,
+            share_fraction: 0.8,
+            shared_lines: 4096,
+            private_lines: 256,
+            ..Self::base("dnn")
+        }
+    }
+
     /// The full evaluation suite in the order figures report it.
     pub fn suite() -> Vec<AppProfile> {
         vec![
@@ -176,8 +200,11 @@ impl AppProfile {
         ]
     }
 
-    /// Looks a profile up by name.
+    /// Looks a profile up by name (the suite plus `dnn`).
     pub fn by_name(name: &str) -> Option<AppProfile> {
+        if name == "dnn" {
+            return Some(Self::dnn());
+        }
         Self::suite().into_iter().find(|p| p.name == name)
     }
 }

@@ -1,0 +1,209 @@
+//! Canonical workload vocabulary shared by bins and the service layer.
+//!
+//! A [`WorkSpec`] is the parsed form of the `app=` value a job or bench
+//! flag carries: a named [`AppProfile`], a parameterized DNN pipeline
+//! (`dnn:layers=..,tensor=..`), or a named on-disk trace
+//! (`trace:<name>`). [`WorkSpec::build`] instantiates it as an
+//! [`AnyWorkload`], the enum the driver and service layer run.
+
+use std::env;
+use std::fmt;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+use ra_fullsys::workload::{Op, Workload};
+use ra_sim::ConfigError;
+
+use crate::dnn::{DnnSpec, DnnWorkload};
+use crate::profiles::{AppProfile, AppWorkload};
+use crate::trace::{TraceError, TraceStream};
+
+/// Environment variable naming the directory `trace:<name>` specs
+/// resolve against (default `traces`).
+pub const TRACE_DIR_ENV: &str = "RA_TRACE_DIR";
+
+/// A workload named by spec string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkSpec {
+    /// A named application profile (`water`, `fft`, ... or `dnn` for the
+    /// profile approximation).
+    Profile(AppProfile),
+    /// A parameterized DNN producer-consumer pipeline.
+    Dnn(DnnSpec),
+    /// A recorded trace, streamed from `$RA_TRACE_DIR/<name>.ratr`.
+    Trace(String),
+}
+
+impl WorkSpec {
+    /// The display name (what `Workload::name` will report).
+    pub fn name(&self) -> &str {
+        match self {
+            WorkSpec::Profile(p) => &p.name,
+            WorkSpec::Dnn(_) => "dnn",
+            WorkSpec::Trace(_) => "trace-stream",
+        }
+    }
+
+    /// The file a `trace:` spec streams from:
+    /// `$RA_TRACE_DIR/<name>.ratr` (directory default `traces`).
+    pub fn trace_path(name: &str) -> PathBuf {
+        let dir = env::var(TRACE_DIR_ENV).unwrap_or_else(|_| "traces".to_owned());
+        PathBuf::from(dir).join(format!("{name}.ratr"))
+    }
+
+    /// Instantiates the workload for `cores` cores.
+    ///
+    /// `stages` pins DNN pipeline stages: a chiplet target passes its
+    /// island count so each stage lands on one die, a monolithic target
+    /// passes 0 to default to `layers.min(cores)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if a `trace:` spec's file is missing or
+    /// malformed.
+    pub fn build(&self, cores: usize, stages: u32, seed: u64) -> Result<AnyWorkload, TraceError> {
+        Ok(match self {
+            WorkSpec::Profile(p) => AnyWorkload::App(AppWorkload::new(p.clone(), cores, seed)),
+            WorkSpec::Dnn(spec) => {
+                let stages = if stages > 0 {
+                    stages
+                } else {
+                    spec.layers.min(cores.max(1) as u32)
+                };
+                AnyWorkload::Dnn(DnnWorkload::new(*spec, cores, stages, seed))
+            }
+            WorkSpec::Trace(name) => {
+                AnyWorkload::Stream(TraceStream::open(Self::trace_path(name))?)
+            }
+        })
+    }
+}
+
+impl FromStr for WorkSpec {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(name) = s.strip_prefix("trace:") {
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+                return Err(ConfigError::new(format!(
+                    "trace name `{name}` must be non-empty [A-Za-z0-9_-]"
+                )));
+            }
+            return Ok(WorkSpec::Trace(name.to_owned()));
+        }
+        if s == "dnn" {
+            return Ok(WorkSpec::Dnn(DnnSpec::default()));
+        }
+        if let Some(args) = s.strip_prefix("dnn:") {
+            return Ok(WorkSpec::Dnn(DnnSpec::parse_args(args)?));
+        }
+        AppProfile::by_name(s)
+            .map(WorkSpec::Profile)
+            .ok_or_else(|| ConfigError::new(format!("unknown app `{s}`")))
+    }
+}
+
+impl fmt::Display for WorkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkSpec::Profile(p) => f.write_str(&p.name),
+            WorkSpec::Dnn(spec) => f.write_str(&spec.canonical()),
+            WorkSpec::Trace(name) => write!(f, "trace:{name}"),
+        }
+    }
+}
+
+/// Any workload the vocabulary can name, as one runnable type.
+#[derive(Debug, Clone)]
+pub enum AnyWorkload {
+    /// Phase-driven profile generator.
+    App(AppWorkload),
+    /// DNN producer-consumer pipeline.
+    Dnn(DnnWorkload),
+    /// In-memory trace replay.
+    Replay(crate::trace::TraceReplay),
+    /// File-streamed trace replay.
+    Stream(TraceStream),
+}
+
+impl Workload for AnyWorkload {
+    fn next_op(&mut self, core: usize) -> Op {
+        match self {
+            AnyWorkload::App(w) => w.next_op(core),
+            AnyWorkload::Dnn(w) => w.next_op(core),
+            AnyWorkload::Replay(w) => w.next_op(core),
+            AnyWorkload::Stream(w) => w.next_op(core),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            AnyWorkload::App(w) => w.name(),
+            AnyWorkload::Dnn(w) => w.name(),
+            AnyWorkload::Replay(w) => w.name(),
+            AnyWorkload::Stream(w) => w.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_strings_round_trip() {
+        for s in ["water", "fft", "dnn:layers=4,tensor=16384", "trace:mytrace"] {
+            let spec: WorkSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s, "canonical form must round-trip");
+        }
+        // Shorthand normalizes to the canonical form.
+        let spec: WorkSpec = "dnn".parse().unwrap();
+        assert_eq!(spec.to_string(), "dnn:layers=4,tensor=16384");
+        assert_eq!(spec.name(), "dnn");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!("nonesuch".parse::<WorkSpec>().is_err());
+        assert!("dnn:layers=x".parse::<WorkSpec>().is_err());
+        assert!("trace:".parse::<WorkSpec>().is_err());
+        assert!("trace:../evil".parse::<WorkSpec>().is_err());
+    }
+
+    #[test]
+    fn profile_and_dnn_specs_build() {
+        let w = "ocean".parse::<WorkSpec>().unwrap().build(4, 0, 1).unwrap();
+        assert_eq!(w.name(), "ocean");
+        let w = "dnn".parse::<WorkSpec>().unwrap().build(8, 2, 1).unwrap();
+        assert_eq!(w.name(), "dnn");
+        match w {
+            AnyWorkload::Dnn(d) => assert_eq!(d.stages(), 2),
+            other => panic!("expected dnn workload, got {}", other.name()),
+        }
+        // stages=0 defaults to layers.min(cores).
+        let w = "dnn".parse::<WorkSpec>().unwrap().build(2, 0, 1).unwrap();
+        match w {
+            AnyWorkload::Dnn(d) => assert_eq!(d.stages(), 2),
+            other => panic!("expected dnn workload, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn missing_trace_surfaces_a_trace_error() {
+        let spec: WorkSpec = "trace:definitely-missing".parse().unwrap();
+        let err = spec.build(2, 0, 0).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            crate::trace::TraceErrorKind::Io { .. }
+        ));
+    }
+
+    #[test]
+    fn dnn_profile_is_in_the_vocabulary() {
+        // `dnn` must also resolve as a plain profile name for code paths
+        // that only know AppProfile (suite order stays untouched).
+        let p = AppProfile::by_name("dnn").expect("dnn profile registered");
+        assert_eq!(p.name, "dnn");
+        assert_eq!(AppProfile::suite().len(), 8);
+    }
+}

@@ -1,6 +1,7 @@
-//! Record a workload's operation stream once, then replay the identical
-//! stream against two network abstractions — the controlled-comparison
-//! methodology behind the accuracy figures.
+//! Record a workload's operation stream once, write it to disk, then
+//! stream-replay the identical stream against two network abstractions —
+//! the controlled-comparison methodology behind the accuracy figures,
+//! without ever holding the whole trace in memory on the replay side.
 //!
 //! ```text
 //! cargo run --release --example trace_replay
@@ -8,7 +9,7 @@
 
 use reciprocal_abstraction::fullsys::{FullSysConfig, FullSystem};
 use reciprocal_abstraction::netmodel::{AbstractNetwork, FixedLatency, HopLatency, HopMetric};
-use reciprocal_abstraction::workloads::{AppProfile, AppWorkload, TraceRecorder, TraceReplay};
+use reciprocal_abstraction::workloads::{AppProfile, AppWorkload, TraceRecorder, TraceStream};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = FullSysConfig::new(4, 4);
@@ -22,20 +23,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = AbstractNetwork::new(HopLatency::default(), metric, 16);
     let mut sys = FullSystem::new(cfg.clone(), net, workload)?;
     let cycles_recorded = sys.run_until_instructions(500, 5_000_000)?;
-    let trace_bytes = {
-        let stats = sys.stats();
-        println!(
-            "recorded run : {cycles_recorded} cycles, {} messages",
-            stats.total_messages()
-        );
-        // Reach into the system to serialize the recorder's log.
-        // (FullSystem::workload() exposes the workload by reference.)
-        sys.workload().to_bytes()
-    };
-    println!("trace size   : {} bytes", trace_bytes.len());
+    println!(
+        "recorded run : {cycles_recorded} cycles, {} messages",
+        sys.stats().total_messages()
+    );
 
-    // 2. Replay the identical op stream against a much slower network.
-    let replay = TraceReplay::from_bytes(&trace_bytes).map_err(std::io::Error::other)?;
+    // 2. Persist the trace. (FullSystem::workload() exposes the recorder
+    // by reference; write_to serializes its log in the RATR format.)
+    let path = std::env::temp_dir().join(format!("ra-example-{}.ratr", std::process::id()));
+    sys.workload().write_to(&path)?;
+    println!(
+        "trace file   : {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // 3. Stream-replay the identical op stream against a much slower
+    // network. TraceStream reads the file in bounded chunks — replay
+    // memory stays constant no matter how long the recorded run was.
+    let replay = TraceStream::open(&path)?;
+    println!("streamed ops : {} across {} cores", replay.len(), replay.cores());
     let slow_net = AbstractNetwork::new(FixedLatency::new(80), metric, 16);
     let mut sys2 = FullSystem::new(cfg, slow_net, replay)?;
     let cycles_replayed = sys2.run_until_instructions(500, 50_000_000)?;
@@ -44,5 +51,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "slowdown     : {:.2}x — same instructions, different network, honest timing feedback",
         cycles_replayed as f64 / cycles_recorded as f64
     );
+    std::fs::remove_file(&path)?;
     Ok(())
 }

@@ -442,6 +442,157 @@ fn wire_protocol_round_trips_every_message_through_both_codecs() {
     }
 }
 
+/// The chiplet hop metric must agree with the chiplet network's own hop
+/// counts for every node pair — the same keying contract the single-die
+/// metrics uphold, extended across the interposer. The cross-die split the
+/// coupler bands calibration on must match too.
+#[test]
+fn chiplet_hop_metric_matches_chiplet_network() {
+    use reciprocal_abstraction::cosim::InterposerClass;
+    use reciprocal_abstraction::noc::ChipletNetwork;
+
+    let cases = [
+        Target::chiplet(2, 4, 4, InterposerClass::Silicon),
+        Target::chiplet(3, 3, 2, InterposerClass::Organic),
+    ];
+    for target in cases {
+        let spec = target.noc.chiplet.clone().expect("chiplet target");
+        let net = ChipletNetwork::new(target.noc.clone()).unwrap();
+        let metric = HopMetric::Chiplet {
+            islands: spec.islands,
+            island: target.noc.shape,
+        };
+        assert_eq!(metric.nodes(), net.nodes() as usize, "{}", target.name);
+        for src in 0..net.nodes() {
+            for dst in 0..net.nodes() {
+                assert_eq!(
+                    metric.hops(NodeId(src), NodeId(dst)),
+                    net.hops(NodeId(src), NodeId(dst)),
+                    "{} {src}->{dst}",
+                    target.name
+                );
+            }
+        }
+        assert_eq!(metric.diameter(), net.diameter(), "{} diameter", target.name);
+        assert_eq!(
+            metric.cross_split(),
+            Some(net.cross_split()),
+            "{} cross-die split",
+            target.name
+        );
+    }
+}
+
+/// The chiplet/DNN/trace job vocabulary must survive the full spec
+/// round-trip — text -> `JobSpec` -> canonical text -> `JobSpec` — and the
+/// canonical form must pass unchanged through both wire codecs.
+#[test]
+fn chiplet_and_streaming_specs_round_trip_the_spec_layer_and_both_codecs() {
+    use reciprocal_abstraction::serve::proto::{Request, SubmitItem};
+    use reciprocal_abstraction::serve::{
+        frame, BinaryCodec, Codec, FrameStep, JobSpec, JsonCodec,
+    };
+
+    let texts = [
+        "target=chiplet:2x4x4,interposer=silicon app=dnn \
+         mode=reciprocal:quantum=300 instructions=150 budget=500000 seed=3",
+        "target=chiplet:4x4x2,interposer=organic app=dnn:layers=3,tensor=4096 \
+         mode=hop instructions=100 budget=500000",
+        "target=chiplet:2x4x4,interposer=active app=water mode=lockstep \
+         instructions=100 budget=500000",
+        "target=4x4 app=trace:smoke mode=hop instructions=100 budget=500000",
+    ];
+    for text in texts {
+        let spec: JobSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+        let canonical = spec.to_string();
+        let reparsed: JobSpec = canonical
+            .parse()
+            .unwrap_or_else(|e| panic!("canonical {canonical}: {e}"));
+        assert_eq!(spec, reparsed, "canonicalization must be a fixed point");
+
+        let request = Request::Submit(SubmitItem::new(canonical.clone()));
+        let wire = JsonCodec.encode_request(&request);
+        assert_eq!(wire.last(), Some(&b'\n'), "JSON messages are lines");
+        let json_back = JsonCodec
+            .decode_request(&wire[..wire.len() - 1])
+            .expect("json decode");
+        assert_eq!(json_back, request, "json round-trip of {canonical}");
+
+        let wire = BinaryCodec.encode_request(&request);
+        let payload = match frame::step(&wire) {
+            FrameStep::Ok { payload, advance } => {
+                assert_eq!(advance, wire.len());
+                payload
+            }
+            other => panic!("bad frame for {canonical}: {other:?}"),
+        };
+        let binary_back = BinaryCodec.decode_request(&payload).expect("binary decode");
+        assert_eq!(binary_back, request, "binary round-trip of {canonical}");
+    }
+}
+
+/// A chiplet job end to end through the service: the wire accepts the
+/// chiplet vocabulary, the scheduler hands it to the driver, and the DNN
+/// pipeline's cross-interposer run completes with real traffic. A spec
+/// naming a nonexistent trace must instead be refused at submission with
+/// the full error chain — offset and kind included — not accepted and
+/// failed later.
+#[test]
+fn chiplet_jobs_flow_through_the_wire_and_bad_traces_are_refused_at_the_door() {
+    use reciprocal_abstraction::serve::{JobService, Json, ServeConfig, WireClient, WireServer};
+
+    let service = JobService::start(
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        reciprocal_abstraction::obs::ObsSink::disabled(),
+    )
+    .expect("service starts");
+    let handle = WireServer::bind("127.0.0.1:0", service)
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn accept loop");
+    let mut client = WireClient::connect(handle.addr()).expect("connect");
+
+    let spec = "target=chiplet:2x4x4,interposer=silicon app=dnn \
+                mode=reciprocal:quantum=300 instructions=100 budget=1000000 seed=5";
+    let submitted = client.submit(spec, None, None).expect("submit chiplet job");
+    let ticket = submitted.get("ticket").and_then(Json::as_u64).expect("ticket");
+    let outcome = client.result(ticket, Some(120_000)).expect("result");
+    assert_eq!(outcome.get("outcome").and_then(Json::as_str), Some("completed"));
+    let body = outcome.get("result").expect("result body");
+    assert_eq!(body.get("workload").and_then(Json::as_str), Some("dnn"));
+    assert!(body.get("messages").and_then(Json::as_u64).expect("messages") > 0);
+
+    let refused = client
+        .submit(
+            "target=4x4 app=trace:no-such-recording mode=hop instructions=100 budget=500000",
+            None,
+            None,
+        )
+        .expect("the wire answers even a refused submission");
+    assert_eq!(refused.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        refused.get("code").and_then(Json::as_str),
+        Some("bad_spec"),
+        "wrong error code: {refused:?}"
+    );
+    let detail = refused
+        .get("detail")
+        .and_then(Json::as_str)
+        .expect("refusal carries a detail");
+    assert!(
+        detail.contains("unusable trace"),
+        "refusal must name the trace problem: {detail}"
+    );
+    assert!(
+        detail.contains("trace invalid at byte"),
+        "refusal must chain the typed trace error: {detail}"
+    );
+    handle.stop();
+}
+
 /// The batched verbs end to end through the umbrella crate: one
 /// round-trip submits a mixed batch, one collects every result.
 #[test]

@@ -224,8 +224,10 @@ mod speculative_pipeline {
     /// The deterministic slice of a reciprocal run: everything except
     /// wall-clock durations and the speculation counters themselves (the
     /// serial schedule has zero commits and rollbacks by construction).
+    /// (Shared with the chiplet matrix below, which holds multi-die runs
+    /// to the same bit-identical standard.)
     #[derive(Debug, PartialEq)]
-    struct Fingerprint {
+    pub(crate) struct Fingerprint {
         cycles: u64,
         messages: u64,
         ipc_bits: u64,
@@ -242,7 +244,7 @@ mod speculative_pipeline {
         noc: NocStats,
     }
 
-    fn fingerprint(r: &RunResult) -> Fingerprint {
+    pub(crate) fn fingerprint(r: &RunResult) -> Fingerprint {
         let c = r.coupler.as_ref().expect("reciprocal run");
         Fingerprint {
             cycles: r.cycles,
@@ -346,6 +348,84 @@ mod speculative_pipeline {
                 "decided windows must equal calibrated + tripped windows"
             );
             prop_assert_eq!(fingerprint(&serial), fingerprint(&piped));
+        }
+    }
+}
+
+/// Multi-die targets must uphold the same contract: a chiplet system —
+/// two mesh islands in lockstep across an interposer, carrying the DNN
+/// pipeline's cross-die tensor traffic — run under reciprocal abstraction
+/// must be bit-identical across worker counts, clock-gating settings, and
+/// with the speculative pipeline on. The island batching and the banded
+/// (on-die vs cross-die) calibration are part of the simulated state, so
+/// they are covered by the same full-fingerprint comparison.
+mod chiplet_matrix {
+    use reciprocal_abstraction::cosim::{InterposerClass, ModeSpec, RunResult, RunSpec, Target};
+    use reciprocal_abstraction::workloads::{DnnSpec, WorkSpec};
+
+    use super::speculative_pipeline::{fingerprint, Fingerprint};
+
+    /// Two 4x4 islands over a silicon interposer, with gating toggled on
+    /// the shared island config.
+    fn target(gating: bool) -> Target {
+        let mut target = Target::chiplet(2, 4, 4, InterposerClass::Silicon);
+        target.noc = target.noc.clone().with_clock_gating(gating);
+        target
+    }
+
+    /// A reciprocal run of the DNN pipeline (one stage pinned per island,
+    /// so every inter-stage tensor crosses the interposer).
+    fn run(target: &Target, seed: u64, workers: usize, pipeline: bool) -> RunResult {
+        RunSpec::for_work(target, WorkSpec::Dnn(DnnSpec::default()))
+            .mode(ModeSpec::Reciprocal { quantum: 300, workers, pipeline })
+            .instructions(150)
+            .budget(1_000_000)
+            .seed(seed)
+            .run()
+            .expect("chiplet reciprocal run")
+    }
+
+    fn reference(seed: u64) -> Fingerprint {
+        let serial = run(&target(false), seed, 0, false);
+        assert!(serial.messages > 0, "sterile chiplet run: seed {seed}");
+        let c = serial.coupler.as_ref().expect("reciprocal run");
+        assert!(c.calibrations > 0, "no calibration exchanges: seed {seed}");
+        fingerprint(&serial)
+    }
+
+    /// The pinned chiplet matrix: workers in {2, 4} x gating {off, on} x
+    /// two seeds, all bit-identical to the ungated serial reference.
+    #[test]
+    fn chiplet_matrix_is_bit_identical_to_serial() {
+        for seed in [1u64, 7] {
+            let reference = reference(seed);
+            for workers in [2usize, 4] {
+                for gating in [false, true] {
+                    let candidate = run(&target(gating), seed, workers, false);
+                    assert_eq!(
+                        reference,
+                        fingerprint(&candidate),
+                        "chiplet seed {seed} workers {workers} gating {gating}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The speculative quantum pipeline over a chiplet system: the
+    /// checkpoint/replay schedule must leave every simulated statistic —
+    /// including the merged per-island NoC stats — untouched.
+    #[test]
+    fn pipelined_chiplet_runs_are_bit_identical_to_serial() {
+        for seed in [1u64, 7] {
+            let reference = reference(seed);
+            let piped = run(&target(false), seed, 0, true);
+            let c = piped.coupler.as_ref().expect("reciprocal run");
+            assert!(
+                c.spec_commits + c.spec_rollbacks > 0,
+                "pipelined chiplet run never speculated: seed {seed}"
+            );
+            assert_eq!(reference, fingerprint(&piped), "chiplet pipeline seed {seed}");
         }
     }
 }
