@@ -275,6 +275,7 @@ pub struct RunSpec<'a> {
     seed: u64,
     sink: ObsSink,
     cancel: Option<Arc<AtomicBool>>,
+    calibrated_only: bool,
 }
 
 impl<'a> RunSpec<'a> {
@@ -295,6 +296,7 @@ impl<'a> RunSpec<'a> {
             seed: 42,
             sink: ObsSink::disabled(),
             cancel: None,
+            calibrated_only: false,
         }
     }
 
@@ -341,6 +343,20 @@ impl<'a> RunSpec<'a> {
         self
     }
 
+    /// Serves reciprocal modes from the calibrated model alone: the
+    /// coupler is built with its detailed NoC pre-abandoned (see
+    /// [`ReciprocalNetwork::serving_only`]), so the run costs about as
+    /// much as an abstract-model run while keeping the reciprocal mode's
+    /// calibrated fit. Non-reciprocal modes are unaffected. Speculative
+    /// pipelining is disabled for such runs — there is no detailed replay
+    /// to speculate against. Deterministic per spec: a given spec always
+    /// produces the same calibrated-only result, regardless of why the
+    /// caller degraded it. Default: off (full co-simulation).
+    pub fn calibrated_only(mut self, on: bool) -> Self {
+        self.calibrated_only = on;
+        self
+    }
+
     /// Arms a cooperative cancellation flag: another thread setting it
     /// makes the run return [`SimError::Cancelled`] at the next poll
     /// boundary of the full system's run-loop watchdog. The job service
@@ -378,10 +394,18 @@ impl<'a> RunSpec<'a> {
         workers: usize,
         pipeline: bool,
     ) -> Result<RunResult, SimError> {
-        let coupler = ReciprocalNetwork::new(self.target.noc.clone(), quantum, workers)
+        // A calibrated-only run has no detailed replay to speculate
+        // against; execute serially but keep the spec's own mode label so
+        // the job's identity is unchanged (the fidelity tag carries the
+        // degradation).
+        let effective_pipeline = pipeline && !self.calibrated_only;
+        let mut coupler = ReciprocalNetwork::new(self.target.noc.clone(), quantum, workers)
             .map_err(SimError::Config)?
             .with_sink(self.sink.clone())
-            .with_pipeline(pipeline);
+            .with_pipeline(effective_pipeline);
+        if self.calibrated_only {
+            coupler = coupler.serving_only();
+        }
         let net = LatencyProbe::new(coupler);
         let workload = self.build_workload()?;
         let mut sys = FullSystem::new(self.target.fullsys.clone(), net, workload)
@@ -390,7 +414,7 @@ impl<'a> RunSpec<'a> {
             sys.set_halt_flag(cancel.clone());
         }
         let start = Instant::now();
-        let run = if pipeline {
+        let run = if effective_pipeline {
             run_pipelined(&mut sys, self.instructions, self.budget)
         } else {
             sys.run_until_instructions(self.instructions, self.budget)
@@ -840,6 +864,45 @@ mod tests {
             serial.latency.mean().to_bits(),
             piped.latency.mean().to_bits()
         );
+    }
+
+    #[test]
+    fn calibrated_only_serves_from_the_fit_and_stays_deterministic() {
+        let target = small_target();
+        let app = AppProfile::ocean();
+        let run = || {
+            RunSpec::new(&target, &app)
+                .mode(ModeSpec::Reciprocal { quantum: 300, workers: 0, pipeline: true })
+                .instructions(300)
+                .budget(2_000_000)
+                .seed(5)
+                .calibrated_only(true)
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles, "calibrated tier must be deterministic");
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+        let coupler = a.coupler.expect("still a reciprocal-mode run");
+        assert!(coupler.detailed_abandoned, "detailed model abandoned from cycle zero");
+        assert_eq!(a.calibrations, 0, "no detailed windows means no calibrations");
+        assert_eq!(
+            coupler.spec_commits + coupler.spec_rollbacks,
+            0,
+            "pipelining is inert without a detailed replay"
+        );
+        assert_eq!(a.mode, "reciprocal-pipe", "the spec's own mode label is kept");
+        // The full run differs: degradation is a real fidelity change.
+        let full = RunSpec::new(&target, &app)
+            .mode(ModeSpec::Reciprocal { quantum: 300, workers: 0, pipeline: false })
+            .instructions(300)
+            .budget(2_000_000)
+            .seed(5)
+            .run()
+            .unwrap();
+        assert!(full.calibrations > 0);
     }
 
     #[test]

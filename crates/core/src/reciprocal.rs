@@ -529,6 +529,21 @@ impl ReciprocalNetwork {
         self
     }
 
+    /// Runs the coupler as a *serving tier*: the detailed model is
+    /// abandoned before the first quantum, so every answer comes from the
+    /// calibrated model's fit — the same stance a run reaches after the
+    /// fallback policy trips `permanent_after` times, but entered
+    /// deliberately. An overloaded job service uses this as its
+    /// `fidelity=calibrated` degradation rung: the run costs roughly an
+    /// abstract-model run, stays deterministic for a given spec, and the
+    /// stats honestly report `detailed_abandoned` from cycle zero.
+    #[must_use]
+    pub fn serving_only(mut self) -> Self {
+        self.abandoned = true;
+        self.stats.detailed_abandoned = true;
+        self
+    }
+
     /// Enables speculative quantum pipelining: at each quantum boundary
     /// the detailed window is replayed on a background thread while the
     /// full system runs the *next* quantum against the current (predicted)

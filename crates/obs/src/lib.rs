@@ -338,6 +338,68 @@ pub enum Event {
         /// Items the batch carried.
         items: u64,
     },
+    /// The admission controller entered a brownout level under sustained
+    /// queue pressure (1 = degrade new low-priority work, 2 = degrade
+    /// everything that opted in).
+    BrownoutEnter {
+        /// The level entered (1 or 2).
+        level: u64,
+        /// The smoothed pressure reading that crossed the threshold.
+        pressure: f64,
+    },
+    /// The admission controller left a brownout level after sustained
+    /// relief (hysteresis applied).
+    BrownoutExit {
+        /// The level left behind (the new level is one lower, or 0).
+        level: u64,
+        /// The smoothed pressure reading at exit.
+        pressure: f64,
+    },
+    /// A job was planned at degraded fidelity instead of being rejected.
+    JobDegraded {
+        /// Canonical job-spec content hash.
+        job: u64,
+        /// The fidelity rung it will be answered at (`hop`/`calibrated`).
+        fidelity: String,
+        /// Why: `brownout1`, `brownout2`, `queue_full`, `quota`, or
+        /// `edge`.
+        cause: String,
+    },
+    /// A job was shed by the admission controller (quota exhausted or
+    /// queue overloaded with no degraded rung available).
+    JobShed {
+        /// Canonical job-spec content hash.
+        job: u64,
+        /// Client id the quota charged (empty when anonymous).
+        client: String,
+        /// Queue depth at the shed decision.
+        queue_depth: u64,
+    },
+    /// The background upgrader replaced a degraded store entry with a
+    /// fresh full-fidelity run of the same spec.
+    ResultUpgraded {
+        /// Canonical job-spec content hash (unchanged by the upgrade).
+        job: u64,
+        /// Fidelity tag of the entry that was replaced.
+        from: String,
+        /// Fidelity tag it was upgraded to.
+        to: String,
+    },
+    /// A relay backend's circuit breaker changed state.
+    BreakerTransition {
+        /// Backend slot index in the relay's node table.
+        node: u64,
+        /// State left (`closed`/`open`/`half_open`).
+        from: String,
+        /// State entered.
+        to: String,
+    },
+    /// The relay answered a shedable job from the edge at `fidelity=hop`
+    /// because every owner was saturated or breaker-open.
+    EdgeBrownout {
+        /// Canonical job-spec content hash.
+        job: u64,
+    },
 }
 
 impl Event {
@@ -365,6 +427,13 @@ impl Event {
             Event::Failover { .. } => "failover",
             Event::Reroute { .. } => "reroute",
             Event::WireBatch { .. } => "wire_batch",
+            Event::BrownoutEnter { .. } => "brownout_enter",
+            Event::BrownoutExit { .. } => "brownout_exit",
+            Event::JobDegraded { .. } => "job_degraded",
+            Event::JobShed { .. } => "job_shed",
+            Event::ResultUpgraded { .. } => "result_upgraded",
+            Event::BreakerTransition { .. } => "breaker_transition",
+            Event::EdgeBrownout { .. } => "edge_brownout",
         }
     }
 
@@ -548,6 +617,41 @@ impl Event {
             Event::WireBatch { verb, items } => {
                 w.str("verb", verb);
                 w.int("items", *items);
+            }
+            Event::BrownoutEnter { level, pressure } => {
+                w.int("level", *level);
+                w.num("pressure", *pressure);
+            }
+            Event::BrownoutExit { level, pressure } => {
+                w.int("level", *level);
+                w.num("pressure", *pressure);
+            }
+            Event::JobDegraded { job, fidelity, cause } => {
+                w.hex("job", *job);
+                w.str("fidelity", fidelity);
+                w.str("cause", cause);
+            }
+            Event::JobShed {
+                job,
+                client,
+                queue_depth,
+            } => {
+                w.hex("job", *job);
+                w.str("client", client);
+                w.int("queue_depth", *queue_depth);
+            }
+            Event::ResultUpgraded { job, from, to } => {
+                w.hex("job", *job);
+                w.str("from", from);
+                w.str("to", to);
+            }
+            Event::BreakerTransition { node, from, to } => {
+                w.int("node", *node);
+                w.str("from", from);
+                w.str("to", to);
+            }
+            Event::EdgeBrownout { job } => {
+                w.hex("job", *job);
             }
         }
         w.finish()
@@ -1237,6 +1341,35 @@ mod tests {
                 verb: "submit_batch".into(),
                 items: 64,
             },
+            Event::BrownoutEnter {
+                level: 1,
+                pressure: 1.4,
+            },
+            Event::BrownoutExit {
+                level: 1,
+                pressure: 0.3,
+            },
+            Event::JobDegraded {
+                job: 0xDEAD_BEEF,
+                fidelity: "hop".into(),
+                cause: "brownout1".into(),
+            },
+            Event::JobShed {
+                job: 0xDEAD_BEEF,
+                client: "tenant-a".into(),
+                queue_depth: 64,
+            },
+            Event::ResultUpgraded {
+                job: 0xDEAD_BEEF,
+                from: "hop".into(),
+                to: "reciprocal".into(),
+            },
+            Event::BreakerTransition {
+                node: 2,
+                from: "closed".into(),
+                to: "open".into(),
+            },
+            Event::EdgeBrownout { job: 0xDEAD_BEEF },
         ];
         for event in &events {
             let json = event.to_json();

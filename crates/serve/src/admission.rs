@@ -1,0 +1,427 @@
+//! Adaptive admission control: queue-pressure sensing, per-client
+//! token-bucket quotas, and the two-level brownout ladder.
+//!
+//! Everything here is *pure state* — no clocks, no locks, no I/O. Callers
+//! inject time as nanoseconds ([`TokenBucket::try_take`]) or feed
+//! measured durations ([`AdmissionController::observe_queue_delay`]), so
+//! the unit tests drive every transition deterministically and the
+//! scheduler owns all timing, exactly as `health.rs` does for the relay.
+//!
+//! # Pressure and brownout
+//!
+//! The controller tracks two saturation signals and takes their max:
+//!
+//! * **queue fraction** — `queued / capacity`, the instantaneous
+//!   backlog;
+//! * **delay ratio** — an EWMA of the queue delay jobs actually
+//!   experienced (reported by workers at pick-up), over the configured
+//!   target delay.
+//!
+//! Sustained pressure ≥ `brownout1_pressure` enters Brownout-1 (new
+//! low-priority degradable jobs are planned at a cheaper fidelity);
+//! sustained pressure ≥ `brownout2_pressure` enters Brownout-2 (every
+//! degradable job is planned cheap). Exit requires the pressure to stay
+//! ≤ `exit_pressure` for `exit_after` consecutive observations — the
+//! hysteresis that keeps a flapping load from oscillating the ladder.
+
+use std::time::Duration;
+
+/// Exponentially-weighted moving average with a priming first sample.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    primed: bool,
+}
+
+impl Ewma {
+    /// A fresh average blending each sample in with weight `alpha`
+    /// (clamped to `(0, 1]`). The first observation sets the value
+    /// directly.
+    pub fn new(alpha: f64) -> Ewma {
+        Ewma {
+            alpha: if alpha > 0.0 { alpha.min(1.0) } else { 1.0 },
+            value: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Blends `sample` in.
+    pub fn observe(&mut self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
+        if self.primed {
+            self.value += self.alpha * (sample - self.value);
+        } else {
+            self.value = sample;
+            self.primed = true;
+        }
+    }
+
+    /// Current smoothed value (0 before the first observation).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Whether at least one sample has landed.
+    pub fn primed(&self) -> bool {
+        self.primed
+    }
+}
+
+impl Default for Ewma {
+    /// `alpha = 0.2`, matching [`AdmissionConfig::default`].
+    fn default() -> Self {
+        Ewma::new(0.2)
+    }
+}
+
+/// A per-client token bucket: `capacity` tokens, refilled continuously at
+/// `refill_per_sec`. Starts full, so a fresh client gets its burst.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    tokens: f64,
+    last_ns: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket. `capacity` is clamped to ≥ 1 token; a
+    /// non-positive `refill_per_sec` means the bucket never refills.
+    pub fn new(capacity: f64, refill_per_sec: f64) -> TokenBucket {
+        let capacity = capacity.max(1.0);
+        TokenBucket {
+            capacity,
+            refill_per_sec: refill_per_sec.max(0.0),
+            tokens: capacity,
+            last_ns: 0,
+        }
+    }
+
+    /// Advances the refill clock to `now_ns`. Time never moves the bucket
+    /// backwards: a stale (smaller) timestamp refills nothing, and the
+    /// balance saturates at `capacity` no matter how long the idle gap —
+    /// the arithmetic stays exact under `f64` because elapsed nanoseconds
+    /// convert through seconds before multiplying.
+    fn refill(&mut self, now_ns: u64) {
+        if now_ns <= self.last_ns {
+            return;
+        }
+        let elapsed_s = (now_ns - self.last_ns) as f64 / 1e9;
+        self.tokens = (self.tokens + elapsed_s * self.refill_per_sec).min(self.capacity);
+        self.last_ns = now_ns;
+    }
+
+    /// Takes `cost` tokens if the balance (after refilling to `now_ns`)
+    /// covers it. Returns whether the take succeeded; a failed take
+    /// charges nothing.
+    pub fn try_take(&mut self, now_ns: u64, cost: f64) -> bool {
+        self.refill(now_ns);
+        if self.tokens + 1e-9 >= cost {
+            self.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current balance after refilling to `now_ns`.
+    pub fn tokens(&mut self, now_ns: u64) -> f64 {
+        self.refill(now_ns);
+        self.tokens
+    }
+}
+
+/// Where the service sits on the brownout ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum BrownoutLevel {
+    /// No degradation: every job runs at the fidelity it asked for.
+    #[default]
+    Normal,
+    /// New low-priority degradable jobs are planned at reduced fidelity.
+    Brownout1,
+    /// Every degradable job is planned at reduced fidelity.
+    Brownout2,
+}
+
+impl BrownoutLevel {
+    /// Numeric level for stats rows (0/1/2).
+    pub fn level(self) -> u8 {
+        match self {
+            BrownoutLevel::Normal => 0,
+            BrownoutLevel::Brownout1 => 1,
+            BrownoutLevel::Brownout2 => 2,
+        }
+    }
+
+    fn up(self) -> BrownoutLevel {
+        match self {
+            BrownoutLevel::Normal => BrownoutLevel::Brownout1,
+            _ => BrownoutLevel::Brownout2,
+        }
+    }
+
+    fn down(self) -> BrownoutLevel {
+        match self {
+            BrownoutLevel::Brownout2 => BrownoutLevel::Brownout1,
+            _ => BrownoutLevel::Normal,
+        }
+    }
+}
+
+/// Tuning for the [`AdmissionController`].
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Queue delay at which the delay ratio reads 1.0.
+    pub delay_target: Duration,
+    /// EWMA weight for the queue-delay signal.
+    pub ewma_alpha: f64,
+    /// Sustained pressure that enters Brownout-1 from Normal.
+    pub brownout1_pressure: f64,
+    /// Sustained pressure that escalates Brownout-1 to Brownout-2.
+    pub brownout2_pressure: f64,
+    /// Pressure the service must stay at or below to step back down.
+    pub exit_pressure: f64,
+    /// Consecutive over-threshold observations required to step up.
+    pub enter_after: u32,
+    /// Consecutive under-`exit_pressure` observations required to step
+    /// down (the exit hysteresis).
+    pub exit_after: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            delay_target: Duration::from_millis(500),
+            ewma_alpha: 0.2,
+            brownout1_pressure: 0.75,
+            brownout2_pressure: 1.5,
+            exit_pressure: 0.4,
+            enter_after: 3,
+            exit_after: 8,
+        }
+    }
+}
+
+/// A brownout transition worth reporting on the obs stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelChange {
+    /// The level left behind.
+    pub from: BrownoutLevel,
+    /// The level entered.
+    pub to: BrownoutLevel,
+    /// The pressure reading that decided the step.
+    pub pressure: f64,
+}
+
+/// The brownout state machine: feed it pressure observations, watch for
+/// level changes.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    delay: Ewma,
+    level: BrownoutLevel,
+    /// Consecutive observations at or above the next level's threshold.
+    hot: u32,
+    /// Consecutive observations at or below the exit threshold.
+    cool: u32,
+}
+
+impl Default for AdmissionController {
+    fn default() -> Self {
+        AdmissionController::new(AdmissionConfig::default())
+    }
+}
+
+impl AdmissionController {
+    /// A controller at Normal with no delay history.
+    pub fn new(cfg: AdmissionConfig) -> AdmissionController {
+        AdmissionController {
+            delay: Ewma::new(cfg.ewma_alpha),
+            cfg,
+            level: BrownoutLevel::Normal,
+            hot: 0,
+            cool: 0,
+        }
+    }
+
+    /// Feeds one measured queue delay (reported by a worker at pick-up).
+    pub fn observe_queue_delay(&mut self, delay: Duration) {
+        self.delay.observe(delay.as_secs_f64());
+    }
+
+    /// Smoothed queue delay, for stats rows.
+    pub fn queue_delay(&self) -> Duration {
+        Duration::from_secs_f64(self.delay.value().max(0.0))
+    }
+
+    /// Instantaneous pressure: max of the backlog fraction and the
+    /// smoothed delay over its target.
+    pub fn pressure(&self, queued: usize, capacity: usize) -> f64 {
+        let queue_frac = queued as f64 / capacity.max(1) as f64;
+        let delay_ratio = self.delay.value() / self.cfg.delay_target.as_secs_f64().max(1e-9);
+        queue_frac.max(delay_ratio)
+    }
+
+    /// Current ladder position.
+    pub fn level(&self) -> BrownoutLevel {
+        self.level
+    }
+
+    /// Takes one pressure observation and possibly steps the ladder.
+    /// "Sustained" means `enter_after` consecutive hot observations (resp.
+    /// `exit_after` cool ones); readings in between reset both streaks,
+    /// so a flapping load holds the current level.
+    pub fn update(&mut self, queued: usize, capacity: usize) -> Option<LevelChange> {
+        let pressure = self.pressure(queued, capacity);
+        let enter_threshold = match self.level {
+            BrownoutLevel::Normal => Some(self.cfg.brownout1_pressure),
+            BrownoutLevel::Brownout1 => Some(self.cfg.brownout2_pressure),
+            BrownoutLevel::Brownout2 => None,
+        };
+        if enter_threshold.is_some_and(|t| pressure >= t) {
+            self.cool = 0;
+            self.hot += 1;
+            if self.hot >= self.cfg.enter_after.max(1) {
+                self.hot = 0;
+                let from = self.level;
+                self.level = self.level.up();
+                return Some(LevelChange {
+                    from,
+                    to: self.level,
+                    pressure,
+                });
+            }
+        } else if self.level != BrownoutLevel::Normal && pressure <= self.cfg.exit_pressure {
+            self.hot = 0;
+            self.cool += 1;
+            if self.cool >= self.cfg.exit_after.max(1) {
+                self.cool = 0;
+                let from = self.level;
+                self.level = self.level.down();
+                return Some(LevelChange {
+                    from,
+                    to: self.level,
+                    pressure,
+                });
+            }
+        } else {
+            self.hot = 0;
+            self.cool = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> AdmissionConfig {
+        AdmissionConfig {
+            enter_after: 2,
+            exit_after: 3,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    #[test]
+    fn ewma_primes_on_first_sample_then_smooths() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), 0.0);
+        e.observe(10.0);
+        assert_eq!(e.value(), 10.0, "first sample primes directly");
+        e.observe(20.0);
+        assert!((e.value() - 15.0).abs() < 1e-12);
+        e.observe(f64::NAN);
+        assert!((e.value() - 15.0).abs() < 1e-12, "NaN samples are ignored");
+    }
+
+    #[test]
+    fn token_bucket_charges_and_refuses_when_empty() {
+        let mut b = TokenBucket::new(2.0, 1.0);
+        assert!(b.try_take(0, 1.0));
+        assert!(b.try_take(0, 1.0));
+        assert!(!b.try_take(0, 1.0), "empty bucket refuses");
+        assert!(b.tokens(0) < 1e-9);
+        // 500ms refills half a token — still not enough for a whole one.
+        assert!(!b.try_take(500_000_000, 1.0));
+        // Another 500ms completes it.
+        assert!(b.try_take(1_000_000_000, 1.0));
+    }
+
+    #[test]
+    fn token_bucket_refill_saturates_at_capacity() {
+        // The satellite case: refill arithmetic at saturation. A long
+        // idle gap must cap at capacity, not accumulate; repeated refills
+        // with the same timestamp must not double-credit; and a stale
+        // timestamp must not move the clock backwards.
+        let mut b = TokenBucket::new(4.0, 1_000.0);
+        assert!(b.try_take(0, 4.0));
+        // An hour of idle at 1000 tokens/sec: clamps to 4, exactly.
+        assert!((b.tokens(3_600_000_000_000) - 4.0).abs() < 1e-9);
+        assert!((b.tokens(3_600_000_000_000) - 4.0).abs() < 1e-9, "same-instant refill is a no-op");
+        assert!((b.tokens(3_599_000_000_000) - 4.0).abs() < 1e-9, "stale clock refills nothing");
+        assert!(b.try_take(3_600_000_000_000, 4.0));
+        assert!(!b.try_take(3_600_000_000_000, 0.5));
+        // A failed take charges nothing: the sub-token refill below is
+        // still there afterwards.
+        assert!(!b.try_take(3_600_000_200_000, 1.0));
+        assert!((b.tokens(3_600_000_200_000) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn token_bucket_never_refills_with_zero_rate() {
+        let mut b = TokenBucket::new(1.0, 0.0);
+        assert!(b.try_take(0, 1.0));
+        assert!(!b.try_take(u64::MAX, 1.0), "rate 0 never refills");
+    }
+
+    #[test]
+    fn sustained_pressure_steps_up_one_level_at_a_time() {
+        let mut c = AdmissionController::new(fast_config());
+        // One hot reading is not sustained.
+        assert_eq!(c.update(60, 64), None);
+        let change = c.update(60, 64).expect("second consecutive hot reading enters");
+        assert_eq!((change.from, change.to), (BrownoutLevel::Normal, BrownoutLevel::Brownout1));
+        assert_eq!(c.level(), BrownoutLevel::Brownout1);
+        // Escalation to Brownout-2 needs the higher threshold, sustained.
+        assert_eq!(c.update(60, 64), None, "0.94 is below the brownout2 threshold");
+        assert_eq!(c.update(128, 64), None);
+        let change = c.update(128, 64).expect("sustained 2.0 escalates");
+        assert_eq!(change.to, BrownoutLevel::Brownout2);
+        // At the top there is nowhere to go.
+        assert_eq!(c.update(128, 64), None);
+    }
+
+    #[test]
+    fn exit_needs_hysteresis_and_flapping_holds_the_level() {
+        let mut c = AdmissionController::new(fast_config());
+        c.update(64, 64);
+        c.update(64, 64);
+        assert_eq!(c.level(), BrownoutLevel::Brownout1);
+        // Two cool readings, then a hot one: the streak resets.
+        assert_eq!(c.update(0, 64), None);
+        assert_eq!(c.update(0, 64), None);
+        assert_eq!(c.update(40, 64), None, "mid-band reading resets the cool streak");
+        assert_eq!(c.update(0, 64), None);
+        assert_eq!(c.update(0, 64), None);
+        let change = c.update(0, 64).expect("three consecutive cool readings exit");
+        assert_eq!((change.from, change.to), (BrownoutLevel::Brownout1, BrownoutLevel::Normal));
+    }
+
+    #[test]
+    fn queue_delay_ewma_drives_pressure_without_backlog() {
+        let mut c = AdmissionController::new(AdmissionConfig {
+            delay_target: Duration::from_millis(100),
+            ewma_alpha: 1.0,
+            ..fast_config()
+        });
+        assert!(c.pressure(0, 64) < 1e-9);
+        c.observe_queue_delay(Duration::from_millis(250));
+        assert!((c.pressure(0, 64) - 2.5).abs() < 1e-9, "delay alone can saturate");
+        assert_eq!(c.queue_delay(), Duration::from_millis(250));
+    }
+}

@@ -67,10 +67,21 @@ struct Args {
     timeout_ms: u64,
     binary: bool,
     batch: usize,
+    /// `--overload`: closed-loop capacity calibration, then an open-loop
+    /// arrival-rate ramp past capacity (see [`overload`]).
+    overload: bool,
+    /// Offered-load multipliers for the ramp, vs measured capacity.
+    steps: Vec<f64>,
+    /// Wall-clock per ramp step, milliseconds.
+    step_ms: u64,
+    /// Every Nth overload submission withholds `allow_degraded`
+    /// (0 = every submission consents).
+    strict_every: usize,
 }
 
 const USAGE: &str = "usage: ra-loadgen --addr HOST:PORT [--jobs N] [--workers N] \
-                     [--distinct N] [--spec SPEC] [--timeout-ms N] [--binary] [--batch N]";
+                     [--distinct N] [--spec SPEC] [--timeout-ms N] [--binary] [--batch N] \
+                     [--overload] [--steps M,M,...] [--step-ms N] [--strict-every N]";
 
 const PRIORITIES: [&str; 3] = ["low", "normal", "high"];
 
@@ -104,16 +115,26 @@ impl Jitter {
     }
 }
 
+/// Default spec for `--overload`: reciprocal mode, so the ladder has
+/// cheaper rungs to degrade to, and heavy enough at full fidelity that
+/// a small worker pool saturates at a measurable rate.
+const OVERLOAD_SPEC: &str =
+    "target=4x4 app=water mode=reciprocal:quantum=500 instructions=3000 budget=20000000";
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: String::new(),
         jobs: 64,
         workers: 4,
         distinct: 8,
-        spec: "target=2x2 app=water mode=fixed:10 instructions=50 budget=200000".to_owned(),
+        spec: String::new(),
         timeout_ms: 120_000,
         binary: false,
         batch: 1,
+        overload: false,
+        steps: vec![0.5, 1.5, 3.0],
+        step_ms: 2_000,
+        strict_every: 4,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -132,12 +153,45 @@ fn parse_args() -> Result<Args, String> {
             }
             "--binary" => args.binary = true,
             "--batch" => args.batch = parse_num(&value("--batch")?, "--batch")?,
+            "--overload" => args.overload = true,
+            "--steps" => {
+                let text = value("--steps")?;
+                args.steps = text
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|m| *m > 0.0)
+                            .ok_or_else(|| {
+                                format!("--steps needs positive multipliers, got `{text}`")
+                            })
+                    })
+                    .collect::<Result<Vec<f64>, String>>()?;
+            }
+            "--step-ms" => {
+                args.step_ms = parse_num(&value("--step-ms")?, "--step-ms")? as u64;
+            }
+            "--strict-every" => {
+                // 0 is meaningful: every submission consents to degrade.
+                let text = value("--strict-every")?;
+                args.strict_every = text.parse::<usize>().map_err(|_| {
+                    format!("--strict-every needs a non-negative integer, got `{text}`")
+                })?;
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
     if args.addr.is_empty() {
         return Err(format!("--addr is required\n{USAGE}"));
+    }
+    if args.spec.is_empty() {
+        args.spec = if args.overload {
+            OVERLOAD_SPEC.to_owned()
+        } else {
+            "target=2x2 app=water mode=fixed:10 instructions=50 budget=200000".to_owned()
+        };
     }
     Ok(args)
 }
@@ -440,6 +494,329 @@ fn report_shards(args: &Args) {
     }
 }
 
+/// What one overload step observed, across all connections.
+#[derive(Default)]
+struct StepTally {
+    /// Submissions offered (accepted or shed — not transport errors).
+    offered: u64,
+    /// Terminal completed/cached answers collected.
+    answered: u64,
+    /// Answers at `fidelity=reciprocal`.
+    full: u64,
+    /// Answers at a cheaper rung.
+    degraded: u64,
+    /// Answers served from a memo/edge cache.
+    cached: u64,
+    /// `queue_full` for submissions that withheld `allow_degraded`.
+    shed: u64,
+    /// `queue_full` for *consenting* submissions — the acceptance
+    /// criterion says this must stay zero.
+    shed_consenting: u64,
+    /// Completed answers missing the fidelity tag — must stay zero.
+    tag_missing: u64,
+    /// Jobs that finished failed/poisoned.
+    failed: u64,
+    transport_errors: u64,
+}
+
+impl StepTally {
+    fn absorb(&mut self, other: StepTally) {
+        self.offered += other.offered;
+        self.answered += other.answered;
+        self.full += other.full;
+        self.degraded += other.degraded;
+        self.cached += other.cached;
+        self.shed += other.shed;
+        self.shed_consenting += other.shed_consenting;
+        self.tag_missing += other.tag_missing;
+        self.failed += other.failed;
+        self.transport_errors += other.transport_errors;
+    }
+}
+
+/// Classifies one collected outcome into the step tally.
+fn record_overload_result(tally: &mut StepTally, response: &Response) {
+    match response {
+        Response::Outcome(ok) => match ok.outcome.as_str() {
+            "completed" | "cached" => {
+                tally.answered += 1;
+                if ok.outcome == "cached" {
+                    tally.cached += 1;
+                }
+                match ok.body.as_ref().and_then(|b| b.fidelity.as_deref()) {
+                    Some("reciprocal") => tally.full += 1,
+                    Some(_) => tally.degraded += 1,
+                    None => tally.tag_missing += 1,
+                }
+            }
+            "failed" | "poisoned" => tally.failed += 1,
+            // Cancelled/expired never happens here (no deadlines set);
+            // count it against the run rather than ignore it.
+            _ => tally.failed += 1,
+        },
+        Response::Error(err) => {
+            eprintln!("ra-loadgen: overload result: {} ({})", err.code.as_str(), err.verb);
+            tally.transport_errors += 1;
+        }
+        other => {
+            eprintln!("ra-loadgen: odd overload result {other:?}");
+            tally.transport_errors += 1;
+        }
+    }
+}
+
+/// One connection's closed-loop calibration: submit one full-fidelity
+/// job at a time, wait for its answer, repeat until the deadline.
+fn calibrate_connection(args: &Args, seeds: &std::sync::atomic::AtomicU64, until: Instant) -> u64 {
+    use std::sync::atomic::Ordering;
+    let mut client = match WireClient::connect(args.addr.as_str()) {
+        Ok(client) => client.with_binary(args.binary),
+        Err(err) => {
+            eprintln!("ra-loadgen: connect {}: {err}", args.addr);
+            return 0;
+        }
+    };
+    let mut answered = 0;
+    while Instant::now() < until {
+        let seed = seeds.fetch_add(1, Ordering::Relaxed);
+        let item = SubmitItem::new(format!("{} seed={}", args.spec, seed)).priority("normal");
+        let Ok(responses) = client.submit_batch(vec![item]) else {
+            break;
+        };
+        let Some(Response::Submit(ok)) = responses.first() else {
+            // Calibration backs off on queue_full instead of counting it:
+            // the goal is a service-rate estimate, not a stress run.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        match client.result_batch(vec![ok.ticket], Some(args.timeout_ms)) {
+            Ok(responses) if matches!(responses.first(), Some(Response::Outcome(_))) => {
+                answered += 1;
+            }
+            _ => break,
+        }
+    }
+    answered
+}
+
+/// One connection's share of a ramp step: paced open-loop submits for
+/// `duration`, then collect every accepted ticket.
+fn overload_step_connection(
+    args: &Args,
+    client_id: usize,
+    interval: Duration,
+    duration: Duration,
+    seeds: &std::sync::atomic::AtomicU64,
+) -> StepTally {
+    use std::sync::atomic::Ordering;
+    let mut tally = StepTally::default();
+    let mut client = match WireClient::connect(args.addr.as_str()) {
+        Ok(client) => client.with_binary(args.binary),
+        Err(err) => {
+            eprintln!("ra-loadgen: connect {}: {err}", args.addr);
+            tally.transport_errors += 1;
+            return tally;
+        }
+    };
+    let mut pending: Vec<u64> = Vec::new();
+    let end = Instant::now() + duration;
+    let mut next = Instant::now();
+    while Instant::now() < end {
+        let now = Instant::now();
+        if next > now {
+            std::thread::sleep(next - now);
+        }
+        next += interval;
+        let seed = seeds.fetch_add(1, Ordering::Relaxed);
+        let strict = args.strict_every > 0 && seed.is_multiple_of(args.strict_every as u64);
+        let mut item = SubmitItem::new(format!("{} seed={}", args.spec, seed))
+            .priority(PRIORITIES[seed as usize % PRIORITIES.len()])
+            .client(format!("loadgen-{client_id}"));
+        if !strict {
+            item = item.allow_degraded(true);
+        }
+        let responses = match client.submit_batch(vec![item]) {
+            Ok(responses) => responses,
+            Err(err) => {
+                eprintln!("ra-loadgen: overload submit: {err}");
+                tally.transport_errors += 1;
+                continue;
+            }
+        };
+        match responses.first() {
+            Some(Response::Submit(ok)) => {
+                tally.offered += 1;
+                pending.push(ok.ticket);
+            }
+            Some(Response::Error(err)) if err.code == ErrorCode::QueueFull => {
+                tally.offered += 1;
+                if strict {
+                    tally.shed += 1;
+                } else {
+                    tally.shed_consenting += 1;
+                }
+            }
+            other => {
+                eprintln!("ra-loadgen: odd overload submit response {other:?}");
+                tally.transport_errors += 1;
+            }
+        }
+    }
+    for chunk in pending.chunks(16) {
+        match client.result_batch(chunk.to_vec(), Some(args.timeout_ms)) {
+            Ok(responses) if responses.len() == chunk.len() => {
+                for response in &responses {
+                    record_overload_result(&mut tally, response);
+                }
+            }
+            Ok(responses) => {
+                eprintln!(
+                    "ra-loadgen: overload collect: {} answers for {} tickets",
+                    responses.len(),
+                    chunk.len()
+                );
+                tally.transport_errors += 1;
+            }
+            Err(err) => {
+                eprintln!("ra-loadgen: overload collect: {err}");
+                tally.transport_errors += 1;
+            }
+        }
+    }
+    tally
+}
+
+/// One server-stats counter, fresh connection each poll.
+fn server_stat(args: &Args, key: &str) -> u64 {
+    WireClient::connect(args.addr.as_str())
+        .and_then(|mut c| c.stats())
+        .ok()
+        .and_then(|stats| stats.get(key).and_then(Json::as_u64))
+        .unwrap_or(0)
+}
+
+/// `--overload`: measure closed-loop full-fidelity capacity, then ramp
+/// an open-loop arrival rate through `--steps` multiples of it. Each
+/// step prints one JSON curve row (`overload: {...}`); the run ends
+/// with a bounded wait for a background upgrade to land.
+fn run_overload(args: &Args) -> ExitCode {
+    use std::sync::atomic::AtomicU64;
+    let seeds = AtomicU64::new(0x10_0000);
+    let upgraded_base = server_stat(args, "upgraded");
+
+    // Closed-loop calibration: `--workers` connections, one in-flight
+    // full-fidelity job each — the sustainable service rate.
+    let calib = Duration::from_millis(args.step_ms.clamp(500, 5_000));
+    let started = Instant::now();
+    let until = Instant::now() + calib;
+    let answered: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.workers)
+            .map(|_| scope.spawn(|| calibrate_connection(args, &seeds, until)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    });
+    let capacity = answered as f64 / started.elapsed().as_secs_f64();
+    if answered == 0 || capacity <= 0.0 {
+        eprintln!("ra-loadgen: overload calibration produced no completions");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "overload_capacity: {capacity:.1} jobs/s closed-loop full fidelity \
+         ({answered} jobs over {:.2} s, {} connections)",
+        started.elapsed().as_secs_f64(),
+        args.workers
+    );
+
+    let mut total = StepTally::default();
+    let duration = Duration::from_millis(args.step_ms);
+    for (step, &multiplier) in args.steps.iter().enumerate() {
+        let rate = capacity * multiplier;
+        let per_conn = (rate / args.workers as f64).max(0.1);
+        let interval = Duration::from_secs_f64(1.0 / per_conn);
+        let step_started = Instant::now();
+        let mut tally = StepTally::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.workers)
+                .map(|client_id| {
+                    let seeds = &seeds;
+                    scope.spawn(move || {
+                        overload_step_connection(args, client_id, interval, duration, seeds)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(t) => tally.absorb(t),
+                    Err(_) => tally.transport_errors += 1,
+                }
+            }
+        });
+        let elapsed = step_started.elapsed().as_secs_f64();
+        let goodput = tally.answered as f64 / elapsed;
+        println!(
+            "overload: {{\"step\":{step},\"multiplier\":{multiplier:.2},\
+             \"offered_rate\":{rate:.1},\"offered\":{},\"answered\":{},\
+             \"full\":{},\"degraded\":{},\"cached\":{},\"shed\":{},\
+             \"shed_consenting\":{},\"failed\":{},\"goodput\":{goodput:.1},\
+             \"goodput_ratio\":{:.3},\"brownout\":{},\"elapsed_s\":{elapsed:.2}}}",
+            tally.offered,
+            tally.answered,
+            tally.full,
+            tally.degraded,
+            tally.cached,
+            tally.shed,
+            tally.shed_consenting,
+            tally.failed,
+            goodput / capacity,
+            server_stat(args, "brownout"),
+        );
+        total.absorb(tally);
+    }
+
+    // Bounded wait for the background upgrader: at least one degraded
+    // answer must be re-run at full fidelity (if any were degraded).
+    let mut upgraded = server_stat(args, "upgraded").saturating_sub(upgraded_base);
+    if total.degraded > 0 {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while upgraded == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(100));
+            upgraded = server_stat(args, "upgraded").saturating_sub(upgraded_base);
+        }
+    }
+    println!(
+        "overload_upgrades: upgraded={upgraded} pending={}",
+        server_stat(args, "upgrades_pending")
+    );
+    println!(
+        "overload totals: offered={} answered={} full={} degraded={} cached={} shed={} \
+         shed_consenting={} tag_missing={} failed={} transport_errors={}",
+        total.offered,
+        total.answered,
+        total.full,
+        total.degraded,
+        total.cached,
+        total.shed,
+        total.shed_consenting,
+        total.tag_missing,
+        total.failed,
+        total.transport_errors
+    );
+
+    if total.transport_errors > 0
+        || total.shed_consenting > 0
+        || total.tag_missing > 0
+        || total.failed > 0
+    {
+        eprintln!(
+            "ra-loadgen: OVERLOAD FAILED (transport_errors={}, shed_consenting={}, \
+             tag_missing={}, failed={})",
+            total.transport_errors, total.shed_consenting, total.tag_missing, total.failed
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -448,6 +825,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.overload {
+        println!(
+            "loadgen overload: steps {:?} x capacity, {} ms/step, {} connections, \
+             strict every {} -> {}",
+            args.steps, args.step_ms, args.workers, args.strict_every, args.addr
+        );
+        return run_overload(&args);
+    }
     println!(
         "loadgen: {} jobs, {} connections, {} distinct specs, codec={}, batch={} -> {}",
         args.jobs,

@@ -1,0 +1,349 @@
+//! Per-backend circuit breakers for the relay's forwarding path.
+//!
+//! The PR-6 health machine (`health.rs`) answers "is the node alive?"
+//! from dedicated probes. The breaker answers a different question from
+//! the *request* stream: "is sending real traffic there currently a
+//! waste?" — a backend can be probe-alive yet failing or slow enough
+//! that every forward burns a retry budget. The classic three states:
+//!
+//! ```text
+//!              error rate / RTT budget exceeded
+//!   Closed ────────────────────────────────────▶ Open
+//!      ▲                                          │ cooldown elapses
+//!      │ close_after probe successes              ▼
+//!      └───────────────────────────────────── HalfOpen
+//!                 (any probe failure re-opens) ◀──┘
+//! ```
+//!
+//! * **Closed** — traffic flows; a sliding window of recent outcomes is
+//!   kept, where "bad" means an error *or* a success slower than the RTT
+//!   budget. When the window has at least `min_samples` outcomes and the
+//!   bad fraction reaches `error_threshold`, the breaker trips.
+//! * **Open** — traffic is refused locally (the relay reroutes or
+//!   edge-degrades) until `open_cooldown` elapses.
+//! * **HalfOpen** — at most `half_open_probes` requests are let through
+//!   concurrently as probes; `close_after` in-budget successes close the
+//!   breaker, any failure re-opens it.
+//!
+//! Like the health machine, the breaker is pure state with explicit
+//! `now_ns` injection: no clocks, no I/O, deterministic tests.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Sliding outcome window length.
+    pub window: usize,
+    /// Outcomes required in the window before the error rate is judged.
+    pub min_samples: usize,
+    /// Bad-outcome fraction (errors + over-budget successes) that trips.
+    pub error_threshold: f64,
+    /// A success slower than this counts as a bad outcome.
+    pub rtt_budget: Duration,
+    /// How long an open breaker refuses traffic before probing.
+    pub open_cooldown: Duration,
+    /// Concurrent trial requests allowed while half-open.
+    pub half_open_probes: u32,
+    /// Consecutive in-budget probe successes that close the breaker.
+    pub close_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            min_samples: 8,
+            error_threshold: 0.5,
+            rtt_budget: Duration::from_secs(1),
+            open_cooldown: Duration::from_millis(500),
+            half_open_probes: 1,
+            close_after: 2,
+        }
+    }
+}
+
+/// Where a backend's breaker sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows normally.
+    Closed,
+    /// Traffic is refused; the cooldown is running.
+    Open,
+    /// A limited number of trial requests probe for recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-snake name for wire responses and obs events.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// The per-backend machine: ask [`allow`](CircuitBreaker::allow) before
+/// forwarding, report every outcome, compare
+/// [`state`](CircuitBreaker::state) before/after to spot transitions.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Recent outcome ring; `true` = bad (error or over-budget).
+    outcomes: VecDeque<bool>,
+    /// When an open breaker may start probing.
+    open_until_ns: u64,
+    /// Trial requests currently outstanding while half-open.
+    probes_in_flight: u32,
+    /// Consecutive in-budget probe successes while half-open.
+    probe_successes: u32,
+    /// Trips since construction (for stats rows).
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with an empty window.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            outcomes: VecDeque::with_capacity(cfg.window.max(1)),
+            cfg,
+            open_until_ns: 0,
+            probes_in_flight: 0,
+            probe_successes: 0,
+            trips: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether a request may be sent now. Open breakers whose cooldown
+    /// has elapsed flip to half-open here and grant the first probe; call
+    /// [`state`](CircuitBreaker::state) before and after to observe the
+    /// flip.
+    pub fn allow(&mut self, now_ns: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_ns >= self.open_until_ns {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_in_flight = 1;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_in_flight < self.cfg.half_open_probes.max(1) {
+                    self.probes_in_flight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Whether [`allow`](CircuitBreaker::allow) would grant a request
+    /// now, without flipping state or consuming a half-open probe slot.
+    /// The relay's routing mask uses this to steer traffic away from
+    /// open breakers while still routing the post-cooldown probe *at*
+    /// the node, so the half-open flip happens in `allow` on the real
+    /// forward.
+    pub fn would_allow(&self, now_ns: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => now_ns >= self.open_until_ns,
+            BreakerState::HalfOpen => {
+                self.probes_in_flight < self.cfg.half_open_probes.max(1)
+            }
+        }
+    }
+
+    /// Reports a completed request with its round-trip time.
+    pub fn on_success(&mut self, now_ns: u64, rtt: Duration) {
+        let bad = rtt > self.cfg.rtt_budget;
+        match self.state {
+            BreakerState::Closed => self.record(now_ns, bad),
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                if bad {
+                    self.reopen(now_ns);
+                } else {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.cfg.close_after.max(1) {
+                        self.state = BreakerState::Closed;
+                        self.outcomes.clear();
+                    }
+                }
+            }
+            // A straggler from before the trip changes nothing.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Reports a failed request.
+    pub fn on_failure(&mut self, now_ns: u64) {
+        match self.state {
+            BreakerState::Closed => self.record(now_ns, true),
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                self.reopen(now_ns);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn record(&mut self, now_ns: u64, bad: bool) {
+        if self.outcomes.len() >= self.cfg.window.max(1) {
+            self.outcomes.pop_front();
+        }
+        self.outcomes.push_back(bad);
+        if self.outcomes.len() < self.cfg.min_samples.max(1) {
+            return;
+        }
+        let bad_count = self.outcomes.iter().filter(|b| **b).count();
+        if bad_count as f64 / self.outcomes.len() as f64 >= self.cfg.error_threshold {
+            self.reopen(now_ns);
+        }
+    }
+
+    fn reopen(&mut self, now_ns: u64) {
+        self.state = BreakerState::Open;
+        self.open_until_ns = now_ns.saturating_add(self.cfg.open_cooldown.as_nanos() as u64);
+        self.outcomes.clear();
+        self.probes_in_flight = 0;
+        self.probe_successes = 0;
+        self.trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            error_threshold: 0.5,
+            rtt_budget: Duration::from_millis(100),
+            open_cooldown: Duration::from_millis(10),
+            half_open_probes: 1,
+            close_after: 2,
+        }
+    }
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn error_rate_trips_only_past_min_samples() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(0);
+        b.on_failure(0);
+        b.on_failure(0);
+        assert_eq!(b.state(), BreakerState::Closed, "3 of 4 min samples: not judged yet");
+        b.on_failure(0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allow(0), "open refuses during cooldown");
+    }
+
+    #[test]
+    fn slow_successes_count_against_the_rtt_budget() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..4 {
+            b.on_success(0, Duration::from_millis(500));
+        }
+        assert_eq!(b.state(), BreakerState::Open, "a slow backend trips without one error");
+    }
+
+    #[test]
+    fn healthy_traffic_never_trips() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..100 {
+            assert!(b.allow(0));
+            b.on_success(0, Duration::from_millis(1));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn cooldown_then_probe_limited_half_open_recovery() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..4 {
+            b.on_failure(0);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(9 * MS), "cooldown still running");
+        assert!(b.allow(10 * MS), "cooldown elapsed: first probe granted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(10 * MS), "probe limit is 1: second request refused");
+        b.on_success(11 * MS, Duration::from_millis(1));
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one success of two");
+        assert!(b.allow(11 * MS));
+        b.on_success(12 * MS, Duration::from_millis(1));
+        assert_eq!(b.state(), BreakerState::Closed, "close_after successes close");
+        // The window restarts clean: one failure does not re-trip.
+        b.on_failure(13 * MS);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn a_failed_or_slow_probe_reopens() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..4 {
+            b.on_failure(0);
+        }
+        assert!(b.allow(10 * MS));
+        b.on_failure(11 * MS);
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+        assert_eq!(b.trips(), 2);
+        assert!(b.allow(21 * MS));
+        b.on_success(22 * MS, Duration::from_secs(5));
+        assert_eq!(b.state(), BreakerState::Open, "over-budget probe re-opens too");
+    }
+
+    #[test]
+    fn would_allow_predicts_allow_without_consuming_state() {
+        let mut b = CircuitBreaker::new(cfg());
+        assert!(b.would_allow(0), "closed always routes");
+        for _ in 0..4 {
+            b.on_failure(0);
+        }
+        assert!(!b.would_allow(9 * MS), "open during cooldown");
+        assert!(b.would_allow(10 * MS), "routable once the cooldown elapses");
+        assert_eq!(b.state(), BreakerState::Open, "the query must not flip state");
+        assert!(b.allow(10 * MS));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(
+            !b.would_allow(10 * MS),
+            "the probe slot is taken; no further routing"
+        );
+    }
+
+    #[test]
+    fn stragglers_arriving_while_open_change_nothing() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..4 {
+            b.on_failure(0);
+        }
+        b.on_success(1, Duration::from_millis(1));
+        b.on_failure(1);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+}

@@ -24,6 +24,17 @@
 //! * a probe loop drives one [`HealthMachine`] per backend
 //!   (Up/Suspect/Down, consecutive-failure thresholds, probe RTT),
 //!   emitting `node_up` / `node_down` obs events on transitions;
+//! * layered on the health machine, every backend carries a
+//!   [`CircuitBreaker`] fed by the *request* stream: error rate or
+//!   over-budget RTTs trip it open, routing steers around open
+//!   breakers, and a probe-limited half-open phase closes it again
+//!   (`breaker_transition` obs events mark every flip);
+//! * when every owner for a key is down, saturated (`queue_full`), or
+//!   breaker-open, a submit that opted into degradation
+//!   (`allow_degraded` with a floor admitting `hop`) is answered *at
+//!   the edge*: the relay runs the analytic hop model inline and
+//!   returns a `fidelity=hop` result with disposition `degraded`
+//!   instead of an error — the cluster's outermost brownout rung;
 //! * every forward carries a deadline (connect + read timeouts) and a
 //!   bounded, seeded-jitter retry budget — the same exponential policy
 //!   the scheduler uses for transient job faults;
@@ -51,14 +62,18 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ra_bench::{json_object, JsonField};
+use ra_cosim::ModeSpec;
 use ra_obs::{Event, ObsSink};
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::health::{HealthMachine, HealthPolicy, NodeState, Transition};
 use crate::json::Json;
-use crate::proto::{ErrorCode, Request, Response, SubmitItem, SubmitOk, WireError};
+use crate::proto::{
+    ErrorCode, OutcomeOk, Request, Response, ResultBody, SubmitItem, SubmitOk, WireError,
+};
 use crate::ring::{HashRing, DEFAULT_VNODES};
-use crate::scheduler::backoff_delay;
-use crate::spec::{JobKey, JobSpec};
+use crate::scheduler::{backoff_delay, HOP_ERROR_BOUND};
+use crate::spec::{Fidelity, JobKey, JobSpec};
 use crate::wire::{ok_fields, serve_stream, WireClient};
 
 /// Tuning knobs for [`RelayServer`].
@@ -70,6 +85,8 @@ pub struct RelayConfig {
     pub vnodes: usize,
     /// Probe loop tuning (interval, timeout, thresholds).
     pub health: HealthPolicy,
+    /// Per-backend circuit-breaker tuning for the forwarding path.
+    pub breaker: BreakerConfig,
     /// Per-forward connect + response deadline.
     pub forward_deadline: Duration,
     /// Forward attempts per request beyond the first.
@@ -91,6 +108,7 @@ impl Default for RelayConfig {
             backends: Vec::new(),
             vnodes: DEFAULT_VNODES,
             health: HealthPolicy::default(),
+            breaker: BreakerConfig::default(),
             forward_deadline: Duration::from_secs(2),
             retry_budget: 3,
             retry_backoff: Duration::from_millis(10),
@@ -117,6 +135,9 @@ pub struct RelayStats {
     pub failovers: u64,
     /// Submits and results answered from the relay-edge memo LRU.
     pub edge_hits: u64,
+    /// Shedable jobs answered at `fidelity=hop` by the relay edge
+    /// because every owner was saturated or breaker-open.
+    pub edge_brownouts: u64,
 }
 
 /// xorshift64* — the same tiny deterministic generator `ra-loadgen`
@@ -150,10 +171,19 @@ impl Jitter {
 /// keyed by job hash, served without a backend hop. Re-encoding a
 /// cached [`Response`] is deterministic per codec, so an edge hit is
 /// bit-identical to the backend's own answer on either wire.
+struct EdgeEntry {
+    when: u64,
+    /// A brownout answer produced below full fidelity. Degraded entries
+    /// only satisfy submits that opted into degradation, and any
+    /// full-fidelity result replaces them in place (never the reverse).
+    degraded: bool,
+    response: Response,
+}
+
 struct EdgeCache {
     capacity: usize,
     tick: u64,
-    map: HashMap<u64, (u64, Response)>,
+    map: HashMap<u64, EdgeEntry>,
 }
 
 impl EdgeCache {
@@ -168,29 +198,44 @@ impl EdgeCache {
     fn get(&mut self, key: JobKey) -> Option<Response> {
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(&key.0).map(|(when, response)| {
-            *when = tick;
-            response.clone()
+        self.map.get_mut(&key.0).map(|entry| {
+            entry.when = tick;
+            entry.response.clone()
         })
     }
 
-    fn contains(&self, key: JobKey) -> bool {
-        self.map.contains_key(&key.0)
+    /// Whether a submit may be answered from the edge: degraded entries
+    /// count only when the submitter accepts degraded answers.
+    fn hit(&self, key: JobKey, accept_degraded: bool) -> bool {
+        self.map
+            .get(&key.0)
+            .is_some_and(|entry| !entry.degraded || accept_degraded)
     }
 
-    fn insert(&mut self, key: JobKey, response: Response) {
+    fn insert(&mut self, key: JobKey, response: Response, degraded: bool) {
         if self.capacity == 0 {
             return;
         }
+        // Upgrade-only: a degraded answer never displaces a full one.
+        if degraded && self.map.get(&key.0).is_some_and(|e| !e.degraded) {
+            return;
+        }
         self.tick += 1;
-        self.map.insert(key.0, (self.tick, response));
+        self.map.insert(
+            key.0,
+            EdgeEntry {
+                when: self.tick,
+                degraded,
+                response,
+            },
+        );
         if self.map.len() > self.capacity {
             // Evict the least-recently-used entry. Linear scan: the
             // edge cache is deliberately small (tens of entries).
             if let Some(&oldest) = self
                 .map
                 .iter()
-                .min_by_key(|(_, (when, _))| *when)
+                .min_by_key(|(_, entry)| entry.when)
                 .map(|(k, _)| k)
             {
                 self.map.remove(&oldest);
@@ -203,10 +248,10 @@ impl EdgeCache {
 #[derive(Debug, Clone)]
 struct TicketEntry {
     key: JobKey,
-    /// Canonical spec text (re-submittable verbatim).
-    spec: String,
-    priority: Option<String>,
-    deadline_ms: Option<u64>,
+    /// The canonicalized submit item (spec text re-submittable
+    /// verbatim, plus priority/deadline and the degradation contract —
+    /// a re-routed job keeps its `allow_degraded`/`min_fidelity`).
+    item: SubmitItem,
     /// Backend slot currently owning the job; `None` for a ticket
     /// answered purely from the edge cache.
     backend: Option<usize>,
@@ -220,6 +265,9 @@ struct TicketEntry {
 struct Node {
     addr: SocketAddr,
     health: Mutex<HealthMachine>,
+    /// Request-stream circuit breaker, layered on the probe-driven
+    /// health machine: a node can be probe-alive yet tripping here.
+    breaker: Mutex<CircuitBreaker>,
 }
 
 /// Shared relay state: ring, node table, ticket map, edge cache,
@@ -234,6 +282,8 @@ pub struct Relay {
     stats: Mutex<RelayStats>,
     obs: ObsSink,
     stop: AtomicBool,
+    /// Monotonic origin for breaker timestamps (`now_ns`).
+    started: Instant,
 }
 
 impl Relay {
@@ -262,6 +312,7 @@ impl Relay {
             nodes.push(Node {
                 addr,
                 health: Mutex::new(HealthMachine::new(&config.health)),
+                breaker: Mutex::new(CircuitBreaker::new(config.breaker.clone())),
             });
         }
         let ring = HashRing::new(nodes.len(), config.vnodes.max(1));
@@ -276,6 +327,7 @@ impl Relay {
             stats: Mutex::new(RelayStats::default()),
             obs,
             stop: AtomicBool::new(false),
+            started: Instant::now(),
         })
     }
 
@@ -291,6 +343,87 @@ impl Relay {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .state()
+    }
+
+    /// Circuit-breaker state of one backend slot.
+    pub fn breaker_state(&self, node: usize) -> BreakerState {
+        self.nodes[node]
+            .breaker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .state()
+    }
+
+    /// Total breaker trips across every backend slot.
+    pub fn breaker_trips(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.breaker.lock().unwrap_or_else(|e| e.into_inner()).trips())
+            .sum()
+    }
+
+    /// Nanoseconds since relay construction (breaker clock).
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    fn emit_breaker_transition(&self, node: usize, from: BreakerState, to: BreakerState) {
+        self.obs.emit(|| Event::BreakerTransition {
+            node: node as u64,
+            from: from.name().into(),
+            to: to.name().into(),
+        });
+        // Breaker flips gate routing; a live tail must see them promptly.
+        let _ = self.obs.flush();
+    }
+
+    /// Asks `node`'s breaker whether a forward may go out now; an open
+    /// breaker whose cooldown elapsed flips to half-open here.
+    fn breaker_admits(&self, node: usize) -> bool {
+        let now = self.now_ns();
+        let (allowed, from, to) = {
+            let mut breaker = self.nodes[node]
+                .breaker
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let from = breaker.state();
+            let allowed = breaker.allow(now);
+            (allowed, from, breaker.state())
+        };
+        if from != to {
+            self.emit_breaker_transition(node, from, to);
+        }
+        allowed
+    }
+
+    /// Feeds one forward outcome into `node`'s breaker.
+    fn breaker_report(&self, node: usize, outcome: Result<Duration, ()>) {
+        let now = self.now_ns();
+        let (from, to) = {
+            let mut breaker = self.nodes[node]
+                .breaker
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let from = breaker.state();
+            match outcome {
+                Ok(rtt) => breaker.on_success(now, rtt),
+                Err(()) => breaker.on_failure(now),
+            }
+            (from, breaker.state())
+        };
+        if from != to {
+            self.emit_breaker_transition(node, from, to);
+        }
+    }
+
+    /// Whether the routing mask may steer traffic at `node`'s breaker
+    /// (non-consuming; the forward itself still asks `allow`).
+    fn breaker_would_route(&self, node: usize) -> bool {
+        self.nodes[node]
+            .breaker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .would_allow(self.now_ns())
     }
 
     fn bump<F: FnOnce(&mut RelayStats)>(&self, f: F) {
@@ -311,13 +444,22 @@ impl Relay {
             .collect()
     }
 
+    /// Liveness mask further restricted to breakers willing to route:
+    /// the submit path steers around probe-alive nodes whose request
+    /// stream is tripping.
+    fn routable_mask(&self) -> Vec<bool> {
+        self.alive_mask()
+            .into_iter()
+            .enumerate()
+            .map(|(node, alive)| alive && self.breaker_would_route(node))
+            .collect()
+    }
+
     /// Mints a relay ticket and records its entry.
     fn register_ticket(
         &self,
         key: JobKey,
-        spec: String,
-        priority: Option<String>,
-        deadline_ms: Option<u64>,
+        item: SubmitItem,
         backend: Option<usize>,
         remote_ticket: u64,
     ) -> u64 {
@@ -329,9 +471,7 @@ impl Relay {
                 ticket,
                 TicketEntry {
                     key,
-                    spec,
-                    priority,
-                    deadline_ms,
+                    item,
                     backend,
                     remote_ticket,
                     generation: 0,
@@ -417,11 +557,7 @@ impl Relay {
             let group = &by_target[&target];
             let items: Vec<SubmitItem> = group
                 .iter()
-                .map(|(_, entry)| SubmitItem {
-                    spec: entry.spec.clone(),
-                    priority: entry.priority.clone(),
-                    deadline_ms: entry.deadline_ms,
-                })
+                .map(|(_, entry)| entry.item.clone())
                 .collect();
             let Ok(responses) = self.resubmit_batch(target, items) else {
                 // Survivor unreachable too; its own probes will demote
@@ -462,11 +598,7 @@ impl Relay {
     /// Submits an entry's spec to `target` over a fresh short-lived
     /// connection, returning the backend's ticket.
     fn resubmit(&self, target: usize, entry: &TicketEntry) -> io::Result<u64> {
-        let items = vec![SubmitItem {
-            spec: entry.spec.clone(),
-            priority: entry.priority.clone(),
-            deadline_ms: entry.deadline_ms,
-        }];
+        let items = vec![entry.item.clone()];
         match self.resubmit_batch(target, items)?.pop() {
             Some(Response::Submit(ok)) => Ok(ok.ticket),
             _ => Err(io::Error::new(
@@ -570,9 +702,27 @@ impl BackendPool {
     }
 }
 
+/// The local refusal a forward returns when `node`'s breaker is open.
+/// No socket was touched, so callers must not feed it to the health
+/// machine (see [`is_breaker_open`]).
+fn breaker_open_error() -> io::Error {
+    io::Error::new(io::ErrorKind::WouldBlock, "circuit breaker open")
+}
+
+/// Whether a forward error is the breaker's local refusal rather than
+/// a transport failure.
+fn is_breaker_open(err: &io::Error) -> bool {
+    err.kind() == io::ErrorKind::WouldBlock
+}
+
 /// Forwards one typed request to `node`, with the read deadline
 /// stretched to `read_deadline` (long-poll `result` calls must outlive
 /// the job they wait for). Invalidates the pooled connection on error.
+///
+/// Every forward first asks the node's circuit breaker and reports its
+/// outcome back with the measured round-trip, so the breaker sees the
+/// real request stream (slow successes included) — an open breaker
+/// refuses locally with [`breaker_open_error`].
 fn forward(
     relay: &Relay,
     pool: &mut BackendPool,
@@ -580,6 +730,10 @@ fn forward(
     request: &Request,
     read_deadline: Duration,
 ) -> io::Result<Response> {
+    if !relay.breaker_admits(node) {
+        return Err(breaker_open_error());
+    }
+    let started = Instant::now();
     let outcome = (|| {
         let client = pool.client(relay, node)?;
         client.set_read_timeout(Some(read_deadline))?;
@@ -590,10 +744,20 @@ fn forward(
     })();
     match outcome {
         Ok(response) => {
+            // A stretched-deadline long poll measures the *job*, not the
+            // backend; only short forwards judge their RTT against the
+            // breaker's budget.
+            let rtt = if read_deadline > relay.config.forward_deadline {
+                Duration::ZERO
+            } else {
+                started.elapsed()
+            };
+            relay.breaker_report(node, Ok(rtt));
             relay.bump(|s| s.forwards += 1);
             Ok(response)
         }
         Err(err) => {
+            relay.breaker_report(node, Err(()));
             // A desynchronized connection (timed-out long poll) cannot
             // be reused: a stale response would answer the wrong call.
             pool.invalidate(node);
@@ -725,21 +889,20 @@ fn prepare_submit(relay: &Relay, item: &SubmitItem, verb: &str) -> Prepared {
     let canonical = spec.canonical();
     relay.bump(|s| s.submitted += 1);
 
-    // Edge hit: answer without a backend hop, even mid-failover.
+    // Edge hit: answer without a backend hop, even mid-failover. A
+    // degraded (brownout) entry only answers submitters that accept
+    // degraded results themselves.
     let edge_hit = {
         let edge = relay.edge.lock().unwrap_or_else(|e| e.into_inner());
-        edge.contains(key)
+        edge.hit(key, item_accepts_hop(item))
     };
     if edge_hit {
         relay.bump(|s| s.edge_hits += 1);
-        let ticket = relay.register_ticket(
-            key,
-            canonical,
-            item.priority.clone(),
-            item.deadline_ms,
-            None,
-            0,
-        );
+        let canonical_item = SubmitItem {
+            spec: canonical,
+            ..item.clone()
+        };
+        let ticket = relay.register_ticket(key, canonical_item, None, 0);
         return Prepared::Answered(Response::Submit(SubmitOk {
             ticket,
             job: key.to_string(),
@@ -752,6 +915,13 @@ fn prepare_submit(relay: &Relay, item: &SubmitItem, verb: &str) -> Prepared {
     Prepared::Route { key, canonical }
 }
 
+/// Whether a submit item's degradation contract admits a hop-fidelity
+/// answer: it opted in, and its floor (if any) is the hop rung.
+fn item_accepts_hop(item: &SubmitItem) -> bool {
+    item.allow_degraded
+        && !matches!(item.min_fidelity.as_deref(), Some(floor) if floor != Fidelity::Hop.name())
+}
+
 fn relay_submit(
     relay: &Relay,
     pool: &mut BackendPool,
@@ -760,40 +930,37 @@ fn relay_submit(
 ) -> Response {
     match prepare_submit(relay, item, verb) {
         Prepared::Answered(response) => response,
-        Prepared::Route { key, canonical } => submit_via_ring(
-            relay,
-            pool,
-            key,
-            &canonical,
-            &item.priority,
-            item.deadline_ms,
-            verb,
-        ),
+        Prepared::Route { key, canonical } => {
+            submit_via_ring(relay, pool, key, &canonical, item, verb)
+        }
     }
 }
 
 /// Forwards one submit to the ring owner, with bounded jittered retries
-/// walking past nodes that fail mid-forward.
+/// walking past nodes that fail mid-forward or whose breaker refuses.
+/// When every owner is down, saturated, or breaker-open, a shedable
+/// item is answered at the edge via [`edge_brownout`] instead of
+/// failing with `no_backend`.
 fn submit_via_ring(
     relay: &Relay,
     pool: &mut BackendPool,
     key: JobKey,
     canonical: &str,
-    priority: &Option<String>,
-    deadline_ms: Option<u64>,
+    item: &SubmitItem,
     verb: &str,
 ) -> Response {
-    let forward_request = Request::Submit(SubmitItem {
+    let canonical_item = SubmitItem {
         spec: canonical.to_owned(),
-        priority: priority.clone(),
-        deadline_ms,
-    });
+        ..item.clone()
+    };
+    let forward_request = Request::Submit(canonical_item.clone());
     let mut jitter = Jitter::new(relay.config.seed ^ key.0);
     let attempts = relay.config.retry_budget.max(1);
     for attempt in 1..=attempts {
-        let alive = relay.alive_mask();
-        let Some(node) = relay.ring.route_live(key, &alive) else {
-            return no_backend(verb);
+        let routable = relay.routable_mask();
+        let Some(node) = relay.ring.route_live(key, &routable) else {
+            return edge_brownout(relay, key, &canonical_item)
+                .unwrap_or_else(|| no_backend(verb));
         };
         match forward(
             relay,
@@ -803,14 +970,8 @@ fn submit_via_ring(
             relay.config.forward_deadline,
         ) {
             Ok(Response::Submit(ok)) => {
-                let ticket = relay.register_ticket(
-                    key,
-                    canonical.to_owned(),
-                    priority.clone(),
-                    deadline_ms,
-                    Some(node),
-                    ok.ticket,
-                );
+                let ticket =
+                    relay.register_ticket(key, canonical_item, Some(node), ok.ticket);
                 return Response::Submit(SubmitOk {
                     ticket,
                     job: key.to_string(),
@@ -820,15 +981,79 @@ fn submit_via_ring(
                     edge: false,
                 });
             }
-            // queue_full etc.: the client owns that policy.
+            // A saturated owner refused: answer shedable work degraded
+            // at the edge rather than bouncing it back to the client.
+            Ok(Response::Error(err)) if err.code == ErrorCode::QueueFull => {
+                return edge_brownout(relay, key, &canonical_item)
+                    .unwrap_or(Response::Error(err));
+            }
+            // Other refusals (bad spec, shutting down): the client owns
+            // that policy.
             Ok(other) => return other,
-            Err(_) => {
-                relay.record_probe(node, Err(()));
+            Err(err) => {
+                if !is_breaker_open(&err) {
+                    relay.record_probe(node, Err(()));
+                }
                 backoff_sleep(relay, &mut jitter, attempt, attempts);
             }
         }
     }
-    no_backend(verb)
+    edge_brownout(relay, key, &canonical_item).unwrap_or_else(|| no_backend(verb))
+}
+
+/// The relay edge's own brownout rung: when no owner can take a
+/// shedable job, run the analytic hop model inline and answer at
+/// `fidelity=hop` — a degraded result now instead of a `no_backend` or
+/// `queue_full` error. Returns `None` when the item did not opt in,
+/// its floor forbids the hop rung, or the spec has no cheaper rung to
+/// degrade to (only reciprocal modes do).
+fn edge_brownout(relay: &Relay, key: JobKey, item: &SubmitItem) -> Option<Response> {
+    if !item_accepts_hop(item) {
+        return None;
+    }
+    let spec: JobSpec = item.spec.parse().ok()?;
+    if !Fidelity::degradable(&spec.mode) {
+        return None;
+    }
+    let mut hop_spec = spec;
+    hop_spec.mode = ModeSpec::Hop;
+    let run_started = Instant::now();
+    let result = hop_spec.to_run_spec().run().ok()?;
+    let run_ns = run_started.elapsed().as_nanos() as u64;
+    let response = Response::Outcome(OutcomeOk {
+        outcome: "completed".into(),
+        detail: None,
+        queue_ns: Some(0),
+        run_ns: Some(run_ns),
+        body: Some(ResultBody {
+            workload: result.workload.clone(),
+            mode: result.mode.clone(),
+            cycles: result.cycles,
+            messages: result.messages,
+            ipc: result.ipc,
+            latency_mean: result.latency.mean(),
+            latency_count: result.latency.count(),
+            calibrations: result.calibrations,
+            fidelity: Some(Fidelity::Hop.name().to_owned()),
+            error_bound: Some(HOP_ERROR_BOUND),
+        }),
+    });
+    {
+        let mut edge = relay.edge.lock().unwrap_or_else(|e| e.into_inner());
+        edge.insert(key, response, true);
+    }
+    let ticket = relay.register_ticket(key, item.clone(), None, 0);
+    relay.bump(|s| s.edge_brownouts += 1);
+    relay.obs.emit(|| Event::EdgeBrownout { job: key.0 });
+    let _ = relay.obs.flush();
+    Some(Response::Submit(SubmitOk {
+        ticket,
+        job: key.to_string(),
+        disposition: "degraded".into(),
+        depth: 0,
+        node: None,
+        edge: true,
+    }))
 }
 
 /// `submit_batch` at the relay: answer bad specs and edge hits locally,
@@ -848,18 +1073,28 @@ fn relay_submit_batch(
     let mut responses: Vec<Option<Response>> = vec![None; items.len()];
     let mut routes: Vec<Option<(JobKey, String)>> = vec![None; items.len()];
     let mut by_owner: HashMap<usize, Vec<usize>> = HashMap::new();
-    let alive = relay.alive_mask();
+    let routable = relay.routable_mask();
     for (index, item) in items.iter().enumerate() {
         match prepare_submit(relay, item, "submit_batch") {
             Prepared::Answered(response) => responses[index] = Some(response),
-            Prepared::Route { key, canonical } => match relay.ring.route_live(key, &alive)
-            {
-                Some(owner) => {
-                    by_owner.entry(owner).or_default().push(index);
-                    routes[index] = Some((key, canonical));
+            Prepared::Route { key, canonical } => {
+                match relay.ring.route_live(key, &routable) {
+                    Some(owner) => {
+                        by_owner.entry(owner).or_default().push(index);
+                        routes[index] = Some((key, canonical));
+                    }
+                    None => {
+                        let canonical_item = SubmitItem {
+                            spec: canonical,
+                            ..item.clone()
+                        };
+                        responses[index] = Some(
+                            edge_brownout(relay, key, &canonical_item)
+                                .unwrap_or_else(|| no_backend("submit_batch")),
+                        );
+                    }
                 }
-                None => responses[index] = Some(no_backend("submit_batch")),
-            },
+            }
         }
     }
     let mut owners: Vec<usize> = by_owner.keys().copied().collect();
@@ -873,8 +1108,7 @@ fn relay_submit_batch(
                     let (_, canonical) = routes[index].as_ref().expect("routed item");
                     SubmitItem {
                         spec: canonical.clone(),
-                        priority: items[index].priority.clone(),
-                        deadline_ms: items[index].deadline_ms,
+                        ..items[index].clone()
                     }
                 })
                 .collect(),
@@ -888,8 +1122,10 @@ fn relay_submit_batch(
         ) {
             Ok(Response::Batch(sub)) if sub.len() == indices.len() => Some(sub),
             Ok(_) => None,
-            Err(_) => {
-                relay.record_probe(owner, Err(()));
+            Err(err) => {
+                if !is_breaker_open(&err) {
+                    relay.record_probe(owner, Err(()));
+                }
                 None
             }
         };
@@ -899,11 +1135,13 @@ fn relay_submit_batch(
                     let (key, canonical) = routes[index].clone().expect("routed item");
                     responses[index] = Some(match sub_response {
                         Response::Submit(ok) => {
+                            let canonical_item = SubmitItem {
+                                spec: canonical,
+                                ..items[index].clone()
+                            };
                             let ticket = relay.register_ticket(
                                 key,
-                                canonical,
-                                items[index].priority.clone(),
-                                items[index].deadline_ms,
+                                canonical_item,
                                 Some(owner),
                                 ok.ticket,
                             );
@@ -931,8 +1169,7 @@ fn relay_submit_batch(
                         pool,
                         key,
                         &canonical,
-                        &items[index].priority,
-                        items[index].deadline_ms,
+                        &items[index],
                         "submit_batch",
                     ));
                 }
@@ -1042,8 +1279,10 @@ fn relay_ticket_batch(
                 }
             }
             other => {
-                if other.is_err() {
-                    relay.record_probe(node, Err(()));
+                if let Err(err) = &other {
+                    if !is_breaker_open(err) {
+                        relay.record_probe(node, Err(()));
+                    }
                 }
                 for &(index, ticket, _) in group {
                     responses[index] =
@@ -1190,8 +1429,10 @@ fn relay_forward_ticket(
                 }
                 return response;
             }
-            Err(_) => {
-                relay.record_probe(node, Err(()));
+            Err(err) => {
+                if !is_breaker_open(&err) {
+                    relay.record_probe(node, Err(()));
+                }
                 // The prober may have moved the job already; pick up
                 // its new home before re-driving it ourselves.
                 let latest = {
@@ -1239,8 +1480,14 @@ fn cache_terminal_result(
         return;
     };
     if matches!(ok.outcome.as_str(), "completed" | "cached") {
+        // A brownout answer replicates as degraded: it serves only
+        // degradation-tolerant submits, and a later full-fidelity
+        // result replaces it in place.
+        let degraded = ok.body.as_ref().is_some_and(|body| {
+            matches!(body.fidelity.as_deref(), Some(rung) if rung != Fidelity::Reciprocal.name())
+        });
         let mut edge = relay.edge.lock().unwrap_or_else(|e| e.into_inner());
-        edge.insert(entry.key, response.clone());
+        edge.insert(entry.key, response.clone(), degraded);
     }
     // The backend collected its ticket; ours is spent too.
     relay
@@ -1275,9 +1522,14 @@ fn relay_stats(relay: &Relay, pool: &mut BackendPool) -> Response {
         "store_misses",
         "insertions",
         "evictions",
+        "shed",
+        "degraded",
+        "upgraded",
+        "upgrades_pending",
     ];
     let mut sums: HashMap<&str, u64> = SUMMED.iter().map(|&k| (k, 0)).collect();
     let mut reachable = 0u64;
+    let mut unreachable: Vec<u64> = Vec::new();
     for node in 0..relay.nodes.len() {
         let raw = match forward(
             relay,
@@ -1287,13 +1539,22 @@ fn relay_stats(relay: &Relay, pool: &mut BackendPool) -> Response {
             relay.config.forward_deadline,
         ) {
             Ok(Response::Report { json }) => json,
-            Ok(_) => continue,
-            Err(_) => {
-                relay.record_probe(node, Err(()));
+            Ok(_) => {
+                unreachable.push(node as u64);
+                continue;
+            }
+            Err(err) => {
+                if !is_breaker_open(&err) {
+                    relay.record_probe(node, Err(()));
+                }
+                unreachable.push(node as u64);
                 continue;
             }
         };
-        let Ok(response) = Json::parse(&raw) else { continue };
+        let Ok(response) = Json::parse(&raw) else {
+            unreachable.push(node as u64);
+            continue;
+        };
         reachable += 1;
         for &field in SUMMED {
             if let Some(v) = response.get(field).and_then(Json::as_u64) {
@@ -1333,6 +1594,26 @@ fn relay_stats(relay: &Relay, pool: &mut BackendPool) -> Response {
     fields.push(("relay_reroutes", JsonField::Int(relay_counters.reroutes)));
     fields.push(("relay_failovers", JsonField::Int(relay_counters.failovers)));
     fields.push(("relay_edge_hits", JsonField::Int(relay_counters.edge_hits)));
+    fields.push((
+        "relay_edge_brownouts",
+        JsonField::Int(relay_counters.edge_brownouts),
+    ));
+    fields.push(("relay_breaker_trips", JsonField::Int(relay.breaker_trips())));
+    let breakers_open = (0..relay.nodes.len())
+        .filter(|&node| relay.breaker_state(node) != BreakerState::Closed)
+        .count() as u64;
+    fields.push(("breakers_open", JsonField::Int(breakers_open)));
+    // Honest aggregation: when any backend failed to report, the sums
+    // above under-count the cluster — flag it and name the gaps so a
+    // dashboard never mistakes a partial view for a quiet cluster.
+    if !unreachable.is_empty() {
+        fields.push(("degraded_stats", JsonField::Raw("true".into())));
+        let rows: Vec<String> = unreachable.iter().map(u64::to_string).collect();
+        fields.push((
+            "nodes_unreachable",
+            JsonField::Raw(format!("[{}]", rows.join(","))),
+        ));
+    }
     Response::Report {
         json: ok_fields(fields),
     }
@@ -1347,6 +1628,10 @@ fn relay_node_stats(relay: &Relay, pool: &mut BackendPool) -> Response {
         "cache_hits",
         "coalesced",
         "queue_depth",
+        "shed",
+        "degraded",
+        "upgraded",
+        "brownout",
     ];
     let mut rows = Vec::with_capacity(relay.nodes.len());
     for node in 0..relay.nodes.len() {
@@ -1361,29 +1646,54 @@ fn relay_node_stats(relay: &Relay, pool: &mut BackendPool) -> Response {
                 machine.last_rtt_ns(),
             )
         };
+        let (breaker_state, breaker_trips) = {
+            let breaker = relay.nodes[node]
+                .breaker
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            (breaker.state(), breaker.trips())
+        };
         let mut fields = vec![
             ("node", JsonField::Int(node as u64)),
             ("addr", JsonField::Str(relay.nodes[node].addr.to_string())),
             ("state", JsonField::Str(state.name().into())),
             ("failures", JsonField::Int(failures)),
             ("rtt_ns", JsonField::Int(rtt_ns)),
+            ("breaker", JsonField::Str(breaker_state.name().into())),
+            ("breaker_trips", JsonField::Int(breaker_trips)),
         ];
+        let mut reported = false;
         if state.routes() {
-            if let Ok(Response::Report { json }) = forward(
+            match forward(
                 relay,
                 pool,
                 node,
                 &Request::Stats,
                 relay.config.forward_deadline,
             ) {
-                if let Ok(response) = Json::parse(&json) {
-                    for &field in PER_NODE {
-                        if let Some(v) = response.get(field).and_then(Json::as_u64) {
-                            fields.push((field, JsonField::Int(v)));
+                Ok(Response::Report { json }) => {
+                    if let Ok(response) = Json::parse(&json) {
+                        for &field in PER_NODE {
+                            if let Some(v) = response.get(field).and_then(Json::as_u64) {
+                                fields.push((field, JsonField::Int(v)));
+                            }
                         }
+                        reported = true;
+                    }
+                }
+                Ok(_) => {}
+                Err(err) => {
+                    if !is_breaker_open(&err) {
+                        relay.record_probe(node, Err(()));
                     }
                 }
             }
+        }
+        // A row that carries no counters says so explicitly: Down,
+        // breaker-open, and mid-crash backends all read as
+        // `unreachable` instead of silently thinner rows.
+        if !reported {
+            fields.push(("unreachable", JsonField::Raw("true".into())));
         }
         rows.push(json_object(&fields));
     }
@@ -1553,6 +1863,241 @@ mod tests {
             .expect("bind relay")
             .spawn()
             .expect("spawn relay")
+    }
+
+    /// A free 127.0.0.1 address: bound once to pick a port, then
+    /// released so the test controls when (if ever) something listens.
+    fn reserved_addr() -> SocketAddr {
+        let parked = TcpListener::bind("127.0.0.1:0").expect("park a port");
+        let addr = parked.local_addr().expect("parked addr");
+        drop(parked);
+        addr
+    }
+
+    /// A relay built directly (no spawn: no probe loop, no listener) so
+    /// tests drive `handle_relay_request` deterministically. The health
+    /// thresholds are set sky-high so only the *breaker* reacts to
+    /// forward failures.
+    fn relay_direct(addrs: &[SocketAddr], breaker: BreakerConfig) -> Relay {
+        let config = RelayConfig {
+            backends: addrs.iter().map(|a| a.to_string()).collect(),
+            health: HealthPolicy {
+                probe_interval: Duration::from_secs(3600),
+                probe_timeout: Duration::from_millis(250),
+                fail_threshold: 10_000,
+                recover_threshold: 1,
+            },
+            breaker,
+            forward_deadline: Duration::from_millis(300),
+            retry_budget: 2,
+            retry_backoff: Duration::from_millis(1),
+            ..RelayConfig::default()
+        };
+        Relay::new(config, ObsSink::disabled()).expect("relay config")
+    }
+
+    fn backend_at(addr: SocketAddr) -> crate::wire::ServerHandle {
+        let service = JobService::start(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            ObsSink::disabled(),
+        )
+        .expect("service starts");
+        WireServer::bind(addr, service)
+            .expect("bind backend at reserved addr")
+            .spawn()
+            .expect("spawn backend")
+    }
+
+    fn test_breaker() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            error_threshold: 0.5,
+            rtt_budget: Duration::from_secs(5),
+            open_cooldown: Duration::from_millis(100),
+            half_open_probes: 1,
+            close_after: 1,
+        }
+    }
+
+    #[test]
+    fn a_tripped_breaker_steers_submits_and_recovers_half_open() {
+        let addr = reserved_addr();
+        let relay = relay_direct(&[addr], test_breaker());
+        let mut pool = BackendPool::new(&relay);
+
+        // Nothing listens yet: both forward attempts fail, which is
+        // exactly min_samples at 100% error rate — the breaker trips.
+        let refused = handle_relay_request(
+            &relay,
+            &mut pool,
+            &Request::Submit(SubmitItem::new(SPEC)),
+        );
+        assert!(
+            matches!(&refused, Response::Error(err) if err.code == ErrorCode::NoBackend),
+            "{refused:?}"
+        );
+        assert_eq!(relay.breaker_state(0), BreakerState::Open);
+        assert_eq!(relay.breaker_trips(), 1);
+        assert!(
+            relay.node_state(0).routes(),
+            "the breaker must trip without the health machine demoting the node"
+        );
+
+        // While open (cooldown running) the routing mask refuses
+        // locally: no connection attempt, no extra breaker samples.
+        let still_refused = handle_relay_request(
+            &relay,
+            &mut pool,
+            &Request::Submit(SubmitItem::new(SPEC)),
+        );
+        assert!(
+            matches!(&still_refused, Response::Error(err) if err.code == ErrorCode::NoBackend),
+            "{still_refused:?}"
+        );
+        assert_eq!(relay.breaker_state(0), BreakerState::Open);
+
+        // The backend comes up; once the cooldown elapses the next
+        // submit is the half-open probe, and its success closes the
+        // breaker (close_after=1).
+        let b0 = backend_at(addr);
+        std::thread::sleep(Duration::from_millis(120));
+        let recovered = handle_relay_request(
+            &relay,
+            &mut pool,
+            &Request::Submit(SubmitItem::new(SPEC)),
+        );
+        let Response::Submit(ok) = &recovered else {
+            panic!("the half-open probe must carry the submit: {recovered:?}");
+        };
+        assert_eq!(ok.node, Some(0));
+        assert_eq!(relay.breaker_state(0), BreakerState::Closed);
+        assert_eq!(relay.breaker_trips(), 1, "recovery is not another trip");
+        b0.stop();
+    }
+
+    #[test]
+    fn unreachable_owners_brownout_shedable_submits_at_the_edge() {
+        let addr = reserved_addr();
+        let relay = relay_direct(&[addr], test_breaker());
+        let mut pool = BackendPool::new(&relay);
+        let rspec = "target=2x2 app=water mode=reciprocal instructions=40 budget=100000";
+
+        // A shedable submit (allow_degraded, no floor) with every owner
+        // unreachable: the edge answers it at fidelity=hop instead of
+        // failing with no_backend.
+        let item = SubmitItem::new(rspec)
+            .client("edge-test")
+            .allow_degraded(true);
+        let submitted =
+            handle_relay_request(&relay, &mut pool, &Request::Submit(item.clone()));
+        let Response::Submit(ok) = &submitted else {
+            panic!("shedable submit must be answered degraded: {submitted:?}");
+        };
+        assert_eq!(ok.disposition, "degraded");
+        assert!(ok.edge);
+        assert_eq!(ok.node, None);
+        assert_eq!(relay.stats().edge_brownouts, 1);
+
+        let outcome = handle_relay_request(
+            &relay,
+            &mut pool,
+            &Request::Result {
+                ticket: ok.ticket,
+                timeout_ms: Some(1_000),
+            },
+        );
+        let Response::Outcome(out) = &outcome else {
+            panic!("edge ticket must resolve from the edge cache: {outcome:?}");
+        };
+        assert_eq!(out.outcome, "completed");
+        let body = out.body.as_ref().expect("degraded answers carry a body");
+        assert_eq!(body.fidelity.as_deref(), Some("hop"));
+        assert_eq!(body.error_bound, Some(HOP_ERROR_BOUND));
+        assert!(body.cycles > 0);
+
+        // A second shedable submit is served from the degraded edge
+        // entry without any backend traffic.
+        let again = handle_relay_request(&relay, &mut pool, &Request::Submit(item));
+        let Response::Submit(hit) = &again else {
+            panic!("{again:?}");
+        };
+        assert_eq!(hit.disposition, "cached");
+        assert!(hit.edge);
+
+        // A full-fidelity submitter of the same spec must NOT be fed
+        // the degraded entry: with the breaker open it fails fast with
+        // no_backend rather than silently accepting a hop answer.
+        let strict = handle_relay_request(
+            &relay,
+            &mut pool,
+            &Request::Submit(SubmitItem::new(rspec)),
+        );
+        assert!(
+            matches!(&strict, Response::Error(err) if err.code == ErrorCode::NoBackend),
+            "a degraded edge entry must not satisfy a full-fidelity submit: {strict:?}"
+        );
+    }
+
+    #[test]
+    fn aggregated_stats_are_flagged_degraded_when_a_backend_is_unreachable() {
+        let live = backend(1);
+        let dead_addr = reserved_addr();
+        let relay = relay_direct(&[live.addr(), dead_addr], test_breaker());
+        let mut pool = BackendPool::new(&relay);
+
+        let stats = handle_relay_request(&relay, &mut pool, &Request::Stats);
+        let Response::Report { json } = &stats else {
+            panic!("{stats:?}");
+        };
+        let parsed = Json::parse(json).expect("stats json parses");
+        assert_eq!(
+            parsed.get("degraded_stats").and_then(Json::as_bool),
+            Some(true),
+            "partial sums must be flagged: {json}"
+        );
+        assert_eq!(parsed.get("nodes_reporting").and_then(Json::as_u64), Some(1));
+        let unreachable = match parsed.get("nodes_unreachable") {
+            Some(Json::Arr(rows)) => rows.clone(),
+            other => panic!("nodes_unreachable must be an array, got {other:?}"),
+        };
+        assert_eq!(unreachable.len(), 1);
+        assert_eq!(unreachable[0].as_u64(), Some(1));
+
+        let nodes = handle_relay_request(&relay, &mut pool, &Request::NodeStats);
+        let Response::Report { json } = &nodes else {
+            panic!("{nodes:?}");
+        };
+        let parsed = Json::parse(json).expect("node_stats json parses");
+        let rows = match parsed.get("nodes") {
+            Some(Json::Arr(rows)) => rows.clone(),
+            other => panic!("nodes must be an array, got {other:?}"),
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("unreachable"), None, "live node reports");
+        assert!(rows[0].get("breaker").and_then(Json::as_str).is_some());
+        assert_eq!(
+            rows[1].get("unreachable").and_then(Json::as_bool),
+            Some(true),
+            "dead node row must say so: {json}"
+        );
+
+        // A fully reachable cluster is never flagged.
+        let live2 = backend(1);
+        let relay_ok = relay_direct(&[live.addr(), live2.addr()], test_breaker());
+        let mut pool_ok = BackendPool::new(&relay_ok);
+        let stats = handle_relay_request(&relay_ok, &mut pool_ok, &Request::Stats);
+        let Response::Report { json } = &stats else {
+            panic!("{stats:?}");
+        };
+        let parsed = Json::parse(json).expect("stats json parses");
+        assert_eq!(parsed.get("degraded_stats"), None, "{json}");
+        assert_eq!(parsed.get("nodes_unreachable"), None, "{json}");
+        live.stop();
+        live2.stop();
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //!   0x09 health        —
 //!   0x0A node_stats    —
 //!   item := spec:str opt(priority:str) opt(deadline_ms)
+//!           opt(client:str) allow_degraded:u8 opt(min_fidelity:str)
 //! response := tag:u8 body
 //!   0x81 submit   ticket job:str disposition:str depth opt(node) edge:u8
 //!   0x82 status   state:str
@@ -42,7 +43,12 @@
 //!   0x87 error    code:str verb:str opt(detail) opt(depth)
 //!   body := workload:str mode:str cycles messages ipc:f64
 //!           latency_mean:f64 latency_count calibrations
+//!           opt(fidelity:str) opt(error_bound:f64)
 //! ```
+//!
+//! The overload-control fields (`client`/`allow_degraded`/`min_fidelity`
+//! on items, the fidelity pair on bodies) are appended at the *end* of
+//! their structures, mirroring the JSON wire's append-only discipline.
 
 use std::io;
 
@@ -202,10 +208,23 @@ fn write_f64(out: &mut Vec<u8>, value: f64) {
     out.extend_from_slice(&value.to_bits().to_le_bytes());
 }
 
+fn write_opt_f64(out: &mut Vec<u8>, value: Option<f64>) {
+    match value {
+        Some(v) => {
+            out.push(1);
+            write_f64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
 fn write_item(out: &mut Vec<u8>, item: &SubmitItem) {
     write_str(out, &item.spec);
     write_opt_str(out, item.priority.as_deref());
     write_opt_varint(out, item.deadline_ms);
+    write_opt_str(out, item.client.as_deref());
+    out.push(item.allow_degraded as u8);
+    write_opt_str(out, item.min_fidelity.as_deref());
 }
 
 fn write_request(out: &mut Vec<u8>, request: &Request) {
@@ -287,6 +306,8 @@ fn write_response(out: &mut Vec<u8>, response: &Response) {
                     write_f64(out, body.latency_mean);
                     write_varint(out, body.latency_count);
                     write_varint(out, body.calibrations);
+                    write_opt_str(out, body.fidelity.as_deref());
+                    write_opt_f64(out, body.error_bound);
                 }
                 None => out.push(0),
             }
@@ -391,6 +412,14 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    fn opt_f64(&mut self) -> Option<Option<f64>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.f64()?)),
+            _ => None,
+        }
+    }
+
     fn f64(&mut self) -> Option<f64> {
         let bytes = self.slice(8)?;
         Some(f64::from_bits(u64::from_le_bytes(bytes.try_into().ok()?)))
@@ -409,6 +438,13 @@ fn read_item(cursor: &mut Cursor<'_>) -> Option<SubmitItem> {
         spec: cursor.string()?,
         priority: cursor.opt_string()?,
         deadline_ms: cursor.opt_varint()?,
+        client: cursor.opt_string()?,
+        allow_degraded: match cursor.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        },
+        min_fidelity: cursor.opt_string()?,
     })
 }
 
@@ -492,6 +528,8 @@ fn read_response(cursor: &mut Cursor<'_>) -> Option<Response> {
                     latency_mean: cursor.f64()?,
                     latency_count: cursor.varint()?,
                     calibrations: cursor.varint()?,
+                    fidelity: cursor.opt_string()?,
+                    error_bound: cursor.opt_f64()?,
                 }),
                 _ => return None,
             },
@@ -541,12 +579,21 @@ mod tests {
     #[test]
     fn binary_requests_round_trip_inside_checksummed_frames() {
         let requests = [
-            Request::Submit(SubmitItem {
-                spec: "target=2x2 app=water seed=3".to_owned(),
-                priority: Some("high".to_owned()),
-                deadline_ms: Some(250),
-            }),
-            Request::SubmitBatch(vec![SubmitItem::new("a"), SubmitItem::new("b")]),
+            Request::Submit(
+                SubmitItem::new("target=2x2 app=water seed=3")
+                    .priority("high")
+                    .deadline_ms(250),
+            ),
+            Request::Submit(
+                SubmitItem::new("target=2x2 app=water seed=3")
+                    .client("bench-7")
+                    .allow_degraded(true)
+                    .min_fidelity("hop"),
+            ),
+            Request::SubmitBatch(vec![
+                SubmitItem::new("a"),
+                SubmitItem::new("b").allow_degraded(true),
+            ]),
             Request::Status { ticket: 1 << 40 },
             Request::StatusBatch {
                 tickets: vec![0, 127, 128, u64::MAX],
@@ -582,6 +629,13 @@ mod tests {
             latency_mean: f64::MIN_POSITIVE,
             latency_count: 512,
             calibrations: 4,
+            fidelity: None,
+            error_bound: None,
+        };
+        let tagged = ResultBody {
+            fidelity: Some("calibrated".to_owned()),
+            error_bound: Some(0.15),
+            ..body.clone()
         };
         let responses = [
             Response::Submit(SubmitOk {
@@ -601,6 +655,13 @@ mod tests {
                 queue_ns: Some(12),
                 run_ns: Some(34),
                 body: Some(body),
+            }),
+            Response::Outcome(OutcomeOk {
+                outcome: "completed".to_owned(),
+                detail: None,
+                queue_ns: Some(12),
+                run_ns: Some(34),
+                body: Some(tagged),
             }),
             Response::Cancel {
                 cancel: "signalled".to_owned(),

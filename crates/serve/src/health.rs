@@ -228,6 +228,62 @@ mod tests {
     }
 
     #[test]
+    fn recovery_fires_on_exactly_the_threshold_success() {
+        let mut m = HealthMachine::new(&policy(1, 3));
+        assert_eq!(m.on_failure(), Some(Transition::WentDown));
+        assert_eq!(m.on_success(Duration::from_micros(10)), None);
+        assert_eq!(m.on_success(Duration::from_micros(10)), None);
+        // Exactly recover_threshold consecutive successes — not one
+        // more — re-admit the node.
+        assert_eq!(
+            m.on_success(Duration::from_micros(10)),
+            Some(Transition::CameUp)
+        );
+        assert_eq!(m.state(), NodeState::Up);
+        // The streak counter was consumed: staying Up is silent.
+        assert_eq!(m.on_success(Duration::from_micros(10)), None);
+        assert_eq!(m.state(), NodeState::Up);
+    }
+
+    #[test]
+    fn suspect_rescue_happens_on_the_first_success_at_the_exact_boundary() {
+        // One failure short of Down: the machine sits at the Suspect
+        // edge, and a single success must fully reset the streak.
+        let mut m = HealthMachine::new(&policy(3, 2));
+        assert_eq!(m.on_failure(), None);
+        assert_eq!(m.on_failure(), None);
+        assert_eq!(m.state(), NodeState::Suspect);
+        assert_eq!(m.failures(), 2, "exactly one failure short of the threshold");
+        assert_eq!(m.on_success(Duration::from_micros(10)), None);
+        assert_eq!(m.state(), NodeState::Up);
+        assert_eq!(m.failures(), 0);
+        // The reset is real: it now takes the full threshold again.
+        assert_eq!(m.on_failure(), None);
+        assert_eq!(m.on_failure(), None);
+        assert_eq!(m.state(), NodeState::Suspect);
+        assert_eq!(m.on_failure(), Some(Transition::WentDown));
+    }
+
+    #[test]
+    fn a_flapping_backend_never_wedges_in_suspect() {
+        // fail, success, fail, success … — each rescue must land back
+        // in Up, not accumulate toward Down or stick in Suspect.
+        let mut m = HealthMachine::new(&policy(2, 2));
+        for _ in 0..50 {
+            m.on_failure();
+            assert_eq!(m.state(), NodeState::Suspect);
+            m.on_success(Duration::from_micros(25));
+            assert_eq!(m.state(), NodeState::Up, "a success always rescues Suspect");
+        }
+        assert_eq!(m.failures(), 0);
+        // After all that flapping the machine is not desensitized: a
+        // genuine outage still demotes at exactly the threshold.
+        assert_eq!(m.on_failure(), None);
+        assert_eq!(m.on_failure(), Some(Transition::WentDown));
+        assert_eq!(m.state(), NodeState::Down);
+    }
+
+    #[test]
     fn flapping_cannot_oscillate_faster_than_the_thresholds() {
         let mut m = HealthMachine::new(&policy(2, 2));
         let mut transitions = 0;

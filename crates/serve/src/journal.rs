@@ -51,11 +51,25 @@ pub struct UnfinishedJob {
     pub priority: Priority,
 }
 
+/// A journaled intent to re-run a degraded answer at full fidelity: the
+/// service published a brownout answer and owes the client's cache an
+/// upgrade. Cleared by an `upgraded` record when the full run lands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpgradeIntent {
+    /// Content hash of the canonical spec.
+    pub key: JobKey,
+    /// Canonical spec text, re-parseable into a `JobSpec`.
+    pub spec: String,
+}
+
 /// What [`replay`] recovered from a journal file.
 #[derive(Debug, Clone, Default)]
 pub struct JournalRecovery {
     /// Admitted jobs with no settle record, in admission order.
     pub unfinished: Vec<UnfinishedJob>,
+    /// Degraded answers whose full-fidelity upgrade never landed, in
+    /// intent order.
+    pub pending_upgrades: Vec<UpgradeIntent>,
     /// Frame-level accounting for the pass.
     pub report: RecoveryReport,
 }
@@ -126,23 +140,27 @@ impl Journal {
         writer.compactions
     }
 
-    /// Rewrites the journal in place to exactly `unfinished`, with the
-    /// same tmp + fsync + rename discipline as the startup [`compact`].
-    /// The writer lock is held across the rewrite, so no append can
-    /// interleave with the rename; the caller must pass an `unfinished`
-    /// set consistent with everything appended so far (i.e. call this
+    /// Rewrites the journal in place to exactly `unfinished` plus
+    /// `upgrades`, with the same tmp + fsync + rename discipline as the
+    /// startup [`compact`]. The writer lock is held across the rewrite,
+    /// so no append can interleave with the rename; the caller must pass
+    /// sets consistent with everything appended so far (i.e. call this
     /// under the same lock that orders admits and settles).
     ///
     /// # Errors
     ///
     /// Propagates write/rename/reopen failures; on error the journal
     /// keeps appending to whichever file the rename left behind.
-    pub fn compact_live(&self, unfinished: &[UnfinishedJob]) -> io::Result<()> {
+    pub fn compact_live(
+        &self,
+        unfinished: &[UnfinishedJob],
+        upgrades: &[UpgradeIntent],
+    ) -> io::Result<()> {
         let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         // Flush buffered frames so the pre-compaction file is complete
         // (a crash mid-compaction must leave a fully-replayable log).
         writer.frames.sync()?;
-        compact(&self.path, unfinished)?;
+        compact(&self.path, unfinished, upgrades)?;
         writer.frames = FrameWriter::append_to(&self.path, self.fsync_every)?;
         writer.bytes = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
         writer.compactions += 1;
@@ -166,6 +184,26 @@ impl Journal {
             ("rec", JsonField::Str("settle".into())),
             ("job", JsonField::Str(key.to_string())),
             ("outcome", JsonField::Str(outcome.to_owned())),
+        ]));
+    }
+
+    /// Records an upgrade intent: a degraded answer was published for
+    /// `key` and a full-fidelity re-run is owed. Written alongside the
+    /// settle so a crash cannot lose the debt.
+    pub fn upgrade(&self, key: JobKey, spec: &str) {
+        self.append(&json_object(&[
+            ("rec", JsonField::Str("upgrade".into())),
+            ("job", JsonField::Str(key.to_string())),
+            ("spec", JsonField::Str(spec.to_owned())),
+        ]));
+    }
+
+    /// Records that the full-fidelity re-run for `key` landed (or that
+    /// the intent became moot), clearing the pending upgrade.
+    pub fn upgraded(&self, key: JobKey) {
+        self.append(&json_object(&[
+            ("rec", JsonField::Str("upgraded".into())),
+            ("job", JsonField::Str(key.to_string())),
         ]));
     }
 
@@ -201,6 +239,10 @@ pub fn replay(path: &Path) -> io::Result<JournalRecovery> {
     // after a cache eviction), so a settle clears only the pending slot.
     let mut order: Vec<Option<UnfinishedJob>> = Vec::new();
     let mut pending: HashMap<u64, usize> = HashMap::new();
+    // Upgrade intents fold independently of admits/settles: a `settle`
+    // never clears an upgrade debt, only an `upgraded` record does.
+    let mut upgrade_order: Vec<Option<UpgradeIntent>> = Vec::new();
+    let mut upgrades_pending: HashMap<u64, usize> = HashMap::new();
     for record in &records {
         let Ok(json) = Json::parse(record) else {
             continue; // checksum-valid but semantically foreign: skip
@@ -241,23 +283,49 @@ pub fn replay(path: &Path) -> io::Result<JournalRecovery> {
                     order[slot] = None;
                 }
             }
+            Some("upgrade") => {
+                let Some(spec) = json.get("spec").and_then(Json::as_str) else {
+                    continue;
+                };
+                let intent = UpgradeIntent {
+                    key,
+                    spec: spec.to_owned(),
+                };
+                if let Some(&slot) = upgrades_pending.get(&key.0) {
+                    upgrade_order[slot] = Some(intent);
+                } else {
+                    upgrades_pending.insert(key.0, upgrade_order.len());
+                    upgrade_order.push(Some(intent));
+                }
+            }
+            Some("upgraded") => {
+                if let Some(slot) = upgrades_pending.remove(&key.0) {
+                    upgrade_order[slot] = None;
+                }
+            }
             _ => {}
         }
     }
     Ok(JournalRecovery {
         unfinished: order.into_iter().flatten().collect(),
+        pending_upgrades: upgrade_order.into_iter().flatten().collect(),
         report,
     })
 }
 
-/// Rewrites the journal to exactly `unfinished` admit records, via a
-/// temp file + atomic rename so a crash mid-compaction leaves either
-/// the old journal or the new one, never a mix.
+/// Rewrites the journal to exactly `unfinished` admit records plus
+/// `upgrades` upgrade-intent records, via a temp file + atomic rename so
+/// a crash mid-compaction leaves either the old journal or the new one,
+/// never a mix.
 ///
 /// # Errors
 ///
 /// Propagates write/rename failures.
-pub fn compact(path: &Path, unfinished: &[UnfinishedJob]) -> io::Result<()> {
+pub fn compact(
+    path: &Path,
+    unfinished: &[UnfinishedJob],
+    upgrades: &[UpgradeIntent],
+) -> io::Result<()> {
     let tmp = path.with_extension("compact.tmp");
     {
         let mut out = BufWriter::new(File::create(&tmp)?);
@@ -267,6 +335,14 @@ pub fn compact(path: &Path, unfinished: &[UnfinishedJob]) -> io::Result<()> {
                 ("job", JsonField::Str(job.key.to_string())),
                 ("spec", JsonField::Str(job.spec.clone())),
                 ("priority", JsonField::Str(job.priority.to_string())),
+            ]);
+            out.write_all(frame(&payload).as_bytes())?;
+        }
+        for intent in upgrades {
+            let payload = json_object(&[
+                ("rec", JsonField::Str("upgrade".into())),
+                ("job", JsonField::Str(intent.key.to_string())),
+                ("spec", JsonField::Str(intent.spec.clone())),
             ]);
             out.write_all(frame(&payload).as_bytes())?;
         }
@@ -309,10 +385,46 @@ mod tests {
         assert_eq!(recovery.unfinished[0].priority, Priority::Low);
 
         // Compaction keeps exactly the unfinished set.
-        compact(&path, &recovery.unfinished).unwrap();
+        compact(&path, &recovery.unfinished, &[]).unwrap();
         let again = replay(&path).unwrap();
         assert_eq!(again.unfinished, recovery.unfinished);
         assert_eq!(again.report.recovered_records, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn upgrade_intents_replay_and_survive_compaction() {
+        let path = temp_path("upgrades");
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = Journal::open(&path, 0).unwrap();
+            journal.admit(JobKey(1), "spec one", Priority::Normal);
+            // Degraded publish: settle the admit, journal the debt.
+            journal.settle(JobKey(1), "degraded");
+            journal.upgrade(JobKey(1), "spec one");
+            journal.admit(JobKey(2), "spec two", Priority::Normal);
+            journal.settle(JobKey(2), "degraded");
+            journal.upgrade(JobKey(2), "spec two");
+            // Job 2's upgrade lands; job 1's is still owed.
+            journal.upgraded(JobKey(2));
+            journal.sync().unwrap();
+        }
+        let recovery = replay(&path).unwrap();
+        assert!(recovery.unfinished.is_empty(), "settles clear the admits");
+        assert_eq!(
+            recovery.pending_upgrades,
+            vec![UpgradeIntent {
+                key: JobKey(1),
+                spec: "spec one".to_owned(),
+            }],
+            "a settle never clears the upgrade debt; only `upgraded` does"
+        );
+
+        // Compaction carries the pending intent forward.
+        compact(&path, &recovery.unfinished, &recovery.pending_upgrades).unwrap();
+        let again = replay(&path).unwrap();
+        assert_eq!(again.pending_upgrades, recovery.pending_upgrades);
+        assert_eq!(again.report.recovered_records, 1);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -366,7 +478,7 @@ mod tests {
         }];
         journal.admit(JobKey(99), "spec ninety-nine", Priority::High);
         let before = journal.len_bytes();
-        journal.compact_live(&unfinished).unwrap();
+        journal.compact_live(&unfinished, &[]).unwrap();
         assert!(journal.len_bytes() < before);
         assert_eq!(journal.compactions(), 1);
         // The writer keeps working against the compacted file.

@@ -66,6 +66,8 @@
 //! [`RunSpec`]: ra_cosim::RunSpec
 //! [`RunResult`]: ra_cosim::RunResult
 
+pub mod admission;
+pub mod breaker;
 pub mod cluster;
 pub mod codec;
 pub mod frame;
@@ -79,6 +81,8 @@ pub mod spec;
 pub mod store;
 pub mod wire;
 
+pub use admission::{AdmissionConfig, AdmissionController, BrownoutLevel, Ewma, TokenBucket};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cluster::{Relay, RelayConfig, RelayHandle, RelayStats};
 pub use codec::{BinaryCodec, Codec, JsonCodec};
 pub use frame::{FrameStep, RecoveryReport};
@@ -89,10 +93,11 @@ pub use json::{Json, JsonError};
 pub use ring::HashRing;
 pub use scheduler::{
     CancelOutcome, ChaosConfig, Disposition, JobOutcome, JobService, JobStatus, Priority,
-    RecoveryInfo, Rejected, ServeConfig, ServiceStats, SubmitReceipt, Ticket, WaitError,
+    RecoveryInfo, Rejected, ServeConfig, ServiceStats, SubmitParams, SubmitReceipt, Ticket,
+    WaitError,
 };
-pub use spec::{JobKey, JobSpec, SpecError};
-pub use store::{ResultStore, StoreStats};
+pub use spec::{Fidelity, JobKey, JobSpec, SpecError};
+pub use store::{ResultStore, StoreStats, StoredResult};
 pub use wire::{ServerHandle, WireClient, WireServer};
 
 #[cfg(test)]
@@ -650,5 +655,340 @@ mod service_tests {
             Rejected::ShuttingDown
         );
         service.shutdown();
+    }
+
+    /// Reciprocal-mode spec for the degradation tests: only reciprocal
+    /// mode has cheaper rungs (calibrated, hop) to degrade to.
+    const RSPEC: &str = "target=2x2 app=water mode=reciprocal instructions=40 budget=100000";
+
+    /// An `AdmissionConfig` whose brownout thresholds are unreachable,
+    /// for tests that want overload behaviour without the ladder.
+    fn no_brownout() -> AdmissionConfig {
+        AdmissionConfig {
+            brownout1_pressure: 10.0,
+            brownout2_pressure: 20.0,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    fn degraded_params() -> SubmitParams {
+        SubmitParams {
+            allow_degraded: true,
+            ..SubmitParams::default()
+        }
+    }
+
+    #[test]
+    fn a_full_queue_degrades_consenting_jobs_and_upgrades_them_later() {
+        let (service, ring) = service_with_ring(ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            admission: no_brownout(),
+            ..ServeConfig::default()
+        });
+        // One job running, one queued: the queue is at capacity.
+        let blocker = service
+            .submit(SLOW.parse::<JobSpec>().unwrap().seed(910), Priority::Normal, None)
+            .unwrap();
+        spin_until_running(&service, blocker.ticket);
+        let queued = service
+            .submit(SLOW.parse::<JobSpec>().unwrap().seed(911), Priority::Normal, None)
+            .unwrap();
+
+        // A consenting degradable job is not bounced at the full queue:
+        // it is admitted at its floor instead.
+        let degraded = service
+            .submit_with(RSPEC.parse::<JobSpec>().unwrap().seed(912), degraded_params())
+            .unwrap();
+        assert!(
+            matches!(degraded.disposition, Disposition::Enqueued { .. }),
+            "consenting job must be admitted, got {:?}",
+            degraded.disposition
+        );
+        // A non-consenting job at the same door is shed.
+        assert!(matches!(
+            service
+                .submit(FAST.parse::<JobSpec>().unwrap().seed(913), Priority::Normal, None)
+                .unwrap_err(),
+            Rejected::QueueFull { .. }
+        ));
+
+        // Unblock the worker and collect the degraded answer.
+        assert_eq!(service.cancel(queued.ticket), Some(CancelOutcome::Cancelled));
+        assert_eq!(service.cancel(blocker.ticket), Some(CancelOutcome::Signalled));
+        let outcome = service.wait(degraded.ticket, Some(Duration::from_secs(60))).unwrap();
+        let JobOutcome::Completed { cached, fidelity, error_bound, .. } = outcome else {
+            panic!("degraded job should complete, got {outcome:?}");
+        };
+        assert!(!cached);
+        assert_eq!(fidelity, Fidelity::Hop);
+        assert!(error_bound > 0.5, "hop answers carry a large error bound, got {error_bound}");
+        assert_eq!(service.stats().degraded, 1);
+        assert_eq!(service.stats().shed, 1);
+
+        // The background upgrader re-runs the spec at full fidelity.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while service.stats().upgraded < 1 {
+            assert!(Instant::now() < deadline, "background upgrade never landed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // A strict (non-consenting) resubmit now hits the upgraded entry.
+        let strict = service
+            .submit_with(RSPEC.parse::<JobSpec>().unwrap().seed(912), SubmitParams::default())
+            .unwrap();
+        assert_eq!(strict.disposition, Disposition::CacheHit);
+        let outcome = service.wait(strict.ticket, Some(Duration::from_secs(60))).unwrap();
+        let JobOutcome::Completed { cached: true, fidelity, error_bound, .. } = outcome else {
+            panic!("upgraded entry should serve strict callers, got {outcome:?}");
+        };
+        assert_eq!(fidelity, Fidelity::Reciprocal);
+        assert_eq!(error_bound, 0.0);
+        service.shutdown();
+
+        let ring = ring.lock().unwrap();
+        let count = |kind: &str| ring.events().filter(|e| e.kind_name() == kind).count();
+        assert_eq!(count("job_degraded"), 1);
+        assert_eq!(count("result_upgraded"), 1);
+        let upgraded = ring
+            .events()
+            .find_map(|e| match e {
+                Event::ResultUpgraded { from, to, .. } => Some((from.clone(), to.clone())),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(upgraded, ("hop".to_owned(), "reciprocal".to_owned()));
+    }
+
+    #[test]
+    fn an_exhausted_client_quota_degrades_consenting_jobs_and_sheds_the_rest() {
+        let (service, ring) = service_with_ring(ServeConfig {
+            workers: 2,
+            quota_rate: 1e-6, // effectively never refills within the test
+            quota_burst: 1.0,
+            admission: no_brownout(),
+            background_upgrades: false,
+            ..ServeConfig::default()
+        });
+        let with_client = |client: Option<&str>, allow: bool| SubmitParams {
+            client: client.map(str::to_owned),
+            allow_degraded: allow,
+            ..SubmitParams::default()
+        };
+
+        // The burst is one token: the first fresh run is free...
+        let first = service
+            .submit_with(RSPEC.parse::<JobSpec>().unwrap().seed(920), with_client(Some("tenant-a"), false))
+            .unwrap();
+        // ...the second, non-consenting, is shed...
+        assert!(matches!(
+            service
+                .submit_with(RSPEC.parse::<JobSpec>().unwrap().seed(921), with_client(Some("tenant-a"), false))
+                .unwrap_err(),
+            Rejected::QueueFull { .. }
+        ));
+        // ...a consenting one is admitted at its floor instead...
+        let cheap = service
+            .submit_with(RSPEC.parse::<JobSpec>().unwrap().seed(922), with_client(Some("tenant-a"), true))
+            .unwrap();
+        // ...anonymous submissions and other tenants are untouched.
+        let anon = service
+            .submit_with(RSPEC.parse::<JobSpec>().unwrap().seed(923), with_client(None, false))
+            .unwrap();
+        let other = service
+            .submit_with(RSPEC.parse::<JobSpec>().unwrap().seed(924), with_client(Some("tenant-b"), false))
+            .unwrap();
+
+        let fidelity_of = |ticket| {
+            match service.wait(ticket, Some(Duration::from_secs(60))).unwrap() {
+                JobOutcome::Completed { fidelity, .. } => fidelity,
+                other => panic!("expected completion, got {other:?}"),
+            }
+        };
+        assert_eq!(fidelity_of(first.ticket), Fidelity::Reciprocal);
+        assert_eq!(fidelity_of(cheap.ticket), Fidelity::Hop);
+        assert_eq!(fidelity_of(anon.ticket), Fidelity::Reciprocal);
+        assert_eq!(fidelity_of(other.ticket), Fidelity::Reciprocal);
+        let stats = service.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.degraded, 1);
+        service.shutdown();
+
+        let ring = ring.lock().unwrap();
+        let shed_client = ring
+            .events()
+            .find_map(|e| match e {
+                Event::JobShed { client, .. } => Some(client.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(shed_client, "tenant-a");
+        let degrade_cause = ring
+            .events()
+            .find_map(|e| match e {
+                Event::JobDegraded { cause, .. } => Some(cause.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(degrade_cause, "quota");
+    }
+
+    #[test]
+    fn the_brownout_ladder_degrades_stepwise_and_never_bounces_consenting_jobs() {
+        let (service, ring) = service_with_ring(ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            admission: AdmissionConfig {
+                // Pressure here is pure backlog fraction: the delay
+                // target is far above anything a test run produces.
+                delay_target: Duration::from_secs(3600),
+                brownout1_pressure: 0.5,
+                brownout2_pressure: 0.85,
+                exit_pressure: 0.0,
+                enter_after: 1,
+                exit_after: 1000, // sticky: no exits mid-test
+                ..AdmissionConfig::default()
+            },
+            background_upgrades: false,
+            ..ServeConfig::default()
+        });
+        // A running blocker plus five queued fillers walk the backlog
+        // fraction up to 0.625; the 0.5 observation enters Brownout-1.
+        let blocker = service
+            .submit(SLOW.parse::<JobSpec>().unwrap().seed(930), Priority::Normal, None)
+            .unwrap();
+        spin_until_running(&service, blocker.ticket);
+        let fillers: Vec<_> = (931..=935)
+            .map(|seed| {
+                service
+                    .submit(SLOW.parse::<JobSpec>().unwrap().seed(seed), Priority::Normal, None)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(service.stats().brownout, 1, "0.5 backlog enters brownout-1");
+
+        // Brownout-1 degrades only new low-priority work.
+        let low = service
+            .submit_with(
+                RSPEC.parse::<JobSpec>().unwrap().seed(936),
+                SubmitParams {
+                    priority: Priority::Low,
+                    allow_degraded: true,
+                    ..SubmitParams::default()
+                },
+            )
+            .unwrap();
+        let normal = service
+            .submit_with(RSPEC.parse::<JobSpec>().unwrap().seed(937), degraded_params())
+            .unwrap();
+        assert_eq!(service.stats().brownout, 1, "0.75 backlog stays below the b2 threshold");
+
+        // The next observation reads 0.875 and escalates to Brownout-2:
+        // now every consenting job degrades to its floor.
+        let b2 = service
+            .submit_with(RSPEC.parse::<JobSpec>().unwrap().seed(938), degraded_params())
+            .unwrap();
+        assert_eq!(service.stats().brownout, 2);
+
+        // The queue is now at capacity (8): a consenting job is still
+        // admitted (overflow region), a non-consenting one is shed.
+        let overflow = service
+            .submit_with(RSPEC.parse::<JobSpec>().unwrap().seed(939), degraded_params())
+            .unwrap();
+        assert!(matches!(overflow.disposition, Disposition::Enqueued { .. }));
+        assert!(matches!(
+            service
+                .submit(FAST.parse::<JobSpec>().unwrap().seed(940), Priority::Normal, None)
+                .unwrap_err(),
+            Rejected::QueueFull { .. }
+        ));
+
+        // Unblock the pool and check each job ran at its planned rung.
+        for filler in &fillers {
+            assert_eq!(service.cancel(filler.ticket), Some(CancelOutcome::Cancelled));
+        }
+        assert_eq!(service.cancel(blocker.ticket), Some(CancelOutcome::Signalled));
+        let fidelity_of = |ticket| {
+            match service.wait(ticket, Some(Duration::from_secs(60))).unwrap() {
+                JobOutcome::Completed { fidelity, error_bound, .. } => (fidelity, error_bound),
+                other => panic!("expected completion, got {other:?}"),
+            }
+        };
+        let (fid, err) = fidelity_of(low.ticket);
+        assert_eq!(fid, Fidelity::Calibrated, "brownout-1 degrades low priority to calibrated");
+        assert!(err > 0.0 && err < 0.5, "calibrated error bound is modest, got {err}");
+        let (fid, _) = fidelity_of(normal.ticket);
+        assert_eq!(fid, Fidelity::Reciprocal, "brownout-1 leaves normal priority alone");
+        assert_eq!(fidelity_of(b2.ticket).0, Fidelity::Hop, "brownout-2 degrades to the floor");
+        assert_eq!(fidelity_of(overflow.ticket).0, Fidelity::Hop);
+        assert_eq!(service.stats().degraded, 3);
+        service.shutdown();
+
+        let ring = ring.lock().unwrap();
+        let causes: Vec<String> = ring
+            .events()
+            .filter_map(|e| match e {
+                Event::JobDegraded { cause, .. } => Some(cause.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(causes, ["brownout1", "brownout2", "queue_full"]);
+        let enters = ring
+            .events()
+            .filter(|e| e.kind_name() == "brownout_enter")
+            .count();
+        assert_eq!(enters, 2);
+    }
+
+    #[test]
+    fn runtime_compaction_under_chaos_does_not_resurrect_settled_jobs() {
+        // Regression: jobs settled while size-triggered compactions
+        // fire (here after every record) must not be re-enqueued by the
+        // next life — the settle and the compaction snapshot race unless
+        // both happen under the state lock.
+        let dir = temp_state_dir("chaos-compact");
+        let journal_path = dir.join("journal.jsonl");
+        let compacting = |chaos: ChaosConfig| ServeConfig {
+            workers: 1,
+            journal: Some(journal_path.clone()),
+            journal_compact_bytes: 1,
+            fsync_every: 0,
+            strike_limit: 1,
+            chaos,
+            ..ServeConfig::default()
+        };
+
+        // Life A: three poison pills and one healthy job, all settled.
+        {
+            let (service, _ring) = service_with_ring(compacting(ChaosConfig {
+                panic_on_seeds: vec![801, 802, 803],
+                ..ChaosConfig::default()
+            }));
+            for seed in [801u64, 802, 803, 810] {
+                let receipt = service
+                    .submit(FAST.parse::<JobSpec>().unwrap().seed(seed), Priority::Normal, None)
+                    .unwrap();
+                let outcome = service.wait(receipt.ticket, Some(Duration::from_secs(60))).unwrap();
+                if seed == 810 {
+                    assert!(matches!(outcome, JobOutcome::Completed { .. }));
+                } else {
+                    assert!(matches!(outcome, JobOutcome::Poisoned { .. }));
+                }
+            }
+            let stats = service.stats();
+            assert!(stats.journal_compactions >= 1, "the tiny threshold must compact");
+            assert_eq!(stats.poisoned, 3);
+            service.shutdown();
+        }
+
+        // Life B: every job of life A was settled; nothing resumes.
+        let (service, _ring) = service_with_ring(compacting(ChaosConfig::default()));
+        let recovery = service.recovery();
+        assert_eq!(
+            recovery.resumed_jobs, 0,
+            "settled jobs must not resurrect after compaction: {recovery:?}"
+        );
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -37,6 +37,14 @@ pub struct SubmitItem {
     pub priority: Option<String>,
     /// Relative deadline in milliseconds, if any.
     pub deadline_ms: Option<u64>,
+    /// Client identity for per-client admission quotas, if any.
+    pub client: Option<String>,
+    /// Opt-in to brownout degradation: under overload the answer may
+    /// come from a cheaper fidelity rung instead of `queue_full`.
+    pub allow_degraded: bool,
+    /// Lowest acceptable fidelity rung (`hop`/`calibrated`/`reciprocal`)
+    /// when degradation is allowed; absent means any rung.
+    pub min_fidelity: Option<String>,
 }
 
 impl SubmitItem {
@@ -45,6 +53,9 @@ impl SubmitItem {
             spec: spec.into(),
             priority: None,
             deadline_ms: None,
+            client: None,
+            allow_degraded: false,
+            min_fidelity: None,
         }
     }
 
@@ -57,6 +68,24 @@ impl SubmitItem {
     #[must_use]
     pub fn deadline_ms(mut self, ms: u64) -> SubmitItem {
         self.deadline_ms = Some(ms);
+        self
+    }
+
+    #[must_use]
+    pub fn client(mut self, client: impl Into<String>) -> SubmitItem {
+        self.client = Some(client.into());
+        self
+    }
+
+    #[must_use]
+    pub fn allow_degraded(mut self, on: bool) -> SubmitItem {
+        self.allow_degraded = on;
+        self
+    }
+
+    #[must_use]
+    pub fn min_fidelity(mut self, fidelity: impl Into<String>) -> SubmitItem {
+        self.min_fidelity = Some(fidelity.into());
         self
     }
 }
@@ -214,6 +243,17 @@ fn push_item_fields(fields: &mut Vec<(&'static str, JsonField)>, item: &SubmitIt
     if let Some(ms) = item.deadline_ms {
         fields.push(("deadline_ms", JsonField::Int(ms)));
     }
+    // Overload-control vocabulary: encoded only when set, so requests
+    // from clients that never use it stay byte-identical to pre-v2.
+    if let Some(client) = &item.client {
+        fields.push(("client", JsonField::Str(client.clone())));
+    }
+    if item.allow_degraded {
+        fields.push(("allow_degraded", JsonField::Raw("true".to_owned())));
+    }
+    if let Some(fidelity) = &item.min_fidelity {
+        fields.push(("min_fidelity", JsonField::Str(fidelity.clone())));
+    }
 }
 
 fn render_tickets(tickets: &[u64]) -> String {
@@ -233,6 +273,12 @@ fn decode_item(json: &Json, verb: &str) -> Result<SubmitItem, WireError> {
             .and_then(Json::as_str)
             .map(str::to_owned),
         deadline_ms: json.get("deadline_ms").and_then(Json::as_u64),
+        client: json.get("client").and_then(Json::as_str).map(str::to_owned),
+        allow_degraded: json.get("allow_degraded").and_then(Json::as_bool) == Some(true),
+        min_fidelity: json
+            .get("min_fidelity")
+            .and_then(Json::as_str)
+            .map(str::to_owned),
     })
 }
 
@@ -420,6 +466,12 @@ pub struct ResultBody {
     pub latency_mean: f64,
     pub latency_count: u64,
     pub calibrations: u64,
+    /// Fidelity rung this answer was produced at (`reciprocal`,
+    /// `calibrated`, or `hop`). Absent on pre-overload-control wires.
+    pub fidelity: Option<String>,
+    /// Estimated relative error bound for the rung; absent when the
+    /// peer predates fidelity tagging.
+    pub error_bound: Option<f64>,
 }
 
 /// A terminal (or in-flight, for `status`-style waits) `result` reply.
@@ -621,13 +673,20 @@ fn decode_body(json: &Json) -> Option<ResultBody> {
         latency_mean: json.get("latency_mean").and_then(Json::as_f64)?,
         latency_count: json.get("latency_count").and_then(Json::as_u64)?,
         calibrations: json.get("calibrations").and_then(Json::as_u64)?,
+        fidelity: json
+            .get("fidelity")
+            .and_then(Json::as_str)
+            .map(str::to_owned),
+        error_bound: json.get("error_bound").and_then(Json::as_f64),
     })
 }
 
 impl ResultBody {
-    /// The `result` sub-object, field order identical to the pre-v2 wire.
+    /// The `result` sub-object, field order identical to the pre-v2 wire;
+    /// the fidelity pair is appended at the end, and only when present,
+    /// so untagged bodies re-encode byte-identically.
     pub fn encode_json(&self) -> String {
-        json_object(&[
+        let mut fields = vec![
             ("workload", JsonField::Str(self.workload.clone())),
             ("mode", JsonField::Str(self.mode.clone())),
             ("cycles", JsonField::Int(self.cycles)),
@@ -636,7 +695,14 @@ impl ResultBody {
             ("latency_mean", JsonField::Num(self.latency_mean)),
             ("latency_count", JsonField::Int(self.latency_count)),
             ("calibrations", JsonField::Int(self.calibrations)),
-        ])
+        ];
+        if let Some(fidelity) = &self.fidelity {
+            fields.push(("fidelity", JsonField::Str(fidelity.clone())));
+        }
+        if let Some(bound) = self.error_bound {
+            fields.push(("error_bound", JsonField::Num(bound)));
+        }
+        json_object(&fields)
     }
 }
 
@@ -647,18 +713,21 @@ mod tests {
     #[test]
     fn requests_round_trip_through_their_json_form() {
         let requests = [
-            Request::Submit(SubmitItem {
-                spec: "target=2x2 app=water".to_owned(),
-                priority: Some("high".to_owned()),
-                deadline_ms: Some(500),
-            }),
+            Request::Submit(
+                SubmitItem::new("target=2x2 app=water")
+                    .priority("high")
+                    .deadline_ms(500),
+            ),
+            Request::Submit(
+                SubmitItem::new("target=2x2 app=water")
+                    .client("loadgen-3")
+                    .allow_degraded(true)
+                    .min_fidelity("calibrated"),
+            ),
             Request::SubmitBatch(vec![
                 SubmitItem::new("target=2x2 app=water"),
-                SubmitItem {
-                    spec: "target=4x4 app=fft".to_owned(),
-                    priority: Some("low".to_owned()),
-                    deadline_ms: None,
-                },
+                SubmitItem::new("target=4x4 app=fft").priority("low"),
+                SubmitItem::new("target=4x4 app=fft").allow_degraded(true),
             ]),
             Request::Status { ticket: 7 },
             Request::StatusBatch {
@@ -726,6 +795,7 @@ mod tests {
             r#"{"ok":true,"cancel":"signalled"}"#,
             r#"{"ok":true,"outcome":"failed","detail":"spec: boom"}"#,
             r#"{"ok":true,"outcome":"completed","queue_ns":12,"run_ns":34,"result":{"workload":"water","mode":"reciprocal","cycles":100000,"messages":512,"ipc":0.875,"latency_mean":14.25,"latency_count":512,"calibrations":4}}"#,
+            r#"{"ok":true,"outcome":"completed","queue_ns":12,"run_ns":34,"result":{"workload":"water","mode":"reciprocal","cycles":100000,"messages":512,"ipc":0.875,"latency_mean":14.25,"latency_count":512,"calibrations":4,"fidelity":"calibrated","error_bound":0.15}}"#,
         ];
         for line in lines {
             let json = Json::parse(line).unwrap();

@@ -57,11 +57,29 @@
 //! Transient [`SimError::Fault`] outcomes are retried up to
 //! [`ServeConfig::retry_budget`] times with exponential backoff.
 //!
+//! # Overload control
+//!
+//! An [`AdmissionController`] watches queue depth and queue delay on
+//! every submission and steps a brownout ladder with hysteresis
+//! ([`BrownoutLevel`]). Clients that opt in
+//! ([`SubmitParams::allow_degraded`]) may have their reciprocal-mode
+//! jobs answered from a cheaper rung of the [`Fidelity`] ladder instead
+//! of being rejected: Brownout-1 degrades new low-priority jobs to the
+//! calibrated model, Brownout-2 degrades every job whose floor allows
+//! it, and a full queue admits degradable jobs at their floor into an
+//! overflow region (up to 4x capacity) rather than bouncing them with
+//! `queue_full`. Per-client token buckets bound each client's fresh-run
+//! rate the same way. Every degraded answer journals an *upgrade
+//! intent*: when the queue is empty and the brownout has cleared, idle
+//! workers re-run the spec at full fidelity and replace the store entry
+//! in place (upgrade-only), emitting [`Event::ResultUpgraded`].
+//!
 //! [`RunSpec::cancel_flag`]: ra_cosim::RunSpec::cancel_flag
 //! [`Event::JobRejected`]: ra_obs::Event::JobRejected
+//! [`Event::ResultUpgraded`]: ra_obs::Event::ResultUpgraded
 
 use std::any::Any;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
 use std::str::FromStr;
@@ -70,13 +88,22 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ra_cosim::RunResult;
+use ra_cosim::{ModeSpec, RunResult};
 use ra_obs::{Event, ObsSink};
 use ra_sim::SimError;
 
-use crate::journal::{self, Journal, RecoveryReport, UnfinishedJob};
-use crate::spec::{JobKey, JobSpec};
-use crate::store::{ResultStore, StoreStats};
+use crate::admission::{AdmissionConfig, AdmissionController, BrownoutLevel, Ewma, TokenBucket};
+use crate::journal::{self, Journal, RecoveryReport, UnfinishedJob, UpgradeIntent};
+use crate::spec::{Fidelity, JobKey, JobSpec};
+use crate::store::{ResultStore, StoreStats, StoredResult};
+
+/// Error bound reported for a pure hop-model answer: the paper's A1
+/// configuration sees up to ~69% latency error from the hop model alone.
+pub(crate) const HOP_ERROR_BOUND: f64 = 0.69;
+
+/// Smallest error bound a calibrated-only answer will claim, even when
+/// the observed drift EWMA says the models currently agree closely.
+const CALIBRATED_ERROR_FLOOR: f64 = 0.15;
 
 /// Scheduling priority. Higher priorities always dequeue first; within a
 /// priority the queue is FIFO.
@@ -200,6 +227,10 @@ pub enum JobOutcome {
         result: Arc<RunResult>,
         /// True when served from the memo store without simulating.
         cached: bool,
+        /// Which rung of the fidelity ladder produced the answer.
+        fidelity: Fidelity,
+        /// Estimated relative error of the answer for that rung.
+        error_bound: f64,
         /// Nanoseconds spent queued before the run started.
         queue_ns: u64,
         /// Nanoseconds spent simulating.
@@ -322,6 +353,41 @@ impl ChaosConfig {
     }
 }
 
+/// Per-submission knobs beyond the spec itself. The 3-argument
+/// [`JobService::submit`] fills the degradation fields with their
+/// defaults (no client id, degradation not allowed), which is exactly
+/// the pre-overload-control behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitParams {
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Whole-life deadline (queue wait + run).
+    pub deadline: Option<Duration>,
+    /// Client identity for per-client quota buckets (`None` = anonymous,
+    /// never quota-limited).
+    pub client: Option<String>,
+    /// Whether the service may answer from a cheaper fidelity rung
+    /// under overload instead of rejecting.
+    pub allow_degraded: bool,
+    /// The cheapest rung the client will accept when degraded
+    /// (`None` = [`Fidelity::Hop`], i.e. anything). Ignored unless
+    /// `allow_degraded`.
+    pub min_fidelity: Option<Fidelity>,
+}
+
+impl SubmitParams {
+    /// The cheapest fidelity this submission will accept: `Reciprocal`
+    /// unless degradation is allowed (and the spec's mode has cheaper
+    /// rungs at all).
+    fn floor(&self, spec: &JobSpec) -> Fidelity {
+        if self.allow_degraded && Fidelity::degradable(&spec.mode) {
+            self.min_fidelity.unwrap_or(Fidelity::Hop)
+        } else {
+            Fidelity::Reciprocal
+        }
+    }
+}
+
 /// Tuning knobs for [`JobService::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -357,6 +423,19 @@ pub struct ServeConfig {
     pub strike_limit: u32,
     /// Deterministic failure injection (quiet by default).
     pub chaos: ChaosConfig,
+    /// Brownout-controller thresholds and hysteresis.
+    pub admission: AdmissionConfig,
+    /// Per-client fresh-run quota: sustained admissions per second
+    /// (0 = unlimited, the default). Applies only to submissions that
+    /// carry a [`SubmitParams::client`] id.
+    pub quota_rate: f64,
+    /// Per-client quota burst (token-bucket capacity). Ignored when
+    /// `quota_rate` is 0.
+    pub quota_burst: f64,
+    /// Whether idle workers drain journaled upgrade intents, re-running
+    /// degraded answers at full fidelity (on by default; the
+    /// determinism drills turn it off to pin per-tier results).
+    pub background_upgrades: bool,
 }
 
 impl Default for ServeConfig {
@@ -374,6 +453,10 @@ impl Default for ServeConfig {
             retry_backoff: Duration::from_millis(10),
             strike_limit: 2,
             chaos: ChaosConfig::default(),
+            admission: AdmissionConfig::default(),
+            quota_rate: 0.0,
+            quota_burst: 8.0,
+            background_upgrades: true,
         }
     }
 }
@@ -417,6 +500,18 @@ pub struct ServiceStats {
     pub spec_commits: u64,
     /// Speculative quanta rolled back across all completed pipelined runs.
     pub spec_rollbacks: u64,
+    /// Submissions shed by overload control (quota or full queue with no
+    /// degradation headroom). Every shed also counts in `rejected`.
+    pub shed: u64,
+    /// Runs published below full fidelity.
+    pub degraded: u64,
+    /// Degraded answers re-run at full fidelity by the background
+    /// upgrader.
+    pub upgraded: u64,
+    /// Upgrade intents waiting for an idle worker.
+    pub upgrades_pending: u64,
+    /// Current brownout level (0 = normal, 1, 2).
+    pub brownout: u64,
     /// Jobs queued right now.
     pub queue_depth: usize,
     /// Result-store counters.
@@ -466,6 +561,14 @@ struct JobCell {
     not_before: Option<Instant>,
     /// The reaper already raised the cancel flag for its deadline.
     deadline_fired: bool,
+    /// Fidelity rung the next run will execute at (brownout planning).
+    planned: Fidelity,
+    /// Cheapest rung any attached submission will accept: the max of
+    /// every waiter's floor. A publish below this re-enqueues the job.
+    floor: Fidelity,
+    /// A background upgrade re-run (interest starts at 0, results
+    /// publish through the store's upgrade-only rule).
+    is_upgrade: bool,
 }
 
 /// Max-heap slot: higher priority first, then FIFO by sequence number.
@@ -506,6 +609,17 @@ struct State {
     queued: usize,
     shutting_down: bool,
     stats: ServiceStats,
+    /// The brownout controller (pressure EWMA + hysteresis).
+    admission: AdmissionController,
+    /// Per-client fresh-run token buckets.
+    quotas: HashMap<String, TokenBucket>,
+    /// Upgrade intents awaiting an idle worker, FIFO.
+    upgrades: VecDeque<UpgradeIntent>,
+    /// Keys currently in `upgrades` (dedup on repeated degraded runs).
+    upgrade_keys: HashSet<u64>,
+    /// EWMA of the relative coupler drift observed on full-fidelity
+    /// runs, feeding the calibrated tier's error-bound estimate.
+    drift: Ewma,
 }
 
 struct Inner {
@@ -521,6 +635,8 @@ struct Inner {
     journal: Option<Journal>,
     config: ServeConfig,
     recovery: RecoveryInfo,
+    /// Epoch for the token buckets' injected clock.
+    started: Instant,
 }
 
 /// A multi-worker simulation-job service: canonical [`JobSpec`]s in,
@@ -565,6 +681,7 @@ impl JobService {
         }
         let mut journal = None;
         let mut resumed: Vec<UnfinishedJob> = Vec::new();
+        let mut owed_upgrades: Vec<UpgradeIntent> = Vec::new();
         if let Some(path) = &config.journal {
             let replayed = journal::replay(path)?;
             recovery.journal_records = replayed.report.recovered_records;
@@ -576,7 +693,15 @@ impl JobService {
                 .into_iter()
                 .filter(|u| !store.contains(u.key))
                 .collect();
-            journal::compact(path, &resumed)?;
+            // An upgrade intent whose store entry is already full
+            // fidelity (or gone — nothing to upgrade) only lost its
+            // `upgraded` record; the debt is paid.
+            owed_upgrades = replayed
+                .pending_upgrades
+                .into_iter()
+                .filter(|u| store.fidelity_of(u.key).is_some_and(|f| f < Fidelity::Reciprocal))
+                .collect();
+            journal::compact(path, &resumed, &owed_upgrades)?;
             journal = Some(Journal::open(path, config.fsync_every)?);
         }
         // Re-parse resumed specs; a spec this build can no longer parse
@@ -600,9 +725,16 @@ impl JobService {
             journal,
             config: config.clone(),
             recovery,
+            started: Instant::now(),
         });
         {
             let mut st = lock_state(&inner);
+            st.admission = AdmissionController::new(config.admission.clone());
+            for intent in owed_upgrades {
+                st.upgrade_keys.insert(intent.key.0);
+                st.upgrades.push_back(intent);
+            }
+            st.stats.upgrades_pending = st.upgrades.len() as u64;
             let now = Instant::now();
             for (spec, priority) in seeds {
                 let key = spec.job_hash();
@@ -626,6 +758,13 @@ impl JobService {
                         strikes: 0,
                         not_before: None,
                         deadline_fired: false,
+                        // Resumed jobs re-run at full fidelity: the
+                        // original submitter's degradation consent did
+                        // not survive the restart, so the safe floor is
+                        // the spec's own mode.
+                        planned: Fidelity::Reciprocal,
+                        floor: Fidelity::Reciprocal,
+                        is_upgrade: false,
                     },
                 );
                 st.inflight.insert(key.0, job);
@@ -671,6 +810,10 @@ impl JobService {
     /// running; still *running* when it elapses → cooperatively
     /// cancelled and [`JobOutcome::DeadlineExceeded`].
     ///
+    /// Degradation is off for this entry point; see
+    /// [`submit_with`](JobService::submit_with) for the overload-aware
+    /// vocabulary.
+    ///
     /// # Errors
     ///
     /// [`Rejected::QueueFull`] when the admission queue is at capacity
@@ -682,49 +825,118 @@ impl JobService {
         priority: Priority,
         deadline: Option<Duration>,
     ) -> Result<SubmitReceipt, Rejected> {
+        self.submit_with(
+            spec,
+            SubmitParams {
+                priority,
+                deadline,
+                ..SubmitParams::default()
+            },
+        )
+    }
+
+    /// Submits a job with the full overload-control vocabulary: client
+    /// identity for quota buckets, and degradation consent
+    /// (`allow_degraded` + `min_fidelity`). A consenting submission is
+    /// never bounced with `queue_full`: under brownout or a full queue
+    /// it is planned at a cheaper fidelity rung instead (down to its
+    /// floor), and the degraded answer is journaled for a background
+    /// full-fidelity upgrade.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](JobService::submit); additionally, a submission
+    /// over its client quota that cannot degrade is shed with
+    /// [`Rejected::QueueFull`].
+    pub fn submit_with(
+        &self,
+        spec: JobSpec,
+        params: SubmitParams,
+    ) -> Result<SubmitReceipt, Rejected> {
         let key = spec.job_hash();
         let now = Instant::now();
+        let priority = params.priority;
+        let floor = params.floor(&spec);
+        let degradable = params.allow_degraded && Fidelity::degradable(&spec.mode);
         let mut st = self.lock();
         if st.shutting_down {
             return Err(Rejected::ShuttingDown);
         }
         st.stats.submitted += 1;
 
-        // Tier 1: the memo store. (Lock order is always state -> store.)
-        if let Some(result) = self.inner.store.get(key) {
-            st.stats.cache_hits += 1;
-            let ticket = new_cell(
-                &mut st,
-                spec,
-                key,
-                None,
-                now,
-                priority,
-                Phase::Done(JobOutcome::Completed {
-                    result,
-                    cached: true,
-                    queue_ns: 0,
-                    run_ns: 0,
-                }),
-            );
-            drop(st);
-            self.inner.obs.emit(|| Event::CacheHit { job: key.0 });
-            // The outcome is already terminal; let sleeping waiters of
-            // other tickets coexist — only this ticket's waiter matters,
-            // and it will observe Done immediately.
-            return Ok(SubmitReceipt {
-                ticket,
-                job: key,
-                disposition: Disposition::CacheHit,
+        // Feed the brownout controller one pressure observation per
+        // submission; its level decides the fidelity planning below.
+        let capacity = self.inner.config.queue_capacity;
+        let queued_now = st.queued;
+        let level_change = st.admission.update(queued_now, capacity);
+        if let Some(change) = level_change {
+            st.stats.brownout = u64::from(change.to.level());
+            self.inner.obs.emit(|| {
+                if change.to.level() > change.from.level() {
+                    Event::BrownoutEnter {
+                        level: u64::from(change.to.level()),
+                        pressure: change.pressure,
+                    }
+                } else {
+                    Event::BrownoutExit {
+                        level: u64::from(change.to.level()),
+                        pressure: change.pressure,
+                    }
+                }
             });
         }
 
-        // Tier 2: single-flight — attach to an identical in-flight job.
+        // Tier 1: the memo store — a hit must meet the caller's floor.
+        // (Lock order is always state -> store.)
+        if let Some(stored) = self.inner.store.get(key) {
+            if stored.fidelity >= floor {
+                st.stats.cache_hits += 1;
+                let ticket = new_cell(
+                    &mut st,
+                    spec,
+                    key,
+                    None,
+                    now,
+                    priority,
+                    Phase::Done(JobOutcome::Completed {
+                        result: stored.result,
+                        cached: true,
+                        fidelity: stored.fidelity,
+                        error_bound: stored.error_bound,
+                        queue_ns: 0,
+                        run_ns: 0,
+                    }),
+                    floor,
+                );
+                drop(st);
+                self.inner.obs.emit(|| Event::CacheHit { job: key.0 });
+                // The outcome is already terminal; let sleeping waiters of
+                // other tickets coexist — only this ticket's waiter matters,
+                // and it will observe Done immediately.
+                return Ok(SubmitReceipt {
+                    ticket,
+                    job: key,
+                    disposition: Disposition::CacheHit,
+                });
+            }
+            // A cached answer below the floor is a miss for this caller;
+            // fall through to coalesce/admit a better run.
+        }
+
+        // Tier 2: single-flight — attach to an identical in-flight job,
+        // raising its floor (and, while still queued, its plan) to ours.
         if let Some(&job) = st.inflight.get(&key.0) {
             let ticket = st.next_id;
             st.next_id += 1;
             st.tickets.insert(ticket, job);
-            st.cells.get_mut(&job).expect("inflight cell").interest += 1;
+            let cell = st.cells.get_mut(&job).expect("inflight cell");
+            cell.interest += 1;
+            if floor > cell.floor {
+                cell.floor = floor;
+            }
+            if cell.planned < cell.floor && matches!(cell.phase, Phase::Queued) {
+                cell.planned = cell.floor;
+            }
             st.stats.coalesced += 1;
             drop(st);
             self.inner.obs.emit(|| Event::CacheHit { job: key.0 });
@@ -735,29 +947,99 @@ impl JobService {
             });
         }
 
-        // Tier 3: a fresh run — subject to bounded admission.
-        if st.queued >= self.inner.config.queue_capacity {
-            let depth = st.queued;
-            st.stats.rejected += 1;
-            drop(st);
-            self.inner.obs.emit(|| Event::JobRejected {
-                job: key.0,
-                queue_depth: depth as u64,
-            });
-            return Err(Rejected::QueueFull { depth });
+        // Per-client quota: a fresh run costs one token. Over-quota
+        // submissions degrade to their floor when allowed, else shed.
+        let mut planned = Fidelity::Reciprocal;
+        let mut degrade_cause: Option<&'static str> = None;
+        if self.inner.config.quota_rate > 0.0 {
+            if let Some(client) = &params.client {
+                let now_ns = elapsed_ns(self.inner.started, now);
+                let rate = self.inner.config.quota_rate;
+                let burst = self.inner.config.quota_burst;
+                let bucket = st
+                    .quotas
+                    .entry(client.clone())
+                    .or_insert_with(|| TokenBucket::new(burst, rate));
+                if !bucket.try_take(now_ns, 1.0) {
+                    if degradable {
+                        planned = floor;
+                        degrade_cause = Some("quota");
+                    } else {
+                        let depth = st.queued;
+                        st.stats.rejected += 1;
+                        st.stats.shed += 1;
+                        drop(st);
+                        self.inner.obs.emit(|| Event::JobShed {
+                            job: key.0,
+                            client: client.clone(),
+                            queue_depth: depth as u64,
+                        });
+                        return Err(Rejected::QueueFull { depth });
+                    }
+                }
+            }
+        }
+
+        // Brownout planning: level 1 degrades new low-priority work to
+        // the calibrated model, level 2 degrades everything consenting
+        // down to its floor.
+        if degradable && degrade_cause.is_none() {
+            match st.admission.level() {
+                BrownoutLevel::Normal => {}
+                BrownoutLevel::Brownout1 if priority == Priority::Low => {
+                    planned = Fidelity::Calibrated.max(floor);
+                    degrade_cause = Some("brownout1");
+                }
+                BrownoutLevel::Brownout1 => {}
+                BrownoutLevel::Brownout2 => {
+                    planned = floor;
+                    degrade_cause = Some("brownout2");
+                }
+            }
+        }
+
+        // Tier 3: a fresh run — subject to bounded admission. Degradable
+        // jobs that collide with a full queue are not bounced: they are
+        // forced to their floor and admitted into an overflow region
+        // (4x capacity), because a floor-fidelity run costs milliseconds.
+        if st.queued >= capacity {
+            if degradable && st.queued < capacity.saturating_mul(4) {
+                planned = floor;
+                degrade_cause = Some("queue_full");
+            } else {
+                let depth = st.queued;
+                st.stats.rejected += 1;
+                st.stats.shed += 1;
+                let client = params.client.clone().unwrap_or_default();
+                drop(st);
+                self.inner.obs.emit(|| Event::JobRejected {
+                    job: key.0,
+                    queue_depth: depth as u64,
+                });
+                self.inner.obs.emit(|| Event::JobShed {
+                    job: key.0,
+                    client,
+                    queue_depth: depth as u64,
+                });
+                return Err(Rejected::QueueFull { depth });
+            }
         }
         let canonical = spec.canonical();
-        let has_deadline = deadline.is_some();
+        let has_deadline = params.deadline.is_some();
         let ticket = new_cell(
             &mut st,
             spec,
             key,
-            deadline.map(|d| now + d),
+            params.deadline.map(|d| now + d),
             now,
             priority,
             Phase::Queued,
+            floor,
         );
         let job = st.tickets[&ticket];
+        if let Some(cell) = st.cells.get_mut(&job) {
+            cell.planned = planned.max(floor);
+        }
         st.inflight.insert(key.0, job);
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -774,6 +1056,14 @@ impl JobService {
         self.inner.work_cv.notify_one();
         if has_deadline {
             self.inner.reaper_cv.notify_all();
+        }
+        if let Some(cause) = degrade_cause {
+            let fidelity = planned.name().to_owned();
+            self.inner.obs.emit(|| Event::JobDegraded {
+                job: key.0,
+                fidelity,
+                cause: cause.to_owned(),
+            });
         }
         self.inner.obs.emit(|| Event::JobAdmitted {
             job: key.0,
@@ -890,6 +1180,8 @@ impl JobService {
             let st = self.lock();
             let mut stats = st.stats;
             stats.queue_depth = st.queued;
+            stats.upgrades_pending = st.upgrades.len() as u64;
+            stats.brownout = u64::from(st.admission.level().level());
             stats
         };
         stats.store = self.inner.store.stats();
@@ -1019,6 +1311,7 @@ fn maybe_compact_journal(inner: &Inner, st: &mut State) {
     let mut live: Vec<(JobId, UnfinishedJob)> = st
         .inflight
         .values()
+        .filter(|&&job| st.cells.get(&job).is_none_or(|cell| !cell.is_upgrade))
         .filter_map(|&job| {
             st.cells.get(&job).map(|cell| {
                 (
@@ -1035,7 +1328,19 @@ fn maybe_compact_journal(inner: &Inner, st: &mut State) {
     // Admission order: job ids are allocated monotonically.
     live.sort_by_key(|&(job, _)| job);
     let unfinished: Vec<UnfinishedJob> = live.into_iter().map(|(_, job)| job).collect();
-    if journal.compact_live(&unfinished).is_ok() {
+    // Outstanding upgrade debt survives compaction: the queued intents
+    // plus any upgrade cell currently running (its `upgraded` record
+    // hasn't landed yet).
+    let mut upgrades: Vec<UpgradeIntent> = st.upgrades.iter().cloned().collect();
+    for cell in st.cells.values() {
+        if cell.is_upgrade && !matches!(cell.phase, Phase::Done(_)) {
+            upgrades.push(UpgradeIntent {
+                key: cell.key,
+                spec: cell.spec.canonical(),
+            });
+        }
+    }
+    if journal.compact_live(&unfinished, &upgrades).is_ok() {
         st.stats.journal_compactions += 1;
     }
 }
@@ -1050,6 +1355,7 @@ fn new_cell(
     submitted: Instant,
     priority: Priority,
     phase: Phase,
+    floor: Fidelity,
 ) -> Ticket {
     let job = st.next_id;
     let ticket = st.next_id + 1;
@@ -1069,6 +1375,9 @@ fn new_cell(
             strikes: 0,
             not_before: None,
             deadline_fired: false,
+            planned: Fidelity::Reciprocal,
+            floor,
+            is_upgrade: false,
         },
     );
     st.tickets.insert(ticket, job);
@@ -1163,9 +1472,18 @@ fn recover_from_panic(inner: &Inner, worker_id: usize, incarnation: u64, detail:
             }
         }
     }
+    // Settle *before* releasing the state lock: the journal append must
+    // be ordered against any concurrent compaction snapshot (which runs
+    // under this lock). Settling after `drop(st)` let a compaction
+    // rewrite the file from a snapshot that no longer listed this job
+    // and then have the straggling settle record appended for a key the
+    // compacted journal never admitted — replay then refused the frame.
+    if let Some((key, _, _)) = quarantined {
+        journal_settle(inner, key, "poisoned");
+        maybe_compact_journal(inner, &mut st);
+    }
     drop(st);
     if let Some((key, strikes, queue_ns)) = quarantined {
-        journal_settle(inner, key, "poisoned");
         inner.obs.emit(|| Event::JobQuarantined {
             job: key.0,
             strikes,
@@ -1186,7 +1504,7 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
         // Phase 1: pop the next runnable job — skipping tombstones,
         // expiring the dead, and deferring backoff-gated retries.
         let mut st = lock_state(inner);
-        let (job, key, spec, cancel, queue_ns, attempts) = 'pick: loop {
+        let (job, key, spec, cancel, queue_ns, attempts, planned, is_upgrade) = 'pick: loop {
             let now = Instant::now();
             let mut deferred: Vec<QueueSlot> = Vec::new();
             let mut next_wake: Option<Instant> = None;
@@ -1236,6 +1554,8 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
                     cell.cancel.clone(),
                     elapsed_ns(cell.submitted, now),
                     cell.attempts,
+                    cell.planned,
+                    cell.is_upgrade,
                 ));
             };
             for slot in deferred {
@@ -1244,12 +1564,129 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
             if let Some(out) = picked {
                 st.queued -= 1;
                 st.running.insert(worker_id, out.0);
+                // Feed the measured queue delay to the brownout
+                // controller — the saturation signal a depth snapshot
+                // alone misses.
+                st.admission.observe_queue_delay(Duration::from_nanos(out.4));
                 break 'pick out;
             }
             if st.shutting_down && st.queue.is_empty() {
                 return;
             }
-            st = match next_wake {
+            // The controller's observations normally arrive with
+            // submissions; when a storm ends and traffic stops, the
+            // ladder would wedge at its last level (and the upgrade
+            // drain below, gated on Normal, would never run). Idle
+            // workers with an empty queue feed zero-delay observations
+            // so the pressure EWMA decays and the ladder steps down.
+            if st.queued == 0 && st.admission.level() != BrownoutLevel::Normal {
+                st.admission.observe_queue_delay(Duration::ZERO);
+                if let Some(change) = st.admission.update(0, inner.config.queue_capacity) {
+                    st.stats.brownout = u64::from(change.to.level());
+                    inner.obs.emit(|| {
+                        if change.to.level() > change.from.level() {
+                            Event::BrownoutEnter {
+                                level: u64::from(change.to.level()),
+                                pressure: change.pressure,
+                            }
+                        } else {
+                            Event::BrownoutExit {
+                                level: u64::from(change.to.level()),
+                                pressure: change.pressure,
+                            }
+                        }
+                    });
+                }
+            }
+            // Idle-priority upgrade drain: only with an empty queue, no
+            // backoff-gated retry pending, and the brownout fully
+            // cleared does a worker spend cycles re-earning fidelity.
+            if inner.config.background_upgrades
+                && st.queued == 0
+                && next_wake.is_none()
+                && st.admission.level() == BrownoutLevel::Normal
+            {
+                if let Some(intent) = st.upgrades.pop_front() {
+                    st.upgrade_keys.remove(&intent.key.0);
+                    if st.inflight.contains_key(&intent.key.0) {
+                        // The in-flight run for this key either lands at
+                        // full fidelity or re-journals the debt; retry
+                        // the intent later (fall through to the wait).
+                        st.upgrade_keys.insert(intent.key.0);
+                        st.upgrades.push_back(intent);
+                    } else if inner
+                        .store
+                        .fidelity_of(intent.key)
+                        .is_none_or(|f| f >= Fidelity::Reciprocal)
+                    {
+                        // Already full fidelity, or evicted: moot.
+                        if let Some(journal) = &inner.journal {
+                            journal.upgraded(intent.key);
+                        }
+                        continue 'pick;
+                    } else {
+                        match intent.spec.parse::<JobSpec>() {
+                            Err(_) => {
+                                // A stale or foreign spec can never run;
+                                // write the debt off rather than wedge.
+                                if let Some(journal) = &inner.journal {
+                                    journal.upgraded(intent.key);
+                                }
+                                continue 'pick;
+                            }
+                            Ok(spec) => {
+                                let job = st.next_id;
+                                st.next_id += 1;
+                                let cancel = Arc::new(AtomicBool::new(false));
+                                st.cells.insert(
+                                    job,
+                                    JobCell {
+                                        spec: spec.clone(),
+                                        key: intent.key,
+                                        deadline: None,
+                                        submitted: now,
+                                        cancel: cancel.clone(),
+                                        phase: Phase::Running,
+                                        interest: 0,
+                                        priority: Priority::Low,
+                                        attempts: 1,
+                                        strikes: 0,
+                                        not_before: None,
+                                        deadline_fired: false,
+                                        planned: Fidelity::Reciprocal,
+                                        floor: Fidelity::Hop,
+                                        is_upgrade: true,
+                                    },
+                                );
+                                st.inflight.insert(intent.key.0, job);
+                                st.running.insert(worker_id, job);
+                                break 'pick (
+                                    job,
+                                    intent.key,
+                                    spec,
+                                    cancel,
+                                    0,
+                                    1,
+                                    Fidelity::Reciprocal,
+                                    true,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            // While the post-storm ladder is still stepping down, poll
+            // on a short tick so the decay observations above keep
+            // flowing; once the ladder is clear (or load returns) the
+            // workers park on the condvar as usual.
+            let decay_tick = (st.queued == 0
+                && st.admission.level() != BrownoutLevel::Normal)
+                .then(|| Instant::now() + Duration::from_millis(25));
+            let wake = match (next_wake, decay_tick) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            st = match wake {
                 Some(at) => {
                     let wait = at
                         .saturating_duration_since(Instant::now())
@@ -1280,36 +1717,101 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
                 detail: format!("injected transient fault (attempt {attempts})"),
             })
         } else {
-            spec.to_run_spec()
-                .cancel_flag(cancel.clone())
+            // The planned rung decides how much machinery runs: `hop`
+            // swaps the mode for the analytic model, `calibrated`
+            // serves from the calibrated replay path, `reciprocal` is
+            // the full co-simulation. The cache key stays the
+            // original spec's in every case — that shared slot is
+            // what lets a later upgrade replace the answer in place.
+            let exec_spec;
+            let exec = match planned {
+                Fidelity::Hop => {
+                    let mut s = spec.clone();
+                    s.mode = ModeSpec::Hop;
+                    exec_spec = s;
+                    exec_spec.to_run_spec()
+                }
+                Fidelity::Calibrated => spec.to_run_spec().calibrated_only(true),
+                Fidelity::Reciprocal => spec.to_run_spec(),
+            };
+            exec.cancel_flag(cancel.clone())
                 .recorder(inner.obs.clone())
                 .run()
         };
         let run_ns = elapsed_ns(started, Instant::now());
 
-        // Phase 3: publish the outcome — or schedule a retry.
-        let stored = match run {
-            Ok(result) => {
-                let result = Arc::new(result);
-                inner.store.insert(key, &spec.canonical(), result.clone());
-                Ok(result)
-            }
-            Err(err) => Err(err),
-        };
+        // Phase 3: publish the outcome — or schedule a retry. The store
+        // insert happens under the state lock (lock order is state →
+        // store) because the calibrated-tier error bound reads the
+        // drift EWMA that full-fidelity runs feed.
         let mut st = lock_state(inner);
         st.running.remove(&worker_id);
         let now = Instant::now();
         enum Next {
             Publish(JobOutcome),
             Retry(Instant, Priority),
+            Requeue(Fidelity),
         }
-        let next = match stored {
-            Ok(result) => Next::Publish(JobOutcome::Completed {
-                result,
-                cached: false,
-                queue_ns,
-                run_ns,
-            }),
+        let mut prev_fidelity: Option<Fidelity> = None;
+        let next = match run {
+            Ok(result) => {
+                let result = Arc::new(result);
+                let error_bound = match planned {
+                    Fidelity::Reciprocal => {
+                        // Relative drift: mean coupler correction over
+                        // mean observed latency. Full runs calibrate
+                        // the bound the cheaper rungs will report.
+                        let rel = result.coupler.as_ref().map_or(0.0, |c| {
+                            let lat = result.latency.mean();
+                            if lat > 0.0 {
+                                (c.drift.mean() / lat).abs().min(1.0)
+                            } else {
+                                0.0
+                            }
+                        });
+                        if rel.is_finite() && rel > 0.0 {
+                            st.drift.observe(rel);
+                        }
+                        rel
+                    }
+                    Fidelity::Calibrated => {
+                        if st.drift.primed() {
+                            (2.0 * st.drift.value()).max(CALIBRATED_ERROR_FLOOR)
+                        } else {
+                            CALIBRATED_ERROR_FLOOR
+                        }
+                    }
+                    Fidelity::Hop => HOP_ERROR_BOUND,
+                };
+                if is_upgrade {
+                    prev_fidelity = inner.store.fidelity_of(key);
+                }
+                inner.store.insert(
+                    key,
+                    &spec.canonical(),
+                    StoredResult {
+                        result: result.clone(),
+                        fidelity: planned,
+                        error_bound,
+                    },
+                );
+                // A waiter that coalesced mid-run may demand more
+                // fidelity than this run delivered; go around again at
+                // the raised floor instead of settling short.
+                let floor = st.cells.get(&job).map_or(Fidelity::Hop, |c| c.floor);
+                if !is_upgrade && planned < floor {
+                    Next::Requeue(floor)
+                } else {
+                    Next::Publish(JobOutcome::Completed {
+                        result,
+                        cached: false,
+                        fidelity: planned,
+                        error_bound,
+                        queue_ns,
+                        run_ns,
+                    })
+                }
+            }
             Err(err) => match st.cells.get_mut(&job) {
                 None => Next::Publish(JobOutcome::Failed {
                     error: err.to_string(),
@@ -1357,13 +1859,32 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
                 // waiter re-arms the backoff wake-up.
                 inner.work_cv.notify_all();
             }
+            Next::Requeue(floor) => {
+                let priority = match st.cells.get_mut(&job) {
+                    Some(cell) => {
+                        cell.phase = Phase::Queued;
+                        cell.planned = floor;
+                        cell.not_before = None;
+                        cell.priority
+                    }
+                    None => Priority::Normal,
+                };
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.queue.push(QueueSlot { priority, seq, job });
+                st.queued += 1;
+                drop(st);
+                inner.work_cv.notify_all();
+            }
             Next::Publish(outcome) => {
-                let mut spec = (0u64, 0u64);
+                let mut spec_counters = (0u64, 0u64);
+                let mut degraded = false;
                 match &outcome {
-                    JobOutcome::Completed { result, .. } => {
+                    JobOutcome::Completed { result, fidelity, .. } => {
                         st.stats.completed += 1;
+                        degraded = *fidelity < Fidelity::Reciprocal;
                         if let Some(c) = &result.coupler {
-                            spec = (c.spec_commits, c.spec_rollbacks);
+                            spec_counters = (c.spec_commits, c.spec_rollbacks);
                             st.stats.spec_commits += c.spec_commits;
                             st.stats.spec_rollbacks += c.spec_rollbacks;
                         }
@@ -1372,6 +1893,37 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
                     JobOutcome::DeadlineExceeded => st.stats.deadline_exceeded += 1,
                     _ => st.stats.failed += 1,
                 }
+                // A degraded answer leaves an upgrade debt: journaled
+                // (so a restart re-owes it) and queued in memory for
+                // the idle drain. An upgrade run — success or not —
+                // clears its debt; a failed upgrade is written off
+                // rather than retried forever.
+                if is_upgrade {
+                    if let Some(journal) = &inner.journal {
+                        journal.upgraded(key);
+                    }
+                    if !degraded && matches!(outcome, JobOutcome::Completed { .. }) {
+                        st.stats.upgraded += 1;
+                        let from = prev_fidelity.unwrap_or(Fidelity::Hop);
+                        inner.obs.emit(|| Event::ResultUpgraded {
+                            job: key.0,
+                            from: from.name().to_owned(),
+                            to: Fidelity::Reciprocal.name().to_owned(),
+                        });
+                    }
+                } else if degraded {
+                    st.stats.degraded += 1;
+                    if st.upgrade_keys.insert(key.0) {
+                        st.upgrades.push_back(UpgradeIntent {
+                            key,
+                            spec: spec.canonical(),
+                        });
+                        if let Some(journal) = &inner.journal {
+                            journal.upgrade(key, &spec.canonical());
+                        }
+                    }
+                }
+                st.stats.upgrades_pending = st.upgrades.len() as u64;
                 let label = outcome.label();
                 let free = match st.cells.get_mut(&job) {
                     Some(cell) => {
@@ -1384,10 +1936,18 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
                     st.cells.remove(&job);
                 }
                 st.inflight.remove(&key.0);
-                journal_settle(inner, key, label);
+                if !is_upgrade {
+                    journal_settle(inner, key, label);
+                }
                 maybe_compact_journal(inner, &mut st);
+                let wake_upgraders = !st.upgrades.is_empty() && st.queued == 0;
                 drop(st);
-                finish(inner, key, label, queue_ns, run_ns, spec);
+                finish(inner, key, label, queue_ns, run_ns, spec_counters);
+                if wake_upgraders {
+                    // Idle workers only drain upgrades from inside the
+                    // pick loop; make sure one looks.
+                    inner.work_cv.notify_all();
+                }
             }
         }
     }

@@ -67,6 +67,83 @@ impl FromStr for JobKey {
     }
 }
 
+/// The answer-quality ladder of the overload-control layer, ordered from
+/// cheapest to most faithful.
+///
+/// Fidelity is *relative to the spec's requested mode*:
+///
+/// * [`Fidelity::Reciprocal`] — the spec's own mode, uncut. For a
+///   `mode=reciprocal` spec that is the full co-simulation; for an
+///   abstract-mode spec (`hop`, `fixed`, …) it is simply that mode, which
+///   is already cheap and never degraded further.
+/// * [`Fidelity::Calibrated`] — the reciprocal coupler serving from its
+///   calibrated model alone (the PR-1 fallback stance entered
+///   deliberately; see `RunSpec::calibrated_only`). Costs about an
+///   abstract run.
+/// * [`Fidelity::Hop`] — the pure contention-free hop model, milliseconds
+///   even for specs that asked for full co-simulation.
+///
+/// Degradation prefs (`allow_degraded`, `min_fidelity`) ride on the wire
+/// item and the submit call, **never** inside [`JobSpec`]: a degraded and
+/// a full answer to the same spec share one canonical text, one
+/// [`JobKey`], and one result-store slot — which is what lets the
+/// background upgrader replace the entry in place.
+///
+/// The derived `Ord` follows declaration order, so
+/// `Fidelity::Hop < Fidelity::Calibrated < Fidelity::Reciprocal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fidelity {
+    /// Pure hop/analytical model — the cheapest rung.
+    Hop,
+    /// Calibrated-model-only replay of a reciprocal-mode spec.
+    Calibrated,
+    /// The spec's own mode, uncut (full fidelity for that spec).
+    Reciprocal,
+}
+
+impl Fidelity {
+    /// Every rung, cheapest first.
+    pub const ALL: [Fidelity; 3] = [Fidelity::Hop, Fidelity::Calibrated, Fidelity::Reciprocal];
+
+    /// Lower-snake wire tag (`hop` / `calibrated` / `reciprocal`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Fidelity::Hop => "hop",
+            Fidelity::Calibrated => "calibrated",
+            Fidelity::Reciprocal => "reciprocal",
+        }
+    }
+
+    /// Whether `mode` has cheaper rungs below it at all. Only reciprocal
+    /// modes degrade; an abstract-mode spec already *is* its cheapest
+    /// faithful answer.
+    pub fn degradable(mode: &ModeSpec) -> bool {
+        matches!(mode, ModeSpec::Reciprocal { .. })
+    }
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Fidelity {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "hop" => Ok(Fidelity::Hop),
+            "calibrated" => Ok(Fidelity::Calibrated),
+            "reciprocal" => Ok(Fidelity::Reciprocal),
+            other => Err(SpecError::BadValue {
+                key: "min_fidelity",
+                detail: format!("`{other}` is not hop, calibrated, or reciprocal"),
+            }),
+        }
+    }
+}
+
 /// FNV-1a 64-bit over `bytes`: tiny, dependency-free, and — unlike the
 /// standard library's randomized SipHash — identical in every process, so
 /// spill files written by one server instance name the same jobs as the
@@ -668,6 +745,19 @@ mod tests {
             source.to_string().contains("unknown mode `warp`"),
             "source must be the ParseModeError: {source}"
         );
+    }
+
+    #[test]
+    fn fidelity_ladder_orders_and_round_trips() {
+        assert!(Fidelity::Hop < Fidelity::Calibrated);
+        assert!(Fidelity::Calibrated < Fidelity::Reciprocal);
+        for tier in Fidelity::ALL {
+            assert_eq!(tier.name().parse::<Fidelity>().unwrap(), tier);
+        }
+        assert!("ultra".parse::<Fidelity>().is_err());
+        assert!(Fidelity::degradable(&ModeSpec::default()));
+        assert!(!Fidelity::degradable(&ModeSpec::Hop));
+        assert!(!Fidelity::degradable(&ModeSpec::Lockstep));
     }
 
     #[test]

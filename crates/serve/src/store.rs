@@ -36,7 +36,36 @@ use ra_sim::Summary;
 
 use crate::frame::{read_frames, FrameWriter, RecoveryReport};
 use crate::json::Json;
-use crate::spec::JobKey;
+use crate::spec::{Fidelity, JobKey};
+
+/// A cached result with its answer-quality metadata: which fidelity rung
+/// produced it and the relative error bound the service estimated for
+/// that rung (0.0 for full-fidelity answers with no drift history).
+///
+/// The store's replacement rule is *upgrade-only*: once a key holds a
+/// result at some fidelity, an insert at a lower rung is ignored, so a
+/// background upgrade can never be clobbered by a stale degraded run
+/// racing it.
+#[derive(Debug, Clone)]
+pub struct StoredResult {
+    /// The deterministic run result.
+    pub result: Arc<RunResult>,
+    /// Which rung of the ladder produced it.
+    pub fidelity: Fidelity,
+    /// Estimated relative error of the answer (fraction, e.g. 0.15).
+    pub error_bound: f64,
+}
+
+impl StoredResult {
+    /// Wraps a full-fidelity result (the spec's own mode, no bound).
+    pub fn full(result: Arc<RunResult>) -> StoredResult {
+        StoredResult {
+            result,
+            fidelity: Fidelity::Reciprocal,
+            error_bound: 0.0,
+        }
+    }
+}
 
 /// Counters the `stats` wire verb and the smoke tests read.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -64,7 +93,7 @@ impl StoreStats {
 }
 
 struct Entry {
-    result: Arc<RunResult>,
+    stored: StoredResult,
     last_used: u64,
 }
 
@@ -135,10 +164,10 @@ impl ResultStore {
         let (records, mut report) = read_frames(&bytes);
         report.recovered_records = 0; // count only records that decode
         for record in &records {
-            let Some((key, result)) = decode_spill_record(record) else {
+            let Some((key, stored)) = decode_spill_record(record) else {
                 continue;
             };
-            self.insert_entry(key, Arc::new(result));
+            self.insert_entry(key, stored);
             report.recovered_records += 1;
         }
         Ok(report)
@@ -148,8 +177,9 @@ impl ResultStore {
         &self.shards[(key.0 as usize) % self.shards.len()]
     }
 
-    /// Looks up a cached result, refreshing its recency on a hit.
-    pub fn get(&self, key: JobKey) -> Option<Arc<RunResult>> {
+    /// Looks up a cached result (with its fidelity tag and error bound),
+    /// refreshing its recency on a hit.
+    pub fn get(&self, key: JobKey) -> Option<StoredResult> {
         let mut shard = self.shard(key).lock().expect("store shard poisoned");
         shard.tick += 1;
         let tick = shard.tick;
@@ -157,13 +187,25 @@ impl ResultStore {
             Some(entry) => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.result.clone())
+                Some(entry.stored.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
+    }
+
+    /// Fidelity of the cached entry for `key`, without charging hit/miss
+    /// counters or recency (the upgrader's "is this still degraded?"
+    /// check).
+    pub fn fidelity_of(&self, key: JobKey) -> Option<Fidelity> {
+        self.shard(key)
+            .lock()
+            .expect("store shard poisoned")
+            .map
+            .get(&key.0)
+            .map(|e| e.stored.fidelity)
     }
 
     /// True when `key` is cached, without perturbing hit/miss counters
@@ -177,15 +219,23 @@ impl ResultStore {
     }
 
     /// LRU insert + bounded eviction, shared by the live path and the
-    /// warm-restart replay (which must not re-spill).
-    fn insert_entry(&self, key: JobKey, result: Arc<RunResult>) {
+    /// warm-restart replay (which must not re-spill). Returns whether the
+    /// entry was stored: an insert at a *lower* fidelity than what the
+    /// key already holds is a no-op (upgrade-only replacement), so a
+    /// stale degraded run can never clobber an upgraded answer.
+    fn insert_entry(&self, key: JobKey, stored: StoredResult) -> bool {
         let mut shard = self.shard(key).lock().expect("store shard poisoned");
         shard.tick += 1;
         let tick = shard.tick;
+        if let Some(existing) = shard.map.get(&key.0) {
+            if existing.stored.fidelity > stored.fidelity {
+                return false;
+            }
+        }
         shard.map.insert(
             key.0,
             Entry {
-                result,
+                stored,
                 last_used: tick,
             },
         );
@@ -201,22 +251,29 @@ impl ResultStore {
             shard.map.remove(&coldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        true
     }
 
     /// Inserts (or refreshes) a result and appends a framed spill record.
+    /// Returns whether the entry was stored; a lower-fidelity insert than
+    /// what the key already holds is skipped (and not spilled, so a warm
+    /// restart cannot resurrect the downgrade either).
     ///
     /// `spec` is the job's canonical text, recorded in the spill so the
     /// log is self-describing without the hash preimage.
-    pub fn insert(&self, key: JobKey, spec: &str, result: Arc<RunResult>) {
-        self.insert_entry(key, result.clone());
+    pub fn insert(&self, key: JobKey, spec: &str, stored: StoredResult) -> bool {
+        if !self.insert_entry(key, stored.clone()) {
+            return false;
+        }
         self.insertions.fetch_add(1, Ordering::Relaxed);
         if let Some(spill) = &self.spill {
-            let payload = encode_spill_record(key, spec, &result);
+            let payload = encode_spill_record(key, spec, &stored);
             let mut spill = spill.lock().expect("spill log poisoned");
             // A full disk shouldn't take the service down; the cache is
             // authoritative and the spill is advisory.
             let _ = spill.append(&payload);
         }
+        true
     }
 
     /// Flushes and fsyncs the spill log (no-op without one) — the drain
@@ -294,8 +351,10 @@ fn summary_from_json(json: &Json) -> Option<Summary> {
     ))
 }
 
-/// One spill payload: everything deterministic about a completed run.
-fn encode_spill_record(key: JobKey, spec: &str, result: &RunResult) -> String {
+/// One spill payload: everything deterministic about a completed run,
+/// plus the answer-quality metadata (fidelity tag and error bound).
+fn encode_spill_record(key: JobKey, spec: &str, stored: &StoredResult) -> String {
+    let result = &stored.result;
     let classes: Vec<String> = result.class_latency.iter().map(summary_json).collect();
     let mut class_latency = String::from("[");
     class_latency.push_str(&classes.join(","));
@@ -312,10 +371,12 @@ fn encode_spill_record(key: JobKey, spec: &str, result: &RunResult) -> String {
         ("calibrations", JsonField::Int(result.calibrations)),
         ("latency", JsonField::Raw(summary_json(&result.latency))),
         ("class_latency", JsonField::Raw(class_latency)),
+        ("fidelity", JsonField::Str(stored.fidelity.name().to_owned())),
+        ("error_bound", JsonField::Num(stored.error_bound)),
     ])
 }
 
-fn decode_spill_record(payload: &str) -> Option<(JobKey, RunResult)> {
+fn decode_spill_record(payload: &str) -> Option<(JobKey, StoredResult)> {
     let json = Json::parse(payload).ok()?;
     if json.get("rec").and_then(Json::as_str) != Some("result") {
         return None;
@@ -328,19 +389,34 @@ fn decode_spill_record(payload: &str) -> Option<(JobKey, RunResult)> {
             .collect::<Option<Vec<Summary>>>()?,
         _ => return None,
     };
+    // Records written before the fidelity ladder carry neither field;
+    // they were all full-fidelity runs, with no estimated bound.
+    let fidelity = match json.get("fidelity") {
+        Some(j) => j.as_str()?.parse().ok()?,
+        None => Fidelity::Reciprocal,
+    };
+    let error_bound = match json.get("error_bound") {
+        Some(j) => j.as_f64()?,
+        None => 0.0,
+    };
+    let result = RunResult {
+        workload: json.get("workload")?.as_str()?.to_owned(),
+        mode: json.get("mode")?.as_str()?.to_owned(),
+        cycles: json.get("cycles")?.as_u64()?,
+        wall: Duration::ZERO,
+        latency: summary_from_json(json.get("latency")?)?,
+        class_latency,
+        messages: json.get("messages")?.as_u64()?,
+        ipc: json.get("ipc")?.as_f64()?,
+        calibrations: json.get("calibrations")?.as_u64()?,
+        coupler: None,
+    };
     Some((
         key,
-        RunResult {
-            workload: json.get("workload")?.as_str()?.to_owned(),
-            mode: json.get("mode")?.as_str()?.to_owned(),
-            cycles: json.get("cycles")?.as_u64()?,
-            wall: Duration::ZERO,
-            latency: summary_from_json(json.get("latency")?)?,
-            class_latency,
-            messages: json.get("messages")?.as_u64()?,
-            ipc: json.get("ipc")?.as_f64()?,
-            calibrations: json.get("calibrations")?.as_u64()?,
-            coupler: None,
+        StoredResult {
+            result: Arc::new(result),
+            fidelity,
+            error_bound,
         },
     ))
 }
@@ -379,9 +455,11 @@ mod tests {
         let store = ResultStore::new(8, 2);
         let key = JobKey(0x11);
         assert!(store.get(key).is_none());
-        store.insert(key, "spec", tiny_result(1));
+        store.insert(key, "spec", StoredResult::full(tiny_result(1)));
         let hit = store.get(key).expect("cached");
-        assert_eq!(hit.cycles, 1);
+        assert_eq!(hit.result.cycles, 1);
+        assert_eq!(hit.fidelity, Fidelity::Reciprocal);
+        assert_eq!(hit.error_bound, 0.0);
         let stats = store.stats();
         assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
         assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
@@ -393,10 +471,10 @@ mod tests {
     fn lru_evicts_the_coldest_entry_per_shard() {
         // Single shard, capacity 2: touching key 1 makes key 2 coldest.
         let store = ResultStore::new(2, 1);
-        store.insert(JobKey(1), "a", tiny_result(1));
-        store.insert(JobKey(2), "b", tiny_result(2));
+        store.insert(JobKey(1), "a", StoredResult::full(tiny_result(1)));
+        store.insert(JobKey(2), "b", StoredResult::full(tiny_result(2)));
         assert!(store.get(JobKey(1)).is_some());
-        store.insert(JobKey(3), "c", tiny_result(3));
+        store.insert(JobKey(3), "c", StoredResult::full(tiny_result(3)));
         assert!(store.get(JobKey(2)).is_none(), "coldest entry evicted");
         assert!(store.get(JobKey(1)).is_some());
         assert!(store.get(JobKey(3)).is_some());
@@ -408,7 +486,7 @@ mod tests {
     fn keys_spread_across_shards() {
         let store = ResultStore::new(64, 4);
         for k in 0..16u64 {
-            store.insert(JobKey(k), "s", tiny_result(k));
+            store.insert(JobKey(k), "s", StoredResult::full(tiny_result(k)));
         }
         assert_eq!(store.len(), 16);
         let occupied = store
@@ -426,8 +504,16 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let store = ResultStore::new(8, 1).with_spill(&path, 0).unwrap();
-            store.insert(JobKey(0xAB), "target=2x2 app=water", tiny_result(7));
-            store.insert(JobKey(0xCD), "target=2x2 app=ocean", tiny_result(8));
+            store.insert(
+                JobKey(0xAB),
+                "target=2x2 app=water",
+                StoredResult::full(tiny_result(7)),
+            );
+            store.insert(
+                JobKey(0xCD),
+                "target=2x2 app=ocean",
+                StoredResult::full(tiny_result(8)),
+            );
         }
         let bytes = std::fs::read(&path).unwrap();
         let (records, report) = read_frames(&bytes);
@@ -437,6 +523,7 @@ mod tests {
         assert!(records[0].contains("\"job\":\"00000000000000ab\""));
         assert!(records[0].contains("\"spec\":\"target=2x2 app=water\""));
         assert!(records[0].contains("\"cycles\":7"));
+        assert!(records[0].contains("\"fidelity\":\"reciprocal\""));
         assert!(records[1].contains("\"job\":\"00000000000000cd\""));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -449,8 +536,8 @@ mod tests {
         let original = tiny_result(0); // keep the run's true cycles
         {
             let store = ResultStore::new(8, 2).with_spill(&path, 0).unwrap();
-            store.insert(JobKey(0x11), "spec a", original.clone());
-            store.insert(JobKey(0x22), "spec b", tiny_result(99));
+            store.insert(JobKey(0x11), "spec a", StoredResult::full(original.clone()));
+            store.insert(JobKey(0x22), "spec b", StoredResult::full(tiny_result(99)));
         }
         let mut cold = ResultStore::new(8, 2);
         let report = cold.warm_from_spill(&path).unwrap();
@@ -458,6 +545,9 @@ mod tests {
         assert_eq!(report.checksum_errors, 0);
         assert_eq!(cold.len(), 2);
         let replayed = cold.get(JobKey(0x11)).expect("warmed");
+        assert_eq!(replayed.fidelity, Fidelity::Reciprocal);
+        assert_eq!(replayed.error_bound, 0.0);
+        let replayed = replayed.result;
         assert_eq!(replayed.cycles, original.cycles);
         assert_eq!(replayed.messages, original.messages);
         assert_eq!(replayed.ipc, original.ipc);
@@ -477,8 +567,8 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let store = ResultStore::new(8, 1).with_spill(&path, 0).unwrap();
-            store.insert(JobKey(0x1), "a", tiny_result(1));
-            store.insert(JobKey(0x2), "b", tiny_result(2));
+            store.insert(JobKey(0x1), "a", StoredResult::full(tiny_result(1)));
+            store.insert(JobKey(0x2), "b", StoredResult::full(tiny_result(2)));
         }
         // Tear the file mid-way through the second record.
         let bytes = std::fs::read(&path).unwrap();
@@ -491,6 +581,87 @@ mod tests {
         assert!(cold.contains(JobKey(0x1)));
         assert!(!cold.contains(JobKey(0x2)));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replacement_is_upgrade_only() {
+        let store = ResultStore::new(8, 1);
+        let key = JobKey(0x5);
+        let degraded = StoredResult {
+            result: tiny_result(10),
+            fidelity: Fidelity::Hop,
+            error_bound: 0.69,
+        };
+        assert!(store.insert(key, "s", degraded.clone()));
+        assert_eq!(store.fidelity_of(key), Some(Fidelity::Hop));
+
+        // Upgrading to calibrated replaces the entry...
+        let calibrated = StoredResult {
+            result: tiny_result(20),
+            fidelity: Fidelity::Calibrated,
+            error_bound: 0.15,
+        };
+        assert!(store.insert(key, "s", calibrated));
+        let hit = store.get(key).unwrap();
+        assert_eq!(hit.result.cycles, 20);
+        assert_eq!(hit.fidelity, Fidelity::Calibrated);
+
+        // ...but a stale degraded run racing the upgrade is ignored.
+        assert!(!store.insert(key, "s", degraded));
+        let hit = store.get(key).unwrap();
+        assert_eq!(hit.result.cycles, 20);
+        assert_eq!(hit.fidelity, Fidelity::Calibrated);
+        assert_eq!(store.stats().insertions, 2, "the skipped insert is not counted");
+
+        // Same-fidelity re-insert still refreshes (idempotent re-publish).
+        let refreshed = StoredResult {
+            result: tiny_result(30),
+            fidelity: Fidelity::Calibrated,
+            error_bound: 0.12,
+        };
+        assert!(store.insert(key, "s", refreshed));
+        assert_eq!(store.get(key).unwrap().result.cycles, 30);
+    }
+
+    #[test]
+    fn fidelity_and_error_bound_survive_the_spill_round_trip() {
+        let dir = temp_dir("fidelity");
+        let path = dir.join("results.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = ResultStore::new(8, 1).with_spill(&path, 0).unwrap();
+            store.insert(
+                JobKey(0x7),
+                "spec",
+                StoredResult {
+                    result: tiny_result(3),
+                    fidelity: Fidelity::Calibrated,
+                    error_bound: 0.15,
+                },
+            );
+        }
+        let mut cold = ResultStore::new(8, 1);
+        let report = cold.warm_from_spill(&path).unwrap();
+        assert_eq!(report.recovered_records, 1);
+        let hit = cold.get(JobKey(0x7)).unwrap();
+        assert_eq!(hit.fidelity, Fidelity::Calibrated);
+        assert_eq!(hit.error_bound, 0.15);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_spill_records_decode_as_full_fidelity() {
+        // A record written before the ladder carries neither new field.
+        let stored = StoredResult::full(tiny_result(4));
+        let payload = encode_spill_record(JobKey(0x9), "spec", &stored);
+        let legacy = payload
+            .replace(",\"fidelity\":\"reciprocal\"", "")
+            .replace(",\"error_bound\":0", "");
+        assert!(!legacy.contains("fidelity"));
+        let (key, decoded) = decode_spill_record(&legacy).expect("legacy decodes");
+        assert_eq!(key, JobKey(0x9));
+        assert_eq!(decoded.fidelity, Fidelity::Reciprocal);
+        assert_eq!(decoded.error_bound, 0.0);
     }
 
     #[test]

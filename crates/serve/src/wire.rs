@@ -52,8 +52,8 @@ use crate::json::Json;
 use crate::proto::{
     ErrorCode, OutcomeOk, Request, Response, ResultBody, SubmitItem, SubmitOk, WireError,
 };
-use crate::scheduler::{JobOutcome, JobService, Priority, Rejected, WaitError};
-use crate::spec::JobSpec;
+use crate::scheduler::{JobOutcome, JobService, Priority, Rejected, SubmitParams, WaitError};
+use crate::spec::{Fidelity, JobSpec};
 
 /// Renders `err` and its `source()` chain as `a: b: c`.
 fn error_chain(err: &dyn std::error::Error) -> String {
@@ -77,6 +77,8 @@ fn outcome_ok(outcome: &JobOutcome) -> OutcomeOk {
         JobOutcome::Completed {
             result,
             cached,
+            fidelity,
+            error_bound,
             queue_ns,
             run_ns,
         } => OutcomeOk {
@@ -93,6 +95,8 @@ fn outcome_ok(outcome: &JobOutcome) -> OutcomeOk {
                 latency_mean: result.latency.mean(),
                 latency_count: result.latency.count(),
                 calibrations: result.calibrations,
+                fidelity: Some(fidelity.name().to_owned()),
+                error_bound: Some(*error_bound),
             }),
         },
         JobOutcome::Failed { error } => OutcomeOk {
@@ -256,8 +260,25 @@ fn submit_one(service: &JobService, item: &SubmitItem, verb: &str) -> Response {
             }
         },
     };
-    let deadline = item.deadline_ms.map(Duration::from_millis);
-    match service.submit(spec, priority, deadline) {
+    let min_fidelity = match &item.min_fidelity {
+        None => None,
+        Some(text) => match text.parse::<Fidelity>() {
+            Ok(fidelity) => Some(fidelity),
+            Err(err) => {
+                return Response::Error(
+                    WireError::new(ErrorCode::BadRequest, verb).with_detail(err.to_string()),
+                )
+            }
+        },
+    };
+    let params = SubmitParams {
+        priority,
+        deadline: item.deadline_ms.map(Duration::from_millis),
+        client: item.client.clone(),
+        allow_degraded: item.allow_degraded,
+        min_fidelity,
+    };
+    match service.submit_with(spec, params) {
         Ok(receipt) => {
             let depth = match receipt.disposition {
                 crate::scheduler::Disposition::Enqueued { depth } => depth as u64,
@@ -360,6 +381,11 @@ fn stats_fields(service: &JobService) -> Vec<(&'static str, JsonField)> {
         ("spec_commits", JsonField::Int(stats.spec_commits)),
         ("spec_rollbacks", JsonField::Int(stats.spec_rollbacks)),
         ("queue_depth", JsonField::Int(stats.queue_depth as u64)),
+        ("shed", JsonField::Int(stats.shed)),
+        ("degraded", JsonField::Int(stats.degraded)),
+        ("upgraded", JsonField::Int(stats.upgraded)),
+        ("upgrades_pending", JsonField::Int(stats.upgrades_pending)),
+        ("brownout", JsonField::Int(stats.brownout)),
         ("store_hits", JsonField::Int(stats.store.hits)),
         ("store_misses", JsonField::Int(stats.store.misses)),
         ("insertions", JsonField::Int(stats.store.insertions)),
@@ -872,11 +898,21 @@ impl WireClient {
         priority: Option<&str>,
         deadline_ms: Option<u64>,
     ) -> io::Result<Json> {
-        self.call_verb(&Request::Submit(SubmitItem {
-            spec: spec.to_owned(),
-            priority: priority.map(str::to_owned),
-            deadline_ms,
-        }))
+        let mut item = SubmitItem::new(spec);
+        item.priority = priority.map(str::to_owned);
+        item.deadline_ms = deadline_ms;
+        self.submit_item(item)
+    }
+
+    /// `submit` with the full item vocabulary — the way to set the
+    /// overload-control knobs (`client`, `allow_degraded`,
+    /// `min_fidelity`) on a single submission.
+    ///
+    /// # Errors
+    ///
+    /// See [`call`](WireClient::call).
+    pub fn submit_item(&mut self, item: SubmitItem) -> io::Result<Json> {
+        self.call_verb(&Request::Submit(item))
     }
 
     /// `submit_batch`: up to [`crate::proto::MAX_BATCH_ITEMS`] specs in

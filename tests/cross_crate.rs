@@ -375,6 +375,8 @@ fn wire_protocol_round_trips_every_message_through_both_codecs() {
                 latency_mean: 17.5,
                 latency_count: 789,
                 calibrations: 4,
+                fidelity: Some("reciprocal".to_owned()),
+                error_bound: Some(0.05),
             }),
         }),
         Response::Outcome(OutcomeOk {

@@ -610,3 +610,189 @@ mod service_schedule_transparency {
         service.shutdown();
     }
 }
+
+/// The fidelity ladder must be determinism-preserving rung by rung: a
+/// *degraded* answer the service produces under overload must be
+/// bit-identical to running the cheaper configuration directly, and a
+/// background *upgrade* must be bit-identical to the uninterrupted full
+/// run. Degradation changes which simulation runs — never what any
+/// given simulation produces.
+mod fidelity_tier_transparency {
+    use reciprocal_abstraction::cosim::{ModeSpec, RunResult};
+    use reciprocal_abstraction::obs::ObsSink;
+    use reciprocal_abstraction::serve::{
+        Disposition, Fidelity, JobOutcome, JobService, JobSpec, Priority, ServeConfig,
+        SubmitParams,
+    };
+    use std::time::{Duration, Instant};
+
+    const FILLER: &str = "target=2x2 app=water mode=fixed:10 instructions=20 budget=100000";
+
+    fn spec(seed: u64) -> JobSpec {
+        format!(
+            "target=4x4 app=water mode=reciprocal:quantum=500,workers=2 instructions=200 \
+             budget=500000 seed={seed}"
+        )
+        .parse()
+        .expect("canonical spec")
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Fingerprint {
+        cycles: u64,
+        messages: u64,
+        ipc_bits: u64,
+        latency: reciprocal_abstraction::sim::Summary,
+    }
+
+    fn fingerprint(result: &RunResult) -> Fingerprint {
+        Fingerprint {
+            cycles: result.cycles,
+            messages: result.messages,
+            ipc_bits: result.ipc.to_bits(),
+            latency: result.latency,
+        }
+    }
+
+    /// A service whose per-client quota is one fresh run, so the second
+    /// submission of a client degrades deterministically (no queue
+    /// timing involved).
+    fn quota_service(background_upgrades: bool) -> JobService {
+        JobService::start(
+            ServeConfig {
+                workers: 2,
+                quota_rate: 1e-6,
+                quota_burst: 1.0,
+                background_upgrades,
+                ..ServeConfig::default()
+            },
+            ObsSink::disabled(),
+        )
+        .expect("service starts")
+    }
+
+    /// Burns the one quota token of `client` on a cheap unrelated job.
+    /// The filler seed must be fresh per client: a memoized filler is a
+    /// cache hit, which never reaches the quota bucket.
+    fn burn_quota(service: &JobService, client: &str, seed: u64) {
+        let receipt = service
+            .submit_with(
+                FILLER.parse::<JobSpec>().expect("filler spec").seed(seed),
+                SubmitParams {
+                    client: Some(client.to_owned()),
+                    ..SubmitParams::default()
+                },
+            )
+            .expect("admitted");
+        match service.wait(receipt.ticket, Some(Duration::from_secs(60))).unwrap() {
+            JobOutcome::Completed { .. } => {}
+            other => panic!("filler should complete: {other:?}"),
+        }
+    }
+
+    fn degraded_run(
+        service: &JobService,
+        spec: JobSpec,
+        client: &str,
+        min_fidelity: Option<Fidelity>,
+    ) -> (Fingerprint, Fidelity) {
+        let receipt = service
+            .submit_with(
+                spec,
+                SubmitParams {
+                    client: Some(client.to_owned()),
+                    allow_degraded: true,
+                    min_fidelity,
+                    ..SubmitParams::default()
+                },
+            )
+            .expect("consenting submissions are never bounced");
+        match service.wait(receipt.ticket, Some(Duration::from_secs(120))).unwrap() {
+            JobOutcome::Completed { result, fidelity, .. } => (fingerprint(&result), fidelity),
+            other => panic!("degraded job should complete: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_answers_match_the_direct_cheaper_run_bit_for_bit() {
+        let service = quota_service(false);
+
+        // Calibrated rung: the service's answer vs running the
+        // calibrated replay path directly.
+        let calibrated_ref = fingerprint(
+            &spec(1)
+                .to_run_spec()
+                .calibrated_only(true)
+                .run()
+                .expect("direct calibrated run"),
+        );
+        burn_quota(&service, "tier-cal", 101);
+        let (got, fidelity) =
+            degraded_run(&service, spec(1), "tier-cal", Some(Fidelity::Calibrated));
+        assert_eq!(fidelity, Fidelity::Calibrated);
+        assert_eq!(got, calibrated_ref, "calibrated tier diverged from the direct run");
+
+        // Hop rung: vs the same spec with the analytic hop model.
+        let mut hop_spec = spec(2);
+        hop_spec.mode = ModeSpec::Hop;
+        let hop_ref = fingerprint(&hop_spec.to_run_spec().run().expect("direct hop run"));
+        burn_quota(&service, "tier-hop", 102);
+        let (got, fidelity) = degraded_run(&service, spec(2), "tier-hop", None);
+        assert_eq!(fidelity, Fidelity::Hop);
+        assert_eq!(got, hop_ref, "hop tier diverged from the direct run");
+        service.shutdown();
+    }
+
+    #[test]
+    fn a_background_upgrade_matches_the_uninterrupted_full_run_bit_for_bit() {
+        let full_ref = fingerprint(&spec(3).to_run_spec().run().expect("direct full run"));
+
+        let service = quota_service(true);
+        burn_quota(&service, "tier-up", 103);
+        let (degraded, fidelity) = degraded_run(&service, spec(3), "tier-up", None);
+        assert_eq!(fidelity, Fidelity::Hop);
+        assert_ne!(
+            degraded, full_ref,
+            "the hop answer should differ from the full run (else the ladder is vacuous)"
+        );
+
+        // The idle pool re-runs the spec at full fidelity in the
+        // background and replaces the store entry in place.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while service.stats().upgraded < 1 {
+            assert!(Instant::now() < deadline, "background upgrade never landed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let strict = service
+            .submit(spec(3), Priority::Normal, None)
+            .expect("admitted");
+        assert_eq!(strict.disposition, Disposition::CacheHit);
+        match service.wait(strict.ticket, Some(Duration::from_secs(120))).unwrap() {
+            JobOutcome::Completed { result, cached, fidelity, error_bound, .. } => {
+                assert!(cached);
+                assert_eq!(fidelity, Fidelity::Reciprocal);
+                assert_eq!(
+                    fingerprint(&result),
+                    full_ref,
+                    "the upgraded entry diverged from the uninterrupted full run"
+                );
+                assert_eq!(error_bound, full_ref_error_bound(&result));
+            }
+            other => panic!("upgraded entry should serve strict callers: {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    /// The error bound a full-fidelity run reports: mean coupler drift
+    /// over mean latency (the same statistic the scheduler publishes).
+    fn full_ref_error_bound(result: &RunResult) -> f64 {
+        result.coupler.as_ref().map_or(0.0, |c| {
+            let lat = result.latency.mean();
+            if lat > 0.0 {
+                (c.drift.mean() / lat).abs().min(1.0)
+            } else {
+                0.0
+            }
+        })
+    }
+}

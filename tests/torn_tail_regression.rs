@@ -1,5 +1,5 @@
 use reciprocal_abstraction::serve::journal::read_frames;
-use reciprocal_abstraction::serve::{JobKey, ResultStore};
+use reciprocal_abstraction::serve::{JobKey, ResultStore, StoredResult};
 use std::sync::Arc;
 
 #[test]
@@ -23,8 +23,8 @@ fn spill_appended_after_torn_tail_is_recoverable() {
     // Life A: two results, then a kill -9 tears the tail.
     {
         let store = ResultStore::new(8, 1).with_spill(&path, 0).unwrap();
-        store.insert(JobKey(1), "a", result());
-        store.insert(JobKey(2), "b", result());
+        store.insert(JobKey(1), "a", StoredResult::full(result()));
+        store.insert(JobKey(2), "b", StoredResult::full(result()));
     }
     let bytes = std::fs::read(&path).unwrap();
     std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
@@ -34,7 +34,7 @@ fn spill_appended_after_torn_tail_is_recoverable() {
         let report = store.warm_from_spill(&path).unwrap();
         assert_eq!(report.recovered_records, 1);
         let store = store.with_spill(&path, 0).unwrap();
-        store.insert(JobKey(3), "c", result());
+        store.insert(JobKey(3), "c", StoredResult::full(result()));
     }
     // Life C: the result completed in life B must be recoverable.
     let mut store = ResultStore::new(8, 1);
